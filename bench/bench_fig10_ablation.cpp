@@ -1,0 +1,99 @@
+// Fig. 10 — design-principle ablation (Elephant Dream, FFmpeg-style,
+// H.264, LTE): (a) Q4 chunk quality of CAVA-p12 and CAVA-p123 relative to
+// CAVA-p1 (differential treatment lifts ~40% of Q4 chunks, hurts ~5%);
+// (b) total rebuffering of CAVA-p123 relative to CAVA-p12 on the traces
+// where either variant rebuffers (proactive principle cuts rebuffering in
+// ~55% of those traces).
+#include <algorithm>
+#include <cstdio>
+
+#include "common.h"
+#include "metrics/stats.h"
+
+int main(int argc, char** argv) {
+  using namespace vbr;
+  const std::size_t num_traces = argc > 1 ? std::stoul(argv[1]) : 200;
+  const video::Video ed = video::make_video(
+      "ED-ffmpeg-h264", video::Genre::kAnimation, video::Codec::kH264, 2.0,
+      2.0, bench::kCorpusSeed + 0x11, 600.0);
+  const auto traces = bench::lte_traces(num_traces);
+
+  auto run = [&](const std::string& scheme) {
+    sim::ExperimentSpec spec;
+    spec.video = &ed;
+    spec.traces = traces;
+    spec.make_scheme = bench::scheme_factory(scheme);
+    return sim::run_experiment(spec);
+  };
+  const auto p1 = run("CAVA-p1");
+  const auto p12 = run("CAVA-p12");
+  const auto p123 = run("CAVA");
+
+  std::printf("Fig. 10: CAVA design-principle ablation over %zu LTE "
+              "traces\n",
+              traces.size());
+
+  // (a) Per-chunk Q4 quality deltas relative to CAVA-p1 (pooled across
+  // traces, index-aligned).
+  const auto q4_p1 = p1.pooled_q4_qualities();
+  auto delta_series = [&](const sim::ExperimentResult& r) {
+    const auto q4 = r.pooled_q4_qualities();
+    std::vector<double> d(q4.size());
+    for (std::size_t i = 0; i < q4.size(); ++i) {
+      d[i] = q4[i] - q4_p1[i];
+    }
+    return d;
+  };
+  const auto d12 = delta_series(p12);
+  const auto d123 = delta_series(p123);
+  bench::print_cdfs("(a) Q4 chunk quality relative to CAVA-p1",
+                    {"CAVA-p12", "CAVA-p123"}, {d12, d123});
+  auto frac = [](const std::vector<double>& xs, double lo, double hi) {
+    std::size_t n = 0;
+    for (const double x : xs) {
+      n += (x > lo && x <= hi) ? 1 : 0;
+    }
+    return 100.0 * static_cast<double>(n) / static_cast<double>(xs.size());
+  };
+  std::printf("CAVA-p12 : %.0f%% of Q4 chunks improved, %.0f%% degraded "
+              "(paper: ~40%% / ~5%%)\n",
+              frac(d12, 0.5, 1e9), frac(d12, -1e9, -0.5));
+  std::printf("CAVA-p123: %.0f%% of Q4 chunks improved, %.0f%% degraded\n",
+              frac(d123, 0.5, 1e9), frac(d123, -1e9, -0.5));
+
+  // (b) Rebuffering of p123 relative to p12 on traces where either stalls.
+  std::vector<double> rel;
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    const double a = p12.per_trace[i].rebuffer_s;
+    const double b = p123.per_trace[i].rebuffer_s;
+    if (a > 0.0 || b > 0.0) {
+      rel.push_back(b - a);
+    }
+  }
+  if (rel.empty()) {
+    std::printf("\n(b) no trace rebuffered under either variant.\n");
+  } else {
+    bench::print_cdf("(b) total rebuffering of CAVA-p123 minus CAVA-p12, "
+                     "s (traces with any rebuffering: " +
+                         std::to_string(rel.size()) + ")",
+                     rel);
+    std::size_t lower = 0;
+    for (const double x : rel) {
+      lower += x < 0.0 ? 1 : 0;
+    }
+    std::printf("CAVA-p123 rebuffers less than CAVA-p12 in %.0f%% of those "
+                "traces (paper: 55%%), max reduction %.1f s (paper: up to "
+                "20 s)\n",
+                100.0 * static_cast<double>(lower) /
+                    static_cast<double>(rel.size()),
+                -*std::min_element(rel.begin(), rel.end()));
+  }
+
+  std::printf("\nMeans: %-9s Q4 %.1f, rebuf %.2f s\n", "CAVA-p1:",
+              p1.mean_q4_quality, p1.mean_rebuffer_s);
+  std::printf("       %-9s Q4 %.1f, rebuf %.2f s\n", "CAVA-p12:",
+              p12.mean_q4_quality, p12.mean_rebuffer_s);
+  std::printf("       %-9s Q4 %.1f, rebuf %.2f s\n", "CAVA-p123:",
+              p123.mean_q4_quality, p123.mean_rebuffer_s);
+  return 0;
+}

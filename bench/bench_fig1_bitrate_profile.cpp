@@ -1,0 +1,48 @@
+// Fig. 1 — Bitrate of the chunks of a VBR video (Elephant Dream, H.264,
+// YouTube-style encode). Prints the per-chunk bitrate series of all six
+// tracks plus each track's average (the dashed lines in the paper's figure).
+#include <cstdio>
+
+#include "common.h"
+
+int main() {
+  using namespace vbr;
+  const video::Video ed = video::make_video(
+      "ED-yt", video::Genre::kAnimation, video::Codec::kH264,
+      /*chunk_duration_s=*/5.0, /*cap_factor=*/2.0, bench::kCorpusSeed + 0x11,
+      600.0);
+
+  std::printf("Fig. 1: per-chunk bitrate (Mbps) of %s, %zu tracks, %zu "
+              "chunks\n\n",
+              ed.name().c_str(), ed.num_tracks(), ed.num_chunks());
+
+  std::printf("%-6s", "chunk");
+  for (const video::Track& t : ed.tracks()) {
+    std::printf(" %8s", t.resolution().label().c_str());
+  }
+  std::printf("\n");
+  for (std::size_t i = 0; i < ed.num_chunks(); ++i) {
+    std::printf("%-6zu", i + 1);
+    for (const video::Track& t : ed.tracks()) {
+      std::printf(" %8.3f", t.chunk(i).bitrate_bps() / 1e6);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\n%-6s", "avg");
+  for (const video::Track& t : ed.tracks()) {
+    std::printf(" %8.3f", t.average_bitrate_bps() / 1e6);
+  }
+  std::printf("\n%-6s", "peak");
+  for (const video::Track& t : ed.tracks()) {
+    std::printf(" %8.3f", t.peak_bitrate_bps() / 1e6);
+  }
+  std::printf("\n%-6s", "p/a");
+  for (const video::Track& t : ed.tracks()) {
+    std::printf(" %8.2f", t.peak_to_average());
+  }
+  std::printf("\n\nPaper shape check: six well-separated tracks, visible "
+              "chunk-to-chunk variability,\npeak/average between ~1.1x and "
+              "~2.4x per track.\n");
+  return 0;
+}

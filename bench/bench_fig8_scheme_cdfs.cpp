@@ -1,0 +1,112 @@
+// Fig. 8 — per-metric CDFs across LTE traces for one FFmpeg-style video
+// (Elephant Dream, H.264): (a) quality of Q4 chunks, (b) percentage of
+// low-quality chunks, (c) total rebuffering, (d) average quality change per
+// chunk, (e) data usage relative to CAVA. Schemes: CAVA, MPC, RobustMPC,
+// PANDA/CQ max-sum, PANDA/CQ max-min.
+#include <cstdio>
+
+#include "common.h"
+#include "metrics/stats.h"
+
+int main(int argc, char** argv) {
+  using namespace vbr;
+  const std::size_t num_traces = argc > 1 ? std::stoul(argv[1]) : 100;
+  const video::Video ed = video::make_video(
+      "ED-ffmpeg-h264", video::Genre::kAnimation, video::Codec::kH264, 2.0,
+      2.0, bench::kCorpusSeed + 0x11, 600.0);
+  const auto traces = bench::lte_traces(num_traces);
+
+  const std::vector<std::string> names = {"CAVA", "MPC", "RobustMPC",
+                                          "PANDA/CQ max-sum",
+                                          "PANDA/CQ max-min"};
+  std::printf("Fig. 8: scheme comparison CDFs, %s over %zu LTE traces "
+              "(VMAF phone model)\n",
+              ed.name().c_str(), traces.size());
+
+  std::vector<sim::ExperimentResult> results;
+  for (const std::string& n : names) {
+    sim::ExperimentSpec spec;
+    spec.video = &ed;
+    spec.traces = traces;
+    spec.make_scheme = bench::scheme_factory(n);
+    results.push_back(sim::run_experiment(spec));
+    std::printf("  ran %s\n", n.c_str());
+  }
+
+  auto series_of = [&](auto getter) {
+    std::vector<std::vector<double>> out;
+    for (const auto& r : results) {
+      out.push_back(getter(r));
+    }
+    return out;
+  };
+
+  bench::print_cdfs("(a) quality of Q4 chunks (pooled per-chunk)", names,
+                    series_of([](const sim::ExperimentResult& r) {
+                      return r.pooled_q4_qualities();
+                    }));
+  bench::print_cdfs("(b) percentage of low-quality chunks (per trace)",
+                    names, series_of([](const sim::ExperimentResult& r) {
+                      return r.low_quality_pct_values();
+                    }));
+  bench::print_cdfs("(c) total rebuffering, s (per trace)", names,
+                    series_of([](const sim::ExperimentResult& r) {
+                      return r.rebuffer_values();
+                    }));
+  bench::print_cdfs("(d) avg quality change per chunk (per trace)", names,
+                    series_of([](const sim::ExperimentResult& r) {
+                      return r.quality_change_values();
+                    }));
+  // (e) data usage relative to CAVA, per trace (the paper plots relative
+  // usage in MB).
+  {
+    std::vector<std::vector<double>> rel;
+    const auto cava_usage = results[0].data_usage_values();
+    for (const auto& r : results) {
+      const auto usage = r.data_usage_values();
+      std::vector<double> d;
+      for (std::size_t i = 0; i < usage.size(); ++i) {
+        d.push_back(usage[i] - cava_usage[i]);
+      }
+      rel.push_back(std::move(d));
+    }
+    bench::print_cdfs("(e) data usage relative to CAVA, MB (per trace)",
+                      names, rel);
+  }
+
+  // Headline statistics the paper quotes for this figure.
+  const auto& cava = results[0];
+  const auto& rmpc = results[2];
+  const auto& pmin = results[4];
+  auto frac_above = [](const std::vector<double>& xs, double thr) {
+    std::size_t n = 0;
+    for (const double x : xs) {
+      n += x > thr ? 1 : 0;
+    }
+    return 100.0 * static_cast<double>(n) / static_cast<double>(xs.size());
+  };
+  auto frac_zero = [](const std::vector<double>& xs) {
+    std::size_t n = 0;
+    for (const double x : xs) {
+      n += x <= 1e-9 ? 1 : 0;
+    }
+    return 100.0 * static_cast<double>(n) / static_cast<double>(xs.size());
+  };
+  std::printf("\nHeadlines (paper values in parentheses):\n");
+  std::printf("  Q4 chunks above VMAF 60: CAVA %.0f%% (79%%), RobustMPC "
+              "%.0f%% (59%%), PANDA max-min %.0f%% (57%%)\n",
+              frac_above(cava.pooled_q4_qualities(), 60.0),
+              frac_above(rmpc.pooled_q4_qualities(), 60.0),
+              frac_above(pmin.pooled_q4_qualities(), 60.0));
+  std::printf("  median Q4 VMAF: CAVA %.0f (78), RobustMPC %.0f (67), "
+              "PANDA max-min %.0f (66)\n",
+              stats::median(cava.pooled_q4_qualities()),
+              stats::median(rmpc.pooled_q4_qualities()),
+              stats::median(pmin.pooled_q4_qualities()));
+  std::printf("  traces with zero rebuffering: CAVA %.0f%% (85%%), "
+              "RobustMPC %.0f%% (20%%), PANDA max-min %.0f%% (68%%)\n",
+              frac_zero(cava.rebuffer_values()),
+              frac_zero(rmpc.rebuffer_values()),
+              frac_zero(pmin.rebuffer_values()));
+  return 0;
+}

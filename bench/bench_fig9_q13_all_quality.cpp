@@ -1,0 +1,44 @@
+// Fig. 9 — quality CDFs of the Q1-Q3 chunks and of all chunks for the same
+// setting as Fig. 8. Paper shape: CAVA's Q1-Q3 quality is neither the
+// highest nor low — it trades a little Q1-Q3 headroom for better Q4 quality
+// and far fewer low-quality chunks overall.
+#include <cstdio>
+
+#include "common.h"
+#include "metrics/stats.h"
+
+int main(int argc, char** argv) {
+  using namespace vbr;
+  const std::size_t num_traces = argc > 1 ? std::stoul(argv[1]) : 100;
+  const video::Video ed = video::make_video(
+      "ED-ffmpeg-h264", video::Genre::kAnimation, video::Codec::kH264, 2.0,
+      2.0, bench::kCorpusSeed + 0x11, 600.0);
+  const auto traces = bench::lte_traces(num_traces);
+
+  const std::vector<std::string> names = {"CAVA", "MPC", "RobustMPC",
+                                          "PANDA/CQ max-sum",
+                                          "PANDA/CQ max-min"};
+  std::printf("Fig. 9: Q1-Q3 and all-chunk quality CDFs, %s over %zu LTE "
+              "traces\n",
+              ed.name().c_str(), traces.size());
+
+  std::vector<std::vector<double>> q13;
+  std::vector<std::vector<double>> all;
+  for (const std::string& n : names) {
+    sim::ExperimentSpec spec;
+    spec.video = &ed;
+    spec.traces = traces;
+    spec.make_scheme = bench::scheme_factory(n);
+    const sim::ExperimentResult r = sim::run_experiment(spec);
+    q13.push_back(r.pooled_q13_qualities());
+    all.push_back(r.pooled_all_qualities());
+    std::printf("  %-18s median Q1-Q3 %.1f | median all %.1f\n", n.c_str(),
+                stats::median(q13.back()), stats::median(all.back()));
+  }
+  bench::print_cdfs("(a) quality of Q1-Q3 chunks", names, q13);
+  bench::print_cdfs("(b) quality of all chunks", names, all);
+  std::printf("\nPaper shape check: CAVA is not the top curve for Q1-Q3 "
+              "(differential treatment spends there) but avoids the "
+              "low-quality region for all chunks.\n");
+  return 0;
+}

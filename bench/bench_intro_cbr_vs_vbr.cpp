@@ -1,0 +1,67 @@
+// Introduction — the CBR vs VBR contrast that motivates the paper: at the
+// same average bitrate, CBR gives simple and complex scenes the same bit
+// budget (variable quality), while VBR shifts bits toward complex scenes
+// (more consistent, higher floor). We encode the same content both ways and
+// compare per-chunk quality, then stream both with CAVA.
+#include <cstdio>
+
+#include "common.h"
+#include "core/complexity_classifier.h"
+#include "metrics/stats.h"
+
+int main(int argc, char** argv) {
+  using namespace vbr;
+  const std::size_t num_traces = argc > 1 ? std::stoul(argv[1]) : 60;
+
+  const video::Video vbr_enc = video::make_video(
+      "ED-vbr", video::Genre::kAnimation, video::Codec::kH264, 2.0, 2.0,
+      bench::kCorpusSeed + 0x11, 600.0);
+  const video::Video cbr_enc = video::make_cbr_video(
+      "ED-cbr", video::Genre::kAnimation, video::Codec::kH264, 2.0,
+      bench::kCorpusSeed + 0x11, 600.0);
+
+  // (a) Encoding-level comparison on the middle track.
+  const std::size_t mid = vbr_enc.middle_track();
+  std::vector<double> q_vbr;
+  std::vector<double> q_cbr;
+  for (std::size_t i = 0; i < vbr_enc.num_chunks(); ++i) {
+    q_vbr.push_back(vbr_enc.track(mid).chunk(i).quality.vmaf_phone);
+    q_cbr.push_back(cbr_enc.track(mid).chunk(i).quality.vmaf_phone);
+  }
+  std::printf("Intro: CBR vs VBR at the same average bitrate (480p track, "
+              "%.2f vs %.2f Mbps)\n",
+              cbr_enc.track(mid).average_bitrate_bps() / 1e6,
+              vbr_enc.track(mid).average_bitrate_bps() / 1e6);
+  bench::print_cdfs("(a) per-chunk VMAF-phone, 480p track", {"CBR", "VBR"},
+                    {q_cbr, q_vbr});
+  std::printf("mean: CBR %.1f, VBR %.1f | p10 (quality floor): CBR %.1f, "
+              "VBR %.1f | stddev: CBR %.1f, VBR %.1f\n",
+              stats::mean(q_cbr), stats::mean(q_vbr),
+              stats::percentile(q_cbr, 10.0),
+              stats::percentile(q_vbr, 10.0), stats::stddev(q_cbr),
+              stats::stddev(q_vbr));
+
+  // (b) Streaming-level comparison: CAVA on each encode.
+  const auto traces = bench::lte_traces(num_traces);
+  bench::Table table({"encode", "Q4 qual", "all qual", "low-qual %",
+                      "rebuf (s)", "qual change", "data (MB)"});
+  for (const video::Video* v : {&cbr_enc, &vbr_enc}) {
+    sim::ExperimentSpec spec;
+    spec.video = v;
+    spec.traces = traces;
+    spec.make_scheme = bench::scheme_factory("CAVA");
+    const sim::ExperimentResult r = sim::run_experiment(spec);
+    table.add_row({v->name(), bench::fmt(r.mean_q4_quality, 1),
+                   bench::fmt(r.mean_all_quality, 1),
+                   bench::fmt(r.mean_low_quality_pct, 1),
+                   bench::fmt(r.mean_rebuffer_s, 2),
+                   bench::fmt(r.mean_quality_change, 2),
+                   bench::fmt(r.mean_data_usage_mb, 1)});
+  }
+  table.print("(b) CAVA streaming QoE on each encode (" +
+              std::to_string(num_traces) + " LTE traces)");
+  std::printf("\nShape check: VBR raises the quality floor (p10) and the "
+              "complex-scene quality for the same bits — the premise of "
+              "the whole paper.\n");
+  return 0;
+}

@@ -1,0 +1,124 @@
+// Micro-benchmarks (google-benchmark) for the decision hot paths.
+//
+// Section 5.5/6.8: the paper reports CAVA's total runtime overhead at ~56 ms
+// for a 10-minute video (~300 decisions), i.e. ~190 us per decision in
+// JavaScript. These benchmarks measure our C++ decision costs per scheme,
+// plus the substrate operations (encode, classify, trace integration).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "abr/bola.h"
+#include "abr/mpc.h"
+#include "abr/panda_cq.h"
+#include "common.h"
+#include "core/complexity_classifier.h"
+#include "net/bandwidth_estimator.h"
+#include "sim/session.h"
+#include "video/encoder.h"
+#include "video/scene_model.h"
+
+namespace {
+
+using namespace vbr;
+
+const video::Video& ed() {
+  static const video::Video v = video::make_video(
+      "ED-ffmpeg-h264", video::Genre::kAnimation, video::Codec::kH264, 2.0,
+      2.0, bench::kCorpusSeed + 0x11, 600.0);
+  return v;
+}
+
+abr::StreamContext mid_context() {
+  abr::StreamContext ctx;
+  ctx.video = &ed();
+  ctx.next_chunk = ed().num_chunks() / 2;
+  ctx.buffer_s = 42.0;
+  ctx.est_bandwidth_bps = 2.1e6;
+  ctx.prev_track = 3;
+  ctx.now_s = 300.0;
+  return ctx;
+}
+
+void BM_CavaDecision(benchmark::State& state) {
+  auto cava = core::make_cava_p123();
+  const abr::StreamContext ctx = mid_context();
+  (void)cava->decide(ctx);  // bind video/classifier once
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cava->decide(ctx));
+  }
+}
+BENCHMARK(BM_CavaDecision);
+
+void BM_MpcDecision(benchmark::State& state) {
+  abr::Mpc mpc(abr::mpc_config());
+  const abr::StreamContext ctx = mid_context();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mpc.decide(ctx));
+  }
+}
+BENCHMARK(BM_MpcDecision);
+
+void BM_PandaCqDecision(benchmark::State& state) {
+  abr::PandaCq panda;
+  const abr::StreamContext ctx = mid_context();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(panda.decide(ctx));
+  }
+}
+BENCHMARK(BM_PandaCqDecision);
+
+void BM_BolaDecision(benchmark::State& state) {
+  abr::Bola bola;
+  const abr::StreamContext ctx = mid_context();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bola.decide(ctx));
+  }
+}
+BENCHMARK(BM_BolaDecision);
+
+void BM_ClassifierConstruction(benchmark::State& state) {
+  for (auto _ : state) {
+    core::ComplexityClassifier c(ed());
+    benchmark::DoNotOptimize(c.classes().data());
+  }
+}
+BENCHMARK(BM_ClassifierConstruction);
+
+void BM_EncodeTrack480p(benchmark::State& state) {
+  const auto scene =
+      video::generate_scene_trace(video::Genre::kAnimation, 300, 1);
+  video::EncoderConfig cfg;
+  cfg.resolution = video::kLadder480p;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(video::encode_track(scene, 3, cfg));
+  }
+}
+BENCHMARK(BM_EncodeTrack480p);
+
+void BM_TraceDownloadIntegration(benchmark::State& state) {
+  const net::Trace t = net::generate_lte_trace(1);
+  double start = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t.download_duration_s(start, 2e6));
+    start += 1.0;
+    if (start > 1000.0) {
+      start = 0.0;
+    }
+  }
+}
+BENCHMARK(BM_TraceDownloadIntegration);
+
+void BM_FullCavaSession(benchmark::State& state) {
+  const net::Trace t = net::generate_lte_trace(1);
+  for (auto _ : state) {
+    auto cava = core::make_cava_p123();
+    net::HarmonicMeanEstimator est(5);
+    benchmark::DoNotOptimize(sim::run_session(ed(), t, *cava, est));
+  }
+}
+BENCHMARK(BM_FullCavaSession)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,63 @@
+// Section 3.1.1 — cross-track consistency of chunk-size categories: for
+// every video, the per-chunk size-quartile sequences of any two tracks
+// correlate near 1, which is what licenses classifying from a single
+// reference track.
+#include <cstdio>
+
+#include "common.h"
+#include "core/complexity_classifier.h"
+#include "metrics/stats.h"
+
+int main() {
+  using namespace vbr;
+  const std::vector<video::Video> corpus = video::make_full_corpus();
+
+  bench::Table table({"video", "min pairwise corr", "min category corr",
+                      "class agreement vs mid (%)"});
+  for (const video::Video& v : corpus) {
+    // Pairwise Spearman correlation of raw sizes between all track pairs.
+    double min_size_corr = 1.0;
+    for (std::size_t a = 0; a < v.num_tracks(); ++a) {
+      for (std::size_t b = a + 1; b < v.num_tracks(); ++b) {
+        min_size_corr = std::min(
+            min_size_corr, stats::spearman(v.track(a).chunk_sizes_bits(),
+                                           v.track(b).chunk_sizes_bits()));
+      }
+    }
+    // Pearson correlation of the *category sequences* (the paper's c_{l,i})
+    // between all track pairs, classifying each track by its own quartiles.
+    std::vector<std::vector<double>> cats(v.num_tracks());
+    for (std::size_t l = 0; l < v.num_tracks(); ++l) {
+      const core::ComplexityClassifier c(v, l, 4);
+      for (std::size_t i = 0; i < v.num_chunks(); ++i) {
+        cats[l].push_back(static_cast<double>(c.class_of(i)) + 1.0);
+      }
+    }
+    double min_cat_corr = 1.0;
+    for (std::size_t a = 0; a < v.num_tracks(); ++a) {
+      for (std::size_t b = a + 1; b < v.num_tracks(); ++b) {
+        min_cat_corr = std::min(min_cat_corr,
+                                stats::pearson(cats[a], cats[b]));
+      }
+    }
+    // Exact agreement with the middle-track classification.
+    const core::ComplexityClassifier mid(v);
+    double worst_agree = 100.0;
+    for (std::size_t l = 0; l < v.num_tracks(); ++l) {
+      const core::ComplexityClassifier c(v, l, 4);
+      std::size_t agree = 0;
+      for (std::size_t i = 0; i < v.num_chunks(); ++i) {
+        agree += c.class_of(i) == mid.class_of(i) ? 1 : 0;
+      }
+      worst_agree = std::min(worst_agree,
+                             100.0 * static_cast<double>(agree) /
+                                 static_cast<double>(v.num_chunks()));
+    }
+    table.add_row({v.name(), bench::fmt(min_size_corr, 3),
+                   bench::fmt(min_cat_corr, 3), bench::fmt(worst_agree, 1)});
+  }
+  table.print(
+      "Section 3.1.1: cross-track chunk-size category consistency "
+      "(paper: all correlations close to 1)");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Section 3.3 — VBR with a larger (4x) cap: Q4 chunks remain significantly
+// lower quality than Q1-Q3 even when the cap is relaxed. The paper reports,
+// for the 480p track under the VMAF phone model: Q4 median 79 vs 88/88/85
+// for Q1-Q3.
+#include <cstdio>
+
+#include "common.h"
+#include "core/complexity_classifier.h"
+#include "metrics/stats.h"
+
+namespace {
+
+void report(const vbr::video::Video& v, const char* label) {
+  using namespace vbr;
+  const core::ComplexityClassifier cls(v);
+  const video::Track& mid = v.track(v.middle_track());
+  std::vector<std::vector<double>> per_class(4);
+  for (std::size_t i = 0; i < v.num_chunks(); ++i) {
+    per_class[cls.class_of(i)].push_back(mid.chunk(i).quality.vmaf_phone);
+  }
+  std::printf("%-10s 480p VMAF-phone medians: Q1 %.0f | Q2 %.0f | Q3 %.0f | "
+              "Q4 %.0f   (top-track peak/avg %.2fx)\n",
+              label, stats::median(per_class[0]),
+              stats::median(per_class[1]), stats::median(per_class[2]),
+              stats::median(per_class[3]),
+              v.track(v.num_tracks() - 1).peak_to_average());
+}
+
+}  // namespace
+
+int main() {
+  using namespace vbr;
+  std::printf("Section 3.3: quality per quartile under 2x vs 4x bitrate "
+              "caps (Elephant Dream, FFmpeg-style, H.264)\n");
+  std::printf("Paper (4x): Q4 median 79 vs Q1-Q3 88/88/85 — the gap "
+              "persists at larger caps.\n\n");
+
+  const video::Video v2 = video::make_video(
+      "ED-2x", video::Genre::kAnimation, video::Codec::kH264, 2.0, 2.0,
+      bench::kCorpusSeed + 0x11, 600.0);
+  const video::Video v4 = video::make_video(
+      "ED-4x", video::Genre::kAnimation, video::Codec::kH264, 2.0, 4.0,
+      bench::kCorpusSeed + 0x11, 600.0);
+  report(v2, "2x cap:");
+  report(v4, "4x cap:");
+
+  std::printf("\nShape check: Q4 well below Q1-Q3 under both caps; the 4x "
+              "encode shows higher peak/avg variability.\n");
+  return 0;
+}

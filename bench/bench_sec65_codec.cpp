@@ -1,0 +1,53 @@
+// Section 6.5 — codec impact: under H.265, every scheme improves (the same
+// ladder costs ~62% of the H.264 bits), and CAVA still outperforms the
+// baselines. Paper: vs RobustMPC / PANDA max-min, CAVA's Q4 quality is
+// +7..12, low-quality chunks -51..-82%, rebuffering -52..-91%, quality
+// change -27..-72%, with similar data usage.
+#include <cstdio>
+
+#include "common.h"
+
+int main(int argc, char** argv) {
+  using namespace vbr;
+  const std::size_t num_traces = argc > 1 ? std::stoul(argv[1]) : 100;
+  const auto traces = bench::lte_traces(num_traces);
+
+  const std::vector<std::string> schemes = {"CAVA", "RobustMPC",
+                                            "PANDA/CQ max-min"};
+  bench::Table table({"codec", "scheme", "Q4 qual", "low-qual %",
+                      "rebuf (s)", "qual change", "data (MB)"});
+
+  sim::ExperimentResult h264_cava;
+  sim::ExperimentResult h265_cava;
+  for (const video::Codec codec :
+       {video::Codec::kH264, video::Codec::kH265}) {
+    const video::Video ed = video::make_video(
+        codec == video::Codec::kH264 ? "ED-ffmpeg-h264" : "ED-ffmpeg-h265",
+        video::Genre::kAnimation, codec, 2.0, 2.0, bench::kCorpusSeed + 0x11,
+        600.0);
+    for (const std::string& s : schemes) {
+      sim::ExperimentSpec spec;
+      spec.video = &ed;
+      spec.traces = traces;
+      spec.make_scheme = bench::scheme_factory(s);
+      const sim::ExperimentResult r = sim::run_experiment(spec);
+      table.add_row({to_string(codec), s, bench::fmt(r.mean_q4_quality, 1),
+                     bench::fmt(r.mean_low_quality_pct, 1),
+                     bench::fmt(r.mean_rebuffer_s, 2),
+                     bench::fmt(r.mean_quality_change, 2),
+                     bench::fmt(r.mean_data_usage_mb, 1)});
+      if (s == "CAVA") {
+        (codec == video::Codec::kH264 ? h264_cava : h265_cava) = r;
+      }
+    }
+  }
+  table.print("Section 6.5: codec impact (ED, " +
+              std::to_string(num_traces) + " LTE traces)");
+  std::printf("\nShape checks: every scheme improves under H.265 (lower "
+              "bitrate requirement); CAVA stays ahead under both codecs.\n");
+  std::printf("CAVA rebuffering: H.264 %.2f s -> H.265 %.2f s; data usage "
+              "%.1f MB -> %.1f MB\n",
+              h264_cava.mean_rebuffer_s, h265_cava.mean_rebuffer_s,
+              h264_cava.mean_data_usage_mb, h265_cava.mean_data_usage_mb);
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Section 6.7 — sensitivity to bandwidth prediction error: the prediction
+// is an oracle perturbed uniformly within (1 +/- err), err in {0, 25%, 50%}.
+// Paper: CAVA is insensitive (control-theoretic feedback corrects the
+// error); MPC rebuffers and uses much more data at err = 50%; PANDA/CQ
+// max-min rebuffers noticeably more.
+#include <cstdio>
+#include <memory>
+
+#include "common.h"
+#include "net/error_model.h"
+
+int main(int argc, char** argv) {
+  using namespace vbr;
+  const std::size_t num_traces = argc > 1 ? std::stoul(argv[1]) : 100;
+  const video::Video ed = video::make_video(
+      "ED-ffmpeg-h264", video::Genre::kAnimation, video::Codec::kH264, 2.0,
+      2.0, bench::kCorpusSeed + 0x11, 600.0);
+  const auto traces = bench::lte_traces(num_traces);
+
+  bench::Table table({"scheme", "err", "Q4 qual", "low-qual %", "rebuf (s)",
+                      "data (MB)"});
+  for (const std::string& s :
+       {std::string("CAVA"), std::string("MPC"),
+        std::string("PANDA/CQ max-min")}) {
+    for (const double err : {0.0, 0.25, 0.50}) {
+      sim::ExperimentSpec spec;
+      spec.video = &ed;
+      spec.traces = traces;
+      spec.make_scheme = bench::scheme_factory(s);
+      spec.make_estimator = [err](const net::Trace& t) {
+        return std::make_unique<net::NoisyOracleEstimator>(
+            t, err, /*seed=*/0xE44);
+      };
+      const sim::ExperimentResult r = sim::run_experiment(spec);
+      table.add_row({s, bench::fmt(100.0 * err, 0) + "%",
+                     bench::fmt(r.mean_q4_quality, 1),
+                     bench::fmt(r.mean_low_quality_pct, 1),
+                     bench::fmt(r.mean_rebuffer_s, 2),
+                     bench::fmt(r.mean_data_usage_mb, 1)});
+    }
+  }
+  table.print("Section 6.7: bandwidth prediction error sweep (" +
+              std::to_string(num_traces) + " LTE traces, noisy oracle)");
+  std::printf("\nShape check: CAVA's rows barely move from err=0%% to 50%% "
+              "(feedback absorbs the error); MPC and PANDA degrade "
+              "with err.\n");
+  return 0;
+}

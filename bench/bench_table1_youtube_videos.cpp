@@ -1,0 +1,95 @@
+// Table 1 — CAVA vs RobustMPC and PANDA/CQ max-min across the 8
+// YouTube-style videos under LTE traces, and the 4 open titles under FCC
+// traces. Each cell shows CAVA's change relative to the baseline:
+// Q4 quality as a VMAF delta; the other four metrics as percentages.
+// Paper: Q4 +8..18 (vs RobustMPC) / +3..9 (vs PANDA); low-quality
+// -4..-87%; stalls -62..-95%; quality changes -25..-48%; data -1..-11%.
+#include <cstdio>
+
+#include "common.h"
+
+namespace {
+
+using namespace vbr;
+
+struct Cell {
+  double q4_delta;
+  std::string low, stall, change, data;
+};
+
+Cell compare(const sim::ExperimentResult& cava,
+             const sim::ExperimentResult& base) {
+  return Cell{
+      cava.mean_q4_quality - base.mean_q4_quality,
+      bench::pct_delta(cava.mean_low_quality_pct, base.mean_low_quality_pct),
+      bench::pct_delta(cava.mean_rebuffer_s, base.mean_rebuffer_s),
+      bench::pct_delta(cava.mean_quality_change, base.mean_quality_change),
+      bench::pct_delta(cava.mean_data_usage_mb, base.mean_data_usage_mb)};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t num_traces = argc > 1 ? std::stoul(argv[1]) : 100;
+  const auto lte = bench::lte_traces(num_traces);
+  const auto fcc = bench::fcc_traces(num_traces);
+
+  std::printf("Table 1: CAVA relative to RobustMPC / PANDA-CQ-max-min "
+              "(%zu traces per set)\n",
+              num_traces);
+  std::printf("Cells: first value vs RobustMPC, second vs PANDA max-min.\n");
+
+  bench::Table table({"set", "video", "Q4 qual (VMAF delta)",
+                      "low-qual chunks", "stall dur", "quality changes",
+                      "data usage"});
+
+  struct Block {
+    const char* label;
+    std::vector<std::string> videos;
+    std::span<const vbr::net::Trace> traces;
+    vbr::video::QualityMetric metric;
+  };
+  const std::vector<vbr::video::Video> yt = vbr::video::make_youtube_corpus();
+  const Block blocks[] = {
+      {"LTE",
+       {"BBB-yt", "ED-yt", "Sintel-yt", "ToS-yt", "Animal-yt", "Nature-yt",
+        "Sports-yt", "Action-yt"},
+       lte,
+       vbr::video::QualityMetric::kVmafPhone},
+      {"FCC",
+       {"BBB-yt", "ED-yt", "Sintel-yt", "ToS-yt"},
+       fcc,
+       vbr::video::QualityMetric::kVmafTv},
+  };
+
+  for (const Block& block : blocks) {
+    for (const std::string& name : block.videos) {
+      const vbr::video::Video& v = vbr::video::find_video(yt, name);
+      auto run = [&](const std::string& scheme) {
+        vbr::sim::ExperimentSpec spec;
+        spec.video = &v;
+        spec.traces = block.traces;
+        spec.make_scheme = bench::scheme_factory(scheme, block.metric);
+        spec.metric = block.metric;
+        return vbr::sim::run_experiment(spec);
+      };
+      const auto cava = run("CAVA");
+      const auto rmpc = run("RobustMPC");
+      const auto panda = run("PANDA/CQ max-min");
+      const Cell a = compare(cava, rmpc);
+      const Cell b = compare(cava, panda);
+      auto updown = [](double d) {
+        return (d >= 0 ? std::string("+") : std::string("")) +
+               bench::fmt(d, 1);
+      };
+      table.add_row({block.label, name,
+                     updown(a.q4_delta) + ", " + updown(b.q4_delta),
+                     a.low + ", " + b.low, a.stall + ", " + b.stall,
+                     a.change + ", " + b.change, a.data + ", " + b.data});
+      std::printf("  done %s/%s\n", block.label, name.c_str());
+    }
+  }
+  table.print("Table 1 (higher Q4 delta better; negative %% better "
+              "elsewhere)");
+  return 0;
+}

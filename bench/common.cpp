@@ -1,0 +1,187 @@
+#include "common.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+#include "abr/bba.h"
+#include "abr/bola.h"
+#include "abr/mpc.h"
+#include "abr/panda_cq.h"
+#include "abr/rba.h"
+#include "metrics/stats.h"
+
+namespace bench {
+
+std::vector<vbr::net::Trace> lte_traces(std::size_t count) {
+  return vbr::net::make_lte_trace_set(count, kLteSeed);
+}
+
+std::vector<vbr::net::Trace> fcc_traces(std::size_t count) {
+  return vbr::net::make_fcc_trace_set(count, kFccSeed);
+}
+
+vbr::sim::SchemeFactory scheme_factory(const std::string& name,
+                                       vbr::video::QualityMetric metric) {
+  using namespace vbr;
+  if (name == "CAVA") {
+    return [] { return core::make_cava_p123(); };
+  }
+  if (name == "CAVA-p1") {
+    return [] { return core::make_cava_p1(); };
+  }
+  if (name == "CAVA-p12") {
+    return [] { return core::make_cava_p12(); };
+  }
+  if (name == "MPC") {
+    return [] { return std::make_unique<abr::Mpc>(abr::mpc_config()); };
+  }
+  if (name == "RobustMPC") {
+    return [] { return std::make_unique<abr::Mpc>(abr::robust_mpc_config()); };
+  }
+  if (name == "PANDA/CQ max-sum") {
+    return [metric] {
+      abr::PandaCqConfig c;
+      c.criterion = abr::PandaCriterion::kMaxSum;
+      c.metric = metric;
+      return std::make_unique<abr::PandaCq>(c);
+    };
+  }
+  if (name == "PANDA/CQ max-min") {
+    return [metric] {
+      abr::PandaCqConfig c;
+      c.criterion = abr::PandaCriterion::kMaxMin;
+      c.metric = metric;
+      return std::make_unique<abr::PandaCq>(c);
+    };
+  }
+  if (name == "BBA-1") {
+    return [] { return std::make_unique<abr::Bba>(); };
+  }
+  if (name == "RBA") {
+    return [] { return std::make_unique<abr::Rba>(); };
+  }
+  if (name == "BOLA-E (peak)") {
+    return [] {
+      abr::BolaConfig c;
+      c.size_view = abr::BolaSizeView::kPeak;
+      return std::make_unique<abr::Bola>(c);
+    };
+  }
+  if (name == "BOLA-E (avg)") {
+    return [] {
+      abr::BolaConfig c;
+      c.size_view = abr::BolaSizeView::kAvg;
+      return std::make_unique<abr::Bola>(c);
+    };
+  }
+  if (name == "BOLA-E (seg)") {
+    return [] {
+      abr::BolaConfig c;
+      c.size_view = abr::BolaSizeView::kSegment;
+      return std::make_unique<abr::Bola>(c);
+    };
+  }
+  throw std::invalid_argument("scheme_factory: unknown scheme " + name);
+}
+
+void print_cdf(const std::string& title, std::span<const double> samples) {
+  print_cdfs(title, {"F(x)"},
+             {std::vector<double>(samples.begin(), samples.end())});
+}
+
+void print_cdfs(const std::string& title,
+                const std::vector<std::string>& names,
+                const std::vector<std::vector<double>>& series,
+                std::size_t points) {
+  if (names.size() != series.size() || series.empty()) {
+    throw std::invalid_argument("print_cdfs: names/series mismatch");
+  }
+  std::printf("\n== %s ==\n", title.c_str());
+  double lo = 1e300;
+  double hi = -1e300;
+  std::vector<vbr::stats::EmpiricalCdf> cdfs;
+  cdfs.reserve(series.size());
+  for (const std::vector<double>& s : series) {
+    cdfs.emplace_back(s);
+    lo = std::min(lo, cdfs.back().sorted_samples().front());
+    hi = std::max(hi, cdfs.back().sorted_samples().back());
+  }
+  std::printf("%10s", "x");
+  for (const std::string& n : names) {
+    std::printf("  %18s", n.c_str());
+  }
+  if (cdfs.size() == 1) {
+    std::printf("  %s", "F(x) bar");
+  }
+  std::printf("\n");
+  for (std::size_t i = 0; i < points; ++i) {
+    const double x = lo + (hi - lo) * static_cast<double>(i) /
+                              static_cast<double>(points - 1);
+    std::printf("%10.2f", x);
+    for (const vbr::stats::EmpiricalCdf& c : cdfs) {
+      std::printf("  %18.3f", c.at(x));
+    }
+    if (cdfs.size() == 1) {
+      // Inline bar rendering for single-series CDFs.
+      const int width = static_cast<int>(cdfs[0].at(x) * 40.0 + 0.5);
+      std::printf("  %s", std::string(static_cast<std::size_t>(width), '#')
+                              .c_str());
+    }
+    std::printf("\n");
+  }
+}
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("Table: wrong cell count");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(const std::string& title) const {
+  std::printf("\n== %s ==\n", title.c_str());
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    width[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      std::printf("%-*s  ", static_cast<int>(width[c]), row[c].c_str());
+    }
+    std::printf("\n");
+  };
+  print_row(headers_);
+  std::size_t total = 0;
+  for (const std::size_t w : width) {
+    total += w + 2;
+  }
+  std::printf("%s\n", std::string(total, '-').c_str());
+  for (const auto& row : rows_) {
+    print_row(row);
+  }
+}
+
+std::string fmt(double v, int prec) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+  return buf;
+}
+
+std::string pct_delta(double cava, double baseline) {
+  if (baseline == 0.0) {
+    return cava == 0.0 ? "0%" : "n/a";
+  }
+  const double pct = 100.0 * (cava - baseline) / baseline;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%+.0f%%", pct);
+  return buf;
+}
+
+}  // namespace bench

@@ -1,0 +1,64 @@
+// Shared helpers for the reproduction benchmarks: canonical corpus/trace
+// construction (fixed seeds so every binary sees the same data), scheme
+// factories matching the paper's comparison set, and plain-text rendering of
+// CDFs and tables.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/cava.h"
+#include "net/trace_gen.h"
+#include "sim/experiment.h"
+#include "video/dataset.h"
+
+namespace bench {
+
+/// Canonical dataset seeds (shared across all binaries).
+inline constexpr std::uint64_t kCorpusSeed = 42;
+inline constexpr std::uint64_t kLteSeed = 7;
+inline constexpr std::uint64_t kFccSeed = 11;
+
+/// Number of traces per set. The paper uses 200; benches default lower where
+/// runtime would be excessive, and say so in their output.
+[[nodiscard]] std::vector<vbr::net::Trace> lte_traces(std::size_t count);
+[[nodiscard]] std::vector<vbr::net::Trace> fcc_traces(std::size_t count);
+
+/// Named scheme factory for the paper's comparison set. Valid names:
+/// "CAVA", "CAVA-p1", "CAVA-p12", "MPC", "RobustMPC",
+/// "PANDA/CQ max-sum", "PANDA/CQ max-min", "BBA-1", "RBA",
+/// "BOLA-E (peak)", "BOLA-E (avg)", "BOLA-E (seg)".
+/// `metric` configures quality-aware schemes (PANDA/CQ).
+[[nodiscard]] vbr::sim::SchemeFactory scheme_factory(
+    const std::string& name,
+    vbr::video::QualityMetric metric = vbr::video::QualityMetric::kVmafPhone);
+
+/// Prints a CDF as "x f(x)" rows under a header, 21 evaluation points.
+void print_cdf(const std::string& title, std::span<const double> samples);
+
+/// Prints several CDFs side by side (common x-grid), one column per series.
+void print_cdfs(const std::string& title,
+                const std::vector<std::string>& names,
+                const std::vector<std::vector<double>>& series,
+                std::size_t points = 21);
+
+/// Simple fixed-width table renderer.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+  void add_row(std::vector<std::string> cells);
+  void print(const std::string& title) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `prec` digits after the point.
+[[nodiscard]] std::string fmt(double v, int prec = 1);
+
+/// Formats "CAVA minus baseline" as a signed percentage of the baseline.
+[[nodiscard]] std::string pct_delta(double cava, double baseline);
+
+}  // namespace bench

@@ -1,0 +1,81 @@
+// Dataset explorer: builds the 16-video corpus and prints the Section 2/3
+// characterization — per-track bitrate statistics (coefficient of variation,
+// peak-to-average ratio), cross-track size-rank consistency, and per-quartile
+// encoding quality — the properties that motivate CAVA's design principles.
+//
+//   $ ./dataset_explorer
+#include <cstdio>
+#include <vector>
+
+#include "core/complexity_classifier.h"
+#include "metrics/stats.h"
+#include "video/dataset.h"
+
+namespace {
+
+void characterize(const vbr::video::Video& v) {
+  using namespace vbr;
+  std::printf("\n%s (%s, %s, %.0f s chunks)\n", v.name().c_str(),
+              to_string(v.genre()).c_str(), to_string(v.codec()).c_str(),
+              v.chunk_duration_s());
+
+  // Per-track bitrate statistics.
+  std::printf("  %-6s %-10s %-10s %-9s %-9s\n", "track", "res", "avg Mbps",
+              "CoV", "peak/avg");
+  for (const video::Track& t : v.tracks()) {
+    const std::vector<double> rates = t.chunk_bitrates_bps();
+    std::printf("  %-6d %-10s %-10.2f %-9.2f %-9.2f\n", t.level(),
+                t.resolution().label().c_str(),
+                t.average_bitrate_bps() / 1e6,
+                stats::coefficient_of_variation(rates), t.peak_to_average());
+  }
+
+  // Cross-track chunk-size rank correlation (paper: close to 1).
+  const std::vector<double> mid =
+      v.track(v.middle_track()).chunk_sizes_bits();
+  double min_corr = 1.0;
+  for (std::size_t l = 0; l < v.num_tracks(); ++l) {
+    if (l == v.middle_track()) {
+      continue;
+    }
+    min_corr = std::min(
+        min_corr, stats::spearman(v.track(l).chunk_sizes_bits(), mid));
+  }
+  std::printf("  min cross-track size rank correlation vs middle: %.3f\n",
+              min_corr);
+
+  // Per-quartile quality on the middle (480p) track.
+  const core::ComplexityClassifier cls(v);
+  const video::Track& ref = v.track(v.middle_track());
+  for (std::size_t q = 0; q < cls.num_classes(); ++q) {
+    std::vector<double> vmaf;
+    std::vector<double> bits;
+    for (std::size_t i = 0; i < v.num_chunks(); ++i) {
+      if (cls.class_of(i) == q) {
+        vmaf.push_back(ref.chunk(i).quality.vmaf_phone);
+        bits.push_back(ref.chunk(i).size_bits);
+      }
+    }
+    if (vmaf.empty()) {
+      continue;
+    }
+    std::printf(
+        "  Q%zu chunks (480p): median size %7.0f bits, median VMAF-phone "
+        "%5.1f\n",
+        q + 1, stats::median(bits), stats::median(vmaf));
+  }
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<vbr::video::Video> corpus =
+      vbr::video::make_full_corpus();
+  std::printf("corpus: %zu videos\n", corpus.size());
+  for (const vbr::video::Video& v : corpus) {
+    characterize(v);
+  }
+  std::printf("\n-- 4x-capped variant (Sections 3.3 / 6.6) --\n");
+  characterize(vbr::video::make_4x_capped_video());
+  return 0;
+}

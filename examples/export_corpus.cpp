@@ -1,0 +1,65 @@
+// Exports the full synthetic corpus and trace sets to disk as DASH-like
+// manifests (.mpd.txt) and trace files (.trace), so external tooling — or a
+// future session of this library — can consume them without regenerating.
+//
+//   $ ./export_corpus [output_dir] [num_traces]
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "net/trace_gen.h"
+#include "net/trace_io.h"
+#include "video/dataset.h"
+#include "video/manifest.h"
+
+int main(int argc, char** argv) {
+  using namespace vbr;
+  const std::string out_dir = argc > 1 ? argv[1] : "corpus_export";
+  const std::size_t num_traces =
+      argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 20;
+
+  std::error_code ec;
+  std::filesystem::create_directories(out_dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "cannot create %s: %s\n", out_dir.c_str(),
+                 ec.message().c_str());
+    return 1;
+  }
+
+  std::size_t manifests = 0;
+  for (const video::Video& v : video::make_full_corpus()) {
+    const std::string path = out_dir + "/" + v.name() + ".mpd.txt";
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", path.c_str());
+      return 1;
+    }
+    video::write_manifest(out, v);
+    ++manifests;
+  }
+  std::printf("wrote %zu manifests to %s/\n", manifests, out_dir.c_str());
+
+  const auto lte = net::make_lte_trace_set(num_traces, 7);
+  const auto fcc = net::make_fcc_trace_set(num_traces, 11);
+  const auto lte_paths = net::write_trace_set(out_dir, lte);
+  const auto fcc_paths = net::write_trace_set(out_dir, fcc);
+  std::printf("wrote %zu LTE and %zu FCC traces\n", lte_paths.size(),
+              fcc_paths.size());
+
+  // Round-trip check: parse one of each back.
+  {
+    std::ifstream in(out_dir + "/" + lte[0].name() + ".trace");
+    const net::Trace t = net::read_trace(in);
+    std::printf("verify: %s mean %.2f Mbps (original %.2f)\n",
+                t.name().c_str(), t.average_bandwidth_bps() / 1e6,
+                lte[0].average_bandwidth_bps() / 1e6);
+  }
+  {
+    std::ifstream in(out_dir + "/ED-ffmpeg-h264.mpd.txt");
+    const video::Video v = video::read_manifest(in);
+    std::printf("verify: %s with %zu tracks x %zu chunks parsed back\n",
+                v.name().c_str(), v.num_tracks(), v.num_chunks());
+  }
+  return 0;
+}

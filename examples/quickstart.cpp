@@ -1,0 +1,63 @@
+// Quickstart: build one VBR video and one LTE trace, stream it with CAVA,
+// and print the per-session QoE — the smallest end-to-end use of the public
+// API.
+//
+//   $ ./quickstart
+#include <cstdio>
+
+#include "core/cava.h"
+#include "core/complexity_classifier.h"
+#include "metrics/qoe.h"
+#include "net/bandwidth_estimator.h"
+#include "net/trace_gen.h"
+#include "sim/session.h"
+#include "video/dataset.h"
+
+int main() {
+  using namespace vbr;
+
+  // 1. A ~10-minute VBR video: six tracks (144p..1080p), 2-second chunks,
+  //    2x-capped, H.264 — the paper's FFmpeg-style encode of Elephant Dream.
+  const video::Video ed = video::make_video(
+      "ED", video::Genre::kAnimation, video::Codec::kH264,
+      /*chunk_duration_s=*/2.0, /*cap_factor=*/2.0, /*seed=*/42);
+  std::printf("video: %s, %zu tracks, %zu chunks of %.0f s\n",
+              ed.name().c_str(), ed.num_tracks(), ed.num_chunks(),
+              ed.chunk_duration_s());
+  for (const video::Track& t : ed.tracks()) {
+    std::printf("  track %d (%s): avg %.2f Mbps, peak/avg %.2fx\n",
+                t.level(), t.resolution().label().c_str(),
+                t.average_bitrate_bps() / 1e6, t.peak_to_average());
+  }
+
+  // 2. A synthetic LTE drive trace.
+  const net::Trace trace = net::generate_lte_trace(/*seed=*/1);
+  std::printf("trace: %s, %.0f s, mean %.2f Mbps\n", trace.name().c_str(),
+              trace.duration_s(), trace.average_bandwidth_bps() / 1e6);
+
+  // 3. Stream it with CAVA and the paper's default estimator.
+  core::Cava cava;
+  net::HarmonicMeanEstimator estimator(5);
+  const sim::SessionResult session =
+      sim::run_session(ed, trace, cava, estimator);
+
+  // 4. QoE per the paper's five metrics (VMAF phone model on cellular).
+  const core::ComplexityClassifier classifier(ed);
+  const metrics::QoeSummary qoe = metrics::compute_qoe(
+      session.to_played_chunks(video::QualityMetric::kVmafPhone,
+                               classifier.classes()),
+      session.total_rebuffer_s, session.startup_delay_s);
+
+  std::printf("\nCAVA session results:\n");
+  std::printf("  Q4 (complex-scene) quality : mean %.1f / median %.1f VMAF\n",
+              qoe.q4_quality_mean, qoe.q4_quality_median);
+  std::printf("  Q1-Q3 quality              : mean %.1f VMAF\n",
+              qoe.q13_quality_mean);
+  std::printf("  low-quality chunks (<40)   : %.1f%%\n", qoe.low_quality_pct);
+  std::printf("  rebuffering                : %.2f s\n", qoe.rebuffer_s);
+  std::printf("  startup delay              : %.2f s\n", qoe.startup_delay_s);
+  std::printf("  avg quality change / chunk : %.2f VMAF\n",
+              qoe.avg_quality_change);
+  std::printf("  data usage                 : %.1f MB\n", qoe.data_usage_mb);
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Scheme face-off: run CAVA and the baseline ABR schemes over a set of LTE
+// traces on one video, and print the paper's five QoE metrics side by side
+// (the Section 6.3 comparison in miniature).
+//
+//   $ ./scheme_faceoff [num_traces]
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "abr/bba.h"
+#include "abr/bola.h"
+#include "abr/mpc.h"
+#include "abr/panda_cq.h"
+#include "abr/rba.h"
+#include "core/cava.h"
+#include "net/trace_gen.h"
+#include "sim/experiment.h"
+#include "video/dataset.h"
+
+int main(int argc, char** argv) {
+  using namespace vbr;
+  const std::size_t num_traces =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 50;
+
+  const video::Video ed = video::make_video(
+      "ED-ffmpeg-h264", video::Genre::kAnimation, video::Codec::kH264, 2.0,
+      2.0, /*seed=*/42);
+  const std::vector<net::Trace> traces =
+      net::make_lte_trace_set(num_traces, /*seed=*/7);
+
+  struct Entry {
+    const char* name;
+    sim::SchemeFactory factory;
+  };
+  const std::vector<Entry> schemes = {
+      {"CAVA", [] { return core::make_cava_p123(); }},
+      {"MPC",
+       [] { return std::make_unique<abr::Mpc>(abr::mpc_config()); }},
+      {"RobustMPC",
+       [] { return std::make_unique<abr::Mpc>(abr::robust_mpc_config()); }},
+      {"PANDA/CQ max-min",
+       [] {
+         abr::PandaCqConfig c;
+         c.criterion = abr::PandaCriterion::kMaxMin;
+         return std::make_unique<abr::PandaCq>(c);
+       }},
+      {"PANDA/CQ max-sum",
+       [] {
+         abr::PandaCqConfig c;
+         c.criterion = abr::PandaCriterion::kMaxSum;
+         return std::make_unique<abr::PandaCq>(c);
+       }},
+      {"BOLA-E (seg)",
+       [] {
+         abr::BolaConfig c;
+         c.size_view = abr::BolaSizeView::kSegment;
+         return std::make_unique<abr::Bola>(c);
+       }},
+      {"BBA-1", [] { return std::make_unique<abr::Bba>(); }},
+      {"RBA", [] { return std::make_unique<abr::Rba>(); }},
+  };
+
+  std::printf("video %s over %zu LTE traces (VMAF phone model)\n",
+              ed.name().c_str(), traces.size());
+  std::printf("%-18s %8s %8s %8s %8s %8s %8s\n", "scheme", "Q4qual",
+              "Q13qual", "low%", "rebuf(s)", "change", "MB");
+  for (const Entry& e : schemes) {
+    sim::ExperimentSpec spec;
+    spec.video = &ed;
+    spec.traces = traces;
+    spec.make_scheme = e.factory;
+    const sim::ExperimentResult r = sim::run_experiment(spec);
+    std::printf("%-18s %8.1f %8.1f %8.1f %8.2f %8.2f %8.1f\n", e.name,
+                r.mean_q4_quality, r.mean_q13_quality,
+                r.mean_low_quality_pct, r.mean_rebuffer_s,
+                r.mean_quality_change, r.mean_data_usage_mb);
+  }
+  return 0;
+}

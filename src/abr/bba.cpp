@@ -1,0 +1,73 @@
+#include "abr/bba.h"
+
+#include <stdexcept>
+
+namespace vbr::abr {
+
+Bba::Bba(BbaConfig config) : config_(config) {
+  if (config_.reservoir_s <= 0.0 || config_.cushion_fraction <= 0.0 ||
+      config_.cushion_fraction > 1.0) {
+    throw std::invalid_argument("Bba: bad config");
+  }
+}
+
+Decision Bba::decide(const StreamContext& ctx) {
+  validate_context(ctx);
+  const video::Video& v = *ctx.video;
+  const std::size_t top = v.num_tracks() - 1;
+  const double chunk_s = v.chunk_duration_s();
+
+  // Average chunk sizes of the ladder extremes define the chunk map range.
+  const double size_min = v.track(0).average_bitrate_bps() * chunk_s;
+  const double size_max = v.track(top).average_bitrate_bps() * chunk_s;
+
+  const double cushion_top = config_.cushion_fraction * ctx.max_buffer_s;
+  if (ctx.buffer_s <= config_.reservoir_s) {
+    return Decision{.track = 0};
+  }
+  if (ctx.buffer_s >= cushion_top) {
+    return Decision{.track = top};
+  }
+  // Linear chunk map across the cushion.
+  const double frac = (ctx.buffer_s - config_.reservoir_s) /
+                      (cushion_top - config_.reservoir_s);
+  const double allowed_size = size_min + frac * (size_max - size_min);
+
+  // Highest track whose *actual next chunk* fits in the allowed size.
+  std::size_t best = 0;
+  for (std::size_t l = 0; l <= top; ++l) {
+    if (v.chunk_size_bits(l, ctx.next_chunk) <= allowed_size) {
+      best = l;
+    }
+  }
+  return Decision{.track = best};
+}
+
+Bba0::Bba0(BbaConfig config) : config_(config) {
+  if (config_.reservoir_s <= 0.0 || config_.cushion_fraction <= 0.0 ||
+      config_.cushion_fraction > 1.0) {
+    throw std::invalid_argument("Bba0: bad config");
+  }
+}
+
+Decision Bba0::decide(const StreamContext& ctx) {
+  validate_context(ctx);
+  const video::Video& v = *ctx.video;
+  const std::size_t top = v.num_tracks() - 1;
+
+  const double cushion_top = config_.cushion_fraction * ctx.max_buffer_s;
+  if (ctx.buffer_s <= config_.reservoir_s) {
+    return Decision{.track = 0};
+  }
+  if (ctx.buffer_s >= cushion_top) {
+    return Decision{.track = top};
+  }
+  // Map the cushion position onto the declared average-bitrate range.
+  const double frac = (ctx.buffer_s - config_.reservoir_s) /
+                      (cushion_top - config_.reservoir_s);
+  const double lo = v.track(0).average_bitrate_bps();
+  const double hi = v.track(top).average_bitrate_bps();
+  return Decision{.track = highest_track_below(v, lo + frac * (hi - lo))};
+}
+
+}  // namespace vbr::abr

@@ -1,0 +1,47 @@
+// BBA-1: buffer-based adaptation (Huang et al., SIGCOMM 2014).
+//
+// A myopic scheme: buffer occupancy is mapped through a "chunk map" onto an
+// allowed chunk size, and the highest track whose *next chunk* fits is
+// selected. The chunk map spans from the average chunk size of the lowest
+// track (at the reservoir) to that of the highest track (at the top of the
+// cushion). The paper uses BBA-1 to illustrate how myopic schemes pick high
+// tracks for small (simple) chunks and low tracks for large (complex) ones —
+// the opposite of what VBR content needs (Section 4, Fig. 4).
+#pragma once
+
+#include "abr/scheme.h"
+
+namespace vbr::abr {
+
+struct BbaConfig {
+  double reservoir_s = 10.0;       ///< Below this buffer: lowest track.
+  double cushion_fraction = 0.9;   ///< Cushion tops out at this fraction of
+                                   ///< the max buffer.
+};
+
+class Bba final : public AbrScheme {
+ public:
+  explicit Bba(BbaConfig config = {});
+
+  [[nodiscard]] Decision decide(const StreamContext& ctx) override;
+  [[nodiscard]] std::string name() const override { return "BBA-1"; }
+
+ private:
+  BbaConfig config_;
+};
+
+/// BBA-0: the simpler variant that maps buffer occupancy linearly onto the
+/// *track ladder* (declared average bitrates), never looking at individual
+/// chunk sizes. Included for completeness of the buffer-based family.
+class Bba0 final : public AbrScheme {
+ public:
+  explicit Bba0(BbaConfig config = {});
+
+  [[nodiscard]] Decision decide(const StreamContext& ctx) override;
+  [[nodiscard]] std::string name() const override { return "BBA-0"; }
+
+ private:
+  BbaConfig config_;
+};
+
+}  // namespace vbr::abr

@@ -1,0 +1,114 @@
+#include "abr/bola.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace vbr::abr {
+
+Bola::Bola(BolaConfig config) : config_(config) {
+  if (config_.reservoir_s <= 0.0 ||
+      config_.target_buffer_s <= config_.reservoir_s ||
+      config_.insufficient_buffer_chunks < 0) {
+    throw std::invalid_argument("Bola: bad config");
+  }
+}
+
+double Bola::declared_size(const video::Video& v, std::size_t l,
+                           std::size_t chunk) const {
+  const double chunk_s = v.chunk_duration_s();
+  switch (config_.size_view) {
+    case BolaSizeView::kPeak:
+      return v.track(l).peak_bitrate_bps() * chunk_s;
+    case BolaSizeView::kAvg:
+      return v.track(l).average_bitrate_bps() * chunk_s;
+    case BolaSizeView::kSegment:
+      return v.chunk_size_bits(l, chunk);
+  }
+  return v.chunk_size_bits(l, chunk);
+}
+
+Decision Bola::decide(const StreamContext& ctx) {
+  validate_context(ctx);
+  const video::Video& v = *ctx.video;
+  const double chunk_s = v.chunk_duration_s();
+  const std::size_t num_tracks = v.num_tracks();
+
+  // Utilities, V and gp come from the declared *ladder* (stable across the
+  // stream, as dash.js derives them from manifest bitrates); the size view
+  // only affects the score denominators below.
+  std::vector<double> utility(num_tracks);
+  for (std::size_t l = 0; l < num_tracks; ++l) {
+    utility[l] = std::log(v.track(l).average_bitrate_bps() /
+                          v.track(0).average_bitrate_bps());
+  }
+  const double v_max = utility.back();
+
+  std::vector<double> size(num_tracks);
+  for (std::size_t l = 0; l < num_tracks; ++l) {
+    size[l] = declared_size(v, l, ctx.next_chunk);
+  }
+
+  // Derive gp and V so that: the lowest track's score crosses zero at the
+  // reservoir, and the top track's score crosses zero at the buffer target.
+  const double target_chunks = std::max(
+      std::min(config_.target_buffer_s, ctx.max_buffer_s) / chunk_s, 2.0);
+  const double reservoir_chunks =
+      std::clamp(config_.reservoir_s / chunk_s, 0.5, target_chunks - 1.0);
+  const double gp = std::max(
+      v_max * reservoir_chunks / (target_chunks - reservoir_chunks), 1e-6);
+  const double big_v = target_chunks / (v_max + gp);
+
+  const double q_chunks = ctx.buffer_s / chunk_s;
+
+  std::size_t best = 0;
+  double best_score = -1e300;
+  for (std::size_t l = 0; l < num_tracks; ++l) {
+    const double score = (big_v * (utility[l] + gp) - q_chunks) / size[l];
+    if (score > best_score) {
+      best_score = score;
+      best = l;
+    }
+  }
+
+  // All scores negative: the buffer is above the BOLA target; idle until the
+  // top candidate's score returns to zero.
+  if (best_score < 0.0) {
+    const double resume_chunks = big_v * (utility[best] + gp);
+    const double wait_s = std::max((q_chunks - resume_chunks) * chunk_s, 0.1);
+    return Decision{.track = best, .wait_s = wait_s};
+  }
+
+  // BOLA-E insufficient-buffer rule: with a thin buffer, do not pick a track
+  // whose declared bitrate exceeds the estimated throughput.
+  const double q_floor =
+      static_cast<double>(config_.insufficient_buffer_chunks);
+  if (q_chunks < q_floor && ctx.est_bandwidth_bps > 0.0) {
+    while (best > 0 &&
+           size[best] / chunk_s > ctx.est_bandwidth_bps) {
+      --best;
+    }
+  }
+
+  // BOLA-E oscillation guard: move up at most one level per decision.
+  if (config_.cap_upswitch && ctx.prev_track >= 0 &&
+      best > static_cast<std::size_t>(ctx.prev_track) + 1) {
+    best = static_cast<std::size_t>(ctx.prev_track) + 1;
+  }
+  return Decision{.track = best};
+}
+
+std::string Bola::name() const {
+  switch (config_.size_view) {
+    case BolaSizeView::kPeak:
+      return "BOLA-E (peak)";
+    case BolaSizeView::kAvg:
+      return "BOLA-E (avg)";
+    case BolaSizeView::kSegment:
+      return "BOLA-E (seg)";
+  }
+  return "BOLA-E";
+}
+
+}  // namespace vbr::abr

@@ -1,0 +1,59 @@
+#include "abr/festive.h"
+
+#include <stdexcept>
+
+namespace vbr::abr {
+
+Festive::Festive(FestiveConfig config) : config_(config) {
+  if (config_.bandwidth_safety <= 0.0 || config_.up_patience < 1 ||
+      config_.min_switch_interval < 0) {
+    throw std::invalid_argument("Festive: bad config");
+  }
+}
+
+Decision Festive::decide(const StreamContext& ctx) {
+  validate_context(ctx);
+  if (ctx.est_bandwidth_bps <= 0.0) {
+    throw std::invalid_argument("Festive: non-positive bandwidth estimate");
+  }
+  const video::Video& v = *ctx.video;
+  const std::size_t target = highest_track_below(
+      v, config_.bandwidth_safety * ctx.est_bandwidth_bps);
+
+  if (ctx.prev_track < 0) {
+    // First chunk: start at the target directly.
+    chunks_since_switch_ = 0;
+    return Decision{.track = target};
+  }
+  const auto prev = static_cast<std::size_t>(ctx.prev_track);
+
+  std::size_t chosen = prev;
+  if (target > prev) {
+    ++up_streak_;
+    if (up_streak_ >= config_.up_patience &&
+        chunks_since_switch_ >= config_.min_switch_interval) {
+      chosen = prev + 1;  // gradual up-switch
+    }
+  } else if (target < prev) {
+    up_streak_ = 0;
+    // Down-switches are immediate; step when close, jump when far.
+    chosen = target + 1 < prev ? target : prev - 1;
+  } else {
+    up_streak_ = 0;
+  }
+
+  if (chosen != prev) {
+    up_streak_ = 0;
+    chunks_since_switch_ = 0;
+  } else {
+    ++chunks_since_switch_;
+  }
+  return Decision{.track = chosen};
+}
+
+void Festive::reset() {
+  up_streak_ = 0;
+  chunks_since_switch_ = 1 << 20;
+}
+
+}  // namespace vbr::abr

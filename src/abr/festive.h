@@ -1,0 +1,40 @@
+// FESTIVE (Jiang et al., CoNEXT 2012) — the classic rate-based scheme with
+// stability machinery, cited by the paper among rate-based ABR work.
+//
+// Single-client core (the fairness-oriented randomized scheduling is out of
+// scope for trace replay):
+//   - target = highest track whose average bitrate fits a safety-discounted
+//     harmonic-mean bandwidth estimate;
+//   - switch up only after `up_patience` consecutive chunks at which the
+//     higher track was affordable, and only one level at a time;
+//   - switch down immediately, one level at a time (drop straight to the
+//     target only when two levels or more above it);
+//   - a stability score caps switching frequency: no more than one switch
+//     per `min_switch_interval` chunks.
+#pragma once
+
+#include "abr/scheme.h"
+
+namespace vbr::abr {
+
+struct FestiveConfig {
+  double bandwidth_safety = 0.85;
+  int up_patience = 3;            ///< Affordable-chunk streak before up-switch.
+  int min_switch_interval = 2;    ///< Chunks between switches.
+};
+
+class Festive final : public AbrScheme {
+ public:
+  explicit Festive(FestiveConfig config = {});
+
+  [[nodiscard]] Decision decide(const StreamContext& ctx) override;
+  void reset() override;
+  [[nodiscard]] std::string name() const override { return "FESTIVE"; }
+
+ private:
+  FestiveConfig config_;
+  int up_streak_ = 0;
+  int chunks_since_switch_ = 1 << 20;
+};
+
+}  // namespace vbr::abr

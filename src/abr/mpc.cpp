@@ -1,0 +1,128 @@
+#include "abr/mpc.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace vbr::abr {
+
+namespace {
+
+/// Recursively enumerates track sequences, tracking buffer evolution and the
+/// partial QoE, and records the best first-step decision.
+struct HorizonSearch {
+  const video::Video* video = nullptr;
+  std::size_t first_chunk = 0;
+  std::size_t horizon = 0;
+  std::size_t visible_limit = 0;  ///< Chunks beyond this are unannounced.
+  double bandwidth_bps = 0.0;
+  double max_buffer_s = 0.0;
+  double lambda = 0.0;
+  double mu = 0.0;
+
+  double best_qoe = -1e300;
+  std::size_t best_first = 0;
+
+  [[nodiscard]] double quality_mbps(std::size_t track) const {
+    return video->track(track).average_bitrate_bps() / 1e6;
+  }
+
+  void search(std::size_t depth, std::size_t chunk, double buffer_s,
+              double prev_quality, double qoe, std::size_t first_track) {
+    if (depth == horizon || chunk >= visible_limit) {
+      if (qoe > best_qoe) {
+        best_qoe = qoe;
+        best_first = first_track;
+      }
+      return;
+    }
+    for (std::size_t l = 0; l < video->num_tracks(); ++l) {
+      const double dl_s =
+          video->chunk_size_bits(l, chunk) / bandwidth_bps;
+      const double rebuffer = std::max(dl_s - buffer_s, 0.0);
+      double buf = std::max(buffer_s - dl_s, 0.0) +
+                   video->chunk_duration_s();
+      buf = std::min(buf, max_buffer_s);
+      const double q = quality_mbps(l);
+      const double smooth =
+          prev_quality >= 0.0 ? std::abs(q - prev_quality) : 0.0;
+      const double step_qoe = q - lambda * smooth - mu * rebuffer;
+      search(depth + 1, chunk + 1, buf, q, qoe + step_qoe,
+             depth == 0 ? l : first_track);
+    }
+  }
+};
+
+}  // namespace
+
+Mpc::Mpc(MpcConfig config) : config_(config) {
+  if (config_.horizon == 0 || config_.lambda < 0.0 ||
+      config_.mu_rebuffer < 0.0 || config_.error_window == 0) {
+    throw std::invalid_argument("Mpc: bad config");
+  }
+}
+
+Decision Mpc::decide(const StreamContext& ctx) {
+  validate_context(ctx);
+  double bw = ctx.est_bandwidth_bps;
+  if (bw <= 0.0) {
+    throw std::invalid_argument("Mpc: non-positive bandwidth estimate");
+  }
+  // The error history is measured against the *raw* estimate; discounting
+  // the prediction itself would feed back into ever-larger errors.
+  last_prediction_bps_ = bw;
+  if (config_.robust && !relative_errors_.empty()) {
+    const double max_err =
+        *std::max_element(relative_errors_.begin(), relative_errors_.end());
+    bw /= (1.0 + max_err);
+  }
+
+  HorizonSearch s;
+  s.video = ctx.video;
+  s.first_chunk = ctx.next_chunk;
+  s.horizon = config_.horizon;
+  s.visible_limit = ctx.lookahead_limit();
+  s.bandwidth_bps = bw;
+  s.max_buffer_s = ctx.max_buffer_s;
+  s.lambda = config_.lambda;
+  s.mu = config_.mu_rebuffer;
+  const double prev_q =
+      ctx.prev_track >= 0
+          ? ctx.video->track(static_cast<std::size_t>(ctx.prev_track))
+                    .average_bitrate_bps() /
+                1e6
+          : -1.0;
+  s.search(0, ctx.next_chunk, ctx.buffer_s, prev_q, 0.0, 0);
+  return Decision{.track = s.best_first};
+}
+
+void Mpc::on_chunk_downloaded(const StreamContext& ctx, std::size_t track,
+                              double download_s) {
+  if (!config_.robust || last_prediction_bps_ <= 0.0) {
+    return;
+  }
+  const double actual_bps =
+      ctx.video->chunk_size_bits(track, ctx.next_chunk) / download_s;
+  const double rel_err =
+      std::abs(actual_bps - last_prediction_bps_) / last_prediction_bps_;
+  relative_errors_.push_back(rel_err);
+  if (relative_errors_.size() > config_.error_window) {
+    relative_errors_.pop_front();
+  }
+}
+
+void Mpc::reset() {
+  last_prediction_bps_ = 0.0;
+  relative_errors_.clear();
+}
+
+MpcConfig mpc_config() { return MpcConfig{}; }
+
+MpcConfig robust_mpc_config() {
+  MpcConfig c;
+  c.robust = true;
+  return c;
+}
+
+}  // namespace vbr::abr

@@ -1,0 +1,55 @@
+// MPC and RobustMPC (Yin et al., SIGCOMM 2015).
+//
+// Model-predictive control: enumerate track sequences over a short horizon,
+// simulate the buffer forward using the *actual* per-chunk sizes (the VBR
+// recommendation the paper follows for all baselines) and the bandwidth
+// estimate, and maximize a QoE objective
+//
+//   QoE = sum_k q(l_k) - lambda * sum_k |q(l_k) - q(l_{k-1})| - mu * rebuffer
+//
+// with q(l) the track's average bitrate in Mbps. Only the first decision of
+// the optimizing sequence is executed (receding horizon).
+//
+// RobustMPC divides the bandwidth estimate by (1 + max relative prediction
+// error observed over the last 5 chunks), which markedly reduces rebuffering
+// under dynamic bandwidth at some cost in quality.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+
+#include "abr/scheme.h"
+
+namespace vbr::abr {
+
+struct MpcConfig {
+  std::size_t horizon = 5;      ///< Chunks to look ahead (paper: 5).
+  double lambda = 1.0;          ///< Smoothness penalty weight.
+  double mu_rebuffer = 8.0;     ///< Rebuffer penalty (QoE per second).
+  bool robust = false;          ///< RobustMPC bandwidth discounting.
+  std::size_t error_window = 5; ///< Prediction-error memory (robust mode).
+};
+
+class Mpc final : public AbrScheme {
+ public:
+  explicit Mpc(MpcConfig config = {});
+
+  [[nodiscard]] Decision decide(const StreamContext& ctx) override;
+  void on_chunk_downloaded(const StreamContext& ctx, std::size_t track,
+                           double download_s) override;
+  void reset() override;
+  [[nodiscard]] std::string name() const override {
+    return config_.robust ? "RobustMPC" : "MPC";
+  }
+
+ private:
+  MpcConfig config_;
+  double last_prediction_bps_ = 0.0;  ///< Estimate used for the last decision.
+  std::deque<double> relative_errors_;
+};
+
+/// Convenience factories matching the paper's two variants.
+[[nodiscard]] MpcConfig mpc_config();
+[[nodiscard]] MpcConfig robust_mpc_config();
+
+}  // namespace vbr::abr

@@ -1,0 +1,122 @@
+#include "abr/panda_cq.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace vbr::abr {
+
+namespace {
+
+struct Candidate {
+  bool feasible = false;
+  double predicted_stall_s = 1e300;  ///< Horizon stall when infeasible.
+  double criterion_value = -1e300;   ///< Sum or min quality.
+  double tiebreak_quality = -1e300;  ///< Secondary quality criterion.
+  double bits = 1e300;
+  int switches = 1 << 20;
+  std::size_t first_track = 0;
+
+  /// True if this candidate beats `other` lexicographically.
+  [[nodiscard]] bool better_than(const Candidate& other) const {
+    if (feasible != other.feasible) return feasible;
+    // Among infeasible sequences, damage control first: least stall.
+    if (!feasible && predicted_stall_s != other.predicted_stall_s) {
+      return predicted_stall_s < other.predicted_stall_s;
+    }
+    if (criterion_value != other.criterion_value) {
+      return criterion_value > other.criterion_value;
+    }
+    if (tiebreak_quality != other.tiebreak_quality) {
+      return tiebreak_quality > other.tiebreak_quality;
+    }
+    if (bits != other.bits) return bits < other.bits;
+    return switches < other.switches;
+  }
+};
+
+struct WindowSearch {
+  const video::Video* video = nullptr;
+  std::size_t window = 0;
+  std::size_t visible_limit = 0;  ///< Chunks beyond this are unannounced.
+  double bandwidth_bps = 0.0;
+  double max_buffer_s = 0.0;
+  PandaCriterion criterion = PandaCriterion::kMaxMin;
+  video::QualityMetric metric = video::QualityMetric::kVmafPhone;
+
+  Candidate best;
+
+  [[nodiscard]] double quality(std::size_t track, std::size_t chunk) const {
+    return video->track(track).chunk(chunk).quality.get(metric);
+  }
+
+  void search(std::size_t depth, std::size_t chunk, double buffer_s,
+              double stall_s, double sum_q, double min_q, double bits,
+              int switches, int prev_track, std::size_t first_track) {
+    if (depth == window || chunk >= visible_limit) {
+      Candidate c;
+      c.feasible = stall_s == 0.0;
+      c.predicted_stall_s = stall_s;
+      c.criterion_value =
+          criterion == PandaCriterion::kMaxSum ? sum_q : min_q;
+      c.tiebreak_quality =
+          criterion == PandaCriterion::kMaxSum ? min_q : sum_q;
+      c.bits = bits;
+      c.switches = switches;
+      c.first_track = first_track;
+      if (c.better_than(best)) {
+        best = c;
+      }
+      return;
+    }
+    for (std::size_t l = 0; l < video->num_tracks(); ++l) {
+      const double size = video->chunk_size_bits(l, chunk);
+      const double dl_s = size / bandwidth_bps;
+      const double step_stall = std::max(dl_s - buffer_s, 0.0);
+      double buf = std::max(buffer_s - dl_s, 0.0) +
+                   video->chunk_duration_s();
+      buf = std::min(buf, max_buffer_s);
+      const double q = quality(l, chunk);
+      search(depth + 1, chunk + 1, buf, stall_s + step_stall, sum_q + q,
+             std::min(min_q, q), bits + size,
+             switches + (prev_track >= 0 &&
+                                 l != static_cast<std::size_t>(prev_track)
+                             ? 1
+                             : 0),
+             static_cast<int>(l), depth == 0 ? l : first_track);
+    }
+  }
+};
+
+}  // namespace
+
+PandaCq::PandaCq(PandaCqConfig config) : config_(config) {
+  if (config_.window == 0 || config_.bandwidth_safety <= 0.0) {
+    throw std::invalid_argument("PandaCq: bad config");
+  }
+}
+
+Decision PandaCq::decide(const StreamContext& ctx) {
+  validate_context(ctx);
+  if (ctx.est_bandwidth_bps <= 0.0) {
+    throw std::invalid_argument("PandaCq: non-positive bandwidth estimate");
+  }
+  WindowSearch s;
+  s.video = ctx.video;
+  s.window = config_.window;
+  s.visible_limit = ctx.lookahead_limit();
+  s.bandwidth_bps = ctx.est_bandwidth_bps * config_.bandwidth_safety;
+  s.max_buffer_s = ctx.max_buffer_s;
+  s.criterion = config_.criterion;
+  s.metric = config_.metric;
+  s.search(0, ctx.next_chunk, ctx.buffer_s, /*stall_s=*/0.0, 0.0, 1e300,
+           0.0, 0, ctx.prev_track, 0);
+  return Decision{.track = s.best.first_track};
+}
+
+std::string PandaCq::name() const {
+  return config_.criterion == PandaCriterion::kMaxSum ? "PANDA/CQ max-sum"
+                                                      : "PANDA/CQ max-min";
+}
+
+}  // namespace vbr::abr

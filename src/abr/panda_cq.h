@@ -1,0 +1,44 @@
+// PANDA/CQ: quality-aware window optimization (after Li et al., MMSys 2014,
+// "Streaming video over HTTP with consistent quality").
+//
+// Unlike every other baseline, PANDA/CQ consumes per-chunk *quality* scores
+// (information today's DASH/HLS manifests do not carry — the paper includes
+// it as an upper-bound-style quality-aware comparator). Over a window of N
+// future chunks it enumerates track sequences, keeps those that are feasible
+// (no predicted rebuffering at the estimated bandwidth, using actual chunk
+// sizes), and picks by one of two criteria:
+//   - max-sum: maximize the total quality of the N chunks;
+//   - max-min: maximize the minimum quality of the N chunks (the variant the
+//     paper reports as the stronger one).
+// Ties break toward fewer bits (lower data usage), then fewer switches.
+#pragma once
+
+#include <cstddef>
+
+#include "abr/scheme.h"
+#include "video/chunk.h"
+
+namespace vbr::abr {
+
+enum class PandaCriterion { kMaxSum, kMaxMin };
+
+struct PandaCqConfig {
+  std::size_t window = 5;  ///< Chunks considered per decision.
+  PandaCriterion criterion = PandaCriterion::kMaxMin;
+  video::QualityMetric metric = video::QualityMetric::kVmafPhone;
+  /// Safety margin on the bandwidth estimate when checking feasibility.
+  double bandwidth_safety = 1.0;
+};
+
+class PandaCq final : public AbrScheme {
+ public:
+  explicit PandaCq(PandaCqConfig config = {});
+
+  [[nodiscard]] Decision decide(const StreamContext& ctx) override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  PandaCqConfig config_;
+};
+
+}  // namespace vbr::abr

@@ -1,0 +1,34 @@
+#include "abr/rba.h"
+
+#include <stdexcept>
+
+namespace vbr::abr {
+
+Rba::Rba(RbaConfig config) : config_(config) {
+  if (config_.min_chunks_after < 0) {
+    throw std::invalid_argument("Rba: negative buffer floor");
+  }
+}
+
+Decision Rba::decide(const StreamContext& ctx) {
+  validate_context(ctx);
+  const video::Video& v = *ctx.video;
+  const double floor_s =
+      static_cast<double>(config_.min_chunks_after) * v.chunk_duration_s();
+
+  std::size_t best = 0;
+  for (std::size_t l = 0; l < v.num_tracks(); ++l) {
+    const double download_s =
+        v.chunk_size_bits(l, ctx.next_chunk) / ctx.est_bandwidth_bps;
+    // Buffer after the download (it drains while downloading) plus the chunk
+    // just fetched must stay above the floor.
+    const double buffer_after =
+        ctx.buffer_s - download_s + v.chunk_duration_s();
+    if (buffer_after >= floor_s) {
+      best = l;
+    }
+  }
+  return Decision{.track = best};
+}
+
+}  // namespace vbr::abr

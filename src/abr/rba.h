@@ -1,0 +1,27 @@
+// RBA: rate-based adaptation (after Zhang et al., INFOCOM 2017).
+//
+// A myopic rate-based scheme: pick the highest track such that, after
+// downloading the next chunk at the estimated bandwidth, the buffer still
+// holds at least `min_chunks_after` chunks of content.
+#pragma once
+
+#include "abr/scheme.h"
+
+namespace vbr::abr {
+
+struct RbaConfig {
+  int min_chunks_after = 4;  ///< Buffer floor, in chunks, after the download.
+};
+
+class Rba final : public AbrScheme {
+ public:
+  explicit Rba(RbaConfig config = {});
+
+  [[nodiscard]] Decision decide(const StreamContext& ctx) override;
+  [[nodiscard]] std::string name() const override { return "RBA"; }
+
+ private:
+  RbaConfig config_;
+};
+
+}  // namespace vbr::abr

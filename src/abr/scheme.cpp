@@ -1,0 +1,37 @@
+#include "abr/scheme.h"
+
+#include <stdexcept>
+
+namespace vbr::abr {
+
+Decision FixedTrackScheme::decide(const StreamContext& ctx) {
+  validate_context(ctx);
+  if (track_ >= ctx.video->num_tracks()) {
+    throw std::out_of_range("FixedTrackScheme: track out of range");
+  }
+  return Decision{.track = track_};
+}
+
+std::size_t highest_track_below(const video::Video& v, double budget_bps) {
+  std::size_t best = 0;
+  for (std::size_t l = 0; l < v.num_tracks(); ++l) {
+    if (v.track(l).average_bitrate_bps() <= budget_bps) {
+      best = l;
+    }
+  }
+  return best;
+}
+
+void validate_context(const StreamContext& ctx) {
+  if (ctx.video == nullptr) {
+    throw std::invalid_argument("StreamContext: null video");
+  }
+  if (ctx.next_chunk >= ctx.video->num_chunks()) {
+    throw std::invalid_argument("StreamContext: chunk index out of range");
+  }
+  if (ctx.buffer_s < 0.0) {
+    throw std::invalid_argument("StreamContext: negative buffer");
+  }
+}
+
+}  // namespace vbr::abr

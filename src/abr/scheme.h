@@ -1,0 +1,96 @@
+// Common interface for ABR rate-adaptation schemes.
+//
+// A scheme is asked, before each chunk download, which track to fetch next.
+// It sees exactly what a DASH/HLS client sees: the manifest (track ladder
+// with declared bitrates and the per-chunk segment size table), its own
+// playback state (buffer level, position), and an application-level
+// bandwidth estimate. Schemes never see quality scores unless they are
+// explicitly quality-aware (PANDA/CQ), mirroring the deployability
+// discussion in the paper.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "video/video.h"
+
+namespace vbr::abr {
+
+/// Everything a scheme may consult when deciding the next chunk's track.
+struct StreamContext {
+  const video::Video* video = nullptr;  ///< Manifest view (never null).
+  std::size_t next_chunk = 0;           ///< Index of the chunk to decide.
+  double buffer_s = 0.0;                ///< Current playout buffer (seconds).
+  double est_bandwidth_bps = 0.0;       ///< Application-level estimate.
+  int prev_track = -1;                  ///< Track of the previous chunk; -1 if none.
+  double now_s = 0.0;                   ///< Session clock.
+  double max_buffer_s = 100.0;          ///< Player buffer capacity.
+  double startup_latency_s = 10.0;      ///< Data needed before playback starts.
+  bool in_startup = false;              ///< True until playback begins.
+  /// Number of chunks announced/produced so far. In VoD this is the whole
+  /// video; in live streaming (the paper's future-work setting) schemes can
+  /// only see manifest entries up to the live edge, so look-ahead windows
+  /// must truncate here. 0 means "everything" for backward compatibility.
+  std::size_t visible_chunks = 0;
+
+  /// Chunks a look-ahead may legally read: min(visible, total).
+  [[nodiscard]] std::size_t lookahead_limit() const {
+    const std::size_t total = video->num_chunks();
+    return visible_chunks == 0 ? total : std::min(visible_chunks, total);
+  }
+};
+
+/// A scheme's answer: which track to download, optionally after idling.
+/// A positive `wait_s` models players (e.g. BOLA-E) that pause between
+/// downloads even though buffer capacity remains.
+struct Decision {
+  std::size_t track = 0;
+  double wait_s = 0.0;
+};
+
+/// Base class for all rate-adaptation schemes.
+class AbrScheme {
+ public:
+  virtual ~AbrScheme() = default;
+
+  /// Decides the track for ctx.next_chunk.
+  [[nodiscard]] virtual Decision decide(const StreamContext& ctx) = 0;
+
+  /// Informs the scheme of the completed download it requested.
+  virtual void on_chunk_downloaded(const StreamContext& ctx,
+                                   std::size_t track, double download_s) {
+    (void)ctx;
+    (void)track;
+    (void)download_s;
+  }
+
+  /// Clears per-session state.
+  virtual void reset() {}
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Trivial scheme that always picks one fixed track (baseline / testing).
+class FixedTrackScheme final : public AbrScheme {
+ public:
+  explicit FixedTrackScheme(std::size_t track) : track_(track) {}
+
+  [[nodiscard]] Decision decide(const StreamContext& ctx) override;
+  [[nodiscard]] std::string name() const override {
+    return "fixed-" + std::to_string(track_);
+  }
+
+ private:
+  std::size_t track_;
+};
+
+/// Highest track whose *average* bitrate is <= budget_bps; 0 if none.
+[[nodiscard]] std::size_t highest_track_below(const video::Video& v,
+                                              double budget_bps);
+
+/// Validates that a context is well-formed (non-null video, chunk index in
+/// range). Throws std::invalid_argument otherwise. Schemes call this at the
+/// top of decide().
+void validate_context(const StreamContext& ctx);
+
+}  // namespace vbr::abr

@@ -1,0 +1,47 @@
+#include "abr/throughput_rule.h"
+
+#include <stdexcept>
+
+namespace vbr::abr {
+
+ThroughputRule::ThroughputRule(ThroughputRuleConfig config)
+    : config_(config) {
+  if (config_.bandwidth_safety <= 0.0) {
+    throw std::invalid_argument("ThroughputRule: bad safety factor");
+  }
+}
+
+Decision ThroughputRule::decide(const StreamContext& ctx) {
+  validate_context(ctx);
+  if (ctx.est_bandwidth_bps <= 0.0) {
+    throw std::invalid_argument(
+        "ThroughputRule: non-positive bandwidth estimate");
+  }
+  return Decision{.track = highest_track_below(
+                      *ctx.video,
+                      config_.bandwidth_safety * ctx.est_bandwidth_bps)};
+}
+
+DynamicRule::DynamicRule(DynamicConfig config)
+    : config_(config),
+      throughput_(config.throughput),
+      bola_(config.bola) {
+  if (config_.bola_threshold_s < 0.0) {
+    throw std::invalid_argument("DynamicRule: negative threshold");
+  }
+}
+
+Decision DynamicRule::decide(const StreamContext& ctx) {
+  validate_context(ctx);
+  if (ctx.buffer_s >= config_.bola_threshold_s) {
+    return bola_.decide(ctx);
+  }
+  return throughput_.decide(ctx);
+}
+
+void DynamicRule::reset() {
+  throughput_.reset();
+  bola_.reset();
+}
+
+}  // namespace vbr::abr

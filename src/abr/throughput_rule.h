@@ -1,0 +1,54 @@
+// dash.js-style rules: the plain throughput rule and the DYNAMIC hybrid
+// (throughput rule at thin buffers, BOLA once the buffer is healthy) — the
+// player default that the paper's Section 6.8 testbed builds on.
+#pragma once
+
+#include <memory>
+
+#include "abr/bola.h"
+#include "abr/scheme.h"
+
+namespace vbr::abr {
+
+struct ThroughputRuleConfig {
+  double bandwidth_safety = 0.9;  ///< dash.js default throughput discount.
+};
+
+/// Highest track whose average bitrate fits the discounted estimate.
+class ThroughputRule final : public AbrScheme {
+ public:
+  explicit ThroughputRule(ThroughputRuleConfig config = {});
+
+  [[nodiscard]] Decision decide(const StreamContext& ctx) override;
+  [[nodiscard]] std::string name() const override {
+    return "ThroughputRule";
+  }
+
+ private:
+  ThroughputRuleConfig config_;
+};
+
+struct DynamicConfig {
+  /// Buffer level above which BOLA takes over (dash.js: 10 s).
+  double bola_threshold_s = 10.0;
+  ThroughputRuleConfig throughput;
+  BolaConfig bola;
+};
+
+/// dash.js DYNAMIC: throughput-driven while the buffer is thin (estimates
+/// are the only signal), buffer-driven (BOLA) once it is healthy.
+class DynamicRule final : public AbrScheme {
+ public:
+  explicit DynamicRule(DynamicConfig config = {});
+
+  [[nodiscard]] Decision decide(const StreamContext& ctx) override;
+  void reset() override;
+  [[nodiscard]] std::string name() const override { return "DYNAMIC"; }
+
+ private:
+  DynamicConfig config_;
+  ThroughputRule throughput_;
+  Bola bola_;
+};
+
+}  // namespace vbr::abr

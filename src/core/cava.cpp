@@ -1,0 +1,98 @@
+#include "core/cava.h"
+
+#include <stdexcept>
+
+#include "core/si_ti_classifier.h"
+
+namespace vbr::core {
+
+Cava::Cava(CavaConfig config)
+    : config_(config), pid_(config), inner_(config), outer_(config) {}
+
+void Cava::bind_video(const video::Video& video) {
+  if (bound_video_ == &video) {
+    return;
+  }
+  bound_video_ = &video;
+  if (config_.use_content_classifier) {
+    const SiTiClassifier content(video, config_.num_complexity_classes);
+    classifier_.emplace(content.classes(), content.num_classes());
+  } else {
+    classifier_.emplace(video, video.middle_track(),
+                        config_.num_complexity_classes);
+  }
+  pid_.reset();
+}
+
+abr::Decision Cava::decide(const abr::StreamContext& ctx) {
+  abr::validate_context(ctx);
+  if (ctx.est_bandwidth_bps <= 0.0) {
+    throw std::invalid_argument("Cava: non-positive bandwidth estimate");
+  }
+  bind_video(*ctx.video);
+
+  // Outer loop: proactive target buffer from the long-term future profile
+  // (fenced at the live edge when streaming live).
+  const double target =
+      outer_.target_buffer_s(*ctx.video, ctx.video->middle_track(),
+                             ctx.next_chunk, ctx.lookahead_limit());
+
+  // PID feedback block against the dynamic target.
+  const double u = pid_.update(ctx.buffer_s, target, ctx.now_s,
+                               ctx.video->chunk_duration_s());
+
+  // Inner loop: VBR-aware track selection.
+  InnerController::Inputs in;
+  in.video = ctx.video;
+  in.classifier = &*classifier_;
+  in.next_chunk = ctx.next_chunk;
+  in.u = u;
+  in.est_bandwidth_bps = ctx.est_bandwidth_bps;
+  in.prev_track = ctx.prev_track;
+  in.buffer_s = ctx.buffer_s;
+  in.visible_chunks = ctx.lookahead_limit();
+  const std::size_t track = inner_.select_track(in);
+
+  Diagnostics d;
+  d.u = u;
+  d.target_buffer_s = target;
+  d.complex_chunk = classifier_->is_complex(ctx.next_chunk);
+  d.alpha = config_.use_differential_treatment
+                ? (d.complex_chunk ? config_.alpha_complex
+                                   : config_.alpha_simple)
+                : 1.0;
+  last_diagnostics_ = d;
+
+  return abr::Decision{.track = track};
+}
+
+void Cava::reset() {
+  pid_.reset();
+  bound_video_ = nullptr;
+  classifier_.reset();
+  last_diagnostics_.reset();
+}
+
+std::string Cava::name() const {
+  if (!config_.use_differential_treatment) {
+    return "CAVA-p1";
+  }
+  if (!config_.use_proactive_target) {
+    return "CAVA-p12";
+  }
+  return "CAVA";
+}
+
+std::unique_ptr<Cava> make_cava_p1() {
+  return std::make_unique<Cava>(cava_p1_config());
+}
+
+std::unique_ptr<Cava> make_cava_p12() {
+  return std::make_unique<Cava>(cava_p12_config());
+}
+
+std::unique_ptr<Cava> make_cava_p123() {
+  return std::make_unique<Cava>(cava_p123_config());
+}
+
+}  // namespace vbr::core

@@ -1,0 +1,75 @@
+// CAVA: Control-theoretic Adaptation for VBR-based ABR streaming — the
+// paper's primary contribution (Section 5).
+//
+// Two controller loops in synergy:
+//   - the outer controller (preview control, P3) sets a dynamic target
+//     buffer level from the long-term future chunk-size profile;
+//   - the inner controller runs a PID feedback block against that target and
+//     selects tracks through the VBR-aware optimization that embodies the
+//     non-myopic (P1) and differential-treatment (P2) principles, informed
+//     by the chunk-size-based complexity classification.
+//
+// Everything CAVA consumes — per-chunk sizes, track ladder, buffer level,
+// bandwidth estimate — is available to DASH/HLS clients today, which is the
+// point: the scheme is deployable as-is (the paper ships it as a 520-line
+// dash.js rule).
+//
+// The principle toggles in CavaConfig give the Section 6.4 ablation
+// variants: CAVA-p1 (P1 only), CAVA-p12 (P1+P2), CAVA-p123 (all three).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "abr/scheme.h"
+#include "core/complexity_classifier.h"
+#include "core/config.h"
+#include "core/inner_controller.h"
+#include "core/outer_controller.h"
+#include "core/pid_controller.h"
+
+namespace vbr::core {
+
+class Cava final : public abr::AbrScheme {
+ public:
+  explicit Cava(CavaConfig config = {});
+
+  [[nodiscard]] abr::Decision decide(const abr::StreamContext& ctx) override;
+  void reset() override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] const CavaConfig& config() const { return config_; }
+
+  /// Diagnostics from the most recent decision (for tests, Fig. 5-style
+  /// introspection, and the examples).
+  struct Diagnostics {
+    double u = 0.0;                 ///< PID output.
+    double target_buffer_s = 0.0;   ///< Outer-controller target x_r(t).
+    double alpha = 1.0;             ///< Bandwidth scale applied.
+    bool complex_chunk = false;     ///< Next chunk classified Q4.
+  };
+  [[nodiscard]] const std::optional<Diagnostics>& last_diagnostics() const {
+    return last_diagnostics_;
+  }
+
+ private:
+  /// (Re)binds per-video state when a session starts or the video changes.
+  void bind_video(const video::Video& video);
+
+  CavaConfig config_;
+  PidController pid_;
+  InnerController inner_;
+  OuterController outer_;
+
+  const video::Video* bound_video_ = nullptr;
+  std::optional<ComplexityClassifier> classifier_;
+  std::optional<Diagnostics> last_diagnostics_;
+};
+
+/// Ablation variant factories (Section 6.4).
+[[nodiscard]] std::unique_ptr<Cava> make_cava_p1();
+[[nodiscard]] std::unique_ptr<Cava> make_cava_p12();
+[[nodiscard]] std::unique_ptr<Cava> make_cava_p123();
+
+}  // namespace vbr::core

@@ -1,0 +1,75 @@
+#include "core/complexity_classifier.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "metrics/stats.h"
+
+namespace vbr::core {
+
+ComplexityClassifier::ComplexityClassifier(const video::Video& video,
+                                           std::size_t reference_track,
+                                           std::size_t num_classes)
+    : reference_track_(reference_track), num_classes_(num_classes) {
+  if (num_classes_ < 2) {
+    throw std::invalid_argument("ComplexityClassifier: need >= 2 classes");
+  }
+  if (reference_track_ >= video.num_tracks()) {
+    throw std::invalid_argument(
+        "ComplexityClassifier: reference track out of range");
+  }
+  const std::vector<double> sizes =
+      video.track(reference_track_).chunk_sizes_bits();
+
+  // Quantile thresholds at 1/num_classes steps of the size distribution.
+  std::vector<double> thresholds;
+  thresholds.reserve(num_classes_ - 1);
+  for (std::size_t k = 1; k < num_classes_; ++k) {
+    thresholds.push_back(vbr::stats::percentile(
+        sizes, 100.0 * static_cast<double>(k) /
+                   static_cast<double>(num_classes_)));
+  }
+
+  classes_.reserve(sizes.size());
+  for (const double s : sizes) {
+    std::size_t cls = 0;
+    while (cls < thresholds.size() && s > thresholds[cls]) {
+      ++cls;
+    }
+    classes_.push_back(cls);
+  }
+}
+
+ComplexityClassifier::ComplexityClassifier(const video::Video& video)
+    : ComplexityClassifier(video, video.middle_track(), 4) {}
+
+ComplexityClassifier::ComplexityClassifier(std::vector<std::size_t> classes,
+                                           std::size_t num_classes)
+    : reference_track_(0),
+      num_classes_(num_classes),
+      classes_(std::move(classes)) {
+  if (num_classes_ < 2) {
+    throw std::invalid_argument("ComplexityClassifier: need >= 2 classes");
+  }
+  if (classes_.empty()) {
+    throw std::invalid_argument("ComplexityClassifier: empty class list");
+  }
+  for (const std::size_t c : classes_) {
+    if (c >= num_classes_) {
+      throw std::invalid_argument(
+          "ComplexityClassifier: class index out of range");
+    }
+  }
+}
+
+std::vector<std::size_t> ComplexityClassifier::complex_chunks() const {
+  std::vector<std::size_t> idx;
+  for (std::size_t i = 0; i < classes_.size(); ++i) {
+    if (classes_[i] == num_classes_ - 1) {
+      idx.push_back(i);
+    }
+  }
+  return idx;
+}
+
+}  // namespace vbr::core

@@ -1,0 +1,68 @@
+// Chunk-size-based scene-complexity classification (paper Section 3.1.1).
+//
+// VBR encoders give complex scenes more bits, and the relative chunk size is
+// consistent across tracks, so the size distribution of a single *reference
+// track* (by default the middle one) classifies every playback position into
+// quantile classes: Q1 (smallest/simplest) .. Q4 (largest/most complex).
+// This needs only the manifest's segment size table — no content analysis —
+// which is what makes the scheme deployable.
+//
+// The class count is configurable (the paper notes quartiles are one choice
+// among several); CAVA only distinguishes "top class" (complex) from the
+// rest.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "video/video.h"
+
+namespace vbr::core {
+
+class ComplexityClassifier {
+ public:
+  /// Classifies every chunk position of `video` by the size quantiles of
+  /// track `reference_track` into `num_classes` classes.
+  /// Throws std::invalid_argument for num_classes < 2 or a bad track index.
+  ComplexityClassifier(const video::Video& video, std::size_t reference_track,
+                       std::size_t num_classes = 4);
+
+  /// Classifies using the video's middle track and quartiles (the paper's
+  /// default).
+  explicit ComplexityClassifier(const video::Video& video);
+
+  /// Wraps a precomputed class sequence (e.g. from a content-based SI/TI
+  /// analysis) in the classifier interface, so CAVA can consume alternative
+  /// complexity signals. Throws std::invalid_argument if any class is out
+  /// of range or num_classes < 2.
+  ComplexityClassifier(std::vector<std::size_t> classes,
+                       std::size_t num_classes);
+
+  /// Class of chunk i: 0 = smallest-size class, num_classes-1 = largest.
+  [[nodiscard]] std::size_t class_of(std::size_t chunk) const {
+    return classes_.at(chunk);
+  }
+
+  /// True if chunk i falls in the top (most complex, "Q4") class.
+  [[nodiscard]] bool is_complex(std::size_t chunk) const {
+    return classes_.at(chunk) == num_classes_ - 1;
+  }
+
+  [[nodiscard]] std::size_t num_classes() const { return num_classes_; }
+  [[nodiscard]] std::size_t reference_track() const {
+    return reference_track_;
+  }
+  [[nodiscard]] const std::vector<std::size_t>& classes() const {
+    return classes_;
+  }
+
+  /// Chunk indices in the top class (the paper's "Q4 chunks").
+  [[nodiscard]] std::vector<std::size_t> complex_chunks() const;
+
+ private:
+  std::size_t reference_track_;
+  std::size_t num_classes_;
+  std::vector<std::size_t> classes_;
+};
+
+}  // namespace vbr::core

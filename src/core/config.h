@@ -1,0 +1,68 @@
+// All CAVA tunables in one place, with the paper's defaults (Sections 5-6).
+#pragma once
+
+#include <cstddef>
+
+namespace vbr::core {
+
+struct CavaConfig {
+  // ---- PID feedback block (Section 5.2) -------------------------------
+  /// Gains follow PIA's methodology: buffer errors are tens of seconds, so
+  /// the proportional gain is small; a wide range of values performs
+  /// similarly (Section 6.1).
+  double kp = 0.01;    ///< Proportional gain (per second of buffer error).
+  double ki = 0.0002;  ///< Integral gain (per second^2).
+  /// Anti-windup clamp on the integral term's contribution (|Ki * integral|).
+  double integral_clamp = 0.25;
+  /// Controller output clamp: u in [u_min, u_max].
+  double u_min = 0.3;
+  double u_max = 2.0;
+
+  // ---- Inner controller (Section 5.3) ---------------------------------
+  std::size_t horizon_chunks = 5;   ///< N, the optimization horizon.
+  double inner_window_s = 40.0;     ///< W, short-term bitrate filter window.
+  double eta_same_class = 1.0;      ///< Track-change weight within a class.
+  double alpha_complex = 1.3;       ///< Bandwidth inflation for Q4 chunks.
+  double alpha_simple = 0.8;        ///< Bandwidth deflation for Q1-Q3 chunks.
+  /// Q1-Q3 heuristic: if deflation lands on one of the two lowest levels
+  /// while buffer > this threshold, retry without deflation.
+  double no_deflate_buffer_s = 10.0;
+  std::size_t low_level_threshold = 2;  ///< "Level 1 or 2" (1-based).
+  /// Optional symmetric Q4 heuristic: skip inflation when the buffer is
+  /// below this threshold (paper evaluates with it disabled).
+  bool inflate_guard_enabled = false;
+  double inflate_guard_buffer_s = 10.0;
+
+  // ---- Outer controller (Section 5.4) ---------------------------------
+  double base_target_buffer_s = 60.0;  ///< x_r.
+  double outer_window_s = 200.0;       ///< W', preview look-ahead.
+  double target_buffer_cap_factor = 2.0;  ///< x_r(t) <= cap * x_r.
+
+  // ---- Principle toggles (Section 6.4 ablation) ------------------------
+  bool use_differential_treatment = true;  ///< P2 (CAVA-p12).
+  bool use_proactive_target = true;        ///< P3 (CAVA-p123).
+
+  // ---- Complexity classification (Section 3.1.1) -----------------------
+  std::size_t num_complexity_classes = 4;
+  /// Use the content-based SI/TI classifier instead of the deployable
+  /// chunk-size one (ablation: how much does the cheap proxy cost?).
+  bool use_content_classifier = false;
+};
+
+/// The three ablation variants of Section 6.4.
+[[nodiscard]] inline CavaConfig cava_p1_config() {
+  CavaConfig c;
+  c.use_differential_treatment = false;
+  c.use_proactive_target = false;
+  return c;
+}
+
+[[nodiscard]] inline CavaConfig cava_p12_config() {
+  CavaConfig c;
+  c.use_proactive_target = false;
+  return c;
+}
+
+[[nodiscard]] inline CavaConfig cava_p123_config() { return CavaConfig{}; }
+
+}  // namespace vbr::core

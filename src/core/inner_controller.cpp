@@ -1,0 +1,133 @@
+#include "core/inner_controller.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace vbr::core {
+
+InnerController::InnerController(const CavaConfig& config) : config_(config) {
+  if (config_.horizon_chunks == 0 || config_.inner_window_s <= 0.0 ||
+      config_.alpha_complex <= 0.0 || config_.alpha_simple <= 0.0) {
+    throw std::invalid_argument("InnerController: bad config");
+  }
+}
+
+double InnerController::smoothed_bitrate_bps(const video::Video& video,
+                                             std::size_t level,
+                                             std::size_t chunk,
+                                             std::size_t visible_chunks) const {
+  const auto window_chunks = static_cast<std::size_t>(std::max(
+      1.0, std::round(config_.inner_window_s / video.chunk_duration_s())));
+  std::size_t end = std::min(chunk + window_chunks, video.num_chunks());
+  end = std::max(std::min(end, visible_chunks), chunk + 1);
+  double bits = 0.0;
+  double duration = 0.0;
+  for (std::size_t i = chunk; i < end; ++i) {
+    const video::Chunk& c = video.track(level).chunk(i);
+    bits += c.size_bits;
+    duration += c.duration_s;
+  }
+  return bits / duration;
+}
+
+double InnerController::objective(const Inputs& in, std::size_t level,
+                                  double alpha) const {
+  const video::Video& v = *in.video;
+  const double rbar =
+      smoothed_bitrate_bps(v, level, in.next_chunk, in.visible_chunks);
+
+  // First term: deviation of the required bandwidth from the assumed
+  // bandwidth over the N-chunk horizon. Online, u and C are the current
+  // values for every k, so the horizon acts as a weight of N on this term
+  // relative to the switch penalty. Normalized to Mbps^2 so the two terms
+  // are comparable at any bitrate scale.
+  constexpr double kMbps = 1e6;
+  double q = 0.0;
+  const std::size_t horizon = std::min(
+      config_.horizon_chunks, v.num_chunks() - in.next_chunk);
+  for (std::size_t k = 0; k < horizon; ++k) {
+    const double dev =
+        (in.u * rbar - alpha * in.est_bandwidth_bps) / kMbps;
+    q += dev * dev;
+  }
+
+  // Second term: switch penalty in average-track-bitrate units (Section 5.3
+  // discusses why r(l) - r(l_prev) is the right unit for VBR).
+  if (in.prev_track >= 0) {
+    const std::size_t prev = static_cast<std::size_t>(in.prev_track);
+    const bool cur_complex = in.classifier->is_complex(in.next_chunk);
+    const bool prev_complex =
+        in.next_chunk > 0 ? in.classifier->is_complex(in.next_chunk - 1)
+                          : cur_complex;
+    // eta = 0 when the adjacent chunks differ in category (a quality change
+    // across a complexity boundary is not penalized).
+    const double eta =
+        cur_complex == prev_complex ? config_.eta_same_class : 0.0;
+    const double dr = (v.track(level).average_bitrate_bps() -
+                       v.track(prev).average_bitrate_bps()) /
+                      kMbps;
+    q += eta * dr * dr;
+  }
+  return q;
+}
+
+std::size_t InnerController::argmin_track(const Inputs& in,
+                                          double alpha) const {
+  std::size_t best = 0;
+  double best_q = objective(in, 0, alpha);
+  for (std::size_t l = 1; l < in.video->num_tracks(); ++l) {
+    const double q = objective(in, l, alpha);
+    if (q < best_q) {
+      best_q = q;
+      best = l;
+    }
+  }
+  return best;
+}
+
+std::size_t InnerController::select_track(const Inputs& in) const {
+  if (in.video == nullptr || in.classifier == nullptr) {
+    throw std::invalid_argument("InnerController: null video or classifier");
+  }
+  if (in.est_bandwidth_bps <= 0.0 || in.u <= 0.0) {
+    throw std::invalid_argument("InnerController: non-positive u or bandwidth");
+  }
+
+  if (!config_.use_differential_treatment) {
+    return argmin_track(in, 1.0);
+  }
+
+  const bool complex = in.classifier->is_complex(in.next_chunk);
+  double alpha = complex ? config_.alpha_complex : config_.alpha_simple;
+
+  // Optional guard: do not inflate for Q4 when a stall is likely.
+  if (complex && config_.inflate_guard_enabled &&
+      in.buffer_s < config_.inflate_guard_buffer_s) {
+    alpha = 1.0;
+  }
+
+  std::size_t chosen = argmin_track(in, alpha);
+
+  // Q1-Q3 heuristic: if deflation lands on a very low level while the buffer
+  // is comfortable, retry without deflation (Section 5.3: "avoids choosing
+  // unnecessarily low levels").
+  if (!complex && alpha < 1.0 &&
+      chosen < config_.low_level_threshold &&
+      in.buffer_s > config_.no_deflate_buffer_s) {
+    chosen = argmin_track(in, 1.0);
+  }
+
+  // Buffer-cushion extension of the same heuristic: with several chunk
+  // durations of cushion banked, a momentary bandwidth dip need not push the
+  // selection all the way to the bottom rung — ride the buffer one level up
+  // instead of serving unacceptable quality.
+  const double cushion_s = 2.0 * config_.no_deflate_buffer_s;
+  if (chosen < config_.low_level_threshold &&
+      chosen + 1 < in.video->num_tracks() && in.buffer_s > cushion_s) {
+    chosen += 1;
+  }
+  return chosen;
+}
+
+}  // namespace vbr::core

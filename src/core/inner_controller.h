@@ -1,0 +1,66 @@
+// Inner controller: VBR-aware track selection (paper Section 5.3).
+//
+// Given the PID output u_t and the bandwidth estimate C_t, pick the track
+// minimizing
+//
+//   Q(l) = sum_{k=t}^{t+N-1} (u_t * Rbar_t(l) - alpha_t * C_t)^2
+//        + eta_t * (r(l) - r(l_prev))^2
+//
+// where Rbar_t(l) is the average bitrate of the next W chunks of track l
+// (non-myopic principle P1: a short-term statistical filter smooths VBR
+// burstiness so the controller does not mechanically chase per-chunk sizes),
+// alpha_t inflates the assumed bandwidth for complex (top-class) chunks and
+// deflates it for the rest (differential treatment P2), r(l) is track l's
+// average bitrate, and eta_t enables the switch penalty only when adjacent
+// chunks are in the same complexity category.
+#pragma once
+
+#include <cstddef>
+
+#include "core/complexity_classifier.h"
+#include "core/config.h"
+#include "video/video.h"
+
+namespace vbr::core {
+
+class InnerController {
+ public:
+  explicit InnerController(const CavaConfig& config);
+
+  /// Inputs for one decision.
+  struct Inputs {
+    const video::Video* video = nullptr;
+    const ComplexityClassifier* classifier = nullptr;
+    std::size_t next_chunk = 0;
+    double u = 1.0;                  ///< PID output.
+    double est_bandwidth_bps = 0.0;  ///< C_t.
+    int prev_track = -1;
+    double buffer_s = 0.0;
+    /// Look-ahead fence: chunks at index >= visible_chunks are not yet in
+    /// the manifest (live streaming). Defaults to "all of the video".
+    std::size_t visible_chunks = SIZE_MAX;
+  };
+
+  /// Chooses the track for Inputs::next_chunk.
+  [[nodiscard]] std::size_t select_track(const Inputs& in) const;
+
+  /// Short-term statistical filter: average bitrate of chunks
+  /// [chunk, chunk + W) of track `level`, truncated at the video end and at
+  /// the `visible_chunks` fence.
+  [[nodiscard]] double smoothed_bitrate_bps(
+      const video::Video& video, std::size_t level, std::size_t chunk,
+      std::size_t visible_chunks = SIZE_MAX) const;
+
+  /// The objective Q(l) of Eq. (3) for one candidate track.
+  [[nodiscard]] double objective(const Inputs& in, std::size_t level,
+                                 double alpha) const;
+
+ private:
+  /// argmin_l Q(l) for a fixed alpha.
+  [[nodiscard]] std::size_t argmin_track(const Inputs& in,
+                                         double alpha) const;
+
+  CavaConfig config_;
+};
+
+}  // namespace vbr::core

@@ -1,0 +1,51 @@
+#include "core/outer_controller.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace vbr::core {
+
+OuterController::OuterController(const CavaConfig& config) : config_(config) {
+  if (config_.base_target_buffer_s <= 0.0 || config_.outer_window_s <= 0.0 ||
+      config_.target_buffer_cap_factor < 1.0) {
+    throw std::invalid_argument("OuterController: bad config");
+  }
+}
+
+double OuterController::target_buffer_s(const video::Video& video,
+                                        std::size_t reference_track,
+                                        std::size_t next_chunk,
+                                        std::size_t visible_chunks) const {
+  const double xr = config_.base_target_buffer_s;
+  if (!config_.use_proactive_target) {
+    return xr;
+  }
+  if (reference_track >= video.num_tracks()) {
+    throw std::invalid_argument("OuterController: bad reference track");
+  }
+  const video::Track& ref = video.track(reference_track);
+  const auto window_chunks = static_cast<std::size_t>(std::max(
+      1.0, std::round(config_.outer_window_s / video.chunk_duration_s())));
+  const std::size_t end = std::min(
+      {next_chunk + window_chunks, video.num_chunks(), visible_chunks});
+  if (end <= next_chunk) {
+    return xr;
+  }
+
+  // Bits the next W' chunks actually need, minus the average-rate bits for
+  // the same wall-clock span, converted to seconds of average-rate playback.
+  double future_bits = 0.0;
+  double span_s = 0.0;
+  for (std::size_t i = next_chunk; i < end; ++i) {
+    future_bits += ref.chunk(i).size_bits;
+    span_s += ref.chunk(i).duration_s;
+  }
+  const double avg_bits = ref.average_bitrate_bps() * span_s;
+  const double extra_s =
+      std::max((future_bits - avg_bits) / ref.average_bitrate_bps(), 0.0);
+
+  return std::min(xr + extra_s, config_.target_buffer_cap_factor * xr);
+}
+
+}  // namespace vbr::core

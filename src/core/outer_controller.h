@@ -1,0 +1,41 @@
+// Outer controller: proactive target-buffer adjustment (paper Section 5.4).
+//
+// Preview control: when the next W' seconds of the reference track contain
+// more bits than average (a cluster of complex scenes is coming), raise the
+// target buffer level ahead of time so the PID loop banks extra buffer
+// before the expensive stretch arrives:
+//
+//   x_r(t) = x_r + max( (sum_{k=t}^{t+W'} R_k(ref) * Delta
+//                        - r(ref) * W' * Delta) / r(ref), 0 )
+//
+// capped at cap_factor * x_r to avoid pathological targets.
+#pragma once
+
+#include <cstddef>
+
+#include "core/config.h"
+#include "video/video.h"
+
+namespace vbr::core {
+
+class OuterController {
+ public:
+  explicit OuterController(const CavaConfig& config);
+
+  /// Target buffer level when about to fetch `next_chunk`.
+  /// `reference_track` is the track whose sizes preview future demand
+  /// (the paper uses a middle track). `visible_chunks` fences the preview
+  /// for live streaming (SIZE_MAX = whole video).
+  [[nodiscard]] double target_buffer_s(
+      const video::Video& video, std::size_t reference_track,
+      std::size_t next_chunk, std::size_t visible_chunks = SIZE_MAX) const;
+
+  [[nodiscard]] double base_target_s() const {
+    return config_.base_target_buffer_s;
+  }
+
+ private:
+  CavaConfig config_;
+};
+
+}  // namespace vbr::core

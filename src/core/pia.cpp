@@ -1,0 +1,24 @@
+#include "core/pia.h"
+
+#include <stdexcept>
+
+namespace vbr::core {
+
+Pia::Pia(CavaConfig config) : config_(config), pid_(config) {}
+
+abr::Decision Pia::decide(const abr::StreamContext& ctx) {
+  abr::validate_context(ctx);
+  if (ctx.est_bandwidth_bps <= 0.0) {
+    throw std::invalid_argument("Pia: non-positive bandwidth estimate");
+  }
+  const double u =
+      pid_.update(ctx.buffer_s, config_.base_target_buffer_s, ctx.now_s,
+                  ctx.video->chunk_duration_s());
+  // CBR view: the highest track whose declared average bitrate fits C/u.
+  const double budget = ctx.est_bandwidth_bps / u;
+  return abr::Decision{.track = abr::highest_track_below(*ctx.video, budget)};
+}
+
+void Pia::reset() { pid_.reset(); }
+
+}  // namespace vbr::core

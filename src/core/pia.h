@@ -1,0 +1,36 @@
+// PIA-style baseline: PID-based adaptation designed for CBR (Qin et al.,
+// INFOCOM 2017) — the control framework CAVA generalizes (Section 5, Fig. 5
+// caption: "builds on the basic feedback control framework").
+//
+// Identical PID feedback block, but with the CBR-era assumptions the paper
+// calls out as inadequate for VBR:
+//   - a *fixed* target buffer level (no preview control);
+//   - each track represented by its *average* bitrate only (no per-chunk
+//     sizes, no short-term filter, no complexity classes);
+//   - the track chosen is simply the highest whose average bitrate is at
+//     most (estimated bandwidth) / u.
+//
+// Including it lets the ablation benches separate "PID control helps" from
+// "VBR-awareness helps".
+#pragma once
+
+#include "abr/scheme.h"
+#include "core/config.h"
+#include "core/pid_controller.h"
+
+namespace vbr::core {
+
+class Pia final : public abr::AbrScheme {
+ public:
+  explicit Pia(CavaConfig config = {});
+
+  [[nodiscard]] abr::Decision decide(const abr::StreamContext& ctx) override;
+  void reset() override;
+  [[nodiscard]] std::string name() const override { return "PIA"; }
+
+ private:
+  CavaConfig config_;
+  PidController pid_;
+};
+
+}  // namespace vbr::core

@@ -1,0 +1,43 @@
+#include "core/pid_controller.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vbr::core {
+
+PidController::PidController(const CavaConfig& config) : config_(config) {
+  if (config_.kp < 0.0 || config_.ki < 0.0 || config_.u_min <= 0.0 ||
+      config_.u_max <= config_.u_min || config_.integral_clamp < 0.0) {
+    throw std::invalid_argument("PidController: bad config");
+  }
+}
+
+double PidController::update(double buffer_s, double target_buffer_s,
+                             double now_s, double chunk_duration_s) {
+  if (buffer_s < 0.0 || target_buffer_s < 0.0 || chunk_duration_s <= 0.0) {
+    throw std::invalid_argument("PidController::update: bad inputs");
+  }
+  const double error = target_buffer_s - buffer_s;
+
+  // Integrate the error over elapsed wall-clock time, with anti-windup.
+  if (last_time_s_ >= 0.0 && now_s > last_time_s_) {
+    integral_ += error * (now_s - last_time_s_);
+    if (config_.ki > 0.0) {
+      const double clamp = config_.integral_clamp / config_.ki;
+      integral_ = std::clamp(integral_, -clamp, clamp);
+    }
+  }
+  last_time_s_ = now_s;
+
+  const double indicator = buffer_s >= chunk_duration_s ? 1.0 : 0.0;
+  const double u =
+      config_.kp * error + config_.ki * integral_ + indicator;
+  return std::clamp(u, config_.u_min, config_.u_max);
+}
+
+void PidController::reset() {
+  integral_ = 0.0;
+  last_time_s_ = -1.0;
+}
+
+}  // namespace vbr::core

@@ -1,0 +1,45 @@
+// PID feedback control block (paper Section 5.2, after PIA [Qin et al.,
+// INFOCOM 2017]).
+//
+// Maintains the player buffer at a (dynamic) target level. The controller
+// output u_t is a unitless relative buffer-filling rate, u_t = C_t / R_t:
+// picking the next chunk's bitrate as (estimated bandwidth) / u_t steers the
+// buffer toward the target. The control law is
+//
+//   u_t = Kp (x_r(t) - x_t) + Ki * integral(x_r - x) dtau + 1(x_t >= Delta)
+//
+// where x_t is the buffer level, x_r(t) the target set by the outer
+// controller, Delta the chunk duration, and the indicator term linearizes
+// the closed loop. The integral is accumulated in wall-clock time with an
+// anti-windup clamp, and the output is clamped to a sane range.
+#pragma once
+
+#include "core/config.h"
+
+namespace vbr::core {
+
+class PidController {
+ public:
+  explicit PidController(const CavaConfig& config);
+
+  /// Computes the control output for the current decision.
+  /// @param buffer_s        current buffer level x_t (seconds)
+  /// @param target_buffer_s target level x_r(t) (seconds)
+  /// @param now_s           session clock; integral accumulates over the
+  ///                        elapsed time since the previous update
+  /// @param chunk_duration_s Delta for the indicator term
+  [[nodiscard]] double update(double buffer_s, double target_buffer_s,
+                              double now_s, double chunk_duration_s);
+
+  /// Integral state (for tests/diagnostics).
+  [[nodiscard]] double integral() const { return integral_; }
+
+  void reset();
+
+ private:
+  CavaConfig config_;
+  double integral_ = 0.0;
+  double last_time_s_ = -1.0;
+};
+
+}  // namespace vbr::core

@@ -1,0 +1,50 @@
+#include "core/si_ti_classifier.h"
+
+#include <stdexcept>
+
+#include "metrics/stats.h"
+
+namespace vbr::core {
+
+SiTiClassifier::SiTiClassifier(const video::Video& video,
+                               std::size_t num_classes)
+    : num_classes_(num_classes) {
+  if (num_classes_ < 2) {
+    throw std::invalid_argument("SiTiClassifier: need >= 2 classes");
+  }
+  std::vector<double> score;
+  score.reserve(video.num_chunks());
+  for (std::size_t i = 0; i < video.num_chunks(); ++i) {
+    const video::SceneInfo& s = video.scene_info(i);
+    score.push_back(s.si / 100.0 + s.ti / 60.0);
+  }
+  std::vector<double> thresholds;
+  thresholds.reserve(num_classes_ - 1);
+  for (std::size_t k = 1; k < num_classes_; ++k) {
+    thresholds.push_back(vbr::stats::percentile(
+        score, 100.0 * static_cast<double>(k) /
+                   static_cast<double>(num_classes_)));
+  }
+  classes_.reserve(score.size());
+  for (const double s : score) {
+    std::size_t cls = 0;
+    while (cls < thresholds.size() && s > thresholds[cls]) {
+      ++cls;
+    }
+    classes_.push_back(cls);
+  }
+}
+
+double SiTiClassifier::agreement(
+    const std::vector<std::size_t>& other) const {
+  if (other.size() != classes_.size()) {
+    throw std::invalid_argument("SiTiClassifier::agreement: size mismatch");
+  }
+  std::size_t same = 0;
+  for (std::size_t i = 0; i < classes_.size(); ++i) {
+    same += classes_[i] == other[i] ? 1 : 0;
+  }
+  return static_cast<double>(same) / static_cast<double>(classes_.size());
+}
+
+}  // namespace vbr::core

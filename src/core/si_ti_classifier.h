@@ -1,0 +1,49 @@
+// Content-based scene-complexity classifier (the expensive alternative the
+// paper's Section 3.1.1 sets aside): classifies chunks by quantiles of their
+// source SI/TI statistics instead of chunk sizes.
+//
+// In this reproduction the SI/TI values come from the synthetic scene model
+// (a real deployment would run ITU-T P.910 analysis over raw frames). The
+// classifier exists to quantify how well the *deployable* size-based
+// classifier approximates ground-truth complexity — see
+// bench_ablation_classifier.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "video/video.h"
+
+namespace vbr::core {
+
+class SiTiClassifier {
+ public:
+  /// Classifies every chunk into `num_classes` quantile classes of the
+  /// combined complexity score  si / 100 + ti / 60  (both terms normalized
+  /// to their nominal ranges). Throws std::invalid_argument for
+  /// num_classes < 2.
+  explicit SiTiClassifier(const video::Video& video,
+                          std::size_t num_classes = 4);
+
+  [[nodiscard]] std::size_t class_of(std::size_t chunk) const {
+    return classes_.at(chunk);
+  }
+  [[nodiscard]] bool is_complex(std::size_t chunk) const {
+    return classes_.at(chunk) == num_classes_ - 1;
+  }
+  [[nodiscard]] std::size_t num_classes() const { return num_classes_; }
+  [[nodiscard]] const std::vector<std::size_t>& classes() const {
+    return classes_;
+  }
+
+  /// Fraction of chunks on which this classifier agrees with another
+  /// class sequence (e.g. the size-based classifier's).
+  [[nodiscard]] double agreement(
+      const std::vector<std::size_t>& other) const;
+
+ private:
+  std::size_t num_classes_;
+  std::vector<std::size_t> classes_;
+};
+
+}  // namespace vbr::core

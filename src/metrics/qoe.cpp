@@ -1,0 +1,56 @@
+#include "metrics/qoe.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "metrics/stats.h"
+
+namespace vbr::metrics {
+
+QoeSummary compute_qoe(std::span<const PlayedChunk> played, double rebuffer_s,
+                       double startup_s, const QoeConfig& config) {
+  if (played.empty()) {
+    throw std::invalid_argument("compute_qoe: no played chunks");
+  }
+  QoeSummary s;
+  s.rebuffer_s = rebuffer_s;
+  s.startup_delay_s = startup_s;
+
+  std::size_t low = 0;
+  double bits = 0.0;
+  for (const PlayedChunk& c : played) {
+    s.all_qualities.push_back(c.quality);
+    if (c.complexity_class == config.top_class) {
+      s.q4_qualities.push_back(c.quality);
+    } else {
+      s.q13_qualities.push_back(c.quality);
+    }
+    if (c.quality < config.low_quality_threshold) {
+      ++low;
+    }
+    bits += c.size_bits;
+  }
+  s.low_quality_pct =
+      100.0 * static_cast<double>(low) / static_cast<double>(played.size());
+  s.data_usage_mb = bits / 8.0 / 1e6;
+  s.all_quality_mean = stats::mean(s.all_qualities);
+  if (!s.q4_qualities.empty()) {
+    s.q4_quality_mean = stats::mean(s.q4_qualities);
+    s.q4_quality_median = stats::median(s.q4_qualities);
+  }
+  if (!s.q13_qualities.empty()) {
+    s.q13_quality_mean = stats::mean(s.q13_qualities);
+  }
+
+  double change_sum = 0.0;
+  for (std::size_t i = 1; i < played.size(); ++i) {
+    change_sum += std::abs(played[i].quality - played[i - 1].quality);
+  }
+  s.avg_quality_change =
+      played.size() > 1
+          ? change_sum / static_cast<double>(played.size() - 1)
+          : 0.0;
+  return s;
+}
+
+}  // namespace vbr::metrics

@@ -1,0 +1,66 @@
+// The paper's five evaluation metrics (Section 6.1), computed over the
+// delivered video (the chunks actually downloaded and played back):
+//
+//  1. quality of Q4 chunks      — perceptual quality of the most complex
+//                                 scenes (higher is better);
+//  2. low-quality chunk %       — fraction of played chunks below a VMAF
+//                                 threshold (40 = poor/unacceptable);
+//  3. rebuffering duration      — total stall time;
+//  4. average quality change    — mean |q_{i+1} - q_i| over consecutive
+//                                 played chunks;
+//  5. data usage                — total bits downloaded.
+//
+// Quality is a perceptual metric (VMAF phone for cellular viewing, VMAF TV
+// for broadband/TV viewing), not bitrate — the paper explains why average
+// bitrate is a particularly poor metric for VBR.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "video/chunk.h"
+
+namespace vbr::metrics {
+
+/// One played-back chunk, as the QoE layer sees it.
+struct PlayedChunk {
+  std::size_t index = 0;        ///< Playback position.
+  double quality = 0.0;         ///< Score under the chosen metric.
+  double size_bits = 0.0;       ///< Bits downloaded for this chunk.
+  std::size_t complexity_class = 0;  ///< Q1..Qn class of this position.
+};
+
+struct QoeConfig {
+  double low_quality_threshold = 40.0;  ///< VMAF below this is "low quality".
+  std::size_t top_class = 3;            ///< Class index of "Q4" chunks.
+};
+
+/// Session-level QoE summary.
+struct QoeSummary {
+  double q4_quality_mean = 0.0;
+  double q4_quality_median = 0.0;
+  double q13_quality_mean = 0.0;   ///< Mean quality of non-Q4 chunks.
+  double all_quality_mean = 0.0;
+  double low_quality_pct = 0.0;    ///< Percent (0-100) of chunks below threshold.
+  double rebuffer_s = 0.0;
+  double startup_delay_s = 0.0;
+  double avg_quality_change = 0.0; ///< Mean |q_{i+1} - q_i|.
+  double data_usage_mb = 0.0;      ///< Megabytes downloaded.
+
+  /// Per-chunk quality values, kept for CDF plots.
+  std::vector<double> q4_qualities;
+  std::vector<double> q13_qualities;
+  std::vector<double> all_qualities;
+};
+
+/// Computes the summary for one session.
+/// @param played      chunks in playback order
+/// @param rebuffer_s  total stall time of the session
+/// @param startup_s   startup delay of the session
+/// Throws std::invalid_argument if `played` is empty.
+[[nodiscard]] QoeSummary compute_qoe(std::span<const PlayedChunk> played,
+                                     double rebuffer_s, double startup_s,
+                                     const QoeConfig& config = {});
+
+}  // namespace vbr::metrics

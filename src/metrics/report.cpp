@@ -1,0 +1,48 @@
+#include "metrics/report.h"
+
+#include <ostream>
+#include <sstream>
+
+namespace vbr::metrics {
+
+void write_qoe_csv(std::ostream& os, const std::string& label,
+                   std::span<const QoeSummary> per_trace,
+                   bool include_header) {
+  if (include_header) {
+    os << "label,trace_index,q4_mean,q4_median,q13_mean,all_mean,low_pct,"
+          "rebuffer_s,startup_s,quality_change,data_mb\n";
+  }
+  for (std::size_t i = 0; i < per_trace.size(); ++i) {
+    const QoeSummary& s = per_trace[i];
+    os << label << ',' << i << ',' << s.q4_quality_mean << ','
+       << s.q4_quality_median << ',' << s.q13_quality_mean << ','
+       << s.all_quality_mean << ',' << s.low_quality_pct << ','
+       << s.rebuffer_s << ',' << s.startup_delay_s << ','
+       << s.avg_quality_change << ',' << s.data_usage_mb << '\n';
+  }
+}
+
+void write_quality_samples_csv(std::ostream& os, const std::string& label,
+                               std::span<const QoeSummary> per_trace,
+                               bool include_header) {
+  if (include_header) {
+    os << "label,kind,quality\n";
+  }
+  for (const QoeSummary& s : per_trace) {
+    for (const double q : s.q4_qualities) {
+      os << label << ",q4," << q << '\n';
+    }
+    for (const double q : s.q13_qualities) {
+      os << label << ",q13," << q << '\n';
+    }
+  }
+}
+
+std::string qoe_csv_string(const std::string& label,
+                           std::span<const QoeSummary> rows) {
+  std::ostringstream oss;
+  write_qoe_csv(oss, label, rows);
+  return oss.str();
+}
+
+}  // namespace vbr::metrics

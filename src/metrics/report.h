@@ -1,0 +1,30 @@
+// CSV reporting for experiment outputs: per-trace QoE rows and pooled
+// per-chunk quality samples, consumable by any plotting pipeline.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+
+#include "metrics/qoe.h"
+
+namespace vbr::metrics {
+
+/// Writes a CSV header + one row per session summary:
+/// label,trace_index,q4_mean,q4_median,q13_mean,all_mean,low_pct,
+/// rebuffer_s,startup_s,quality_change,data_mb
+void write_qoe_csv(std::ostream& os, const std::string& label,
+                   std::span<const QoeSummary> per_trace,
+                   bool include_header = true);
+
+/// Writes pooled per-chunk quality samples, one row per chunk:
+/// label,kind,quality  (kind in {q4, q13}).
+void write_quality_samples_csv(std::ostream& os, const std::string& label,
+                               std::span<const QoeSummary> per_trace,
+                               bool include_header = true);
+
+/// Serializes to a string (convenience for tests and small exports).
+[[nodiscard]] std::string qoe_csv_string(const std::string& label,
+                                         std::span<const QoeSummary> rows);
+
+}  // namespace vbr::metrics

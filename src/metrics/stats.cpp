@@ -1,0 +1,178 @@
+#include "metrics/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace vbr::stats {
+
+namespace {
+
+void require_nonempty(std::span<const double> xs, const char* what) {
+  if (xs.empty()) {
+    throw std::invalid_argument(std::string(what) + ": empty input");
+  }
+}
+
+}  // namespace
+
+double mean(std::span<const double> xs) {
+  require_nonempty(xs, "mean");
+  return std::accumulate(xs.begin(), xs.end(), 0.0) /
+         static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) {
+  require_nonempty(xs, "stddev");
+  const double m = mean(xs);
+  double ss = 0.0;
+  for (const double x : xs) {
+    ss += (x - m) * (x - m);
+  }
+  return std::sqrt(ss / static_cast<double>(xs.size()));
+}
+
+double coefficient_of_variation(std::span<const double> xs) {
+  const double m = mean(xs);
+  if (m == 0.0) {
+    throw std::invalid_argument("coefficient_of_variation: zero mean");
+  }
+  return stddev(xs) / m;
+}
+
+double harmonic_mean(std::span<const double> xs) {
+  require_nonempty(xs, "harmonic_mean");
+  double inv_sum = 0.0;
+  for (const double x : xs) {
+    if (x <= 0.0) {
+      throw std::invalid_argument("harmonic_mean: non-positive sample");
+    }
+    inv_sum += 1.0 / x;
+  }
+  return static_cast<double>(xs.size()) / inv_sum;
+}
+
+double median(std::span<const double> xs) { return percentile(xs, 50.0); }
+
+double percentile(std::span<const double> xs, double p) {
+  require_nonempty(xs, "percentile");
+  if (p < 0.0 || p > 100.0) {
+    throw std::invalid_argument("percentile: p out of [0, 100]");
+  }
+  std::vector<double> v(xs.begin(), xs.end());
+  std::sort(v.begin(), v.end());
+  if (v.size() == 1) {
+    return v.front();
+  }
+  const double pos = p / 100.0 * static_cast<double>(v.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(pos));
+  const auto hi = static_cast<std::size_t>(std::ceil(pos));
+  const double frac = pos - static_cast<double>(lo);
+  return v[lo] + (v[hi] - v[lo]) * frac;
+}
+
+double pearson(std::span<const double> xs, std::span<const double> ys) {
+  if (xs.size() != ys.size()) {
+    throw std::invalid_argument("pearson: size mismatch");
+  }
+  require_nonempty(xs, "pearson");
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) {
+    throw std::invalid_argument("pearson: zero variance");
+  }
+  return sxy / std::sqrt(sxx * syy);
+}
+
+std::vector<double> ranks(std::span<const double> xs) {
+  const std::size_t n = xs.size();
+  std::vector<std::size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  std::sort(idx.begin(), idx.end(),
+            [&](std::size_t a, std::size_t b) { return xs[a] < xs[b]; });
+  std::vector<double> r(n, 0.0);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && xs[idx[j + 1]] == xs[idx[i]]) {
+      ++j;
+    }
+    // Average rank for the tie group [i, j] (ranks are 1-based).
+    const double avg_rank = (static_cast<double>(i) + static_cast<double>(j)) /
+                                2.0 +
+                            1.0;
+    for (std::size_t k = i; k <= j; ++k) {
+      r[idx[k]] = avg_rank;
+    }
+    i = j + 1;
+  }
+  return r;
+}
+
+double spearman(std::span<const double> xs, std::span<const double> ys) {
+  if (xs.size() != ys.size()) {
+    throw std::invalid_argument("spearman: size mismatch");
+  }
+  const std::vector<double> rx = ranks(xs);
+  const std::vector<double> ry = ranks(ys);
+  return pearson(rx, ry);
+}
+
+Quartiles quartiles(std::span<const double> xs) {
+  return Quartiles{.q25 = percentile(xs, 25.0),
+                   .q50 = percentile(xs, 50.0),
+                   .q75 = percentile(xs, 75.0)};
+}
+
+EmpiricalCdf::EmpiricalCdf(std::vector<double> samples)
+    : sorted_(std::move(samples)) {
+  if (sorted_.empty()) {
+    throw std::invalid_argument("EmpiricalCdf: empty sample set");
+  }
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double EmpiricalCdf::at(double x) const {
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(std::distance(sorted_.begin(), it)) /
+         static_cast<double>(sorted_.size());
+}
+
+double EmpiricalCdf::quantile(double q) const {
+  if (q <= 0.0 || q > 1.0) {
+    throw std::invalid_argument("EmpiricalCdf::quantile: q out of (0, 1]");
+  }
+  const auto n = static_cast<double>(sorted_.size());
+  const auto idx = static_cast<std::size_t>(std::ceil(q * n)) - 1;
+  return sorted_[std::min(idx, sorted_.size() - 1)];
+}
+
+std::vector<std::pair<double, double>> EmpiricalCdf::curve(
+    std::size_t n) const {
+  if (n < 2) {
+    throw std::invalid_argument("EmpiricalCdf::curve: need n >= 2");
+  }
+  std::vector<std::pair<double, double>> pts;
+  pts.reserve(n);
+  const double lo = sorted_.front();
+  const double hi = sorted_.back();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x =
+        lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(n - 1);
+    pts.emplace_back(x, at(x));
+  }
+  return pts;
+}
+
+}  // namespace vbr::stats

@@ -1,0 +1,77 @@
+// Basic statistics utilities used throughout the library: means, percentiles,
+// coefficient of variation, empirical CDFs, and correlation coefficients.
+//
+// These back both the VBR dataset characterization (Section 2/3 of the paper:
+// bitrate CoV, cross-track rank correlation) and the evaluation harness
+// (Section 6: CDFs across network traces, percentile bands).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace vbr::stats {
+
+/// Arithmetic mean. Throws std::invalid_argument on empty input.
+double mean(std::span<const double> xs);
+
+/// Population standard deviation. Throws std::invalid_argument on empty input.
+double stddev(std::span<const double> xs);
+
+/// Coefficient of variation (stddev / mean). Requires a non-zero mean.
+double coefficient_of_variation(std::span<const double> xs);
+
+/// Harmonic mean. All samples must be strictly positive.
+double harmonic_mean(std::span<const double> xs);
+
+/// Median (linear-interpolated). Throws std::invalid_argument on empty input.
+double median(std::span<const double> xs);
+
+/// p-th percentile with linear interpolation, p in [0, 100].
+double percentile(std::span<const double> xs, double p);
+
+/// Pearson linear correlation coefficient. Both spans must have the same,
+/// non-zero length and non-zero variance.
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/// Spearman rank correlation coefficient (average ranks for ties).
+double spearman(std::span<const double> xs, std::span<const double> ys);
+
+/// Ranks of the samples (1-based, average rank for ties).
+std::vector<double> ranks(std::span<const double> xs);
+
+/// Quartile thresholds [q25, q50, q75] of the sample distribution.
+struct Quartiles {
+  double q25 = 0.0;
+  double q50 = 0.0;
+  double q75 = 0.0;
+};
+Quartiles quartiles(std::span<const double> xs);
+
+/// An empirical CDF over a sample set: sorted values with evaluation helpers.
+class EmpiricalCdf {
+ public:
+  /// Builds the CDF from samples. Throws std::invalid_argument on empty input.
+  explicit EmpiricalCdf(std::vector<double> samples);
+
+  /// Fraction of samples <= x.
+  [[nodiscard]] double at(double x) const;
+
+  /// Inverse CDF: smallest sample value v with at(v) >= q, q in (0, 1].
+  [[nodiscard]] double quantile(double q) const;
+
+  [[nodiscard]] std::size_t size() const { return sorted_.size(); }
+  [[nodiscard]] const std::vector<double>& sorted_samples() const {
+    return sorted_;
+  }
+
+  /// Evaluation points for plotting: `n` (x, F(x)) pairs spanning the sample
+  /// range.
+  [[nodiscard]] std::vector<std::pair<double, double>> curve(
+      std::size_t n = 50) const;
+
+ private:
+  std::vector<double> sorted_;
+};
+
+}  // namespace vbr::stats

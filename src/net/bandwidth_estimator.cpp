@@ -1,0 +1,109 @@
+#include "net/bandwidth_estimator.h"
+
+#include <stdexcept>
+
+namespace vbr::net {
+
+namespace {
+
+double throughput_of(double bits, double duration_s) {
+  if (bits <= 0.0 || duration_s <= 0.0) {
+    throw std::invalid_argument(
+        "BandwidthEstimator: non-positive bits or duration");
+  }
+  return bits / duration_s;
+}
+
+}  // namespace
+
+HarmonicMeanEstimator::HarmonicMeanEstimator(std::size_t window,
+                                             double initial_bps)
+    : window_(window), initial_bps_(initial_bps) {
+  if (window_ == 0 || initial_bps_ <= 0.0) {
+    throw std::invalid_argument("HarmonicMeanEstimator: bad params");
+  }
+}
+
+void HarmonicMeanEstimator::on_chunk_downloaded(double bits,
+                                                double duration_s,
+                                                double /*now_s*/) {
+  samples_.push_back(throughput_of(bits, duration_s));
+  if (samples_.size() > window_) {
+    samples_.pop_front();
+  }
+}
+
+double HarmonicMeanEstimator::estimate_bps(double /*now_s*/) const {
+  if (samples_.empty()) {
+    return initial_bps_;
+  }
+  double inv_sum = 0.0;
+  for (const double s : samples_) {
+    inv_sum += 1.0 / s;
+  }
+  return static_cast<double>(samples_.size()) / inv_sum;
+}
+
+void HarmonicMeanEstimator::reset() { samples_.clear(); }
+
+EwmaEstimator::EwmaEstimator(double alpha, double initial_bps)
+    : alpha_(alpha), initial_bps_(initial_bps) {
+  if (alpha_ <= 0.0 || alpha_ > 1.0 || initial_bps_ <= 0.0) {
+    throw std::invalid_argument("EwmaEstimator: bad params");
+  }
+}
+
+void EwmaEstimator::on_chunk_downloaded(double bits, double duration_s,
+                                        double /*now_s*/) {
+  const double tput = throughput_of(bits, duration_s);
+  if (!seeded_) {
+    value_ = tput;
+    seeded_ = true;
+  } else {
+    value_ = alpha_ * tput + (1.0 - alpha_) * value_;
+  }
+}
+
+double EwmaEstimator::estimate_bps(double /*now_s*/) const {
+  return seeded_ ? value_ : initial_bps_;
+}
+
+void EwmaEstimator::reset() {
+  value_ = 0.0;
+  seeded_ = false;
+}
+
+SlidingMeanEstimator::SlidingMeanEstimator(std::size_t window,
+                                           double initial_bps)
+    : window_(window), initial_bps_(initial_bps) {
+  if (window_ == 0 || initial_bps_ <= 0.0) {
+    throw std::invalid_argument("SlidingMeanEstimator: bad params");
+  }
+}
+
+void SlidingMeanEstimator::on_chunk_downloaded(double bits, double duration_s,
+                                               double /*now_s*/) {
+  samples_.push_back(throughput_of(bits, duration_s));
+  if (samples_.size() > window_) {
+    samples_.pop_front();
+  }
+}
+
+double SlidingMeanEstimator::estimate_bps(double /*now_s*/) const {
+  if (samples_.empty()) {
+    return initial_bps_;
+  }
+  double sum = 0.0;
+  for (const double s : samples_) {
+    sum += s;
+  }
+  return sum / static_cast<double>(samples_.size());
+}
+
+void SlidingMeanEstimator::reset() { samples_.clear(); }
+
+std::unique_ptr<BandwidthEstimator> make_default_estimator() {
+  return std::make_unique<HarmonicMeanEstimator>(5);
+}
+
+}  // namespace vbr::net

@@ -1,0 +1,102 @@
+// Application-level bandwidth estimators.
+//
+// ABR logic sees the network only through per-chunk download throughput. The
+// paper standardizes on the harmonic mean of the last 5 chunk throughputs
+// (robust to outliers; used by MPC and the paper's dash.js module); EWMA and
+// sliding-mean estimators are provided for comparison, and an oracle with
+// controlled error supports the Section 6.7 sensitivity study (see
+// error_model.h).
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <string>
+
+namespace vbr::net {
+
+/// Interface: consumes per-chunk download observations, produces a bandwidth
+/// estimate in bits/second.
+class BandwidthEstimator {
+ public:
+  virtual ~BandwidthEstimator() = default;
+
+  /// Reports a completed chunk download.
+  /// @param bits        chunk size in bits
+  /// @param duration_s  wall-clock download time (> 0)
+  /// @param now_s       absolute session time at completion
+  virtual void on_chunk_downloaded(double bits, double duration_s,
+                                   double now_s) = 0;
+
+  /// Current estimate (bps). Implementations return a conservative default
+  /// until the first observation. `now_s` lets oracle estimators look up the
+  /// true bandwidth.
+  [[nodiscard]] virtual double estimate_bps(double now_s) const = 0;
+
+  /// Clears history for a fresh session.
+  virtual void reset() = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Harmonic mean of the last `window` chunk throughputs (paper default: 5).
+class HarmonicMeanEstimator final : public BandwidthEstimator {
+ public:
+  explicit HarmonicMeanEstimator(std::size_t window = 5,
+                                 double initial_bps = 1e6);
+
+  void on_chunk_downloaded(double bits, double duration_s,
+                           double now_s) override;
+  [[nodiscard]] double estimate_bps(double now_s) const override;
+  void reset() override;
+  [[nodiscard]] std::string name() const override { return "harmonic-mean"; }
+
+  /// Most recent per-chunk throughput samples (newest last).
+  [[nodiscard]] const std::deque<double>& samples() const { return samples_; }
+
+ private:
+  std::size_t window_;
+  double initial_bps_;
+  std::deque<double> samples_;
+};
+
+/// Exponentially weighted moving average of chunk throughputs.
+class EwmaEstimator final : public BandwidthEstimator {
+ public:
+  explicit EwmaEstimator(double alpha = 0.3, double initial_bps = 1e6);
+
+  void on_chunk_downloaded(double bits, double duration_s,
+                           double now_s) override;
+  [[nodiscard]] double estimate_bps(double now_s) const override;
+  void reset() override;
+  [[nodiscard]] std::string name() const override { return "ewma"; }
+
+ private:
+  double alpha_;
+  double initial_bps_;
+  double value_ = 0.0;
+  bool seeded_ = false;
+};
+
+/// Arithmetic mean of the last `window` chunk throughputs.
+class SlidingMeanEstimator final : public BandwidthEstimator {
+ public:
+  explicit SlidingMeanEstimator(std::size_t window = 5,
+                                double initial_bps = 1e6);
+
+  void on_chunk_downloaded(double bits, double duration_s,
+                           double now_s) override;
+  [[nodiscard]] double estimate_bps(double now_s) const override;
+  void reset() override;
+  [[nodiscard]] std::string name() const override { return "sliding-mean"; }
+
+ private:
+  std::size_t window_;
+  double initial_bps_;
+  std::deque<double> samples_;
+};
+
+/// Convenience: the paper's default estimator.
+[[nodiscard]] std::unique_ptr<BandwidthEstimator> make_default_estimator();
+
+}  // namespace vbr::net

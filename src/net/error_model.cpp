@@ -1,0 +1,37 @@
+#include "net/error_model.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vbr::net {
+
+NoisyOracleEstimator::NoisyOracleEstimator(const Trace& trace, double err,
+                                           std::uint64_t seed)
+    : trace_(&trace), err_(err), seed_(seed), rng_(seed) {
+  if (err_ < 0.0 || err_ >= 1.0) {
+    throw std::invalid_argument("NoisyOracleEstimator: err out of [0, 1)");
+  }
+}
+
+void NoisyOracleEstimator::on_chunk_downloaded(double /*bits*/,
+                                               double /*duration_s*/,
+                                               double /*now_s*/) {
+  // Oracle: observations are not needed.
+}
+
+double NoisyOracleEstimator::estimate_bps(double now_s) const {
+  const double truth = trace_->bandwidth_at(std::max(now_s, 0.0));
+  if (err_ == 0.0) {
+    return truth;
+  }
+  std::uniform_real_distribution<double> u(1.0 - err_, 1.0 + err_);
+  return std::max(truth * u(rng_), 1.0);
+}
+
+void NoisyOracleEstimator::reset() { rng_.seed(seed_); }
+
+std::string NoisyOracleEstimator::name() const {
+  return "noisy-oracle(err=" + std::to_string(err_) + ")";
+}
+
+}  // namespace vbr::net

@@ -1,0 +1,41 @@
+// Controlled bandwidth-prediction error (paper Section 6.7).
+//
+// The sensitivity study replaces the estimator with an oracle perturbed by a
+// uniform relative error: if the true bandwidth at decision time is C_t, the
+// prediction is drawn uniformly from C_t * (1 +/- err). err = 0 is a perfect
+// oracle; the paper sweeps err in {0, 25%, 50%}.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string>
+
+#include "net/bandwidth_estimator.h"
+#include "net/trace.h"
+
+namespace vbr::net {
+
+/// Oracle estimator with uniform relative error, reading the true bandwidth
+/// from the replayed trace. The caller must keep the trace alive for the
+/// estimator's lifetime.
+class NoisyOracleEstimator final : public BandwidthEstimator {
+ public:
+  /// @param trace  the trace being replayed (not owned)
+  /// @param err    relative error bound in [0, 1)
+  /// @param seed   deterministic RNG seed
+  NoisyOracleEstimator(const Trace& trace, double err, std::uint64_t seed);
+
+  void on_chunk_downloaded(double bits, double duration_s,
+                           double now_s) override;
+  [[nodiscard]] double estimate_bps(double now_s) const override;
+  void reset() override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  const Trace* trace_;
+  double err_;
+  std::uint64_t seed_;
+  mutable std::mt19937_64 rng_;
+};
+
+}  // namespace vbr::net

@@ -1,0 +1,90 @@
+#include "net/trace.h"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace vbr::net {
+
+Trace::Trace(std::string name, double sample_period_s,
+             std::vector<double> bandwidth_bps)
+    : name_(std::move(name)),
+      sample_period_s_(sample_period_s),
+      bandwidth_bps_(std::move(bandwidth_bps)) {
+  if (sample_period_s_ <= 0.0) {
+    throw std::invalid_argument("Trace: non-positive sample period");
+  }
+  if (bandwidth_bps_.empty()) {
+    throw std::invalid_argument("Trace: empty trace");
+  }
+  double sum = 0.0;
+  double max_bps = 0.0;
+  for (const double b : bandwidth_bps_) {
+    if (b < 0.0 || !std::isfinite(b)) {
+      throw std::invalid_argument("Trace: invalid bandwidth sample");
+    }
+    sum += b;
+    max_bps = std::max(max_bps, b);
+  }
+  if (max_bps == 0.0) {
+    throw std::invalid_argument("Trace: all-zero trace cannot be replayed");
+  }
+  avg_bps_ = sum / static_cast<double>(bandwidth_bps_.size());
+}
+
+double Trace::bandwidth_at(double t) const {
+  if (t < 0.0) {
+    throw std::invalid_argument("Trace::bandwidth_at: negative time");
+  }
+  const double wrapped = std::fmod(t, duration_s());
+  auto idx = static_cast<std::size_t>(wrapped / sample_period_s_);
+  if (idx >= bandwidth_bps_.size()) {
+    idx = bandwidth_bps_.size() - 1;  // guard fmod edge at exact duration
+  }
+  return bandwidth_bps_[idx];
+}
+
+double Trace::download_duration_s(double start_s, double bits) const {
+  if (bits <= 0.0) {
+    throw std::invalid_argument("Trace::download_duration_s: bits must be > 0");
+  }
+  if (start_s < 0.0) {
+    throw std::invalid_argument("Trace::download_duration_s: negative start");
+  }
+  double remaining = bits;
+  double t = start_s;
+  // Walk sample boundaries, consuming bandwidth * dt bits per step.
+  while (true) {
+    const double bw = bandwidth_at(t);
+    const double wrapped = std::fmod(t, duration_s());
+    const double sample_end =
+        (std::floor(wrapped / sample_period_s_) + 1.0) * sample_period_s_;
+    const double dt = sample_end - wrapped;
+    if (bw > 0.0 && remaining <= bw * dt) {
+      return (t - start_s) + remaining / bw;
+    }
+    remaining -= bw * dt;
+    t += dt;
+  }
+}
+
+double Trace::average_bandwidth_bps(double start_s, double window_s) const {
+  if (window_s <= 0.0) {
+    throw std::invalid_argument("Trace::average_bandwidth_bps: bad window");
+  }
+  // Integrate in sample-aligned steps.
+  double t = start_s;
+  const double end = start_s + window_s;
+  double bits = 0.0;
+  while (t < end) {
+    const double wrapped = std::fmod(t, duration_s());
+    const double sample_end =
+        (std::floor(wrapped / sample_period_s_) + 1.0) * sample_period_s_;
+    const double dt = std::min(sample_end - wrapped, end - t);
+    bits += bandwidth_at(t) * dt;
+    t += dt;
+  }
+  return bits / window_s;
+}
+
+}  // namespace vbr::net

@@ -1,0 +1,61 @@
+// Bandwidth traces and trace replay.
+//
+// A trace is a piecewise-constant bandwidth time series (the paper's LTE set
+// is per-1 s, the FCC broadband set per-5 s). Replay integrates bandwidth
+// over time to answer "how long does downloading B bits take starting at t",
+// which is all the streaming simulator needs. Traces loop when a session
+// outlives them (the paper's traces are >= 18 min for ~10 min videos, so
+// looping is rare and only triggered by heavy stalling).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace vbr::net {
+
+/// A piecewise-constant bandwidth trace.
+class Trace {
+ public:
+  /// @param name           identifier for reporting
+  /// @param sample_period_s duration of each sample (1 s LTE, 5 s FCC)
+  /// @param bandwidth_bps  per-sample bandwidth; must be non-empty, all
+  ///                       samples >= 0, and at least one sample > 0
+  Trace(std::string name, double sample_period_s,
+        std::vector<double> bandwidth_bps);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] double sample_period_s() const { return sample_period_s_; }
+  [[nodiscard]] std::size_t num_samples() const {
+    return bandwidth_bps_.size();
+  }
+  [[nodiscard]] double duration_s() const {
+    return sample_period_s_ * static_cast<double>(bandwidth_bps_.size());
+  }
+  [[nodiscard]] const std::vector<double>& samples_bps() const {
+    return bandwidth_bps_;
+  }
+
+  /// Instantaneous bandwidth at absolute time t >= 0 (looping past the end).
+  [[nodiscard]] double bandwidth_at(double t) const;
+
+  /// Mean bandwidth over the whole trace.
+  [[nodiscard]] double average_bandwidth_bps() const { return avg_bps_; }
+
+  /// Time needed to download `bits` starting at absolute time `start_s`.
+  /// Zero-bandwidth stretches simply elapse. `bits` must be > 0.
+  [[nodiscard]] double download_duration_s(double start_s, double bits) const;
+
+  /// Average bandwidth over the window [start_s, start_s + window_s).
+  [[nodiscard]] double average_bandwidth_bps(double start_s,
+                                             double window_s) const;
+
+ private:
+  std::string name_;
+  double sample_period_s_;
+  std::vector<double> bandwidth_bps_;
+  double avg_bps_ = 0.0;
+};
+
+}  // namespace vbr::net

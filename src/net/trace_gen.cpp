@@ -1,0 +1,151 @@
+#include "net/trace_gen.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+namespace vbr::net {
+
+namespace {
+
+constexpr double kMbps = 1e6;
+
+// LTE link-condition states: mean throughput per state.
+struct LinkState {
+  double mean_mbps;
+  double jitter_sigma;  // lognormal sigma of per-second jitter
+};
+
+constexpr std::array<LinkState, 5> kLteStates = {{
+    {0.15, 0.50},  // outage / deep fade
+    {0.50, 0.40},  // poor
+    {1.30, 0.30},  // fair
+    {2.20, 0.25},  // good
+    {4.80, 0.25},  // excellent
+}};
+
+// Row-stochastic transition matrix between link states; mass concentrated on
+// neighbours (coverage changes gradually while driving, with rare jumps).
+constexpr std::array<std::array<double, 5>, 5> kLteTransitions = {{
+    {0.20, 0.60, 0.15, 0.04, 0.01},
+    {0.15, 0.30, 0.40, 0.12, 0.03},
+    {0.04, 0.18, 0.38, 0.32, 0.08},
+    {0.01, 0.06, 0.25, 0.43, 0.25},
+    {0.01, 0.03, 0.10, 0.36, 0.50},
+}};
+
+std::size_t next_state(std::size_t s, double u) {
+  double acc = 0.0;
+  for (std::size_t j = 0; j < kLteTransitions[s].size(); ++j) {
+    acc += kLteTransitions[s][j];
+    if (u < acc) {
+      return j;
+    }
+  }
+  return kLteTransitions[s].size() - 1;
+}
+
+}  // namespace
+
+Trace generate_lte_trace(std::uint64_t seed, const LteTraceParams& params) {
+  if (params.duration_s <= 0.0 || params.sample_period_s <= 0.0 ||
+      params.mean_dwell_s < params.sample_period_s) {
+    throw std::invalid_argument("generate_lte_trace: bad params");
+  }
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> uni(0.0, 1.0);
+  std::normal_distribution<double> gauss(0.0, 1.0);
+
+  const auto n = static_cast<std::size_t>(
+      std::ceil(params.duration_s / params.sample_period_s));
+  // Per-trace coverage scale: which part of the country this drive crossed.
+  const double trace_scale = std::exp(params.trace_scale_sigma * gauss(rng));
+
+  std::vector<double> samples;
+  samples.reserve(n);
+  std::size_t state = 2 + static_cast<std::size_t>(uni(rng) * 3.0) % 3;
+  std::geometric_distribution<int> dwell(
+      params.sample_period_s / params.mean_dwell_s);
+  std::size_t remaining_dwell = static_cast<std::size_t>(1 + dwell(rng));
+
+  // Per-second fading is autocorrelated (AR(1) in the log domain): real
+  // drive traces vary smoothly within a coverage state.
+  constexpr double kFadePhi = 0.75;
+  double fade = 0.0;
+  while (samples.size() < n) {
+    if (remaining_dwell == 0) {
+      state = next_state(state, uni(rng));
+      remaining_dwell = static_cast<std::size_t>(1 + dwell(rng));
+    }
+    const LinkState& ls = kLteStates[state];
+    const double innovation_sigma =
+        ls.jitter_sigma * std::sqrt(1.0 - kFadePhi * kFadePhi);
+    fade = kFadePhi * fade + innovation_sigma * gauss(rng);
+    const double bw =
+        ls.mean_mbps * trace_scale *
+        std::exp(fade - 0.5 * ls.jitter_sigma * ls.jitter_sigma);
+    samples.push_back(std::max(bw, 0.01) * kMbps);
+    --remaining_dwell;
+  }
+  return Trace("lte-" + std::to_string(seed), params.sample_period_s,
+               std::move(samples));
+}
+
+Trace generate_fcc_trace(std::uint64_t seed, const FccTraceParams& params) {
+  if (params.duration_s <= 0.0 || params.sample_period_s <= 0.0 ||
+      params.min_base_mbps <= 0.0 ||
+      params.max_base_mbps < params.min_base_mbps) {
+    throw std::invalid_argument("generate_fcc_trace: bad params");
+  }
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> uni(0.0, 1.0);
+  std::normal_distribution<double> gauss(0.0, 1.0);
+
+  const auto n = static_cast<std::size_t>(
+      std::ceil(params.duration_s / params.sample_period_s));
+
+  // Per-trace provisioned tier: clipped lognormal across households.
+  const double base_mbps =
+      std::clamp(3.5 * std::exp(0.65 * gauss(rng)), params.min_base_mbps,
+                 params.max_base_mbps);
+
+  std::vector<double> samples;
+  samples.reserve(n);
+  double level = 1.0;  // AR(1) multiplicative deviation around the base
+  for (std::size_t i = 0; i < n; ++i) {
+    level = 1.0 + 0.85 * (level - 1.0) + 0.05 * gauss(rng);
+    level = std::clamp(level, 0.5, 1.3);
+    double bw = base_mbps * level;
+    if (uni(rng) < params.dip_prob) {
+      // Short congestion event: cross traffic or peak-hour slowdown.
+      bw *= 0.25 + 0.35 * uni(rng);
+    }
+    samples.push_back(std::max(bw, 0.05) * kMbps);
+  }
+  return Trace("fcc-" + std::to_string(seed), params.sample_period_s,
+               std::move(samples));
+}
+
+std::vector<Trace> make_lte_trace_set(std::size_t count, std::uint64_t seed,
+                                      const LteTraceParams& params) {
+  std::vector<Trace> set;
+  set.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    set.push_back(generate_lte_trace(seed * 1000003ULL + i, params));
+  }
+  return set;
+}
+
+std::vector<Trace> make_fcc_trace_set(std::size_t count, std::uint64_t seed,
+                                      const FccTraceParams& params) {
+  std::vector<Trace> set;
+  set.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    set.push_back(generate_fcc_trace(seed * 1000033ULL + i, params));
+  }
+  return set;
+}
+
+}  // namespace vbr::net

@@ -1,0 +1,61 @@
+// Synthetic network trace generators.
+//
+// Substitutes for the paper's two trace sets:
+//  - LTE: 200 cellular traces captured on a coast-to-coast drive, per-1 s
+//    throughput. Modeled as a Markov-modulated process over link-condition
+//    states (outage / poor / fair / good / excellent) with lognormal
+//    per-second jitter — highly dynamic, heavy-tailed, with occasional
+//    outages, as cellular drive traces are.
+//  - FCC: 200 fixed-broadband traces from the FCC Measuring Broadband
+//    America dataset, per-5 s throughput. Modeled as a slowly varying AR(1)
+//    process around a per-trace base rate with rare congestion dips —
+//    much smoother than LTE, as the paper notes.
+//
+// All generation is deterministic in the seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/trace.h"
+
+namespace vbr::net {
+
+/// LTE generator parameters.
+struct LteTraceParams {
+  double duration_s = 1200.0;  ///< >= 18 min in the paper; 20 min default.
+  double sample_period_s = 1.0;
+  double mean_dwell_s = 8.0;   ///< Mean sojourn in one link state.
+  /// Per-trace overall scale spread (lognormal sigma): some drives are in
+  /// good coverage, some poor.
+  double trace_scale_sigma = 0.30;
+};
+
+/// FCC broadband generator parameters.
+struct FccTraceParams {
+  double duration_s = 1200.0;
+  double sample_period_s = 5.0;
+  double min_base_mbps = 1.5;   ///< Slowest broadband tier.
+  double max_base_mbps = 12.0;  ///< Fastest tier (clipped lognormal).
+  double dip_prob = 0.02;       ///< Per-sample chance of a congestion dip.
+};
+
+/// Generates one LTE-like trace. Deterministic in `seed`.
+[[nodiscard]] Trace generate_lte_trace(std::uint64_t seed,
+                                       const LteTraceParams& params = {});
+
+/// Generates one FCC-like broadband trace. Deterministic in `seed`.
+[[nodiscard]] Trace generate_fcc_trace(std::uint64_t seed,
+                                       const FccTraceParams& params = {});
+
+/// The full LTE set (paper: 200 traces).
+[[nodiscard]] std::vector<Trace> make_lte_trace_set(
+    std::size_t count = 200, std::uint64_t seed = 7,
+    const LteTraceParams& params = {});
+
+/// The full FCC set (paper: 200 traces).
+[[nodiscard]] std::vector<Trace> make_fcc_trace_set(
+    std::size_t count = 200, std::uint64_t seed = 11,
+    const FccTraceParams& params = {});
+
+}  // namespace vbr::net

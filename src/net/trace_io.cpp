@@ -1,0 +1,95 @@
+#include "net/trace_io.h"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace vbr::net {
+
+namespace {
+
+constexpr const char* kMagic = "VBR-TRACE/1";
+
+}  // namespace
+
+void write_trace(std::ostream& os, const Trace& t) {
+  os << kMagic << " " << t.name() << " " << std::setprecision(12)
+     << t.sample_period_s() << "\n";
+  for (const double s : t.samples_bps()) {
+    os << s << "\n";
+  }
+}
+
+Trace read_trace(std::istream& is) {
+  std::string magic;
+  std::string name;
+  double period = 0.0;
+  if (!(is >> magic) || magic != kMagic) {
+    throw std::runtime_error("trace: bad magic");
+  }
+  if (!(is >> name >> period)) {
+    throw std::runtime_error("trace: bad header");
+  }
+  std::vector<double> samples;
+  std::string line;
+  std::getline(is, line);  // consume the rest of the header line
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    std::istringstream ls(line);
+    double v = 0.0;
+    if (!(ls >> v)) {
+      throw std::runtime_error("trace: bad sample line '" + line + "'");
+    }
+    samples.push_back(v);
+  }
+  try {
+    return Trace(name, period, std::move(samples));
+  } catch (const std::invalid_argument& e) {
+    throw std::runtime_error(std::string("trace: ") + e.what());
+  }
+}
+
+std::string to_trace_string(const Trace& t) {
+  std::ostringstream oss;
+  write_trace(oss, t);
+  return oss.str();
+}
+
+Trace from_trace_string(const std::string& text) {
+  std::istringstream iss(text);
+  return read_trace(iss);
+}
+
+std::vector<std::string> write_trace_set(const std::string& directory,
+                                         const std::vector<Trace>& traces) {
+  std::vector<std::string> paths;
+  paths.reserve(traces.size());
+  for (const Trace& t : traces) {
+    const std::string path = directory + "/" + t.name() + ".trace";
+    std::ofstream out(path);
+    if (!out) {
+      throw std::runtime_error("trace: cannot open " + path);
+    }
+    write_trace(out, t);
+    paths.push_back(path);
+  }
+  return paths;
+}
+
+std::vector<Trace> read_trace_files(const std::vector<std::string>& paths) {
+  std::vector<Trace> traces;
+  traces.reserve(paths.size());
+  for (const std::string& path : paths) {
+    std::ifstream in(path);
+    if (!in) {
+      throw std::runtime_error("trace: cannot open " + path);
+    }
+    traces.push_back(read_trace(in));
+  }
+  return traces;
+}
+
+}  // namespace vbr::net

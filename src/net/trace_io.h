@@ -1,0 +1,43 @@
+// Trace file I/O.
+//
+// Lets users replay their own bandwidth measurements (e.g. real drive-test
+// captures or FCC MBA exports) instead of the synthetic generators. The text
+// format is one line of metadata followed by one throughput sample per line:
+//
+//   VBR-TRACE/1 <name> <sample_period_s>
+//   <bandwidth_bps>
+//   <bandwidth_bps>
+//   ...
+//
+// Lines starting with '#' are comments and are skipped.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "net/trace.h"
+
+namespace vbr::net {
+
+/// Writes `t` in trace text format.
+void write_trace(std::ostream& os, const Trace& t);
+
+/// Parses a trace. Throws std::runtime_error on malformed input.
+[[nodiscard]] Trace read_trace(std::istream& is);
+
+/// Serializes to / parses from strings.
+[[nodiscard]] std::string to_trace_string(const Trace& t);
+[[nodiscard]] Trace from_trace_string(const std::string& text);
+
+/// Writes a whole trace set to a directory, one file per trace, named
+/// `<name>.trace`. Returns the file paths. Throws std::runtime_error if a
+/// file cannot be opened.
+std::vector<std::string> write_trace_set(const std::string& directory,
+                                         const std::vector<Trace>& traces);
+
+/// Reads every `.trace` file in `paths`.
+[[nodiscard]] std::vector<Trace> read_trace_files(
+    const std::vector<std::string>& paths);
+
+}  // namespace vbr::net

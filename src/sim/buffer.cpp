@@ -1,0 +1,42 @@
+#include "sim/buffer.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vbr::sim {
+
+PlayoutBuffer::PlayoutBuffer(double capacity_s) : capacity_s_(capacity_s) {
+  if (capacity_s_ <= 0.0) {
+    throw std::invalid_argument("PlayoutBuffer: non-positive capacity");
+  }
+}
+
+double PlayoutBuffer::elapse(double dt) {
+  if (dt < 0.0) {
+    throw std::invalid_argument("PlayoutBuffer::elapse: negative dt");
+  }
+  if (!playing_) {
+    return 0.0;
+  }
+  const double drained = std::min(level_s_, dt);
+  level_s_ -= drained;
+  return dt - drained;  // time spent with an empty buffer = stall
+}
+
+void PlayoutBuffer::add_chunk(double chunk_duration_s) {
+  if (chunk_duration_s <= 0.0) {
+    throw std::invalid_argument("PlayoutBuffer::add_chunk: bad duration");
+  }
+  // Tolerate tiny floating-point excess (event-driven simulations carry
+  // sub-microsecond residue); anything more is a session bug.
+  if (level_s_ + chunk_duration_s > capacity_s_ + 1e-6) {
+    throw std::logic_error("PlayoutBuffer: overflow — session must gate");
+  }
+  level_s_ = std::min(level_s_ + chunk_duration_s, capacity_s_);
+}
+
+double PlayoutBuffer::time_until_room_for(double chunk_duration_s) const {
+  return std::max(level_s_ + chunk_duration_s - capacity_s_, 0.0);
+}
+
+}  // namespace vbr::sim

@@ -1,0 +1,46 @@
+// Playout buffer dynamics.
+//
+// The buffer holds seconds of downloaded-but-unplayed video. It fills by one
+// chunk duration per completed download and drains in real time while
+// playback is active; draining below empty is a stall. Capacity is bounded
+// (the paper caps all schemes at 100 s) — the player must not fetch a chunk
+// that would overflow it.
+#pragma once
+
+namespace vbr::sim {
+
+class PlayoutBuffer {
+ public:
+  /// @param capacity_s maximum buffer level in seconds (> 0)
+  explicit PlayoutBuffer(double capacity_s);
+
+  /// Seconds of video currently buffered.
+  [[nodiscard]] double level_s() const { return level_s_; }
+  [[nodiscard]] double capacity_s() const { return capacity_s_; }
+
+  /// Whether playback has started (set by the session after the startup
+  /// latency is met).
+  [[nodiscard]] bool playing() const { return playing_; }
+  void start_playback() { playing_ = true; }
+
+  /// Advances wall-clock time by dt while (possibly) playing. Returns the
+  /// stall time incurred (time during which playback was active but the
+  /// buffer was empty). When playback hasn't started, nothing drains and
+  /// nothing stalls.
+  double elapse(double dt);
+
+  /// Adds one downloaded chunk's worth of content. Throws std::logic_error
+  /// on overflow beyond capacity (the session must gate downloads).
+  void add_chunk(double chunk_duration_s);
+
+  /// Seconds until there is room for another chunk of the given duration
+  /// (0 if it already fits). Only meaningful while playing.
+  [[nodiscard]] double time_until_room_for(double chunk_duration_s) const;
+
+ private:
+  double capacity_s_;
+  double level_s_ = 0.0;
+  bool playing_ = false;
+};
+
+}  // namespace vbr::sim

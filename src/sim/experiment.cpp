@@ -1,0 +1,148 @@
+#include "sim/experiment.h"
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+
+#include "core/complexity_classifier.h"
+#include "metrics/stats.h"
+
+namespace vbr::sim {
+
+EstimatorFactory default_estimator_factory() {
+  return [](const net::Trace&) { return net::make_default_estimator(); };
+}
+
+namespace {
+
+template <typename Getter>
+std::vector<double> collect(const std::vector<metrics::QoeSummary>& xs,
+                            Getter get) {
+  std::vector<double> v;
+  v.reserve(xs.size());
+  for (const metrics::QoeSummary& s : xs) {
+    v.push_back(get(s));
+  }
+  return v;
+}
+
+template <typename Getter>
+std::vector<double> pool(const std::vector<metrics::QoeSummary>& xs,
+                         Getter get) {
+  std::vector<double> v;
+  for (const metrics::QoeSummary& s : xs) {
+    const std::vector<double>& part = get(s);
+    v.insert(v.end(), part.begin(), part.end());
+  }
+  return v;
+}
+
+}  // namespace
+
+std::vector<double> ExperimentResult::rebuffer_values() const {
+  return collect(per_trace,
+                 [](const metrics::QoeSummary& s) { return s.rebuffer_s; });
+}
+
+std::vector<double> ExperimentResult::low_quality_pct_values() const {
+  return collect(per_trace, [](const metrics::QoeSummary& s) {
+    return s.low_quality_pct;
+  });
+}
+
+std::vector<double> ExperimentResult::quality_change_values() const {
+  return collect(per_trace, [](const metrics::QoeSummary& s) {
+    return s.avg_quality_change;
+  });
+}
+
+std::vector<double> ExperimentResult::data_usage_values() const {
+  return collect(per_trace, [](const metrics::QoeSummary& s) {
+    return s.data_usage_mb;
+  });
+}
+
+std::vector<double> ExperimentResult::pooled_q4_qualities() const {
+  return pool(per_trace, [](const metrics::QoeSummary& s)
+                  -> const std::vector<double>& { return s.q4_qualities; });
+}
+
+std::vector<double> ExperimentResult::pooled_q13_qualities() const {
+  return pool(per_trace, [](const metrics::QoeSummary& s)
+                  -> const std::vector<double>& { return s.q13_qualities; });
+}
+
+std::vector<double> ExperimentResult::pooled_all_qualities() const {
+  return pool(per_trace, [](const metrics::QoeSummary& s)
+                  -> const std::vector<double>& { return s.all_qualities; });
+}
+
+ExperimentResult run_experiment(const ExperimentSpec& spec) {
+  if (spec.video == nullptr || spec.traces.empty() || !spec.make_scheme) {
+    throw std::invalid_argument("run_experiment: malformed spec");
+  }
+  const EstimatorFactory make_estimator =
+      spec.make_estimator ? spec.make_estimator : default_estimator_factory();
+
+  // Complexity classes of this video (for the Q4-centric QoE metrics).
+  const core::ComplexityClassifier classifier(*spec.video);
+  const std::vector<std::size_t>& classes = classifier.classes();
+  metrics::QoeConfig qoe = spec.qoe;
+  qoe.top_class = classifier.num_classes() - 1;
+
+  ExperimentResult result;
+  result.per_trace.resize(spec.traces.size());
+  result.scheme_name = spec.make_scheme()->name();
+
+  const unsigned threads =
+      spec.threads > 0
+          ? spec.threads
+          : std::max(1u, std::thread::hardware_concurrency());
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  std::atomic<bool> failed{false};
+  for (unsigned w = 0; w < threads; ++w) {
+    workers.emplace_back([&] {
+      while (true) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= spec.traces.size() || failed.load()) {
+          return;
+        }
+        try {
+          const std::unique_ptr<abr::AbrScheme> scheme = spec.make_scheme();
+          const std::unique_ptr<net::BandwidthEstimator> estimator =
+              make_estimator(spec.traces[i]);
+          const SessionResult session = run_session(
+              *spec.video, spec.traces[i], *scheme, *estimator, spec.session);
+          result.per_trace[i] =
+              metrics::compute_qoe(session.to_played_chunks(spec.metric,
+                                                            classes),
+                                   session.total_rebuffer_s,
+                                   session.startup_delay_s, qoe);
+        } catch (...) {
+          failed.store(true);
+          throw;  // surfaces via std::terminate: experiment bugs are fatal
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) {
+    w.join();
+  }
+
+  const auto& pt = result.per_trace;
+  result.mean_q4_quality = stats::mean(collect(
+      pt, [](const metrics::QoeSummary& s) { return s.q4_quality_mean; }));
+  result.mean_q13_quality = stats::mean(collect(
+      pt, [](const metrics::QoeSummary& s) { return s.q13_quality_mean; }));
+  result.mean_all_quality = stats::mean(collect(
+      pt, [](const metrics::QoeSummary& s) { return s.all_quality_mean; }));
+  result.mean_low_quality_pct = stats::mean(result.low_quality_pct_values());
+  result.mean_rebuffer_s = stats::mean(result.rebuffer_values());
+  result.mean_quality_change = stats::mean(result.quality_change_values());
+  result.mean_data_usage_mb = stats::mean(result.data_usage_values());
+  return result;
+}
+
+}  // namespace vbr::sim

@@ -1,0 +1,73 @@
+// Experiment harness: sweep a scheme over a trace set and aggregate the
+// paper's five QoE metrics, the way every Section 6 table and figure is
+// produced (one session per trace, CDFs/means across traces).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "abr/scheme.h"
+#include "metrics/qoe.h"
+#include "net/bandwidth_estimator.h"
+#include "net/trace.h"
+#include "sim/session.h"
+#include "video/video.h"
+
+namespace vbr::sim {
+
+/// Builds a fresh scheme instance per session (schemes are stateful).
+using SchemeFactory = std::function<std::unique_ptr<abr::AbrScheme>()>;
+
+/// Builds a fresh estimator per session; receives the trace so oracle
+/// estimators (Section 6.7) can bind to it.
+using EstimatorFactory =
+    std::function<std::unique_ptr<net::BandwidthEstimator>(const net::Trace&)>;
+
+/// The paper's default: harmonic mean of the last 5 chunk throughputs.
+[[nodiscard]] EstimatorFactory default_estimator_factory();
+
+struct ExperimentSpec {
+  const video::Video* video = nullptr;
+  std::span<const net::Trace> traces;
+  SchemeFactory make_scheme;
+  EstimatorFactory make_estimator;  ///< Empty = default harmonic mean.
+  SessionConfig session;
+  video::QualityMetric metric = video::QualityMetric::kVmafPhone;
+  metrics::QoeConfig qoe;
+  /// Worker threads; 0 = hardware concurrency.
+  unsigned threads = 0;
+};
+
+/// Aggregate over all traces of one experiment.
+struct ExperimentResult {
+  std::string scheme_name;
+  std::vector<metrics::QoeSummary> per_trace;  ///< Ordered like the traces.
+
+  // Means across traces.
+  double mean_q4_quality = 0.0;
+  double mean_q13_quality = 0.0;
+  double mean_all_quality = 0.0;
+  double mean_low_quality_pct = 0.0;
+  double mean_rebuffer_s = 0.0;
+  double mean_quality_change = 0.0;
+  double mean_data_usage_mb = 0.0;
+
+  /// Per-trace vectors of one metric, for CDFs.
+  [[nodiscard]] std::vector<double> rebuffer_values() const;
+  [[nodiscard]] std::vector<double> low_quality_pct_values() const;
+  [[nodiscard]] std::vector<double> quality_change_values() const;
+  [[nodiscard]] std::vector<double> data_usage_values() const;
+  /// Pooled per-chunk Q4 / Q1-Q3 / all-chunk qualities across traces.
+  [[nodiscard]] std::vector<double> pooled_q4_qualities() const;
+  [[nodiscard]] std::vector<double> pooled_q13_qualities() const;
+  [[nodiscard]] std::vector<double> pooled_all_qualities() const;
+};
+
+/// Runs one scheme over every trace (parallel across traces).
+/// Throws std::invalid_argument on a malformed spec.
+[[nodiscard]] ExperimentResult run_experiment(const ExperimentSpec& spec);
+
+}  // namespace vbr::sim

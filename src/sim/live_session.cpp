@@ -1,0 +1,143 @@
+#include "sim/live_session.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "sim/buffer.h"
+
+namespace vbr::sim {
+
+namespace {
+
+/// Wall-clock time chunk i becomes downloadable.
+double announce_time(std::size_t i, double chunk_s, double encoder_delay_s) {
+  return static_cast<double>(i + 1) * chunk_s + encoder_delay_s;
+}
+
+}  // namespace
+
+LiveSessionResult run_live_session(const video::Video& video,
+                                   const net::Trace& trace,
+                                   abr::AbrScheme& scheme,
+                                   net::BandwidthEstimator& estimator,
+                                   const LiveSessionConfig& config) {
+  const double chunk_s = video.chunk_duration_s();
+  if (config.startup_latency_s <= 0.0 ||
+      config.startup_latency_s > config.max_buffer_s) {
+    throw std::invalid_argument(
+        "run_live_session: startup latency must be in (0, max_buffer]");
+  }
+  if (config.join_latency_s < chunk_s + config.encoder_delay_s) {
+    throw std::invalid_argument(
+        "run_live_session: join latency below one chunk + encoder delay");
+  }
+  if (config.encoder_delay_s < 0.0) {
+    throw std::invalid_argument("run_live_session: negative encoder delay");
+  }
+
+  scheme.reset();
+  estimator.reset();
+
+  PlayoutBuffer buffer(config.max_buffer_s);
+  LiveSessionResult result;
+  result.session.chunks.reserve(video.num_chunks());
+
+  // The player joins `join_latency_s` after the stream origin and starts
+  // fetching from chunk 0.
+  double t = config.join_latency_s;
+  int prev_track = -1;
+
+  for (std::size_t i = 0; i < video.num_chunks(); ++i) {
+    // Gate 1: the chunk must exist.
+    const double available_at =
+        announce_time(i, chunk_s, config.encoder_delay_s);
+    if (t < available_at) {
+      const double wait = available_at - t;
+      result.session.total_rebuffer_s += buffer.elapse(wait);
+      result.edge_wait_s += wait;
+      t = available_at;
+    }
+    // Gate 2: buffer room (rare in live, the edge gate binds first).
+    const double room_wait = buffer.time_until_room_for(chunk_s);
+    if (room_wait > 0.0) {
+      result.session.total_rebuffer_s += buffer.elapse(room_wait);
+      t += room_wait;
+    }
+
+    // Chunks announced so far fence every scheme's look-ahead.
+    const auto visible = static_cast<std::size_t>(std::max(
+        1.0,
+        std::floor((t - config.encoder_delay_s) / chunk_s)));
+
+    abr::StreamContext ctx;
+    ctx.video = &video;
+    ctx.next_chunk = i;
+    ctx.buffer_s = buffer.level_s();
+    ctx.est_bandwidth_bps = estimator.estimate_bps(t);
+    ctx.prev_track = prev_track;
+    ctx.now_s = t;
+    ctx.max_buffer_s = config.max_buffer_s;
+    ctx.startup_latency_s = config.startup_latency_s;
+    ctx.in_startup = !buffer.playing();
+    ctx.visible_chunks = std::min(visible, video.num_chunks());
+
+    const abr::Decision decision = scheme.decide(ctx);
+    if (decision.track >= video.num_tracks()) {
+      throw std::logic_error("run_live_session: scheme chose invalid track");
+    }
+    if (decision.wait_s > 0.0) {
+      result.session.total_rebuffer_s += buffer.elapse(decision.wait_s);
+      t += decision.wait_s;
+    }
+
+    ChunkRecord rec;
+    rec.index = i;
+    rec.track = decision.track;
+    rec.download_start_s = t;
+    rec.size_bits = video.chunk_size_bits(decision.track, i);
+    rec.download_s = trace.download_duration_s(t, rec.size_bits);
+    rec.stall_s = buffer.elapse(rec.download_s);
+    result.session.total_rebuffer_s += rec.stall_s;
+    t += rec.download_s;
+    buffer.add_chunk(chunk_s);
+    rec.buffer_after_s = buffer.level_s();
+    rec.quality = video.track(decision.track).chunk(i).quality;
+
+    estimator.on_chunk_downloaded(rec.size_bits, rec.download_s, t);
+    scheme.on_chunk_downloaded(ctx, decision.track, rec.download_s);
+
+    if (!buffer.playing() &&
+        (buffer.level_s() >= config.startup_latency_s ||
+         i + 1 == video.num_chunks())) {
+      buffer.start_playback();
+      result.session.startup_delay_s = t - config.join_latency_s;
+    }
+
+    result.session.total_bits += rec.size_bits;
+    result.session.chunks.push_back(rec);
+    prev_track = static_cast<int>(decision.track);
+  }
+  result.session.end_time_s = t;
+
+  // Latency accounting: chunk i starts playing at
+  //   P(0) = playback start, P(i) = max(P(i-1) + chunk_s, F(i)),
+  // where F(i) is its download-finish time; its live latency is P(i) minus
+  // its content timestamp i * chunk_s.
+  double play = config.join_latency_s + result.session.startup_delay_s;
+  double lat_sum = 0.0;
+  for (std::size_t i = 0; i < result.session.chunks.size(); ++i) {
+    const ChunkRecord& rec = result.session.chunks[i];
+    const double finish = rec.download_start_s + rec.download_s;
+    play = i == 0 ? std::max(play, finish)
+                  : std::max(play + chunk_s, finish);
+    const double latency = play - static_cast<double>(i) * chunk_s;
+    lat_sum += latency;
+    result.max_latency_s = std::max(result.max_latency_s, latency);
+  }
+  result.mean_latency_s =
+      lat_sum / static_cast<double>(result.session.chunks.size());
+  return result;
+}
+
+}  // namespace vbr::sim

@@ -1,0 +1,289 @@
+#include "sim/multi_client.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "sim/buffer.h"
+
+namespace vbr::sim {
+
+double MultiClientResult::jain_index(const std::vector<double>& xs) {
+  if (xs.empty()) {
+    throw std::invalid_argument("jain_index: empty input");
+  }
+  double sum = 0.0;
+  double sq = 0.0;
+  for (const double x : xs) {
+    sum += x;
+    sq += x * x;
+  }
+  if (sq == 0.0) {
+    return 1.0;  // all zero: trivially fair
+  }
+  return sum * sum / (static_cast<double>(xs.size()) * sq);
+}
+
+std::vector<double> MultiClientResult::mean_qualities(
+    video::QualityMetric metric) const {
+  std::vector<double> out;
+  out.reserve(sessions.size());
+  for (const SessionResult& s : sessions) {
+    double q = 0.0;
+    for (const ChunkRecord& c : s.chunks) {
+      q += c.quality.get(metric);
+    }
+    out.push_back(s.chunks.empty()
+                      ? 0.0
+                      : q / static_cast<double>(s.chunks.size()));
+  }
+  return out;
+}
+
+std::vector<double> MultiClientResult::total_bits() const {
+  std::vector<double> out;
+  out.reserve(sessions.size());
+  for (const SessionResult& s : sessions) {
+    out.push_back(s.total_bits);
+  }
+  return out;
+}
+
+namespace {
+
+constexpr double kEps = 1e-7;
+
+enum class Phase {
+  kIdle,         ///< Waiting (join offset, scheme wait, or buffer room).
+  kLatency,      ///< Request issued; RTT elapsing, no bytes yet.
+  kDownloading,  ///< Receiving bytes (fair share of the bottleneck).
+  kDone,
+};
+
+struct ClientState {
+  ClientSpec spec;
+  PlayoutBuffer buffer;
+  SessionResult result;
+  Phase phase = Phase::kIdle;
+  double phase_until = 0.0;      ///< kIdle/kLatency: wake-up time.
+  double remaining_bits = 0.0;   ///< kDownloading.
+  std::size_t next_chunk = 0;
+  int prev_track = -1;
+  bool room_checked = false;     ///< Room gate applied for the current chunk.
+  ChunkRecord rec;               ///< In-flight chunk bookkeeping.
+  abr::StreamContext last_ctx;   ///< Context used for the in-flight decide.
+
+  explicit ClientState(ClientSpec s, double max_buffer)
+      : spec(std::move(s)), buffer(max_buffer) {}
+};
+
+}  // namespace
+
+MultiClientResult run_multi_client(const net::Trace& trace,
+                                   std::vector<ClientSpec> clients,
+                                   const SessionConfig& config) {
+  if (clients.empty()) {
+    throw std::invalid_argument("run_multi_client: no clients");
+  }
+  if (config.startup_latency_s <= 0.0 ||
+      config.startup_latency_s > config.max_buffer_s ||
+      config.request_rtt_s < 0.0) {
+    throw std::invalid_argument("run_multi_client: bad session config");
+  }
+  if (config.enable_abandonment) {
+    throw std::invalid_argument(
+        "run_multi_client: abandonment is not modeled for shared "
+        "bottlenecks");
+  }
+
+  std::vector<ClientState> state;
+  state.reserve(clients.size());
+  for (ClientSpec& spec : clients) {
+    if (spec.video == nullptr || !spec.scheme || !spec.estimator ||
+        spec.start_offset_s < 0.0) {
+      throw std::invalid_argument("run_multi_client: malformed client spec");
+    }
+    spec.scheme->reset();
+    spec.estimator->reset();
+    ClientState cs(std::move(spec), config.max_buffer_s);
+    cs.phase_until = cs.spec.start_offset_s;
+    state.push_back(std::move(cs));
+  }
+
+  double t = 0.0;
+
+  // Issues the next action for a client whose idle period has elapsed:
+  // decide -> (scheme wait) -> (buffer-room wait) -> request in flight.
+  auto activate = [&](ClientState& c) {
+    const video::Video& v = *c.spec.video;
+    if (c.next_chunk >= v.num_chunks()) {
+      c.phase = Phase::kDone;
+      c.result.end_time_s = t;
+      return;
+    }
+    if (!c.room_checked) {
+      // Fresh chunk: take the scheme's decision first.
+      abr::StreamContext ctx;
+      ctx.video = &v;
+      ctx.next_chunk = c.next_chunk;
+      ctx.buffer_s = c.buffer.level_s();
+      ctx.est_bandwidth_bps = c.spec.estimator->estimate_bps(t);
+      ctx.prev_track = c.prev_track;
+      ctx.now_s = t;
+      ctx.max_buffer_s = config.max_buffer_s;
+      ctx.startup_latency_s = config.startup_latency_s;
+      ctx.in_startup = !c.buffer.playing();
+      const abr::Decision d = c.spec.scheme->decide(ctx);
+      if (d.track >= v.num_tracks()) {
+        throw std::logic_error("run_multi_client: invalid track");
+      }
+      c.last_ctx = ctx;
+      c.rec = ChunkRecord{};
+      c.rec.index = c.next_chunk;
+      c.rec.track = d.track;
+      c.room_checked = true;
+      const double room_wait =
+          c.buffer.time_until_room_for(v.chunk_duration_s());
+      const double wait = std::max(d.wait_s, 0.0) + room_wait;
+      // Sub-epsilon waits are float residue; treating them as real waits
+      // would spin the activation loop without advancing time.
+      if (wait > kEps) {
+        c.rec.wait_s = wait;
+        c.phase = Phase::kIdle;
+        c.phase_until = t + wait;
+        return;
+      }
+    } else {
+      // Waking from a wait: re-check the room gate (drain may be needed).
+      const double room_wait =
+          c.buffer.time_until_room_for(c.spec.video->chunk_duration_s());
+      if (room_wait > kEps) {
+        c.rec.wait_s += room_wait;
+        c.phase = Phase::kIdle;
+        c.phase_until = t + room_wait;
+        return;
+      }
+    }
+    // Issue the request.
+    c.rec.download_start_s = t;
+    c.rec.size_bits = c.spec.video->chunk_size_bits(c.rec.track,
+                                                    c.rec.index);
+    c.remaining_bits = c.rec.size_bits;
+    if (config.request_rtt_s > 0.0) {
+      c.phase = Phase::kLatency;
+      c.phase_until = t + config.request_rtt_s;
+    } else {
+      c.phase = Phase::kDownloading;
+    }
+  };
+
+  auto complete_chunk = [&](ClientState& c) {
+    const video::Video& v = *c.spec.video;
+    c.rec.download_s = t - c.rec.download_start_s;
+    c.buffer.add_chunk(v.chunk_duration_s());
+    c.rec.buffer_after_s = c.buffer.level_s();
+    c.rec.quality = v.track(c.rec.track).chunk(c.rec.index).quality;
+    c.spec.estimator->on_chunk_downloaded(c.rec.size_bits, c.rec.download_s,
+                                          t);
+    c.spec.scheme->on_chunk_downloaded(c.last_ctx, c.rec.track,
+                                       c.rec.download_s);
+    if (!c.buffer.playing() &&
+        (c.buffer.level_s() >= config.startup_latency_s ||
+         c.rec.index + 1 == v.num_chunks())) {
+      c.buffer.start_playback();
+      c.result.startup_delay_s = t - c.spec.start_offset_s;
+    }
+    c.result.total_bits += c.rec.size_bits;
+    c.result.chunks.push_back(c.rec);
+    c.prev_track = static_cast<int>(c.rec.track);
+    ++c.next_chunk;
+    c.room_checked = false;
+    if (c.next_chunk >= v.num_chunks()) {
+      c.phase = Phase::kDone;
+      c.result.end_time_s = t;
+    } else {
+      c.phase = Phase::kIdle;
+      c.phase_until = t;  // immediately eligible
+    }
+  };
+
+  while (true) {
+    // Activate every client whose idle/latency period has elapsed.
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (ClientState& c : state) {
+        if (c.phase == Phase::kIdle && c.phase_until <= t + kEps) {
+          activate(c);
+          progress = true;
+        } else if (c.phase == Phase::kLatency &&
+                   c.phase_until <= t + kEps) {
+          c.phase = Phase::kDownloading;
+          progress = true;
+        }
+      }
+    }
+
+    // Count active downloads for the fair share.
+    std::size_t downloading = 0;
+    bool all_done = true;
+    for (const ClientState& c : state) {
+      downloading += c.phase == Phase::kDownloading ? 1 : 0;
+      all_done &= c.phase == Phase::kDone;
+    }
+    if (all_done) {
+      break;
+    }
+
+    const double bw = trace.bandwidth_at(t);
+    const double share =
+        downloading > 0 ? bw / static_cast<double>(downloading) : 0.0;
+
+    // Next event: a wake-up, a download completion, or a trace boundary.
+    const double wrapped = std::fmod(t, trace.duration_s());
+    const double boundary =
+        t + ((std::floor(wrapped / trace.sample_period_s()) + 1.0) *
+                 trace.sample_period_s() -
+             wrapped);
+    double next_t = boundary;
+    for (const ClientState& c : state) {
+      if (c.phase == Phase::kIdle || c.phase == Phase::kLatency) {
+        next_t = std::min(next_t, std::max(c.phase_until, t + kEps));
+      } else if (c.phase == Phase::kDownloading && share > 0.0) {
+        next_t = std::min(next_t, t + c.remaining_bits / share);
+      }
+    }
+    const double dt = std::max(next_t - t, kEps);
+
+    // Advance: transfer bytes, drain buffers, account stalls.
+    for (ClientState& c : state) {
+      if (c.phase == Phase::kDone) {
+        continue;
+      }
+      const double stalled = c.buffer.elapse(dt);
+      if (c.phase == Phase::kDownloading) {
+        c.remaining_bits -= share * dt;
+        c.rec.stall_s += stalled;
+      }
+      c.result.total_rebuffer_s += stalled;
+    }
+    t += dt;
+
+    // Handle completions.
+    for (ClientState& c : state) {
+      if (c.phase == Phase::kDownloading && c.remaining_bits <= 1e-3) {
+        complete_chunk(c);
+      }
+    }
+  }
+
+  MultiClientResult result;
+  result.sessions.reserve(state.size());
+  for (ClientState& c : state) {
+    result.sessions.push_back(std::move(c.result));
+  }
+  return result;
+}
+
+}  // namespace vbr::sim

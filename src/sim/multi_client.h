@@ -1,0 +1,55 @@
+// Multi-client shared-bottleneck simulation.
+//
+// Several players stream concurrently through one bottleneck whose capacity
+// is the replayed trace; while k downloads are in flight each receives a
+// 1/k share (the TCP fair-share approximation used throughout the ABR
+// fairness literature, e.g. FESTIVE). Lets the library answer questions the
+// single-session harness cannot: do CAVA clients share fairly with each
+// other and with other schemes?
+//
+// Semantics per client are identical to run_session (same startup, buffer
+// cap, wait handling); with a single client the results match run_session
+// exactly (unit-tested).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "abr/scheme.h"
+#include "net/bandwidth_estimator.h"
+#include "net/trace.h"
+#include "sim/session.h"
+
+namespace vbr::sim {
+
+/// One participant in a shared-bottleneck run. The caller owns the video;
+/// scheme and estimator are owned by the spec.
+struct ClientSpec {
+  const video::Video* video = nullptr;
+  std::unique_ptr<abr::AbrScheme> scheme;
+  std::unique_ptr<net::BandwidthEstimator> estimator;
+  double start_offset_s = 0.0;  ///< Join time relative to the run start.
+};
+
+struct MultiClientResult {
+  std::vector<SessionResult> sessions;  ///< One per client, same order.
+
+  /// Jain fairness index of a per-client statistic in [1/n, 1]:
+  /// (sum x)^2 / (n * sum x^2).
+  [[nodiscard]] static double jain_index(const std::vector<double>& xs);
+
+  /// Per-client mean delivered quality under `metric`.
+  [[nodiscard]] std::vector<double> mean_qualities(
+      video::QualityMetric metric) const;
+
+  /// Per-client total downloaded bits.
+  [[nodiscard]] std::vector<double> total_bits() const;
+};
+
+/// Runs every client to completion over the shared trace.
+/// Throws std::invalid_argument on empty/malformed specs.
+[[nodiscard]] MultiClientResult run_multi_client(
+    const net::Trace& trace, std::vector<ClientSpec> clients,
+    const SessionConfig& config = {});
+
+}  // namespace vbr::sim

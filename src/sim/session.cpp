@@ -1,0 +1,144 @@
+#include "sim/session.h"
+
+#include <stdexcept>
+
+#include "sim/buffer.h"
+
+namespace vbr::sim {
+
+std::vector<metrics::PlayedChunk> SessionResult::to_played_chunks(
+    video::QualityMetric metric,
+    const std::vector<std::size_t>& chunk_classes) const {
+  std::vector<metrics::PlayedChunk> out;
+  out.reserve(chunks.size());
+  for (const ChunkRecord& r : chunks) {
+    metrics::PlayedChunk p;
+    p.index = r.index;
+    p.quality = r.quality.get(metric);
+    p.size_bits = r.size_bits;
+    p.complexity_class = chunk_classes.at(r.index);
+    out.push_back(p);
+  }
+  return out;
+}
+
+SessionResult run_session(const video::Video& video, const net::Trace& trace,
+                          abr::AbrScheme& scheme,
+                          net::BandwidthEstimator& estimator,
+                          const SessionConfig& config) {
+  if (config.startup_latency_s <= 0.0 ||
+      config.startup_latency_s > config.max_buffer_s) {
+    throw std::invalid_argument(
+        "run_session: startup latency must be in (0, max_buffer]");
+  }
+  if (config.request_rtt_s < 0.0) {
+    throw std::invalid_argument("run_session: negative request RTT");
+  }
+
+  scheme.reset();
+  estimator.reset();
+
+  PlayoutBuffer buffer(config.max_buffer_s);
+  SessionResult result;
+  result.chunks.reserve(video.num_chunks());
+
+  double t = 0.0;
+  int prev_track = -1;
+  const double chunk_s = video.chunk_duration_s();
+
+  for (std::size_t i = 0; i < video.num_chunks(); ++i) {
+    abr::StreamContext ctx;
+    ctx.video = &video;
+    ctx.next_chunk = i;
+    ctx.buffer_s = buffer.level_s();
+    ctx.est_bandwidth_bps = estimator.estimate_bps(t);
+    ctx.prev_track = prev_track;
+    ctx.now_s = t;
+    ctx.max_buffer_s = config.max_buffer_s;
+    ctx.startup_latency_s = config.startup_latency_s;
+    ctx.in_startup = !buffer.playing();
+
+    const abr::Decision decision = scheme.decide(ctx);
+    if (decision.track >= video.num_tracks()) {
+      throw std::logic_error("run_session: scheme chose an invalid track");
+    }
+    if (decision.wait_s < 0.0) {
+      throw std::logic_error("run_session: scheme requested negative wait");
+    }
+
+    ChunkRecord rec;
+    rec.index = i;
+    rec.track = decision.track;
+
+    // Scheme-requested idle (e.g. BOLA above its buffer target).
+    if (decision.wait_s > 0.0) {
+      result.total_rebuffer_s += buffer.elapse(decision.wait_s);
+      t += decision.wait_s;
+      rec.wait_s = decision.wait_s;
+    }
+    // Gate: never start a download the buffer has no room for.
+    const double room_wait = buffer.time_until_room_for(chunk_s);
+    if (room_wait > 0.0) {
+      result.total_rebuffer_s += buffer.elapse(room_wait);
+      t += room_wait;
+      rec.wait_s += room_wait;
+    }
+
+    rec.download_start_s = t;
+    rec.size_bits = video.chunk_size_bits(decision.track, i);
+    rec.download_s =
+        config.request_rtt_s +
+        trace.download_duration_s(t + config.request_rtt_s, rec.size_bits);
+
+    // Segment abandonment: part-way through a too-slow fetch of a non-bottom
+    // track, abort it and refetch the lowest track (dash.js
+    // AbandonRequestsRule behaviour).
+    if (config.enable_abandonment && decision.track > 0) {
+      const double check_at = config.abandon_check_fraction * rec.download_s;
+      const double remaining = rec.download_s - check_at;
+      if (remaining > buffer.level_s() + chunk_s) {
+        // Time + bytes burned on the aborted request.
+        rec.wasted_bits =
+            trace.average_bandwidth_bps(t, std::max(check_at, 1e-9)) *
+            check_at;
+        result.total_rebuffer_s += buffer.elapse(check_at);
+        t += check_at;
+        rec.abandoned_higher = true;
+        rec.track = 0;
+        rec.size_bits = video.chunk_size_bits(0, i);
+        rec.download_s =
+            config.request_rtt_s +
+            trace.download_duration_s(t + config.request_rtt_s,
+                                      rec.size_bits);
+        result.total_bits += rec.wasted_bits;
+      }
+    }
+
+    rec.stall_s = buffer.elapse(rec.download_s);
+    result.total_rebuffer_s += rec.stall_s;
+    t += rec.download_s;
+    buffer.add_chunk(chunk_s);
+    rec.buffer_after_s = buffer.level_s();
+    rec.quality = video.track(rec.track).chunk(i).quality;
+
+    estimator.on_chunk_downloaded(rec.size_bits, rec.download_s, t);
+    scheme.on_chunk_downloaded(ctx, rec.track, rec.download_s);
+
+    // Playback begins once the startup latency worth of video is buffered
+    // (or the video has been fully downloaded first).
+    if (!buffer.playing() &&
+        (buffer.level_s() >= config.startup_latency_s ||
+         i + 1 == video.num_chunks())) {
+      buffer.start_playback();
+      result.startup_delay_s = t;
+    }
+
+    result.total_bits += rec.size_bits;
+    result.chunks.push_back(rec);
+    prev_track = static_cast<int>(rec.track);
+  }
+  result.end_time_s = t;
+  return result;
+}
+
+}  // namespace vbr::sim

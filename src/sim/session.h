@@ -1,0 +1,91 @@
+// Trace-driven streaming session simulator.
+//
+// Replays one (video, network trace, ABR scheme) combination at chunk
+// granularity, the same methodology as the paper's simulation experiments:
+// the ABR logic sees application-level state only, and the network appears
+// solely through per-chunk download durations integrated from the trace.
+//
+// Session life cycle:
+//   - chunks are fetched strictly in order, one at a time;
+//   - playback starts once `startup_latency_s` seconds are buffered;
+//   - while a download is in flight the buffer drains in real time; running
+//     dry during playback is a stall (rebuffering), and playback resumes
+//     when the in-flight chunk lands;
+//   - a download never starts while the buffer lacks room for the chunk
+//     (max buffer 100 s by default), and schemes may additionally ask to
+//     idle (BOLA-E's pause behaviour).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "abr/scheme.h"
+#include "metrics/qoe.h"
+#include "net/bandwidth_estimator.h"
+#include "net/trace.h"
+#include "video/video.h"
+
+namespace vbr::sim {
+
+struct SessionConfig {
+  double startup_latency_s = 10.0;  ///< Paper's reported setting.
+  double max_buffer_s = 100.0;      ///< Paper's apple-to-apple buffer cap.
+  /// Per-request round-trip latency before the first byte arrives (HTTP
+  /// GET + server think time). 0 = the paper's idealized replay; a few tens
+  /// of ms penalizes small (low-track) chunks disproportionately. The
+  /// estimator sees throughput over the full request (RTT included), as an
+  /// application-level measurement would.
+  double request_rtt_s = 0.0;
+
+  /// Segment abandonment (dash.js AbandonRequestsRule): if, part-way into a
+  /// download, the time still needed exceeds the remaining buffer and the
+  /// chunk is not from the lowest track, abort and refetch the lowest
+  /// track. Bytes already transferred are wasted (counted in data usage),
+  /// exactly as in a real player.
+  bool enable_abandonment = false;
+  /// Fraction of the (estimated) download that must have elapsed before an
+  /// abandonment decision is taken (dash.js samples progress similarly).
+  double abandon_check_fraction = 0.25;
+};
+
+/// Per-chunk record of what the session did.
+struct ChunkRecord {
+  std::size_t index = 0;         ///< Playback position.
+  std::size_t track = 0;         ///< Track selected by the scheme.
+  double size_bits = 0.0;
+  double download_start_s = 0.0;
+  double download_s = 0.0;       ///< Wall-clock download duration.
+  double wait_s = 0.0;           ///< Scheme-requested idle before download.
+  double stall_s = 0.0;          ///< Rebuffering incurred during download.
+  double buffer_after_s = 0.0;   ///< Buffer right after the chunk landed.
+  video::ChunkQuality quality;   ///< Quality of the chunk as delivered.
+  bool abandoned_higher = false; ///< True if a higher-track fetch was
+                                 ///< aborted and replaced by this chunk.
+  double wasted_bits = 0.0;      ///< Bytes burned on the aborted fetch.
+};
+
+/// Complete session outcome.
+struct SessionResult {
+  std::vector<ChunkRecord> chunks;
+  double startup_delay_s = 0.0;  ///< Wall-clock time until playback started.
+  double total_rebuffer_s = 0.0;
+  double total_bits = 0.0;
+  double end_time_s = 0.0;       ///< Wall-clock time of the last download.
+
+  /// Converts to the QoE layer's view using the given quality metric and
+  /// per-position complexity classes.
+  [[nodiscard]] std::vector<metrics::PlayedChunk> to_played_chunks(
+      video::QualityMetric metric,
+      const std::vector<std::size_t>& chunk_classes) const;
+};
+
+/// Runs one full session. The scheme and estimator are reset() first, so
+/// instances can be reused across traces.
+/// Throws std::invalid_argument on inconsistent inputs.
+[[nodiscard]] SessionResult run_session(const video::Video& video,
+                                        const net::Trace& trace,
+                                        abr::AbrScheme& scheme,
+                                        net::BandwidthEstimator& estimator,
+                                        const SessionConfig& config = {});
+
+}  // namespace vbr::sim

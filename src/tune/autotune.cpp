@@ -1,0 +1,171 @@
+#include "tune/autotune.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/complexity_classifier.h"
+#include "metrics/qoe.h"
+#include "metrics/stats.h"
+#include "net/bandwidth_estimator.h"
+#include "sim/session.h"
+
+namespace vbr::tune {
+
+const core::CavaConfig& TuningTable::lookup(double mean_bps,
+                                            double cov) const {
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    if (states[i].contains(mean_bps, cov)) {
+      return configs[i];
+    }
+  }
+  return fallback;
+}
+
+std::vector<core::CavaConfig> default_candidate_grid() {
+  std::vector<core::CavaConfig> grid;
+  for (const double alpha : {1.1, 1.3, 1.5}) {
+    for (const double xr : {40.0, 60.0, 80.0}) {
+      core::CavaConfig c;
+      c.alpha_complex = alpha;
+      c.base_target_buffer_s = xr;
+      grid.push_back(c);
+    }
+  }
+  return grid;
+}
+
+std::vector<NetworkState> default_state_grid() {
+  std::vector<NetworkState> states;
+  const double mean_edges[] = {0.0, 1e6, 2.5e6, 5e6, 1e12};
+  const double cov_edges[] = {0.0, 0.4, 0.8, 1e9};
+  for (std::size_t m = 0; m + 1 < std::size(mean_edges); ++m) {
+    for (std::size_t c = 0; c + 1 < std::size(cov_edges); ++c) {
+      states.push_back(NetworkState{.mean_bps_lo = mean_edges[m],
+                                    .mean_bps_hi = mean_edges[m + 1],
+                                    .cov_lo = cov_edges[c],
+                                    .cov_hi = cov_edges[c + 1]});
+    }
+  }
+  return states;
+}
+
+namespace {
+
+/// The objective score of one simulated session.
+double score_session(const video::Video& video,
+                     const core::ComplexityClassifier& cls,
+                     const sim::SessionResult& session,
+                     const TuningObjective& objective) {
+  const metrics::QoeSummary qoe = metrics::compute_qoe(
+      session.to_played_chunks(video::QualityMetric::kVmafPhone,
+                               cls.classes()),
+      session.total_rebuffer_s, session.startup_delay_s);
+  (void)video;
+  return qoe.all_quality_mean -
+         objective.stall_penalty_per_s * qoe.rebuffer_s -
+         objective.low_quality_penalty * qoe.low_quality_pct;
+}
+
+}  // namespace
+
+TuningTable tune_offline(const video::Video& video,
+                         const std::vector<net::Trace>& calibration,
+                         const std::vector<core::CavaConfig>& candidates,
+                         const TuningObjective& objective) {
+  if (candidates.empty() || calibration.empty()) {
+    throw std::invalid_argument("tune_offline: empty candidates or traces");
+  }
+  TuningTable table;
+  table.states = default_state_grid();
+  table.configs.assign(table.states.size(), candidates.front());
+  table.fallback = core::CavaConfig{};
+
+  const core::ComplexityClassifier cls(video);
+
+  // Partition calibration traces into states.
+  std::vector<std::vector<const net::Trace*>> per_state(table.states.size());
+  for (const net::Trace& t : calibration) {
+    const double mean = t.average_bandwidth_bps();
+    const double cov =
+        stats::coefficient_of_variation(t.samples_bps());
+    for (std::size_t s = 0; s < table.states.size(); ++s) {
+      if (table.states[s].contains(mean, cov)) {
+        per_state[s].push_back(&t);
+        break;
+      }
+    }
+  }
+
+  for (std::size_t s = 0; s < table.states.size(); ++s) {
+    if (per_state[s].empty()) {
+      continue;  // fallback config stays
+    }
+    double best_score = -1e300;
+    for (const core::CavaConfig& cand : candidates) {
+      double total = 0.0;
+      for (const net::Trace* t : per_state[s]) {
+        core::Cava cava(cand);
+        net::HarmonicMeanEstimator est(5);
+        const sim::SessionResult r = sim::run_session(video, *t, cava, est);
+        total += score_session(video, cls, r, objective);
+      }
+      if (total > best_score) {
+        best_score = total;
+        table.configs[s] = cand;
+      }
+    }
+  }
+  return table;
+}
+
+TunedCava::TunedCava(TuningTable table, std::size_t window)
+    : table_(std::move(table)),
+      window_(window),
+      active_(std::make_unique<core::Cava>(table_.fallback)),
+      active_entry_(&table_.fallback) {
+  if (window_ < 2) {
+    throw std::invalid_argument("TunedCava: window must be >= 2");
+  }
+  if (table_.states.size() != table_.configs.size()) {
+    throw std::invalid_argument("TunedCava: malformed table");
+  }
+}
+
+void TunedCava::maybe_switch(double est_bps) {
+  double mean = est_bps;
+  double cov = 0.0;
+  if (throughputs_.size() >= 3) {
+    const std::vector<double> xs(throughputs_.begin(), throughputs_.end());
+    mean = stats::mean(xs);
+    cov = stats::coefficient_of_variation(xs);
+  }
+  const core::CavaConfig& wanted = table_.lookup(mean, cov);
+  if (&wanted != active_entry_) {
+    active_ = std::make_unique<core::Cava>(wanted);
+    active_entry_ = &wanted;
+  }
+}
+
+abr::Decision TunedCava::decide(const abr::StreamContext& ctx) {
+  maybe_switch(ctx.est_bandwidth_bps);
+  return active_->decide(ctx);
+}
+
+void TunedCava::on_chunk_downloaded(const abr::StreamContext& ctx,
+                                    std::size_t track, double download_s) {
+  const double tput =
+      ctx.video->chunk_size_bits(track, ctx.next_chunk) / download_s;
+  throughputs_.push_back(tput);
+  if (throughputs_.size() > window_) {
+    throughputs_.pop_front();
+  }
+  active_->on_chunk_downloaded(ctx, track, download_s);
+}
+
+void TunedCava::reset() {
+  throughputs_.clear();
+  active_ = std::make_unique<core::Cava>(table_.fallback);
+  active_entry_ = &table_.fallback;
+}
+
+}  // namespace vbr::tune

@@ -1,0 +1,104 @@
+// Oboe-style parameter auto-tuning for CAVA (after Akhtar et al., SIGCOMM
+// 2018, cited in the paper's related work): offline, simulate candidate
+// configurations against a palette of network states (mean bandwidth x
+// variability buckets) and record the best configuration per state; online,
+// classify the current network state from the observed per-chunk
+// throughputs and switch CAVA to that state's configuration.
+//
+// The tuned knobs are the ones the paper identifies as tradeoffs: the
+// complex-scene inflation alpha+ (quality vs stall risk) and the base
+// target buffer x_r (stall headroom vs reactivity).
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "abr/scheme.h"
+#include "core/cava.h"
+#include "video/video.h"
+#include "core/config.h"
+#include "net/trace.h"
+
+namespace vbr::tune {
+
+/// A bucket of network conditions.
+struct NetworkState {
+  double mean_bps_lo = 0.0;
+  double mean_bps_hi = 0.0;
+  double cov_lo = 0.0;  ///< Coefficient of variation bounds.
+  double cov_hi = 0.0;
+
+  [[nodiscard]] bool contains(double mean_bps, double cov) const {
+    return mean_bps >= mean_bps_lo && mean_bps < mean_bps_hi &&
+           cov >= cov_lo && cov < cov_hi;
+  }
+};
+
+/// The offline-computed map: per state, the best configuration found.
+struct TuningTable {
+  std::vector<NetworkState> states;
+  std::vector<core::CavaConfig> configs;  ///< Parallel to `states`.
+  core::CavaConfig fallback;              ///< Used when no state matches.
+
+  /// Configuration for the observed conditions.
+  [[nodiscard]] const core::CavaConfig& lookup(double mean_bps, double cov) const;
+};
+
+/// Objective the offline tuner maximizes per (config, trace) simulation:
+/// mean quality minus stall and low-quality penalties.
+struct TuningObjective {
+  double stall_penalty_per_s = 3.0;
+  double low_quality_penalty = 1.0;  ///< Per percentage point.
+};
+
+/// Runs the offline tuning: for each network-state bucket, simulates every
+/// candidate config over the calibration traces falling in that bucket and
+/// keeps the best. States with no matching calibration trace get the
+/// fallback config. Deterministic.
+/// Throws std::invalid_argument on empty candidates or traces.
+[[nodiscard]] TuningTable tune_offline(
+    const video::Video& video, const std::vector<net::Trace>& calibration,
+    const std::vector<core::CavaConfig>& candidates,
+    const TuningObjective& objective = {});
+
+/// A reasonable default candidate grid (alpha+ x base target buffer).
+[[nodiscard]] std::vector<core::CavaConfig> default_candidate_grid();
+
+/// Default network-state buckets (mean bandwidth tiers x variability).
+[[nodiscard]] std::vector<NetworkState> default_state_grid();
+
+/// Online wrapper: classifies the network from recent chunk throughputs and
+/// delegates to a CAVA instance configured per the tuning table. Switching
+/// configurations mid-session preserves no controller state (a new Cava is
+/// bound), which mirrors Oboe's "reconfigure on state change".
+class TunedCava final : public abr::AbrScheme {
+ public:
+  /// @param table   offline tuning result
+  /// @param window  throughput samples used to classify the state
+  explicit TunedCava(TuningTable table, std::size_t window = 10);
+
+  [[nodiscard]] abr::Decision decide(const abr::StreamContext& ctx) override;
+  void on_chunk_downloaded(const abr::StreamContext& ctx, std::size_t track,
+                           double download_s) override;
+  void reset() override;
+  [[nodiscard]] std::string name() const override { return "CAVA-tuned"; }
+
+  /// The configuration currently in force (for tests/diagnostics).
+  [[nodiscard]] const core::CavaConfig& active_config() const {
+    return active_->config();
+  }
+
+ private:
+  void maybe_switch(double est_bps);
+
+  TuningTable table_;
+  std::size_t window_;
+  std::deque<double> throughputs_;
+  std::unique_ptr<core::Cava> active_;
+  const core::CavaConfig* active_entry_ = nullptr;
+};
+
+}  // namespace vbr::tune

@@ -1,0 +1,51 @@
+// Core per-chunk data model for VBR-encoded ABR video.
+//
+// A chunk is a few seconds of playback in one track. VBR encoding gives each
+// chunk its own size (and thus bitrate); the per-chunk quality scores are the
+// "ground truth" an evaluation would compute offline with a reference encoder
+// (the paper uses PSNR, SSIM, and Netflix's VMAF in TV and phone variants).
+#pragma once
+
+namespace vbr::video {
+
+/// Which perceptual-quality figure to read off a chunk.
+enum class QualityMetric {
+  kPsnr,       ///< Peak signal-to-noise ratio, dB (median over frames).
+  kSsim,       ///< Structural similarity, [0, 1].
+  kVmafTv,     ///< VMAF, TV model (larger screens), [0, 100].
+  kVmafPhone,  ///< VMAF, phone model (small screens), [0, 100].
+};
+
+/// Quality of one encoded chunk under the four metrics used in the paper.
+struct ChunkQuality {
+  double psnr_db = 0.0;
+  double ssim = 0.0;
+  double vmaf_tv = 0.0;
+  double vmaf_phone = 0.0;
+
+  [[nodiscard]] double get(QualityMetric m) const {
+    switch (m) {
+      case QualityMetric::kPsnr:
+        return psnr_db;
+      case QualityMetric::kSsim:
+        return ssim;
+      case QualityMetric::kVmafTv:
+        return vmaf_tv;
+      case QualityMetric::kVmafPhone:
+        return vmaf_phone;
+    }
+    return 0.0;
+  }
+};
+
+/// One encoded media chunk within a track.
+struct Chunk {
+  double size_bits = 0.0;   ///< Encoded size in bits.
+  double duration_s = 0.0;  ///< Playback duration in seconds.
+  ChunkQuality quality;     ///< Offline-computed quality scores.
+
+  /// Encoded bitrate of this chunk (bits per second of playback).
+  [[nodiscard]] double bitrate_bps() const { return size_bits / duration_s; }
+};
+
+}  // namespace vbr::video

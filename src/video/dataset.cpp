@@ -1,0 +1,174 @@
+#include "video/dataset.h"
+
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+#include "video/encoder.h"
+#include "video/scene_model.h"
+
+namespace vbr::video {
+
+namespace {
+
+struct TitleSpec {
+  const char* name;
+  Genre genre;
+  std::uint64_t content_salt;  ///< Distinguishes titles under one master seed.
+};
+
+// The four open titles encoded with FFmpeg in the paper.
+constexpr std::array<TitleSpec, 4> kOpenTitles = {{
+    {"ED", Genre::kAnimation, 0x11},
+    {"BBB", Genre::kAnimation, 0x22},
+    {"ToS", Genre::kSciFi, 0x33},
+    {"Sintel", Genre::kSciFi, 0x44},
+}};
+
+// The four additional YouTube downloads.
+constexpr std::array<TitleSpec, 4> kYoutubeOnlyTitles = {{
+    {"Sports", Genre::kSports, 0x55},
+    {"Animal", Genre::kAnimal, 0x66},
+    {"Nature", Genre::kNature, 0x77},
+    {"Action", Genre::kAction, 0x88},
+}};
+
+std::uint64_t mix(std::uint64_t seed, std::uint64_t salt) {
+  // splitmix64 finalizer over seed ^ salt: decorrelates derived streams.
+  std::uint64_t z = (seed ^ salt) + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Video make_video(const std::string& name, Genre genre, Codec codec,
+                 double chunk_duration_s, double cap_factor,
+                 std::uint64_t seed, double duration_s) {
+  if (chunk_duration_s <= 0.0 || duration_s < chunk_duration_s) {
+    throw std::invalid_argument("make_video: bad durations");
+  }
+  const auto num_chunks =
+      static_cast<std::size_t>(std::floor(duration_s / chunk_duration_s));
+  const std::vector<SceneChunk> scene =
+      generate_scene_trace(genre, num_chunks, mix(seed, 0x5CE17EULL));
+
+  std::vector<Track> tracks;
+  tracks.reserve(standard_ladder().size());
+  int level = 0;
+  for (const Resolution& res : standard_ladder()) {
+    EncoderConfig cfg;
+    cfg.resolution = res;
+    cfg.codec = codec;
+    cfg.chunk_duration_s = chunk_duration_s;
+    cfg.cap_factor = cap_factor;
+    cfg.noise_seed = mix(seed, 0x1000 + static_cast<std::uint64_t>(level));
+    tracks.push_back(encode_track(scene, level, cfg));
+    ++level;
+  }
+
+  std::vector<SceneInfo> infos;
+  infos.reserve(scene.size());
+  for (const SceneChunk& sc : scene) {
+    infos.push_back(sc.info);
+  }
+  return Video(name, genre, std::move(tracks), std::move(infos));
+}
+
+std::vector<Video> make_ffmpeg_corpus(const DatasetConfig& cfg) {
+  std::vector<Video> corpus;
+  corpus.reserve(8);
+  for (const Codec codec : {Codec::kH264, Codec::kH265}) {
+    for (const TitleSpec& t : kOpenTitles) {
+      const std::string name = std::string(t.name) + "-ffmpeg-" +
+                               (codec == Codec::kH264 ? "h264" : "h265");
+      corpus.push_back(make_video(name, t.genre, codec,
+                                  /*chunk_duration_s=*/2.0,
+                                  /*cap_factor=*/2.0,
+                                  mix(cfg.seed, t.content_salt),
+                                  cfg.duration_s));
+    }
+  }
+  return corpus;
+}
+
+std::vector<Video> make_youtube_corpus(const DatasetConfig& cfg) {
+  std::vector<Video> corpus;
+  corpus.reserve(8);
+  for (const TitleSpec& t : kOpenTitles) {
+    corpus.push_back(make_video(std::string(t.name) + "-yt", t.genre,
+                                Codec::kH264, /*chunk_duration_s=*/5.0,
+                                /*cap_factor=*/2.0,
+                                mix(cfg.seed, t.content_salt),
+                                cfg.duration_s));
+  }
+  for (const TitleSpec& t : kYoutubeOnlyTitles) {
+    corpus.push_back(make_video(std::string(t.name) + "-yt", t.genre,
+                                Codec::kH264, /*chunk_duration_s=*/5.0,
+                                /*cap_factor=*/2.0,
+                                mix(cfg.seed, t.content_salt),
+                                cfg.duration_s));
+  }
+  return corpus;
+}
+
+std::vector<Video> make_full_corpus(const DatasetConfig& cfg) {
+  std::vector<Video> corpus = make_ffmpeg_corpus(cfg);
+  std::vector<Video> yt = make_youtube_corpus(cfg);
+  for (Video& v : yt) {
+    corpus.push_back(std::move(v));
+  }
+  return corpus;
+}
+
+Video make_cbr_video(const std::string& name, Genre genre, Codec codec,
+                     double chunk_duration_s, std::uint64_t seed,
+                     double duration_s) {
+  if (chunk_duration_s <= 0.0 || duration_s < chunk_duration_s) {
+    throw std::invalid_argument("make_cbr_video: bad durations");
+  }
+  const auto num_chunks =
+      static_cast<std::size_t>(std::floor(duration_s / chunk_duration_s));
+  const std::vector<SceneChunk> scene =
+      generate_scene_trace(genre, num_chunks, mix(seed, 0x5CE17EULL));
+
+  std::vector<Track> tracks;
+  tracks.reserve(standard_ladder().size());
+  int level = 0;
+  for (const Resolution& res : standard_ladder()) {
+    EncoderConfig ec;
+    ec.resolution = res;
+    ec.codec = codec;
+    ec.rate_control = RateControl::kCbr;
+    ec.chunk_duration_s = chunk_duration_s;
+    ec.noise_seed = mix(seed, 0x2000 + static_cast<std::uint64_t>(level));
+    tracks.push_back(encode_track(scene, level, ec));
+    ++level;
+  }
+  std::vector<SceneInfo> infos;
+  infos.reserve(scene.size());
+  for (const SceneChunk& sc : scene) {
+    infos.push_back(sc.info);
+  }
+  return Video(name, genre, std::move(tracks), std::move(infos));
+}
+
+Video make_4x_capped_video(const DatasetConfig& cfg) {
+  return make_video("ED-ffmpeg-h264-4x", Genre::kAnimation, Codec::kH264,
+                    /*chunk_duration_s=*/2.0, /*cap_factor=*/4.0,
+                    mix(cfg.seed, kOpenTitles[0].content_salt),
+                    cfg.duration_s);
+}
+
+const Video& find_video(const std::vector<Video>& corpus,
+                        const std::string& name) {
+  for (const Video& v : corpus) {
+    if (v.name() == name) {
+      return v;
+    }
+  }
+  throw std::out_of_range("find_video: no video named " + name);
+}
+
+}  // namespace vbr::video

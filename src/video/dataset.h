@@ -1,0 +1,70 @@
+// The 16-video evaluation corpus (paper Section 2), built synthetically.
+//
+// - 8 "FFmpeg-style" encodes: the four open titles (Elephant Dream, Big Buck
+//   Bunny, Tears of Steel, Sintel) in H.264 and H.265, 2-second chunks,
+//   2x-capped VBR, per-title three-pass procedure.
+// - 8 "YouTube-style" encodes: the same four titles plus four downloaded
+//   genres (sports, animal, nature, action), H.264, 5-second chunks.
+// - One extra 4x-capped Elephant Dream encode for Sections 3.3 / 6.6.
+//
+// Each video is ~10 minutes and carries the six-rung 144p-1080p ladder.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "video/video.h"
+
+namespace vbr::video {
+
+/// Corpus-wide configuration.
+struct DatasetConfig {
+  std::uint64_t seed = 42;    ///< Master seed; everything derives from it.
+  double duration_s = 600.0;  ///< Title length (paper: ~10 minutes).
+};
+
+/// Builds one synthetic ABR video with the standard six-track ladder.
+///
+/// @param name             title identifier (recorded on the video)
+/// @param genre            drives the scene-complexity statistics
+/// @param codec            H.264 or H.265
+/// @param chunk_duration_s 2 s (FFmpeg-style) or 5 s (YouTube-style)
+/// @param cap_factor       peak-to-average cap (2x default, 4x variant)
+/// @param seed             content seed; same seed = same scene trace
+/// @param duration_s       total length in seconds
+[[nodiscard]] Video make_video(const std::string& name, Genre genre,
+                               Codec codec, double chunk_duration_s,
+                               double cap_factor, std::uint64_t seed,
+                               double duration_s = 600.0);
+
+/// The 8 FFmpeg-style encodes (4 titles x {H.264, H.265}, 2 s chunks).
+[[nodiscard]] std::vector<Video> make_ffmpeg_corpus(
+    const DatasetConfig& cfg = {});
+
+/// The 8 YouTube-style encodes (8 titles, H.264, 5 s chunks).
+[[nodiscard]] std::vector<Video> make_youtube_corpus(
+    const DatasetConfig& cfg = {});
+
+/// All 16 videos: FFmpeg corpus followed by YouTube corpus.
+[[nodiscard]] std::vector<Video> make_full_corpus(
+    const DatasetConfig& cfg = {});
+
+/// The 4x-capped Elephant Dream encode (FFmpeg-style, H.264) used in
+/// Sections 3.3 and 6.6.
+[[nodiscard]] Video make_4x_capped_video(const DatasetConfig& cfg = {});
+
+/// A CBR encode of the same content (same average bitrates, constant
+/// per-chunk budget) — the traditional alternative the paper's introduction
+/// contrasts VBR against. Used by bench_intro_cbr_vs_vbr.
+[[nodiscard]] Video make_cbr_video(const std::string& name, Genre genre,
+                                   Codec codec, double chunk_duration_s,
+                                   std::uint64_t seed,
+                                   double duration_s = 600.0);
+
+/// Convenience: find a corpus video by name. Throws std::out_of_range if
+/// absent.
+[[nodiscard]] const Video& find_video(const std::vector<Video>& corpus,
+                                      const std::string& name);
+
+}  // namespace vbr::video

@@ -1,0 +1,160 @@
+#include "video/encoder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <random>
+#include <stdexcept>
+
+namespace vbr::video {
+
+namespace {
+
+double mean_of(const std::vector<double>& v) {
+  return std::accumulate(v.begin(), v.end(), 0.0) /
+         static_cast<double>(v.size());
+}
+
+/// How much of the content's natural bitrate variability a track at this
+/// average bitrate can express. Low-bitrate rungs are pinned near their
+/// average (the paper: "the low bitrate limits the amount of variability").
+double variability_damping(double average_bitrate_bps) {
+  const double x = average_bitrate_bps / 600000.0;  // ~600 kbps knee
+  return std::clamp(std::pow(std::min(x, 1.0), 0.4), 0.2, 1.0);
+}
+
+}  // namespace
+
+double target_bpp(const Resolution& r) {
+  if (r.height <= 144) return 0.230;
+  if (r.height <= 240) return 0.175;
+  if (r.height <= 360) return 0.150;
+  if (r.height <= 480) return 0.135;
+  if (r.height <= 720) return 0.115;
+  return 0.100;
+}
+
+double codec_efficiency(Codec c) {
+  switch (c) {
+    case Codec::kH264:
+      return 1.0;
+    case Codec::kH265:
+      return 0.62;  // HEVC: same quality at ~62% of the H.264 bitrate.
+  }
+  return 1.0;
+}
+
+std::vector<double> relative_allocation(const std::vector<SceneChunk>& scene,
+                                        double average_bitrate_bps,
+                                        double cap_factor,
+                                        const QualityModelParams& quality) {
+  if (scene.empty()) {
+    throw std::invalid_argument("relative_allocation: empty scene trace");
+  }
+  if (cap_factor <= 1.0) {
+    throw std::invalid_argument("relative_allocation: cap_factor must be > 1");
+  }
+
+  // Pass 1: CRF allocation weights.
+  std::vector<double> rel(scene.size());
+  for (std::size_t i = 0; i < scene.size(); ++i) {
+    rel[i] = crf_weight(scene[i].complexity, quality);
+  }
+  const double mean_w = mean_of(rel);
+  for (double& r : rel) {
+    r /= mean_w;
+  }
+
+  // Pass 2: damp variability at low average bitrates.
+  const double v = variability_damping(average_bitrate_bps);
+  for (double& r : rel) {
+    r = 1.0 + v * (r - 1.0);
+  }
+
+  // Pass 3: soft cap at cap_factor x average. A fraction of the excess leaks
+  // through, so peaks can slightly exceed the configured cap (observed for
+  // FFmpeg -maxrate encodes in the paper).
+  constexpr double kOvershootLeak = 0.15;
+  for (double& r : rel) {
+    if (r > cap_factor) {
+      r = cap_factor + kOvershootLeak * (r - cap_factor);
+    }
+  }
+
+  // Renormalize so the track's average bitrate hits the target (two-pass
+  // encoders converge on the requested average).
+  const double m = mean_of(rel);
+  for (double& r : rel) {
+    r /= m;
+  }
+  return rel;
+}
+
+Track encode_track(const std::vector<SceneChunk>& scene, int level,
+                   const EncoderConfig& config) {
+  if (scene.empty()) {
+    throw std::invalid_argument("encode_track: empty scene trace");
+  }
+  if (config.chunk_duration_s <= 0.0 || config.fps <= 0.0) {
+    throw std::invalid_argument("encode_track: non-positive duration or fps");
+  }
+  if (config.resolution.pixels() <= 0) {
+    throw std::invalid_argument("encode_track: empty resolution");
+  }
+
+  const double pixels = static_cast<double>(config.resolution.pixels());
+  // CRF scaling: every +6 CRF halves the bit budget (x264/x265 convention);
+  // CRF 25 is the unit point.
+  const double crf_scale = std::pow(2.0, (25.0 - config.crf) / 6.0);
+  const double codec = codec_efficiency(config.codec);
+
+  // Per-title average: the content's mean CRF weight times the rung's bpp
+  // target. Complex titles naturally get higher averages.
+  double mean_w = 0.0;
+  for (const SceneChunk& sc : scene) {
+    mean_w += crf_weight(sc.complexity, config.quality);
+  }
+  mean_w /= static_cast<double>(scene.size());
+  const double avg_bitrate_bps = target_bpp(config.resolution) * pixels *
+                                 config.fps * mean_w * codec * crf_scale;
+  const double avg_bits_per_chunk = avg_bitrate_bps * config.chunk_duration_s;
+
+  std::vector<double> rel;
+  if (config.rate_control == RateControl::kCbr) {
+    // CBR: every chunk gets the average budget; only a small residual
+    // variation survives the rate controller's lookahead buffer.
+    rel.resize(scene.size());
+    for (std::size_t i = 0; i < scene.size(); ++i) {
+      const double w = crf_weight(scene[i].complexity, config.quality);
+      rel[i] = 1.0 + 0.04 * (w / crf_weight(0.5, config.quality) - 1.0);
+    }
+  } else {
+    rel = relative_allocation(scene, avg_bitrate_bps, config.cap_factor,
+                              config.quality);
+  }
+
+  std::mt19937_64 rng(config.noise_seed);
+  std::normal_distribution<double> quality_noise(0.0, 1.5);
+
+  std::vector<Chunk> chunks;
+  chunks.reserve(scene.size());
+  for (std::size_t i = 0; i < scene.size(); ++i) {
+    Chunk c;
+    c.duration_s = config.chunk_duration_s;
+    c.size_bits = avg_bits_per_chunk * rel[i];
+
+    // Quality: the allocation ratio is measured in quality-equivalent bpp
+    // weights, so the codec and bpp scaling cancel; what matters is how the
+    // realized allocation compares with the content's true need at this
+    // quality ambition (CRF).
+    const double allocated_w = mean_w * rel[i] * crf_scale;
+    const double needed_w = need_weight(scene[i].complexity, config.quality);
+    c.quality =
+        score_chunk(allocated_w, needed_w, scene[i].complexity,
+                    config.resolution, quality_noise(rng), config.quality);
+    chunks.push_back(c);
+  }
+  return Track(level, config.resolution, config.codec, std::move(chunks));
+}
+
+}  // namespace vbr::video

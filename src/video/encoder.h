@@ -1,0 +1,70 @@
+// Synthetic capped-VBR encoder.
+//
+// Reproduces the paper's per-title "three-pass" encoding procedure (Netflix
+// recipe, Section 2) as a statistical model:
+//
+//   pass 1 (CRF): each chunk gets bits proportional to a constant-rate-factor
+//     allocation weight w(c) of its scene complexity; the track's average
+//     bitrate emerges from the content (per-title encoding).
+//   pass 2+3 (two-pass capped VBR): per-chunk allocations are smoothed toward
+//     the average at low bitrates (low tracks cannot express much
+//     variability), soft-capped at cap_factor x average (slight overshoot is
+//     allowed, as the paper observes for -maxrate/-bufsize encodes), and
+//     renormalized so the track hits its target average.
+//
+// Quality of each resulting chunk is scored by the rate-distortion model in
+// quality_model.h.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "video/quality_model.h"
+#include "video/scene_model.h"
+#include "video/track.h"
+
+namespace vbr::video {
+
+/// Rate-control mode: capped VBR (the paper's subject) or plain CBR (the
+/// intro's traditional alternative: same bit budget for simple and complex
+/// scenes, hence variable quality).
+enum class RateControl { kCappedVbr, kCbr };
+
+/// Encoder configuration for one track.
+struct EncoderConfig {
+  Resolution resolution;
+  Codec codec = Codec::kH264;
+  RateControl rate_control = RateControl::kCappedVbr;
+  double chunk_duration_s = 2.0;
+  /// Peak-to-average bitrate cap (2.0 = the HLS-recommended 2x cap; the
+  /// paper also studies 4x).
+  double cap_factor = 2.0;
+  /// Constant rate factor; 25 is the paper's setting. Each +6 CRF halves the
+  /// bit budget (x264/x265 convention).
+  double crf = 25.0;
+  double fps = 24.0;
+  /// Deterministic seed for frame-level quality measurement noise.
+  std::uint64_t noise_seed = 0;
+  QualityModelParams quality;
+};
+
+/// Target bits-per-pixel at CRF 25 for a resolution rung (H.264). Lower
+/// resolutions are encoded at a higher bpp, matching practical ladders.
+[[nodiscard]] double target_bpp(const Resolution& r);
+
+/// Bitrate multiplier for a codec relative to H.264 at equal quality.
+[[nodiscard]] double codec_efficiency(Codec c);
+
+/// Encodes one track from a scene trace. `level` is the rung index recorded
+/// on the track. Throws std::invalid_argument on empty trace or invalid
+/// config.
+[[nodiscard]] Track encode_track(const std::vector<SceneChunk>& scene,
+                                 int level, const EncoderConfig& config);
+
+/// Per-chunk relative allocation (mean 1) after damping, capping and
+/// renormalization — exposed for tests of the encoding pipeline invariants.
+[[nodiscard]] std::vector<double> relative_allocation(
+    const std::vector<SceneChunk>& scene, double average_bitrate_bps,
+    double cap_factor, const QualityModelParams& quality);
+
+}  // namespace vbr::video

@@ -1,0 +1,180 @@
+#include "video/manifest.h"
+
+#include <iomanip>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace vbr::video {
+
+namespace {
+
+constexpr const char* kMagic = "VBR-MPD/1";
+
+Genre genre_from_string(const std::string& s) {
+  static const std::map<std::string, Genre> kMap = {
+      {"animation", Genre::kAnimation}, {"scifi", Genre::kSciFi},
+      {"sports", Genre::kSports},       {"animal", Genre::kAnimal},
+      {"nature", Genre::kNature},       {"action", Genre::kAction},
+  };
+  const auto it = kMap.find(s);
+  if (it == kMap.end()) {
+    throw std::runtime_error("manifest: unknown genre '" + s + "'");
+  }
+  return it->second;
+}
+
+Codec codec_from_string(const std::string& s) {
+  if (s == "H.264") return Codec::kH264;
+  if (s == "H.265") return Codec::kH265;
+  throw std::runtime_error("manifest: unknown codec '" + s + "'");
+}
+
+std::string expect_keyword(std::istream& is, const std::string& keyword) {
+  std::string word;
+  if (!(is >> word) || word != keyword) {
+    throw std::runtime_error("manifest: expected '" + keyword + "', got '" +
+                             word + "'");
+  }
+  return word;
+}
+
+template <typename T>
+T read_value(std::istream& is, const char* what) {
+  T v{};
+  if (!(is >> v)) {
+    throw std::runtime_error(std::string("manifest: failed to read ") + what);
+  }
+  return v;
+}
+
+}  // namespace
+
+void write_manifest(std::ostream& os, const Video& v,
+                    const ManifestOptions& opts) {
+  os << kMagic << "\n";
+  os << "name " << v.name() << "\n";
+  os << "genre " << to_string(v.genre()) << "\n";
+  os << "codec " << to_string(v.codec()) << "\n";
+  os << std::setprecision(12);
+  os << "chunk_duration " << v.chunk_duration_s() << "\n";
+  os << "tracks " << v.num_tracks() << "\n";
+  os << "chunks " << v.num_chunks() << "\n";
+  for (const Track& t : v.tracks()) {
+    os << "track " << t.level() << " " << t.resolution().width << " "
+       << t.resolution().height << " avg_bps " << t.average_bitrate_bps()
+       << " peak_bps " << t.peak_bitrate_bps() << "\n";
+    os << "segment_sizes_bits";
+    for (const Chunk& c : t.chunks()) {
+      os << " " << c.size_bits;
+    }
+    os << "\n";
+  }
+  os << "sidecar " << (opts.include_sidecar ? 1 : 0) << "\n";
+  if (!opts.include_sidecar) {
+    return;
+  }
+  for (const Track& t : v.tracks()) {
+    os << "quality " << t.level() << "\n";
+    for (const Chunk& c : t.chunks()) {
+      os << c.quality.psnr_db << " " << c.quality.ssim << " "
+         << c.quality.vmaf_tv << " " << c.quality.vmaf_phone << "\n";
+    }
+  }
+  os << "scene_info\n";
+  for (const SceneInfo& si : v.scene_infos()) {
+    os << si.si << " " << si.ti << "\n";
+  }
+}
+
+std::string to_manifest_string(const Video& v, const ManifestOptions& opts) {
+  std::ostringstream oss;
+  write_manifest(oss, v, opts);
+  return oss.str();
+}
+
+Video read_manifest(std::istream& is) {
+  std::string magic;
+  if (!(is >> magic) || magic != kMagic) {
+    throw std::runtime_error("manifest: bad magic");
+  }
+  expect_keyword(is, "name");
+  const auto name = read_value<std::string>(is, "name");
+  expect_keyword(is, "genre");
+  const Genre genre = genre_from_string(read_value<std::string>(is, "genre"));
+  expect_keyword(is, "codec");
+  const Codec codec = codec_from_string(read_value<std::string>(is, "codec"));
+  expect_keyword(is, "chunk_duration");
+  const auto chunk_duration = read_value<double>(is, "chunk_duration");
+  expect_keyword(is, "tracks");
+  const auto num_tracks = read_value<std::size_t>(is, "tracks");
+  expect_keyword(is, "chunks");
+  const auto num_chunks = read_value<std::size_t>(is, "chunks");
+  if (num_tracks == 0 || num_chunks == 0) {
+    throw std::runtime_error("manifest: empty ladder or chunk list");
+  }
+
+  struct RawTrack {
+    int level = 0;
+    Resolution res;
+    std::vector<Chunk> chunks;
+  };
+  std::vector<RawTrack> raw(num_tracks);
+  for (std::size_t t = 0; t < num_tracks; ++t) {
+    expect_keyword(is, "track");
+    raw[t].level = read_value<int>(is, "level");
+    raw[t].res.width = read_value<int>(is, "width");
+    raw[t].res.height = read_value<int>(is, "height");
+    expect_keyword(is, "avg_bps");
+    (void)read_value<double>(is, "avg_bps");  // derived; recomputed on load
+    expect_keyword(is, "peak_bps");
+    (void)read_value<double>(is, "peak_bps");
+    expect_keyword(is, "segment_sizes_bits");
+    raw[t].chunks.resize(num_chunks);
+    for (std::size_t i = 0; i < num_chunks; ++i) {
+      raw[t].chunks[i].size_bits = read_value<double>(is, "segment size");
+      raw[t].chunks[i].duration_s = chunk_duration;
+    }
+  }
+
+  expect_keyword(is, "sidecar");
+  const auto has_sidecar = read_value<int>(is, "sidecar flag");
+  if (has_sidecar != 1) {
+    throw std::runtime_error(
+        "manifest: sidecar required to reconstruct a Video");
+  }
+  for (std::size_t t = 0; t < num_tracks; ++t) {
+    expect_keyword(is, "quality");
+    const auto level = read_value<std::size_t>(is, "quality level");
+    if (level >= num_tracks) {
+      throw std::runtime_error("manifest: quality level out of range");
+    }
+    for (std::size_t i = 0; i < num_chunks; ++i) {
+      ChunkQuality& q = raw[level].chunks[i].quality;
+      q.psnr_db = read_value<double>(is, "psnr");
+      q.ssim = read_value<double>(is, "ssim");
+      q.vmaf_tv = read_value<double>(is, "vmaf_tv");
+      q.vmaf_phone = read_value<double>(is, "vmaf_phone");
+    }
+  }
+  expect_keyword(is, "scene_info");
+  std::vector<SceneInfo> infos(num_chunks);
+  for (std::size_t i = 0; i < num_chunks; ++i) {
+    infos[i].si = read_value<double>(is, "si");
+    infos[i].ti = read_value<double>(is, "ti");
+  }
+
+  std::vector<Track> tracks;
+  tracks.reserve(num_tracks);
+  for (RawTrack& rt : raw) {
+    tracks.emplace_back(rt.level, rt.res, codec, std::move(rt.chunks));
+  }
+  return Video(name, genre, std::move(tracks), std::move(infos));
+}
+
+Video from_manifest_string(const std::string& text) {
+  std::istringstream iss(text);
+  return read_manifest(iss);
+}
+
+}  // namespace vbr::video

@@ -1,0 +1,40 @@
+// DASH-like manifest serialization.
+//
+// Serializes a Video to a plain-text manifest and parses it back. The format
+// mirrors what a DASH MPD gives an ABR client — the track ladder with
+// declared average/peak bitrates and the per-chunk segment size table (the
+// paper's LoadSegmentSize extension to dash.js) — plus an optional
+// evaluation sidecar carrying the per-chunk quality scores and source SI/TI,
+// which a real client would never see but the evaluation harness needs.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "video/video.h"
+
+namespace vbr::video {
+
+/// What to include when writing a manifest.
+struct ManifestOptions {
+  /// Include per-chunk quality and scene-info sidecar (required to parse the
+  /// manifest back into a full Video).
+  bool include_sidecar = true;
+};
+
+/// Writes `v` to `os` in manifest text format.
+void write_manifest(std::ostream& os, const Video& v,
+                    const ManifestOptions& opts = {});
+
+/// Serializes to a string.
+[[nodiscard]] std::string to_manifest_string(const Video& v,
+                                             const ManifestOptions& opts = {});
+
+/// Parses a manifest previously written with the sidecar enabled.
+/// Throws std::runtime_error on malformed input or a missing sidecar.
+[[nodiscard]] Video read_manifest(std::istream& is);
+
+/// Parses from a string.
+[[nodiscard]] Video from_manifest_string(const std::string& text);
+
+}  // namespace vbr::video

@@ -1,0 +1,77 @@
+#include "video/quality_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace vbr::video {
+
+namespace {
+
+double logistic(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+}  // namespace
+
+double crf_weight(double complexity, const QualityModelParams& p) {
+  if (complexity <= 0.0 || complexity > 1.0) {
+    throw std::invalid_argument("crf_weight: complexity out of (0, 1]");
+  }
+  return p.crf_base + p.crf_gain * std::pow(complexity, p.crf_exp);
+}
+
+double need_weight(double complexity, const QualityModelParams& p) {
+  if (complexity <= 0.0 || complexity > 1.0) {
+    throw std::invalid_argument("need_weight: complexity out of (0, 1]");
+  }
+  return p.need_base + p.need_gain * std::pow(complexity, p.need_exp);
+}
+
+double rate_score(double allocated_weight, double needed_weight,
+                  const QualityModelParams& p) {
+  if (allocated_weight <= 0.0 || needed_weight <= 0.0) {
+    throw std::invalid_argument("rate_score: non-positive weight");
+  }
+  const double ratio = allocated_weight / needed_weight;
+  return logistic((std::log2(ratio) - p.rate_mid_log2) / p.rate_slope_log2);
+}
+
+double vmaf_cap_tv(const Resolution& r) {
+  // Upscaling to a large display penalizes low resolutions heavily.
+  if (r.height <= 144) return 30.0;
+  if (r.height <= 240) return 45.0;
+  if (r.height <= 360) return 62.0;
+  if (r.height <= 480) return 78.0;
+  if (r.height <= 720) return 91.0;
+  return 98.0;
+}
+
+double vmaf_cap_phone(const Resolution& r) {
+  // Small screens mask upscaling artifacts; caps are uniformly higher.
+  if (r.height <= 144) return 38.0;
+  if (r.height <= 240) return 56.0;
+  if (r.height <= 360) return 74.0;
+  if (r.height <= 480) return 88.0;
+  if (r.height <= 720) return 95.0;
+  return 99.0;
+}
+
+ChunkQuality score_chunk(double allocated_weight, double needed_weight,
+                         double complexity, const Resolution& resolution,
+                         double noise, const QualityModelParams& p) {
+  const double s = rate_score(allocated_weight, needed_weight, p);
+
+  ChunkQuality q;
+  q.vmaf_tv = std::clamp(vmaf_cap_tv(resolution) * s + noise, 0.0, 100.0);
+  q.vmaf_phone =
+      std::clamp(vmaf_cap_phone(resolution) * s + noise, 0.0, 100.0);
+  // PSNR tracks the rate score but complex content additionally loses
+  // fidelity through motion; typical streaming range is ~25-50 dB.
+  q.psnr_db = std::clamp(25.0 + 24.0 * s - 3.0 * complexity + 0.1 * noise,
+                         20.0, 55.0);
+  // SSIM saturates quickly; typical range ~0.7-1.0.
+  q.ssim = std::clamp(0.70 + 0.30 * s - 0.04 * complexity + 0.002 * noise,
+                      0.0, 1.0);
+  return q;
+}
+
+}  // namespace vbr::video

@@ -1,0 +1,74 @@
+// Rate–distortion quality model.
+//
+// Substitutes for offline PSNR/SSIM/VMAF computation against reference
+// footage. The model scores an encoded chunk from three inputs: the bits the
+// encoder allocated, the bits the content *needs* for transparent quality at
+// its scene complexity, and the track resolution (upscaling to the display
+// caps the achievable score; the phone model is more forgiving of low
+// resolutions than the TV model, as in Netflix's VMAF).
+//
+// The paper's central characterization — complex (Q4) chunks receive more
+// bits yet score lower than simpler chunks in the same track (Section 3.1.2)
+// — is emergent: the constant-rate-factor allocation grows linearly with
+// complexity while the true need grows superlinearly, and the VBR cap clips
+// precisely the chunks that need the most.
+#pragma once
+
+#include "video/chunk.h"
+#include "video/track.h"
+
+namespace vbr::video {
+
+/// Rate–distortion model parameters. Defaults are tuned so the synthetic
+/// corpus reproduces the quality ranges in the paper (Fig. 3, Section 3.3).
+struct QualityModelParams {
+  /// Logistic rate-score midpoint in log2(allocation ratio).
+  double rate_mid_log2 = -0.5;
+  /// Logistic rate-score slope (larger = softer RD knee).
+  double rate_slope_log2 = 0.2;
+  /// First-pass (CRF) allocation weight:
+  ///   w(c) = crf_base + crf_gain * c^crf_exp.
+  /// The heavy tail makes complex bursts press against the VBR cap.
+  double crf_base = 0.12;
+  double crf_gain = 1.9;
+  double crf_exp = 1.5;
+  /// True constant-quality need: n(c) = need_base + need_gain * c^need_exp.
+  /// Need grows faster than the CRF allocation, so complex scenes end up
+  /// under-provisioned — the paper's Section 3.1.2 observation.
+  double need_base = 0.10;
+  double need_gain = 2.6;
+  double need_exp = 2.2;
+};
+
+/// Rate score in (0, 1): the fraction of the resolution-capped quality
+/// achieved when `allocated_weight` bits-per-pixel-weight are spent on
+/// content whose constant-quality need is `needed_weight`.
+[[nodiscard]] double rate_score(double allocated_weight, double needed_weight,
+                                const QualityModelParams& p = {});
+
+/// First-pass CRF allocation weight w(c) for complexity c in (0, 1].
+[[nodiscard]] double crf_weight(double complexity,
+                                const QualityModelParams& p = {});
+
+/// Constant-quality bit need n(c) for complexity c in (0, 1].
+[[nodiscard]] double need_weight(double complexity,
+                                 const QualityModelParams& p = {});
+
+/// Maximum achievable VMAF for a resolution under the TV viewing model
+/// (content upscaled to a large screen).
+[[nodiscard]] double vmaf_cap_tv(const Resolution& r);
+
+/// Maximum achievable VMAF for a resolution under the phone viewing model.
+[[nodiscard]] double vmaf_cap_phone(const Resolution& r);
+
+/// Scores one chunk. `noise` is an additive perturbation (in VMAF points)
+/// supplied by the encoder's deterministic RNG to model frame-level
+/// measurement spread; pass 0 for the noiseless model.
+[[nodiscard]] ChunkQuality score_chunk(double allocated_weight,
+                                       double needed_weight,
+                                       double complexity,
+                                       const Resolution& resolution,
+                                       double noise = 0.0,
+                                       const QualityModelParams& p = {});
+
+}  // namespace vbr::video

@@ -1,0 +1,117 @@
+#include "video/scene_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+namespace vbr::video {
+
+GenreProfile profile_for(Genre g) {
+  switch (g) {
+    case Genre::kAnimation:
+      return {.mean_scene_len_chunks = 7.0,
+              .complexity_mid = 0.38,
+              .complexity_spread = 0.20,
+              .high_action_prob = 0.14,
+              .within_scene_jitter = 0.035};
+    case Genre::kSciFi:
+      return {.mean_scene_len_chunks = 6.0,
+              .complexity_mid = 0.45,
+              .complexity_spread = 0.20,
+              .high_action_prob = 0.18,
+              .within_scene_jitter = 0.045};
+    case Genre::kSports:
+      return {.mean_scene_len_chunks = 4.0,
+              .complexity_mid = 0.58,
+              .complexity_spread = 0.18,
+              .high_action_prob = 0.30,
+              .within_scene_jitter = 0.06};
+    case Genre::kAnimal:
+      return {.mean_scene_len_chunks = 8.0,
+              .complexity_mid = 0.42,
+              .complexity_spread = 0.18,
+              .high_action_prob = 0.12,
+              .within_scene_jitter = 0.04};
+    case Genre::kNature:
+      return {.mean_scene_len_chunks = 9.0,
+              .complexity_mid = 0.40,
+              .complexity_spread = 0.16,
+              .high_action_prob = 0.10,
+              .within_scene_jitter = 0.03};
+    case Genre::kAction:
+      return {.mean_scene_len_chunks = 4.5,
+              .complexity_mid = 0.55,
+              .complexity_spread = 0.20,
+              .high_action_prob = 0.28,
+              .within_scene_jitter = 0.055};
+  }
+  throw std::invalid_argument("profile_for: unknown genre");
+}
+
+std::vector<SceneChunk> generate_scene_trace(Genre genre,
+                                             std::size_t num_chunks,
+                                             std::uint64_t seed) {
+  return generate_scene_trace(profile_for(genre), num_chunks, seed);
+}
+
+std::vector<SceneChunk> generate_scene_trace(const GenreProfile& profile,
+                                             std::size_t num_chunks,
+                                             std::uint64_t seed) {
+  if (num_chunks == 0) {
+    throw std::invalid_argument("generate_scene_trace: zero chunks");
+  }
+  if (profile.mean_scene_len_chunks < 1.0) {
+    throw std::invalid_argument(
+        "generate_scene_trace: mean scene length must be >= 1 chunk");
+  }
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> uni(0.0, 1.0);
+  std::normal_distribution<double> gauss(0.0, 1.0);
+  // Geometric scene length with the requested mean.
+  std::geometric_distribution<int> scene_len_dist(
+      1.0 / profile.mean_scene_len_chunks);
+
+  std::vector<SceneChunk> out;
+  out.reserve(num_chunks);
+
+  while (out.size() < num_chunks) {
+    const std::size_t scene_len = static_cast<std::size_t>(
+        1 + scene_len_dist(rng));
+    // Scene baseline complexity: usually near complexity_mid, occasionally a
+    // high-action burst near the top of the range.
+    double base;
+    if (uni(rng) < profile.high_action_prob) {
+      base = 0.72 + 0.20 * uni(rng);
+    } else {
+      base = profile.complexity_mid + profile.complexity_spread * gauss(rng);
+    }
+    base = std::clamp(base, 0.05, 0.98);
+
+    // The temporal/spatial split of the complexity varies per scene: a chase
+    // scene is mostly temporal, an intricate wide shot mostly spatial.
+    const double temporal_share = std::clamp(0.4 + 0.35 * gauss(rng), 0.1, 0.9);
+
+    double c = base;
+    for (std::size_t k = 0; k < scene_len && out.size() < num_chunks; ++k) {
+      // AR(1) jitter pulls back toward the scene baseline.
+      c = base + 0.6 * (c - base) + profile.within_scene_jitter * gauss(rng);
+      c = std::clamp(c, 0.02, 1.0);
+
+      const double spatial = c * (1.0 - temporal_share) * 2.0;
+      const double temporal = c * temporal_share * 2.0;
+      SceneChunk sc;
+      sc.complexity = c;
+      // Map to SI/TI ranges comparable with Fig. 2 of the paper
+      // (SI roughly 0-100, TI roughly 0-60), with measurement noise.
+      sc.info.si = std::clamp(12.0 + 75.0 * spatial + 2.5 * gauss(rng), 0.0,
+                              100.0);
+      sc.info.ti = std::clamp(1.5 + 48.0 * temporal + 1.5 * gauss(rng), 0.0,
+                              60.0);
+      out.push_back(sc);
+    }
+  }
+  return out;
+}
+
+}  // namespace vbr::video

@@ -1,0 +1,54 @@
+// Synthetic scene-complexity model.
+//
+// Substitutes for the paper's raw source footage: instead of computing SI/TI
+// (ITU-T P.910 spatial/temporal information) from real frames, we generate a
+// per-chunk complexity process with the structure real content has —
+// scene cuts, within-scene persistence, and genre-dependent statistics
+// (sports/action are high-motion, animation/nature calmer). The encoder
+// (encoder.h) allocates bits from this process, and the quality model
+// (quality_model.h) scores the result, so the paper's key characterization
+// (complex chunks are bigger yet lower quality) emerges from the pipeline.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "video/video.h"
+
+namespace vbr::video {
+
+/// Per-chunk output of the scene model.
+struct SceneChunk {
+  /// Normalized encoding complexity in (0, 1]: how many bits per pixel this
+  /// chunk needs relative to the hardest content. Drives bit allocation.
+  double complexity = 0.0;
+  /// ITU-T P.910-style scene statistics of the "source footage".
+  SceneInfo info;
+};
+
+/// Tunable statistics for one genre.
+struct GenreProfile {
+  double mean_scene_len_chunks = 6.0;  ///< Geometric scene-length mean.
+  double complexity_mid = 0.45;        ///< Typical scene complexity.
+  double complexity_spread = 0.20;     ///< Scene-to-scene spread.
+  double high_action_prob = 0.15;      ///< Chance a scene is a complex burst.
+  double within_scene_jitter = 0.04;   ///< Chunk-to-chunk AR(1) jitter.
+};
+
+/// Built-in profile for a genre (tuned so dataset statistics land in the
+/// ranges the paper reports, Section 2).
+[[nodiscard]] GenreProfile profile_for(Genre g);
+
+/// Generates a deterministic per-chunk complexity trace.
+///
+/// @param genre       content genre (selects the statistical profile)
+/// @param num_chunks  number of chunks to generate
+/// @param seed        RNG seed; identical inputs give identical output
+[[nodiscard]] std::vector<SceneChunk> generate_scene_trace(
+    Genre genre, std::size_t num_chunks, std::uint64_t seed);
+
+/// Same, with an explicit profile (for tests and custom content).
+[[nodiscard]] std::vector<SceneChunk> generate_scene_trace(
+    const GenreProfile& profile, std::size_t num_chunks, std::uint64_t seed);
+
+}  // namespace vbr::video

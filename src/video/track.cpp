@@ -1,0 +1,67 @@
+#include "video/track.h"
+
+#include <array>
+
+namespace vbr::video {
+
+std::string to_string(Codec c) {
+  switch (c) {
+    case Codec::kH264:
+      return "H.264";
+    case Codec::kH265:
+      return "H.265";
+  }
+  return "unknown";
+}
+
+std::string Resolution::label() const { return std::to_string(height) + "p"; }
+
+std::span<const Resolution> standard_ladder() {
+  static constexpr std::array<Resolution, 6> kLadder = {
+      kLadder144p, kLadder240p, kLadder360p,
+      kLadder480p, kLadder720p, kLadder1080p};
+  return kLadder;
+}
+
+Track::Track(int level, Resolution resolution, Codec codec,
+             std::vector<Chunk> chunks)
+    : level_(level),
+      resolution_(resolution),
+      codec_(codec),
+      chunks_(std::move(chunks)) {
+  if (chunks_.empty()) {
+    throw std::invalid_argument("Track: no chunks");
+  }
+  if (level_ < 0) {
+    throw std::invalid_argument("Track: negative level");
+  }
+  for (const Chunk& c : chunks_) {
+    if (c.size_bits <= 0.0 || c.duration_s <= 0.0) {
+      throw std::invalid_argument("Track: chunk with non-positive size or duration");
+    }
+    total_bits_ += c.size_bits;
+    total_duration_s_ += c.duration_s;
+    peak_bitrate_bps_ = std::max(peak_bitrate_bps_, c.bitrate_bps());
+  }
+  avg_bitrate_bps_ = total_bits_ / total_duration_s_;
+}
+
+std::vector<double> Track::chunk_bitrates_bps() const {
+  std::vector<double> v;
+  v.reserve(chunks_.size());
+  for (const Chunk& c : chunks_) {
+    v.push_back(c.bitrate_bps());
+  }
+  return v;
+}
+
+std::vector<double> Track::chunk_sizes_bits() const {
+  std::vector<double> v;
+  v.reserve(chunks_.size());
+  for (const Chunk& c : chunks_) {
+    v.push_back(c.size_bits);
+  }
+  return v;
+}
+
+}  // namespace vbr::video

@@ -1,0 +1,96 @@
+// A track (also called a level or representation): one complete encoding of
+// the video at a fixed resolution, split into chunks.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "video/chunk.h"
+
+namespace vbr::video {
+
+/// Video codec used for a track. H.265 reaches the same quality at a
+/// substantially lower bitrate than H.264.
+enum class Codec { kH264, kH265 };
+
+[[nodiscard]] std::string to_string(Codec c);
+
+/// Spatial resolution of a track.
+struct Resolution {
+  int width = 0;
+  int height = 0;
+
+  [[nodiscard]] long long pixels() const {
+    return static_cast<long long>(width) * height;
+  }
+  [[nodiscard]] std::string label() const;  ///< e.g. "1080p"
+
+  friend bool operator==(const Resolution&, const Resolution&) = default;
+};
+
+/// The standard six-rung resolution ladder used throughout the paper.
+inline constexpr Resolution kLadder144p{256, 144};
+inline constexpr Resolution kLadder240p{426, 240};
+inline constexpr Resolution kLadder360p{640, 360};
+inline constexpr Resolution kLadder480p{854, 480};
+inline constexpr Resolution kLadder720p{1280, 720};
+inline constexpr Resolution kLadder1080p{1920, 1080};
+
+[[nodiscard]] std::span<const Resolution> standard_ladder();
+
+/// One encoded rendition of the video.
+class Track {
+ public:
+  /// Constructs a track; throws std::invalid_argument if chunks is empty or
+  /// any chunk has non-positive size/duration.
+  Track(int level, Resolution resolution, Codec codec,
+        std::vector<Chunk> chunks);
+
+  [[nodiscard]] int level() const { return level_; }
+  [[nodiscard]] const Resolution& resolution() const { return resolution_; }
+  [[nodiscard]] Codec codec() const { return codec_; }
+
+  [[nodiscard]] std::size_t num_chunks() const { return chunks_.size(); }
+  [[nodiscard]] const Chunk& chunk(std::size_t i) const {
+    return chunks_.at(i);
+  }
+  [[nodiscard]] const std::vector<Chunk>& chunks() const { return chunks_; }
+
+  /// Average bitrate over the whole track: total bits / total duration.
+  [[nodiscard]] double average_bitrate_bps() const { return avg_bitrate_bps_; }
+
+  /// Largest per-chunk bitrate in the track.
+  [[nodiscard]] double peak_bitrate_bps() const { return peak_bitrate_bps_; }
+
+  /// Peak-to-average bitrate ratio, the "cap factor" realized by the encode.
+  [[nodiscard]] double peak_to_average() const {
+    return peak_bitrate_bps_ / avg_bitrate_bps_;
+  }
+
+  /// Total duration of the track in seconds.
+  [[nodiscard]] double duration_s() const { return total_duration_s_; }
+
+  /// Total size of the track in bits.
+  [[nodiscard]] double total_bits() const { return total_bits_; }
+
+  /// Per-chunk bitrates (bps), convenient for statistics.
+  [[nodiscard]] std::vector<double> chunk_bitrates_bps() const;
+
+  /// Per-chunk sizes (bits).
+  [[nodiscard]] std::vector<double> chunk_sizes_bits() const;
+
+ private:
+  int level_;
+  Resolution resolution_;
+  Codec codec_;
+  std::vector<Chunk> chunks_;
+  double avg_bitrate_bps_ = 0.0;
+  double peak_bitrate_bps_ = 0.0;
+  double total_duration_s_ = 0.0;
+  double total_bits_ = 0.0;
+};
+
+}  // namespace vbr::video

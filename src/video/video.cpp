@@ -1,0 +1,50 @@
+#include "video/video.h"
+
+namespace vbr::video {
+
+std::string to_string(Genre g) {
+  switch (g) {
+    case Genre::kAnimation:
+      return "animation";
+    case Genre::kSciFi:
+      return "scifi";
+    case Genre::kSports:
+      return "sports";
+    case Genre::kAnimal:
+      return "animal";
+    case Genre::kNature:
+      return "nature";
+    case Genre::kAction:
+      return "action";
+  }
+  return "unknown";
+}
+
+Video::Video(std::string name, Genre genre, std::vector<Track> tracks,
+             std::vector<SceneInfo> scene_info)
+    : name_(std::move(name)),
+      genre_(genre),
+      tracks_(std::move(tracks)),
+      scene_info_(std::move(scene_info)) {
+  if (tracks_.empty()) {
+    throw std::invalid_argument("Video: no tracks");
+  }
+  const std::size_t n = tracks_.front().num_chunks();
+  for (const Track& t : tracks_) {
+    if (t.num_chunks() != n) {
+      throw std::invalid_argument("Video: tracks disagree on chunk count");
+    }
+  }
+  for (std::size_t l = 1; l < tracks_.size(); ++l) {
+    if (tracks_[l].average_bitrate_bps() <=
+        tracks_[l - 1].average_bitrate_bps()) {
+      throw std::invalid_argument(
+          "Video: tracks must be in ascending average-bitrate order");
+    }
+  }
+  if (scene_info_.size() != n) {
+    throw std::invalid_argument("Video: scene_info size mismatch");
+  }
+}
+
+}  // namespace vbr::video

@@ -1,0 +1,98 @@
+// A multi-track ABR video: the unit a streaming session plays.
+//
+// All tracks describe the same content, chunk-aligned: chunk i of every track
+// covers the same playback interval. The Video also carries the per-chunk
+// scene-complexity ground truth (SI/TI) of the source footage, which the
+// characterization experiments (Fig. 2) compare against chunk sizes; the ABR
+// logic itself never sees it.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "video/track.h"
+
+namespace vbr::video {
+
+/// Content genre, used by the synthetic scene model to pick motion/complexity
+/// statistics (paper Section 2: animation, sci-fi, sports, animal, nature,
+/// action).
+enum class Genre {
+  kAnimation,
+  kSciFi,
+  kSports,
+  kAnimal,
+  kNature,
+  kAction,
+};
+
+[[nodiscard]] std::string to_string(Genre g);
+
+/// Per-chunk spatial information (SI) and temporal information (TI) of the
+/// source footage, per ITU-T P.910. Computed from the raw video, so it is
+/// unaffected by encoding distortion.
+struct SceneInfo {
+  double si = 0.0;
+  double ti = 0.0;
+};
+
+/// A complete ABR video: N tracks in ascending average-bitrate order, plus
+/// source scene statistics.
+class Video {
+ public:
+  /// Throws std::invalid_argument if tracks is empty, tracks disagree on the
+  /// chunk count, tracks are not in ascending average-bitrate order, or
+  /// scene_info does not match the chunk count.
+  Video(std::string name, Genre genre, std::vector<Track> tracks,
+        std::vector<SceneInfo> scene_info);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] Genre genre() const { return genre_; }
+  [[nodiscard]] Codec codec() const { return tracks_.front().codec(); }
+
+  [[nodiscard]] std::size_t num_tracks() const { return tracks_.size(); }
+  [[nodiscard]] const Track& track(std::size_t level) const {
+    return tracks_.at(level);
+  }
+  [[nodiscard]] const std::vector<Track>& tracks() const { return tracks_; }
+
+  [[nodiscard]] std::size_t num_chunks() const {
+    return tracks_.front().num_chunks();
+  }
+  /// Nominal chunk playback duration (uniform across the video).
+  [[nodiscard]] double chunk_duration_s() const {
+    return tracks_.front().chunk(0).duration_s;
+  }
+  /// Total playback duration in seconds.
+  [[nodiscard]] double duration_s() const {
+    return tracks_.front().duration_s();
+  }
+
+  /// Scene complexity ground truth for chunk i.
+  [[nodiscard]] const SceneInfo& scene_info(std::size_t i) const {
+    return scene_info_.at(i);
+  }
+  [[nodiscard]] const std::vector<SceneInfo>& scene_infos() const {
+    return scene_info_;
+  }
+
+  /// Convenience: size in bits of chunk `i` of track `level`.
+  [[nodiscard]] double chunk_size_bits(std::size_t level,
+                                       std::size_t i) const {
+    return tracks_.at(level).chunk(i).size_bits;
+  }
+
+  /// Index of the middle track, the paper's default reference track for the
+  /// chunk-size-based complexity classification.
+  [[nodiscard]] std::size_t middle_track() const { return tracks_.size() / 2; }
+
+ private:
+  std::string name_;
+  Genre genre_;
+  std::vector<Track> tracks_;
+  std::vector<SceneInfo> scene_info_;
+};
+
+}  // namespace vbr::video

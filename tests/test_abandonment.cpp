@@ -1,0 +1,97 @@
+// Tests for segment abandonment (dash.js AbandonRequestsRule model).
+#include <gtest/gtest.h>
+
+#include "abr/scheme.h"
+#include "net/bandwidth_estimator.h"
+#include "sim/session.h"
+#include "test_util.h"
+
+namespace {
+
+using namespace vbr;
+using testutil::default_flat_video;
+using testutil::flat_trace;
+
+sim::SessionConfig abandon_config() {
+  sim::SessionConfig cfg;
+  cfg.startup_latency_s = 4.0;
+  cfg.enable_abandonment = true;
+  return cfg;
+}
+
+TEST(Abandonment, TriggersOnHopelessDownloads) {
+  // Fixed top track (6.4 Mbps) over a 0.5 Mbps link: every post-startup
+  // fetch is hopeless and must be abandoned down to track 0.
+  const video::Video v = default_flat_video(20);
+  const net::Trace t = flat_trace(5e5);
+  abr::FixedTrackScheme scheme(5);
+  net::HarmonicMeanEstimator est(5);
+  const sim::SessionResult r =
+      sim::run_session(v, t, scheme, est, abandon_config());
+  std::size_t abandoned = 0;
+  for (const auto& c : r.chunks) {
+    if (c.abandoned_higher) {
+      ++abandoned;
+      EXPECT_EQ(c.track, 0u);
+      EXPECT_GT(c.wasted_bits, 0.0);
+    }
+  }
+  EXPECT_GT(abandoned, 10u);
+}
+
+TEST(Abandonment, ReducesRebufferingForAggressiveScheme) {
+  const video::Video v = default_flat_video(30);
+  const net::Trace t = flat_trace(5e5);
+  abr::FixedTrackScheme s1(5);
+  abr::FixedTrackScheme s2(5);
+  net::HarmonicMeanEstimator e1(5);
+  net::HarmonicMeanEstimator e2(5);
+  sim::SessionConfig plain;
+  plain.startup_latency_s = 4.0;
+  const auto without = sim::run_session(v, t, s1, e1, plain);
+  const auto with = sim::run_session(v, t, s2, e2, abandon_config());
+  EXPECT_LT(with.total_rebuffer_s, 0.5 * without.total_rebuffer_s);
+}
+
+TEST(Abandonment, NeverTriggersWhenComfortable) {
+  const video::Video v = default_flat_video(20);
+  const net::Trace t = flat_trace(20e6);
+  abr::FixedTrackScheme scheme(5);
+  net::HarmonicMeanEstimator est(5);
+  const sim::SessionResult r =
+      sim::run_session(v, t, scheme, est, abandon_config());
+  for (const auto& c : r.chunks) {
+    EXPECT_FALSE(c.abandoned_higher);
+    EXPECT_DOUBLE_EQ(c.wasted_bits, 0.0);
+  }
+}
+
+TEST(Abandonment, LowestTrackNeverAbandoned) {
+  const video::Video v = default_flat_video(10);
+  const net::Trace t = flat_trace(5e4);  // brutally slow
+  abr::FixedTrackScheme scheme(0);
+  net::HarmonicMeanEstimator est(5);
+  const sim::SessionResult r =
+      sim::run_session(v, t, scheme, est, abandon_config());
+  for (const auto& c : r.chunks) {
+    EXPECT_FALSE(c.abandoned_higher);
+  }
+}
+
+TEST(Abandonment, WastedBitsCountTowardDataUsage) {
+  const video::Video v = default_flat_video(20);
+  const net::Trace t = flat_trace(5e5);
+  abr::FixedTrackScheme s1(5);
+  net::HarmonicMeanEstimator e1(5);
+  const auto r = sim::run_session(v, t, s1, e1, abandon_config());
+  double chunk_bits = 0.0;
+  double wasted = 0.0;
+  for (const auto& c : r.chunks) {
+    chunk_bits += c.size_bits;
+    wasted += c.wasted_bits;
+  }
+  EXPECT_GT(wasted, 0.0);
+  EXPECT_NEAR(r.total_bits, chunk_bits + wasted, 1.0);
+}
+
+}  // namespace

@@ -1,0 +1,118 @@
+// Tests for the application-level bandwidth estimators.
+#include "net/bandwidth_estimator.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace {
+
+using namespace vbr::net;
+
+TEST(HarmonicMean, InitialEstimateBeforeSamples) {
+  const HarmonicMeanEstimator e(5, 2e6);
+  EXPECT_DOUBLE_EQ(e.estimate_bps(0.0), 2e6);
+}
+
+TEST(HarmonicMean, SingleSample) {
+  HarmonicMeanEstimator e(5);
+  e.on_chunk_downloaded(4e6, 2.0, 2.0);  // 2 Mbps
+  EXPECT_DOUBLE_EQ(e.estimate_bps(2.0), 2e6);
+}
+
+TEST(HarmonicMean, HarmonicOfKnownValues) {
+  HarmonicMeanEstimator e(5);
+  e.on_chunk_downloaded(1e6, 1.0, 1.0);  // 1 Mbps
+  e.on_chunk_downloaded(2e6, 1.0, 2.0);  // 2 Mbps
+  e.on_chunk_downloaded(4e6, 1.0, 3.0);  // 4 Mbps
+  EXPECT_DOUBLE_EQ(e.estimate_bps(3.0), 3.0 / (1.0 + 0.5 + 0.25) * 1e6);
+}
+
+TEST(HarmonicMean, WindowEviction) {
+  HarmonicMeanEstimator e(2);
+  e.on_chunk_downloaded(1e6, 1.0, 1.0);
+  e.on_chunk_downloaded(2e6, 1.0, 2.0);
+  e.on_chunk_downloaded(2e6, 1.0, 3.0);  // evicts the 1 Mbps sample
+  EXPECT_DOUBLE_EQ(e.estimate_bps(3.0), 2e6);
+  EXPECT_EQ(e.samples().size(), 2u);
+}
+
+TEST(HarmonicMean, RobustToOutlierSpike) {
+  HarmonicMeanEstimator e(5);
+  for (int i = 0; i < 4; ++i) {
+    e.on_chunk_downloaded(1e6, 1.0, i);
+  }
+  e.on_chunk_downloaded(100e6, 1.0, 5.0);  // transient spike
+  EXPECT_LT(e.estimate_bps(5.0), 1.3e6);
+}
+
+TEST(HarmonicMean, ResetClearsHistory) {
+  HarmonicMeanEstimator e(5, 7e5);
+  e.on_chunk_downloaded(4e6, 1.0, 1.0);
+  e.reset();
+  EXPECT_DOUBLE_EQ(e.estimate_bps(0.0), 7e5);
+}
+
+TEST(HarmonicMean, InvalidInputsThrow) {
+  EXPECT_THROW(HarmonicMeanEstimator(0), std::invalid_argument);
+  EXPECT_THROW(HarmonicMeanEstimator(5, 0.0), std::invalid_argument);
+  HarmonicMeanEstimator e(5);
+  EXPECT_THROW(e.on_chunk_downloaded(0.0, 1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(e.on_chunk_downloaded(1e6, 0.0, 1.0), std::invalid_argument);
+}
+
+TEST(Ewma, ConvergesTowardRecentThroughput) {
+  EwmaEstimator e(0.5);
+  e.on_chunk_downloaded(1e6, 1.0, 1.0);
+  for (int i = 0; i < 20; ++i) {
+    e.on_chunk_downloaded(4e6, 1.0, 2.0 + i);
+  }
+  EXPECT_NEAR(e.estimate_bps(25.0), 4e6, 1e4);
+}
+
+TEST(Ewma, FirstSampleSeedsDirectly) {
+  EwmaEstimator e(0.1);
+  e.on_chunk_downloaded(3e6, 1.0, 1.0);
+  EXPECT_DOUBLE_EQ(e.estimate_bps(1.0), 3e6);
+}
+
+TEST(Ewma, InvalidAlphaThrows) {
+  EXPECT_THROW(EwmaEstimator(0.0), std::invalid_argument);
+  EXPECT_THROW(EwmaEstimator(1.5), std::invalid_argument);
+}
+
+TEST(Ewma, ResetRestoresInitial) {
+  EwmaEstimator e(0.3, 9e5);
+  e.on_chunk_downloaded(3e6, 1.0, 1.0);
+  e.reset();
+  EXPECT_DOUBLE_EQ(e.estimate_bps(0.0), 9e5);
+}
+
+TEST(SlidingMean, ArithmeticMeanOfWindow) {
+  SlidingMeanEstimator e(3);
+  e.on_chunk_downloaded(1e6, 1.0, 1.0);
+  e.on_chunk_downloaded(2e6, 1.0, 2.0);
+  e.on_chunk_downloaded(3e6, 1.0, 3.0);
+  EXPECT_DOUBLE_EQ(e.estimate_bps(3.0), 2e6);
+  e.on_chunk_downloaded(6e6, 1.0, 4.0);  // evicts 1 Mbps
+  EXPECT_NEAR(e.estimate_bps(4.0), 11e6 / 3.0, 1.0);
+}
+
+TEST(SlidingMean, LessRobustThanHarmonic) {
+  SlidingMeanEstimator sm(5);
+  HarmonicMeanEstimator hm(5);
+  for (int i = 0; i < 4; ++i) {
+    sm.on_chunk_downloaded(1e6, 1.0, i);
+    hm.on_chunk_downloaded(1e6, 1.0, i);
+  }
+  sm.on_chunk_downloaded(100e6, 1.0, 5.0);
+  hm.on_chunk_downloaded(100e6, 1.0, 5.0);
+  EXPECT_GT(sm.estimate_bps(5.0), 5.0 * hm.estimate_bps(5.0));
+}
+
+TEST(Factory, DefaultIsHarmonicMeanOf5) {
+  const auto e = make_default_estimator();
+  EXPECT_EQ(e->name(), "harmonic-mean");
+}
+
+}  // namespace

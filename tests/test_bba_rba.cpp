@@ -1,0 +1,117 @@
+// Tests for the two myopic baselines, BBA-1 and RBA (paper Section 4).
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "abr/bba.h"
+#include "abr/rba.h"
+#include "test_util.h"
+
+namespace {
+
+using namespace vbr;
+using testutil::default_flat_video;
+using testutil::make_context;
+using testutil::make_flat_video;
+
+TEST(Bba, LowBufferForcesLowestTrack) {
+  const video::Video v = default_flat_video(10);
+  abr::Bba bba;
+  const abr::Decision d = bba.decide(make_context(v, 0, 5.0, 10e6));
+  EXPECT_EQ(d.track, 0u);
+}
+
+TEST(Bba, HighBufferForcesTopTrack) {
+  const video::Video v = default_flat_video(10);
+  abr::Bba bba;
+  const abr::Decision d = bba.decide(make_context(v, 0, 95.0, 1e5));
+  EXPECT_EQ(d.track, v.num_tracks() - 1);
+}
+
+TEST(Bba, MidBufferMapsLinearly) {
+  const video::Video v = default_flat_video(10);
+  abr::Bba bba;
+  // Halfway through the cushion (reservoir 10, cushion top 90): allowed size
+  // midway between the extremes' average chunk sizes -> a middle track.
+  const abr::Decision d = bba.decide(make_context(v, 0, 50.0, 1e6));
+  EXPECT_GE(d.track, 2u);
+  EXPECT_LE(d.track, 4u);
+}
+
+TEST(Bba, IgnoresBandwidthEstimate) {
+  const video::Video v = default_flat_video(10);
+  abr::Bba bba;
+  const abr::Decision slow = bba.decide(make_context(v, 0, 50.0, 1e4));
+  const abr::Decision fast = bba.decide(make_context(v, 0, 50.0, 1e9));
+  EXPECT_EQ(slow.track, fast.track);  // purely buffer-based
+}
+
+TEST(Bba, MyopicOnSpikedChunk) {
+  // The paper's Section 4 critique: a large (complex) chunk gets a *lower*
+  // track than its neighbours at the same buffer level.
+  const video::Video v = make_flat_video(
+      {2e5, 4e5, 8e5, 1.6e6, 3.2e6, 6.4e6}, 10, 2.0, {{5, 2.5}});
+  abr::Bba bba;
+  const abr::Decision normal = bba.decide(make_context(v, 4, 50.0, 1e6));
+  const abr::Decision spiked = bba.decide(make_context(v, 5, 50.0, 1e6));
+  EXPECT_LT(spiked.track, normal.track);
+}
+
+TEST(Bba, BadConfigThrows) {
+  abr::BbaConfig cfg;
+  cfg.reservoir_s = 0.0;
+  EXPECT_THROW(abr::Bba{cfg}, std::invalid_argument);
+  cfg = {};
+  cfg.cushion_fraction = 1.5;
+  EXPECT_THROW(abr::Bba{cfg}, std::invalid_argument);
+}
+
+TEST(Rba, PicksHighestTrackKeepingFourChunks) {
+  const video::Video v = default_flat_video(10);
+  abr::Rba rba;
+  // Buffer 20 s, bandwidth 3.2 Mbps. Track 5 chunk = 12.8 Mb -> 4 s download
+  // -> buffer after = 20 - 4 + 2 = 18 >= 8: feasible, so track 5.
+  const abr::Decision d = rba.decide(make_context(v, 0, 20.0, 3.2e6));
+  EXPECT_EQ(d.track, 5u);
+}
+
+TEST(Rba, DropsWhenBufferThin) {
+  const video::Video v = default_flat_video(10);
+  abr::Rba rba;
+  // Buffer 8 s: track 5 -> 8 - 4 + 2 = 6 < 8 infeasible; track 4 (6.4 Mb,
+  // 2 s) -> 8 - 2 + 2 = 8 >= 8 feasible.
+  const abr::Decision d = rba.decide(make_context(v, 0, 8.0, 3.2e6));
+  EXPECT_EQ(d.track, 4u);
+}
+
+TEST(Rba, FallsToLowestWhenNothingFeasible) {
+  const video::Video v = default_flat_video(10);
+  abr::Rba rba;
+  const abr::Decision d = rba.decide(make_context(v, 0, 0.5, 1e5));
+  EXPECT_EQ(d.track, 0u);
+}
+
+TEST(Rba, MyopicOnSpikedChunk) {
+  const video::Video v = make_flat_video(
+      {2e5, 4e5, 8e5, 1.6e6, 3.2e6, 6.4e6}, 10, 2.0, {{5, 2.5}});
+  abr::Rba rba;
+  const abr::Decision normal = rba.decide(make_context(v, 4, 12.0, 2e6));
+  const abr::Decision spiked = rba.decide(make_context(v, 5, 12.0, 2e6));
+  EXPECT_LT(spiked.track, normal.track);
+}
+
+TEST(Rba, ScalesWithBandwidth) {
+  const video::Video v = default_flat_video(10);
+  abr::Rba rba;
+  const abr::Decision slow = rba.decide(make_context(v, 0, 12.0, 5e5));
+  const abr::Decision fast = rba.decide(make_context(v, 0, 12.0, 2e7));
+  EXPECT_LT(slow.track, fast.track);
+}
+
+TEST(Rba, BadConfigThrows) {
+  abr::RbaConfig cfg;
+  cfg.min_chunks_after = -1;
+  EXPECT_THROW(abr::Rba{cfg}, std::invalid_argument);
+}
+
+}  // namespace

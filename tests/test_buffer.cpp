@@ -1,0 +1,90 @@
+// Tests for the playout buffer dynamics.
+#include "sim/buffer.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace {
+
+using vbr::sim::PlayoutBuffer;
+
+TEST(Buffer, StartsEmptyNotPlaying) {
+  const PlayoutBuffer b(100.0);
+  EXPECT_DOUBLE_EQ(b.level_s(), 0.0);
+  EXPECT_FALSE(b.playing());
+  EXPECT_DOUBLE_EQ(b.capacity_s(), 100.0);
+}
+
+TEST(Buffer, InvalidCapacityThrows) {
+  EXPECT_THROW(PlayoutBuffer(0.0), std::invalid_argument);
+  EXPECT_THROW(PlayoutBuffer(-5.0), std::invalid_argument);
+}
+
+TEST(Buffer, NoDrainBeforePlayback) {
+  PlayoutBuffer b(100.0);
+  b.add_chunk(4.0);
+  EXPECT_DOUBLE_EQ(b.elapse(10.0), 0.0);  // no stall before playback
+  EXPECT_DOUBLE_EQ(b.level_s(), 4.0);     // nothing drained
+}
+
+TEST(Buffer, DrainsWhilePlaying) {
+  PlayoutBuffer b(100.0);
+  b.add_chunk(4.0);
+  b.start_playback();
+  EXPECT_DOUBLE_EQ(b.elapse(3.0), 0.0);
+  EXPECT_DOUBLE_EQ(b.level_s(), 1.0);
+}
+
+TEST(Buffer, StallWhenEmpty) {
+  PlayoutBuffer b(100.0);
+  b.add_chunk(2.0);
+  b.start_playback();
+  EXPECT_DOUBLE_EQ(b.elapse(5.0), 3.0);  // 2 s played, 3 s stalled
+  EXPECT_DOUBLE_EQ(b.level_s(), 0.0);
+}
+
+TEST(Buffer, ExactDrainNoStall) {
+  PlayoutBuffer b(100.0);
+  b.add_chunk(5.0);
+  b.start_playback();
+  EXPECT_DOUBLE_EQ(b.elapse(5.0), 0.0);
+  EXPECT_DOUBLE_EQ(b.level_s(), 0.0);
+}
+
+TEST(Buffer, NegativeElapseThrows) {
+  PlayoutBuffer b(10.0);
+  EXPECT_THROW((void)b.elapse(-1.0), std::invalid_argument);
+}
+
+TEST(Buffer, AddChunkValidation) {
+  PlayoutBuffer b(10.0);
+  EXPECT_THROW(b.add_chunk(0.0), std::invalid_argument);
+  EXPECT_THROW(b.add_chunk(-2.0), std::invalid_argument);
+}
+
+TEST(Buffer, OverflowThrows) {
+  PlayoutBuffer b(10.0);
+  b.add_chunk(6.0);
+  EXPECT_THROW(b.add_chunk(6.0), std::logic_error);
+}
+
+TEST(Buffer, TimeUntilRoom) {
+  PlayoutBuffer b(10.0);
+  b.add_chunk(8.0);
+  EXPECT_DOUBLE_EQ(b.time_until_room_for(2.0), 0.0);
+  EXPECT_DOUBLE_EQ(b.time_until_room_for(4.0), 2.0);
+}
+
+TEST(Buffer, FillDrainCycle) {
+  PlayoutBuffer b(10.0);
+  b.start_playback();
+  b.add_chunk(2.0);
+  b.add_chunk(2.0);
+  EXPECT_DOUBLE_EQ(b.elapse(1.0), 0.0);
+  b.add_chunk(2.0);
+  EXPECT_DOUBLE_EQ(b.level_s(), 5.0);
+  EXPECT_DOUBLE_EQ(b.elapse(7.0), 2.0);  // 5 s content, 2 s stall
+}
+
+}  // namespace

@@ -1,0 +1,179 @@
+// Tests for the composed CAVA scheme.
+#include "core/cava.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "net/bandwidth_estimator.h"
+#include "sim/session.h"
+#include "test_util.h"
+#include "video/dataset.h"
+
+namespace {
+
+using namespace vbr;
+using core::Cava;
+using core::CavaConfig;
+using testutil::flat_trace;
+using testutil::make_context;
+
+video::Video corpus_video() {
+  return video::make_video("ED", video::Genre::kAnimation,
+                           video::Codec::kH264, 2.0, 2.0, 42, 300.0);
+}
+
+TEST(Cava, VariantNames) {
+  EXPECT_EQ(core::make_cava_p1()->name(), "CAVA-p1");
+  EXPECT_EQ(core::make_cava_p12()->name(), "CAVA-p12");
+  EXPECT_EQ(core::make_cava_p123()->name(), "CAVA");
+}
+
+TEST(Cava, NonPositiveBandwidthThrows) {
+  const video::Video v = corpus_video();
+  Cava cava;
+  EXPECT_THROW((void)cava.decide(make_context(v, 0, 10.0, 0.0)),
+               std::invalid_argument);
+}
+
+TEST(Cava, DecisionIsValidTrack) {
+  const video::Video v = corpus_video();
+  Cava cava;
+  for (const double est : {1e5, 5e5, 2e6, 8e6}) {
+    const abr::Decision d = cava.decide(make_context(v, 0, 20.0, est));
+    EXPECT_LT(d.track, v.num_tracks());
+    EXPECT_DOUBLE_EQ(d.wait_s, 0.0);
+    cava.reset();
+  }
+}
+
+TEST(Cava, DiagnosticsPopulated) {
+  const video::Video v = corpus_video();
+  Cava cava;
+  EXPECT_FALSE(cava.last_diagnostics().has_value());
+  (void)cava.decide(make_context(v, 0, 30.0, 2e6));
+  ASSERT_TRUE(cava.last_diagnostics().has_value());
+  const auto& d = *cava.last_diagnostics();
+  EXPECT_GT(d.u, 0.0);
+  EXPECT_GE(d.target_buffer_s, CavaConfig{}.base_target_buffer_s);
+}
+
+TEST(Cava, AlphaReflectsChunkClass) {
+  const video::Video v = corpus_video();
+  const core::ComplexityClassifier cls(v);
+  Cava cava;
+  // Find one complex and one simple chunk.
+  std::size_t complex_chunk = 0;
+  std::size_t simple_chunk = 0;
+  for (std::size_t i = 0; i < v.num_chunks(); ++i) {
+    if (cls.is_complex(i)) {
+      complex_chunk = i;
+    } else {
+      simple_chunk = i;
+    }
+  }
+  (void)cava.decide(make_context(v, complex_chunk, 30.0, 2e6));
+  EXPECT_TRUE(cava.last_diagnostics()->complex_chunk);
+  EXPECT_DOUBLE_EQ(cava.last_diagnostics()->alpha,
+                   CavaConfig{}.alpha_complex);
+  (void)cava.decide(make_context(v, simple_chunk, 30.0, 2e6));
+  EXPECT_FALSE(cava.last_diagnostics()->complex_chunk);
+  EXPECT_DOUBLE_EQ(cava.last_diagnostics()->alpha,
+                   CavaConfig{}.alpha_simple);
+}
+
+TEST(Cava, P1VariantUsesUnityAlpha) {
+  const video::Video v = corpus_video();
+  auto p1 = core::make_cava_p1();
+  (void)p1->decide(make_context(v, 0, 30.0, 2e6));
+  EXPECT_DOUBLE_EQ(p1->last_diagnostics()->alpha, 1.0);
+}
+
+TEST(Cava, RebindsToNewVideo) {
+  const video::Video a = corpus_video();
+  const video::Video b = video::make_video(
+      "BBB", video::Genre::kAnimation, video::Codec::kH264, 2.0, 2.0, 7,
+      100.0);
+  Cava cava;
+  (void)cava.decide(make_context(a, 0, 30.0, 2e6));
+  // Switching videos mid-stream must not crash or read stale state.
+  const abr::Decision d = cava.decide(make_context(b, 0, 30.0, 2e6));
+  EXPECT_LT(d.track, b.num_tracks());
+}
+
+TEST(Cava, SteadyStateTracksBandwidth) {
+  // On a flat 2 Mbps link, a full session should mostly select tracks whose
+  // window bitrate is near 2 Mbps (track 3-4 of the corpus ladder), with no
+  // rebuffering.
+  const video::Video v = corpus_video();
+  const net::Trace t = flat_trace(2e6);
+  Cava cava;
+  net::HarmonicMeanEstimator est(5);
+  const sim::SessionResult r = sim::run_session(v, t, cava, est);
+  EXPECT_DOUBLE_EQ(r.total_rebuffer_s, 0.0);
+  double mean_track = 0.0;
+  for (const auto& c : r.chunks) {
+    mean_track += static_cast<double>(c.track);
+  }
+  mean_track /= static_cast<double>(r.chunks.size());
+  EXPECT_GT(mean_track, 2.0);
+  EXPECT_LT(mean_track, 5.0);
+}
+
+TEST(Cava, BuffersTowardTargetOnFastLink) {
+  // With bandwidth far above the ladder, the buffer should converge near
+  // the (possibly preview-raised) target, not pin at the 100 s cap.
+  const video::Video v = corpus_video();
+  const net::Trace t = flat_trace(30e6);
+  Cava cava;
+  net::HarmonicMeanEstimator est(5);
+  const sim::SessionResult r = sim::run_session(v, t, cava, est);
+  double late_buffer = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = r.chunks.size() / 2; i < r.chunks.size(); ++i) {
+    late_buffer += r.chunks[i].buffer_after_s;
+    ++n;
+  }
+  late_buffer /= static_cast<double>(n);
+  const CavaConfig cfg;
+  EXPECT_GT(late_buffer, 0.5 * cfg.base_target_buffer_s);
+  EXPECT_LT(late_buffer,
+            cfg.target_buffer_cap_factor * cfg.base_target_buffer_s + 10.0);
+}
+
+TEST(Cava, NoRebufferOnStepDownTrace) {
+  // Bandwidth halves mid-session; the control loop must absorb it without
+  // stalling (the banked target buffer is the cushion).
+  const video::Video v = corpus_video();
+  std::vector<double> samples(1800, 3e6);
+  for (std::size_t i = 300; i < samples.size(); ++i) {
+    samples[i] = 1e6;
+  }
+  const net::Trace t("step", 1.0, std::move(samples));
+  Cava cava;
+  net::HarmonicMeanEstimator est(5);
+  const sim::SessionResult r = sim::run_session(v, t, cava, est);
+  EXPECT_LT(r.total_rebuffer_s, 1.0);
+}
+
+TEST(Cava, ResetGivesReproducibleSessions) {
+  const video::Video v = corpus_video();
+  const net::Trace t = flat_trace(1.5e6);
+  Cava cava;
+  net::HarmonicMeanEstimator est(5);
+  const sim::SessionResult a = sim::run_session(v, t, cava, est);
+  const sim::SessionResult b = sim::run_session(v, t, cava, est);
+  ASSERT_EQ(a.chunks.size(), b.chunks.size());
+  for (std::size_t i = 0; i < a.chunks.size(); ++i) {
+    EXPECT_EQ(a.chunks[i].track, b.chunks[i].track);
+  }
+}
+
+TEST(Cava, ConfigAccessibleAndHonored) {
+  CavaConfig cfg;
+  cfg.alpha_complex = 1.5;
+  const Cava cava(cfg);
+  EXPECT_DOUBLE_EQ(cava.config().alpha_complex, 1.5);
+}
+
+}  // namespace

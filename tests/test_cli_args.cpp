@@ -1,0 +1,67 @@
+// Tests for the CLI flag parser.
+#include "../tools/cli_args.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace {
+
+using vbr::tools::CliArgs;
+
+const std::set<std::string> kKnown = {"scheme", "count", "abandon", "rtt"};
+
+CliArgs parse(std::initializer_list<const char*> argv) {
+  std::vector<const char*> v = {"prog"};
+  v.insert(v.end(), argv.begin(), argv.end());
+  return CliArgs(static_cast<int>(v.size()), v.data(), kKnown);
+}
+
+TEST(CliArgs, KeyValuePairs) {
+  const CliArgs a = parse({"--scheme", "CAVA", "--count", "50"});
+  EXPECT_TRUE(a.has("scheme"));
+  EXPECT_EQ(a.get("scheme", "x"), "CAVA");
+  EXPECT_EQ(a.get_size("count", 0), 50u);
+}
+
+TEST(CliArgs, DefaultsWhenAbsent) {
+  const CliArgs a = parse({});
+  EXPECT_FALSE(a.has("scheme"));
+  EXPECT_EQ(a.get("scheme", "CAVA"), "CAVA");
+  EXPECT_DOUBLE_EQ(a.get_double("rtt", 0.25), 0.25);
+}
+
+TEST(CliArgs, BareBooleanFlag) {
+  const CliArgs a = parse({"--abandon", "--count", "5"});
+  EXPECT_TRUE(a.has("abandon"));
+  EXPECT_EQ(a.get_size("count", 0), 5u);
+}
+
+TEST(CliArgs, BooleanBeforeAnotherFlag) {
+  const CliArgs a = parse({"--abandon", "--scheme", "MPC"});
+  EXPECT_TRUE(a.has("abandon"));
+  EXPECT_EQ(a.get("scheme", ""), "MPC");
+}
+
+TEST(CliArgs, UnknownFlagThrows) {
+  EXPECT_THROW(parse({"--bogus", "1"}), std::invalid_argument);
+}
+
+TEST(CliArgs, NonNumericValueThrows) {
+  const CliArgs a = parse({"--rtt", "fast"});
+  EXPECT_THROW((void)a.get_double("rtt", 0.0), std::invalid_argument);
+}
+
+TEST(CliArgs, NegativeSizeThrows) {
+  const CliArgs a = parse({"--count", "-3"});
+  EXPECT_THROW((void)a.get_size("count", 0), std::invalid_argument);
+}
+
+TEST(CliArgs, PositionalArguments) {
+  const CliArgs a = parse({"input.trace", "--count", "2", "more"});
+  ASSERT_EQ(a.positional().size(), 2u);
+  EXPECT_EQ(a.positional()[0], "input.trace");
+  EXPECT_EQ(a.positional()[1], "more");
+}
+
+}  // namespace

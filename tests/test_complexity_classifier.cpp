@@ -1,0 +1,131 @@
+// Tests for the chunk-size-based complexity classifier (Section 3.1.1).
+#include "core/complexity_classifier.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "metrics/stats.h"
+#include "test_util.h"
+#include "video/dataset.h"
+
+namespace {
+
+using namespace vbr;
+using core::ComplexityClassifier;
+
+video::Video corpus_video() {
+  return video::make_video("ED", video::Genre::kAnimation,
+                           video::Codec::kH264, 2.0, 2.0, 42, 300.0);
+}
+
+TEST(Classifier, QuartilesAreRoughlyBalanced) {
+  const video::Video v = corpus_video();
+  const ComplexityClassifier c(v);
+  std::array<std::size_t, 4> counts{};
+  for (std::size_t i = 0; i < v.num_chunks(); ++i) {
+    counts[c.class_of(i)]++;
+  }
+  for (const std::size_t n : counts) {
+    EXPECT_GT(n, v.num_chunks() / 8);
+    EXPECT_LT(n, v.num_chunks() / 2);
+  }
+}
+
+TEST(Classifier, TopClassHasLargestChunks) {
+  const video::Video v = corpus_video();
+  const ComplexityClassifier c(v);
+  const video::Track& ref = v.track(c.reference_track());
+  double min_q4 = 1e18;
+  double max_q1 = 0.0;
+  for (std::size_t i = 0; i < v.num_chunks(); ++i) {
+    if (c.class_of(i) == 3) {
+      min_q4 = std::min(min_q4, ref.chunk(i).size_bits);
+    }
+    if (c.class_of(i) == 0) {
+      max_q1 = std::max(max_q1, ref.chunk(i).size_bits);
+    }
+  }
+  EXPECT_GT(min_q4, max_q1);
+}
+
+TEST(Classifier, MatchesSceneComplexityGroundTruth) {
+  // The whole point of the classifier: size quartiles recover the relative
+  // scene complexity with high accuracy. Q4 chunks should have much higher
+  // SI/TI than Q1 chunks (cf. Fig. 2).
+  const video::Video v = corpus_video();
+  const ComplexityClassifier c(v);
+  std::vector<double> q1_siti;
+  std::vector<double> q4_siti;
+  for (std::size_t i = 0; i < v.num_chunks(); ++i) {
+    const double siti = v.scene_info(i).si + v.scene_info(i).ti;
+    if (c.class_of(i) == 0) {
+      q1_siti.push_back(siti);
+    } else if (c.class_of(i) == 3) {
+      q4_siti.push_back(siti);
+    }
+  }
+  EXPECT_GT(stats::median(q4_siti), stats::median(q1_siti) + 10.0);
+}
+
+TEST(Classifier, ReferenceTrackChoiceBarelyMatters) {
+  // Cross-track consistency (Section 3.1.1 property 2): classifying from
+  // any reference track gives nearly the same classes.
+  const video::Video v = corpus_video();
+  const ComplexityClassifier mid(v, v.middle_track());
+  const ComplexityClassifier top(v, v.num_tracks() - 1);
+  std::size_t agree = 0;
+  for (std::size_t i = 0; i < v.num_chunks(); ++i) {
+    agree += mid.class_of(i) == top.class_of(i) ? 1 : 0;
+  }
+  EXPECT_GT(static_cast<double>(agree) / v.num_chunks(), 0.9);
+}
+
+TEST(Classifier, IsComplexMatchesTopClass) {
+  const video::Video v = corpus_video();
+  const ComplexityClassifier c(v);
+  for (std::size_t i = 0; i < v.num_chunks(); ++i) {
+    EXPECT_EQ(c.is_complex(i), c.class_of(i) == 3);
+  }
+}
+
+TEST(Classifier, ComplexChunksListsTopClass) {
+  const video::Video v = corpus_video();
+  const ComplexityClassifier c(v);
+  const auto complex_idx = c.complex_chunks();
+  EXPECT_FALSE(complex_idx.empty());
+  for (const std::size_t i : complex_idx) {
+    EXPECT_TRUE(c.is_complex(i));
+  }
+}
+
+TEST(Classifier, ConfigurableClassCount) {
+  const video::Video v = corpus_video();
+  const ComplexityClassifier c(v, v.middle_track(), 5);
+  EXPECT_EQ(c.num_classes(), 5u);
+  std::size_t top = 0;
+  for (std::size_t i = 0; i < v.num_chunks(); ++i) {
+    EXPECT_LT(c.class_of(i), 5u);
+    top += c.class_of(i) == 4 ? 1 : 0;
+  }
+  EXPECT_GT(top, 0u);
+}
+
+TEST(Classifier, InvalidArgumentsThrow) {
+  const video::Video v = corpus_video();
+  EXPECT_THROW(ComplexityClassifier(v, 99), std::invalid_argument);
+  EXPECT_THROW(ComplexityClassifier(v, 0, 1), std::invalid_argument);
+}
+
+TEST(Classifier, FlatVideoPutsEverythingInOneBoundaryClass) {
+  // Degenerate input: all chunks the same size. No chunk exceeds the
+  // thresholds, so everything lands in the first class (and none in Q4).
+  const video::Video v = testutil::default_flat_video(20);
+  const ComplexityClassifier c(v);
+  for (std::size_t i = 0; i < v.num_chunks(); ++i) {
+    EXPECT_EQ(c.class_of(i), 0u);
+    EXPECT_FALSE(c.is_complex(i));
+  }
+}
+
+}  // namespace

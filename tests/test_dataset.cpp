@@ -1,0 +1,166 @@
+// Tests for the 16-video corpus factory (paper Section 2).
+#include "video/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+#include "metrics/stats.h"
+
+namespace {
+
+using namespace vbr::video;
+
+DatasetConfig small_config() {
+  DatasetConfig cfg;
+  cfg.duration_s = 120.0;  // keep corpus tests fast
+  return cfg;
+}
+
+TEST(Dataset, FullCorpusHas16Videos) {
+  const auto corpus = make_full_corpus(small_config());
+  EXPECT_EQ(corpus.size(), 16u);
+}
+
+TEST(Dataset, FfmpegCorpusComposition) {
+  const auto corpus = make_ffmpeg_corpus(small_config());
+  ASSERT_EQ(corpus.size(), 8u);
+  std::size_t h264 = 0;
+  std::size_t h265 = 0;
+  for (const Video& v : corpus) {
+    EXPECT_DOUBLE_EQ(v.chunk_duration_s(), 2.0);
+    EXPECT_EQ(v.num_tracks(), 6u);
+    (v.codec() == Codec::kH264 ? h264 : h265) += 1;
+  }
+  EXPECT_EQ(h264, 4u);
+  EXPECT_EQ(h265, 4u);
+}
+
+TEST(Dataset, YoutubeCorpusComposition) {
+  const auto corpus = make_youtube_corpus(small_config());
+  ASSERT_EQ(corpus.size(), 8u);
+  std::set<Genre> genres;
+  for (const Video& v : corpus) {
+    EXPECT_DOUBLE_EQ(v.chunk_duration_s(), 5.0);
+    EXPECT_EQ(v.codec(), Codec::kH264);
+    genres.insert(v.genre());
+  }
+  // All six genres appear across the YouTube set.
+  EXPECT_EQ(genres.size(), 6u);
+}
+
+TEST(Dataset, NamesAreUnique) {
+  const auto corpus = make_full_corpus(small_config());
+  std::set<std::string> names;
+  for (const Video& v : corpus) {
+    names.insert(v.name());
+  }
+  EXPECT_EQ(names.size(), corpus.size());
+}
+
+TEST(Dataset, Deterministic) {
+  const auto a = make_video("x", Genre::kSports, Codec::kH264, 2.0, 2.0, 99,
+                            100.0);
+  const auto b = make_video("x", Genre::kSports, Codec::kH264, 2.0, 2.0, 99,
+                            100.0);
+  for (std::size_t l = 0; l < a.num_tracks(); ++l) {
+    for (std::size_t i = 0; i < a.num_chunks(); ++i) {
+      EXPECT_DOUBLE_EQ(a.chunk_size_bits(l, i), b.chunk_size_bits(l, i));
+    }
+  }
+}
+
+TEST(Dataset, SameTitleDifferentCodecSharesSceneTrace) {
+  // H.264 and H.265 encodes of the same title have identical source SI/TI.
+  const auto corpus = make_ffmpeg_corpus(small_config());
+  const Video& h264 = find_video(corpus, "ED-ffmpeg-h264");
+  const Video& h265 = find_video(corpus, "ED-ffmpeg-h265");
+  for (std::size_t i = 0; i < h264.num_chunks(); ++i) {
+    EXPECT_DOUBLE_EQ(h264.scene_info(i).si, h265.scene_info(i).si);
+    EXPECT_DOUBLE_EQ(h264.scene_info(i).ti, h265.scene_info(i).ti);
+  }
+}
+
+TEST(Dataset, ChunkCountMatchesDuration) {
+  const Video v =
+      make_video("x", Genre::kNature, Codec::kH264, 2.0, 2.0, 1, 600.0);
+  EXPECT_EQ(v.num_chunks(), 300u);
+  const Video w =
+      make_video("y", Genre::kNature, Codec::kH264, 5.0, 2.0, 1, 600.0);
+  EXPECT_EQ(w.num_chunks(), 120u);
+}
+
+TEST(Dataset, BadDurationsThrow) {
+  EXPECT_THROW(
+      (void)make_video("x", Genre::kNature, Codec::kH264, 0.0, 2.0, 1),
+      std::invalid_argument);
+  EXPECT_THROW(
+      (void)make_video("x", Genre::kNature, Codec::kH264, 5.0, 2.0, 1, 3.0),
+      std::invalid_argument);
+}
+
+TEST(Dataset, FourXCappedVideoHasHigherPeaks) {
+  DatasetConfig cfg = small_config();
+  const Video v4 = make_4x_capped_video(cfg);
+  const auto corpus = make_ffmpeg_corpus(cfg);
+  const Video& v2 = find_video(corpus, "ED-ffmpeg-h264");
+  const std::size_t top = v2.num_tracks() - 1;
+  EXPECT_GT(v4.track(top).peak_to_average(), v2.track(top).peak_to_average());
+}
+
+TEST(Dataset, FindVideoThrowsOnMissing) {
+  const auto corpus = make_ffmpeg_corpus(small_config());
+  EXPECT_THROW((void)find_video(corpus, "nope"), std::out_of_range);
+}
+
+TEST(Dataset, CrossTrackSizeRankCorrelationNearOne) {
+  // Section 3.1.1 property 2: relative chunk sizes are consistent across
+  // tracks.
+  const Video v = make_video("x", Genre::kSciFi, Codec::kH264, 2.0, 2.0, 5,
+                             300.0);
+  const auto mid = v.track(v.middle_track()).chunk_sizes_bits();
+  for (std::size_t l = 0; l < v.num_tracks(); ++l) {
+    const double corr =
+        vbr::stats::spearman(v.track(l).chunk_sizes_bits(), mid);
+    EXPECT_GT(corr, 0.95) << "track " << l;
+  }
+}
+
+// Parameterized over the full corpus: paper Section 2 statistics hold for
+// every video.
+class CorpusStatsTest : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  static const std::vector<Video>& corpus() {
+    static const std::vector<Video> c = make_full_corpus();
+    return c;
+  }
+};
+
+TEST_P(CorpusStatsTest, BitrateVariabilityAndLadder) {
+  const Video& v = corpus()[GetParam()];
+  for (std::size_t l = 1; l < v.num_tracks(); ++l) {
+    EXPECT_GT(v.track(l).average_bitrate_bps(),
+              v.track(l - 1).average_bitrate_bps());
+  }
+  // CoV of the upper tracks in (0.25, 0.75); peak/avg within (1.1, 2.5).
+  for (std::size_t l = 2; l < v.num_tracks(); ++l) {
+    const double cov = vbr::stats::coefficient_of_variation(
+        v.track(l).chunk_bitrates_bps());
+    EXPECT_GT(cov, 0.25) << v.name() << " track " << l;
+    EXPECT_LT(cov, 0.75) << v.name() << " track " << l;
+    EXPECT_GT(v.track(l).peak_to_average(), 1.1);
+    EXPECT_LT(v.track(l).peak_to_average(), 2.5);
+  }
+  // The lowest track is the least variable (Section 2).
+  const double cov0 = vbr::stats::coefficient_of_variation(
+      v.track(0).chunk_bitrates_bps());
+  const double cov_top = vbr::stats::coefficient_of_variation(
+      v.track(v.num_tracks() - 1).chunk_bitrates_bps());
+  EXPECT_LT(cov0, cov_top);
+}
+
+INSTANTIATE_TEST_SUITE_P(All16, CorpusStatsTest,
+                         ::testing::Range<std::size_t>(0, 16));
+
+}  // namespace

@@ -1,0 +1,180 @@
+// Additional edge-case coverage across modules.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "abr/bola.h"
+#include "core/cava.h"
+#include "core/complexity_classifier.h"
+#include "core/inner_controller.h"
+#include "net/bandwidth_estimator.h"
+#include "net/trace_gen.h"
+#include "sim/live_session.h"
+#include "sim/session.h"
+#include "test_util.h"
+#include "video/dataset.h"
+#include "video/encoder.h"
+
+namespace {
+
+using namespace vbr;
+
+TEST(EdgeCases, InnerWindowConvertsSecondsToChunks) {
+  // W = 40 s means 8 chunks at 5 s chunking and 20 chunks at 2 s chunking:
+  // on a video with a single spike, the 5 s-chunk window dilutes the spike
+  // by 1/8, the 2 s one by 1/20.
+  const video::Video v5 =
+      testutil::make_flat_video({1e6}, 40, 5.0, {{10, 3.0}});
+  const video::Video v2 =
+      testutil::make_flat_video({1e6}, 100, 2.0, {{10, 3.0}});
+  core::CavaConfig cfg;
+  const core::InnerController inner(cfg);
+  const double base5 = inner.smoothed_bitrate_bps(v5, 0, 20);
+  const double spiked5 = inner.smoothed_bitrate_bps(v5, 0, 10);
+  const double base2 = inner.smoothed_bitrate_bps(v2, 0, 40);
+  const double spiked2 = inner.smoothed_bitrate_bps(v2, 0, 10);
+  EXPECT_NEAR((spiked5 - base5) / base5, 2.0 / 8.0, 1e-9);
+  EXPECT_NEAR((spiked2 - base2) / base2, 2.0 / 20.0, 1e-9);
+}
+
+TEST(EdgeCases, CavaRunsOnCbrVideo) {
+  // On a CBR encode the size quartiles are nearly degenerate; CAVA must
+  // still stream correctly (differential treatment simply has nothing to
+  // differentiate).
+  const video::Video cbr = video::make_cbr_video(
+      "cbr", video::Genre::kAnimation, video::Codec::kH264, 2.0, 42, 200.0);
+  const net::Trace t = testutil::flat_trace(2e6);
+  core::Cava cava;
+  net::HarmonicMeanEstimator est(5);
+  const sim::SessionResult r = sim::run_session(cbr, t, cava, est);
+  EXPECT_EQ(r.chunks.size(), cbr.num_chunks());
+  EXPECT_DOUBLE_EQ(r.total_rebuffer_s, 0.0);
+}
+
+TEST(EdgeCases, CavaRunsOn4xCapVideo) {
+  const video::Video v4 = [] {
+    video::DatasetConfig cfg;
+    cfg.duration_s = 200.0;
+    return video::make_4x_capped_video(cfg);
+  }();
+  const net::Trace t = net::generate_lte_trace(5);
+  core::Cava cava;
+  net::HarmonicMeanEstimator est(5);
+  const sim::SessionResult r = sim::run_session(v4, t, cava, est);
+  EXPECT_EQ(r.chunks.size(), v4.num_chunks());
+}
+
+TEST(EdgeCases, BolaWaitsAtLiveEdgeWithoutDeadlock) {
+  // BOLA pauses above its buffer target; in live mode the production gate
+  // also idles the player. The two must compose without deadlock or stall
+  // accounting errors.
+  const video::Video v = video::make_video(
+      "live-bola", video::Genre::kAnimation, video::Codec::kH264, 2.0, 2.0,
+      42, 200.0);
+  const net::Trace t = testutil::flat_trace(20e6);
+  abr::Bola bola;
+  net::HarmonicMeanEstimator est(5);
+  const sim::LiveSessionResult r = sim::run_live_session(v, t, bola, est);
+  EXPECT_EQ(r.session.chunks.size(), v.num_chunks());
+  EXPECT_LT(r.session.total_rebuffer_s, 1.0);
+}
+
+TEST(EdgeCases, EncoderBitrateMonotoneInCrf) {
+  const auto scene =
+      video::generate_scene_trace(video::Genre::kSciFi, 100, 3);
+  double prev = 1e18;
+  for (const double crf : {19.0, 22.0, 25.0, 28.0, 31.0}) {
+    video::EncoderConfig cfg;
+    cfg.resolution = video::kLadder480p;
+    cfg.crf = crf;
+    const video::Track t = video::encode_track(scene, 3, cfg);
+    EXPECT_LT(t.average_bitrate_bps(), prev);
+    prev = t.average_bitrate_bps();
+  }
+}
+
+TEST(EdgeCases, EncoderQualityMonotoneInCrf) {
+  const auto scene =
+      video::generate_scene_trace(video::Genre::kSciFi, 100, 3);
+  double prev_q = 1e18;
+  for (const double crf : {19.0, 25.0, 31.0}) {
+    video::EncoderConfig cfg;
+    cfg.resolution = video::kLadder480p;
+    cfg.crf = crf;
+    cfg.noise_seed = 9;
+    const video::Track t = video::encode_track(scene, 3, cfg);
+    double q = 0.0;
+    for (const video::Chunk& c : t.chunks()) {
+      q += c.quality.vmaf_phone;
+    }
+    q /= static_cast<double>(t.num_chunks());
+    EXPECT_LT(q, prev_q + 1e-9);
+    prev_q = q;
+  }
+}
+
+TEST(EdgeCases, FccSessionsSatisfyInvariants) {
+  const video::Video v = video::make_video(
+      "fcc-check", video::Genre::kNature, video::Codec::kH264, 5.0, 2.0, 8,
+      300.0);
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const net::Trace t = net::generate_fcc_trace(1000 + seed);
+    core::Cava cava;
+    net::HarmonicMeanEstimator est(5);
+    const sim::SessionResult r = sim::run_session(v, t, cava, est);
+    ASSERT_EQ(r.chunks.size(), v.num_chunks());
+    double prev_end = 0.0;
+    for (const auto& c : r.chunks) {
+      EXPECT_GE(c.download_start_s + 1e-9, prev_end);
+      prev_end = c.download_start_s + c.download_s;
+    }
+  }
+}
+
+TEST(EdgeCases, ClassifierCustomClassesValidate) {
+  EXPECT_THROW(core::ComplexityClassifier({0, 1, 4}, 4),
+               std::invalid_argument);
+  EXPECT_THROW(core::ComplexityClassifier(std::vector<std::size_t>{}, 4),
+               std::invalid_argument);
+  EXPECT_THROW(core::ComplexityClassifier({0, 0}, 1), std::invalid_argument);
+  const core::ComplexityClassifier c({0, 3, 1}, 4);
+  EXPECT_TRUE(c.is_complex(1));
+  EXPECT_FALSE(c.is_complex(2));
+}
+
+TEST(EdgeCases, ContentClassifierCavaMatchesSizeCavaOnSessions) {
+  // End-to-end: the two classifier flavours give nearly identical sessions
+  // (the Section 3.1.1 claim at the system level).
+  const video::Video v = video::make_video(
+      "cls", video::Genre::kSciFi, video::Codec::kH264, 2.0, 2.0, 11,
+      300.0);
+  const net::Trace t = net::generate_lte_trace(31);
+  core::CavaConfig size_cfg;
+  core::CavaConfig content_cfg;
+  content_cfg.use_content_classifier = true;
+  core::Cava size_cava(size_cfg);
+  core::Cava content_cava(content_cfg);
+  net::HarmonicMeanEstimator e1(5);
+  net::HarmonicMeanEstimator e2(5);
+  const auto a = sim::run_session(v, t, size_cava, e1);
+  const auto b = sim::run_session(v, t, content_cava, e2);
+  std::size_t same = 0;
+  for (std::size_t i = 0; i < a.chunks.size(); ++i) {
+    same += a.chunks[i].track == b.chunks[i].track ? 1 : 0;
+  }
+  EXPECT_GT(static_cast<double>(same) / a.chunks.size(), 0.8);
+}
+
+TEST(EdgeCases, LiveWithFiveSecondChunks) {
+  const video::Video v = video::make_video(
+      "live5", video::Genre::kSports, video::Codec::kH264, 5.0, 2.0, 13,
+      300.0);
+  const net::Trace t = net::generate_lte_trace(77);
+  auto cava = core::make_cava_p123();
+  net::HarmonicMeanEstimator est(5);
+  const sim::LiveSessionResult r = sim::run_live_session(v, t, *cava, est);
+  EXPECT_EQ(r.session.chunks.size(), v.num_chunks());
+  EXPECT_GT(r.mean_latency_s, 0.0);
+}
+
+}  // namespace

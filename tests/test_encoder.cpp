@@ -1,0 +1,200 @@
+// Tests for the synthetic capped-VBR encoder.
+#include "video/encoder.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "metrics/stats.h"
+
+namespace {
+
+using namespace vbr::video;
+
+std::vector<SceneChunk> scene(std::size_t n = 300, std::uint64_t seed = 1) {
+  return generate_scene_trace(Genre::kAnimation, n, seed);
+}
+
+EncoderConfig config_480p() {
+  EncoderConfig cfg;
+  cfg.resolution = kLadder480p;
+  return cfg;
+}
+
+TEST(Encoder, Deterministic) {
+  const auto sc = scene();
+  const Track a = encode_track(sc, 3, config_480p());
+  const Track b = encode_track(sc, 3, config_480p());
+  for (std::size_t i = 0; i < a.num_chunks(); ++i) {
+    EXPECT_DOUBLE_EQ(a.chunk(i).size_bits, b.chunk(i).size_bits);
+    EXPECT_DOUBLE_EQ(a.chunk(i).quality.vmaf_tv, b.chunk(i).quality.vmaf_tv);
+  }
+}
+
+TEST(Encoder, EmptySceneThrows) {
+  EXPECT_THROW((void)encode_track({}, 0, config_480p()),
+               std::invalid_argument);
+}
+
+TEST(Encoder, BadConfigThrows) {
+  EncoderConfig cfg = config_480p();
+  cfg.chunk_duration_s = 0.0;
+  EXPECT_THROW((void)encode_track(scene(10), 0, cfg), std::invalid_argument);
+  cfg = config_480p();
+  cfg.fps = -1.0;
+  EXPECT_THROW((void)encode_track(scene(10), 0, cfg), std::invalid_argument);
+  cfg = config_480p();
+  cfg.resolution = Resolution{0, 0};
+  EXPECT_THROW((void)encode_track(scene(10), 0, cfg), std::invalid_argument);
+}
+
+TEST(Encoder, RealisticAverageBitrates) {
+  // The 480p rung of a 2x-capped H.264 encode should land in the high
+  // hundreds of kbps to ~1.5 Mbps, 1080p in the 2.5-5.5 Mbps range.
+  const auto sc = scene();
+  EncoderConfig cfg = config_480p();
+  const Track t480 = encode_track(sc, 3, cfg);
+  EXPECT_GT(t480.average_bitrate_bps(), 5e5);
+  EXPECT_LT(t480.average_bitrate_bps(), 1.5e6);
+  cfg.resolution = kLadder1080p;
+  const Track t1080 = encode_track(sc, 5, cfg);
+  EXPECT_GT(t1080.average_bitrate_bps(), 2.5e6);
+  EXPECT_LT(t1080.average_bitrate_bps(), 5.5e6);
+}
+
+TEST(Encoder, CapRoughlyEnforced) {
+  // Peak/avg must exceed 1 and stay near the cap (slight overshoot allowed,
+  // as the paper observes for -maxrate/-bufsize encodes).
+  const Track t = encode_track(scene(), 3, config_480p());
+  EXPECT_GT(t.peak_to_average(), 1.2);
+  EXPECT_LT(t.peak_to_average(), 2.0 * 1.25);
+}
+
+TEST(Encoder, LargerCapAllowsMorePeak) {
+  const auto sc = scene();
+  EncoderConfig cfg2 = config_480p();
+  EncoderConfig cfg4 = config_480p();
+  cfg4.cap_factor = 4.0;
+  const Track t2 = encode_track(sc, 3, cfg2);
+  const Track t4 = encode_track(sc, 3, cfg4);
+  EXPECT_GT(t4.peak_to_average(), t2.peak_to_average());
+}
+
+TEST(Encoder, BitrateVariabilityInPaperRange) {
+  // Section 2: coefficient of variation of per-track bitrate 0.3-0.6 for
+  // mid/upper rungs; the lowest rungs are less variable.
+  const auto sc = scene();
+  EncoderConfig cfg = config_480p();
+  const Track t480 = encode_track(sc, 3, cfg);
+  const double cov480 =
+      vbr::stats::coefficient_of_variation(t480.chunk_bitrates_bps());
+  EXPECT_GT(cov480, 0.3);
+  EXPECT_LT(cov480, 0.7);
+
+  cfg.resolution = kLadder144p;
+  const Track t144 = encode_track(sc, 0, cfg);
+  const double cov144 =
+      vbr::stats::coefficient_of_variation(t144.chunk_bitrates_bps());
+  EXPECT_LT(cov144, cov480);
+}
+
+TEST(Encoder, H265UsesFewerBitsSameQuality) {
+  const auto sc = scene();
+  EncoderConfig h264 = config_480p();
+  EncoderConfig h265 = config_480p();
+  h265.codec = Codec::kH265;
+  const Track a = encode_track(sc, 3, h264);
+  const Track b = encode_track(sc, 3, h265);
+  EXPECT_NEAR(b.average_bitrate_bps() / a.average_bitrate_bps(),
+              codec_efficiency(Codec::kH265), 0.01);
+  // Quality at the same rung is unchanged (same allocation/need ratio).
+  double diff = 0.0;
+  for (std::size_t i = 0; i < a.num_chunks(); ++i) {
+    diff += std::abs(a.chunk(i).quality.vmaf_phone -
+                     b.chunk(i).quality.vmaf_phone);
+  }
+  EXPECT_LT(diff / static_cast<double>(a.num_chunks()), 1.0);
+}
+
+TEST(Encoder, HigherCrfMeansFewerBits) {
+  const auto sc = scene();
+  EncoderConfig crf25 = config_480p();
+  EncoderConfig crf31 = config_480p();
+  crf31.crf = 31.0;
+  const Track a = encode_track(sc, 3, crf25);
+  const Track b = encode_track(sc, 3, crf31);
+  // +6 CRF halves the budget.
+  EXPECT_NEAR(b.average_bitrate_bps() / a.average_bitrate_bps(), 0.5, 0.01);
+  EXPECT_LT(b.chunk(0).quality.vmaf_phone + 1e-9,
+            a.chunk(0).quality.vmaf_phone + 5.0);
+}
+
+TEST(Encoder, ComplexChunksGetMoreBits) {
+  const auto sc = scene();
+  const Track t = encode_track(sc, 3, config_480p());
+  // Correlation between complexity and chunk size should be strongly
+  // positive (VBR principle).
+  std::vector<double> c;
+  std::vector<double> bits;
+  for (std::size_t i = 0; i < sc.size(); ++i) {
+    c.push_back(sc[i].complexity);
+    bits.push_back(t.chunk(i).size_bits);
+  }
+  EXPECT_GT(vbr::stats::pearson(c, bits), 0.9);
+}
+
+TEST(Encoder, ComplexChunksHaveLowerQuality) {
+  // The paper's key finding: despite more bits, complex chunks score lower.
+  const auto sc = scene();
+  const Track t = encode_track(sc, 3, config_480p());
+  std::vector<double> simple_q;
+  std::vector<double> complex_q;
+  for (std::size_t i = 0; i < sc.size(); ++i) {
+    if (sc[i].complexity < 0.3) {
+      simple_q.push_back(t.chunk(i).quality.vmaf_phone);
+    } else if (sc[i].complexity > 0.7) {
+      complex_q.push_back(t.chunk(i).quality.vmaf_phone);
+    }
+  }
+  ASSERT_FALSE(simple_q.empty());
+  ASSERT_FALSE(complex_q.empty());
+  EXPECT_GT(vbr::stats::median(simple_q), vbr::stats::median(complex_q) + 5.0);
+}
+
+TEST(Encoder, RelativeAllocationMeanIsOne) {
+  const auto sc = scene();
+  const auto rel = relative_allocation(sc, 1e6, 2.0, {});
+  EXPECT_NEAR(vbr::stats::mean(rel), 1.0, 1e-9);
+}
+
+TEST(Encoder, RelativeAllocationBadInputsThrow) {
+  EXPECT_THROW((void)relative_allocation({}, 1e6, 2.0, {}),
+               std::invalid_argument);
+  EXPECT_THROW((void)relative_allocation(scene(10), 1e6, 1.0, {}),
+               std::invalid_argument);
+}
+
+// Parameterized: every ladder rung encodes successfully with sane stats.
+class LadderEncodeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LadderEncodeTest, RungProducesValidTrack) {
+  const int rung = GetParam();
+  const auto sc = scene(120, 3);
+  EncoderConfig cfg;
+  cfg.resolution = standard_ladder()[static_cast<std::size_t>(rung)];
+  const Track t = encode_track(sc, rung, cfg);
+  EXPECT_EQ(t.num_chunks(), 120u);
+  EXPECT_GT(t.average_bitrate_bps(), 0.0);
+  EXPECT_GT(t.peak_to_average(), 1.0);
+  for (const Chunk& c : t.chunks()) {
+    EXPECT_GT(c.size_bits, 0.0);
+    EXPECT_GE(c.quality.vmaf_phone, 0.0);
+    EXPECT_LE(c.quality.vmaf_phone, 100.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRungs, LadderEncodeTest,
+                         ::testing::Values(0, 1, 2, 3, 4, 5));
+
+}  // namespace

@@ -1,0 +1,80 @@
+// Tests for the Section 6.7 noisy-oracle estimator.
+#include "net/error_model.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace {
+
+using namespace vbr::net;
+
+Trace flat_trace() { return Trace("flat", 1.0, std::vector<double>(60, 2e6)); }
+
+TEST(NoisyOracle, ZeroErrorIsExact) {
+  const Trace t = flat_trace();
+  const NoisyOracleEstimator e(t, 0.0, 1);
+  EXPECT_DOUBLE_EQ(e.estimate_bps(5.0), 2e6);
+}
+
+TEST(NoisyOracle, TracksTraceValue) {
+  const Trace t("steps", 1.0, {1e6, 4e6});
+  const NoisyOracleEstimator e(t, 0.0, 1);
+  EXPECT_DOUBLE_EQ(e.estimate_bps(0.5), 1e6);
+  EXPECT_DOUBLE_EQ(e.estimate_bps(1.5), 4e6);
+}
+
+TEST(NoisyOracle, ErrorBounded) {
+  const Trace t = flat_trace();
+  const NoisyOracleEstimator e(t, 0.5, 7);
+  for (int i = 0; i < 1000; ++i) {
+    const double est = e.estimate_bps(10.0);
+    EXPECT_GE(est, 2e6 * 0.5 - 1.0);
+    EXPECT_LE(est, 2e6 * 1.5 + 1.0);
+  }
+}
+
+TEST(NoisyOracle, ErrorCentered) {
+  const Trace t = flat_trace();
+  const NoisyOracleEstimator e(t, 0.5, 7);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    sum += e.estimate_bps(10.0);
+  }
+  EXPECT_NEAR(sum / n, 2e6, 2e4);  // uniform around the truth
+}
+
+TEST(NoisyOracle, ResetReproducesSequence) {
+  const Trace t = flat_trace();
+  NoisyOracleEstimator e(t, 0.25, 42);
+  std::vector<double> first;
+  for (int i = 0; i < 10; ++i) {
+    first.push_back(e.estimate_bps(1.0));
+  }
+  e.reset();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(e.estimate_bps(1.0), first[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(NoisyOracle, InvalidErrThrows) {
+  const Trace t = flat_trace();
+  EXPECT_THROW(NoisyOracleEstimator(t, -0.1, 1), std::invalid_argument);
+  EXPECT_THROW(NoisyOracleEstimator(t, 1.0, 1), std::invalid_argument);
+}
+
+TEST(NoisyOracle, ObservationsAreIgnored) {
+  const Trace t = flat_trace();
+  NoisyOracleEstimator e(t, 0.0, 1);
+  e.on_chunk_downloaded(1e6, 10.0, 10.0);  // 0.1 Mbps observed
+  EXPECT_DOUBLE_EQ(e.estimate_bps(10.0), 2e6);  // still the oracle value
+}
+
+TEST(NoisyOracle, NameIncludesError) {
+  const Trace t = flat_trace();
+  const NoisyOracleEstimator e(t, 0.25, 1);
+  EXPECT_NE(e.name().find("0.25"), std::string::npos);
+}
+
+}  // namespace

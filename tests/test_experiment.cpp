@@ -1,0 +1,121 @@
+// Tests for the experiment harness.
+#include "sim/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+
+#include "net/trace_gen.h"
+#include "test_util.h"
+#include "video/dataset.h"
+
+namespace {
+
+using namespace vbr;
+
+video::Video small_video() {
+  return video::make_video("ED", video::Genre::kAnimation,
+                           video::Codec::kH264, 2.0, 2.0, 42, 120.0);
+}
+
+sim::ExperimentSpec base_spec(const video::Video& v,
+                              std::span<const net::Trace> traces) {
+  sim::ExperimentSpec spec;
+  spec.video = &v;
+  spec.traces = traces;
+  spec.make_scheme = [] {
+    return std::make_unique<abr::FixedTrackScheme>(2);
+  };
+  return spec;
+}
+
+TEST(Experiment, RunsOneSummaryPerTrace) {
+  const video::Video v = small_video();
+  const auto traces = net::make_lte_trace_set(6, 3);
+  const sim::ExperimentResult r = sim::run_experiment(base_spec(v, traces));
+  EXPECT_EQ(r.per_trace.size(), 6u);
+  EXPECT_EQ(r.scheme_name, "fixed-2");
+}
+
+TEST(Experiment, MalformedSpecThrows) {
+  const video::Video v = small_video();
+  const auto traces = net::make_lte_trace_set(2, 3);
+  sim::ExperimentSpec spec;  // all empty
+  EXPECT_THROW((void)sim::run_experiment(spec), std::invalid_argument);
+  spec = base_spec(v, traces);
+  spec.make_scheme = nullptr;
+  EXPECT_THROW((void)sim::run_experiment(spec), std::invalid_argument);
+}
+
+TEST(Experiment, MeansAggregateAcrossTraces) {
+  const video::Video v = small_video();
+  const auto traces = net::make_lte_trace_set(4, 3);
+  const sim::ExperimentResult r = sim::run_experiment(base_spec(v, traces));
+  double sum = 0.0;
+  for (const auto& s : r.per_trace) {
+    sum += s.rebuffer_s;
+  }
+  EXPECT_NEAR(r.mean_rebuffer_s, sum / 4.0, 1e-9);
+}
+
+TEST(Experiment, DeterministicAcrossThreadCounts) {
+  // Parallelism must not change results (each trace is independent).
+  const video::Video v = small_video();
+  const auto traces = net::make_lte_trace_set(8, 3);
+  sim::ExperimentSpec spec1 = base_spec(v, traces);
+  spec1.threads = 1;
+  sim::ExperimentSpec spec8 = base_spec(v, traces);
+  spec8.threads = 8;
+  const sim::ExperimentResult a = sim::run_experiment(spec1);
+  const sim::ExperimentResult b = sim::run_experiment(spec8);
+  ASSERT_EQ(a.per_trace.size(), b.per_trace.size());
+  for (std::size_t i = 0; i < a.per_trace.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.per_trace[i].rebuffer_s, b.per_trace[i].rebuffer_s);
+    EXPECT_DOUBLE_EQ(a.per_trace[i].all_quality_mean,
+                     b.per_trace[i].all_quality_mean);
+    EXPECT_DOUBLE_EQ(a.per_trace[i].data_usage_mb,
+                     b.per_trace[i].data_usage_mb);
+  }
+}
+
+TEST(Experiment, MetricSelectsVmafModel) {
+  const video::Video v = small_video();
+  const auto traces = net::make_lte_trace_set(2, 3);
+  sim::ExperimentSpec phone = base_spec(v, traces);
+  phone.metric = video::QualityMetric::kVmafPhone;
+  sim::ExperimentSpec tv = base_spec(v, traces);
+  tv.metric = video::QualityMetric::kVmafTv;
+  const auto rp = sim::run_experiment(phone);
+  const auto rt = sim::run_experiment(tv);
+  // Phone model is more forgiving at sub-1080p rungs.
+  EXPECT_GT(rp.mean_all_quality, rt.mean_all_quality);
+}
+
+TEST(Experiment, CustomEstimatorFactoryIsUsed) {
+  const video::Video v = small_video();
+  const auto traces = net::make_lte_trace_set(2, 3);
+  sim::ExperimentSpec spec = base_spec(v, traces);
+  int calls = 0;
+  spec.make_estimator = [&calls](const net::Trace&) {
+    ++calls;
+    return net::make_default_estimator();
+  };
+  (void)sim::run_experiment(spec);
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(Experiment, CollectorsMatchPerTraceValues) {
+  const video::Video v = small_video();
+  const auto traces = net::make_lte_trace_set(3, 3);
+  const sim::ExperimentResult r = sim::run_experiment(base_spec(v, traces));
+  const auto rebuf = r.rebuffer_values();
+  ASSERT_EQ(rebuf.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(rebuf[i], r.per_trace[i].rebuffer_s);
+  }
+  const auto pooled = r.pooled_all_qualities();
+  EXPECT_EQ(pooled.size(), 3u * v.num_chunks());
+}
+
+}  // namespace

@@ -1,0 +1,212 @@
+// Tests for the inner controller's VBR-aware track selection (Section 5.3).
+#include "core/inner_controller.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/complexity_classifier.h"
+#include "test_util.h"
+#include "video/dataset.h"
+
+namespace {
+
+using namespace vbr;
+using core::CavaConfig;
+using core::ComplexityClassifier;
+using core::InnerController;
+
+// A video with a Q4 cluster: chunks 20-27 spiked on every track.
+video::Video spiky_video() {
+  std::vector<std::pair<std::size_t, double>> spikes;
+  for (std::size_t i = 20; i < 28; ++i) {
+    spikes.emplace_back(i, 2.2);
+  }
+  return testutil::make_flat_video({2e5, 4e5, 8e5, 1.6e6, 3.2e6, 6.4e6}, 60,
+                                   2.0, spikes);
+}
+
+InnerController::Inputs base_inputs(const video::Video& v,
+                                    const ComplexityClassifier& c,
+                                    std::size_t chunk, double u, double est,
+                                    int prev = -1, double buffer = 60.0) {
+  InnerController::Inputs in;
+  in.video = &v;
+  in.classifier = &c;
+  in.next_chunk = chunk;
+  in.u = u;
+  in.est_bandwidth_bps = est;
+  in.prev_track = prev;
+  in.buffer_s = buffer;
+  return in;
+}
+
+TEST(Inner, BadConfigThrows) {
+  CavaConfig cfg;
+  cfg.horizon_chunks = 0;
+  EXPECT_THROW(InnerController{cfg}, std::invalid_argument);
+  cfg = CavaConfig{};
+  cfg.inner_window_s = 0.0;
+  EXPECT_THROW(InnerController{cfg}, std::invalid_argument);
+}
+
+TEST(Inner, BadInputsThrow) {
+  const video::Video v = spiky_video();
+  const ComplexityClassifier c(v);
+  const InnerController inner{CavaConfig{}};
+  auto in = base_inputs(v, c, 0, 1.0, 1e6);
+  in.video = nullptr;
+  EXPECT_THROW((void)inner.select_track(in), std::invalid_argument);
+  in = base_inputs(v, c, 0, 0.0, 1e6);
+  EXPECT_THROW((void)inner.select_track(in), std::invalid_argument);
+  in = base_inputs(v, c, 0, 1.0, -5.0);
+  EXPECT_THROW((void)inner.select_track(in), std::invalid_argument);
+}
+
+TEST(Inner, SmoothedBitrateAveragesWindow) {
+  const video::Video v = spiky_video();
+  CavaConfig cfg;
+  cfg.inner_window_s = 8.0;  // 4 chunks of 2 s
+  const InnerController inner(cfg);
+  // Window [18, 22): two flat chunks (3.2 Mbps) + two spiked (7.04 Mbps).
+  const double rbar = inner.smoothed_bitrate_bps(v, 4, 18);
+  EXPECT_NEAR(rbar, (2 * 3.2e6 + 2 * 3.2e6 * 2.2) / 4.0, 1.0);
+}
+
+TEST(Inner, SmoothedBitrateTruncatesAtEnd) {
+  const video::Video v = spiky_video();
+  CavaConfig cfg;
+  cfg.inner_window_s = 40.0;
+  const InnerController inner(cfg);
+  // Near the end, the window truncates but must still return the flat rate.
+  EXPECT_NEAR(inner.smoothed_bitrate_bps(v, 4, 58), 3.2e6, 1.0);
+}
+
+TEST(Inner, TrackScalesWithBandwidth) {
+  const video::Video v = spiky_video();
+  const ComplexityClassifier c(v);
+  const InnerController inner{CavaConfig{}};
+  std::size_t prev = 0;
+  for (const double est : {2e5, 5e5, 1e6, 2e6, 4e6, 8e6}) {
+    const std::size_t t =
+        inner.select_track(base_inputs(v, c, 0, 1.0, est));
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+  EXPECT_GE(prev, 4u);
+}
+
+TEST(Inner, HigherULowersTrack) {
+  const video::Video v = spiky_video();
+  const ComplexityClassifier c(v);
+  const InnerController inner{CavaConfig{}};
+  const std::size_t relaxed =
+      inner.select_track(base_inputs(v, c, 0, 0.7, 2e6));
+  const std::size_t pressed =
+      inner.select_track(base_inputs(v, c, 0, 1.8, 2e6));
+  EXPECT_LT(pressed, relaxed);
+}
+
+TEST(Inner, DifferentialTreatmentLiftsComplexChunks) {
+  const video::Video v = spiky_video();
+  const ComplexityClassifier c(v);
+  ASSERT_TRUE(c.is_complex(24));
+  ASSERT_FALSE(c.is_complex(5));
+
+  CavaConfig with;
+  with.use_differential_treatment = true;
+  CavaConfig without;
+  without.use_differential_treatment = false;
+  const InnerController inner_with(with);
+  const InnerController inner_without(without);
+
+  // On a complex chunk, the inflated bandwidth must never choose lower —
+  // and across a bandwidth sweep it chooses strictly higher somewhere.
+  bool strictly_higher = false;
+  for (double est = 5e5; est <= 6e6; est += 2.5e5) {
+    const std::size_t t_with =
+        inner_with.select_track(base_inputs(v, c, 24, 1.0, est));
+    const std::size_t t_without =
+        inner_without.select_track(base_inputs(v, c, 24, 1.0, est));
+    EXPECT_GE(t_with, t_without);
+    strictly_higher |= t_with > t_without;
+  }
+  EXPECT_TRUE(strictly_higher);
+}
+
+TEST(Inner, DeflationSavesOnSimpleChunks) {
+  const video::Video v = spiky_video();
+  const ComplexityClassifier c(v);
+  CavaConfig with;
+  CavaConfig without;
+  without.use_differential_treatment = false;
+  const InnerController inner_with(with);
+  const InnerController inner_without(without);
+  // Low buffer so the no-deflate heuristic stays out of the way.
+  bool strictly_lower = false;
+  for (double est = 5e5; est <= 6e6; est += 2.5e5) {
+    const std::size_t t_with =
+        inner_with.select_track(base_inputs(v, c, 5, 1.0, est, -1, 5.0));
+    const std::size_t t_without =
+        inner_without.select_track(base_inputs(v, c, 5, 1.0, est, -1, 5.0));
+    EXPECT_LE(t_with, t_without);
+    strictly_lower |= t_with < t_without;
+  }
+  EXPECT_TRUE(strictly_lower);
+}
+
+TEST(Inner, SwitchPenaltyKeepsTrackWithinClass) {
+  const video::Video v = spiky_video();
+  const ComplexityClassifier c(v);
+  CavaConfig cfg;
+  cfg.eta_same_class = 50.0;  // heavy switch penalty
+  cfg.use_differential_treatment = false;
+  const InnerController inner(cfg);
+  // Both chunk 5 and 6 are simple: prev track 2 should be sticky even when
+  // bandwidth would afford a higher track.
+  const std::size_t t = inner.select_track(base_inputs(v, c, 6, 1.0, 4e6, 2));
+  EXPECT_EQ(t, 2u);
+}
+
+TEST(Inner, NoSwitchPenaltyAcrossClassBoundary) {
+  const video::Video v = spiky_video();
+  const ComplexityClassifier c(v);
+  // Chunk 20 is complex, chunk 19 simple: eta = 0, so even a huge
+  // eta_same_class cannot hold the track down across the boundary.
+  CavaConfig cfg;
+  cfg.eta_same_class = 50.0;
+  cfg.use_differential_treatment = false;
+  const InnerController inner(cfg);
+  const std::size_t sticky =
+      inner.select_track(base_inputs(v, c, 21, 1.0, 4e6, 1));
+  const std::size_t boundary =
+      inner.select_track(base_inputs(v, c, 20, 1.0, 4e6, 1));
+  EXPECT_GT(boundary, sticky);
+}
+
+TEST(Inner, NoDeflateHeuristicAvoidsLowLevels) {
+  const video::Video v = spiky_video();
+  const ComplexityClassifier c(v);
+  const InnerController inner{CavaConfig{}};
+  // Bandwidth where deflation (x0.8) would land on track 1 but full
+  // bandwidth affords track 2: with a comfortable buffer the heuristic must
+  // take track 2 (or better).
+  const std::size_t with_buffer =
+      inner.select_track(base_inputs(v, c, 5, 1.0, 8e5, -1, 40.0));
+  EXPECT_GE(with_buffer, 2u);
+}
+
+TEST(Inner, ObjectiveFiniteAndMinimizedAtSelection) {
+  const video::Video v = spiky_video();
+  const ComplexityClassifier c(v);
+  const InnerController inner{CavaConfig{}};
+  const auto in = base_inputs(v, c, 10, 1.1, 1.5e6, 3, 30.0);
+  const std::size_t chosen = inner.select_track(in);
+  // For a simple chunk with these settings alpha = 0.8 applies.
+  const double q_chosen = inner.objective(in, chosen, 0.8);
+  for (std::size_t l = 0; l < v.num_tracks(); ++l) {
+    EXPECT_GE(inner.objective(in, l, 0.8) + 1e-9, q_chosen);
+  }
+}
+
+}  // namespace

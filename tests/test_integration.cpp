@@ -1,0 +1,166 @@
+// Integration tests: full pipeline (corpus -> traces -> schemes -> sessions
+// -> QoE), checking the paper's headline qualitative results end to end.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "abr/bba.h"
+#include "abr/bola.h"
+#include "abr/mpc.h"
+#include "abr/panda_cq.h"
+#include "abr/rba.h"
+#include "core/cava.h"
+#include "net/trace_gen.h"
+#include "sim/experiment.h"
+#include "video/dataset.h"
+#include "video/manifest.h"
+
+namespace {
+
+using namespace vbr;
+
+const video::Video& test_video() {
+  static const video::Video v = video::make_video(
+      "ED", video::Genre::kAnimation, video::Codec::kH264, 2.0, 2.0, 42,
+      600.0);
+  return v;
+}
+
+std::vector<net::Trace> lte(std::size_t n) {
+  return net::make_lte_trace_set(n, 7);
+}
+
+sim::ExperimentResult run(const sim::SchemeFactory& f, std::size_t traces) {
+  sim::ExperimentSpec spec;
+  spec.video = &test_video();
+  spec.traces = std::span<const net::Trace>();
+  static std::vector<net::Trace> trace_store;
+  trace_store = lte(traces);
+  spec.traces = trace_store;
+  spec.make_scheme = f;
+  return sim::run_experiment(spec);
+}
+
+TEST(Integration, EverySchemeCompletesEverySession) {
+  const std::vector<sim::SchemeFactory> factories = {
+      [] { return core::make_cava_p123(); },
+      [] { return std::make_unique<abr::Mpc>(abr::mpc_config()); },
+      [] { return std::make_unique<abr::Mpc>(abr::robust_mpc_config()); },
+      [] { return std::make_unique<abr::PandaCq>(); },
+      [] { return std::make_unique<abr::Bola>(); },
+      [] { return std::make_unique<abr::Bba>(); },
+      [] { return std::make_unique<abr::Rba>(); },
+  };
+  for (const auto& f : factories) {
+    const sim::ExperimentResult r = run(f, 4);
+    EXPECT_EQ(r.per_trace.size(), 4u) << r.scheme_name;
+    for (const auto& s : r.per_trace) {
+      EXPECT_EQ(s.all_qualities.size(), test_video().num_chunks())
+          << r.scheme_name;
+      EXPECT_GE(s.rebuffer_s, 0.0);
+      EXPECT_GT(s.data_usage_mb, 0.0);
+    }
+  }
+}
+
+TEST(Integration, CavaBeatsMyopicSchemesOnQ4Quality) {
+  // Fig. 4 / Section 4: myopic schemes starve Q4 chunks.
+  const auto cava = run([] { return core::make_cava_p123(); }, 12);
+  const auto bba = run([] { return std::make_unique<abr::Bba>(); }, 12);
+  const auto rba = run([] { return std::make_unique<abr::Rba>(); }, 12);
+  EXPECT_GT(cava.mean_q4_quality, bba.mean_q4_quality);
+  EXPECT_GT(cava.mean_q4_quality, rba.mean_q4_quality);
+}
+
+TEST(Integration, CavaRebuffersFarLessThanPredictiveSchemes) {
+  // Section 6.3 (iii): CAVA cuts rebuffering by a large factor vs
+  // RobustMPC and PANDA/CQ.
+  const auto cava = run([] { return core::make_cava_p123(); }, 12);
+  const auto rmpc =
+      run([] { return std::make_unique<abr::Mpc>(abr::robust_mpc_config()); },
+          12);
+  const auto panda = run([] { return std::make_unique<abr::PandaCq>(); }, 12);
+  EXPECT_LT(cava.mean_rebuffer_s, 0.5 * rmpc.mean_rebuffer_s);
+  EXPECT_LT(cava.mean_rebuffer_s, 0.5 * panda.mean_rebuffer_s);
+}
+
+TEST(Integration, CavaQualityChangeLowest) {
+  const auto cava = run([] { return core::make_cava_p123(); }, 12);
+  const auto rmpc =
+      run([] { return std::make_unique<abr::Mpc>(abr::robust_mpc_config()); },
+          12);
+  EXPECT_LT(cava.mean_quality_change, rmpc.mean_quality_change);
+}
+
+TEST(Integration, CavaDataUsageInSameBallpark) {
+  // Section 6.3 (v): CAVA's data usage is comparable or slightly lower.
+  const auto cava = run([] { return core::make_cava_p123(); }, 12);
+  const auto rmpc =
+      run([] { return std::make_unique<abr::Mpc>(abr::robust_mpc_config()); },
+          12);
+  EXPECT_LT(cava.mean_data_usage_mb, 1.05 * rmpc.mean_data_usage_mb);
+  EXPECT_GT(cava.mean_data_usage_mb, 0.5 * rmpc.mean_data_usage_mb);
+}
+
+TEST(Integration, MpcRebuffersMoreThanRobustMpc) {
+  // Section 6.3: RobustMPC trades quality for much less rebuffering.
+  const auto mpc =
+      run([] { return std::make_unique<abr::Mpc>(abr::mpc_config()); }, 12);
+  const auto rmpc =
+      run([] { return std::make_unique<abr::Mpc>(abr::robust_mpc_config()); },
+          12);
+  EXPECT_GT(mpc.mean_rebuffer_s, rmpc.mean_rebuffer_s);
+}
+
+TEST(Integration, ManifestRoundTripPreservesSessionBehavior) {
+  // Streaming from a parsed manifest must reproduce the original decisions.
+  const video::Video& v = test_video();
+  const video::Video parsed =
+      video::from_manifest_string(video::to_manifest_string(v));
+  const auto traces = lte(2);
+
+  for (const net::Trace& t : traces) {
+    core::Cava cava1;
+    core::Cava cava2;
+    net::HarmonicMeanEstimator e1(5);
+    net::HarmonicMeanEstimator e2(5);
+    const auto a = sim::run_session(v, t, cava1, e1);
+    const auto b = sim::run_session(parsed, t, cava2, e2);
+    ASSERT_EQ(a.chunks.size(), b.chunks.size());
+    for (std::size_t i = 0; i < a.chunks.size(); ++i) {
+      EXPECT_EQ(a.chunks[i].track, b.chunks[i].track) << "chunk " << i;
+    }
+  }
+}
+
+TEST(Integration, AblationOrdering) {
+  // Section 6.4: P2 lifts Q4 quality; P3 cuts rebuffering (weak ordering on
+  // means over a small trace sample — the bench reproduces the full CDFs).
+  const auto p1 = run([] { return core::make_cava_p1(); }, 16);
+  const auto p12 = run([] { return core::make_cava_p12(); }, 16);
+  const auto p123 = run([] { return core::make_cava_p123(); }, 16);
+  EXPECT_GT(p12.mean_q4_quality, p1.mean_q4_quality);
+  EXPECT_GT(p123.mean_q4_quality, p1.mean_q4_quality);
+  EXPECT_LE(p123.mean_rebuffer_s, p12.mean_rebuffer_s + 0.5);
+}
+
+TEST(Integration, FccTracesRebufferLessThanLte) {
+  // Section 6.3: smoother broadband profiles cut rebuffering for everyone.
+  const video::Video& v = test_video();
+  const auto lte_traces = net::make_lte_trace_set(10, 7);
+  const auto fcc_traces = net::make_fcc_trace_set(10, 11);
+  auto run_on = [&](std::span<const net::Trace> traces) {
+    sim::ExperimentSpec spec;
+    spec.video = &v;
+    spec.traces = traces;
+    spec.make_scheme = [] {
+      return std::make_unique<abr::Mpc>(abr::robust_mpc_config());
+    };
+    spec.metric = video::QualityMetric::kVmafTv;
+    return sim::run_experiment(spec);
+  };
+  EXPECT_LT(run_on(fcc_traces).mean_rebuffer_s,
+            run_on(lte_traces).mean_rebuffer_s);
+}
+
+}  // namespace

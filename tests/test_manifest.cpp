@@ -1,0 +1,110 @@
+// Tests for the DASH-like manifest round-trip.
+#include "video/manifest.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "video/dataset.h"
+
+namespace {
+
+using namespace vbr::video;
+
+Video sample_video() {
+  return make_video("ED", Genre::kAnimation, Codec::kH264, 2.0, 2.0, 42,
+                    60.0);
+}
+
+TEST(Manifest, RoundTripPreservesStructure) {
+  const Video v = sample_video();
+  const Video r = from_manifest_string(to_manifest_string(v));
+  EXPECT_EQ(r.name(), v.name());
+  EXPECT_EQ(r.genre(), v.genre());
+  EXPECT_EQ(r.codec(), v.codec());
+  EXPECT_EQ(r.num_tracks(), v.num_tracks());
+  EXPECT_EQ(r.num_chunks(), v.num_chunks());
+  EXPECT_DOUBLE_EQ(r.chunk_duration_s(), v.chunk_duration_s());
+}
+
+TEST(Manifest, RoundTripPreservesSizes) {
+  const Video v = sample_video();
+  const Video r = from_manifest_string(to_manifest_string(v));
+  for (std::size_t l = 0; l < v.num_tracks(); ++l) {
+    EXPECT_EQ(r.track(l).resolution(), v.track(l).resolution());
+    for (std::size_t i = 0; i < v.num_chunks(); ++i) {
+      EXPECT_NEAR(r.chunk_size_bits(l, i), v.chunk_size_bits(l, i),
+                  1e-3 * v.chunk_size_bits(l, i));
+    }
+  }
+}
+
+TEST(Manifest, RoundTripPreservesQualityAndScene) {
+  const Video v = sample_video();
+  const Video r = from_manifest_string(to_manifest_string(v));
+  for (std::size_t l = 0; l < v.num_tracks(); ++l) {
+    for (std::size_t i = 0; i < v.num_chunks(); ++i) {
+      const ChunkQuality& a = v.track(l).chunk(i).quality;
+      const ChunkQuality& b = r.track(l).chunk(i).quality;
+      EXPECT_NEAR(a.vmaf_tv, b.vmaf_tv, 1e-6);
+      EXPECT_NEAR(a.vmaf_phone, b.vmaf_phone, 1e-6);
+      EXPECT_NEAR(a.psnr_db, b.psnr_db, 1e-6);
+      EXPECT_NEAR(a.ssim, b.ssim, 1e-9);
+    }
+  }
+  for (std::size_t i = 0; i < v.num_chunks(); ++i) {
+    EXPECT_NEAR(v.scene_info(i).si, r.scene_info(i).si, 1e-6);
+    EXPECT_NEAR(v.scene_info(i).ti, r.scene_info(i).ti, 1e-6);
+  }
+}
+
+TEST(Manifest, DerivedBitratesSurviveRoundTrip) {
+  const Video v = sample_video();
+  const Video r = from_manifest_string(to_manifest_string(v));
+  for (std::size_t l = 0; l < v.num_tracks(); ++l) {
+    EXPECT_NEAR(r.track(l).average_bitrate_bps(),
+                v.track(l).average_bitrate_bps(),
+                1e-3 * v.track(l).average_bitrate_bps());
+  }
+}
+
+TEST(Manifest, BadMagicThrows) {
+  std::istringstream iss("NOT-A-MANIFEST");
+  EXPECT_THROW((void)read_manifest(iss), std::runtime_error);
+}
+
+TEST(Manifest, TruncatedInputThrows) {
+  const std::string text = to_manifest_string(sample_video());
+  const std::string truncated = text.substr(0, text.size() / 2);
+  EXPECT_THROW((void)from_manifest_string(truncated), std::runtime_error);
+}
+
+TEST(Manifest, MissingSidecarThrows) {
+  ManifestOptions opts;
+  opts.include_sidecar = false;
+  const std::string text = to_manifest_string(sample_video(), opts);
+  EXPECT_THROW((void)from_manifest_string(text), std::runtime_error);
+}
+
+TEST(Manifest, GarbageGenreThrows) {
+  std::string text = to_manifest_string(sample_video());
+  const auto pos = text.find("animation");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 9, "badgenre1");
+  EXPECT_THROW((void)from_manifest_string(text), std::runtime_error);
+}
+
+TEST(Manifest, AllCodecsAndChunkDurationsRoundTrip) {
+  for (const Codec codec : {Codec::kH264, Codec::kH265}) {
+    for (const double dur : {2.0, 5.0}) {
+      const Video v =
+          make_video("t", Genre::kSports, codec, dur, 2.0, 7, 60.0);
+      const Video r = from_manifest_string(to_manifest_string(v));
+      EXPECT_EQ(r.codec(), codec);
+      EXPECT_DOUBLE_EQ(r.chunk_duration_s(), dur);
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,241 @@
+// Tests for the additional baselines: FESTIVE, ThroughputRule, DYNAMIC,
+// BBA-0, and the Oboe-style tuned CAVA.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "abr/bba.h"
+#include "abr/festive.h"
+#include "abr/throughput_rule.h"
+#include "net/bandwidth_estimator.h"
+#include "net/trace_gen.h"
+#include "sim/session.h"
+#include "test_util.h"
+#include "tune/autotune.h"
+#include "video/dataset.h"
+
+namespace {
+
+using namespace vbr;
+using testutil::default_flat_video;
+using testutil::flat_trace;
+using testutil::make_context;
+
+// ------------------------------------------------------------- FESTIVE --
+
+TEST(Festive, BadConfigThrows) {
+  abr::FestiveConfig cfg;
+  cfg.bandwidth_safety = 0.0;
+  EXPECT_THROW(abr::Festive{cfg}, std::invalid_argument);
+  cfg = {};
+  cfg.up_patience = 0;
+  EXPECT_THROW(abr::Festive{cfg}, std::invalid_argument);
+}
+
+TEST(Festive, FirstChunkJumpsToTarget) {
+  const video::Video v = default_flat_video(20);
+  abr::Festive f;
+  // 0.85 * 4 Mbps = 3.4 -> track 4 (3.2).
+  EXPECT_EQ(f.decide(make_context(v, 0, 20.0, 4e6)).track, 4u);
+}
+
+TEST(Festive, UpSwitchNeedsPatience) {
+  const video::Video v = default_flat_video(20);
+  abr::Festive f;
+  // Start at track 2 (est 1 Mbps), then the estimate jumps.
+  abr::StreamContext ctx = make_context(v, 0, 20.0, 1e6);
+  EXPECT_EQ(f.decide(ctx).track, 2u);
+  std::size_t track = 2;
+  int ups = 0;
+  for (std::size_t i = 1; i <= 4; ++i) {
+    ctx = make_context(v, i, 20.0, 8e6, static_cast<int>(track));
+    const std::size_t next = f.decide(ctx).track;
+    EXPECT_LE(next, track + 1);  // never jumps more than one level
+    ups += next > track ? 1 : 0;
+    track = next;
+  }
+  EXPECT_GE(ups, 1);      // eventually moves up
+  EXPECT_LE(track, 4u);   // but gradually
+}
+
+TEST(Festive, DownSwitchImmediate) {
+  const video::Video v = default_flat_video(20);
+  abr::Festive f;
+  abr::StreamContext ctx = make_context(v, 0, 20.0, 8e6);
+  const std::size_t high = f.decide(ctx).track;
+  ctx = make_context(v, 1, 20.0, 3e5, static_cast<int>(high));
+  const std::size_t low = f.decide(ctx).track;
+  EXPECT_LT(low, high);
+}
+
+TEST(Festive, StableUnderConstantBandwidth) {
+  const video::Video v = default_flat_video(60);
+  const net::Trace t = flat_trace(2e6);
+  abr::Festive f;
+  net::HarmonicMeanEstimator est(5);
+  const sim::SessionResult r = sim::run_session(v, t, f, est);
+  int switches = 0;
+  for (std::size_t i = 1; i < r.chunks.size(); ++i) {
+    switches += r.chunks[i].track != r.chunks[i - 1].track ? 1 : 0;
+  }
+  EXPECT_LE(switches, 4);
+}
+
+// ----------------------------------------------- ThroughputRule/DYNAMIC --
+
+TEST(ThroughputRule, FollowsDiscountedEstimate) {
+  const video::Video v = default_flat_video(10);
+  abr::ThroughputRule r;
+  // 0.9 * 1 Mbps = 0.9 -> track 2 (0.8).
+  EXPECT_EQ(r.decide(make_context(v, 0, 0.0, 1e6)).track, 2u);
+  EXPECT_EQ(r.decide(make_context(v, 0, 99.0, 1e6)).track, 2u);  // buffer-blind
+}
+
+TEST(ThroughputRule, Validation) {
+  abr::ThroughputRuleConfig cfg;
+  cfg.bandwidth_safety = -1.0;
+  EXPECT_THROW(abr::ThroughputRule{cfg}, std::invalid_argument);
+  const video::Video v = default_flat_video(10);
+  abr::ThroughputRule r;
+  EXPECT_THROW((void)r.decide(make_context(v, 0, 0.0, 0.0)),
+               std::invalid_argument);
+}
+
+TEST(Dynamic, SwitchesRuleAtBufferThreshold) {
+  const video::Video v = default_flat_video(20);
+  abr::DynamicRule d;
+  // Thin buffer: throughput rule (estimate-driven).
+  const abr::Decision thin_fast = d.decide(make_context(v, 0, 2.0, 8e6));
+  const abr::Decision thin_slow = d.decide(make_context(v, 0, 2.0, 4e5));
+  EXPECT_GT(thin_fast.track, thin_slow.track);
+  // Healthy buffer: BOLA (buffer-driven, estimate mostly ignored).
+  const abr::Decision fat_fast = d.decide(make_context(v, 0, 25.0, 8e6));
+  const abr::Decision fat_slow = d.decide(make_context(v, 0, 25.0, 4e5));
+  EXPECT_EQ(fat_fast.track, fat_slow.track);
+}
+
+// ---------------------------------------------------------------- BBA-0 --
+
+TEST(Bba0, MapsBufferToLadder) {
+  const video::Video v = default_flat_video(20);
+  abr::Bba0 b;
+  EXPECT_EQ(b.decide(make_context(v, 0, 5.0, 1e6)).track, 0u);
+  EXPECT_EQ(b.decide(make_context(v, 0, 95.0, 1e6)).track,
+            v.num_tracks() - 1);
+  const std::size_t mid = b.decide(make_context(v, 0, 50.0, 1e6)).track;
+  EXPECT_GT(mid, 0u);
+  EXPECT_LT(mid, v.num_tracks() - 1);
+}
+
+TEST(Bba0, IgnoresChunkSizes) {
+  const video::Video v = testutil::make_flat_video(
+      {2e5, 4e5, 8e5, 1.6e6, 3.2e6, 6.4e6}, 20, 2.0, {{10, 3.0}});
+  abr::Bba0 b;
+  EXPECT_EQ(b.decide(make_context(v, 5, 50.0, 1e6)).track,
+            b.decide(make_context(v, 10, 50.0, 1e6)).track);
+}
+
+// ------------------------------------------------------------ AutoTune --
+
+video::Video tune_video() {
+  return video::make_video("ED", video::Genre::kAnimation,
+                           video::Codec::kH264, 2.0, 2.0, 42, 200.0);
+}
+
+TEST(AutoTune, OfflineTableCoversStates) {
+  const video::Video v = tune_video();
+  const auto traces = net::make_lte_trace_set(6, 3);
+  const tune::TuningTable table = tune::tune_offline(
+      v, traces, tune::default_candidate_grid());
+  EXPECT_EQ(table.states.size(), table.configs.size());
+  EXPECT_FALSE(table.states.empty());
+}
+
+TEST(AutoTune, EmptyInputsThrow) {
+  const video::Video v = tune_video();
+  const auto traces = net::make_lte_trace_set(2, 3);
+  EXPECT_THROW((void)tune::tune_offline(v, {}, tune::default_candidate_grid()),
+               std::invalid_argument);
+  EXPECT_THROW((void)tune::tune_offline(v, traces, {}),
+               std::invalid_argument);
+}
+
+TEST(AutoTune, LookupFallsBackOutsideStates) {
+  tune::TuningTable table;
+  table.fallback.alpha_complex = 1.42;
+  EXPECT_DOUBLE_EQ(table.lookup(1e6, 0.5).alpha_complex, 1.42);
+}
+
+TEST(AutoTune, TunedCavaRunsAndSwitchesConfigs) {
+  const video::Video v = tune_video();
+  const auto traces = net::make_lte_trace_set(6, 3);
+  tune::TuningTable table =
+      tune::tune_offline(v, traces, tune::default_candidate_grid());
+  tune::TunedCava tuned(std::move(table));
+  net::HarmonicMeanEstimator est(5);
+  const net::Trace t = net::generate_lte_trace(99);
+  const sim::SessionResult r = sim::run_session(v, t, tuned, est);
+  EXPECT_EQ(r.chunks.size(), v.num_chunks());
+}
+
+TEST(AutoTune, TunedCavaCompetitiveWithDefault) {
+  const video::Video v = tune_video();
+  const auto calibration = net::make_lte_trace_set(12, 3);
+  tune::TuningTable table =
+      tune::tune_offline(v, calibration, tune::default_candidate_grid());
+
+  const auto eval = net::make_lte_trace_set(8, 21);
+  auto score = [&](abr::AbrScheme& s) {
+    double total = 0.0;
+    for (const net::Trace& t : eval) {
+      net::HarmonicMeanEstimator est(5);
+      const sim::SessionResult r = sim::run_session(v, t, s, est);
+      double q = 0.0;
+      for (const auto& c : r.chunks) {
+        q += c.quality.vmaf_phone;
+      }
+      total += q / static_cast<double>(r.chunks.size()) -
+               3.0 * r.total_rebuffer_s;
+    }
+    return total;
+  };
+  tune::TunedCava tuned(std::move(table));
+  core::Cava plain;
+  // The tuned variant must not be materially worse than the default.
+  EXPECT_GT(score(tuned), score(plain) - 0.05 * std::abs(score(plain)));
+}
+
+// ----------------------------------------------------------- RTT model --
+
+TEST(SessionRtt, RttSlowsSmallChunksProportionallyMore) {
+  const video::Video v = default_flat_video(20);
+  const net::Trace t = flat_trace(10e6);
+  abr::FixedTrackScheme low(0);
+  abr::FixedTrackScheme high(5);
+  net::HarmonicMeanEstimator e1(5);
+  net::HarmonicMeanEstimator e2(5);
+  sim::SessionConfig cfg;
+  cfg.request_rtt_s = 0.1;
+  const auto r_low = sim::run_session(v, t, low, e1, cfg);
+  const auto r_high = sim::run_session(v, t, high, e2, cfg);
+  // Effective throughput = size / (rtt + transfer); relative loss is much
+  // larger for the small chunks.
+  const double tput_low =
+      r_low.chunks[5].size_bits / r_low.chunks[5].download_s;
+  const double tput_high =
+      r_high.chunks[5].size_bits / r_high.chunks[5].download_s;
+  EXPECT_LT(tput_low, 0.5 * tput_high);
+}
+
+TEST(SessionRtt, NegativeRttThrows) {
+  const video::Video v = default_flat_video(5);
+  const net::Trace t = flat_trace(1e6);
+  abr::FixedTrackScheme s(0);
+  net::HarmonicMeanEstimator est(5);
+  sim::SessionConfig cfg;
+  cfg.request_rtt_s = -0.1;
+  EXPECT_THROW((void)sim::run_session(v, t, s, est, cfg),
+               std::invalid_argument);
+}
+
+}  // namespace

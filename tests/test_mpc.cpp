@@ -1,0 +1,151 @@
+// Tests for MPC / RobustMPC.
+#include "abr/mpc.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "test_util.h"
+
+namespace {
+
+using namespace vbr;
+using testutil::default_flat_video;
+using testutil::make_context;
+using testutil::make_flat_video;
+
+TEST(Mpc, BadConfigThrows) {
+  abr::MpcConfig cfg;
+  cfg.horizon = 0;
+  EXPECT_THROW(abr::Mpc{cfg}, std::invalid_argument);
+  cfg = {};
+  cfg.lambda = -1.0;
+  EXPECT_THROW(abr::Mpc{cfg}, std::invalid_argument);
+}
+
+TEST(Mpc, NonPositiveBandwidthThrows) {
+  const video::Video v = default_flat_video(10);
+  abr::Mpc mpc;
+  EXPECT_THROW((void)mpc.decide(make_context(v, 0, 10.0, 0.0)),
+               std::invalid_argument);
+}
+
+TEST(Mpc, PicksTopTrackWithAmpleBandwidthAndBuffer) {
+  const video::Video v = default_flat_video(20);
+  abr::Mpc mpc;
+  const abr::Decision d = mpc.decide(make_context(v, 0, 50.0, 50e6));
+  EXPECT_EQ(d.track, v.num_tracks() - 1);
+}
+
+TEST(Mpc, PicksLowTrackWhenStarved) {
+  const video::Video v = default_flat_video(20);
+  abr::Mpc mpc;
+  const abr::Decision d = mpc.decide(make_context(v, 0, 2.0, 3e5));
+  EXPECT_LE(d.track, 1u);
+}
+
+TEST(Mpc, QualityScalesWithBandwidth) {
+  const video::Video v = default_flat_video(20);
+  abr::Mpc mpc;
+  std::size_t prev = 0;
+  for (const double bw : {5e5, 1e6, 2e6, 4e6, 8e6, 16e6}) {
+    const abr::Decision d = mpc.decide(make_context(v, 0, 20.0, bw));
+    EXPECT_GE(d.track, prev);
+    prev = d.track;
+  }
+}
+
+TEST(Mpc, RebufferPenaltyAvoidsStalls) {
+  // Thin buffer, bandwidth at half the top track's bitrate: top-track
+  // downloads (4 s for 2 s of content) would stall playback within the
+  // horizon, so the rebuffer penalty must push the choice down.
+  const video::Video v = default_flat_video(20);
+  abr::Mpc mpc;
+  const abr::Decision d = mpc.decide(make_context(v, 0, 2.5, 3.2e6));
+  EXPECT_LT(d.track, 5u);
+}
+
+TEST(Mpc, SmoothnessPenaltyDampsSwitching) {
+  // From track 1 with moderate bandwidth, a high lambda keeps the choice
+  // near the previous track.
+  const video::Video v = default_flat_video(20);
+  abr::MpcConfig smooth;
+  smooth.lambda = 50.0;
+  abr::Mpc mpc(smooth);
+  const abr::Decision d = mpc.decide(make_context(v, 1, 40.0, 13e6, 1));
+  EXPECT_LE(d.track, 2u);
+}
+
+TEST(Mpc, NamesDistinguishVariants) {
+  EXPECT_EQ(abr::Mpc(abr::mpc_config()).name(), "MPC");
+  EXPECT_EQ(abr::Mpc(abr::robust_mpc_config()).name(), "RobustMPC");
+}
+
+TEST(RobustMpc, DiscountsAfterPredictionError) {
+  const video::Video v = default_flat_video(20);
+  abr::Mpc robust(abr::robust_mpc_config());
+
+  // First decision at estimate 8 Mbps with a modest buffer: aggressive.
+  abr::StreamContext ctx = make_context(v, 0, 4.0, 8e6);
+  const abr::Decision first = robust.decide(ctx);
+
+  // The downloaded chunk reveals a much slower link: 8x prediction error.
+  const double size = v.chunk_size_bits(first.track, 0);
+  robust.on_chunk_downloaded(ctx, first.track, size / 1e6);
+
+  // Same estimate again: the robust discount must lower the choice.
+  ctx = make_context(v, 1, 4.0, 8e6, static_cast<int>(first.track));
+  const abr::Decision second = robust.decide(ctx);
+  EXPECT_LT(second.track, first.track);
+}
+
+TEST(RobustMpc, NoErrorNoDiscount) {
+  const video::Video v = default_flat_video(20);
+  abr::Mpc robust(abr::robust_mpc_config());
+  abr::Mpc plain(abr::mpc_config());
+
+  abr::StreamContext ctx = make_context(v, 0, 30.0, 4e6);
+  const abr::Decision r = robust.decide(ctx);
+  const abr::Decision p = plain.decide(ctx);
+  EXPECT_EQ(r.track, p.track);
+
+  // Perfect prediction: observed throughput equals the estimate.
+  const double size = v.chunk_size_bits(r.track, 0);
+  robust.on_chunk_downloaded(ctx, r.track, size / 4e6);
+  ctx = make_context(v, 1, 30.0, 4e6, static_cast<int>(r.track));
+  EXPECT_EQ(robust.decide(ctx).track, plain.decide(ctx).track);
+}
+
+TEST(RobustMpc, ResetClearsErrorHistory) {
+  const video::Video v = default_flat_video(20);
+  abr::Mpc robust(abr::robust_mpc_config());
+  abr::StreamContext ctx = make_context(v, 0, 30.0, 8e6);
+  const abr::Decision first = robust.decide(ctx);
+  robust.on_chunk_downloaded(ctx, first.track,
+                             v.chunk_size_bits(first.track, 0) / 1e6);
+  robust.reset();
+  ctx = make_context(v, 0, 30.0, 8e6);
+  EXPECT_EQ(robust.decide(ctx).track, first.track);
+}
+
+TEST(Mpc, UsesActualChunkSizesNotAverages) {
+  // A spiked chunk must force a more conservative choice at a thin buffer
+  // than its flat neighbour, since MPC simulates the actual download.
+  const video::Video v = make_flat_video(
+      {2e5, 4e5, 8e5, 1.6e6, 3.2e6, 6.4e6}, 20, 2.0, {{10, 3.0}});
+  abr::Mpc mpc;
+  const abr::Decision flat = mpc.decide(make_context(v, 5, 4.0, 3.2e6));
+  const abr::Decision spiked = mpc.decide(make_context(v, 10, 4.0, 3.2e6));
+  EXPECT_LT(spiked.track, flat.track);
+}
+
+TEST(Mpc, HorizonTruncatesAtVideoEnd) {
+  const video::Video v = default_flat_video(3);
+  abr::Mpc mpc;
+  // Deciding the last chunk: horizon window of 5 exceeds the remaining
+  // chunks; must not crash and must return a valid track.
+  const abr::Decision d = mpc.decide(make_context(v, 2, 20.0, 4e6));
+  EXPECT_LT(d.track, v.num_tracks());
+}
+
+}  // namespace

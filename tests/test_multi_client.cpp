@@ -1,0 +1,149 @@
+// Tests for the shared-bottleneck multi-client simulator.
+#include "sim/multi_client.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/cava.h"
+#include "net/bandwidth_estimator.h"
+#include "net/trace_gen.h"
+#include "test_util.h"
+#include "video/dataset.h"
+
+namespace {
+
+using namespace vbr;
+using testutil::flat_trace;
+
+sim::ClientSpec make_client(const video::Video& v, double offset = 0.0) {
+  sim::ClientSpec spec;
+  spec.video = &v;
+  spec.scheme = core::make_cava_p123();
+  spec.estimator = std::make_unique<net::HarmonicMeanEstimator>(5);
+  spec.start_offset_s = offset;
+  return spec;
+}
+
+TEST(MultiClient, Validation) {
+  const video::Video v = testutil::default_flat_video(10);
+  const net::Trace t = flat_trace(2e6);
+  EXPECT_THROW((void)sim::run_multi_client(t, {}), std::invalid_argument);
+
+  std::vector<sim::ClientSpec> bad;
+  bad.push_back(make_client(v));
+  bad[0].video = nullptr;
+  EXPECT_THROW((void)sim::run_multi_client(t, std::move(bad)),
+               std::invalid_argument);
+
+  std::vector<sim::ClientSpec> abandon;
+  abandon.push_back(make_client(v));
+  sim::SessionConfig cfg;
+  cfg.enable_abandonment = true;
+  EXPECT_THROW((void)sim::run_multi_client(t, std::move(abandon), cfg),
+               std::invalid_argument);
+}
+
+TEST(MultiClient, SingleClientMatchesRunSession) {
+  // The anchor: with one client, the shared-bottleneck event loop must
+  // reproduce run_session decision-for-decision.
+  const video::Video v = video::make_video(
+      "eq", video::Genre::kAnimation, video::Codec::kH264, 2.0, 2.0, 42,
+      200.0);
+  const net::Trace t = net::generate_lte_trace(5);
+
+  core::Cava cava;
+  net::HarmonicMeanEstimator est(5);
+  const sim::SessionResult single = sim::run_session(v, t, cava, est);
+
+  std::vector<sim::ClientSpec> clients;
+  clients.push_back(make_client(v));
+  const sim::MultiClientResult multi =
+      sim::run_multi_client(t, std::move(clients));
+
+  ASSERT_EQ(multi.sessions.size(), 1u);
+  const sim::SessionResult& m = multi.sessions[0];
+  ASSERT_EQ(m.chunks.size(), single.chunks.size());
+  for (std::size_t i = 0; i < m.chunks.size(); ++i) {
+    EXPECT_EQ(m.chunks[i].track, single.chunks[i].track) << "chunk " << i;
+    EXPECT_NEAR(m.chunks[i].download_s, single.chunks[i].download_s, 1e-3);
+  }
+  EXPECT_NEAR(m.total_rebuffer_s, single.total_rebuffer_s, 1e-2);
+  EXPECT_NEAR(m.total_bits, single.total_bits, 1.0);
+}
+
+TEST(MultiClient, SymmetricClientsShareFairly) {
+  const video::Video v = video::make_video(
+      "sym", video::Genre::kAnimation, video::Codec::kH264, 2.0, 2.0, 42,
+      200.0);
+  const net::Trace t = flat_trace(4e6);
+  std::vector<sim::ClientSpec> clients;
+  clients.push_back(make_client(v));
+  clients.push_back(make_client(v));
+  const sim::MultiClientResult r = sim::run_multi_client(t, std::move(clients));
+  ASSERT_EQ(r.sessions.size(), 2u);
+  const auto bits = r.total_bits();
+  EXPECT_GT(sim::MultiClientResult::jain_index(bits), 0.99);
+  const auto q = r.mean_qualities(video::QualityMetric::kVmafPhone);
+  EXPECT_NEAR(q[0], q[1], 3.0);
+}
+
+TEST(MultiClient, ContentionLowersQuality) {
+  const video::Video v = video::make_video(
+      "cont", video::Genre::kAnimation, video::Codec::kH264, 2.0, 2.0, 42,
+      200.0);
+  const net::Trace t = flat_trace(3e6);
+  auto run_n = [&](std::size_t n) {
+    std::vector<sim::ClientSpec> clients;
+    for (std::size_t i = 0; i < n; ++i) {
+      clients.push_back(make_client(v));
+    }
+    const auto r = sim::run_multi_client(t, std::move(clients));
+    double q = 0.0;
+    for (const double x :
+         r.mean_qualities(video::QualityMetric::kVmafPhone)) {
+      q += x;
+    }
+    return q / static_cast<double>(n);
+  };
+  EXPECT_GT(run_n(1), run_n(3) + 2.0);
+}
+
+TEST(MultiClient, StaggeredJoinRespectsOffsets) {
+  const video::Video v = testutil::default_flat_video(20);
+  const net::Trace t = flat_trace(10e6);
+  std::vector<sim::ClientSpec> clients;
+  clients.push_back(make_client(v, 0.0));
+  clients.push_back(make_client(v, 30.0));
+  const auto r = sim::run_multi_client(t, std::move(clients));
+  EXPECT_GE(r.sessions[1].chunks.front().download_start_s, 30.0);
+  EXPECT_LT(r.sessions[0].chunks.front().download_start_s, 1.0);
+}
+
+TEST(MultiClient, JainIndexBasics) {
+  EXPECT_DOUBLE_EQ(sim::MultiClientResult::jain_index({1.0, 1.0, 1.0}), 1.0);
+  EXPECT_NEAR(sim::MultiClientResult::jain_index({1.0, 0.0}), 0.5, 1e-12);
+  EXPECT_THROW((void)sim::MultiClientResult::jain_index({}),
+               std::invalid_argument);
+}
+
+TEST(MultiClient, ThroughputConservation) {
+  // Total delivered bits cannot exceed the bottleneck's capacity over the
+  // busy interval.
+  const video::Video v = testutil::default_flat_video(30);
+  const net::Trace t = flat_trace(2e6);
+  std::vector<sim::ClientSpec> clients;
+  clients.push_back(make_client(v));
+  clients.push_back(make_client(v));
+  clients.push_back(make_client(v));
+  const auto r = sim::run_multi_client(t, std::move(clients));
+  double total = 0.0;
+  double last_end = 0.0;
+  for (const auto& s : r.sessions) {
+    total += s.total_bits;
+    last_end = std::max(last_end, s.end_time_s);
+  }
+  EXPECT_LE(total, 2e6 * last_end * 1.01);
+}
+
+}  // namespace

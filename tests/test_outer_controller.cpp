@@ -1,0 +1,115 @@
+// Tests for the outer controller's preview-control target buffer
+// (Section 5.4, Eq. 5).
+#include "core/outer_controller.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "test_util.h"
+
+namespace {
+
+using namespace vbr;
+using core::CavaConfig;
+using core::OuterController;
+
+// Flat video with a cluster of large chunks at [30, 40).
+video::Video cluster_video() {
+  std::vector<std::pair<std::size_t, double>> spikes;
+  for (std::size_t i = 30; i < 40; ++i) {
+    spikes.emplace_back(i, 2.0);
+  }
+  return testutil::make_flat_video({2e5, 4e5, 8e5, 1.6e6, 3.2e6, 6.4e6}, 80,
+                                   2.0, spikes);
+}
+
+TEST(Outer, BadConfigThrows) {
+  CavaConfig cfg;
+  cfg.base_target_buffer_s = 0.0;
+  EXPECT_THROW(OuterController{cfg}, std::invalid_argument);
+  cfg = CavaConfig{};
+  cfg.outer_window_s = -1.0;
+  EXPECT_THROW(OuterController{cfg}, std::invalid_argument);
+  cfg = CavaConfig{};
+  cfg.target_buffer_cap_factor = 0.5;
+  EXPECT_THROW(OuterController{cfg}, std::invalid_argument);
+}
+
+TEST(Outer, BadReferenceTrackThrows) {
+  const video::Video v = cluster_video();
+  const OuterController outer{CavaConfig{}};
+  EXPECT_THROW((void)outer.target_buffer_s(v, 99, 0), std::invalid_argument);
+}
+
+TEST(Outer, FlatFutureGivesBaseTarget) {
+  const video::Video v = testutil::default_flat_video(80);
+  const OuterController outer{CavaConfig{}};
+  EXPECT_DOUBLE_EQ(outer.target_buffer_s(v, v.middle_track(), 0),
+                   outer.base_target_s());
+}
+
+TEST(Outer, RaisesTargetAheadOfLargeChunkCluster) {
+  const video::Video v = cluster_video();
+  CavaConfig cfg;
+  cfg.outer_window_s = 30.0;  // 15 chunks of look-ahead
+  const OuterController outer(cfg);
+  // Just before the cluster, the window [28, 43) is mostly spiked chunks:
+  // the target must rise above the base.
+  const double before = outer.target_buffer_s(v, v.middle_track(), 28);
+  EXPECT_GT(before, outer.base_target_s() + 1.0);
+  // Far from the cluster the target stays at the base.
+  const double far = outer.target_buffer_s(v, v.middle_track(), 55);
+  EXPECT_DOUBLE_EQ(far, outer.base_target_s());
+}
+
+TEST(Outer, TargetCappedAtFactorTimesBase) {
+  const video::Video v = [] {
+    // Extreme cluster to force the cap.
+    std::vector<std::pair<std::size_t, double>> spikes;
+    for (std::size_t i = 10; i < 60; ++i) {
+      spikes.emplace_back(i, 6.0);
+    }
+    return testutil::make_flat_video({1e6}, 80, 2.0, spikes);
+  }();
+  CavaConfig cfg;
+  const OuterController outer(cfg);
+  const double target = outer.target_buffer_s(v, 0, 10);
+  EXPECT_LE(target,
+            cfg.target_buffer_cap_factor * cfg.base_target_buffer_s + 1e-9);
+  EXPECT_GT(target, cfg.base_target_buffer_s);
+}
+
+TEST(Outer, ProactiveToggleDisablesAdjustment) {
+  const video::Video v = cluster_video();
+  CavaConfig cfg;
+  cfg.use_proactive_target = false;
+  const OuterController outer(cfg);
+  EXPECT_DOUBLE_EQ(outer.target_buffer_s(v, v.middle_track(), 28),
+                   cfg.base_target_buffer_s);
+}
+
+TEST(Outer, WindowTruncatesAtVideoEnd) {
+  const video::Video v = cluster_video();
+  const OuterController outer{CavaConfig{}};
+  // Deciding the last chunk: window covers a single (flat) chunk.
+  EXPECT_DOUBLE_EQ(outer.target_buffer_s(v, v.middle_track(), 79),
+                   outer.base_target_s());
+}
+
+TEST(Outer, LargerWindowSmoothsAdjustment) {
+  // Section 6.2: with a very large W', the future-window average approaches
+  // the track average and the increment shrinks.
+  const video::Video v = cluster_video();
+  CavaConfig narrow;
+  narrow.outer_window_s = 20.0;
+  CavaConfig wide;
+  wide.outer_window_s = 160.0;  // covers the whole video
+  const double t_narrow = OuterController(narrow).target_buffer_s(
+      v, v.middle_track(), 30);
+  const double t_wide =
+      OuterController(wide).target_buffer_s(v, v.middle_track(), 30);
+  EXPECT_GT(t_narrow, t_wide);
+}
+
+}  // namespace

@@ -1,0 +1,127 @@
+// Tests for the PID feedback block (Section 5.2).
+#include "core/pid_controller.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace {
+
+using vbr::core::CavaConfig;
+using vbr::core::PidController;
+
+CavaConfig cfg() { return CavaConfig{}; }
+
+TEST(Pid, BadConfigThrows) {
+  CavaConfig c = cfg();
+  c.kp = -1.0;
+  EXPECT_THROW(PidController{c}, std::invalid_argument);
+  c = cfg();
+  c.u_min = 0.0;
+  EXPECT_THROW(PidController{c}, std::invalid_argument);
+  c = cfg();
+  c.u_max = c.u_min;
+  EXPECT_THROW(PidController{c}, std::invalid_argument);
+}
+
+TEST(Pid, BadInputsThrow) {
+  PidController pid(cfg());
+  EXPECT_THROW((void)pid.update(-1.0, 60.0, 0.0, 2.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)pid.update(10.0, -1.0, 0.0, 2.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)pid.update(10.0, 60.0, 0.0, 0.0),
+               std::invalid_argument);
+}
+
+TEST(Pid, OnTargetGivesUnity) {
+  // Buffer at target, above one chunk duration: u = indicator = 1
+  // (proportional error zero, integral empty).
+  PidController pid(cfg());
+  EXPECT_DOUBLE_EQ(pid.update(60.0, 60.0, 0.0, 2.0), 1.0);
+}
+
+TEST(Pid, BelowTargetRaisesU) {
+  // Buffer deficit -> u > 1 -> lower selected bitrate (R = C/u), which
+  // refills the buffer.
+  PidController pid(cfg());
+  const double u = pid.update(30.0, 60.0, 0.0, 2.0);
+  EXPECT_GT(u, 1.0);
+  EXPECT_NEAR(u, 1.0 + cfg().kp * 30.0, 1e-12);
+}
+
+TEST(Pid, AboveTargetLowersU) {
+  PidController pid(cfg());
+  const double u = pid.update(90.0, 60.0, 0.0, 2.0);
+  EXPECT_LT(u, 1.0);
+  EXPECT_NEAR(u, 1.0 - cfg().kp * 30.0, 1e-12);
+}
+
+TEST(Pid, IndicatorDropsWhenBufferNearEmpty) {
+  // Below one chunk duration the indicator term vanishes: the controller
+  // output is small, i.e. the allowed bitrate C/u is large... but the
+  // output clamp keeps u at u_min, preventing a divide-by-zero regime.
+  PidController pid(cfg());
+  const double u = pid.update(1.0, 60.0, 0.0, 2.0);
+  EXPECT_GE(u, cfg().u_min);
+  // Kp * 59 = 0.59, no +1 indicator: clamped against u_min = 0.3.
+  EXPECT_NEAR(u, 0.59, 1e-12);
+}
+
+TEST(Pid, OutputClamped) {
+  CavaConfig c = cfg();
+  c.kp = 1.0;  // aggressive: huge proportional contribution
+  PidController pid(c);
+  EXPECT_DOUBLE_EQ(pid.update(0.0, 100.0, 0.0, 2.0), c.u_max);
+  PidController pid2(c);
+  EXPECT_DOUBLE_EQ(pid2.update(100.0, 0.0, 0.0, 2.0), c.u_min);
+}
+
+TEST(Pid, IntegralAccumulatesOverTime) {
+  PidController pid(cfg());
+  (void)pid.update(50.0, 60.0, 0.0, 2.0);
+  EXPECT_DOUBLE_EQ(pid.integral(), 0.0);  // first call: no elapsed time
+  (void)pid.update(50.0, 60.0, 10.0, 2.0);
+  EXPECT_DOUBLE_EQ(pid.integral(), 100.0);  // 10 s * error 10
+  (void)pid.update(50.0, 60.0, 15.0, 2.0);
+  EXPECT_DOUBLE_EQ(pid.integral(), 150.0);
+}
+
+TEST(Pid, IntegralRaisesOutputOverSustainedDeficit) {
+  PidController pid(cfg());
+  const double u0 = pid.update(50.0, 60.0, 0.0, 2.0);
+  double u = u0;
+  for (int t = 1; t <= 50; ++t) {
+    u = pid.update(50.0, 60.0, 2.0 * t, 2.0);
+  }
+  EXPECT_GT(u, u0);
+}
+
+TEST(Pid, AntiWindupClampsIntegralContribution) {
+  CavaConfig c = cfg();
+  PidController pid(c);
+  for (int t = 0; t < 10000; ++t) {
+    (void)pid.update(0.0, 100.0, 2.0 * t, 2.0);
+  }
+  EXPECT_LE(c.ki * pid.integral(), c.integral_clamp + 1e-9);
+}
+
+TEST(Pid, ResetClearsState) {
+  PidController pid(cfg());
+  (void)pid.update(50.0, 60.0, 0.0, 2.0);
+  (void)pid.update(50.0, 60.0, 10.0, 2.0);
+  pid.reset();
+  EXPECT_DOUBLE_EQ(pid.integral(), 0.0);
+  (void)pid.update(50.0, 60.0, 100.0, 2.0);
+  EXPECT_DOUBLE_EQ(pid.integral(), 0.0);  // fresh: no elapsed time again
+}
+
+TEST(Pid, NonMonotoneTimeDoesNotIntegrate) {
+  PidController pid(cfg());
+  (void)pid.update(50.0, 60.0, 10.0, 2.0);
+  const double before = pid.integral();
+  (void)pid.update(50.0, 60.0, 5.0, 2.0);  // clock went backwards
+  EXPECT_DOUBLE_EQ(pid.integral(), before);
+}
+
+}  // namespace

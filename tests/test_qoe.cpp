@@ -1,0 +1,113 @@
+// Unit tests for the QoE metric layer (the paper's five Section 6.1 metrics).
+#include "metrics/qoe.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace {
+
+using vbr::metrics::PlayedChunk;
+using vbr::metrics::QoeConfig;
+using vbr::metrics::QoeSummary;
+using vbr::metrics::compute_qoe;
+
+PlayedChunk make(std::size_t idx, double quality, double bits,
+                 std::size_t cls) {
+  PlayedChunk p;
+  p.index = idx;
+  p.quality = quality;
+  p.size_bits = bits;
+  p.complexity_class = cls;
+  return p;
+}
+
+TEST(Qoe, EmptyThrows) {
+  EXPECT_THROW((void)compute_qoe({}, 0.0, 0.0), std::invalid_argument);
+}
+
+TEST(Qoe, SplitsQ4FromOthers) {
+  const std::vector<PlayedChunk> played = {
+      make(0, 80.0, 1e6, 0), make(1, 60.0, 2e6, 3), make(2, 90.0, 1e6, 1)};
+  const QoeSummary s = compute_qoe(played, 0.0, 0.0);
+  EXPECT_DOUBLE_EQ(s.q4_quality_mean, 60.0);
+  EXPECT_DOUBLE_EQ(s.q4_quality_median, 60.0);
+  EXPECT_DOUBLE_EQ(s.q13_quality_mean, 85.0);
+  EXPECT_DOUBLE_EQ(s.all_quality_mean, (80.0 + 60.0 + 90.0) / 3.0);
+}
+
+TEST(Qoe, LowQualityPercentUsesThreshold) {
+  const std::vector<PlayedChunk> played = {
+      make(0, 39.9, 1e6, 0), make(1, 40.0, 1e6, 0), make(2, 80.0, 1e6, 0),
+      make(3, 10.0, 1e6, 3)};
+  const QoeSummary s = compute_qoe(played, 0.0, 0.0);
+  EXPECT_DOUBLE_EQ(s.low_quality_pct, 50.0);  // 39.9 and 10.0
+}
+
+TEST(Qoe, CustomThreshold) {
+  const std::vector<PlayedChunk> played = {make(0, 50.0, 1e6, 0),
+                                           make(1, 70.0, 1e6, 0)};
+  QoeConfig cfg;
+  cfg.low_quality_threshold = 60.0;
+  const QoeSummary s = compute_qoe(played, 0.0, 0.0, cfg);
+  EXPECT_DOUBLE_EQ(s.low_quality_pct, 50.0);
+}
+
+TEST(Qoe, QualityChangeAveragesAbsoluteDeltas) {
+  const std::vector<PlayedChunk> played = {
+      make(0, 50.0, 1e6, 0), make(1, 70.0, 1e6, 0), make(2, 60.0, 1e6, 0)};
+  const QoeSummary s = compute_qoe(played, 0.0, 0.0);
+  EXPECT_DOUBLE_EQ(s.avg_quality_change, (20.0 + 10.0) / 2.0);
+}
+
+TEST(Qoe, SingleChunkHasZeroChange) {
+  const std::vector<PlayedChunk> played = {make(0, 50.0, 1e6, 0)};
+  const QoeSummary s = compute_qoe(played, 0.0, 0.0);
+  EXPECT_DOUBLE_EQ(s.avg_quality_change, 0.0);
+}
+
+TEST(Qoe, DataUsageInMegabytes) {
+  const std::vector<PlayedChunk> played = {make(0, 50.0, 8e6, 0),
+                                           make(1, 50.0, 16e6, 0)};
+  const QoeSummary s = compute_qoe(played, 0.0, 0.0);
+  EXPECT_DOUBLE_EQ(s.data_usage_mb, 3.0);  // 24e6 bits = 3 MB
+}
+
+TEST(Qoe, PassesThroughRebufferAndStartup) {
+  const std::vector<PlayedChunk> played = {make(0, 50.0, 1e6, 0)};
+  const QoeSummary s = compute_qoe(played, 12.5, 3.25);
+  EXPECT_DOUBLE_EQ(s.rebuffer_s, 12.5);
+  EXPECT_DOUBLE_EQ(s.startup_delay_s, 3.25);
+}
+
+TEST(Qoe, NoQ4ChunksLeavesQ4AtZero) {
+  const std::vector<PlayedChunk> played = {make(0, 50.0, 1e6, 0),
+                                           make(1, 60.0, 1e6, 1)};
+  const QoeSummary s = compute_qoe(played, 0.0, 0.0);
+  EXPECT_DOUBLE_EQ(s.q4_quality_mean, 0.0);
+  EXPECT_TRUE(s.q4_qualities.empty());
+  EXPECT_EQ(s.q13_qualities.size(), 2u);
+}
+
+TEST(Qoe, AllQ4Chunks) {
+  const std::vector<PlayedChunk> played = {make(0, 50.0, 1e6, 3),
+                                           make(1, 60.0, 1e6, 3)};
+  const QoeSummary s = compute_qoe(played, 0.0, 0.0);
+  EXPECT_DOUBLE_EQ(s.q4_quality_mean, 55.0);
+  EXPECT_TRUE(s.q13_qualities.empty());
+  EXPECT_DOUBLE_EQ(s.q13_quality_mean, 0.0);
+}
+
+TEST(Qoe, TopClassConfigurable) {
+  // With 5 classes, class 4 is the complex one.
+  const std::vector<PlayedChunk> played = {make(0, 50.0, 1e6, 3),
+                                           make(1, 60.0, 1e6, 4)};
+  QoeConfig cfg;
+  cfg.top_class = 4;
+  const QoeSummary s = compute_qoe(played, 0.0, 0.0, cfg);
+  EXPECT_DOUBLE_EQ(s.q4_quality_mean, 60.0);
+  EXPECT_DOUBLE_EQ(s.q13_quality_mean, 50.0);
+}
+
+}  // namespace

@@ -1,0 +1,142 @@
+// Tests for the rate-distortion quality model.
+#include "video/quality_model.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace {
+
+using namespace vbr::video;
+
+TEST(QualityModel, RateScoreMonotoneInAllocation) {
+  double prev = 0.0;
+  for (double w = 0.1; w < 4.0; w += 0.1) {
+    const double s = rate_score(w, 1.0);
+    EXPECT_GT(s, prev);
+    EXPECT_GT(s, 0.0);
+    EXPECT_LT(s, 1.0);
+    prev = s;
+  }
+}
+
+TEST(QualityModel, RateScoreMonotoneDecreasingInNeed) {
+  double prev = 1.0;
+  for (double n = 0.2; n < 4.0; n += 0.2) {
+    const double s = rate_score(1.0, n);
+    EXPECT_LT(s, prev);
+    prev = s;
+  }
+}
+
+TEST(QualityModel, RateScoreInvalidInputsThrow) {
+  EXPECT_THROW((void)rate_score(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)rate_score(1.0, -1.0), std::invalid_argument);
+}
+
+TEST(QualityModel, CrfWeightMonotone) {
+  double prev = 0.0;
+  for (double c = 0.05; c <= 1.0; c += 0.05) {
+    const double w = crf_weight(c);
+    EXPECT_GT(w, prev);
+    prev = w;
+  }
+}
+
+TEST(QualityModel, NeedWeightGrowsFasterThanCrfWeight) {
+  // The core Section 3.1.2 mechanism: the allocation/need ratio falls with
+  // complexity, so complex chunks are relatively under-provisioned.
+  const double ratio_simple = crf_weight(0.2) / need_weight(0.2);
+  const double ratio_complex = crf_weight(0.9) / need_weight(0.9);
+  EXPECT_GT(ratio_simple, 1.0);
+  EXPECT_LT(ratio_complex, ratio_simple);
+}
+
+TEST(QualityModel, ComplexityOutOfRangeThrows) {
+  EXPECT_THROW((void)crf_weight(0.0), std::invalid_argument);
+  EXPECT_THROW((void)crf_weight(1.5), std::invalid_argument);
+  EXPECT_THROW((void)need_weight(-0.1), std::invalid_argument);
+}
+
+TEST(QualityModel, VmafCapsIncreaseWithResolution) {
+  const auto ladder = standard_ladder();
+  for (std::size_t i = 1; i < ladder.size(); ++i) {
+    EXPECT_GT(vmaf_cap_tv(ladder[i]), vmaf_cap_tv(ladder[i - 1]));
+    EXPECT_GT(vmaf_cap_phone(ladder[i]), vmaf_cap_phone(ladder[i - 1]));
+  }
+}
+
+TEST(QualityModel, PhoneModelMoreForgivingThanTv) {
+  // Small screens mask upscaling artifacts (except at the top rung where
+  // both approach the maximum).
+  for (const Resolution& r : standard_ladder()) {
+    EXPECT_GE(vmaf_cap_phone(r), vmaf_cap_tv(r));
+  }
+  EXPECT_GT(vmaf_cap_phone(kLadder480p) - vmaf_cap_tv(kLadder480p), 5.0);
+}
+
+TEST(QualityModel, ScoreChunkAllMetricsInRange) {
+  const ChunkQuality q = score_chunk(1.0, 1.0, 0.5, kLadder480p);
+  EXPECT_GT(q.vmaf_tv, 0.0);
+  EXPECT_LE(q.vmaf_tv, 100.0);
+  EXPECT_GT(q.vmaf_phone, 0.0);
+  EXPECT_LE(q.vmaf_phone, 100.0);
+  EXPECT_GE(q.psnr_db, 20.0);
+  EXPECT_LE(q.psnr_db, 55.0);
+  EXPECT_GT(q.ssim, 0.0);
+  EXPECT_LE(q.ssim, 1.0);
+}
+
+TEST(QualityModel, AllMetricsAgreeOnOrdering) {
+  // Well-provisioned simple content must outscore starved complex content
+  // under every metric (the paper verifies its finding across PSNR, SSIM,
+  // and both VMAF models).
+  const ChunkQuality good = score_chunk(1.2, 0.8, 0.3, kLadder480p);
+  const ChunkQuality bad = score_chunk(0.8, 1.6, 0.9, kLadder480p);
+  EXPECT_GT(good.vmaf_tv, bad.vmaf_tv);
+  EXPECT_GT(good.vmaf_phone, bad.vmaf_phone);
+  EXPECT_GT(good.psnr_db, bad.psnr_db);
+  EXPECT_GT(good.ssim, bad.ssim);
+}
+
+TEST(QualityModel, NoiseShiftsScores) {
+  const ChunkQuality a = score_chunk(1.0, 1.0, 0.5, kLadder480p, 0.0);
+  const ChunkQuality b = score_chunk(1.0, 1.0, 0.5, kLadder480p, 3.0);
+  EXPECT_NEAR(b.vmaf_tv - a.vmaf_tv, 3.0, 1e-9);
+  EXPECT_NEAR(b.vmaf_phone - a.vmaf_phone, 3.0, 1e-9);
+}
+
+TEST(QualityModel, NoiseClampedToValidRange) {
+  const ChunkQuality q = score_chunk(4.0, 0.5, 0.1, kLadder1080p, 500.0);
+  EXPECT_LE(q.vmaf_tv, 100.0);
+  EXPECT_LE(q.vmaf_phone, 100.0);
+  const ChunkQuality q2 = score_chunk(0.2, 3.0, 0.9, kLadder144p, -500.0);
+  EXPECT_GE(q2.vmaf_tv, 0.0);
+  EXPECT_GE(q2.vmaf_phone, 0.0);
+}
+
+TEST(QualityModel, HigherResolutionHigherQualityAtSameRatio) {
+  const ChunkQuality low = score_chunk(1.0, 1.0, 0.5, kLadder240p);
+  const ChunkQuality high = score_chunk(1.0, 1.0, 0.5, kLadder720p);
+  EXPECT_GT(high.vmaf_tv, low.vmaf_tv);
+  EXPECT_GT(high.vmaf_phone, low.vmaf_phone);
+}
+
+// Property sweep: VMAF is monotone in the allocation at every complexity.
+class VmafMonotoneTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(VmafMonotoneTest, MonotoneInAllocation) {
+  const double c = GetParam();
+  const double need = need_weight(c);
+  double prev = -1.0;
+  for (double w = 0.2; w <= 3.0; w += 0.2) {
+    const ChunkQuality q = score_chunk(w, need, c, kLadder480p);
+    EXPECT_GE(q.vmaf_phone, prev);
+    prev = q.vmaf_phone;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Complexities, VmafMonotoneTest,
+                         ::testing::Values(0.1, 0.3, 0.5, 0.7, 0.9));
+
+}  // namespace

@@ -1,0 +1,74 @@
+// Tests for CSV reporting.
+#include "metrics/report.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace {
+
+using namespace vbr::metrics;
+
+QoeSummary sample_summary() {
+  QoeSummary s;
+  s.q4_quality_mean = 70.5;
+  s.q4_quality_median = 71.0;
+  s.q13_quality_mean = 90.0;
+  s.all_quality_mean = 85.0;
+  s.low_quality_pct = 2.5;
+  s.rebuffer_s = 1.25;
+  s.startup_delay_s = 3.0;
+  s.avg_quality_change = 4.2;
+  s.data_usage_mb = 150.0;
+  s.q4_qualities = {60.0, 81.0};
+  s.q13_qualities = {88.0};
+  return s;
+}
+
+TEST(Report, QoeCsvHeaderAndRows) {
+  const std::vector<QoeSummary> rows = {sample_summary(), sample_summary()};
+  const std::string csv = qoe_csv_string("CAVA", rows);
+  std::istringstream iss(csv);
+  std::string line;
+  std::getline(iss, line);
+  EXPECT_EQ(line,
+            "label,trace_index,q4_mean,q4_median,q13_mean,all_mean,low_pct,"
+            "rebuffer_s,startup_s,quality_change,data_mb");
+  std::getline(iss, line);
+  EXPECT_EQ(line, "CAVA,0,70.5,71,90,85,2.5,1.25,3,4.2,150");
+  std::getline(iss, line);
+  EXPECT_EQ(line.substr(0, 7), "CAVA,1,");
+  EXPECT_FALSE(std::getline(iss, line));
+}
+
+TEST(Report, HeaderSuppressed) {
+  const std::vector<QoeSummary> rows = {sample_summary()};
+  std::ostringstream oss;
+  write_qoe_csv(oss, "x", rows, /*include_header=*/false);
+  EXPECT_EQ(oss.str().substr(0, 2), "x,");
+}
+
+TEST(Report, QualitySamples) {
+  const std::vector<QoeSummary> rows = {sample_summary()};
+  std::ostringstream oss;
+  write_quality_samples_csv(oss, "s", rows);
+  std::istringstream iss(oss.str());
+  std::string line;
+  std::getline(iss, line);
+  EXPECT_EQ(line, "label,kind,quality");
+  std::getline(iss, line);
+  EXPECT_EQ(line, "s,q4,60");
+  std::getline(iss, line);
+  EXPECT_EQ(line, "s,q4,81");
+  std::getline(iss, line);
+  EXPECT_EQ(line, "s,q13,88");
+}
+
+TEST(Report, EmptyRowsGiveHeaderOnly) {
+  std::ostringstream oss;
+  write_qoe_csv(oss, "x", {});
+  EXPECT_EQ(oss.str().find("\nx,"), std::string::npos);
+  EXPECT_NE(oss.str().find("label,"), std::string::npos);
+}
+
+}  // namespace

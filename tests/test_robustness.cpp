@@ -1,0 +1,157 @@
+// Robustness suite: degenerate and extreme inputs must not crash or break
+// invariants for any scheme — 2-track and 10-track ladders, one-chunk
+// videos, sub-second chunks, near-zero and enormous bandwidths.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+
+#include "abr/bba.h"
+#include "abr/bola.h"
+#include "abr/festive.h"
+#include "abr/mpc.h"
+#include "abr/panda_cq.h"
+#include "abr/rba.h"
+#include "abr/throughput_rule.h"
+#include "core/cava.h"
+#include "core/pia.h"
+#include "net/bandwidth_estimator.h"
+#include "sim/session.h"
+#include "test_util.h"
+
+namespace {
+
+using namespace vbr;
+
+using SchemeMaker = std::unique_ptr<abr::AbrScheme> (*)();
+
+std::unique_ptr<abr::AbrScheme> mk_cava() { return core::make_cava_p123(); }
+std::unique_ptr<abr::AbrScheme> mk_pia() {
+  return std::make_unique<core::Pia>();
+}
+std::unique_ptr<abr::AbrScheme> mk_mpc() {
+  return std::make_unique<abr::Mpc>(abr::robust_mpc_config());
+}
+std::unique_ptr<abr::AbrScheme> mk_panda() {
+  return std::make_unique<abr::PandaCq>();
+}
+std::unique_ptr<abr::AbrScheme> mk_bola() {
+  return std::make_unique<abr::Bola>();
+}
+std::unique_ptr<abr::AbrScheme> mk_bba() {
+  return std::make_unique<abr::Bba>();
+}
+std::unique_ptr<abr::AbrScheme> mk_bba0() {
+  return std::make_unique<abr::Bba0>();
+}
+std::unique_ptr<abr::AbrScheme> mk_rba() {
+  return std::make_unique<abr::Rba>();
+}
+std::unique_ptr<abr::AbrScheme> mk_festive() {
+  return std::make_unique<abr::Festive>();
+}
+std::unique_ptr<abr::AbrScheme> mk_dynamic() {
+  return std::make_unique<abr::DynamicRule>();
+}
+
+enum class Shape {
+  kTwoTracks,
+  kTenTracks,
+  kSingleChunk,
+  kSubSecondChunks,
+  kHugeChunks,
+};
+
+video::Video make_shape(Shape shape) {
+  switch (shape) {
+    case Shape::kTwoTracks:
+      return testutil::make_flat_video({3e5, 2e6}, 30);
+    case Shape::kTenTracks: {
+      std::vector<double> rates;
+      double r = 1e5;
+      for (int i = 0; i < 10; ++i) {
+        rates.push_back(r);
+        r *= 1.7;
+      }
+      return testutil::make_flat_video(rates, 30);
+    }
+    case Shape::kSingleChunk:
+      return testutil::make_flat_video({3e5, 2e6}, 1);
+    case Shape::kSubSecondChunks:
+      return testutil::make_flat_video({3e5, 1e6, 3e6}, 100, 0.5);
+    case Shape::kHugeChunks:
+      return testutil::make_flat_video({3e5, 1e6, 3e6}, 20, 10.0);
+  }
+  return testutil::default_flat_video(10);
+}
+
+class RobustnessTest
+    : public ::testing::TestWithParam<std::tuple<SchemeMaker, Shape>> {};
+
+TEST_P(RobustnessTest, SessionCompletesWithInvariants) {
+  const auto [maker, shape] = GetParam();
+  const video::Video v = make_shape(shape);
+  sim::SessionConfig cfg;
+  cfg.startup_latency_s = std::min(4.0, v.duration_s());
+  cfg.max_buffer_s = 100.0;
+
+  for (const double bw : {2e4, 5e5, 5e6, 1e9}) {
+    const net::Trace t = testutil::flat_trace(bw, 36000.0);
+    const auto scheme = maker();
+    net::HarmonicMeanEstimator est(5);
+    const sim::SessionResult r = sim::run_session(v, t, *scheme, est, cfg);
+    ASSERT_EQ(r.chunks.size(), v.num_chunks());
+    for (const auto& c : r.chunks) {
+      ASSERT_LT(c.track, v.num_tracks());
+      EXPECT_GT(c.download_s, 0.0);
+      EXPECT_LE(c.buffer_after_s, cfg.max_buffer_s + 1e-9);
+    }
+    EXPECT_GE(r.total_rebuffer_s, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemesAllShapes, RobustnessTest,
+    ::testing::Combine(::testing::Values(mk_cava, mk_pia, mk_mpc, mk_panda,
+                                         mk_bola, mk_bba, mk_bba0, mk_rba,
+                                         mk_festive, mk_dynamic),
+                       ::testing::Values(Shape::kTwoTracks,
+                                         Shape::kTenTracks,
+                                         Shape::kSingleChunk,
+                                         Shape::kSubSecondChunks,
+                                         Shape::kHugeChunks)));
+
+// Outage-heavy trace: long zero-bandwidth stretches must elapse, not hang.
+TEST(Robustness, ZeroBandwidthStretches) {
+  const video::Video v = testutil::default_flat_video(10);
+  std::vector<double> samples(600, 0.0);
+  for (std::size_t i = 0; i < samples.size(); i += 10) {
+    samples[i] = 2e6;  // one good second in ten
+  }
+  const net::Trace t("gappy", 1.0, std::move(samples));
+  auto cava = core::make_cava_p123();
+  net::HarmonicMeanEstimator est(5);
+  const sim::SessionResult r = sim::run_session(v, t, *cava, est);
+  EXPECT_EQ(r.chunks.size(), v.num_chunks());
+  EXPECT_GT(r.end_time_s, 0.0);
+}
+
+// A scheme must behave when the bandwidth estimate is wildly wrong in both
+// directions during one session.
+TEST(Robustness, OscillatingBandwidth) {
+  const video::Video v = testutil::default_flat_video(60);
+  std::vector<double> samples;
+  for (int i = 0; i < 1200; ++i) {
+    samples.push_back(i % 20 < 10 ? 8e6 : 2e5);  // 10 s square wave
+  }
+  const net::Trace t("square", 1.0, std::move(samples));
+  for (const SchemeMaker maker :
+       {mk_cava, mk_mpc, mk_panda, mk_bola, mk_festive}) {
+    const auto scheme = maker();
+    net::HarmonicMeanEstimator est(5);
+    const sim::SessionResult r = sim::run_session(v, t, *scheme, est);
+    EXPECT_EQ(r.chunks.size(), v.num_chunks()) << scheme->name();
+  }
+}
+
+}  // namespace

@@ -1,0 +1,126 @@
+// Tests for the synthetic scene-complexity model.
+#include "video/scene_model.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "metrics/stats.h"
+
+namespace {
+
+using namespace vbr::video;
+
+TEST(SceneModel, DeterministicInSeed) {
+  const auto a = generate_scene_trace(Genre::kAction, 200, 9);
+  const auto b = generate_scene_trace(Genre::kAction, 200, 9);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].complexity, b[i].complexity);
+    EXPECT_DOUBLE_EQ(a[i].info.si, b[i].info.si);
+    EXPECT_DOUBLE_EQ(a[i].info.ti, b[i].info.ti);
+  }
+}
+
+TEST(SceneModel, DifferentSeedsDiffer) {
+  const auto a = generate_scene_trace(Genre::kAction, 50, 1);
+  const auto b = generate_scene_trace(Genre::kAction, 50, 2);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    any_diff |= a[i].complexity != b[i].complexity;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(SceneModel, ExactLength) {
+  EXPECT_EQ(generate_scene_trace(Genre::kNature, 1, 1).size(), 1u);
+  EXPECT_EQ(generate_scene_trace(Genre::kNature, 137, 1).size(), 137u);
+}
+
+TEST(SceneModel, ZeroChunksThrows) {
+  EXPECT_THROW((void)generate_scene_trace(Genre::kNature, 0, 1),
+               std::invalid_argument);
+}
+
+TEST(SceneModel, BadProfileThrows) {
+  GenreProfile p;
+  p.mean_scene_len_chunks = 0.5;
+  EXPECT_THROW((void)generate_scene_trace(p, 10, 1), std::invalid_argument);
+}
+
+TEST(SceneModel, ComplexityInRange) {
+  for (const Genre g : {Genre::kAnimation, Genre::kSciFi, Genre::kSports,
+                        Genre::kAnimal, Genre::kNature, Genre::kAction}) {
+    const auto trace = generate_scene_trace(g, 500, 3);
+    for (const SceneChunk& sc : trace) {
+      EXPECT_GT(sc.complexity, 0.0);
+      EXPECT_LE(sc.complexity, 1.0);
+      EXPECT_GE(sc.info.si, 0.0);
+      EXPECT_LE(sc.info.si, 100.0);
+      EXPECT_GE(sc.info.ti, 0.0);
+      EXPECT_LE(sc.info.ti, 60.0);
+    }
+  }
+}
+
+TEST(SceneModel, HighMotionGenresAreMoreComplex) {
+  auto mean_complexity = [](Genre g) {
+    const auto trace = generate_scene_trace(g, 2000, 5);
+    double sum = 0.0;
+    for (const SceneChunk& sc : trace) {
+      sum += sc.complexity;
+    }
+    return sum / static_cast<double>(trace.size());
+  };
+  EXPECT_GT(mean_complexity(Genre::kSports), mean_complexity(Genre::kNature));
+  EXPECT_GT(mean_complexity(Genre::kAction),
+            mean_complexity(Genre::kAnimation));
+}
+
+TEST(SceneModel, ComplexityCorrelatesWithSiTi) {
+  // SI+TI together encode the complexity (Section 3.1.1 property 1).
+  const auto trace = generate_scene_trace(Genre::kSciFi, 1000, 7);
+  std::vector<double> c;
+  std::vector<double> siti;
+  for (const SceneChunk& sc : trace) {
+    c.push_back(sc.complexity);
+    siti.push_back(sc.info.si / 100.0 + sc.info.ti / 60.0);
+  }
+  EXPECT_GT(vbr::stats::pearson(c, siti), 0.8);
+}
+
+TEST(SceneModel, WithinScenePersistence) {
+  // Adjacent chunks should correlate far more than distant ones (scenes).
+  const auto trace = generate_scene_trace(Genre::kAnimation, 2000, 11);
+  std::vector<double> a;
+  std::vector<double> b;
+  std::vector<double> far;
+  for (std::size_t i = 0; i + 20 < trace.size(); ++i) {
+    a.push_back(trace[i].complexity);
+    b.push_back(trace[i + 1].complexity);
+    far.push_back(trace[i + 20].complexity);
+  }
+  const double adjacent = vbr::stats::pearson(a, b);
+  const double distant = vbr::stats::pearson(a, far);
+  EXPECT_GT(adjacent, 0.55);
+  EXPECT_LT(distant, adjacent - 0.3);
+}
+
+class GenreProfileTest : public ::testing::TestWithParam<Genre> {};
+
+TEST_P(GenreProfileTest, ProfilesAreSane) {
+  const GenreProfile p = profile_for(GetParam());
+  EXPECT_GE(p.mean_scene_len_chunks, 1.0);
+  EXPECT_GT(p.complexity_mid, 0.0);
+  EXPECT_LT(p.complexity_mid, 1.0);
+  EXPECT_GT(p.complexity_spread, 0.0);
+  EXPECT_GE(p.high_action_prob, 0.0);
+  EXPECT_LE(p.high_action_prob, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGenres, GenreProfileTest,
+                         ::testing::Values(Genre::kAnimation, Genre::kSciFi,
+                                           Genre::kSports, Genre::kAnimal,
+                                           Genre::kNature, Genre::kAction));
+
+}  // namespace

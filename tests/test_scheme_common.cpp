@@ -1,0 +1,53 @@
+// Tests for the AbrScheme interface helpers.
+#include "abr/scheme.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "test_util.h"
+
+namespace {
+
+using namespace vbr;
+using testutil::default_flat_video;
+using testutil::make_context;
+
+TEST(SchemeCommon, FixedTrackReturnsItsTrack) {
+  const video::Video v = default_flat_video(4);
+  abr::FixedTrackScheme s(3);
+  const abr::Decision d = s.decide(make_context(v, 0, 0.0, 1e6));
+  EXPECT_EQ(d.track, 3u);
+  EXPECT_DOUBLE_EQ(d.wait_s, 0.0);
+  EXPECT_EQ(s.name(), "fixed-3");
+}
+
+TEST(SchemeCommon, FixedTrackOutOfRangeThrows) {
+  const video::Video v = default_flat_video(4);
+  abr::FixedTrackScheme s(9);
+  EXPECT_THROW((void)s.decide(make_context(v, 0, 0.0, 1e6)),
+               std::out_of_range);
+}
+
+TEST(SchemeCommon, HighestTrackBelowBudget) {
+  const video::Video v = default_flat_video(4);
+  // Ladder: 0.2, 0.4, 0.8, 1.6, 3.2, 6.4 Mbps.
+  EXPECT_EQ(abr::highest_track_below(v, 1e5), 0u);   // below the bottom rung
+  EXPECT_EQ(abr::highest_track_below(v, 4e5), 1u);
+  EXPECT_EQ(abr::highest_track_below(v, 1e6), 2u);
+  EXPECT_EQ(abr::highest_track_below(v, 1e9), 5u);
+}
+
+TEST(SchemeCommon, ValidateContextChecks) {
+  const video::Video v = default_flat_video(4);
+  abr::StreamContext ctx = make_context(v, 0, 0.0, 1e6);
+  EXPECT_NO_THROW(abr::validate_context(ctx));
+  ctx.video = nullptr;
+  EXPECT_THROW(abr::validate_context(ctx), std::invalid_argument);
+  ctx = make_context(v, 4, 0.0, 1e6);  // index == num_chunks
+  EXPECT_THROW(abr::validate_context(ctx), std::invalid_argument);
+  ctx = make_context(v, 0, -1.0, 1e6);
+  EXPECT_THROW(abr::validate_context(ctx), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,208 @@
+// Unit tests for vbr::stats.
+#include "metrics/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <stdexcept>
+#include <vector>
+
+namespace {
+
+using namespace vbr::stats;
+
+TEST(Stats, MeanBasic) {
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(v), 2.5);
+}
+
+TEST(Stats, MeanSingleElement) {
+  const std::vector<double> v = {7.0};
+  EXPECT_DOUBLE_EQ(mean(v), 7.0);
+}
+
+TEST(Stats, MeanEmptyThrows) {
+  const std::vector<double> v;
+  EXPECT_THROW((void)mean(v), std::invalid_argument);
+}
+
+TEST(Stats, StddevConstantIsZero) {
+  const std::vector<double> v = {5.0, 5.0, 5.0};
+  EXPECT_DOUBLE_EQ(stddev(v), 0.0);
+}
+
+TEST(Stats, StddevKnownValue) {
+  const std::vector<double> v = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(stddev(v), 2.0);  // classic example
+}
+
+TEST(Stats, CoefficientOfVariation) {
+  const std::vector<double> v = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(coefficient_of_variation(v), 2.0 / 5.0);
+}
+
+TEST(Stats, CoefficientOfVariationZeroMeanThrows) {
+  const std::vector<double> v = {-1.0, 1.0};
+  EXPECT_THROW((void)coefficient_of_variation(v), std::invalid_argument);
+}
+
+TEST(Stats, HarmonicMeanBasic) {
+  const std::vector<double> v = {1.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(harmonic_mean(v), 3.0 / (1.0 + 0.5 + 0.25));
+}
+
+TEST(Stats, HarmonicMeanDominatedBySmall) {
+  // The harmonic mean is robust against single large outliers — the reason
+  // the paper uses it for bandwidth estimation.
+  const std::vector<double> v = {1.0, 1.0, 1.0, 1.0, 1000.0};
+  EXPECT_LT(harmonic_mean(v), 1.3);
+}
+
+TEST(Stats, HarmonicMeanNonPositiveThrows) {
+  const std::vector<double> v = {1.0, 0.0};
+  EXPECT_THROW((void)harmonic_mean(v), std::invalid_argument);
+}
+
+TEST(Stats, MedianOddAndEven) {
+  const std::vector<double> odd = {3.0, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(median(odd), 2.0);
+  const std::vector<double> even = {4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(median(even), 2.5);
+}
+
+TEST(Stats, PercentileEndpoints) {
+  const std::vector<double> v = {10.0, 20.0, 30.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 30.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 20.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> v = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 25.0), 2.5);
+}
+
+TEST(Stats, PercentileOutOfRangeThrows) {
+  const std::vector<double> v = {1.0};
+  EXPECT_THROW((void)percentile(v, -1.0), std::invalid_argument);
+  EXPECT_THROW((void)percentile(v, 101.0), std::invalid_argument);
+}
+
+TEST(Stats, PearsonPerfectCorrelation) {
+  const std::vector<double> x = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> y = {2.0, 4.0, 6.0, 8.0};
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+}
+
+TEST(Stats, PearsonPerfectAnticorrelation) {
+  const std::vector<double> x = {1.0, 2.0, 3.0};
+  const std::vector<double> y = {3.0, 2.0, 1.0};
+  EXPECT_NEAR(pearson(x, y), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonSizeMismatchThrows) {
+  const std::vector<double> x = {1.0, 2.0};
+  const std::vector<double> y = {1.0};
+  EXPECT_THROW((void)pearson(x, y), std::invalid_argument);
+}
+
+TEST(Stats, PearsonZeroVarianceThrows) {
+  const std::vector<double> x = {1.0, 1.0};
+  const std::vector<double> y = {1.0, 2.0};
+  EXPECT_THROW((void)pearson(x, y), std::invalid_argument);
+}
+
+TEST(Stats, RanksWithTies) {
+  const std::vector<double> x = {10.0, 20.0, 20.0, 30.0};
+  const std::vector<double> r = ranks(x);
+  EXPECT_DOUBLE_EQ(r[0], 1.0);
+  EXPECT_DOUBLE_EQ(r[1], 2.5);
+  EXPECT_DOUBLE_EQ(r[2], 2.5);
+  EXPECT_DOUBLE_EQ(r[3], 4.0);
+}
+
+TEST(Stats, SpearmanMonotonicTransformIsOne) {
+  // Spearman is invariant under monotone transforms; Pearson is not.
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 1; i <= 20; ++i) {
+    x.push_back(i);
+    y.push_back(std::exp(0.5 * i));
+  }
+  EXPECT_NEAR(spearman(x, y), 1.0, 1e-12);
+}
+
+TEST(Stats, QuartilesOfUniformGrid) {
+  std::vector<double> v;
+  for (int i = 0; i <= 100; ++i) {
+    v.push_back(i);
+  }
+  const Quartiles q = quartiles(v);
+  EXPECT_DOUBLE_EQ(q.q25, 25.0);
+  EXPECT_DOUBLE_EQ(q.q50, 50.0);
+  EXPECT_DOUBLE_EQ(q.q75, 75.0);
+}
+
+TEST(EmpiricalCdf, BasicEvaluation) {
+  const EmpiricalCdf cdf({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(cdf.at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.at(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(cdf.at(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.at(10.0), 1.0);
+}
+
+TEST(EmpiricalCdf, QuantileInverse) {
+  const EmpiricalCdf cdf({5.0, 1.0, 3.0});
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0 / 3.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 3.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 5.0);
+}
+
+TEST(EmpiricalCdf, QuantileOutOfRangeThrows) {
+  const EmpiricalCdf cdf({1.0});
+  EXPECT_THROW((void)cdf.quantile(0.0), std::invalid_argument);
+  EXPECT_THROW((void)cdf.quantile(1.5), std::invalid_argument);
+}
+
+TEST(EmpiricalCdf, EmptyThrows) {
+  EXPECT_THROW(EmpiricalCdf(std::vector<double>{}), std::invalid_argument);
+}
+
+TEST(EmpiricalCdf, CurveIsMonotone) {
+  std::mt19937_64 rng(1);
+  std::normal_distribution<double> g(0.0, 1.0);
+  std::vector<double> v;
+  for (int i = 0; i < 500; ++i) {
+    v.push_back(g(rng));
+  }
+  const EmpiricalCdf cdf(std::move(v));
+  const auto curve = cdf.curve(40);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LE(curve[i - 1].second, curve[i].second);
+  }
+  EXPECT_DOUBLE_EQ(curve.back().second, 1.0);
+}
+
+// Property: percentile(v, p) is monotone in p for random samples.
+class PercentileMonotoneTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PercentileMonotoneTest, MonotoneInP) {
+  std::mt19937_64 rng(GetParam());
+  std::uniform_real_distribution<double> u(-100.0, 100.0);
+  std::vector<double> v;
+  for (int i = 0; i < 64; ++i) {
+    v.push_back(u(rng));
+  }
+  double prev = percentile(v, 0.0);
+  for (double p = 5.0; p <= 100.0; p += 5.0) {
+    const double cur = percentile(v, p);
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PercentileMonotoneTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace

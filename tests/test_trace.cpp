@@ -1,0 +1,114 @@
+// Tests for bandwidth trace replay.
+#include "net/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace {
+
+using vbr::net::Trace;
+
+TEST(Trace, ConstructorValidation) {
+  EXPECT_THROW(Trace("x", 1.0, {}), std::invalid_argument);
+  EXPECT_THROW(Trace("x", 0.0, {1e6}), std::invalid_argument);
+  EXPECT_THROW(Trace("x", 1.0, {-1.0}), std::invalid_argument);
+  EXPECT_THROW(Trace("x", 1.0, {0.0, 0.0}), std::invalid_argument);
+}
+
+TEST(Trace, BasicAccessors) {
+  const Trace t("t", 2.0, {1e6, 3e6});
+  EXPECT_EQ(t.num_samples(), 2u);
+  EXPECT_DOUBLE_EQ(t.duration_s(), 4.0);
+  EXPECT_DOUBLE_EQ(t.average_bandwidth_bps(), 2e6);
+}
+
+TEST(Trace, BandwidthAtSampleBoundaries) {
+  const Trace t("t", 1.0, {1e6, 2e6, 3e6});
+  EXPECT_DOUBLE_EQ(t.bandwidth_at(0.0), 1e6);
+  EXPECT_DOUBLE_EQ(t.bandwidth_at(0.99), 1e6);
+  EXPECT_DOUBLE_EQ(t.bandwidth_at(1.0), 2e6);
+  EXPECT_DOUBLE_EQ(t.bandwidth_at(2.5), 3e6);
+}
+
+TEST(Trace, BandwidthLoopsPastEnd) {
+  const Trace t("t", 1.0, {1e6, 2e6});
+  EXPECT_DOUBLE_EQ(t.bandwidth_at(2.0), 1e6);
+  EXPECT_DOUBLE_EQ(t.bandwidth_at(3.5), 2e6);
+  EXPECT_DOUBLE_EQ(t.bandwidth_at(7.25), 2e6);
+}
+
+TEST(Trace, NegativeTimeThrows) {
+  const Trace t("t", 1.0, {1e6});
+  EXPECT_THROW((void)t.bandwidth_at(-0.1), std::invalid_argument);
+}
+
+TEST(Trace, DownloadWithinOneSample) {
+  const Trace t("t", 10.0, {1e6});
+  EXPECT_DOUBLE_EQ(t.download_duration_s(0.0, 5e5), 0.5);
+}
+
+TEST(Trace, DownloadSpansSamples) {
+  // 1 Mbps for 1 s, then 4 Mbps: downloading 3 Mb starting at t=0 takes
+  // 1 s (1 Mb) + 0.5 s (2 Mb) = 1.5 s.
+  const Trace t("t", 1.0, {1e6, 4e6});
+  EXPECT_DOUBLE_EQ(t.download_duration_s(0.0, 3e6), 1.5);
+}
+
+TEST(Trace, DownloadStartsMidSample) {
+  const Trace t("t", 1.0, {1e6, 4e6});
+  // Starting at t=0.5: 0.5 s at 1 Mbps (0.5 Mb) + 0.625 s at 4 Mbps.
+  EXPECT_DOUBLE_EQ(t.download_duration_s(0.5, 3e6), 0.5 + 2.5e6 / 4e6);
+}
+
+TEST(Trace, DownloadThroughZeroBandwidth) {
+  // An outage sample just elapses.
+  const Trace t("t", 1.0, {1e6, 0.0, 1e6});
+  EXPECT_DOUBLE_EQ(t.download_duration_s(0.0, 2e6), 3.0);
+}
+
+TEST(Trace, DownloadAcrossLoop) {
+  const Trace t("t", 1.0, {1e6, 2e6});
+  // Start at t=1.5: 0.5 s at 2 Mbps (1 Mb), loop to 1 Mbps for 1 s (1 Mb),
+  // then 0.5 Mb at 2 Mbps (0.25 s): total 1.75 s for 2.5 Mb.
+  EXPECT_DOUBLE_EQ(t.download_duration_s(1.5, 2.5e6), 1.75);
+}
+
+TEST(Trace, DownloadValidation) {
+  const Trace t("t", 1.0, {1e6});
+  EXPECT_THROW((void)t.download_duration_s(0.0, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)t.download_duration_s(-1.0, 1.0),
+               std::invalid_argument);
+}
+
+TEST(Trace, WindowAverage) {
+  const Trace t("t", 1.0, {1e6, 3e6});
+  EXPECT_DOUBLE_EQ(t.average_bandwidth_bps(0.0, 2.0), 2e6);
+  EXPECT_DOUBLE_EQ(t.average_bandwidth_bps(0.0, 1.0), 1e6);
+  EXPECT_DOUBLE_EQ(t.average_bandwidth_bps(0.5, 1.0), 2e6);
+}
+
+TEST(Trace, WindowAverageAcrossLoop) {
+  const Trace t("t", 1.0, {1e6, 3e6});
+  EXPECT_DOUBLE_EQ(t.average_bandwidth_bps(1.5, 1.0), 2e6);
+}
+
+TEST(Trace, WindowAverageValidation) {
+  const Trace t("t", 1.0, {1e6});
+  EXPECT_THROW((void)t.average_bandwidth_bps(0.0, 0.0),
+               std::invalid_argument);
+}
+
+TEST(Trace, DownloadConsistentWithBandwidthIntegral) {
+  // Property: bits downloaded in the returned duration equal the request.
+  const Trace t("t", 1.0, {5e5, 2e6, 1e5, 8e6, 3e6});
+  for (const double start : {0.0, 0.3, 1.7, 4.9}) {
+    for (const double bits : {1e5, 1e6, 7e6}) {
+      const double d = t.download_duration_s(start, bits);
+      const double integrated = t.average_bandwidth_bps(start, d) * d;
+      EXPECT_NEAR(integrated, bits, 1.0);
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,130 @@
+// Tests for the synthetic LTE / FCC trace generators.
+#include "net/trace_gen.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "metrics/stats.h"
+
+namespace {
+
+using namespace vbr::net;
+
+TEST(TraceGen, LteDeterministic) {
+  const Trace a = generate_lte_trace(123);
+  const Trace b = generate_lte_trace(123);
+  ASSERT_EQ(a.num_samples(), b.num_samples());
+  for (std::size_t i = 0; i < a.num_samples(); ++i) {
+    EXPECT_DOUBLE_EQ(a.samples_bps()[i], b.samples_bps()[i]);
+  }
+}
+
+TEST(TraceGen, LteSeedsDiffer) {
+  const Trace a = generate_lte_trace(1);
+  const Trace b = generate_lte_trace(2);
+  EXPECT_NE(a.samples_bps(), b.samples_bps());
+}
+
+TEST(TraceGen, LteShape) {
+  const Trace t = generate_lte_trace(5);
+  EXPECT_DOUBLE_EQ(t.sample_period_s(), 1.0);
+  EXPECT_GE(t.duration_s(), 1200.0);
+  for (const double s : t.samples_bps()) {
+    EXPECT_GT(s, 0.0);
+  }
+}
+
+TEST(TraceGen, FccShape) {
+  const Trace t = generate_fcc_trace(5);
+  EXPECT_DOUBLE_EQ(t.sample_period_s(), 5.0);
+  EXPECT_GE(t.duration_s(), 1200.0);
+}
+
+TEST(TraceGen, BadParamsThrow) {
+  LteTraceParams lte;
+  lte.duration_s = 0.0;
+  EXPECT_THROW((void)generate_lte_trace(1, lte), std::invalid_argument);
+  FccTraceParams fcc;
+  fcc.max_base_mbps = 0.5;  // below min
+  EXPECT_THROW((void)generate_fcc_trace(1, fcc), std::invalid_argument);
+}
+
+TEST(TraceGen, SetSizes) {
+  EXPECT_EQ(make_lte_trace_set(7, 1).size(), 7u);
+  EXPECT_EQ(make_fcc_trace_set(5, 1).size(), 5u);
+}
+
+TEST(TraceGen, SetTracesAreDistinct) {
+  const auto set = make_lte_trace_set(5, 1);
+  for (std::size_t i = 1; i < set.size(); ++i) {
+    EXPECT_NE(set[i].samples_bps(), set[0].samples_bps());
+    EXPECT_NE(set[i].name(), set[0].name());
+  }
+}
+
+TEST(TraceGen, LteIsMoreVariableThanFcc) {
+  // Section 6.3: FCC broadband profiles are smoother than LTE; rebuffering
+  // drops across the board under FCC. Compare normalized variability.
+  double lte_cov = 0.0;
+  double fcc_cov = 0.0;
+  const std::size_t n = 20;
+  for (std::size_t i = 0; i < n; ++i) {
+    lte_cov += vbr::stats::coefficient_of_variation(
+        generate_lte_trace(100 + i).samples_bps());
+    fcc_cov += vbr::stats::coefficient_of_variation(
+        generate_fcc_trace(100 + i).samples_bps());
+  }
+  EXPECT_GT(lte_cov / n, 2.0 * (fcc_cov / n));
+}
+
+TEST(TraceGen, LteMeansAreChallengingForTheLadder) {
+  // The trace population should make the upper rungs contested: most trace
+  // means fall between the 2nd and ~2x the top rung average (~0.3-8 Mbps).
+  const auto set = make_lte_trace_set(50, 7);
+  std::size_t in_range = 0;
+  for (const Trace& t : set) {
+    const double mean = t.average_bandwidth_bps();
+    if (mean > 3e5 && mean < 8e6) {
+      ++in_range;
+    }
+  }
+  EXPECT_GE(in_range, 45u);
+}
+
+TEST(TraceGen, FccBaseRatesSpanTiers) {
+  const auto set = make_fcc_trace_set(50, 11);
+  double lo = 1e18;
+  double hi = 0.0;
+  for (const Trace& t : set) {
+    lo = std::min(lo, t.average_bandwidth_bps());
+    hi = std::max(hi, t.average_bandwidth_bps());
+  }
+  EXPECT_LT(lo, 3e6);   // some slow households
+  EXPECT_GT(hi, 7e6);   // some fast ones
+}
+
+TEST(TraceGen, LteAutocorrelated) {
+  // Per-second throughput must be positively autocorrelated (drive traces
+  // vary smoothly), or application-level estimators become useless.
+  const Trace t = generate_lte_trace(42);
+  const auto& s = t.samples_bps();
+  std::vector<double> a(s.begin(), s.end() - 1);
+  std::vector<double> b(s.begin() + 1, s.end());
+  EXPECT_GT(vbr::stats::pearson(a, b), 0.5);
+}
+
+class LteSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LteSeedSweep, AlwaysValid) {
+  const Trace t = generate_lte_trace(GetParam());
+  EXPECT_GT(t.average_bandwidth_bps(), 0.0);
+  for (const double s : t.samples_bps()) {
+    EXPECT_GE(s, 1e4);  // floor at 0.01 Mbps
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LteSeedSweep,
+                         ::testing::Values(0, 1, 17, 991, 123456789));
+
+}  // namespace

@@ -1,0 +1,78 @@
+// Tests for trace file I/O.
+#include "net/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+#include "net/trace_gen.h"
+
+namespace {
+
+using namespace vbr::net;
+
+TEST(TraceIo, RoundTripString) {
+  const Trace t("demo", 1.0, {1e6, 2.5e6, 3e5});
+  const Trace r = from_trace_string(to_trace_string(t));
+  EXPECT_EQ(r.name(), "demo");
+  EXPECT_DOUBLE_EQ(r.sample_period_s(), 1.0);
+  ASSERT_EQ(r.num_samples(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(r.samples_bps()[i], t.samples_bps()[i],
+                1e-6 * t.samples_bps()[i]);
+  }
+}
+
+TEST(TraceIo, RoundTripGeneratedTrace) {
+  const Trace t = generate_lte_trace(77);
+  const Trace r = from_trace_string(to_trace_string(t));
+  EXPECT_EQ(r.num_samples(), t.num_samples());
+  EXPECT_NEAR(r.average_bandwidth_bps(), t.average_bandwidth_bps(), 1.0);
+}
+
+TEST(TraceIo, CommentsAndBlankLinesSkipped) {
+  const std::string text =
+      "VBR-TRACE/1 c 5\n# a comment\n1000000\n\n2000000\n";
+  const Trace t = from_trace_string(text);
+  EXPECT_EQ(t.num_samples(), 2u);
+  EXPECT_DOUBLE_EQ(t.sample_period_s(), 5.0);
+}
+
+TEST(TraceIo, BadMagicThrows) {
+  EXPECT_THROW((void)from_trace_string("NOPE x 1\n1e6\n"),
+               std::runtime_error);
+}
+
+TEST(TraceIo, BadSampleThrows) {
+  EXPECT_THROW((void)from_trace_string("VBR-TRACE/1 x 1\nabc\n"),
+               std::runtime_error);
+}
+
+TEST(TraceIo, EmptyTraceRejected) {
+  EXPECT_THROW((void)from_trace_string("VBR-TRACE/1 x 1\n"),
+               std::runtime_error);
+}
+
+TEST(TraceIo, FileRoundTripViaSet) {
+  const std::vector<Trace> set = {generate_lte_trace(1),
+                                  generate_fcc_trace(2)};
+  const auto paths = write_trace_set(::testing::TempDir(), set);
+  ASSERT_EQ(paths.size(), 2u);
+  const std::vector<Trace> read = read_trace_files(paths);
+  ASSERT_EQ(read.size(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(read[i].num_samples(), set[i].num_samples());
+    EXPECT_NEAR(read[i].average_bandwidth_bps(),
+                set[i].average_bandwidth_bps(), 1.0);
+    std::remove(paths[i].c_str());
+  }
+}
+
+TEST(TraceIo, MissingFileThrows) {
+  EXPECT_THROW((void)read_trace_files({"/nonexistent/path.trace"}),
+               std::runtime_error);
+}
+
+}  // namespace

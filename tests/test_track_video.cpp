@@ -1,0 +1,164 @@
+// Unit tests for the Track and Video data model.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "video/track.h"
+#include "video/video.h"
+
+namespace {
+
+using namespace vbr::video;
+
+std::vector<Chunk> uniform_chunks(std::size_t n, double size_bits,
+                                  double duration_s = 2.0) {
+  std::vector<Chunk> v(n);
+  for (Chunk& c : v) {
+    c.size_bits = size_bits;
+    c.duration_s = duration_s;
+  }
+  return v;
+}
+
+TEST(Track, AverageAndPeakBitrate) {
+  std::vector<Chunk> chunks = uniform_chunks(3, 2e6);
+  chunks[1].size_bits = 6e6;  // one 3 Mbps chunk among 1 Mbps chunks
+  const Track t(0, kLadder480p, Codec::kH264, chunks);
+  EXPECT_DOUBLE_EQ(t.average_bitrate_bps(), 10e6 / 6.0);
+  EXPECT_DOUBLE_EQ(t.peak_bitrate_bps(), 3e6);
+  EXPECT_DOUBLE_EQ(t.peak_to_average(), 3e6 / (10e6 / 6.0));
+}
+
+TEST(Track, DurationAndTotals) {
+  const Track t(2, kLadder720p, Codec::kH265, uniform_chunks(5, 1e6, 4.0));
+  EXPECT_DOUBLE_EQ(t.duration_s(), 20.0);
+  EXPECT_DOUBLE_EQ(t.total_bits(), 5e6);
+  EXPECT_EQ(t.num_chunks(), 5u);
+  EXPECT_EQ(t.level(), 2);
+  EXPECT_EQ(t.codec(), Codec::kH265);
+}
+
+TEST(Track, EmptyChunksThrows) {
+  EXPECT_THROW(Track(0, kLadder144p, Codec::kH264, {}),
+               std::invalid_argument);
+}
+
+TEST(Track, NonPositiveSizeThrows) {
+  std::vector<Chunk> chunks = uniform_chunks(2, 1e6);
+  chunks[1].size_bits = 0.0;
+  EXPECT_THROW(Track(0, kLadder144p, Codec::kH264, chunks),
+               std::invalid_argument);
+}
+
+TEST(Track, NegativeLevelThrows) {
+  EXPECT_THROW(Track(-1, kLadder144p, Codec::kH264, uniform_chunks(1, 1e6)),
+               std::invalid_argument);
+}
+
+TEST(Track, ChunkBitratesVector) {
+  std::vector<Chunk> chunks = uniform_chunks(2, 2e6);
+  chunks[1].size_bits = 4e6;
+  const Track t(0, kLadder360p, Codec::kH264, chunks);
+  const std::vector<double> rates = t.chunk_bitrates_bps();
+  ASSERT_EQ(rates.size(), 2u);
+  EXPECT_DOUBLE_EQ(rates[0], 1e6);
+  EXPECT_DOUBLE_EQ(rates[1], 2e6);
+}
+
+TEST(Resolution, LabelsAndPixels) {
+  EXPECT_EQ(kLadder1080p.label(), "1080p");
+  EXPECT_EQ(kLadder144p.label(), "144p");
+  EXPECT_EQ(kLadder1080p.pixels(), 1920LL * 1080LL);
+}
+
+TEST(Resolution, StandardLadderIsAscending) {
+  const auto ladder = standard_ladder();
+  ASSERT_EQ(ladder.size(), 6u);
+  for (std::size_t i = 1; i < ladder.size(); ++i) {
+    EXPECT_GT(ladder[i].pixels(), ladder[i - 1].pixels());
+  }
+}
+
+TEST(Codec, ToString) {
+  EXPECT_EQ(to_string(Codec::kH264), "H.264");
+  EXPECT_EQ(to_string(Codec::kH265), "H.265");
+}
+
+Video two_track_video(std::size_t n = 4) {
+  std::vector<Track> tracks;
+  tracks.emplace_back(0, kLadder144p, Codec::kH264, uniform_chunks(n, 1e6));
+  tracks.emplace_back(1, kLadder240p, Codec::kH264, uniform_chunks(n, 2e6));
+  return Video("test", Genre::kAnimation, std::move(tracks),
+               std::vector<SceneInfo>(n));
+}
+
+TEST(Video, BasicAccessors) {
+  const Video v = two_track_video();
+  EXPECT_EQ(v.num_tracks(), 2u);
+  EXPECT_EQ(v.num_chunks(), 4u);
+  EXPECT_DOUBLE_EQ(v.chunk_duration_s(), 2.0);
+  EXPECT_DOUBLE_EQ(v.duration_s(), 8.0);
+  EXPECT_EQ(v.middle_track(), 1u);
+  EXPECT_DOUBLE_EQ(v.chunk_size_bits(1, 0), 2e6);
+}
+
+TEST(Video, NoTracksThrows) {
+  EXPECT_THROW(Video("x", Genre::kAction, {}, {}), std::invalid_argument);
+}
+
+TEST(Video, ChunkCountMismatchThrows) {
+  std::vector<Track> tracks;
+  tracks.emplace_back(0, kLadder144p, Codec::kH264, uniform_chunks(4, 1e6));
+  tracks.emplace_back(1, kLadder240p, Codec::kH264, uniform_chunks(5, 2e6));
+  EXPECT_THROW(Video("x", Genre::kAction, std::move(tracks),
+                     std::vector<SceneInfo>(4)),
+               std::invalid_argument);
+}
+
+TEST(Video, NonAscendingBitrateThrows) {
+  std::vector<Track> tracks;
+  tracks.emplace_back(0, kLadder144p, Codec::kH264, uniform_chunks(4, 2e6));
+  tracks.emplace_back(1, kLadder240p, Codec::kH264, uniform_chunks(4, 1e6));
+  EXPECT_THROW(Video("x", Genre::kAction, std::move(tracks),
+                     std::vector<SceneInfo>(4)),
+               std::invalid_argument);
+}
+
+TEST(Video, SceneInfoSizeMismatchThrows) {
+  std::vector<Track> tracks;
+  tracks.emplace_back(0, kLadder144p, Codec::kH264, uniform_chunks(4, 1e6));
+  EXPECT_THROW(Video("x", Genre::kAction, std::move(tracks),
+                     std::vector<SceneInfo>(3)),
+               std::invalid_argument);
+}
+
+TEST(Video, GenreToString) {
+  EXPECT_EQ(to_string(Genre::kAnimation), "animation");
+  EXPECT_EQ(to_string(Genre::kSciFi), "scifi");
+  EXPECT_EQ(to_string(Genre::kSports), "sports");
+  EXPECT_EQ(to_string(Genre::kAnimal), "animal");
+  EXPECT_EQ(to_string(Genre::kNature), "nature");
+  EXPECT_EQ(to_string(Genre::kAction), "action");
+}
+
+TEST(ChunkQuality, MetricGetter) {
+  ChunkQuality q;
+  q.psnr_db = 40.0;
+  q.ssim = 0.9;
+  q.vmaf_tv = 70.0;
+  q.vmaf_phone = 80.0;
+  EXPECT_DOUBLE_EQ(q.get(QualityMetric::kPsnr), 40.0);
+  EXPECT_DOUBLE_EQ(q.get(QualityMetric::kSsim), 0.9);
+  EXPECT_DOUBLE_EQ(q.get(QualityMetric::kVmafTv), 70.0);
+  EXPECT_DOUBLE_EQ(q.get(QualityMetric::kVmafPhone), 80.0);
+}
+
+TEST(Chunk, BitrateFromSizeAndDuration) {
+  Chunk c;
+  c.size_bits = 5e6;
+  c.duration_s = 2.5;
+  EXPECT_DOUBLE_EQ(c.bitrate_bps(), 2e6);
+}
+
+}  // namespace

@@ -1,0 +1,61 @@
+#include "cli_args.h"
+
+#include <stdexcept>
+
+namespace vbr::tools {
+
+CliArgs::CliArgs(int argc, const char* const* argv,
+                 const std::set<std::string>& known) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    const std::string name = arg.substr(2);
+    if (known.find(name) == known.end()) {
+      throw std::invalid_argument("unknown flag --" + name);
+    }
+    // A flag consumes the next token as its value unless that token is
+    // itself a flag (then it is a bare boolean).
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[name] = argv[++i];
+    } else {
+      values_[name] = "";
+    }
+  }
+}
+
+bool CliArgs::has(const std::string& name) const {
+  return values_.find(name) != values_.end();
+}
+
+std::string CliArgs::get(const std::string& name,
+                         const std::string& fallback) const {
+  const auto it = values_.find(name);
+  return it == values_.end() || it->second.empty() ? fallback : it->second;
+}
+
+double CliArgs::get_double(const std::string& name, double fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end() || it->second.empty()) {
+    return fallback;
+  }
+  try {
+    return std::stod(it->second);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("flag --" + name + " expects a number, got '" +
+                                it->second + "'");
+  }
+}
+
+std::size_t CliArgs::get_size(const std::string& name,
+                              std::size_t fallback) const {
+  const double v = get_double(name, static_cast<double>(fallback));
+  if (v < 0.0) {
+    throw std::invalid_argument("flag --" + name + " must be non-negative");
+  }
+  return static_cast<std::size_t>(v);
+}
+
+}  // namespace vbr::tools

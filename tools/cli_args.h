@@ -1,0 +1,37 @@
+// Minimal command-line flag parser for the CLI tools: --key value and
+// --flag forms, with typed accessors and unknown-flag detection.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace vbr::tools {
+
+class CliArgs {
+ public:
+  /// Parses argv. Flags are "--name value" or bare "--name"; anything else
+  /// is a positional argument. Throws std::invalid_argument on a flag not
+  /// in `known`.
+  CliArgs(int argc, const char* const* argv,
+          const std::set<std::string>& known);
+
+  [[nodiscard]] bool has(const std::string& name) const;
+  [[nodiscard]] std::string get(const std::string& name,
+                                const std::string& fallback) const;
+  [[nodiscard]] double get_double(const std::string& name,
+                                  double fallback) const;
+  [[nodiscard]] std::size_t get_size(const std::string& name,
+                                     std::size_t fallback) const;
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace vbr::tools

@@ -1,0 +1,175 @@
+// vbrsim — command-line experiment runner.
+//
+// Runs one or more ABR schemes over a video and a trace set, printing the
+// paper's five QoE metrics and optionally writing per-trace CSV rows.
+//
+//   vbrsim --scheme CAVA --scheme RobustMPC --traces lte --count 50
+//   vbrsim --title Sports --genre sports --codec h265 --chunk 5 --cap 4
+//   vbrsim --trace-dir ./my_traces --csv results.csv
+//   vbrsim --list-schemes
+//
+// Flags (defaults in parentheses):
+//   --scheme NAME      scheme to run; repeatable via comma list (CAVA)
+//   --title NAME       video title label (ED)
+//   --genre G          animation|scifi|sports|animal|nature|action (animation)
+//   --codec C          h264|h265 (h264)
+//   --chunk SECONDS    chunk duration (2)
+//   --cap FACTOR       VBR cap factor (2)
+//   --duration SECONDS video length (600)
+//   --seed N           content seed (42)
+//   --traces KIND      lte|fcc (lte)
+//   --trace-dir DIR    replay .trace files from DIR instead of synthetic
+//   --count N          number of synthetic traces (50)
+//   --metric M         phone|tv (phone for lte, tv for fcc)
+//   --rtt SECONDS      per-request RTT (0)
+//   --abandon          enable segment abandonment
+//   --csv FILE         append per-trace CSV rows to FILE
+//   --list-schemes     print available scheme names and exit
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "cli_args.h"
+#include "common.h"
+#include "metrics/report.h"
+#include "net/trace_io.h"
+
+namespace {
+
+using namespace vbr;
+
+const std::vector<std::string> kSchemes = {
+    "CAVA",          "CAVA-p1",          "CAVA-p12",
+    "MPC",           "RobustMPC",        "PANDA/CQ max-sum",
+    "PANDA/CQ max-min", "BBA-1",         "RBA",
+    "BOLA-E (peak)", "BOLA-E (avg)",     "BOLA-E (seg)",
+};
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::istringstream iss(s);
+  std::string part;
+  while (std::getline(iss, part, ',')) {
+    if (!part.empty()) {
+      out.push_back(part);
+    }
+  }
+  return out;
+}
+
+video::Genre parse_genre(const std::string& g) {
+  if (g == "animation") return video::Genre::kAnimation;
+  if (g == "scifi") return video::Genre::kSciFi;
+  if (g == "sports") return video::Genre::kSports;
+  if (g == "animal") return video::Genre::kAnimal;
+  if (g == "nature") return video::Genre::kNature;
+  if (g == "action") return video::Genre::kAction;
+  throw std::invalid_argument("unknown genre: " + g);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const std::set<std::string> known = {
+        "scheme", "title",  "genre",  "codec",  "chunk",        "cap",
+        "duration", "seed", "traces", "trace-dir", "count",     "metric",
+        "rtt",    "abandon", "csv",   "list-schemes", "help"};
+    const tools::CliArgs args(argc, argv, known);
+
+    if (args.has("help")) {
+      std::printf("see the header of tools/vbrsim.cpp for flag docs\n");
+      return 0;
+    }
+    if (args.has("list-schemes")) {
+      for (const std::string& s : kSchemes) {
+        std::printf("%s\n", s.c_str());
+      }
+      return 0;
+    }
+
+    // Video.
+    const video::Video v = video::make_video(
+        args.get("title", "ED"), parse_genre(args.get("genre", "animation")),
+        args.get("codec", "h264") == "h265" ? video::Codec::kH265
+                                            : video::Codec::kH264,
+        args.get_double("chunk", 2.0), args.get_double("cap", 2.0),
+        args.get_size("seed", 42), args.get_double("duration", 600.0));
+
+    // Traces.
+    const std::string kind = args.get("traces", "lte");
+    std::vector<net::Trace> traces;
+    if (args.has("trace-dir")) {
+      std::vector<std::string> paths;
+      for (const auto& entry : std::filesystem::directory_iterator(
+               args.get("trace-dir", "."))) {
+        if (entry.path().extension() == ".trace") {
+          paths.push_back(entry.path().string());
+        }
+      }
+      if (paths.empty()) {
+        std::fprintf(stderr, "no .trace files in %s\n",
+                     args.get("trace-dir", ".").c_str());
+        return 1;
+      }
+      traces = net::read_trace_files(paths);
+    } else if (kind == "lte") {
+      traces = bench::lte_traces(args.get_size("count", 50));
+    } else if (kind == "fcc") {
+      traces = bench::fcc_traces(args.get_size("count", 50));
+    } else {
+      std::fprintf(stderr, "unknown trace kind %s\n", kind.c_str());
+      return 1;
+    }
+
+    const std::string metric_name =
+        args.get("metric", kind == "fcc" ? "tv" : "phone");
+    const video::QualityMetric metric =
+        metric_name == "tv" ? video::QualityMetric::kVmafTv
+                            : video::QualityMetric::kVmafPhone;
+
+    std::printf("video %s: %zu tracks, %zu chunks of %.1f s | %zu traces "
+                "(%s) | metric VMAF-%s\n",
+                v.name().c_str(), v.num_tracks(), v.num_chunks(),
+                v.chunk_duration_s(), traces.size(), kind.c_str(),
+                metric_name.c_str());
+    std::printf("%-18s %8s %8s %8s %9s %8s %8s\n", "scheme", "Q4qual",
+                "Q13qual", "low%", "rebuf(s)", "change", "MB");
+
+    std::ofstream csv;
+    bool csv_header = true;
+    if (args.has("csv")) {
+      csv.open(args.get("csv", "results.csv"), std::ios::app);
+      if (!csv) {
+        std::fprintf(stderr, "cannot open CSV output\n");
+        return 1;
+      }
+      csv_header = csv.tellp() == 0;
+    }
+
+    for (const std::string& name :
+         split_csv(args.get("scheme", "CAVA"))) {
+      sim::ExperimentSpec spec;
+      spec.video = &v;
+      spec.traces = traces;
+      spec.make_scheme = bench::scheme_factory(name, metric);
+      spec.metric = metric;
+      spec.session.request_rtt_s = args.get_double("rtt", 0.0);
+      spec.session.enable_abandonment = args.has("abandon");
+      const sim::ExperimentResult r = sim::run_experiment(spec);
+      std::printf("%-18s %8.1f %8.1f %8.1f %9.2f %8.2f %8.1f\n",
+                  name.c_str(), r.mean_q4_quality, r.mean_q13_quality,
+                  r.mean_low_quality_pct, r.mean_rebuffer_s,
+                  r.mean_quality_change, r.mean_data_usage_mb);
+      if (csv.is_open()) {
+        metrics::write_qoe_csv(csv, name, r.per_trace, csv_header);
+        csv_header = false;
+      }
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "vbrsim: %s\n", e.what());
+    return 1;
+  }
+}
