@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_pia.dir/bench_ablation_pia.cpp.o"
+  "CMakeFiles/bench_ablation_pia.dir/bench_ablation_pia.cpp.o.d"
+  "bench_ablation_pia"
+  "bench_ablation_pia.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_pia.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_pid_gains.dir/bench_ablation_pid_gains.cpp.o"
+  "CMakeFiles/bench_ablation_pid_gains.dir/bench_ablation_pid_gains.cpp.o.d"
+  "bench_ablation_pid_gains"
+  "bench_ablation_pid_gains.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_pid_gains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_abandonment.dir/bench_ext_abandonment.cpp.o"
+  "CMakeFiles/bench_ext_abandonment.dir/bench_ext_abandonment.cpp.o.d"
+  "bench_ext_abandonment"
+  "bench_ext_abandonment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_abandonment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

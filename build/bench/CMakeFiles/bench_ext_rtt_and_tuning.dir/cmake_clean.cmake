@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_rtt_and_tuning.dir/bench_ext_rtt_and_tuning.cpp.o"
+  "CMakeFiles/bench_ext_rtt_and_tuning.dir/bench_ext_rtt_and_tuning.cpp.o.d"
+  "bench_ext_rtt_and_tuning"
+  "bench_ext_rtt_and_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_rtt_and_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

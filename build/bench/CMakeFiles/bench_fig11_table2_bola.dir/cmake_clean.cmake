@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_table2_bola.dir/bench_fig11_table2_bola.cpp.o"
+  "CMakeFiles/bench_fig11_table2_bola.dir/bench_fig11_table2_bola.cpp.o.d"
+  "bench_fig11_table2_bola"
+  "bench_fig11_table2_bola.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_table2_bola.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

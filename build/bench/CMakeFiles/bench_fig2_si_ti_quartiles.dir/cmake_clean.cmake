@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_si_ti_quartiles.dir/bench_fig2_si_ti_quartiles.cpp.o"
+  "CMakeFiles/bench_fig2_si_ti_quartiles.dir/bench_fig2_si_ti_quartiles.cpp.o.d"
+  "bench_fig2_si_ti_quartiles"
+  "bench_fig2_si_ti_quartiles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_si_ti_quartiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_myopic_vs_cava.dir/bench_fig4_myopic_vs_cava.cpp.o"
+  "CMakeFiles/bench_fig4_myopic_vs_cava.dir/bench_fig4_myopic_vs_cava.cpp.o.d"
+  "bench_fig4_myopic_vs_cava"
+  "bench_fig4_myopic_vs_cava.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_myopic_vs_cava.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig4_myopic_vs_cava.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig9_q13_all_quality.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_intro_cbr_vs_vbr.dir/bench_intro_cbr_vs_vbr.cpp.o"
+  "CMakeFiles/bench_intro_cbr_vs_vbr.dir/bench_intro_cbr_vs_vbr.cpp.o.d"
+  "bench_intro_cbr_vs_vbr"
+  "bench_intro_cbr_vs_vbr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_intro_cbr_vs_vbr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_decision_overhead.dir/bench_micro_decision_overhead.cpp.o"
+  "CMakeFiles/bench_micro_decision_overhead.dir/bench_micro_decision_overhead.cpp.o.d"
+  "bench_micro_decision_overhead"
+  "bench_micro_decision_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_decision_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec31_crosstrack_corr.dir/bench_sec31_crosstrack_corr.cpp.o"
+  "CMakeFiles/bench_sec31_crosstrack_corr.dir/bench_sec31_crosstrack_corr.cpp.o.d"
+  "bench_sec31_crosstrack_corr"
+  "bench_sec31_crosstrack_corr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec31_crosstrack_corr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

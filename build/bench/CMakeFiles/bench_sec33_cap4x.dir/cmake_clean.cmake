@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec33_cap4x.dir/bench_sec33_cap4x.cpp.o"
+  "CMakeFiles/bench_sec33_cap4x.dir/bench_sec33_cap4x.cpp.o.d"
+  "bench_sec33_cap4x"
+  "bench_sec33_cap4x.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec33_cap4x.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec61_startup_latency.dir/bench_sec61_startup_latency.cpp.o"
+  "CMakeFiles/bench_sec61_startup_latency.dir/bench_sec61_startup_latency.cpp.o.d"
+  "bench_sec61_startup_latency"
+  "bench_sec61_startup_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec61_startup_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec62_outer_window.dir/bench_sec62_outer_window.cpp.o"
+  "CMakeFiles/bench_sec62_outer_window.dir/bench_sec62_outer_window.cpp.o.d"
+  "bench_sec62_outer_window"
+  "bench_sec62_outer_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec62_outer_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

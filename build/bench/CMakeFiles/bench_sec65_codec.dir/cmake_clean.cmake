@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec65_codec.dir/bench_sec65_codec.cpp.o"
+  "CMakeFiles/bench_sec65_codec.dir/bench_sec65_codec.cpp.o.d"
+  "bench_sec65_codec"
+  "bench_sec65_codec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec65_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

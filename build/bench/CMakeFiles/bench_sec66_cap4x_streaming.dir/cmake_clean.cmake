@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec66_cap4x_streaming.dir/bench_sec66_cap4x_streaming.cpp.o"
+  "CMakeFiles/bench_sec66_cap4x_streaming.dir/bench_sec66_cap4x_streaming.cpp.o.d"
+  "bench_sec66_cap4x_streaming"
+  "bench_sec66_cap4x_streaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec66_cap4x_streaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec67_bw_error.dir/bench_sec67_bw_error.cpp.o"
+  "CMakeFiles/bench_sec67_bw_error.dir/bench_sec67_bw_error.cpp.o.d"
+  "bench_sec67_bw_error"
+  "bench_sec67_bw_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec67_bw_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manifest_roundtrip.dir/manifest_roundtrip.cpp.o"
+  "CMakeFiles/manifest_roundtrip.dir/manifest_roundtrip.cpp.o.d"
+  "manifest_roundtrip"
+  "manifest_roundtrip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manifest_roundtrip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

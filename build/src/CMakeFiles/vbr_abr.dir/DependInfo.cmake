@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/abr/bba.cpp" "src/CMakeFiles/vbr_abr.dir/abr/bba.cpp.o" "gcc" "src/CMakeFiles/vbr_abr.dir/abr/bba.cpp.o.d"
+  "/root/repo/src/abr/bola.cpp" "src/CMakeFiles/vbr_abr.dir/abr/bola.cpp.o" "gcc" "src/CMakeFiles/vbr_abr.dir/abr/bola.cpp.o.d"
+  "/root/repo/src/abr/festive.cpp" "src/CMakeFiles/vbr_abr.dir/abr/festive.cpp.o" "gcc" "src/CMakeFiles/vbr_abr.dir/abr/festive.cpp.o.d"
+  "/root/repo/src/abr/mpc.cpp" "src/CMakeFiles/vbr_abr.dir/abr/mpc.cpp.o" "gcc" "src/CMakeFiles/vbr_abr.dir/abr/mpc.cpp.o.d"
+  "/root/repo/src/abr/panda_cq.cpp" "src/CMakeFiles/vbr_abr.dir/abr/panda_cq.cpp.o" "gcc" "src/CMakeFiles/vbr_abr.dir/abr/panda_cq.cpp.o.d"
+  "/root/repo/src/abr/rba.cpp" "src/CMakeFiles/vbr_abr.dir/abr/rba.cpp.o" "gcc" "src/CMakeFiles/vbr_abr.dir/abr/rba.cpp.o.d"
+  "/root/repo/src/abr/scheme.cpp" "src/CMakeFiles/vbr_abr.dir/abr/scheme.cpp.o" "gcc" "src/CMakeFiles/vbr_abr.dir/abr/scheme.cpp.o.d"
+  "/root/repo/src/abr/throughput_rule.cpp" "src/CMakeFiles/vbr_abr.dir/abr/throughput_rule.cpp.o" "gcc" "src/CMakeFiles/vbr_abr.dir/abr/throughput_rule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vbr_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vbr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vbr_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

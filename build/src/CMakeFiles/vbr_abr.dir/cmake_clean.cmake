@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vbr_abr.dir/abr/bba.cpp.o"
+  "CMakeFiles/vbr_abr.dir/abr/bba.cpp.o.d"
+  "CMakeFiles/vbr_abr.dir/abr/bola.cpp.o"
+  "CMakeFiles/vbr_abr.dir/abr/bola.cpp.o.d"
+  "CMakeFiles/vbr_abr.dir/abr/festive.cpp.o"
+  "CMakeFiles/vbr_abr.dir/abr/festive.cpp.o.d"
+  "CMakeFiles/vbr_abr.dir/abr/mpc.cpp.o"
+  "CMakeFiles/vbr_abr.dir/abr/mpc.cpp.o.d"
+  "CMakeFiles/vbr_abr.dir/abr/panda_cq.cpp.o"
+  "CMakeFiles/vbr_abr.dir/abr/panda_cq.cpp.o.d"
+  "CMakeFiles/vbr_abr.dir/abr/rba.cpp.o"
+  "CMakeFiles/vbr_abr.dir/abr/rba.cpp.o.d"
+  "CMakeFiles/vbr_abr.dir/abr/scheme.cpp.o"
+  "CMakeFiles/vbr_abr.dir/abr/scheme.cpp.o.d"
+  "CMakeFiles/vbr_abr.dir/abr/throughput_rule.cpp.o"
+  "CMakeFiles/vbr_abr.dir/abr/throughput_rule.cpp.o.d"
+  "libvbr_abr.a"
+  "libvbr_abr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vbr_abr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cava.cpp" "src/CMakeFiles/vbr_core.dir/core/cava.cpp.o" "gcc" "src/CMakeFiles/vbr_core.dir/core/cava.cpp.o.d"
+  "/root/repo/src/core/complexity_classifier.cpp" "src/CMakeFiles/vbr_core.dir/core/complexity_classifier.cpp.o" "gcc" "src/CMakeFiles/vbr_core.dir/core/complexity_classifier.cpp.o.d"
+  "/root/repo/src/core/inner_controller.cpp" "src/CMakeFiles/vbr_core.dir/core/inner_controller.cpp.o" "gcc" "src/CMakeFiles/vbr_core.dir/core/inner_controller.cpp.o.d"
+  "/root/repo/src/core/outer_controller.cpp" "src/CMakeFiles/vbr_core.dir/core/outer_controller.cpp.o" "gcc" "src/CMakeFiles/vbr_core.dir/core/outer_controller.cpp.o.d"
+  "/root/repo/src/core/pia.cpp" "src/CMakeFiles/vbr_core.dir/core/pia.cpp.o" "gcc" "src/CMakeFiles/vbr_core.dir/core/pia.cpp.o.d"
+  "/root/repo/src/core/pid_controller.cpp" "src/CMakeFiles/vbr_core.dir/core/pid_controller.cpp.o" "gcc" "src/CMakeFiles/vbr_core.dir/core/pid_controller.cpp.o.d"
+  "/root/repo/src/core/si_ti_classifier.cpp" "src/CMakeFiles/vbr_core.dir/core/si_ti_classifier.cpp.o" "gcc" "src/CMakeFiles/vbr_core.dir/core/si_ti_classifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vbr_abr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vbr_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vbr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vbr_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

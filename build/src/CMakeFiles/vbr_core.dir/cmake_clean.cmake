@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vbr_core.dir/core/cava.cpp.o"
+  "CMakeFiles/vbr_core.dir/core/cava.cpp.o.d"
+  "CMakeFiles/vbr_core.dir/core/complexity_classifier.cpp.o"
+  "CMakeFiles/vbr_core.dir/core/complexity_classifier.cpp.o.d"
+  "CMakeFiles/vbr_core.dir/core/inner_controller.cpp.o"
+  "CMakeFiles/vbr_core.dir/core/inner_controller.cpp.o.d"
+  "CMakeFiles/vbr_core.dir/core/outer_controller.cpp.o"
+  "CMakeFiles/vbr_core.dir/core/outer_controller.cpp.o.d"
+  "CMakeFiles/vbr_core.dir/core/pia.cpp.o"
+  "CMakeFiles/vbr_core.dir/core/pia.cpp.o.d"
+  "CMakeFiles/vbr_core.dir/core/pid_controller.cpp.o"
+  "CMakeFiles/vbr_core.dir/core/pid_controller.cpp.o.d"
+  "CMakeFiles/vbr_core.dir/core/si_ti_classifier.cpp.o"
+  "CMakeFiles/vbr_core.dir/core/si_ti_classifier.cpp.o.d"
+  "libvbr_core.a"
+  "libvbr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vbr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

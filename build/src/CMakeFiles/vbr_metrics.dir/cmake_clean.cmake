@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vbr_metrics.dir/metrics/qoe.cpp.o"
+  "CMakeFiles/vbr_metrics.dir/metrics/qoe.cpp.o.d"
+  "CMakeFiles/vbr_metrics.dir/metrics/report.cpp.o"
+  "CMakeFiles/vbr_metrics.dir/metrics/report.cpp.o.d"
+  "CMakeFiles/vbr_metrics.dir/metrics/stats.cpp.o"
+  "CMakeFiles/vbr_metrics.dir/metrics/stats.cpp.o.d"
+  "libvbr_metrics.a"
+  "libvbr_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vbr_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/bandwidth_estimator.cpp" "src/CMakeFiles/vbr_net.dir/net/bandwidth_estimator.cpp.o" "gcc" "src/CMakeFiles/vbr_net.dir/net/bandwidth_estimator.cpp.o.d"
+  "/root/repo/src/net/error_model.cpp" "src/CMakeFiles/vbr_net.dir/net/error_model.cpp.o" "gcc" "src/CMakeFiles/vbr_net.dir/net/error_model.cpp.o.d"
+  "/root/repo/src/net/trace.cpp" "src/CMakeFiles/vbr_net.dir/net/trace.cpp.o" "gcc" "src/CMakeFiles/vbr_net.dir/net/trace.cpp.o.d"
+  "/root/repo/src/net/trace_gen.cpp" "src/CMakeFiles/vbr_net.dir/net/trace_gen.cpp.o" "gcc" "src/CMakeFiles/vbr_net.dir/net/trace_gen.cpp.o.d"
+  "/root/repo/src/net/trace_io.cpp" "src/CMakeFiles/vbr_net.dir/net/trace_io.cpp.o" "gcc" "src/CMakeFiles/vbr_net.dir/net/trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vbr_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vbr_net.dir/net/bandwidth_estimator.cpp.o"
+  "CMakeFiles/vbr_net.dir/net/bandwidth_estimator.cpp.o.d"
+  "CMakeFiles/vbr_net.dir/net/error_model.cpp.o"
+  "CMakeFiles/vbr_net.dir/net/error_model.cpp.o.d"
+  "CMakeFiles/vbr_net.dir/net/trace.cpp.o"
+  "CMakeFiles/vbr_net.dir/net/trace.cpp.o.d"
+  "CMakeFiles/vbr_net.dir/net/trace_gen.cpp.o"
+  "CMakeFiles/vbr_net.dir/net/trace_gen.cpp.o.d"
+  "CMakeFiles/vbr_net.dir/net/trace_io.cpp.o"
+  "CMakeFiles/vbr_net.dir/net/trace_io.cpp.o.d"
+  "libvbr_net.a"
+  "libvbr_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vbr_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

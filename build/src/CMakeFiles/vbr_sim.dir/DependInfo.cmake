@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/buffer.cpp" "src/CMakeFiles/vbr_sim.dir/sim/buffer.cpp.o" "gcc" "src/CMakeFiles/vbr_sim.dir/sim/buffer.cpp.o.d"
+  "/root/repo/src/sim/experiment.cpp" "src/CMakeFiles/vbr_sim.dir/sim/experiment.cpp.o" "gcc" "src/CMakeFiles/vbr_sim.dir/sim/experiment.cpp.o.d"
+  "/root/repo/src/sim/live_session.cpp" "src/CMakeFiles/vbr_sim.dir/sim/live_session.cpp.o" "gcc" "src/CMakeFiles/vbr_sim.dir/sim/live_session.cpp.o.d"
+  "/root/repo/src/sim/multi_client.cpp" "src/CMakeFiles/vbr_sim.dir/sim/multi_client.cpp.o" "gcc" "src/CMakeFiles/vbr_sim.dir/sim/multi_client.cpp.o.d"
+  "/root/repo/src/sim/session.cpp" "src/CMakeFiles/vbr_sim.dir/sim/session.cpp.o" "gcc" "src/CMakeFiles/vbr_sim.dir/sim/session.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vbr_abr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vbr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vbr_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vbr_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vbr_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vbr_sim.dir/sim/buffer.cpp.o"
+  "CMakeFiles/vbr_sim.dir/sim/buffer.cpp.o.d"
+  "CMakeFiles/vbr_sim.dir/sim/experiment.cpp.o"
+  "CMakeFiles/vbr_sim.dir/sim/experiment.cpp.o.d"
+  "CMakeFiles/vbr_sim.dir/sim/live_session.cpp.o"
+  "CMakeFiles/vbr_sim.dir/sim/live_session.cpp.o.d"
+  "CMakeFiles/vbr_sim.dir/sim/multi_client.cpp.o"
+  "CMakeFiles/vbr_sim.dir/sim/multi_client.cpp.o.d"
+  "CMakeFiles/vbr_sim.dir/sim/session.cpp.o"
+  "CMakeFiles/vbr_sim.dir/sim/session.cpp.o.d"
+  "libvbr_sim.a"
+  "libvbr_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vbr_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vbr_tune.dir/tune/autotune.cpp.o"
+  "CMakeFiles/vbr_tune.dir/tune/autotune.cpp.o.d"
+  "libvbr_tune.a"
+  "libvbr_tune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vbr_tune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

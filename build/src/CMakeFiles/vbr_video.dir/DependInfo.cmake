@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/video/dataset.cpp" "src/CMakeFiles/vbr_video.dir/video/dataset.cpp.o" "gcc" "src/CMakeFiles/vbr_video.dir/video/dataset.cpp.o.d"
+  "/root/repo/src/video/encoder.cpp" "src/CMakeFiles/vbr_video.dir/video/encoder.cpp.o" "gcc" "src/CMakeFiles/vbr_video.dir/video/encoder.cpp.o.d"
+  "/root/repo/src/video/manifest.cpp" "src/CMakeFiles/vbr_video.dir/video/manifest.cpp.o" "gcc" "src/CMakeFiles/vbr_video.dir/video/manifest.cpp.o.d"
+  "/root/repo/src/video/quality_model.cpp" "src/CMakeFiles/vbr_video.dir/video/quality_model.cpp.o" "gcc" "src/CMakeFiles/vbr_video.dir/video/quality_model.cpp.o.d"
+  "/root/repo/src/video/scene_model.cpp" "src/CMakeFiles/vbr_video.dir/video/scene_model.cpp.o" "gcc" "src/CMakeFiles/vbr_video.dir/video/scene_model.cpp.o.d"
+  "/root/repo/src/video/track.cpp" "src/CMakeFiles/vbr_video.dir/video/track.cpp.o" "gcc" "src/CMakeFiles/vbr_video.dir/video/track.cpp.o.d"
+  "/root/repo/src/video/video.cpp" "src/CMakeFiles/vbr_video.dir/video/video.cpp.o" "gcc" "src/CMakeFiles/vbr_video.dir/video/video.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vbr_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

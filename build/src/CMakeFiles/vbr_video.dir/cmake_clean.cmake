@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vbr_video.dir/video/dataset.cpp.o"
+  "CMakeFiles/vbr_video.dir/video/dataset.cpp.o.d"
+  "CMakeFiles/vbr_video.dir/video/encoder.cpp.o"
+  "CMakeFiles/vbr_video.dir/video/encoder.cpp.o.d"
+  "CMakeFiles/vbr_video.dir/video/manifest.cpp.o"
+  "CMakeFiles/vbr_video.dir/video/manifest.cpp.o.d"
+  "CMakeFiles/vbr_video.dir/video/quality_model.cpp.o"
+  "CMakeFiles/vbr_video.dir/video/quality_model.cpp.o.d"
+  "CMakeFiles/vbr_video.dir/video/scene_model.cpp.o"
+  "CMakeFiles/vbr_video.dir/video/scene_model.cpp.o.d"
+  "CMakeFiles/vbr_video.dir/video/track.cpp.o"
+  "CMakeFiles/vbr_video.dir/video/track.cpp.o.d"
+  "CMakeFiles/vbr_video.dir/video/video.cpp.o"
+  "CMakeFiles/vbr_video.dir/video/video.cpp.o.d"
+  "libvbr_video.a"
+  "libvbr_video.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vbr_video.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,63 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_abandonment.cpp" "tests/CMakeFiles/vbr_tests.dir/test_abandonment.cpp.o" "gcc" "tests/CMakeFiles/vbr_tests.dir/test_abandonment.cpp.o.d"
+  "/root/repo/tests/test_bandwidth_estimator.cpp" "tests/CMakeFiles/vbr_tests.dir/test_bandwidth_estimator.cpp.o" "gcc" "tests/CMakeFiles/vbr_tests.dir/test_bandwidth_estimator.cpp.o.d"
+  "/root/repo/tests/test_bba_rba.cpp" "tests/CMakeFiles/vbr_tests.dir/test_bba_rba.cpp.o" "gcc" "tests/CMakeFiles/vbr_tests.dir/test_bba_rba.cpp.o.d"
+  "/root/repo/tests/test_bola.cpp" "tests/CMakeFiles/vbr_tests.dir/test_bola.cpp.o" "gcc" "tests/CMakeFiles/vbr_tests.dir/test_bola.cpp.o.d"
+  "/root/repo/tests/test_buffer.cpp" "tests/CMakeFiles/vbr_tests.dir/test_buffer.cpp.o" "gcc" "tests/CMakeFiles/vbr_tests.dir/test_buffer.cpp.o.d"
+  "/root/repo/tests/test_cava.cpp" "tests/CMakeFiles/vbr_tests.dir/test_cava.cpp.o" "gcc" "tests/CMakeFiles/vbr_tests.dir/test_cava.cpp.o.d"
+  "/root/repo/tests/test_cli_args.cpp" "tests/CMakeFiles/vbr_tests.dir/test_cli_args.cpp.o" "gcc" "tests/CMakeFiles/vbr_tests.dir/test_cli_args.cpp.o.d"
+  "/root/repo/tests/test_complexity_classifier.cpp" "tests/CMakeFiles/vbr_tests.dir/test_complexity_classifier.cpp.o" "gcc" "tests/CMakeFiles/vbr_tests.dir/test_complexity_classifier.cpp.o.d"
+  "/root/repo/tests/test_dataset.cpp" "tests/CMakeFiles/vbr_tests.dir/test_dataset.cpp.o" "gcc" "tests/CMakeFiles/vbr_tests.dir/test_dataset.cpp.o.d"
+  "/root/repo/tests/test_edge_cases.cpp" "tests/CMakeFiles/vbr_tests.dir/test_edge_cases.cpp.o" "gcc" "tests/CMakeFiles/vbr_tests.dir/test_edge_cases.cpp.o.d"
+  "/root/repo/tests/test_encoder.cpp" "tests/CMakeFiles/vbr_tests.dir/test_encoder.cpp.o" "gcc" "tests/CMakeFiles/vbr_tests.dir/test_encoder.cpp.o.d"
+  "/root/repo/tests/test_error_model.cpp" "tests/CMakeFiles/vbr_tests.dir/test_error_model.cpp.o" "gcc" "tests/CMakeFiles/vbr_tests.dir/test_error_model.cpp.o.d"
+  "/root/repo/tests/test_experiment.cpp" "tests/CMakeFiles/vbr_tests.dir/test_experiment.cpp.o" "gcc" "tests/CMakeFiles/vbr_tests.dir/test_experiment.cpp.o.d"
+  "/root/repo/tests/test_extensions.cpp" "tests/CMakeFiles/vbr_tests.dir/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/vbr_tests.dir/test_extensions.cpp.o.d"
+  "/root/repo/tests/test_inner_controller.cpp" "tests/CMakeFiles/vbr_tests.dir/test_inner_controller.cpp.o" "gcc" "tests/CMakeFiles/vbr_tests.dir/test_inner_controller.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/vbr_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/vbr_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_interactions.cpp" "tests/CMakeFiles/vbr_tests.dir/test_interactions.cpp.o" "gcc" "tests/CMakeFiles/vbr_tests.dir/test_interactions.cpp.o.d"
+  "/root/repo/tests/test_manifest.cpp" "tests/CMakeFiles/vbr_tests.dir/test_manifest.cpp.o" "gcc" "tests/CMakeFiles/vbr_tests.dir/test_manifest.cpp.o.d"
+  "/root/repo/tests/test_more_schemes.cpp" "tests/CMakeFiles/vbr_tests.dir/test_more_schemes.cpp.o" "gcc" "tests/CMakeFiles/vbr_tests.dir/test_more_schemes.cpp.o.d"
+  "/root/repo/tests/test_mpc.cpp" "tests/CMakeFiles/vbr_tests.dir/test_mpc.cpp.o" "gcc" "tests/CMakeFiles/vbr_tests.dir/test_mpc.cpp.o.d"
+  "/root/repo/tests/test_multi_client.cpp" "tests/CMakeFiles/vbr_tests.dir/test_multi_client.cpp.o" "gcc" "tests/CMakeFiles/vbr_tests.dir/test_multi_client.cpp.o.d"
+  "/root/repo/tests/test_outer_controller.cpp" "tests/CMakeFiles/vbr_tests.dir/test_outer_controller.cpp.o" "gcc" "tests/CMakeFiles/vbr_tests.dir/test_outer_controller.cpp.o.d"
+  "/root/repo/tests/test_panda_cq.cpp" "tests/CMakeFiles/vbr_tests.dir/test_panda_cq.cpp.o" "gcc" "tests/CMakeFiles/vbr_tests.dir/test_panda_cq.cpp.o.d"
+  "/root/repo/tests/test_pid_controller.cpp" "tests/CMakeFiles/vbr_tests.dir/test_pid_controller.cpp.o" "gcc" "tests/CMakeFiles/vbr_tests.dir/test_pid_controller.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/vbr_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/vbr_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_qoe.cpp" "tests/CMakeFiles/vbr_tests.dir/test_qoe.cpp.o" "gcc" "tests/CMakeFiles/vbr_tests.dir/test_qoe.cpp.o.d"
+  "/root/repo/tests/test_quality_model.cpp" "tests/CMakeFiles/vbr_tests.dir/test_quality_model.cpp.o" "gcc" "tests/CMakeFiles/vbr_tests.dir/test_quality_model.cpp.o.d"
+  "/root/repo/tests/test_report.cpp" "tests/CMakeFiles/vbr_tests.dir/test_report.cpp.o" "gcc" "tests/CMakeFiles/vbr_tests.dir/test_report.cpp.o.d"
+  "/root/repo/tests/test_robustness.cpp" "tests/CMakeFiles/vbr_tests.dir/test_robustness.cpp.o" "gcc" "tests/CMakeFiles/vbr_tests.dir/test_robustness.cpp.o.d"
+  "/root/repo/tests/test_scene_model.cpp" "tests/CMakeFiles/vbr_tests.dir/test_scene_model.cpp.o" "gcc" "tests/CMakeFiles/vbr_tests.dir/test_scene_model.cpp.o.d"
+  "/root/repo/tests/test_scheme_common.cpp" "tests/CMakeFiles/vbr_tests.dir/test_scheme_common.cpp.o" "gcc" "tests/CMakeFiles/vbr_tests.dir/test_scheme_common.cpp.o.d"
+  "/root/repo/tests/test_session.cpp" "tests/CMakeFiles/vbr_tests.dir/test_session.cpp.o" "gcc" "tests/CMakeFiles/vbr_tests.dir/test_session.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/vbr_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/vbr_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_trace.cpp" "tests/CMakeFiles/vbr_tests.dir/test_trace.cpp.o" "gcc" "tests/CMakeFiles/vbr_tests.dir/test_trace.cpp.o.d"
+  "/root/repo/tests/test_trace_gen.cpp" "tests/CMakeFiles/vbr_tests.dir/test_trace_gen.cpp.o" "gcc" "tests/CMakeFiles/vbr_tests.dir/test_trace_gen.cpp.o.d"
+  "/root/repo/tests/test_trace_io.cpp" "tests/CMakeFiles/vbr_tests.dir/test_trace_io.cpp.o" "gcc" "tests/CMakeFiles/vbr_tests.dir/test_trace_io.cpp.o.d"
+  "/root/repo/tests/test_track_video.cpp" "tests/CMakeFiles/vbr_tests.dir/test_track_video.cpp.o" "gcc" "tests/CMakeFiles/vbr_tests.dir/test_track_video.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/tools/CMakeFiles/vbr_cli.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vbr_tune.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vbr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vbr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vbr_abr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vbr_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vbr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vbr_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vbr_cli.dir/cli_args.cpp.o"
+  "CMakeFiles/vbr_cli.dir/cli_args.cpp.o.d"
+  "libvbr_cli.a"
+  "libvbr_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vbr_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vbrsim.dir/vbrsim.cpp.o"
+  "CMakeFiles/vbrsim.dir/vbrsim.cpp.o.d"
+  "vbrsim"
+  "vbrsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vbrsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
