@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ext_fault_sweep.cpp" "bench/CMakeFiles/bench_ext_fault_sweep.dir/bench_ext_fault_sweep.cpp.o" "gcc" "bench/CMakeFiles/bench_ext_fault_sweep.dir/bench_ext_fault_sweep.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vbr_tune.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vbr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vbr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vbr_abr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vbr_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vbr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vbr_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

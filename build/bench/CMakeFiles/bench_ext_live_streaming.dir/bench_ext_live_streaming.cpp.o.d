@@ -220,6 +220,7 @@ bench/CMakeFiles/bench_ext_live_streaming.dir/bench_ext_live_streaming.cpp.o: \
  /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/metrics/qoe.h \
  /root/repo/src/net/bandwidth_estimator.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/sim/session.h /root/repo/src/video/dataset.h \
- /root/repo/src/core/pia.h /root/repo/src/metrics/stats.h \
- /root/repo/src/sim/live_session.h
+ /root/repo/src/sim/session.h /root/repo/src/metrics/report.h \
+ /root/repo/src/net/fault_model.h /root/repo/src/sim/retry.h \
+ /root/repo/src/video/dataset.h /root/repo/src/core/pia.h \
+ /root/repo/src/metrics/stats.h /root/repo/src/sim/live_session.h

@@ -220,5 +220,6 @@ bench/CMakeFiles/bench_ext_rtt_and_tuning.dir/bench_ext_rtt_and_tuning.cpp.o: \
  /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/metrics/qoe.h \
  /root/repo/src/net/bandwidth_estimator.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/sim/session.h /root/repo/src/video/dataset.h \
- /root/repo/src/tune/autotune.h
+ /root/repo/src/sim/session.h /root/repo/src/metrics/report.h \
+ /root/repo/src/net/fault_model.h /root/repo/src/sim/retry.h \
+ /root/repo/src/video/dataset.h /root/repo/src/tune/autotune.h

@@ -222,5 +222,6 @@ bench/CMakeFiles/bench_fig10_ablation.dir/bench_fig10_ablation.cpp.o: \
  /usr/include/c++/12/bits/erase_if.h /root/repo/src/metrics/qoe.h \
  /root/repo/src/net/bandwidth_estimator.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/sim/session.h /root/repo/src/video/dataset.h \
- /root/repo/src/metrics/stats.h
+ /root/repo/src/sim/session.h /root/repo/src/metrics/report.h \
+ /root/repo/src/net/fault_model.h /root/repo/src/sim/retry.h \
+ /root/repo/src/video/dataset.h /root/repo/src/metrics/stats.h

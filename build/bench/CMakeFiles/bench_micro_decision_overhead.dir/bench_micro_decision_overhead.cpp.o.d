@@ -230,5 +230,7 @@ bench/CMakeFiles/bench_micro_decision_overhead.dir/bench_micro_decision_overhead
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/unordered_map.h /root/repo/src/metrics/qoe.h \
  /root/repo/src/net/bandwidth_estimator.h /root/repo/src/sim/session.h \
- /root/repo/src/video/dataset.h /root/repo/src/video/encoder.h \
- /root/repo/src/video/quality_model.h /root/repo/src/video/scene_model.h
+ /root/repo/src/metrics/report.h /root/repo/src/net/fault_model.h \
+ /root/repo/src/sim/retry.h /root/repo/src/video/dataset.h \
+ /root/repo/src/video/encoder.h /root/repo/src/video/quality_model.h \
+ /root/repo/src/video/scene_model.h

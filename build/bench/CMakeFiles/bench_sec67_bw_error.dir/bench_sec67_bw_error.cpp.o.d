@@ -220,9 +220,10 @@ bench/CMakeFiles/bench_sec67_bw_error.dir/bench_sec67_bw_error.cpp.o: \
  /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/metrics/qoe.h \
  /root/repo/src/net/bandwidth_estimator.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/sim/session.h /root/repo/src/video/dataset.h \
- /root/repo/src/net/error_model.h /usr/include/c++/12/random \
- /usr/include/c++/12/cmath /usr/include/math.h \
+ /root/repo/src/sim/session.h /root/repo/src/metrics/report.h \
+ /root/repo/src/net/fault_model.h /root/repo/src/sim/retry.h \
+ /root/repo/src/video/dataset.h /root/repo/src/net/error_model.h \
+ /usr/include/c++/12/random /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \

@@ -218,4 +218,6 @@ bench/CMakeFiles/bench_table1_youtube_videos.dir/bench_table1_youtube_videos.cpp
  /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/metrics/qoe.h \
  /root/repo/src/net/bandwidth_estimator.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/sim/session.h /root/repo/src/video/dataset.h
+ /root/repo/src/sim/session.h /root/repo/src/metrics/report.h \
+ /root/repo/src/net/fault_model.h /root/repo/src/sim/retry.h \
+ /root/repo/src/video/dataset.h

@@ -237,4 +237,6 @@ examples/CMakeFiles/manifest_roundtrip.dir/manifest_roundtrip.cpp.o: \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/net/trace_gen.h /root/repo/src/net/trace.h \
  /root/repo/src/sim/session.h /root/repo/src/metrics/qoe.h \
- /root/repo/src/video/dataset.h /root/repo/src/video/manifest.h
+ /root/repo/src/metrics/report.h /root/repo/src/net/fault_model.h \
+ /root/repo/src/sim/retry.h /root/repo/src/video/dataset.h \
+ /root/repo/src/video/manifest.h

@@ -222,4 +222,5 @@ examples/CMakeFiles/scheme_faceoff.dir/scheme_faceoff.cpp.o: \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/metrics/qoe.h \
  /root/repo/src/net/bandwidth_estimator.h /root/repo/src/sim/session.h \
- /root/repo/src/video/dataset.h
+ /root/repo/src/metrics/report.h /root/repo/src/net/fault_model.h \
+ /root/repo/src/sim/retry.h /root/repo/src/video/dataset.h

@@ -1,6 +1,6 @@
 src/CMakeFiles/vbr_metrics.dir/metrics/report.cpp.o: \
  /root/repo/src/metrics/report.cpp /usr/include/stdc-predef.h \
- /root/repo/src/metrics/report.h /usr/include/c++/12/iosfwd \
+ /root/repo/src/metrics/report.h /usr/include/c++/12/cstddef \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++config.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/os_defines.h \
  /usr/include/features.h /usr/include/features-time64.h \
@@ -12,13 +12,13 @@ src/CMakeFiles/vbr_metrics.dir/metrics/report.cpp.o: \
  /usr/include/x86_64-linux-gnu/gnu/stubs-64.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/cpu_defines.h \
  /usr/include/c++/12/pstl/pstl_config.h \
- /usr/include/c++/12/bits/stringfwd.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/stddef.h \
+ /usr/include/c++/12/iosfwd /usr/include/c++/12/bits/stringfwd.h \
  /usr/include/c++/12/bits/memoryfwd.h /usr/include/c++/12/bits/postypes.h \
  /usr/include/c++/12/cwchar /usr/include/wchar.h \
  /usr/include/x86_64-linux-gnu/bits/libc-header-start.h \
  /usr/include/x86_64-linux-gnu/bits/floatn.h \
  /usr/include/x86_64-linux-gnu/bits/floatn-common.h \
- /usr/lib/gcc/x86_64-linux-gnu/12/include/stddef.h \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/stdarg.h \
  /usr/include/x86_64-linux-gnu/bits/wchar.h \
  /usr/include/x86_64-linux-gnu/bits/types/wint_t.h \
@@ -51,7 +51,7 @@ src/CMakeFiles/vbr_metrics.dir/metrics/report.cpp.o: \
  /usr/include/c++/12/bits/stl_construct.h \
  /usr/include/c++/12/debug/debug.h \
  /usr/include/c++/12/bits/predefined_ops.h \
- /usr/include/c++/12/bits/range_access.h /usr/include/c++/12/cstddef \
+ /usr/include/c++/12/bits/range_access.h \
  /usr/include/c++/12/bits/ranges_base.h \
  /usr/include/c++/12/bits/max_size_type.h /usr/include/c++/12/numbers \
  /usr/include/c++/12/string /usr/include/c++/12/bits/char_traits.h \

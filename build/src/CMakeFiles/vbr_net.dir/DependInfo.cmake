@@ -10,6 +10,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/net/bandwidth_estimator.cpp" "src/CMakeFiles/vbr_net.dir/net/bandwidth_estimator.cpp.o" "gcc" "src/CMakeFiles/vbr_net.dir/net/bandwidth_estimator.cpp.o.d"
   "/root/repo/src/net/error_model.cpp" "src/CMakeFiles/vbr_net.dir/net/error_model.cpp.o" "gcc" "src/CMakeFiles/vbr_net.dir/net/error_model.cpp.o.d"
+  "/root/repo/src/net/fault_model.cpp" "src/CMakeFiles/vbr_net.dir/net/fault_model.cpp.o" "gcc" "src/CMakeFiles/vbr_net.dir/net/fault_model.cpp.o.d"
   "/root/repo/src/net/trace.cpp" "src/CMakeFiles/vbr_net.dir/net/trace.cpp.o" "gcc" "src/CMakeFiles/vbr_net.dir/net/trace.cpp.o.d"
   "/root/repo/src/net/trace_gen.cpp" "src/CMakeFiles/vbr_net.dir/net/trace_gen.cpp.o" "gcc" "src/CMakeFiles/vbr_net.dir/net/trace_gen.cpp.o.d"
   "/root/repo/src/net/trace_io.cpp" "src/CMakeFiles/vbr_net.dir/net/trace_io.cpp.o" "gcc" "src/CMakeFiles/vbr_net.dir/net/trace_io.cpp.o.d"

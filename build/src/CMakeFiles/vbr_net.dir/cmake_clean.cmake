@@ -3,6 +3,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/vbr_net.dir/net/bandwidth_estimator.cpp.o.d"
   "CMakeFiles/vbr_net.dir/net/error_model.cpp.o"
   "CMakeFiles/vbr_net.dir/net/error_model.cpp.o.d"
+  "CMakeFiles/vbr_net.dir/net/fault_model.cpp.o"
+  "CMakeFiles/vbr_net.dir/net/fault_model.cpp.o.d"
   "CMakeFiles/vbr_net.dir/net/trace.cpp.o"
   "CMakeFiles/vbr_net.dir/net/trace.cpp.o.d"
   "CMakeFiles/vbr_net.dir/net/trace_gen.cpp.o"

@@ -12,6 +12,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/sim/experiment.cpp" "src/CMakeFiles/vbr_sim.dir/sim/experiment.cpp.o" "gcc" "src/CMakeFiles/vbr_sim.dir/sim/experiment.cpp.o.d"
   "/root/repo/src/sim/live_session.cpp" "src/CMakeFiles/vbr_sim.dir/sim/live_session.cpp.o" "gcc" "src/CMakeFiles/vbr_sim.dir/sim/live_session.cpp.o.d"
   "/root/repo/src/sim/multi_client.cpp" "src/CMakeFiles/vbr_sim.dir/sim/multi_client.cpp.o" "gcc" "src/CMakeFiles/vbr_sim.dir/sim/multi_client.cpp.o.d"
+  "/root/repo/src/sim/retry.cpp" "src/CMakeFiles/vbr_sim.dir/sim/retry.cpp.o" "gcc" "src/CMakeFiles/vbr_sim.dir/sim/retry.cpp.o.d"
   "/root/repo/src/sim/session.cpp" "src/CMakeFiles/vbr_sim.dir/sim/session.cpp.o" "gcc" "src/CMakeFiles/vbr_sim.dir/sim/session.cpp.o.d"
   )
 

@@ -7,6 +7,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/vbr_sim.dir/sim/live_session.cpp.o.d"
   "CMakeFiles/vbr_sim.dir/sim/multi_client.cpp.o"
   "CMakeFiles/vbr_sim.dir/sim/multi_client.cpp.o.d"
+  "CMakeFiles/vbr_sim.dir/sim/retry.cpp.o"
+  "CMakeFiles/vbr_sim.dir/sim/retry.cpp.o.d"
   "CMakeFiles/vbr_sim.dir/sim/session.cpp.o"
   "CMakeFiles/vbr_sim.dir/sim/session.cpp.o.d"
   "libvbr_sim.a"

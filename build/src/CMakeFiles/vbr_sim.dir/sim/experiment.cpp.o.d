@@ -214,9 +214,11 @@ src/CMakeFiles/vbr_sim.dir/sim/experiment.cpp.o: \
  /root/repo/src/net/bandwidth_estimator.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/net/trace.h /root/repo/src/sim/session.h \
- /usr/include/c++/12/atomic /usr/include/c++/12/thread \
- /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
- /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /root/repo/src/metrics/report.h /root/repo/src/net/fault_model.h \
+ /root/repo/src/sim/retry.h /usr/include/c++/12/atomic \
+ /usr/include/c++/12/thread /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /usr/include/c++/12/limits /usr/include/c++/12/ctime \
  /usr/include/c++/12/bits/parse_numbers.h \

@@ -216,4 +216,6 @@ src/CMakeFiles/vbr_tune.dir/tune/autotune.cpp.o: \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/metrics/qoe.h /root/repo/src/metrics/stats.h \
- /root/repo/src/net/bandwidth_estimator.h /root/repo/src/sim/session.h
+ /root/repo/src/net/bandwidth_estimator.h /root/repo/src/sim/session.h \
+ /root/repo/src/metrics/report.h /root/repo/src/net/fault_model.h \
+ /root/repo/src/sim/retry.h

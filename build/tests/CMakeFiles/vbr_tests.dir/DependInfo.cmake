@@ -22,6 +22,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/test_error_model.cpp" "tests/CMakeFiles/vbr_tests.dir/test_error_model.cpp.o" "gcc" "tests/CMakeFiles/vbr_tests.dir/test_error_model.cpp.o.d"
   "/root/repo/tests/test_experiment.cpp" "tests/CMakeFiles/vbr_tests.dir/test_experiment.cpp.o" "gcc" "tests/CMakeFiles/vbr_tests.dir/test_experiment.cpp.o.d"
   "/root/repo/tests/test_extensions.cpp" "tests/CMakeFiles/vbr_tests.dir/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/vbr_tests.dir/test_extensions.cpp.o.d"
+  "/root/repo/tests/test_fault_injection.cpp" "tests/CMakeFiles/vbr_tests.dir/test_fault_injection.cpp.o" "gcc" "tests/CMakeFiles/vbr_tests.dir/test_fault_injection.cpp.o.d"
   "/root/repo/tests/test_inner_controller.cpp" "tests/CMakeFiles/vbr_tests.dir/test_inner_controller.cpp.o" "gcc" "tests/CMakeFiles/vbr_tests.dir/test_inner_controller.cpp.o.d"
   "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/vbr_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/vbr_tests.dir/test_integration.cpp.o.d"
   "/root/repo/tests/test_interactions.cpp" "tests/CMakeFiles/vbr_tests.dir/test_interactions.cpp.o" "gcc" "tests/CMakeFiles/vbr_tests.dir/test_interactions.cpp.o.d"

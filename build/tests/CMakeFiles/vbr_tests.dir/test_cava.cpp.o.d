@@ -302,5 +302,6 @@ tests/CMakeFiles/vbr_tests.dir/test_cava.cpp.o: \
  /root/repo/src/net/bandwidth_estimator.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/sim/session.h /root/repo/src/metrics/qoe.h \
- /root/repo/src/net/trace.h /root/repo/tests/test_util.h \
- /root/repo/src/video/dataset.h
+ /root/repo/src/metrics/report.h /root/repo/src/net/fault_model.h \
+ /root/repo/src/net/trace.h /root/repo/src/sim/retry.h \
+ /root/repo/tests/test_util.h /root/repo/src/video/dataset.h

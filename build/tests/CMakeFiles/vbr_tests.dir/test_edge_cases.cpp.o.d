@@ -304,6 +304,8 @@ tests/CMakeFiles/vbr_tests.dir/test_edge_cases.cpp.o: \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/net/trace_gen.h /root/repo/src/net/trace.h \
  /root/repo/src/sim/live_session.h /root/repo/src/sim/session.h \
- /root/repo/src/metrics/qoe.h /root/repo/tests/test_util.h \
- /root/repo/src/video/dataset.h /root/repo/src/video/encoder.h \
- /root/repo/src/video/quality_model.h /root/repo/src/video/scene_model.h
+ /root/repo/src/metrics/qoe.h /root/repo/src/metrics/report.h \
+ /root/repo/src/net/fault_model.h /root/repo/src/sim/retry.h \
+ /root/repo/tests/test_util.h /root/repo/src/video/dataset.h \
+ /root/repo/src/video/encoder.h /root/repo/src/video/quality_model.h \
+ /root/repo/src/video/scene_model.h

@@ -214,7 +214,9 @@ tests/CMakeFiles/vbr_tests.dir/test_experiment.cpp.o: \
  /root/repo/src/net/bandwidth_estimator.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/net/trace.h /root/repo/src/sim/session.h \
- /root/miniconda/include/gtest/gtest.h /usr/include/c++/12/limits \
+ /root/repo/src/metrics/report.h /root/repo/src/net/fault_model.h \
+ /root/repo/src/sim/retry.h /root/miniconda/include/gtest/gtest.h \
+ /usr/include/c++/12/limits \
  /root/miniconda/include/gtest/internal/gtest-internal.h \
  /root/miniconda/include/gtest/internal/gtest-port.h \
  /usr/include/c++/12/stdlib.h /usr/include/string.h \

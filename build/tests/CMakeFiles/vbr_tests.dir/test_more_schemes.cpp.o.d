@@ -301,8 +301,10 @@ tests/CMakeFiles/vbr_tests.dir/test_more_schemes.cpp.o: \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/net/trace_gen.h /root/repo/src/net/trace.h \
  /root/repo/src/sim/session.h /root/repo/src/metrics/qoe.h \
- /root/repo/tests/test_util.h /root/repo/src/tune/autotune.h \
- /root/repo/src/core/cava.h /root/repo/src/core/complexity_classifier.h \
- /root/repo/src/core/config.h /root/repo/src/core/inner_controller.h \
+ /root/repo/src/metrics/report.h /root/repo/src/net/fault_model.h \
+ /root/repo/src/sim/retry.h /root/repo/tests/test_util.h \
+ /root/repo/src/tune/autotune.h /root/repo/src/core/cava.h \
+ /root/repo/src/core/complexity_classifier.h /root/repo/src/core/config.h \
+ /root/repo/src/core/inner_controller.h \
  /root/repo/src/core/outer_controller.h \
  /root/repo/src/core/pid_controller.h /root/repo/src/video/dataset.h

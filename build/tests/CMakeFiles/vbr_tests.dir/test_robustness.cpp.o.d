@@ -305,5 +305,6 @@ tests/CMakeFiles/vbr_tests.dir/test_robustness.cpp.o: \
  /root/repo/src/core/outer_controller.h \
  /root/repo/src/core/pid_controller.h /root/repo/src/core/pia.h \
  /root/repo/src/net/bandwidth_estimator.h /root/repo/src/sim/session.h \
- /root/repo/src/metrics/qoe.h /root/repo/src/net/trace.h \
- /root/repo/tests/test_util.h
+ /root/repo/src/metrics/qoe.h /root/repo/src/metrics/report.h \
+ /root/repo/src/net/fault_model.h /root/repo/src/net/trace.h \
+ /root/repo/src/sim/retry.h /root/repo/tests/test_util.h

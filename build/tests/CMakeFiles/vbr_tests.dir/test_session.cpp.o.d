@@ -130,10 +130,10 @@ tests/CMakeFiles/vbr_tests.dir/test_session.cpp.o: \
  /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
  /root/repo/src/video/track.h /usr/include/c++/12/span \
  /usr/include/c++/12/array /root/repo/src/video/chunk.h \
- /root/repo/src/metrics/qoe.h /root/repo/src/net/bandwidth_estimator.h \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/memory \
- /usr/include/c++/12/bits/stl_tempbuf.h \
+ /root/repo/src/metrics/qoe.h /root/repo/src/metrics/report.h \
+ /root/repo/src/net/bandwidth_estimator.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/memory /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/uses_allocator.h \
@@ -203,8 +203,10 @@ tests/CMakeFiles/vbr_tests.dir/test_session.cpp.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/net/trace.h \
- /root/miniconda/include/gtest/gtest.h /usr/include/c++/12/limits \
+ /usr/include/c++/12/pstl/execution_defs.h \
+ /root/repo/src/net/fault_model.h /root/repo/src/net/trace.h \
+ /root/repo/src/sim/retry.h /root/miniconda/include/gtest/gtest.h \
+ /usr/include/c++/12/limits \
  /root/miniconda/include/gtest/internal/gtest-internal.h \
  /root/miniconda/include/gtest/internal/gtest-port.h \
  /usr/include/c++/12/stdlib.h /usr/include/string.h \

@@ -13,6 +13,12 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vbr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vbr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vbr_abr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vbr_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vbr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vbr_metrics.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

@@ -136,4 +136,7 @@ tools/CMakeFiles/vbr_cli.dir/cli_args.cpp.o: \
  /usr/include/c++/12/bits/stl_uninitialized.h \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /usr/include/c++/12/stdexcept
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/net/fault_model.h \
+ /usr/include/c++/12/cstddef /root/repo/src/sim/retry.h \
+ /root/repo/src/net/trace.h /usr/include/c++/12/span \
+ /usr/include/c++/12/array /usr/include/c++/12/stdexcept

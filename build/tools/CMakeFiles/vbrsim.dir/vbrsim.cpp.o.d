@@ -190,10 +190,12 @@ tools/CMakeFiles/vbrsim.dir/vbrsim.cpp.o: /root/repo/tools/vbrsim.cpp \
  /usr/include/c++/12/bits/stl_multiset.h /usr/include/c++/12/vector \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/bench/common.h \
- /usr/include/c++/12/span /usr/include/c++/12/array \
- /usr/include/c++/12/cstddef /root/repo/src/core/cava.h \
- /usr/include/c++/12/memory /usr/include/c++/12/bits/stl_tempbuf.h \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/net/fault_model.h \
+ /usr/include/c++/12/cstddef /root/repo/src/sim/retry.h \
+ /root/repo/src/net/trace.h /usr/include/c++/12/span \
+ /usr/include/c++/12/array /root/repo/bench/common.h \
+ /root/repo/src/core/cava.h /usr/include/c++/12/memory \
+ /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/shared_ptr_atomic.h \
  /usr/include/c++/12/bits/atomic_base.h \
@@ -230,8 +232,8 @@ tools/CMakeFiles/vbrsim.dir/vbrsim.cpp.o: /root/repo/tools/vbrsim.cpp \
  /root/repo/src/core/config.h /root/repo/src/core/inner_controller.h \
  /root/repo/src/core/outer_controller.h \
  /root/repo/src/core/pid_controller.h /root/repo/src/net/trace_gen.h \
- /root/repo/src/net/trace.h /root/repo/src/sim/experiment.h \
- /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /root/repo/src/sim/experiment.h /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/unordered_map.h \
@@ -241,5 +243,5 @@ tools/CMakeFiles/vbrsim.dir/vbrsim.cpp.o: /root/repo/tools/vbrsim.cpp \
  /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/metrics/qoe.h \
  /root/repo/src/net/bandwidth_estimator.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/sim/session.h /root/repo/src/video/dataset.h \
- /root/repo/src/metrics/report.h /root/repo/src/net/trace_io.h
+ /root/repo/src/sim/session.h /root/repo/src/metrics/report.h \
+ /root/repo/src/video/dataset.h /root/repo/src/net/trace_io.h

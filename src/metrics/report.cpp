@@ -38,10 +38,46 @@ void write_quality_samples_csv(std::ostream& os, const std::string& label,
   }
 }
 
+double FaultSummary::attempts_per_chunk() const {
+  return chunks == 0 ? 0.0
+                     : static_cast<double>(attempts) /
+                           static_cast<double>(chunks);
+}
+
+double FaultSummary::skipped_pct() const {
+  return chunks == 0 ? 0.0
+                     : 100.0 * static_cast<double>(skipped) /
+                           static_cast<double>(chunks);
+}
+
+void write_fault_csv(std::ostream& os, const std::string& label,
+                     std::span<const FaultSummary> per_trace,
+                     bool include_header) {
+  if (include_header) {
+    os << "label,trace_index,chunks,skipped,downgraded,attempts,"
+          "connect_failures,mid_drops,timeouts,backoff_wait_s,resumed_mb,"
+          "wasted_mb\n";
+  }
+  for (std::size_t i = 0; i < per_trace.size(); ++i) {
+    const FaultSummary& s = per_trace[i];
+    os << label << ',' << i << ',' << s.chunks << ',' << s.skipped << ','
+       << s.downgraded << ',' << s.attempts << ',' << s.connect_failures
+       << ',' << s.mid_drops << ',' << s.timeouts << ',' << s.backoff_wait_s
+       << ',' << s.resumed_mb << ',' << s.wasted_mb << '\n';
+  }
+}
+
 std::string qoe_csv_string(const std::string& label,
                            std::span<const QoeSummary> rows) {
   std::ostringstream oss;
   write_qoe_csv(oss, label, rows);
+  return oss.str();
+}
+
+std::string fault_csv_string(const std::string& label,
+                             std::span<const FaultSummary> rows) {
+  std::ostringstream oss;
+  write_fault_csv(oss, label, rows);
   return oss.str();
 }
 

@@ -1,7 +1,9 @@
-// CSV reporting for experiment outputs: per-trace QoE rows and pooled
-// per-chunk quality samples, consumable by any plotting pipeline.
+// CSV reporting for experiment outputs: per-trace QoE rows, pooled
+// per-chunk quality samples, and fault/retry aggregates, consumable by any
+// plotting pipeline.
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
 #include <span>
 #include <string>
@@ -9,6 +11,26 @@
 #include "metrics/qoe.h"
 
 namespace vbr::metrics {
+
+/// Per-session fault-injection and retry aggregates (filled by the sim
+/// layer from its chunk records; all-zero when faults are disabled).
+struct FaultSummary {
+  std::size_t chunks = 0;            ///< Chunk positions in the session.
+  std::size_t skipped = 0;           ///< Chunks that exhausted all attempts.
+  std::size_t downgraded = 0;        ///< Chunks downgraded to the bottom track.
+  std::size_t attempts = 0;          ///< Download attempts consumed in total.
+  std::size_t connect_failures = 0;  ///< Hard pre-first-byte failures.
+  std::size_t mid_drops = 0;         ///< Mid-transfer connection drops.
+  std::size_t timeouts = 0;          ///< Response timeouts.
+  double backoff_wait_s = 0.0;       ///< Total idle time between attempts.
+  double resumed_mb = 0.0;           ///< Megabytes salvaged via byte-range resume.
+  double wasted_mb = 0.0;            ///< Megabytes burned (drops + abandonment).
+
+  /// Mean attempts per chunk (1.0 when nothing ever failed).
+  [[nodiscard]] double attempts_per_chunk() const;
+  /// Percent (0-100) of chunk positions skipped.
+  [[nodiscard]] double skipped_pct() const;
+};
 
 /// Writes a CSV header + one row per session summary:
 /// label,trace_index,q4_mean,q4_median,q13_mean,all_mean,low_pct,
@@ -23,8 +45,19 @@ void write_quality_samples_csv(std::ostream& os, const std::string& label,
                                std::span<const QoeSummary> per_trace,
                                bool include_header = true);
 
+/// Writes a CSV header + one row per session's fault/retry aggregates:
+/// label,trace_index,chunks,skipped,downgraded,attempts,connect_failures,
+/// mid_drops,timeouts,backoff_wait_s,resumed_mb,wasted_mb
+void write_fault_csv(std::ostream& os, const std::string& label,
+                     std::span<const FaultSummary> per_trace,
+                     bool include_header = true);
+
 /// Serializes to a string (convenience for tests and small exports).
 [[nodiscard]] std::string qoe_csv_string(const std::string& label,
                                          std::span<const QoeSummary> rows);
+
+/// Serializes fault rows to a string.
+[[nodiscard]] std::string fault_csv_string(const std::string& label,
+                                           std::span<const FaultSummary> rows);
 
 }  // namespace vbr::metrics

@@ -1,0 +1,85 @@
+#include "net/fault_model.h"
+
+#include <stdexcept>
+
+namespace vbr::net {
+
+namespace {
+
+/// splitmix64 finalizer: a strong 64-bit mixer (Vigna), the standard choice
+/// for counter-based deterministic streams.
+std::uint64_t mix64(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Hashes (seed, stream, chunk, attempt, salt) into a uniform double in
+/// [0, 1).
+double keyed_u01(std::uint64_t seed, std::uint64_t stream, std::size_t chunk,
+                 std::size_t attempt, std::uint64_t salt) {
+  std::uint64_t h = mix64(seed ^ mix64(stream));
+  h = mix64(h ^ mix64(static_cast<std::uint64_t>(chunk)));
+  h = mix64(h ^ mix64(static_cast<std::uint64_t>(attempt) ^ salt));
+  // 53 mantissa bits -> [0, 1).
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+void FaultConfig::validate() const {
+  const auto bad_prob = [](double p) { return p < 0.0 || p > 1.0; };
+  if (bad_prob(connect_failure_prob) || bad_prob(mid_drop_prob) ||
+      bad_prob(timeout_prob)) {
+    throw std::invalid_argument(
+        "FaultConfig: probabilities must lie in [0, 1]");
+  }
+  if (connect_failure_prob + mid_drop_prob + timeout_prob > 1.0 + 1e-12) {
+    throw std::invalid_argument(
+        "FaultConfig: combined fault probability exceeds 1");
+  }
+  if (connect_fail_delay_s <= 0.0 || timeout_s <= 0.0) {
+    throw std::invalid_argument("FaultConfig: non-positive fault delay");
+  }
+}
+
+FaultModel::FaultModel(const FaultConfig& config, std::uint64_t stream)
+    : config_(config), stream_(stream), enabled_(config.any()) {
+  config_.validate();
+}
+
+FaultOutcome FaultModel::outcome(std::size_t chunk_index,
+                                 std::size_t attempt) const {
+  if (!enabled_) {
+    return {};
+  }
+  const double u = keyed_u01(config_.seed, stream_, chunk_index, attempt, 0x1);
+  FaultOutcome out;
+  if (u < config_.connect_failure_prob) {
+    out.kind = FaultKind::kConnectFail;
+  } else if (u < config_.connect_failure_prob + config_.mid_drop_prob) {
+    out.kind = FaultKind::kMidDrop;
+    // Keep the delivered fraction strictly inside (0, 1) so both the partial
+    // transfer and the remainder stay positive byte counts.
+    out.drop_fraction =
+        0.05 +
+        0.9 * keyed_u01(config_.seed, stream_, chunk_index, attempt, 0x2);
+  } else if (u < config_.connect_failure_prob + config_.mid_drop_prob +
+                     config_.timeout_prob) {
+    out.kind = FaultKind::kTimeout;
+  }
+  return out;
+}
+
+double FaultModel::jitter_multiplier(std::size_t chunk_index,
+                                     std::size_t attempt,
+                                     double jitter) const {
+  if (jitter <= 0.0) {
+    return 1.0;
+  }
+  const double u = keyed_u01(config_.seed, stream_, chunk_index, attempt, 0x3);
+  return 1.0 - jitter + 2.0 * jitter * u;
+}
+
+}  // namespace vbr::net

@@ -1,0 +1,91 @@
+// Network fault injection (deterministic, seeded).
+//
+// Real ABR sessions see more adversity than bandwidth variation: requests
+// fail before the first byte (DNS/TCP/TLS errors, 5xx), connections drop
+// mid-transfer, and servers stall without sending bytes until the client
+// times out. The fault model injects these per-request outcomes on top of
+// the trace replay so the session loop can exercise retry/backoff/resume
+// logic under reproducible conditions.
+//
+// Determinism: outcomes are a pure function of (seed, stream, chunk index,
+// attempt number) via counter-based hashing — no mutable RNG state — so the
+// same seed yields the same fault sequence regardless of call order, across
+// the sequential and event-driven (multi-client) session loops alike.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace vbr::net {
+
+/// What happened to one download attempt.
+enum class FaultKind : std::uint8_t {
+  kNone = 0,     ///< The attempt completes normally.
+  kConnectFail,  ///< Hard failure before the first byte arrives.
+  kMidDrop,      ///< Connection drop after a random fraction of the bytes.
+  kTimeout,      ///< Server sends no bytes; client gives up after a timeout.
+};
+
+/// Per-request fault probabilities and time costs. All probabilities 0
+/// (the default) disables injection entirely — the zero-fault path is a
+/// strict no-op on the simulator.
+struct FaultConfig {
+  double connect_failure_prob = 0.0;  ///< P(hard failure before first byte).
+  double mid_drop_prob = 0.0;         ///< P(drop mid-transfer).
+  double timeout_prob = 0.0;          ///< P(response stall / timeout).
+  /// Wall-clock time burned learning of a hard connection failure
+  /// (connect timeout, RST round-trip).
+  double connect_fail_delay_s = 1.0;
+  /// Server-stall duration charged when the retry policy sets no explicit
+  /// per-request timeout.
+  double timeout_s = 4.0;
+  std::uint64_t seed = 1;  ///< Deterministic fault stream seed.
+
+  /// True if any fault kind can fire.
+  [[nodiscard]] bool any() const {
+    return connect_failure_prob > 0.0 || mid_drop_prob > 0.0 ||
+           timeout_prob > 0.0;
+  }
+
+  /// Throws std::invalid_argument on probabilities outside [0, 1], a
+  /// combined probability above 1, or non-positive delays.
+  void validate() const;
+};
+
+/// Drawn outcome for one (chunk, attempt) request.
+struct FaultOutcome {
+  FaultKind kind = FaultKind::kNone;
+  /// kMidDrop only: fraction of the requested bytes delivered before the
+  /// drop, in (0, 1).
+  double drop_fraction = 0.0;
+};
+
+/// Stateless fault source. Copyable; a default-constructed model is
+/// disabled. `stream` decorrelates multiple clients sharing one config
+/// (multi-client runs salt it with the client index).
+class FaultModel {
+ public:
+  FaultModel() = default;
+  explicit FaultModel(const FaultConfig& config, std::uint64_t stream = 0);
+
+  [[nodiscard]] bool enabled() const { return enabled_; }
+  [[nodiscard]] const FaultConfig& config() const { return config_; }
+
+  /// Outcome of attempt `attempt` (0-based) at fetching chunk
+  /// `chunk_index`. Always kNone when disabled.
+  [[nodiscard]] FaultOutcome outcome(std::size_t chunk_index,
+                                     std::size_t attempt) const;
+
+  /// Deterministic backoff jitter multiplier in [1 - jitter, 1 + jitter],
+  /// drawn from the same keyed stream (jitter in [0, 1)).
+  [[nodiscard]] double jitter_multiplier(std::size_t chunk_index,
+                                         std::size_t attempt,
+                                         double jitter) const;
+
+ private:
+  FaultConfig config_{};
+  std::uint64_t stream_ = 0;
+  bool enabled_ = false;
+};
+
+}  // namespace vbr::net

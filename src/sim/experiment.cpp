@@ -92,6 +92,7 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
 
   ExperimentResult result;
   result.per_trace.resize(spec.traces.size());
+  result.per_trace_faults.resize(spec.traces.size());
   result.scheme_name = spec.make_scheme()->name();
 
   const unsigned threads =
@@ -115,11 +116,22 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
               make_estimator(spec.traces[i]);
           const SessionResult session = run_session(
               *spec.video, spec.traces[i], *scheme, *estimator, spec.session);
-          result.per_trace[i] =
-              metrics::compute_qoe(session.to_played_chunks(spec.metric,
-                                                            classes),
-                                   session.total_rebuffer_s,
-                                   session.startup_delay_s, qoe);
+          result.per_trace_faults[i] = session.fault_summary();
+          const std::vector<metrics::PlayedChunk> played =
+              session.to_played_chunks(spec.metric, classes);
+          if (played.empty()) {
+            // Every chunk was skipped (total outage + retry exhaustion):
+            // nothing watchable, but the session still has timing metrics.
+            metrics::QoeSummary s;
+            s.rebuffer_s = session.total_rebuffer_s;
+            s.startup_delay_s = session.startup_delay_s;
+            s.low_quality_pct = 100.0;
+            result.per_trace[i] = std::move(s);
+          } else {
+            result.per_trace[i] =
+                metrics::compute_qoe(played, session.total_rebuffer_s,
+                                     session.startup_delay_s, qoe);
+          }
         } catch (...) {
           failed.store(true);
           throw;  // surfaces via std::terminate: experiment bugs are fatal
@@ -142,6 +154,18 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
   result.mean_rebuffer_s = stats::mean(result.rebuffer_values());
   result.mean_quality_change = stats::mean(result.quality_change_values());
   result.mean_data_usage_mb = stats::mean(result.data_usage_values());
+  {
+    std::vector<double> attempts;
+    std::vector<double> skipped;
+    attempts.reserve(result.per_trace_faults.size());
+    skipped.reserve(result.per_trace_faults.size());
+    for (const metrics::FaultSummary& f : result.per_trace_faults) {
+      attempts.push_back(f.attempts_per_chunk());
+      skipped.push_back(f.skipped_pct());
+    }
+    result.mean_attempts_per_chunk = stats::mean(attempts);
+    result.mean_skipped_pct = stats::mean(skipped);
+  }
   return result;
 }
 

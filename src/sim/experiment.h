@@ -45,6 +45,9 @@ struct ExperimentSpec {
 struct ExperimentResult {
   std::string scheme_name;
   std::vector<metrics::QoeSummary> per_trace;  ///< Ordered like the traces.
+  /// Fault/retry aggregates, ordered like the traces (all-zero counters
+  /// when fault injection is off).
+  std::vector<metrics::FaultSummary> per_trace_faults;
 
   // Means across traces.
   double mean_q4_quality = 0.0;
@@ -54,6 +57,8 @@ struct ExperimentResult {
   double mean_rebuffer_s = 0.0;
   double mean_quality_change = 0.0;
   double mean_data_usage_mb = 0.0;
+  double mean_attempts_per_chunk = 0.0;  ///< 1.0 when nothing ever fails.
+  double mean_skipped_pct = 0.0;         ///< Percent of chunks skipped.
 
   /// Per-trace vectors of one metric, for CDFs.
   [[nodiscard]] std::vector<double> rebuffer_values() const;

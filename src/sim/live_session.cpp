@@ -35,6 +35,11 @@ LiveSessionResult run_live_session(const video::Video& video,
   if (config.encoder_delay_s < 0.0) {
     throw std::invalid_argument("run_live_session: negative encoder delay");
   }
+  config.fault.validate();
+  if (config.fault.any()) {
+    config.retry.validate();
+  }
+  const net::FaultModel fault_model(config.fault);
 
   scheme.reset();
   estimator.reset();
@@ -96,16 +101,105 @@ LiveSessionResult run_live_session(const video::Video& video,
     rec.track = decision.track;
     rec.download_start_s = t;
     rec.size_bits = video.chunk_size_bits(decision.track, i);
-    rec.download_s = trace.download_duration_s(t, rec.size_bits);
-    rec.stall_s = buffer.elapse(rec.download_s);
-    result.session.total_rebuffer_s += rec.stall_s;
-    t += rec.download_s;
-    buffer.add_chunk(chunk_s);
-    rec.buffer_after_s = buffer.level_s();
-    rec.quality = video.track(decision.track).chunk(i).quality;
+    double final_bits = rec.size_bits;
 
-    estimator.on_chunk_downloaded(rec.size_bits, rec.download_s, t);
-    scheme.on_chunk_downloaded(ctx, decision.track, rec.download_s);
+    if (!fault_model.enabled()) {
+      // Fault-free path: identical arithmetic to the pre-fault simulator.
+      rec.download_s = trace.download_duration_s(t, rec.size_bits);
+      rec.stall_s = buffer.elapse(rec.download_s);
+      result.session.total_rebuffer_s += rec.stall_s;
+      t += rec.download_s;
+    } else {
+      // Resilient fetch (same semantics as run_session; live has no RTT
+      // model and no abandonment rule).
+      double remaining_bits = rec.size_bits;
+      std::size_t failures = 0;
+      bool delivered = false;
+      while (true) {
+        const net::FaultOutcome outcome = fault_model.outcome(i, failures);
+        if (outcome.kind == net::FaultKind::kNone) {
+          const double dl = trace.download_duration_s(t, remaining_bits);
+          rec.download_s = dl;
+          const double stalled = buffer.elapse(dl);
+          rec.stall_s += stalled;
+          result.session.total_rebuffer_s += stalled;
+          t += dl;
+          final_bits = remaining_bits;
+          delivered = true;
+          break;
+        }
+        switch (outcome.kind) {
+          case net::FaultKind::kConnectFail:
+            ++rec.connect_failures;
+            break;
+          case net::FaultKind::kMidDrop:
+            ++rec.mid_drops;
+            break;
+          case net::FaultKind::kTimeout:
+            ++rec.timeouts;
+            break;
+          case net::FaultKind::kNone:
+            break;
+        }
+        const FailedAttempt fa = charge_failed_attempt(
+            trace, outcome, config.fault, config.retry, t, 0.0,
+            remaining_bits);
+        const double stalled = buffer.elapse(fa.elapsed_s);
+        rec.stall_s += stalled;
+        result.session.total_rebuffer_s += stalled;
+        t += fa.elapsed_s;
+        if (fa.delivered_bits > 0.0) {
+          if (config.retry.resume_partial) {
+            rec.resumed_bits += fa.delivered_bits;
+            remaining_bits =
+                std::max(remaining_bits - fa.delivered_bits, 1.0);
+          } else {
+            rec.wasted_bits += fa.delivered_bits;
+            result.session.total_bits += fa.delivered_bits;
+          }
+        }
+        ++failures;
+        if (failures >= config.retry.max_attempts) {
+          rec.skipped = true;
+          break;
+        }
+        if (config.retry.downgrade_on_failure && rec.track > 0 &&
+            failures >= config.retry.downgrade_after) {
+          rec.track = 0;
+          rec.downgraded = true;
+          rec.size_bits = video.chunk_size_bits(0, i);
+          if (rec.resumed_bits > 0.0) {
+            rec.wasted_bits += rec.resumed_bits;
+            result.session.total_bits += rec.resumed_bits;
+            rec.resumed_bits = 0.0;
+          }
+          remaining_bits = rec.size_bits;
+        }
+        const double backoff =
+            backoff_delay_s(config.retry, fault_model, i, failures - 1);
+        if (backoff > 0.0) {
+          rec.backoff_wait_s += backoff;
+          result.session.total_rebuffer_s += buffer.elapse(backoff);
+          t += backoff;
+        }
+      }
+      rec.attempts = failures + (delivered ? 1 : 0);
+      if (rec.skipped) {
+        rec.download_s = 0.0;
+        rec.size_bits = 0.0;
+      }
+    }
+
+    if (!rec.skipped) {
+      buffer.add_chunk(chunk_s);
+      rec.buffer_after_s = buffer.level_s();
+      rec.quality = video.track(rec.track).chunk(i).quality;
+
+      estimator.on_chunk_downloaded(final_bits, rec.download_s, t);
+      scheme.on_chunk_downloaded(ctx, rec.track, rec.download_s);
+    } else {
+      rec.buffer_after_s = buffer.level_s();
+    }
 
     if (!buffer.playing() &&
         (buffer.level_s() >= config.startup_latency_s ||
@@ -116,27 +210,41 @@ LiveSessionResult run_live_session(const video::Video& video,
 
     result.session.total_bits += rec.size_bits;
     result.session.chunks.push_back(rec);
-    prev_track = static_cast<int>(decision.track);
+    if (!rec.skipped) {
+      prev_track = static_cast<int>(rec.track);
+    }
   }
   result.session.end_time_s = t;
 
   // Latency accounting: chunk i starts playing at
   //   P(0) = playback start, P(i) = max(P(i-1) + chunk_s, F(i)),
   // where F(i) is its download-finish time; its live latency is P(i) minus
-  // its content timestamp i * chunk_s.
+  // its content timestamp i * chunk_s. A skipped chunk is jumped over: its
+  // content time passes without the playhead waiting on a download.
   double play = config.join_latency_s + result.session.startup_delay_s;
   double lat_sum = 0.0;
+  std::size_t delivered = 0;
+  bool first = true;
   for (std::size_t i = 0; i < result.session.chunks.size(); ++i) {
     const ChunkRecord& rec = result.session.chunks[i];
+    if (rec.skipped) {
+      if (!first) {
+        play += chunk_s;
+      }
+      continue;
+    }
     const double finish = rec.download_start_s + rec.download_s;
-    play = i == 0 ? std::max(play, finish)
-                  : std::max(play + chunk_s, finish);
+    play = first ? std::max(play, finish)
+                 : std::max(play + chunk_s, finish);
+    first = false;
     const double latency = play - static_cast<double>(i) * chunk_s;
     lat_sum += latency;
     result.max_latency_s = std::max(result.max_latency_s, latency);
+    ++delivered;
   }
-  result.mean_latency_s =
-      lat_sum / static_cast<double>(result.session.chunks.size());
+  if (delivered > 0) {
+    result.mean_latency_s = lat_sum / static_cast<double>(delivered);
+  }
   return result;
 }
 

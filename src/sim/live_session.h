@@ -28,6 +28,12 @@ struct LiveSessionConfig {
   double encoder_delay_s = 2.0;
   double startup_latency_s = 10.0;
   double max_buffer_s = 100.0;  ///< Player cap (latency budget binds first).
+
+  /// Network fault injection + resilience, same semantics as the VoD
+  /// session (all probabilities 0 = off, strict no-op). A skipped chunk is
+  /// jumped over: the playhead stays on the live timeline.
+  net::FaultConfig fault;
+  RetryPolicy retry;
 };
 
 struct LiveSessionResult {

@@ -31,12 +31,15 @@ std::vector<double> MultiClientResult::mean_qualities(
   out.reserve(sessions.size());
   for (const SessionResult& s : sessions) {
     double q = 0.0;
+    std::size_t played = 0;
     for (const ChunkRecord& c : s.chunks) {
+      if (c.skipped) {
+        continue;
+      }
       q += c.quality.get(metric);
+      ++played;
     }
-    out.push_back(s.chunks.empty()
-                      ? 0.0
-                      : q / static_cast<double>(s.chunks.size()));
+    out.push_back(played == 0 ? 0.0 : q / static_cast<double>(played));
   }
   return out;
 }
@@ -55,7 +58,8 @@ namespace {
 constexpr double kEps = 1e-7;
 
 enum class Phase {
-  kIdle,         ///< Waiting (join offset, scheme wait, or buffer room).
+  kIdle,         ///< Waiting (join offset, scheme wait, buffer room,
+                 ///< connect-fail delay, timeout, or retry backoff).
   kLatency,      ///< Request issued; RTT elapsing, no bytes yet.
   kDownloading,  ///< Receiving bytes (fair share of the bottleneck).
   kDone,
@@ -65,17 +69,28 @@ struct ClientState {
   ClientSpec spec;
   PlayoutBuffer buffer;
   SessionResult result;
+  net::FaultModel fault;         ///< Per-client deterministic fault stream.
   Phase phase = Phase::kIdle;
   double phase_until = 0.0;      ///< kIdle/kLatency: wake-up time.
-  double remaining_bits = 0.0;   ///< kDownloading.
+  double remaining_bits = 0.0;   ///< kDownloading: bits this attempt delivers.
   std::size_t next_chunk = 0;
   int prev_track = -1;
   bool room_checked = false;     ///< Room gate applied for the current chunk.
   ChunkRecord rec;               ///< In-flight chunk bookkeeping.
   abr::StreamContext last_ctx;   ///< Context used for the in-flight decide.
 
-  explicit ClientState(ClientSpec s, double max_buffer)
-      : spec(std::move(s)), buffer(max_buffer) {}
+  // Retry state for the in-flight chunk.
+  bool fetch_started = false;    ///< First attempt of this chunk was issued.
+  std::size_t failures = 0;      ///< Failed attempts so far.
+  double need_bits = 0.0;        ///< Bits still required to land the chunk.
+  double attempt_start_s = 0.0;  ///< Issue time of the current attempt.
+  double attempt_bits = 0.0;     ///< Bits the current attempt transfers.
+  bool attempt_failing = false;  ///< Current transfer ends in a mid-drop.
+  bool pending_failure = false;  ///< A no-byte failure's delay is elapsing.
+
+  explicit ClientState(ClientSpec s, double max_buffer,
+                       const net::FaultConfig& fc, std::uint64_t stream)
+      : spec(std::move(s)), buffer(max_buffer), fault(fc, stream) {}
 };
 
 }  // namespace
@@ -86,11 +101,7 @@ MultiClientResult run_multi_client(const net::Trace& trace,
   if (clients.empty()) {
     throw std::invalid_argument("run_multi_client: no clients");
   }
-  if (config.startup_latency_s <= 0.0 ||
-      config.startup_latency_s > config.max_buffer_s ||
-      config.request_rtt_s < 0.0) {
-    throw std::invalid_argument("run_multi_client: bad session config");
-  }
+  validate_session_config(config, "run_multi_client");
   if (config.enable_abandonment) {
     throw std::invalid_argument(
         "run_multi_client: abandonment is not modeled for shared "
@@ -99,27 +110,106 @@ MultiClientResult run_multi_client(const net::Trace& trace,
 
   std::vector<ClientState> state;
   state.reserve(clients.size());
-  for (ClientSpec& spec : clients) {
+  for (std::size_t ci = 0; ci < clients.size(); ++ci) {
+    ClientSpec& spec = clients[ci];
     if (spec.video == nullptr || !spec.scheme || !spec.estimator ||
         spec.start_offset_s < 0.0) {
       throw std::invalid_argument("run_multi_client: malformed client spec");
     }
     spec.scheme->reset();
     spec.estimator->reset();
-    ClientState cs(std::move(spec), config.max_buffer_s);
+    ClientState cs(std::move(spec), config.max_buffer_s, config.fault, ci);
     cs.phase_until = cs.spec.start_offset_s;
     state.push_back(std::move(cs));
   }
 
   double t = 0.0;
 
+  // Finishes the current chunk as skipped: recorded, never delivered.
+  auto skip_chunk = [&](ClientState& c) {
+    const video::Video& v = *c.spec.video;
+    c.rec.skipped = true;
+    c.rec.attempts = c.failures;
+    c.rec.download_s = 0.0;
+    c.rec.size_bits = 0.0;
+    c.rec.buffer_after_s = c.buffer.level_s();
+    if (!c.buffer.playing() &&
+        (c.buffer.level_s() >= config.startup_latency_s ||
+         c.rec.index + 1 == v.num_chunks())) {
+      c.buffer.start_playback();
+      c.result.startup_delay_s = t - c.spec.start_offset_s;
+    }
+    c.result.chunks.push_back(c.rec);
+    ++c.next_chunk;
+    c.room_checked = false;
+    c.fetch_started = false;
+    c.failures = 0;
+    if (c.next_chunk >= v.num_chunks()) {
+      c.phase = Phase::kDone;
+      c.result.end_time_s = t;
+    } else {
+      c.phase = Phase::kIdle;
+      c.phase_until = t;  // immediately eligible
+    }
+  };
+
+  // Books one failed attempt (bytes already accounted by the caller) and
+  // schedules the next step: skip, downgrade, and/or backoff.
+  auto handle_failure = [&](ClientState& c) {
+    const video::Video& v = *c.spec.video;
+    ++c.failures;
+    if (c.failures >= config.retry.max_attempts) {
+      skip_chunk(c);
+      return;
+    }
+    if (config.retry.downgrade_on_failure && c.rec.track > 0 &&
+        c.failures >= config.retry.downgrade_after) {
+      c.rec.track = 0;
+      c.rec.downgraded = true;
+      c.rec.size_bits = v.chunk_size_bits(0, c.rec.index);
+      if (c.rec.resumed_bits > 0.0) {
+        // Partial higher-track bytes are useless to the new URL.
+        c.rec.wasted_bits += c.rec.resumed_bits;
+        c.result.total_bits += c.rec.resumed_bits;
+        c.rec.resumed_bits = 0.0;
+      }
+      c.need_bits = c.rec.size_bits;
+    }
+    const double backoff = backoff_delay_s(config.retry, c.fault,
+                                           c.rec.index, c.failures - 1);
+    c.rec.backoff_wait_s += backoff;
+    c.phase = Phase::kIdle;
+    c.phase_until = t + backoff;
+  };
+
+  // A mid-drop transfer finished delivering its partial bytes and died.
+  auto fail_transfer = [&](ClientState& c) {
+    c.attempt_failing = false;
+    if (config.retry.resume_partial) {
+      c.rec.resumed_bits += c.attempt_bits;
+      c.need_bits = std::max(c.need_bits - c.attempt_bits, 1.0);
+    } else {
+      c.rec.wasted_bits += c.attempt_bits;
+      c.result.total_bits += c.attempt_bits;
+    }
+    handle_failure(c);
+  };
+
   // Issues the next action for a client whose idle period has elapsed:
-  // decide -> (scheme wait) -> (buffer-room wait) -> request in flight.
+  // decide -> (scheme wait) -> (buffer-room wait) -> request in flight,
+  // consulting the fault model per attempt.
   auto activate = [&](ClientState& c) {
     const video::Video& v = *c.spec.video;
     if (c.next_chunk >= v.num_chunks()) {
       c.phase = Phase::kDone;
       c.result.end_time_s = t;
+      return;
+    }
+    if (c.pending_failure) {
+      // A connect-failure or timeout just finished burning its wall-clock
+      // time; book it and let handle_failure schedule what follows.
+      c.pending_failure = false;
+      handle_failure(c);
       return;
     }
     if (!c.room_checked) {
@@ -165,11 +255,46 @@ MultiClientResult run_multi_client(const net::Trace& trace,
         return;
       }
     }
-    // Issue the request.
-    c.rec.download_start_s = t;
-    c.rec.size_bits = c.spec.video->chunk_size_bits(c.rec.track,
-                                                    c.rec.index);
-    c.remaining_bits = c.rec.size_bits;
+    // Issue one attempt of the current chunk.
+    if (!c.fetch_started) {
+      c.fetch_started = true;
+      c.rec.download_start_s = t;
+      c.rec.size_bits = c.spec.video->chunk_size_bits(c.rec.track,
+                                                      c.rec.index);
+      c.need_bits = c.rec.size_bits;
+      c.failures = 0;
+    }
+    c.attempt_start_s = t;
+    c.attempt_failing = false;
+    const net::FaultOutcome outcome =
+        c.fault.outcome(c.rec.index, c.failures);
+    if (outcome.kind == net::FaultKind::kConnectFail ||
+        outcome.kind == net::FaultKind::kTimeout) {
+      // No bytes will flow; the failure's wall-clock cost elapses first.
+      double delay = 0.0;
+      if (outcome.kind == net::FaultKind::kConnectFail) {
+        ++c.rec.connect_failures;
+        delay = config.fault.connect_fail_delay_s;
+      } else {
+        ++c.rec.timeouts;
+        delay = config.request_rtt_s +
+                (config.retry.request_timeout_s > 0.0
+                     ? config.retry.request_timeout_s
+                     : config.fault.timeout_s);
+      }
+      c.pending_failure = true;
+      c.phase = Phase::kIdle;
+      c.phase_until = t + delay;
+      return;
+    }
+    if (outcome.kind == net::FaultKind::kMidDrop) {
+      ++c.rec.mid_drops;
+      c.attempt_failing = true;
+      c.attempt_bits = outcome.drop_fraction * c.need_bits;
+    } else {
+      c.attempt_bits = c.need_bits;
+    }
+    c.remaining_bits = c.attempt_bits;
     if (config.request_rtt_s > 0.0) {
       c.phase = Phase::kLatency;
       c.phase_until = t + config.request_rtt_s;
@@ -180,11 +305,12 @@ MultiClientResult run_multi_client(const net::Trace& trace,
 
   auto complete_chunk = [&](ClientState& c) {
     const video::Video& v = *c.spec.video;
-    c.rec.download_s = t - c.rec.download_start_s;
+    c.rec.download_s = t - c.attempt_start_s;
+    c.rec.attempts = c.failures + 1;
     c.buffer.add_chunk(v.chunk_duration_s());
     c.rec.buffer_after_s = c.buffer.level_s();
     c.rec.quality = v.track(c.rec.track).chunk(c.rec.index).quality;
-    c.spec.estimator->on_chunk_downloaded(c.rec.size_bits, c.rec.download_s,
+    c.spec.estimator->on_chunk_downloaded(c.attempt_bits, c.rec.download_s,
                                           t);
     c.spec.scheme->on_chunk_downloaded(c.last_ctx, c.rec.track,
                                        c.rec.download_s);
@@ -199,6 +325,8 @@ MultiClientResult run_multi_client(const net::Trace& trace,
     c.prev_track = static_cast<int>(c.rec.track);
     ++c.next_chunk;
     c.room_checked = false;
+    c.fetch_started = false;
+    c.failures = 0;
     if (c.next_chunk >= v.num_chunks()) {
       c.phase = Phase::kDone;
       c.result.end_time_s = t;
@@ -270,10 +398,14 @@ MultiClientResult run_multi_client(const net::Trace& trace,
     }
     t += dt;
 
-    // Handle completions.
+    // Handle completions (a failing transfer completes into its drop).
     for (ClientState& c : state) {
       if (c.phase == Phase::kDownloading && c.remaining_bits <= 1e-3) {
-        complete_chunk(c);
+        if (c.attempt_failing) {
+          fail_transfer(c);
+        } else {
+          complete_chunk(c);
+        }
       }
     }
   }

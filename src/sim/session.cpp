@@ -1,5 +1,6 @@
 #include "sim/session.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "sim/buffer.h"
@@ -12,6 +13,9 @@ std::vector<metrics::PlayedChunk> SessionResult::to_played_chunks(
   std::vector<metrics::PlayedChunk> out;
   out.reserve(chunks.size());
   for (const ChunkRecord& r : chunks) {
+    if (r.skipped) {
+      continue;  // never delivered, never played
+    }
     metrics::PlayedChunk p;
     p.index = r.index;
     p.quality = r.quality.get(metric);
@@ -22,18 +26,54 @@ std::vector<metrics::PlayedChunk> SessionResult::to_played_chunks(
   return out;
 }
 
+metrics::FaultSummary SessionResult::fault_summary() const {
+  metrics::FaultSummary s;
+  s.chunks = chunks.size();
+  for (const ChunkRecord& r : chunks) {
+    s.skipped += r.skipped ? 1 : 0;
+    s.downgraded += r.downgraded ? 1 : 0;
+    s.attempts += r.attempts;
+    s.connect_failures += r.connect_failures;
+    s.mid_drops += r.mid_drops;
+    s.timeouts += r.timeouts;
+    s.backoff_wait_s += r.backoff_wait_s;
+    s.resumed_mb += r.resumed_bits / 8.0 / 1e6;
+    s.wasted_mb += r.wasted_bits / 8.0 / 1e6;
+  }
+  return s;
+}
+
+void validate_session_config(const SessionConfig& config,
+                             const char* caller) {
+  const std::string who(caller);
+  if (config.max_buffer_s <= 0.0) {
+    throw std::invalid_argument(who + ": non-positive max buffer");
+  }
+  if (config.startup_latency_s <= 0.0 ||
+      config.startup_latency_s > config.max_buffer_s) {
+    throw std::invalid_argument(
+        who + ": startup latency must be in (0, max_buffer]");
+  }
+  if (config.request_rtt_s < 0.0) {
+    throw std::invalid_argument(who + ": negative request RTT");
+  }
+  if (config.abandon_check_fraction <= 0.0 ||
+      config.abandon_check_fraction > 1.0) {
+    throw std::invalid_argument(
+        who + ": abandon check fraction must be in (0, 1]");
+  }
+  config.fault.validate();
+  if (config.fault.any()) {
+    config.retry.validate();
+  }
+}
+
 SessionResult run_session(const video::Video& video, const net::Trace& trace,
                           abr::AbrScheme& scheme,
                           net::BandwidthEstimator& estimator,
                           const SessionConfig& config) {
-  if (config.startup_latency_s <= 0.0 ||
-      config.startup_latency_s > config.max_buffer_s) {
-    throw std::invalid_argument(
-        "run_session: startup latency must be in (0, max_buffer]");
-  }
-  if (config.request_rtt_s < 0.0) {
-    throw std::invalid_argument("run_session: negative request RTT");
-  }
+  validate_session_config(config, "run_session");
+  const net::FaultModel fault_model(config.fault);
 
   scheme.reset();
   estimator.reset();
@@ -86,43 +126,165 @@ SessionResult run_session(const video::Video& video, const net::Trace& trace,
 
     rec.download_start_s = t;
     rec.size_bits = video.chunk_size_bits(decision.track, i);
-    rec.download_s =
-        config.request_rtt_s +
-        trace.download_duration_s(t + config.request_rtt_s, rec.size_bits);
+    double final_bits = rec.size_bits;  ///< Bits of the delivering attempt.
 
-    // Segment abandonment: part-way through a too-slow fetch of a non-bottom
-    // track, abort it and refetch the lowest track (dash.js
-    // AbandonRequestsRule behaviour).
-    if (config.enable_abandonment && decision.track > 0) {
-      const double check_at = config.abandon_check_fraction * rec.download_s;
-      const double remaining = rec.download_s - check_at;
-      if (remaining > buffer.level_s() + chunk_s) {
-        // Time + bytes burned on the aborted request.
-        rec.wasted_bits =
-            trace.average_bandwidth_bps(t, std::max(check_at, 1e-9)) *
-            check_at;
-        result.total_rebuffer_s += buffer.elapse(check_at);
-        t += check_at;
-        rec.abandoned_higher = true;
-        rec.track = 0;
-        rec.size_bits = video.chunk_size_bits(0, i);
-        rec.download_s =
-            config.request_rtt_s +
-            trace.download_duration_s(t + config.request_rtt_s,
-                                      rec.size_bits);
-        result.total_bits += rec.wasted_bits;
+    if (!fault_model.enabled()) {
+      // Fault-free path: identical arithmetic to the pre-fault simulator.
+      rec.download_s =
+          config.request_rtt_s +
+          trace.download_duration_s(t + config.request_rtt_s, rec.size_bits);
+
+      // Segment abandonment: part-way through a too-slow fetch of a
+      // non-bottom track, abort it and refetch the lowest track (dash.js
+      // AbandonRequestsRule behaviour).
+      if (config.enable_abandonment && decision.track > 0) {
+        const double check_at = config.abandon_check_fraction * rec.download_s;
+        const double remaining = rec.download_s - check_at;
+        if (remaining > buffer.level_s() + chunk_s) {
+          // Time + bytes burned on the aborted request.
+          rec.wasted_bits =
+              trace.average_bandwidth_bps(t, std::max(check_at, 1e-9)) *
+              check_at;
+          result.total_rebuffer_s += buffer.elapse(check_at);
+          t += check_at;
+          rec.abandoned_higher = true;
+          rec.track = 0;
+          rec.size_bits = video.chunk_size_bits(0, i);
+          rec.download_s =
+              config.request_rtt_s +
+              trace.download_duration_s(t + config.request_rtt_s,
+                                        rec.size_bits);
+          result.total_bits += rec.wasted_bits;
+          final_bits = rec.size_bits;
+        }
+      }
+
+      rec.stall_s = buffer.elapse(rec.download_s);
+      result.total_rebuffer_s += rec.stall_s;
+      t += rec.download_s;
+    } else {
+      // Resilient fetch: retry with backoff until the chunk lands, the
+      // track is downgraded, or the attempt budget is exhausted (skip).
+      double remaining_bits = rec.size_bits;
+      std::size_t failures = 0;
+      bool delivered = false;
+      while (true) {
+        const net::FaultOutcome outcome = fault_model.outcome(i, failures);
+        if (outcome.kind == net::FaultKind::kNone) {
+          double dl = config.request_rtt_s +
+                      trace.download_duration_s(t + config.request_rtt_s,
+                                                remaining_bits);
+          // Abandonment applies to clean full-chunk attempts only; resumed
+          // or downgraded fetches are already the recovery path.
+          if (config.enable_abandonment && rec.track > 0 &&
+              !rec.downgraded && remaining_bits == rec.size_bits) {
+            const double check_at = config.abandon_check_fraction * dl;
+            if (dl - check_at > buffer.level_s() + chunk_s) {
+              const double waste =
+                  trace.average_bandwidth_bps(t, std::max(check_at, 1e-9)) *
+                  check_at;
+              rec.wasted_bits += waste;
+              result.total_bits += waste;
+              result.total_rebuffer_s += buffer.elapse(check_at);
+              t += check_at;
+              rec.abandoned_higher = true;
+              rec.track = 0;
+              rec.size_bits = video.chunk_size_bits(0, i);
+              remaining_bits = rec.size_bits;
+              dl = config.request_rtt_s +
+                   trace.download_duration_s(t + config.request_rtt_s,
+                                             remaining_bits);
+            }
+          }
+          rec.download_s = dl;
+          const double stalled = buffer.elapse(dl);
+          rec.stall_s += stalled;
+          result.total_rebuffer_s += stalled;
+          t += dl;
+          final_bits = remaining_bits;
+          delivered = true;
+          break;
+        }
+
+        // Failed attempt: its time drains the buffer in real time; its
+        // bytes are wasted unless byte-range resume salvages them.
+        switch (outcome.kind) {
+          case net::FaultKind::kConnectFail:
+            ++rec.connect_failures;
+            break;
+          case net::FaultKind::kMidDrop:
+            ++rec.mid_drops;
+            break;
+          case net::FaultKind::kTimeout:
+            ++rec.timeouts;
+            break;
+          case net::FaultKind::kNone:
+            break;
+        }
+        const FailedAttempt fa = charge_failed_attempt(
+            trace, outcome, config.fault, config.retry, t,
+            config.request_rtt_s, remaining_bits);
+        const double stalled = buffer.elapse(fa.elapsed_s);
+        rec.stall_s += stalled;
+        result.total_rebuffer_s += stalled;
+        t += fa.elapsed_s;
+        if (fa.delivered_bits > 0.0) {
+          if (config.retry.resume_partial) {
+            rec.resumed_bits += fa.delivered_bits;
+            remaining_bits =
+                std::max(remaining_bits - fa.delivered_bits, 1.0);
+          } else {
+            rec.wasted_bits += fa.delivered_bits;
+            result.total_bits += fa.delivered_bits;
+          }
+        }
+
+        ++failures;
+        if (failures >= config.retry.max_attempts) {
+          rec.skipped = true;
+          break;
+        }
+        // Repeated failure of a higher track: fall back to the lowest
+        // track, discarding any partial higher-track bytes.
+        if (config.retry.downgrade_on_failure && rec.track > 0 &&
+            failures >= config.retry.downgrade_after) {
+          rec.track = 0;
+          rec.downgraded = true;
+          rec.size_bits = video.chunk_size_bits(0, i);
+          if (rec.resumed_bits > 0.0) {
+            rec.wasted_bits += rec.resumed_bits;
+            result.total_bits += rec.resumed_bits;
+            rec.resumed_bits = 0.0;
+          }
+          remaining_bits = rec.size_bits;
+        }
+        const double backoff =
+            backoff_delay_s(config.retry, fault_model, i, failures - 1);
+        if (backoff > 0.0) {
+          rec.backoff_wait_s += backoff;
+          result.total_rebuffer_s += buffer.elapse(backoff);
+          t += backoff;
+        }
+      }
+      rec.attempts = failures + (delivered ? 1 : 0);
+      if (rec.skipped) {
+        // Bytes already burned stay in wasted_bits; the chunk itself never
+        // arrives and contributes no playable content or data usage.
+        rec.download_s = 0.0;
+        rec.size_bits = 0.0;
       }
     }
 
-    rec.stall_s = buffer.elapse(rec.download_s);
-    result.total_rebuffer_s += rec.stall_s;
-    t += rec.download_s;
-    buffer.add_chunk(chunk_s);
-    rec.buffer_after_s = buffer.level_s();
-    rec.quality = video.track(rec.track).chunk(i).quality;
+    if (!rec.skipped) {
+      buffer.add_chunk(chunk_s);
+      rec.buffer_after_s = buffer.level_s();
+      rec.quality = video.track(rec.track).chunk(i).quality;
 
-    estimator.on_chunk_downloaded(rec.size_bits, rec.download_s, t);
-    scheme.on_chunk_downloaded(ctx, rec.track, rec.download_s);
+      estimator.on_chunk_downloaded(final_bits, rec.download_s, t);
+      scheme.on_chunk_downloaded(ctx, rec.track, rec.download_s);
+    } else {
+      rec.buffer_after_s = buffer.level_s();
+    }
 
     // Playback begins once the startup latency worth of video is buffered
     // (or the video has been fully downloaded first).
@@ -135,7 +297,9 @@ SessionResult run_session(const video::Video& video, const net::Trace& trace,
 
     result.total_bits += rec.size_bits;
     result.chunks.push_back(rec);
-    prev_track = static_cast<int>(rec.track);
+    if (!rec.skipped) {
+      prev_track = static_cast<int>(rec.track);
+    }
   }
   result.end_time_s = t;
   return result;

@@ -21,8 +21,11 @@
 
 #include "abr/scheme.h"
 #include "metrics/qoe.h"
+#include "metrics/report.h"
 #include "net/bandwidth_estimator.h"
+#include "net/fault_model.h"
 #include "net/trace.h"
+#include "sim/retry.h"
 #include "video/video.h"
 
 namespace vbr::sim {
@@ -46,6 +49,14 @@ struct SessionConfig {
   /// Fraction of the (estimated) download that must have elapsed before an
   /// abandonment decision is taken (dash.js samples progress similarly).
   double abandon_check_fraction = 0.25;
+
+  /// Network fault injection (all probabilities 0 = off; when off, the
+  /// session byte-for-byte reproduces the fault-free simulator and `retry`
+  /// is never consulted).
+  net::FaultConfig fault;
+  /// Resilience knobs applied when `fault` is enabled (see sim/retry.h for
+  /// the graceful-degradation semantics).
+  RetryPolicy retry;
 };
 
 /// Per-chunk record of what the session did.
@@ -61,7 +72,17 @@ struct ChunkRecord {
   video::ChunkQuality quality;   ///< Quality of the chunk as delivered.
   bool abandoned_higher = false; ///< True if a higher-track fetch was
                                  ///< aborted and replaced by this chunk.
-  double wasted_bits = 0.0;      ///< Bytes burned on the aborted fetch.
+  double wasted_bits = 0.0;      ///< Bits burned on aborted/dropped fetches.
+
+  // Fault-injection / retry outcome (defaults describe the fault-free path).
+  std::size_t attempts = 1;          ///< Download attempts consumed.
+  std::size_t connect_failures = 0;  ///< Hard failures before the first byte.
+  std::size_t mid_drops = 0;         ///< Mid-transfer connection drops.
+  std::size_t timeouts = 0;          ///< Response timeouts.
+  double backoff_wait_s = 0.0;       ///< Idle time spent backing off.
+  double resumed_bits = 0.0;         ///< Bits salvaged via byte-range resume.
+  bool downgraded = false;  ///< Dropped to the lowest track after failures.
+  bool skipped = false;     ///< All attempts exhausted; chunk never played.
 };
 
 /// Complete session outcome.
@@ -73,11 +94,21 @@ struct SessionResult {
   double end_time_s = 0.0;       ///< Wall-clock time of the last download.
 
   /// Converts to the QoE layer's view using the given quality metric and
-  /// per-position complexity classes.
+  /// per-position complexity classes. Skipped chunks were never played and
+  /// are excluded.
   [[nodiscard]] std::vector<metrics::PlayedChunk> to_played_chunks(
       video::QualityMetric metric,
       const std::vector<std::size_t>& chunk_classes) const;
+
+  /// Aggregates the per-chunk fault/retry outcomes (all-zero counters and
+  /// attempts == chunks on a fault-free run).
+  [[nodiscard]] metrics::FaultSummary fault_summary() const;
 };
+
+/// Validates the shared SessionConfig invariants (positive buffer/startup,
+/// non-negative RTT, abandon fraction in (0, 1], fault/retry configs);
+/// throws std::invalid_argument with messages prefixed by `caller`.
+void validate_session_config(const SessionConfig& config, const char* caller);
 
 /// Runs one full session. The scheme and estimator are reset() first, so
 /// instances can be reused across traces.

@@ -58,6 +58,26 @@ TEST(NoisyOracle, ResetReproducesSequence) {
   }
 }
 
+TEST(NoisyOracle, SameSeedGivesIdenticalSequenceAcrossInstances) {
+  const Trace t = flat_trace();
+  NoisyOracleEstimator a(t, 0.25, 42);
+  NoisyOracleEstimator b(t, 0.25, 42);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_DOUBLE_EQ(a.estimate_bps(1.0), b.estimate_bps(1.0));
+  }
+}
+
+TEST(NoisyOracle, DifferentSeedsGiveDifferentSequences) {
+  const Trace t = flat_trace();
+  NoisyOracleEstimator a(t, 0.25, 42);
+  NoisyOracleEstimator b(t, 0.25, 43);
+  int differ = 0;
+  for (int i = 0; i < 200; ++i) {
+    differ += a.estimate_bps(1.0) != b.estimate_bps(1.0);
+  }
+  EXPECT_GT(differ, 0);
+}
+
 TEST(NoisyOracle, InvalidErrThrows) {
   const Trace t = flat_trace();
   EXPECT_THROW(NoisyOracleEstimator(t, -0.1, 1), std::invalid_argument);

@@ -1,0 +1,532 @@
+// Fault-injection layer: FaultModel determinism, retry/backoff/downgrade/
+// resume semantics, graceful degradation (skips instead of aborts), and the
+// acceptance criteria of the robustness milestone — the zero-fault path is
+// a strict no-op, and identical seeds reproduce identical sessions.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "abr/scheme.h"
+#include "core/cava.h"
+#include "net/bandwidth_estimator.h"
+#include "net/fault_model.h"
+#include "sim/experiment.h"
+#include "sim/live_session.h"
+#include "sim/multi_client.h"
+#include "sim/session.h"
+#include "test_util.h"
+
+namespace {
+
+using namespace vbr;
+using testutil::default_flat_video;
+using testutil::flat_trace;
+
+sim::SessionConfig quick_config() {
+  sim::SessionConfig cfg;
+  cfg.startup_latency_s = 4.0;
+  cfg.max_buffer_s = 30.0;
+  return cfg;
+}
+
+net::FaultConfig all_kinds(double per_kind, std::uint64_t seed = 99) {
+  net::FaultConfig fc;
+  fc.connect_failure_prob = per_kind;
+  fc.mid_drop_prob = per_kind;
+  fc.timeout_prob = per_kind;
+  fc.seed = seed;
+  return fc;
+}
+
+// ---------------------------------------------------------------- FaultModel
+
+TEST(FaultModel, DisabledByDefault) {
+  const net::FaultModel m;
+  EXPECT_FALSE(m.enabled());
+  for (std::size_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(m.outcome(i, 0).kind, net::FaultKind::kNone);
+  }
+}
+
+TEST(FaultModel, ValidatesConfig) {
+  net::FaultConfig fc;
+  fc.connect_failure_prob = -0.1;
+  EXPECT_THROW(net::FaultModel{fc}, std::invalid_argument);
+  fc = net::FaultConfig{};
+  fc.mid_drop_prob = 1.5;
+  EXPECT_THROW(net::FaultModel{fc}, std::invalid_argument);
+  fc = net::FaultConfig{};
+  fc.connect_failure_prob = 0.6;
+  fc.timeout_prob = 0.6;
+  EXPECT_THROW(net::FaultModel{fc}, std::invalid_argument);
+  fc = all_kinds(0.1);
+  fc.timeout_s = 0.0;
+  EXPECT_THROW(net::FaultModel{fc}, std::invalid_argument);
+}
+
+TEST(FaultModel, DeterministicAndOrderIndependent) {
+  const net::FaultModel a(all_kinds(0.1, 7));
+  const net::FaultModel b(all_kinds(0.1, 7));
+  // Query b in reverse order: outcomes are keyed, not sequential.
+  for (std::size_t i = 0; i < 200; ++i) {
+    const std::size_t j = 199 - i;
+    const net::FaultOutcome oa = a.outcome(j, 1);
+    const net::FaultOutcome ob = b.outcome(j, 1);
+    EXPECT_EQ(oa.kind, ob.kind);
+    EXPECT_DOUBLE_EQ(oa.drop_fraction, ob.drop_fraction);
+  }
+}
+
+TEST(FaultModel, SeedAndStreamDecorrelate) {
+  const net::FaultModel a(all_kinds(0.2, 7));
+  const net::FaultModel b(all_kinds(0.2, 8));
+  const net::FaultModel c(all_kinds(0.2, 7), /*stream=*/1);
+  int differ_seed = 0;
+  int differ_stream = 0;
+  for (std::size_t i = 0; i < 500; ++i) {
+    differ_seed += a.outcome(i, 0).kind != b.outcome(i, 0).kind;
+    differ_stream += a.outcome(i, 0).kind != c.outcome(i, 0).kind;
+  }
+  EXPECT_GT(differ_seed, 0);
+  EXPECT_GT(differ_stream, 0);
+}
+
+TEST(FaultModel, RatesApproximatelyMatchConfig) {
+  const net::FaultModel m(all_kinds(0.1, 3));
+  int counts[3] = {0, 0, 0};
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    switch (m.outcome(static_cast<std::size_t>(i), 0).kind) {
+      case net::FaultKind::kConnectFail: ++counts[0]; break;
+      case net::FaultKind::kMidDrop: ++counts[1]; break;
+      case net::FaultKind::kTimeout: ++counts[2]; break;
+      case net::FaultKind::kNone: break;
+    }
+  }
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / n, 0.1, 0.01);
+  }
+}
+
+TEST(FaultModel, DropFractionStaysInsideOpenUnitInterval) {
+  net::FaultConfig fc;
+  fc.mid_drop_prob = 1.0;
+  const net::FaultModel m(fc);
+  for (std::size_t i = 0; i < 1000; ++i) {
+    const net::FaultOutcome o = m.outcome(i, 0);
+    ASSERT_EQ(o.kind, net::FaultKind::kMidDrop);
+    EXPECT_GT(o.drop_fraction, 0.0);
+    EXPECT_LT(o.drop_fraction, 1.0);
+  }
+}
+
+TEST(FaultModel, JitterMultiplierBoundedAndDeterministic) {
+  const net::FaultModel m(all_kinds(0.1, 5));
+  for (std::size_t i = 0; i < 100; ++i) {
+    const double j = m.jitter_multiplier(i, 0, 0.25);
+    EXPECT_GE(j, 0.75);
+    EXPECT_LE(j, 1.25);
+    EXPECT_DOUBLE_EQ(j, m.jitter_multiplier(i, 0, 0.25));
+  }
+  EXPECT_DOUBLE_EQ(m.jitter_multiplier(3, 0, 0.0), 1.0);
+}
+
+// ------------------------------------------------------- zero-fault no-op
+
+TEST(FaultInjection, ZeroFaultPathIsBitIdentical) {
+  const video::Video v = default_flat_video(40);
+  const net::Trace t = flat_trace(3e6);
+  auto cava = core::make_cava_p123();
+
+  net::HarmonicMeanEstimator e1(5);
+  const sim::SessionResult base =
+      sim::run_session(v, t, *cava, e1, quick_config());
+
+  // Same run with fault probabilities all 0 but every retry knob set to
+  // non-default values: the retry machinery must never engage.
+  sim::SessionConfig cfg = quick_config();
+  cfg.retry.max_attempts = 7;
+  cfg.retry.backoff_base_s = 3.0;
+  cfg.retry.resume_partial = true;
+  cfg.fault.seed = 12345;
+  net::HarmonicMeanEstimator e2(5);
+  const sim::SessionResult same = sim::run_session(v, t, *cava, e2, cfg);
+
+  ASSERT_EQ(base.chunks.size(), same.chunks.size());
+  EXPECT_EQ(base.total_rebuffer_s, same.total_rebuffer_s);
+  EXPECT_EQ(base.total_bits, same.total_bits);
+  EXPECT_EQ(base.startup_delay_s, same.startup_delay_s);
+  EXPECT_EQ(base.end_time_s, same.end_time_s);
+  for (std::size_t i = 0; i < base.chunks.size(); ++i) {
+    EXPECT_EQ(base.chunks[i].track, same.chunks[i].track);
+    EXPECT_EQ(base.chunks[i].download_s, same.chunks[i].download_s);
+    EXPECT_EQ(base.chunks[i].stall_s, same.chunks[i].stall_s);
+    EXPECT_EQ(base.chunks[i].buffer_after_s, same.chunks[i].buffer_after_s);
+    EXPECT_EQ(same.chunks[i].attempts, 1u);
+    EXPECT_FALSE(same.chunks[i].skipped);
+  }
+}
+
+// ---------------------------------------------------------- determinism
+
+TEST(FaultInjection, IdenticalSeedsReproduceIdenticalSessions) {
+  const video::Video v = default_flat_video(50);
+  const net::Trace t = flat_trace(2e6);
+  sim::SessionConfig cfg = quick_config();
+  cfg.fault = all_kinds(0.05, 2024);
+  cfg.retry.resume_partial = true;
+
+  auto run_once = [&] {
+    auto cava = core::make_cava_p123();
+    net::HarmonicMeanEstimator est(5);
+    return sim::run_session(v, t, *cava, est, cfg);
+  };
+  const sim::SessionResult a = run_once();
+  const sim::SessionResult b = run_once();
+
+  ASSERT_EQ(a.chunks.size(), b.chunks.size());
+  EXPECT_EQ(a.total_rebuffer_s, b.total_rebuffer_s);
+  EXPECT_EQ(a.total_bits, b.total_bits);
+  EXPECT_EQ(a.end_time_s, b.end_time_s);
+  for (std::size_t i = 0; i < a.chunks.size(); ++i) {
+    EXPECT_EQ(a.chunks[i].track, b.chunks[i].track);
+    EXPECT_EQ(a.chunks[i].attempts, b.chunks[i].attempts);
+    EXPECT_EQ(a.chunks[i].skipped, b.chunks[i].skipped);
+    EXPECT_EQ(a.chunks[i].download_s, b.chunks[i].download_s);
+    EXPECT_EQ(a.chunks[i].backoff_wait_s, b.chunks[i].backoff_wait_s);
+    EXPECT_EQ(a.chunks[i].wasted_bits, b.chunks[i].wasted_bits);
+    EXPECT_EQ(a.chunks[i].resumed_bits, b.chunks[i].resumed_bits);
+  }
+
+  // A different seed must produce a different fault pattern somewhere.
+  cfg.fault.seed = 2025;
+  const sim::SessionResult c = run_once();
+  bool any_diff = c.total_rebuffer_s != a.total_rebuffer_s ||
+                  c.total_bits != a.total_bits;
+  for (std::size_t i = 0; !any_diff && i < a.chunks.size(); ++i) {
+    any_diff = a.chunks[i].attempts != c.chunks[i].attempts;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+// ------------------------------------------------- degradation semantics
+
+TEST(FaultInjection, RetryExhaustionSkipsInsteadOfAborting) {
+  const video::Video v = default_flat_video(10);
+  const net::Trace t = flat_trace(5e6);
+  sim::SessionConfig cfg = quick_config();
+  cfg.fault.connect_failure_prob = 1.0;  // every attempt hard-fails
+  cfg.retry.max_attempts = 2;
+  abr::FixedTrackScheme scheme(2);
+  net::HarmonicMeanEstimator est(5);
+  const sim::SessionResult r = sim::run_session(v, t, scheme, est, cfg);
+
+  ASSERT_EQ(r.chunks.size(), 10u);
+  for (const sim::ChunkRecord& c : r.chunks) {
+    EXPECT_TRUE(c.skipped);
+    EXPECT_EQ(c.attempts, 2u);
+    EXPECT_EQ(c.connect_failures, 2u);
+    EXPECT_DOUBLE_EQ(c.size_bits, 0.0);
+    EXPECT_GT(c.backoff_wait_s, 0.0);
+  }
+  EXPECT_DOUBLE_EQ(r.total_bits, 0.0);
+  // Each chunk burns 2 connect delays (1 s each) plus one backoff.
+  EXPECT_GT(r.end_time_s, 10 * 2.0);
+  // Nothing was ever played, so nothing reaches the QoE layer.
+  EXPECT_TRUE(r.to_played_chunks(video::QualityMetric::kVmafPhone,
+                                 std::vector<std::size_t>(10, 0))
+                  .empty());
+}
+
+TEST(FaultInjection, TimeoutChargesPlayerTimeoutAndDrainsBuffer) {
+  const video::Video v = default_flat_video(6);
+  const net::Trace t = flat_trace(5e6);
+  sim::SessionConfig cfg = quick_config();
+  cfg.fault.timeout_prob = 1.0;
+  cfg.retry.max_attempts = 1;  // no retries, no backoff
+  cfg.retry.request_timeout_s = 2.5;
+  abr::FixedTrackScheme scheme(0);
+  net::HarmonicMeanEstimator est(5);
+  const sim::SessionResult r = sim::run_session(v, t, scheme, est, cfg);
+  for (const sim::ChunkRecord& c : r.chunks) {
+    EXPECT_TRUE(c.skipped);
+    EXPECT_EQ(c.timeouts, 1u);
+  }
+  // 6 chunks x 2.5 s timeout each, nothing else.
+  EXPECT_NEAR(r.end_time_s, 6 * 2.5, 1e-9);
+}
+
+TEST(FaultInjection, MidDropWastesBytesWithoutResume) {
+  const video::Video v = default_flat_video(8);
+  const net::Trace t = flat_trace(5e6);
+  sim::SessionConfig cfg = quick_config();
+  cfg.fault.mid_drop_prob = 0.5;
+  cfg.fault.seed = 11;
+  cfg.retry.max_attempts = 4;
+  cfg.retry.downgrade_on_failure = false;
+  abr::FixedTrackScheme scheme(2);
+  net::HarmonicMeanEstimator est(5);
+  const sim::SessionResult r = sim::run_session(v, t, scheme, est, cfg);
+
+  const metrics::FaultSummary fs = r.fault_summary();
+  ASSERT_GT(fs.mid_drops, 0u);
+  EXPECT_GT(fs.wasted_mb, 0.0);
+  EXPECT_DOUBLE_EQ(fs.resumed_mb, 0.0);
+  // Wasted bytes count toward data usage: total_bits exceeds the delivered
+  // chunk bytes alone.
+  double delivered = 0.0;
+  for (const sim::ChunkRecord& c : r.chunks) {
+    delivered += c.size_bits;
+  }
+  EXPECT_GT(r.total_bits, delivered);
+}
+
+TEST(FaultInjection, ResumeSalvagesPartialBytes) {
+  const video::Video v = default_flat_video(8);
+  const net::Trace t = flat_trace(5e6);
+  sim::SessionConfig cfg = quick_config();
+  cfg.fault.mid_drop_prob = 0.5;
+  cfg.fault.seed = 11;
+  cfg.retry.max_attempts = 4;
+  cfg.retry.downgrade_on_failure = false;
+  abr::FixedTrackScheme scheme(2);
+
+  net::HarmonicMeanEstimator e1(5);
+  const sim::SessionResult waste = sim::run_session(v, t, scheme, e1, cfg);
+  cfg.retry.resume_partial = true;
+  net::HarmonicMeanEstimator e2(5);
+  const sim::SessionResult resume = sim::run_session(v, t, scheme, e2, cfg);
+
+  EXPECT_GT(resume.fault_summary().resumed_mb, 0.0);
+  // Same fault pattern, but resumed bytes are not re-downloaded.
+  EXPECT_LT(resume.total_bits, waste.total_bits);
+}
+
+TEST(FaultInjection, RepeatedFailureDowngradesToLowestTrack) {
+  const video::Video v = default_flat_video(12);
+  const net::Trace t = flat_trace(5e6);
+  sim::SessionConfig cfg = quick_config();
+  cfg.fault.connect_failure_prob = 0.6;
+  cfg.fault.seed = 4;
+  cfg.retry.max_attempts = 6;
+  cfg.retry.downgrade_after = 2;
+  abr::FixedTrackScheme scheme(4);
+  net::HarmonicMeanEstimator est(5);
+  const sim::SessionResult r = sim::run_session(v, t, scheme, est, cfg);
+
+  bool any_downgraded = false;
+  for (const sim::ChunkRecord& c : r.chunks) {
+    if (c.downgraded) {
+      any_downgraded = true;
+      EXPECT_EQ(c.track, 0u);
+      EXPECT_GE(c.attempts, 3u);  // two failures before the downgrade
+    }
+  }
+  EXPECT_TRUE(any_downgraded);
+}
+
+TEST(FaultInjection, RetriesDrainBufferAndChargeRebuffering) {
+  const video::Video v = default_flat_video(30);
+  const net::Trace t = flat_trace(8e6);
+  abr::FixedTrackScheme scheme(1);
+
+  net::HarmonicMeanEstimator e1(5);
+  const sim::SessionResult clean =
+      sim::run_session(v, t, scheme, e1, quick_config());
+  EXPECT_DOUBLE_EQ(clean.total_rebuffer_s, 0.0);
+
+  sim::SessionConfig cfg = quick_config();
+  cfg.fault = all_kinds(0.15, 21);
+  net::HarmonicMeanEstimator e2(5);
+  const sim::SessionResult faulty = sim::run_session(v, t, scheme, e2, cfg);
+  // Fault time (connect delays, timeouts, backoff) shows up as wall-clock
+  // and, once the buffer runs dry, as rebuffering.
+  EXPECT_GT(faulty.end_time_s, clean.end_time_s);
+  EXPECT_GE(faulty.total_rebuffer_s, clean.total_rebuffer_s);
+}
+
+TEST(FaultInjection, FaultSummaryMatchesChunkRecords) {
+  const video::Video v = default_flat_video(25);
+  const net::Trace t = flat_trace(3e6);
+  sim::SessionConfig cfg = quick_config();
+  cfg.fault = all_kinds(0.1, 77);
+  auto cava = core::make_cava_p123();
+  net::HarmonicMeanEstimator est(5);
+  const sim::SessionResult r = sim::run_session(v, t, *cava, est, cfg);
+
+  const metrics::FaultSummary fs = r.fault_summary();
+  EXPECT_EQ(fs.chunks, 25u);
+  std::size_t attempts = 0;
+  std::size_t faults = 0;
+  for (const sim::ChunkRecord& c : r.chunks) {
+    attempts += c.attempts;
+    faults += c.connect_failures + c.mid_drops + c.timeouts;
+  }
+  EXPECT_EQ(fs.attempts, attempts);
+  EXPECT_EQ(fs.connect_failures + fs.mid_drops + fs.timeouts, faults);
+  EXPECT_GE(fs.attempts, fs.chunks - fs.skipped);
+  const std::string csv = metrics::fault_csv_string("CAVA", {&fs, 1});
+  EXPECT_NE(csv.find("label,trace_index,chunks,skipped"), std::string::npos);
+  EXPECT_NE(csv.find("CAVA,0,25,"), std::string::npos);
+}
+
+// ------------------------------------------------------- other harnesses
+
+TEST(FaultInjection, MultiClientSurvivesFaultsAndStaysDeterministic) {
+  const video::Video v = default_flat_video(20);
+  const net::Trace t = flat_trace(6e6);
+  sim::SessionConfig cfg;
+  cfg.startup_latency_s = 4.0;
+  cfg.fault = all_kinds(0.08, 5);
+
+  auto make_clients = [&] {
+    std::vector<sim::ClientSpec> clients;
+    for (int i = 0; i < 3; ++i) {
+      sim::ClientSpec spec;
+      spec.video = &v;
+      spec.scheme = std::make_unique<abr::FixedTrackScheme>(2);
+      spec.estimator = std::make_unique<net::HarmonicMeanEstimator>(5);
+      clients.push_back(std::move(spec));
+    }
+    return clients;
+  };
+  const sim::MultiClientResult a =
+      sim::run_multi_client(t, make_clients(), cfg);
+  const sim::MultiClientResult b =
+      sim::run_multi_client(t, make_clients(), cfg);
+
+  ASSERT_EQ(a.sessions.size(), 3u);
+  std::size_t total_faults = 0;
+  for (std::size_t ci = 0; ci < 3; ++ci) {
+    const sim::SessionResult& sa = a.sessions[ci];
+    ASSERT_EQ(sa.chunks.size(), 20u);
+    const metrics::FaultSummary fs = sa.fault_summary();
+    total_faults += fs.connect_failures + fs.mid_drops + fs.timeouts;
+    // Deterministic replay.
+    EXPECT_EQ(sa.total_bits, b.sessions[ci].total_bits);
+    EXPECT_EQ(sa.total_rebuffer_s, b.sessions[ci].total_rebuffer_s);
+    // Per-client fault streams differ: at least sessions complete with
+    // consistent accounting.
+    for (const sim::ChunkRecord& c : sa.chunks) {
+      if (!c.skipped) {
+        EXPECT_GT(c.size_bits, 0.0);
+      }
+    }
+  }
+  EXPECT_GT(total_faults, 0u);
+}
+
+TEST(FaultInjection, MultiClientZeroFaultMatchesSingleSession) {
+  const video::Video v = default_flat_video(15);
+  const net::Trace t = flat_trace(4e6);
+  sim::SessionConfig cfg;
+  cfg.startup_latency_s = 4.0;
+  cfg.retry.max_attempts = 9;  // must be ignored with faults off
+
+  std::vector<sim::ClientSpec> clients;
+  sim::ClientSpec spec;
+  spec.video = &v;
+  spec.scheme = std::make_unique<abr::FixedTrackScheme>(3);
+  spec.estimator = std::make_unique<net::HarmonicMeanEstimator>(5);
+  clients.push_back(std::move(spec));
+  const sim::MultiClientResult mc =
+      sim::run_multi_client(t, std::move(clients), cfg);
+
+  abr::FixedTrackScheme scheme(3);
+  net::HarmonicMeanEstimator est(5);
+  const sim::SessionResult single = sim::run_session(v, t, scheme, est, cfg);
+
+  ASSERT_EQ(mc.sessions[0].chunks.size(), single.chunks.size());
+  EXPECT_NEAR(mc.sessions[0].total_bits, single.total_bits, 1.0);
+  EXPECT_NEAR(mc.sessions[0].total_rebuffer_s, single.total_rebuffer_s,
+              1e-3);
+}
+
+TEST(FaultInjection, LiveSessionSurvivesFaults) {
+  const video::Video v = default_flat_video(40);
+  const net::Trace t = flat_trace(6e6);
+  sim::LiveSessionConfig cfg;
+  cfg.startup_latency_s = 4.0;
+  cfg.fault = all_kinds(0.1, 13);
+  cfg.retry.max_attempts = 2;
+  auto cava = core::make_cava_p123();
+  net::HarmonicMeanEstimator est(5);
+  const sim::LiveSessionResult r =
+      sim::run_live_session(v, t, *cava, est, cfg);
+
+  ASSERT_EQ(r.session.chunks.size(), 40u);
+  const metrics::FaultSummary fs = r.session.fault_summary();
+  EXPECT_GT(fs.connect_failures + fs.mid_drops + fs.timeouts, 0u);
+  EXPECT_GE(r.mean_latency_s, 0.0);
+  EXPECT_GE(r.max_latency_s, r.mean_latency_s - 1e-9);
+}
+
+// ------------------------------------------------------------- experiment
+
+TEST(FaultInjection, ExperimentAggregatesFaultStats) {
+  const video::Video v = default_flat_video(20);
+  const std::vector<net::Trace> traces = {flat_trace(3e6), flat_trace(5e6)};
+  sim::ExperimentSpec spec;
+  spec.video = &v;
+  spec.traces = traces;
+  spec.make_scheme = [] {
+    return std::make_unique<abr::FixedTrackScheme>(2);
+  };
+  spec.session.startup_latency_s = 4.0;
+  spec.session.fault = all_kinds(0.1, 31);
+  const sim::ExperimentResult r = sim::run_experiment(spec);
+
+  ASSERT_EQ(r.per_trace_faults.size(), 2u);
+  EXPECT_GT(r.mean_attempts_per_chunk, 1.0);
+  EXPECT_GE(r.mean_skipped_pct, 0.0);
+
+  // Fault injection off: attempts collapse to exactly one per chunk.
+  spec.session.fault = net::FaultConfig{};
+  const sim::ExperimentResult clean = sim::run_experiment(spec);
+  EXPECT_DOUBLE_EQ(clean.mean_attempts_per_chunk, 1.0);
+  EXPECT_DOUBLE_EQ(clean.mean_skipped_pct, 0.0);
+}
+
+TEST(FaultInjection, ExperimentSurvivesTotalSkip) {
+  const video::Video v = default_flat_video(10);
+  const std::vector<net::Trace> traces = {flat_trace(3e6)};
+  sim::ExperimentSpec spec;
+  spec.video = &v;
+  spec.traces = traces;
+  spec.make_scheme = [] {
+    return std::make_unique<abr::FixedTrackScheme>(0);
+  };
+  spec.session.startup_latency_s = 4.0;
+  spec.session.fault.connect_failure_prob = 1.0;
+  spec.session.retry.max_attempts = 2;
+  const sim::ExperimentResult r = sim::run_experiment(spec);
+  EXPECT_DOUBLE_EQ(r.mean_skipped_pct, 100.0);
+  EXPECT_DOUBLE_EQ(r.per_trace[0].low_quality_pct, 100.0);
+}
+
+// ------------------------------------------------------------ validation
+
+TEST(FaultInjection, RetryPolicyValidation) {
+  const video::Video v = default_flat_video(4);
+  const net::Trace t = flat_trace(5e6);
+  abr::FixedTrackScheme scheme(0);
+  net::HarmonicMeanEstimator est(5);
+  sim::SessionConfig cfg = quick_config();
+  cfg.fault.timeout_prob = 0.1;
+  cfg.retry.max_attempts = 0;
+  EXPECT_THROW((void)sim::run_session(v, t, scheme, est, cfg),
+               std::invalid_argument);
+  cfg.retry = sim::RetryPolicy{};
+  cfg.retry.backoff_jitter = 1.0;
+  EXPECT_THROW((void)sim::run_session(v, t, scheme, est, cfg),
+               std::invalid_argument);
+  cfg.retry = sim::RetryPolicy{};
+  cfg.retry.backoff_factor = 0.5;
+  EXPECT_THROW((void)sim::run_session(v, t, scheme, est, cfg),
+               std::invalid_argument);
+  // With faults disabled the same bad retry policy is never consulted.
+  cfg.fault = net::FaultConfig{};
+  EXPECT_NO_THROW((void)sim::run_session(v, t, scheme, est, cfg));
+}
+
+}  // namespace

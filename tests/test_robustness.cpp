@@ -121,6 +121,81 @@ INSTANTIATE_TEST_SUITE_P(
                                          Shape::kSubSecondChunks,
                                          Shape::kHugeChunks)));
 
+// Fault matrix: every scheme must survive each injected fault kind — and
+// the retry-exhaustion extreme where every attempt fails — while keeping
+// the session invariants (all chunk positions accounted for, buffer cap
+// respected, non-negative stalls, skips only after exhausting attempts).
+enum class FaultMix { kHardFail, kMidDrop, kTimeout, kExhaustion };
+
+net::FaultConfig make_fault(FaultMix mix) {
+  net::FaultConfig fc;
+  fc.seed = 0xF00D;
+  switch (mix) {
+    case FaultMix::kHardFail: fc.connect_failure_prob = 0.25; break;
+    case FaultMix::kMidDrop: fc.mid_drop_prob = 0.25; break;
+    case FaultMix::kTimeout: fc.timeout_prob = 0.25; break;
+    case FaultMix::kExhaustion: fc.connect_failure_prob = 1.0; break;
+  }
+  return fc;
+}
+
+class FaultMatrixTest
+    : public ::testing::TestWithParam<std::tuple<SchemeMaker, FaultMix>> {};
+
+TEST_P(FaultMatrixTest, SessionSurvivesInjectedFaults) {
+  const auto [maker, mix] = GetParam();
+  const video::Video v = testutil::default_flat_video(40);
+  const net::Trace t = testutil::flat_trace(4e6, 36000.0);
+  sim::SessionConfig cfg;
+  cfg.startup_latency_s = 4.0;
+  cfg.max_buffer_s = 60.0;
+  cfg.fault = make_fault(mix);
+  cfg.retry.max_attempts = mix == FaultMix::kExhaustion ? 2 : 3;
+
+  const auto scheme = maker();
+  net::HarmonicMeanEstimator est(5);
+  const sim::SessionResult r = sim::run_session(v, t, *scheme, est, cfg);
+
+  ASSERT_EQ(r.chunks.size(), v.num_chunks()) << scheme->name();
+  for (const auto& c : r.chunks) {
+    ASSERT_LT(c.track, v.num_tracks());
+    EXPECT_LE(c.buffer_after_s, cfg.max_buffer_s + 1e-9);
+    EXPECT_GE(c.stall_s, 0.0);
+    EXPECT_GE(c.attempts, 1u);
+    EXPECT_LE(c.attempts, cfg.retry.max_attempts);
+    if (c.skipped) {
+      EXPECT_EQ(c.attempts, cfg.retry.max_attempts);
+      EXPECT_DOUBLE_EQ(c.size_bits, 0.0);
+    } else {
+      EXPECT_GT(c.size_bits, 0.0);
+      EXPECT_GT(c.download_s, 0.0);
+    }
+  }
+  EXPECT_GE(r.total_rebuffer_s, 0.0);
+  if (mix == FaultMix::kExhaustion) {
+    // Every attempt hard-fails: every chunk is skipped, none plays, and the
+    // session still runs to completion instead of aborting.
+    for (const auto& c : r.chunks) {
+      EXPECT_TRUE(c.skipped);
+    }
+    EXPECT_DOUBLE_EQ(r.total_bits, 0.0);
+  } else {
+    const metrics::FaultSummary fs = r.fault_summary();
+    EXPECT_GT(fs.connect_failures + fs.mid_drops + fs.timeouts, 0u)
+        << scheme->name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemesAllFaults, FaultMatrixTest,
+    ::testing::Combine(::testing::Values(mk_cava, mk_pia, mk_mpc, mk_panda,
+                                         mk_bola, mk_bba, mk_bba0, mk_rba,
+                                         mk_festive, mk_dynamic),
+                       ::testing::Values(FaultMix::kHardFail,
+                                         FaultMix::kMidDrop,
+                                         FaultMix::kTimeout,
+                                         FaultMix::kExhaustion)));
+
 // Outage-heavy trace: long zero-bandwidth stretches must elapse, not hang.
 TEST(Robustness, ZeroBandwidthStretches) {
   const video::Video v = testutil::default_flat_video(10);

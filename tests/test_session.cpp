@@ -166,6 +166,47 @@ TEST(Session, InvalidStartupConfigThrows) {
                std::invalid_argument);
 }
 
+TEST(Session, ConfigValidationRejectsBadKnobs) {
+  const video::Video v = default_flat_video(4);
+  const net::Trace t = flat_trace(5e6);
+  abr::FixedTrackScheme scheme(0);
+  net::HarmonicMeanEstimator est(5);
+
+  sim::SessionConfig cfg = quick_config();
+  cfg.request_rtt_s = -0.01;
+  EXPECT_THROW((void)sim::run_session(v, t, scheme, est, cfg),
+               std::invalid_argument);
+
+  cfg = quick_config();
+  cfg.max_buffer_s = 0.0;
+  EXPECT_THROW((void)sim::run_session(v, t, scheme, est, cfg),
+               std::invalid_argument);
+  cfg.max_buffer_s = -5.0;
+  EXPECT_THROW((void)sim::run_session(v, t, scheme, est, cfg),
+               std::invalid_argument);
+
+  cfg = quick_config();
+  cfg.enable_abandonment = true;
+  cfg.abandon_check_fraction = 0.0;
+  EXPECT_THROW((void)sim::run_session(v, t, scheme, est, cfg),
+               std::invalid_argument);
+  cfg.abandon_check_fraction = 1.5;
+  EXPECT_THROW((void)sim::run_session(v, t, scheme, est, cfg),
+               std::invalid_argument);
+  cfg.abandon_check_fraction = 1.0;  // inclusive upper bound is legal
+  EXPECT_NO_THROW((void)sim::run_session(v, t, scheme, est, cfg));
+
+  // validate_session_config is also callable directly and tags the caller.
+  cfg = quick_config();
+  cfg.request_rtt_s = -1.0;
+  try {
+    sim::validate_session_config(cfg, "unit_test");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("unit_test"), std::string::npos);
+  }
+}
+
 namespace schemes {
 
 /// Scheme that asks for an out-of-range track (session must reject).

@@ -58,4 +58,35 @@ std::size_t CliArgs::get_size(const std::string& name,
   return static_cast<std::size_t>(v);
 }
 
+const std::set<std::string>& fault_flag_names() {
+  static const std::set<std::string> names = {
+      "fail-rate",   "fault-connect", "fault-drop", "fault-timeout",
+      "fault-seed",  "retry-max",     "retry-backoff", "retry-timeout",
+      "resume",      "no-downgrade"};
+  return names;
+}
+
+net::FaultConfig fault_config_from_args(const CliArgs& args) {
+  net::FaultConfig fc;
+  const double rate = args.get_double("fail-rate", 0.0);
+  fc.connect_failure_prob = args.get_double("fault-connect", rate / 3.0);
+  fc.mid_drop_prob = args.get_double("fault-drop", rate / 3.0);
+  fc.timeout_prob = args.get_double("fault-timeout", rate / 3.0);
+  fc.seed = args.get_size("fault-seed", fc.seed);
+  fc.validate();
+  return fc;
+}
+
+sim::RetryPolicy retry_policy_from_args(const CliArgs& args) {
+  sim::RetryPolicy rp;
+  rp.max_attempts = args.get_size("retry-max", rp.max_attempts);
+  rp.backoff_base_s = args.get_double("retry-backoff", rp.backoff_base_s);
+  rp.request_timeout_s =
+      args.get_double("retry-timeout", rp.request_timeout_s);
+  rp.resume_partial = args.has("resume");
+  rp.downgrade_on_failure = !args.has("no-downgrade");
+  rp.validate();
+  return rp;
+}
+
 }  // namespace vbr::tools

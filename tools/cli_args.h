@@ -1,5 +1,6 @@
 // Minimal command-line flag parser for the CLI tools: --key value and
-// --flag forms, with typed accessors and unknown-flag detection.
+// --flag forms, with typed accessors and unknown-flag detection — plus the
+// shared fault/retry flag group used by fault-injection sweeps.
 #pragma once
 
 #include <map>
@@ -7,6 +8,9 @@
 #include <set>
 #include <string>
 #include <vector>
+
+#include "net/fault_model.h"
+#include "sim/retry.h"
 
 namespace vbr::tools {
 
@@ -33,5 +37,26 @@ class CliArgs {
   std::map<std::string, std::string> values_;
   std::vector<std::string> positional_;
 };
+
+/// The fault/retry flag group, for merging into a tool's known-flag set:
+///   --fail-rate P        total per-request failure probability, split
+///                        evenly across the three fault kinds
+///   --fault-connect P    P(hard failure before the first byte)
+///   --fault-drop P       P(mid-transfer connection drop)
+///   --fault-timeout P    P(response timeout)
+///   --fault-seed N       deterministic fault stream seed
+///   --retry-max N        attempts per chunk before skipping
+///   --retry-backoff S    base backoff delay (exponential, jittered)
+///   --retry-timeout S    player-side no-progress timeout
+///   --resume             byte-range resume of partial downloads
+///   --no-downgrade       disable downgrade-to-lowest on repeated failure
+[[nodiscard]] const std::set<std::string>& fault_flag_names();
+
+/// Builds a FaultConfig from the fault flag group (defaults: disabled).
+/// --fail-rate is overridden per kind by the specific --fault-* flags.
+[[nodiscard]] net::FaultConfig fault_config_from_args(const CliArgs& args);
+
+/// Builds a RetryPolicy from the retry flag group (defaults: sim defaults).
+[[nodiscard]] sim::RetryPolicy retry_policy_from_args(const CliArgs& args);
 
 }  // namespace vbr::tools

@@ -24,7 +24,21 @@
 //   --rtt SECONDS      per-request RTT (0)
 //   --abandon          enable segment abandonment
 //   --csv FILE         append per-trace CSV rows to FILE
+//   --fault-csv FILE   append per-trace fault/retry CSV rows to FILE
 //   --list-schemes     print available scheme names and exit
+//
+// Fault-injection / retry flags (see tools/cli_args.h; all rates default 0
+// = faults off, in which case the replay is bit-identical to the
+// fault-free simulator):
+//   --fail-rate P      total per-request failure probability, split evenly
+//                      across connect-fail / mid-drop / timeout
+//   --fault-connect P  --fault-drop P  --fault-timeout P   per-kind rates
+//   --fault-seed N     deterministic fault stream seed (1)
+//   --retry-max N      attempts per chunk before skipping (3)
+//   --retry-backoff S  base exponential backoff (0.5)
+//   --retry-timeout S  player-side no-progress timeout (fault model's T)
+//   --resume           byte-range resume of partial downloads
+//   --no-downgrade     keep retrying the chosen track, never downgrade
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -72,10 +86,12 @@ video::Genre parse_genre(const std::string& g) {
 
 int main(int argc, char** argv) {
   try {
-    const std::set<std::string> known = {
+    std::set<std::string> known = {
         "scheme", "title",  "genre",  "codec",  "chunk",        "cap",
         "duration", "seed", "traces", "trace-dir", "count",     "metric",
-        "rtt",    "abandon", "csv",   "list-schemes", "help"};
+        "rtt",    "abandon", "csv",   "fault-csv", "list-schemes", "help"};
+    known.insert(tools::fault_flag_names().begin(),
+                 tools::fault_flag_names().end());
     const tools::CliArgs args(argc, argv, known);
 
     if (args.has("help")) {
@@ -129,13 +145,31 @@ int main(int argc, char** argv) {
         metric_name == "tv" ? video::QualityMetric::kVmafTv
                             : video::QualityMetric::kVmafPhone;
 
+    const net::FaultConfig fault = tools::fault_config_from_args(args);
+    const sim::RetryPolicy retry = tools::retry_policy_from_args(args);
+    const bool faults_on = fault.any();
+
     std::printf("video %s: %zu tracks, %zu chunks of %.1f s | %zu traces "
                 "(%s) | metric VMAF-%s\n",
                 v.name().c_str(), v.num_tracks(), v.num_chunks(),
                 v.chunk_duration_s(), traces.size(), kind.c_str(),
                 metric_name.c_str());
-    std::printf("%-18s %8s %8s %8s %9s %8s %8s\n", "scheme", "Q4qual",
-                "Q13qual", "low%", "rebuf(s)", "change", "MB");
+    if (faults_on) {
+      std::printf("faults: connect %.3f, drop %.3f, timeout %.3f (seed "
+                  "%llu) | retry max %zu, backoff %.2fs%s%s\n",
+                  fault.connect_failure_prob, fault.mid_drop_prob,
+                  fault.timeout_prob,
+                  static_cast<unsigned long long>(fault.seed),
+                  retry.max_attempts, retry.backoff_base_s,
+                  retry.resume_partial ? ", resume" : "",
+                  retry.downgrade_on_failure ? ", downgrade" : "");
+      std::printf("%-18s %8s %8s %8s %9s %8s %8s %8s %8s\n", "scheme",
+                  "Q4qual", "Q13qual", "low%", "rebuf(s)", "change", "MB",
+                  "skip%", "att/chk");
+    } else {
+      std::printf("%-18s %8s %8s %8s %9s %8s %8s\n", "scheme", "Q4qual",
+                  "Q13qual", "low%", "rebuf(s)", "change", "MB");
+    }
 
     std::ofstream csv;
     bool csv_header = true;
@@ -147,6 +181,16 @@ int main(int argc, char** argv) {
       }
       csv_header = csv.tellp() == 0;
     }
+    std::ofstream fault_csv;
+    bool fault_header = true;
+    if (args.has("fault-csv")) {
+      fault_csv.open(args.get("fault-csv", "faults.csv"), std::ios::app);
+      if (!fault_csv) {
+        std::fprintf(stderr, "cannot open fault CSV output\n");
+        return 1;
+      }
+      fault_header = fault_csv.tellp() == 0;
+    }
 
     for (const std::string& name :
          split_csv(args.get("scheme", "CAVA"))) {
@@ -157,14 +201,30 @@ int main(int argc, char** argv) {
       spec.metric = metric;
       spec.session.request_rtt_s = args.get_double("rtt", 0.0);
       spec.session.enable_abandonment = args.has("abandon");
+      spec.session.fault = fault;
+      spec.session.retry = retry;
       const sim::ExperimentResult r = sim::run_experiment(spec);
-      std::printf("%-18s %8.1f %8.1f %8.1f %9.2f %8.2f %8.1f\n",
-                  name.c_str(), r.mean_q4_quality, r.mean_q13_quality,
-                  r.mean_low_quality_pct, r.mean_rebuffer_s,
-                  r.mean_quality_change, r.mean_data_usage_mb);
+      if (faults_on) {
+        std::printf("%-18s %8.1f %8.1f %8.1f %9.2f %8.2f %8.1f %8.2f "
+                    "%8.2f\n",
+                    name.c_str(), r.mean_q4_quality, r.mean_q13_quality,
+                    r.mean_low_quality_pct, r.mean_rebuffer_s,
+                    r.mean_quality_change, r.mean_data_usage_mb,
+                    r.mean_skipped_pct, r.mean_attempts_per_chunk);
+      } else {
+        std::printf("%-18s %8.1f %8.1f %8.1f %9.2f %8.2f %8.1f\n",
+                    name.c_str(), r.mean_q4_quality, r.mean_q13_quality,
+                    r.mean_low_quality_pct, r.mean_rebuffer_s,
+                    r.mean_quality_change, r.mean_data_usage_mb);
+      }
       if (csv.is_open()) {
         metrics::write_qoe_csv(csv, name, r.per_trace, csv_header);
         csv_header = false;
+      }
+      if (fault_csv.is_open()) {
+        metrics::write_fault_csv(fault_csv, name, r.per_trace_faults,
+                                 fault_header);
+        fault_header = false;
       }
     }
     return 0;
