@@ -1,0 +1,142 @@
+// Extension — degraded chunk-size knowledge sweep: how much of each
+// scheme's QoE rests on the exact segment size table the paper's
+// LoadSegmentSize extension provides?
+//
+// Every size-aware scheme is run under a ladder of knowledge modes, from
+// the oracle table (today's behaviour, the reproduction baseline) down to
+// the declared-average-rate view a plain MPD gives, with noisy and holed
+// tables in between and an online-corrected variant on top. The network
+// always moves the true bytes — only the schemes' size beliefs degrade —
+// so any QoE delta is attributable to planning on wrong sizes, not to a
+// different channel.
+//
+// Expected shape: oracle == the fault-free baseline bit for bit; noise
+// perturbs decisions mildly and smoothly; the declared-rate view
+// systematically underestimates complex chunks (the paper's Section 4
+// argument), so schemes over-pick tracks on exactly the Q4 chunks and pay
+// for it in rebuffering; online correction claws back most of that
+// rebuffering penalty.
+//
+//   bench_ext_size_knowledge [num_traces]   (default 40)
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common.h"
+#include "video/size_provider.h"
+
+namespace {
+
+using namespace vbr;
+
+constexpr std::uint64_t kKnowledgeSeed = 0x51CE;
+
+struct Mode {
+  std::string label;
+  video::SizeKnowledgeConfig config;
+};
+
+std::vector<Mode> knowledge_modes() {
+  std::vector<Mode> modes;
+  {
+    Mode m{"oracle", {}};
+    modes.push_back(m);
+  }
+  {
+    Mode m{"noisy 25%", {}};
+    m.config.mode = video::SizeKnowledge::kNoisy;
+    m.config.noise_err = 0.25;
+    modes.push_back(m);
+  }
+  {
+    Mode m{"noisy 50%", {}};
+    m.config.mode = video::SizeKnowledge::kNoisy;
+    m.config.noise_err = 0.50;
+    modes.push_back(m);
+  }
+  {
+    Mode m{"partial 25%", {}};
+    m.config.mode = video::SizeKnowledge::kPartial;
+    m.config.miss_rate = 0.25;
+    modes.push_back(m);
+  }
+  {
+    Mode m{"declared", {}};
+    m.config.mode = video::SizeKnowledge::kDeclared;
+    modes.push_back(m);
+  }
+  {
+    Mode m{"declared+corr", {}};
+    m.config.mode = video::SizeKnowledge::kDeclared;
+    m.config.online_correction = true;
+    modes.push_back(m);
+  }
+  for (Mode& m : modes) {
+    m.config.seed = kKnowledgeSeed;
+  }
+  return modes;
+}
+
+sim::ExperimentResult run(const video::Video& v,
+                          std::span<const net::Trace> traces,
+                          const std::string& scheme,
+                          const video::SizeKnowledgeConfig& config) {
+  sim::ExperimentSpec spec;
+  spec.video = &v;
+  spec.traces = traces;
+  spec.make_scheme = bench::scheme_factory(scheme);
+  spec.make_size_provider = [&config] {
+    return video::make_size_provider(config);
+  };
+  return sim::run_experiment(spec);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t num_traces = argc > 1 ? std::stoul(argv[1]) : 40;
+  const video::Video ed = video::make_video(
+      "ED-ffmpeg-h264", video::Genre::kAnimation, video::Codec::kH264, 2.0,
+      2.0, bench::kCorpusSeed + 0x11, 600.0);
+  const auto traces = bench::lte_traces(num_traces);
+
+  const std::vector<std::string> schemes = {
+      "CAVA", "MPC", "RobustMPC", "BOLA-E (seg)", "BBA-1",
+      "PANDA/CQ max-min"};
+  const std::vector<Mode> modes = knowledge_modes();
+
+  bench::Table table({"scheme", "knowledge", "Q4 qual", "all qual",
+                      "low-qual %", "rebuf (s)", "change", "data (MB)"});
+  for (const std::string& s : schemes) {
+    double base_q4 = 0.0;
+    for (const Mode& m : modes) {
+      const sim::ExperimentResult r = run(ed, traces, s, m.config);
+      if (m.label == "oracle") {
+        base_q4 = r.mean_q4_quality;
+      }
+      table.add_row(
+          {s, m.label,
+           bench::fmt(r.mean_q4_quality, 1) +
+               (m.label == "oracle"
+                    ? ""
+                    : " (" + bench::pct_delta(r.mean_q4_quality, base_q4) +
+                          ")"),
+           bench::fmt(r.mean_all_quality, 1),
+           bench::fmt(r.mean_low_quality_pct, 1),
+           bench::fmt(r.mean_rebuffer_s, 2),
+           bench::fmt(r.mean_quality_change, 2),
+           bench::fmt(r.mean_data_usage_mb, 1)});
+    }
+  }
+  table.print("QoE vs chunk-size knowledge (" + std::to_string(num_traces) +
+              " LTE traces, knowledge seed 0x51CE, network unchanged)");
+
+  std::printf(
+      "\nShape check: 'oracle' reproduces the exact-table baseline bit for "
+      "bit (golden-tested). The plain-MPD 'declared' view underestimates "
+      "complex chunks, so schemes over-pick tracks on Q4 content and pay in "
+      "rebuffering; 'declared+corr' recovers most of that rebuffering "
+      "without touching the network.\n");
+  return 0;
+}

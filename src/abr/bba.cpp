@@ -33,10 +33,10 @@ Decision Bba::decide(const StreamContext& ctx) {
                       (cushion_top - config_.reservoir_s);
   const double allowed_size = size_min + frac * (size_max - size_min);
 
-  // Highest track whose *actual next chunk* fits in the allowed size.
+  // Highest track whose *believed next chunk* fits in the allowed size.
   std::size_t best = 0;
   for (std::size_t l = 0; l <= top; ++l) {
-    if (v.chunk_size_bits(l, ctx.next_chunk) <= allowed_size) {
+    if (ctx.chunk_size_bits(l, ctx.next_chunk) <= allowed_size) {
       best = l;
     }
   }

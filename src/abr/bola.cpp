@@ -15,8 +15,9 @@ Bola::Bola(BolaConfig config) : config_(config) {
   }
 }
 
-double Bola::declared_size(const video::Video& v, std::size_t l,
+double Bola::declared_size(const StreamContext& ctx, std::size_t l,
                            std::size_t chunk) const {
+  const video::Video& v = *ctx.video;
   const double chunk_s = v.chunk_duration_s();
   switch (config_.size_view) {
     case BolaSizeView::kPeak:
@@ -24,9 +25,9 @@ double Bola::declared_size(const video::Video& v, std::size_t l,
     case BolaSizeView::kAvg:
       return v.track(l).average_bitrate_bps() * chunk_s;
     case BolaSizeView::kSegment:
-      return v.chunk_size_bits(l, chunk);
+      return ctx.chunk_size_bits(l, chunk);
   }
-  return v.chunk_size_bits(l, chunk);
+  return ctx.chunk_size_bits(l, chunk);
 }
 
 Decision Bola::decide(const StreamContext& ctx) {
@@ -47,7 +48,7 @@ Decision Bola::decide(const StreamContext& ctx) {
 
   std::vector<double> size(num_tracks);
   for (std::size_t l = 0; l < num_tracks; ++l) {
-    size[l] = declared_size(v, l, ctx.next_chunk);
+    size[l] = declared_size(ctx, l, ctx.next_chunk);
   }
 
   // Derive gp and V so that: the lowest track's score crosses zero at the

@@ -54,8 +54,9 @@ class Bola final : public AbrScheme {
   [[nodiscard]] std::string name() const override;
 
  private:
-  /// Declared size (bits) of chunk `chunk` at track `l` under the size view.
-  [[nodiscard]] double declared_size(const video::Video& v, std::size_t l,
+  /// Declared size (bits) of chunk `chunk` at track `l` under the size view
+  /// (the kSegment view reads through the context's size knowledge).
+  [[nodiscard]] double declared_size(const StreamContext& ctx, std::size_t l,
                                      std::size_t chunk) const;
 
   BolaConfig config_;

@@ -13,6 +13,7 @@ namespace {
 /// partial QoE, and records the best first-step decision.
 struct HorizonSearch {
   const video::Video* video = nullptr;
+  const StreamContext* ctx = nullptr;  ///< Size-knowledge view of the chunks.
   std::size_t first_chunk = 0;
   std::size_t horizon = 0;
   std::size_t visible_limit = 0;  ///< Chunks beyond this are unannounced.
@@ -38,8 +39,7 @@ struct HorizonSearch {
       return;
     }
     for (std::size_t l = 0; l < video->num_tracks(); ++l) {
-      const double dl_s =
-          video->chunk_size_bits(l, chunk) / bandwidth_bps;
+      const double dl_s = ctx->chunk_size_bits(l, chunk) / bandwidth_bps;
       const double rebuffer = std::max(dl_s - buffer_s, 0.0);
       double buf = std::max(buffer_s - dl_s, 0.0) +
                    video->chunk_duration_s();
@@ -80,6 +80,7 @@ Decision Mpc::decide(const StreamContext& ctx) {
 
   HorizonSearch s;
   s.video = ctx.video;
+  s.ctx = &ctx;
   s.first_chunk = ctx.next_chunk;
   s.horizon = config_.horizon;
   s.visible_limit = ctx.lookahead_limit();
@@ -102,6 +103,8 @@ void Mpc::on_chunk_downloaded(const StreamContext& ctx, std::size_t track,
   if (!config_.robust || last_prediction_bps_ <= 0.0) {
     return;
   }
+  // The error history compares against *actual* delivered bytes — a real
+  // client counts what it received, regardless of manifest size knowledge.
   const double actual_bps =
       ctx.video->chunk_size_bits(track, ctx.next_chunk) / download_s;
   const double rel_err =

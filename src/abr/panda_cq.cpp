@@ -37,6 +37,7 @@ struct Candidate {
 
 struct WindowSearch {
   const video::Video* video = nullptr;
+  const StreamContext* ctx = nullptr;  ///< Size-knowledge view of the chunks.
   std::size_t window = 0;
   std::size_t visible_limit = 0;  ///< Chunks beyond this are unannounced.
   double bandwidth_bps = 0.0;
@@ -70,7 +71,7 @@ struct WindowSearch {
       return;
     }
     for (std::size_t l = 0; l < video->num_tracks(); ++l) {
-      const double size = video->chunk_size_bits(l, chunk);
+      const double size = ctx->chunk_size_bits(l, chunk);
       const double dl_s = size / bandwidth_bps;
       const double step_stall = std::max(dl_s - buffer_s, 0.0);
       double buf = std::max(buffer_s - dl_s, 0.0) +
@@ -103,6 +104,7 @@ Decision PandaCq::decide(const StreamContext& ctx) {
   }
   WindowSearch s;
   s.video = ctx.video;
+  s.ctx = &ctx;
   s.window = config_.window;
   s.visible_limit = ctx.lookahead_limit();
   s.bandwidth_bps = ctx.est_bandwidth_bps * config_.bandwidth_safety;

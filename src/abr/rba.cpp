@@ -19,7 +19,7 @@ Decision Rba::decide(const StreamContext& ctx) {
   std::size_t best = 0;
   for (std::size_t l = 0; l < v.num_tracks(); ++l) {
     const double download_s =
-        v.chunk_size_bits(l, ctx.next_chunk) / ctx.est_bandwidth_bps;
+        ctx.chunk_size_bits(l, ctx.next_chunk) / ctx.est_bandwidth_bps;
     // Buffer after the download (it drains while downloading) plus the chunk
     // just fetched must stay above the floor.
     const double buffer_after =

@@ -1,5 +1,6 @@
 #include "abr/scheme.h"
 
+#include <cmath>
 #include <stdexcept>
 
 namespace vbr::abr {
@@ -29,8 +30,16 @@ void validate_context(const StreamContext& ctx) {
   if (ctx.next_chunk >= ctx.video->num_chunks()) {
     throw std::invalid_argument("StreamContext: chunk index out of range");
   }
-  if (ctx.buffer_s < 0.0) {
-    throw std::invalid_argument("StreamContext: negative buffer");
+  if (!(ctx.buffer_s >= 0.0) || std::isinf(ctx.buffer_s)) {
+    throw std::invalid_argument(
+        "StreamContext: buffer must be finite and non-negative");
+  }
+  if (std::isnan(ctx.est_bandwidth_bps) || std::isinf(ctx.est_bandwidth_bps)) {
+    throw std::invalid_argument(
+        "StreamContext: non-finite bandwidth estimate");
+  }
+  if (!std::isfinite(ctx.now_s)) {
+    throw std::invalid_argument("StreamContext: non-finite clock");
   }
 }
 

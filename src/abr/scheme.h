@@ -12,6 +12,7 @@
 #include <cstddef>
 #include <string>
 
+#include "video/size_provider.h"
 #include "video/video.h"
 
 namespace vbr::abr {
@@ -19,6 +20,11 @@ namespace vbr::abr {
 /// Everything a scheme may consult when deciding the next chunk's track.
 struct StreamContext {
   const video::Video* video = nullptr;  ///< Manifest view (never null).
+  /// Chunk-size knowledge: what the client believes chunks cost. Null means
+  /// the exact manifest table (today's behaviour). Schemes must read sizes
+  /// through chunk_size_bits() below, never from the video directly, so
+  /// degraded-metadata experiments can swap the knowledge source.
+  const video::ChunkSizeProvider* sizes = nullptr;
   std::size_t next_chunk = 0;           ///< Index of the chunk to decide.
   double buffer_s = 0.0;                ///< Current playout buffer (seconds).
   double est_bandwidth_bps = 0.0;       ///< Application-level estimate.
@@ -37,6 +43,14 @@ struct StreamContext {
   [[nodiscard]] std::size_t lookahead_limit() const {
     const std::size_t total = video->num_chunks();
     return visible_chunks == 0 ? total : std::min(visible_chunks, total);
+  }
+
+  /// Believed size (bits) of chunk `i` of track `level`: the provider's
+  /// estimate when one is attached, the exact table otherwise.
+  [[nodiscard]] double chunk_size_bits(std::size_t level,
+                                       std::size_t i) const {
+    return sizes != nullptr ? sizes->size_bits(*video, level, i)
+                            : video->chunk_size_bits(level, i);
   }
 };
 
@@ -88,9 +102,11 @@ class FixedTrackScheme final : public AbrScheme {
 [[nodiscard]] std::size_t highest_track_below(const video::Video& v,
                                               double budget_bps);
 
-/// Validates that a context is well-formed (non-null video, chunk index in
-/// range). Throws std::invalid_argument otherwise. Schemes call this at the
-/// top of decide().
+/// Validates that a context is well-formed: non-null video, chunk index in
+/// range, and finite, non-negative buffer/clock plus a non-NaN, non-infinite
+/// bandwidth estimate (a NaN slips past every `<= 0` guard and would
+/// silently corrupt the decision arithmetic). Throws std::invalid_argument
+/// otherwise. Schemes call this at the top of decide().
 void validate_context(const StreamContext& ctx);
 
 }  // namespace vbr::abr

@@ -9,7 +9,8 @@ namespace vbr::core {
 Cava::Cava(CavaConfig config)
     : config_(config), pid_(config), inner_(config), outer_(config) {}
 
-void Cava::bind_video(const video::Video& video) {
+void Cava::bind_video(const abr::StreamContext& ctx) {
+  const video::Video& video = *ctx.video;
   if (bound_video_ == &video) {
     return;
   }
@@ -17,6 +18,18 @@ void Cava::bind_video(const video::Video& video) {
   if (config_.use_content_classifier) {
     const SiTiClassifier content(video, config_.num_complexity_classes);
     classifier_.emplace(content.classes(), content.num_classes());
+  } else if (ctx.sizes != nullptr) {
+    // Degraded metadata: classify from the sizes the client believes, not
+    // the ground truth it cannot see. Flat beliefs (declared average rates)
+    // put every chunk in the bottom class, turning differential treatment
+    // off instead of firing it at random.
+    const std::size_t ref = video.middle_track();
+    std::vector<double> believed(video.num_chunks());
+    for (std::size_t i = 0; i < believed.size(); ++i) {
+      believed[i] = ctx.sizes->size_bits(video, ref, i);
+    }
+    classifier_ = ComplexityClassifier::from_reference_sizes(
+        believed, ref, config_.num_complexity_classes);
   } else {
     classifier_.emplace(video, video.middle_track(),
                         config_.num_complexity_classes);
@@ -29,13 +42,14 @@ abr::Decision Cava::decide(const abr::StreamContext& ctx) {
   if (ctx.est_bandwidth_bps <= 0.0) {
     throw std::invalid_argument("Cava: non-positive bandwidth estimate");
   }
-  bind_video(*ctx.video);
+  bind_video(ctx);
 
   // Outer loop: proactive target buffer from the long-term future profile
   // (fenced at the live edge when streaming live).
   const double target =
       outer_.target_buffer_s(*ctx.video, ctx.video->middle_track(),
-                             ctx.next_chunk, ctx.lookahead_limit());
+                             ctx.next_chunk, ctx.lookahead_limit(),
+                             ctx.sizes);
 
   // PID feedback block against the dynamic target.
   const double u = pid_.update(ctx.buffer_s, target, ctx.now_s,
@@ -51,6 +65,7 @@ abr::Decision Cava::decide(const abr::StreamContext& ctx) {
   in.prev_track = ctx.prev_track;
   in.buffer_s = ctx.buffer_s;
   in.visible_chunks = ctx.lookahead_limit();
+  in.sizes = ctx.sizes;
   const std::size_t track = inner_.select_track(in);
 
   Diagnostics d;

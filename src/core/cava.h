@@ -55,7 +55,11 @@ class Cava final : public abr::AbrScheme {
 
  private:
   /// (Re)binds per-video state when a session starts or the video changes.
-  void bind_video(const video::Video& video);
+  /// The complexity classifier is built from the context's size knowledge:
+  /// exact manifest sizes normally, the provider's believed sizes under
+  /// degraded metadata (classified once at bind time — the paper's
+  /// classification is a per-video preprocessing step, not per-decision).
+  void bind_video(const abr::StreamContext& ctx);
 
   CavaConfig config_;
   PidController pid_;

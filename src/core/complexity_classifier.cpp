@@ -1,11 +1,40 @@
 #include "core/complexity_classifier.h"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 #include "metrics/stats.h"
 
 namespace vbr::core {
+
+namespace {
+
+/// Quantile-classifies `sizes` into `num_classes` classes (Q1..Qn).
+std::vector<std::size_t> classify_sizes(const std::vector<double>& sizes,
+                                        std::size_t num_classes) {
+  // Quantile thresholds at 1/num_classes steps of the size distribution.
+  std::vector<double> thresholds;
+  thresholds.reserve(num_classes - 1);
+  for (std::size_t k = 1; k < num_classes; ++k) {
+    thresholds.push_back(vbr::stats::percentile(
+        sizes,
+        100.0 * static_cast<double>(k) / static_cast<double>(num_classes)));
+  }
+
+  std::vector<std::size_t> classes;
+  classes.reserve(sizes.size());
+  for (const double s : sizes) {
+    std::size_t cls = 0;
+    while (cls < thresholds.size() && s > thresholds[cls]) {
+      ++cls;
+    }
+    classes.push_back(cls);
+  }
+  return classes;
+}
+
+}  // namespace
 
 ComplexityClassifier::ComplexityClassifier(const video::Video& video,
                                            std::size_t reference_track,
@@ -18,26 +47,29 @@ ComplexityClassifier::ComplexityClassifier(const video::Video& video,
     throw std::invalid_argument(
         "ComplexityClassifier: reference track out of range");
   }
-  const std::vector<double> sizes =
-      video.track(reference_track_).chunk_sizes_bits();
+  classes_ = classify_sizes(video.track(reference_track_).chunk_sizes_bits(),
+                            num_classes_);
+}
 
-  // Quantile thresholds at 1/num_classes steps of the size distribution.
-  std::vector<double> thresholds;
-  thresholds.reserve(num_classes_ - 1);
-  for (std::size_t k = 1; k < num_classes_; ++k) {
-    thresholds.push_back(vbr::stats::percentile(
-        sizes, 100.0 * static_cast<double>(k) /
-                   static_cast<double>(num_classes_)));
+ComplexityClassifier ComplexityClassifier::from_reference_sizes(
+    const std::vector<double>& reference_sizes_bits,
+    std::size_t reference_track, std::size_t num_classes) {
+  if (num_classes < 2) {
+    throw std::invalid_argument("ComplexityClassifier: need >= 2 classes");
   }
-
-  classes_.reserve(sizes.size());
-  for (const double s : sizes) {
-    std::size_t cls = 0;
-    while (cls < thresholds.size() && s > thresholds[cls]) {
-      ++cls;
+  if (reference_sizes_bits.empty()) {
+    throw std::invalid_argument("ComplexityClassifier: empty size sequence");
+  }
+  for (const double s : reference_sizes_bits) {
+    if (!std::isfinite(s) || s <= 0.0) {
+      throw std::invalid_argument(
+          "ComplexityClassifier: non-finite or non-positive size");
     }
-    classes_.push_back(cls);
   }
+  ComplexityClassifier c(classify_sizes(reference_sizes_bits, num_classes),
+                         num_classes);
+  c.reference_track_ = reference_track;
+  return c;
 }
 
 ComplexityClassifier::ComplexityClassifier(const video::Video& video)

@@ -31,6 +31,20 @@ class ComplexityClassifier {
   /// default).
   explicit ComplexityClassifier(const video::Video& video);
 
+  /// Classifies from an explicit per-chunk size sequence of a reference
+  /// track — the degraded-metadata path, where a client only has *believed*
+  /// sizes (see video::ChunkSizeProvider). A flat sequence (declared
+  /// average rates) degenerates gracefully: every chunk lands in the bottom
+  /// class, so "is it complex?" answers false and CAVA's differential
+  /// treatment disables itself rather than firing at random.
+  /// A named factory, not a constructor: a braced list of small integers
+  /// must keep resolving to the precomputed-classes constructor below.
+  /// Throws std::invalid_argument for num_classes < 2, an empty sequence,
+  /// or non-finite/non-positive sizes.
+  [[nodiscard]] static ComplexityClassifier from_reference_sizes(
+      const std::vector<double>& reference_sizes_bits,
+      std::size_t reference_track, std::size_t num_classes = 4);
+
   /// Wraps a precomputed class sequence (e.g. from a content-based SI/TI
   /// analysis) in the classifier interface, so CAVA can consume alternative
   /// complexity signals. Throws std::invalid_argument if any class is out

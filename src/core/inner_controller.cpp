@@ -13,10 +13,9 @@ InnerController::InnerController(const CavaConfig& config) : config_(config) {
   }
 }
 
-double InnerController::smoothed_bitrate_bps(const video::Video& video,
-                                             std::size_t level,
-                                             std::size_t chunk,
-                                             std::size_t visible_chunks) const {
+double InnerController::smoothed_bitrate_bps(
+    const video::Video& video, std::size_t level, std::size_t chunk,
+    std::size_t visible_chunks, const video::ChunkSizeProvider* sizes) const {
   const auto window_chunks = static_cast<std::size_t>(std::max(
       1.0, std::round(config_.inner_window_s / video.chunk_duration_s())));
   std::size_t end = std::min(chunk + window_chunks, video.num_chunks());
@@ -25,7 +24,8 @@ double InnerController::smoothed_bitrate_bps(const video::Video& video,
   double duration = 0.0;
   for (std::size_t i = chunk; i < end; ++i) {
     const video::Chunk& c = video.track(level).chunk(i);
-    bits += c.size_bits;
+    bits += sizes != nullptr ? sizes->size_bits(video, level, i)
+                             : c.size_bits;
     duration += c.duration_s;
   }
   return bits / duration;
@@ -34,8 +34,8 @@ double InnerController::smoothed_bitrate_bps(const video::Video& video,
 double InnerController::objective(const Inputs& in, std::size_t level,
                                   double alpha) const {
   const video::Video& v = *in.video;
-  const double rbar =
-      smoothed_bitrate_bps(v, level, in.next_chunk, in.visible_chunks);
+  const double rbar = smoothed_bitrate_bps(v, level, in.next_chunk,
+                                           in.visible_chunks, in.sizes);
 
   // First term: deviation of the required bandwidth from the assumed
   // bandwidth over the N-chunk horizon. Online, u and C are the current

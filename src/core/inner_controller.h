@@ -19,6 +19,7 @@
 
 #include "core/complexity_classifier.h"
 #include "core/config.h"
+#include "video/size_provider.h"
 #include "video/video.h"
 
 namespace vbr::core {
@@ -39,6 +40,8 @@ class InnerController {
     /// Look-ahead fence: chunks at index >= visible_chunks are not yet in
     /// the manifest (live streaming). Defaults to "all of the video".
     std::size_t visible_chunks = SIZE_MAX;
+    /// Chunk-size knowledge; null = the exact manifest table.
+    const video::ChunkSizeProvider* sizes = nullptr;
   };
 
   /// Chooses the track for Inputs::next_chunk.
@@ -46,10 +49,12 @@ class InnerController {
 
   /// Short-term statistical filter: average bitrate of chunks
   /// [chunk, chunk + W) of track `level`, truncated at the video end and at
-  /// the `visible_chunks` fence.
+  /// the `visible_chunks` fence. Sizes are read through `sizes` when given
+  /// (degraded-metadata operation), the exact table otherwise.
   [[nodiscard]] double smoothed_bitrate_bps(
       const video::Video& video, std::size_t level, std::size_t chunk,
-      std::size_t visible_chunks = SIZE_MAX) const;
+      std::size_t visible_chunks = SIZE_MAX,
+      const video::ChunkSizeProvider* sizes = nullptr) const;
 
   /// The objective Q(l) of Eq. (3) for one candidate track.
   [[nodiscard]] double objective(const Inputs& in, std::size_t level,

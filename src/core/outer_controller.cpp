@@ -13,10 +13,10 @@ OuterController::OuterController(const CavaConfig& config) : config_(config) {
   }
 }
 
-double OuterController::target_buffer_s(const video::Video& video,
-                                        std::size_t reference_track,
-                                        std::size_t next_chunk,
-                                        std::size_t visible_chunks) const {
+double OuterController::target_buffer_s(
+    const video::Video& video, std::size_t reference_track,
+    std::size_t next_chunk, std::size_t visible_chunks,
+    const video::ChunkSizeProvider* sizes) const {
   const double xr = config_.base_target_buffer_s;
   if (!config_.use_proactive_target) {
     return xr;
@@ -38,7 +38,9 @@ double OuterController::target_buffer_s(const video::Video& video,
   double future_bits = 0.0;
   double span_s = 0.0;
   for (std::size_t i = next_chunk; i < end; ++i) {
-    future_bits += ref.chunk(i).size_bits;
+    future_bits += sizes != nullptr
+                       ? sizes->size_bits(video, reference_track, i)
+                       : ref.chunk(i).size_bits;
     span_s += ref.chunk(i).duration_s;
   }
   const double avg_bits = ref.average_bitrate_bps() * span_s;

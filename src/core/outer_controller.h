@@ -14,6 +14,7 @@
 #include <cstddef>
 
 #include "core/config.h"
+#include "video/size_provider.h"
 #include "video/video.h"
 
 namespace vbr::core {
@@ -25,10 +26,13 @@ class OuterController {
   /// Target buffer level when about to fetch `next_chunk`.
   /// `reference_track` is the track whose sizes preview future demand
   /// (the paper uses a middle track). `visible_chunks` fences the preview
-  /// for live streaming (SIZE_MAX = whole video).
+  /// for live streaming (SIZE_MAX = whole video). The preview reads chunk
+  /// sizes through `sizes` when given (degraded-metadata operation), the
+  /// exact table otherwise.
   [[nodiscard]] double target_buffer_s(
       const video::Video& video, std::size_t reference_track,
-      std::size_t next_chunk, std::size_t visible_chunks = SIZE_MAX) const;
+      std::size_t next_chunk, std::size_t visible_chunks = SIZE_MAX,
+      const video::ChunkSizeProvider* sizes = nullptr) const;
 
   [[nodiscard]] double base_target_s() const {
     return config_.base_target_buffer_s;

@@ -81,6 +81,11 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
   if (spec.video == nullptr || spec.traces.empty() || !spec.make_scheme) {
     throw std::invalid_argument("run_experiment: malformed spec");
   }
+  if (spec.make_size_provider && spec.session.size_provider != nullptr) {
+    throw std::invalid_argument(
+        "run_experiment: set make_size_provider or session.size_provider, "
+        "not both");
+  }
   const EstimatorFactory make_estimator =
       spec.make_estimator ? spec.make_estimator : default_estimator_factory();
 
@@ -114,8 +119,17 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
           const std::unique_ptr<abr::AbrScheme> scheme = spec.make_scheme();
           const std::unique_ptr<net::BandwidthEstimator> estimator =
               make_estimator(spec.traces[i]);
-          const SessionResult session = run_session(
-              *spec.video, spec.traces[i], *scheme, *estimator, spec.session);
+          // Each worker owns its provider instance: learned correction
+          // state must not leak across concurrently-running sessions.
+          const std::unique_ptr<video::ChunkSizeProvider> sizes =
+              spec.make_size_provider ? spec.make_size_provider() : nullptr;
+          SessionConfig session_config = spec.session;
+          if (sizes) {
+            session_config.size_provider = sizes.get();
+          }
+          const SessionResult session =
+              run_session(*spec.video, spec.traces[i], *scheme, *estimator,
+                          session_config);
           result.per_trace_faults[i] = session.fault_summary();
           const std::vector<metrics::PlayedChunk> played =
               session.to_played_chunks(spec.metric, classes);

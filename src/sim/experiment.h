@@ -26,6 +26,12 @@ using SchemeFactory = std::function<std::unique_ptr<abr::AbrScheme>()>;
 using EstimatorFactory =
     std::function<std::unique_ptr<net::BandwidthEstimator>(const net::Trace&)>;
 
+/// Builds a fresh chunk-size provider per session. Providers carry learned
+/// per-session state (online correction), and sessions run in parallel
+/// across worker threads, so a shared instance is never safe here.
+using SizeProviderFactory =
+    std::function<std::unique_ptr<video::ChunkSizeProvider>()>;
+
 /// The paper's default: harmonic mean of the last 5 chunk throughputs.
 [[nodiscard]] EstimatorFactory default_estimator_factory();
 
@@ -34,6 +40,10 @@ struct ExperimentSpec {
   std::span<const net::Trace> traces;
   SchemeFactory make_scheme;
   EstimatorFactory make_estimator;  ///< Empty = default harmonic mean.
+  /// Empty = exact size knowledge. When set, session.size_provider must be
+  /// null (run_experiment throws otherwise): the factory exists precisely
+  /// because one provider instance cannot serve concurrent sessions.
+  SizeProviderFactory make_size_provider;
   SessionConfig session;
   video::QualityMetric metric = video::QualityMetric::kVmafPhone;
   metrics::QoeConfig qoe;

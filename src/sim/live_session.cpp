@@ -43,6 +43,9 @@ LiveSessionResult run_live_session(const video::Video& video,
 
   scheme.reset();
   estimator.reset();
+  if (config.size_provider != nullptr) {
+    config.size_provider->reset();
+  }
 
   PlayoutBuffer buffer(config.max_buffer_s);
   LiveSessionResult result;
@@ -86,6 +89,7 @@ LiveSessionResult run_live_session(const video::Video& video,
     ctx.startup_latency_s = config.startup_latency_s;
     ctx.in_startup = !buffer.playing();
     ctx.visible_chunks = std::min(visible, video.num_chunks());
+    ctx.sizes = config.size_provider;
 
     const abr::Decision decision = scheme.decide(ctx);
     if (decision.track >= video.num_tracks()) {
@@ -197,6 +201,10 @@ LiveSessionResult run_live_session(const video::Video& video,
 
       estimator.on_chunk_downloaded(final_bits, rec.download_s, t);
       scheme.on_chunk_downloaded(ctx, rec.track, rec.download_s);
+      if (config.size_provider != nullptr) {
+        config.size_provider->on_actual_size(
+            video, rec.track, i, video.chunk_size_bits(rec.track, i));
+      }
     } else {
       rec.buffer_after_s = buffer.level_s();
     }

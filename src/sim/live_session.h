@@ -34,6 +34,11 @@ struct LiveSessionConfig {
   /// jumped over: the playhead stays on the live timeline.
   net::FaultConfig fault;
   RetryPolicy retry;
+
+  /// Scheme-visible chunk-size knowledge (see SessionConfig::size_provider;
+  /// same null-means-exact semantics). Degraded metadata is *more* likely
+  /// live: segment size tables are only published as segments are encoded.
+  video::ChunkSizeProvider* size_provider = nullptr;
 };
 
 struct LiveSessionResult {

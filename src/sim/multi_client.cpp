@@ -107,6 +107,11 @@ MultiClientResult run_multi_client(const net::Trace& trace,
         "run_multi_client: abandonment is not modeled for shared "
         "bottlenecks");
   }
+  if (config.size_provider != nullptr) {
+    throw std::invalid_argument(
+        "run_multi_client: use ClientSpec::size_provider — a shared "
+        "provider would cross-contaminate per-client learned state");
+  }
 
   std::vector<ClientState> state;
   state.reserve(clients.size());
@@ -118,6 +123,9 @@ MultiClientResult run_multi_client(const net::Trace& trace,
     }
     spec.scheme->reset();
     spec.estimator->reset();
+    if (spec.size_provider) {
+      spec.size_provider->reset();
+    }
     ClientState cs(std::move(spec), config.max_buffer_s, config.fault, ci);
     cs.phase_until = cs.spec.start_offset_s;
     state.push_back(std::move(cs));
@@ -224,6 +232,7 @@ MultiClientResult run_multi_client(const net::Trace& trace,
       ctx.max_buffer_s = config.max_buffer_s;
       ctx.startup_latency_s = config.startup_latency_s;
       ctx.in_startup = !c.buffer.playing();
+      ctx.sizes = c.spec.size_provider.get();
       const abr::Decision d = c.spec.scheme->decide(ctx);
       if (d.track >= v.num_tracks()) {
         throw std::logic_error("run_multi_client: invalid track");
@@ -314,6 +323,11 @@ MultiClientResult run_multi_client(const net::Trace& trace,
                                           t);
     c.spec.scheme->on_chunk_downloaded(c.last_ctx, c.rec.track,
                                        c.rec.download_s);
+    if (c.spec.size_provider) {
+      c.spec.size_provider->on_actual_size(
+          v, c.rec.track, c.rec.index,
+          v.chunk_size_bits(c.rec.track, c.rec.index));
+    }
     if (!c.buffer.playing() &&
         (c.buffer.level_s() >= config.startup_latency_s ||
          c.rec.index + 1 == v.num_chunks())) {

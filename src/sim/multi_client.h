@@ -29,6 +29,11 @@ struct ClientSpec {
   std::unique_ptr<abr::AbrScheme> scheme;
   std::unique_ptr<net::BandwidthEstimator> estimator;
   double start_offset_s = 0.0;  ///< Join time relative to the run start.
+  /// Per-client size knowledge (null = exact manifest sizes). Owned by the
+  /// spec: correcting providers carry per-client learned state, and sharing
+  /// one across clients would cross-contaminate their beliefs — which is
+  /// why run_multi_client rejects SessionConfig::size_provider.
+  std::unique_ptr<video::ChunkSizeProvider> size_provider;
 };
 
 struct MultiClientResult {

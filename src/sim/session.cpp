@@ -77,6 +77,9 @@ SessionResult run_session(const video::Video& video, const net::Trace& trace,
 
   scheme.reset();
   estimator.reset();
+  if (config.size_provider != nullptr) {
+    config.size_provider->reset();
+  }
 
   PlayoutBuffer buffer(config.max_buffer_s);
   SessionResult result;
@@ -97,6 +100,7 @@ SessionResult run_session(const video::Video& video, const net::Trace& trace,
     ctx.max_buffer_s = config.max_buffer_s;
     ctx.startup_latency_s = config.startup_latency_s;
     ctx.in_startup = !buffer.playing();
+    ctx.sizes = config.size_provider;
 
     const abr::Decision decision = scheme.decide(ctx);
     if (decision.track >= video.num_tracks()) {
@@ -282,6 +286,12 @@ SessionResult run_session(const video::Video& video, const net::Trace& trace,
 
       estimator.on_chunk_downloaded(final_bits, rec.download_s, t);
       scheme.on_chunk_downloaded(ctx, rec.track, rec.download_s);
+      if (config.size_provider != nullptr) {
+        // The wire delivered the true size; correcting providers learn from
+        // it even when their estimate was wrong.
+        config.size_provider->on_actual_size(
+            video, rec.track, i, video.chunk_size_bits(rec.track, i));
+      }
     } else {
       rec.buffer_after_s = buffer.level_s();
     }

@@ -26,6 +26,7 @@
 #include "net/fault_model.h"
 #include "net/trace.h"
 #include "sim/retry.h"
+#include "video/size_provider.h"
 #include "video/video.h"
 
 namespace vbr::sim {
@@ -57,6 +58,13 @@ struct SessionConfig {
   /// Resilience knobs applied when `fault` is enabled (see sim/retry.h for
   /// the graceful-degradation semantics).
   RetryPolicy retry;
+
+  /// Chunk-size knowledge the *scheme* sees (degraded-metadata operation).
+  /// null = the scheme reads exact manifest sizes, today's behaviour. The
+  /// network always transfers the true chunk size — only the scheme's
+  /// beliefs degrade. Not owned; reset() at session start; fed every
+  /// delivered chunk's actual size so correcting providers can learn.
+  video::ChunkSizeProvider* size_provider = nullptr;
 };
 
 /// Per-chunk record of what the session did.

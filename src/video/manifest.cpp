@@ -1,9 +1,14 @@
 #include "video/manifest.h"
 
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
 #include <iomanip>
 #include <map>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
+#include <vector>
 
 namespace vbr::video {
 
@@ -11,7 +16,57 @@ namespace {
 
 constexpr const char* kMagic = "VBR-MPD/1";
 
-Genre genre_from_string(const std::string& s) {
+/// Counts above this are treated as corruption, not content: a garbage
+/// track/chunk count must not turn into a multi-gigabyte allocation.
+constexpr long long kMaxCount = 1'000'000;
+
+[[noreturn]] void fail(std::size_t line, const std::string& field,
+                       const std::string& message) {
+  throw std::runtime_error("manifest:" + std::to_string(line) + ": field '" +
+                           field + "': " + message);
+}
+
+/// Full-token numeric parses: trailing garbage ("12x4") is a parse failure,
+/// unlike istream extraction which would silently split the token. strtod
+/// accepts "nan"/"inf" spellings — they parse here and are rejected by the
+/// finiteness checks at the call sites, which is the point: a NaN must be a
+/// *diagnosed* value, not a token-level accident.
+std::optional<double> parse_double(const std::string& s) {
+  if (s.empty()) {
+    return std::nullopt;
+  }
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end != s.c_str() + s.size()) {
+    return std::nullopt;
+  }
+  return v;
+}
+
+std::optional<long long> parse_int(const std::string& s) {
+  if (s.empty()) {
+    return std::nullopt;
+  }
+  char* end = nullptr;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  if (end != s.c_str() + s.size()) {
+    return std::nullopt;
+  }
+  return v;
+}
+
+/// Structural keywords of the format. Lenient mode uses these to detect a
+/// truncated data row: a keyword where a number belongs means the row ended
+/// early, and the keyword must not be consumed as data.
+bool is_keyword(const std::string& s) {
+  return s == "name" || s == "genre" || s == "codec" ||
+         s == "chunk_duration" || s == "tracks" || s == "chunks" ||
+         s == "track" || s == "avg_bps" || s == "peak_bps" ||
+         s == "segment_sizes_bits" || s == "sidecar" || s == "quality" ||
+         s == "scene_info";
+}
+
+std::optional<Genre> genre_from_string(const std::string& s) {
   static const std::map<std::string, Genre> kMap = {
       {"animation", Genre::kAnimation}, {"scifi", Genre::kSciFi},
       {"sports", Genre::kSports},       {"animal", Genre::kAnimal},
@@ -19,33 +74,438 @@ Genre genre_from_string(const std::string& s) {
   };
   const auto it = kMap.find(s);
   if (it == kMap.end()) {
-    throw std::runtime_error("manifest: unknown genre '" + s + "'");
+    return std::nullopt;
   }
   return it->second;
 }
 
-Codec codec_from_string(const std::string& s) {
+std::optional<Codec> codec_from_string(const std::string& s) {
   if (s == "H.264") return Codec::kH264;
   if (s == "H.265") return Codec::kH265;
-  throw std::runtime_error("manifest: unknown codec '" + s + "'");
+  return std::nullopt;
 }
 
-std::string expect_keyword(std::istream& is, const std::string& keyword) {
-  std::string word;
-  if (!(is >> word) || word != keyword) {
-    throw std::runtime_error("manifest: expected '" + keyword + "', got '" +
-                             word + "'");
+struct Token {
+  std::string text;
+  std::size_t line = 1;
+};
+
+/// Whole-stream tokenizer that remembers which line each token came from,
+/// so every error and diagnostic can name its source line.
+class TokenStream {
+ public:
+  explicit TokenStream(std::istream& is) {
+    std::string line_text;
+    std::size_t line = 0;
+    while (std::getline(is, line_text)) {
+      ++line;
+      std::istringstream ls(line_text);
+      std::string word;
+      while (ls >> word) {
+        tokens_.push_back({std::move(word), line});
+      }
+    }
+    last_line_ = std::max<std::size_t>(line, 1);
   }
-  return word;
+
+  [[nodiscard]] bool done() const { return pos_ >= tokens_.size(); }
+
+  [[nodiscard]] const Token* peek() const {
+    return done() ? nullptr : &tokens_[pos_];
+  }
+
+  Token next(const std::string& field) {
+    if (done()) {
+      fail(last_line_, field, "unexpected end of manifest");
+    }
+    return tokens_[pos_++];
+  }
+
+  /// Line of the next unread token, or of the last line when exhausted.
+  [[nodiscard]] std::size_t current_line() const {
+    return done() ? last_line_ : tokens_[pos_].line;
+  }
+
+ private:
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  std::size_t last_line_ = 1;
+};
+
+class Parser {
+ public:
+  Parser(std::istream& is, const ManifestReadOptions& opts,
+         ManifestReadReport* report)
+      : ts_(is), lenient_(opts.lenient), report_(report) {}
+
+  Video parse();
+
+ private:
+  struct RawTrack {
+    int level = 0;
+    Resolution res;
+    std::optional<double> declared_avg_bps;
+    std::vector<Chunk> chunks;
+  };
+
+  void diag(std::size_t line, const std::string& field, std::string message) {
+    if (report_ != nullptr) {
+      report_->diagnostics.push_back({line, field, std::move(message)});
+    }
+  }
+
+  Token expect_keyword(const std::string& keyword) {
+    Token tok = ts_.next(keyword);
+    if (tok.text != keyword) {
+      fail(tok.line, keyword,
+           "expected keyword '" + keyword + "', got '" + tok.text + "'");
+    }
+    return tok;
+  }
+
+  /// Header count (tracks/chunks): structural in both modes — without it
+  /// the rest of the layout is unknowable.
+  std::size_t read_count(const char* field) {
+    const Token tok = ts_.next(field);
+    const auto v = parse_int(tok.text);
+    if (!v || *v <= 0 || *v > kMaxCount) {
+      fail(tok.line, field,
+           "'" + tok.text + "' is not a plausible positive count");
+    }
+    return static_cast<std::size_t>(*v);
+  }
+
+  /// Small track-header integer (level/width/height). Lenient mode repairs
+  /// an unusable value to `fallback`.
+  int read_track_int(const char* field, int fallback) {
+    const Token tok = ts_.next(field);
+    const auto v = parse_int(tok.text);
+    if (v && *v >= 0 && *v <= kMaxCount) {
+      return static_cast<int>(*v);
+    }
+    if (!lenient_) {
+      fail(tok.line, field,
+           "'" + tok.text + "' is not a non-negative integer");
+    }
+    diag(tok.line, field,
+         "'" + tok.text + "' is not a non-negative integer; using " +
+             std::to_string(fallback));
+    return fallback;
+  }
+
+  /// Declared bitrate. Strict mode rejects non-finite and non-positive
+  /// values even though the value is recomputed on load — a manifest that
+  /// declares a NaN bitrate is corrupt and must say so loudly. Lenient mode
+  /// returns nullopt (the declared-rate fallback is then unavailable).
+  std::optional<double> read_bitrate(const char* field) {
+    const Token tok = ts_.next(field);
+    const auto v = parse_double(tok.text);
+    if (v && std::isfinite(*v) && *v > 0.0) {
+      return v;
+    }
+    if (!lenient_) {
+      fail(tok.line, field,
+           "'" + tok.text + "' is not a finite positive bitrate");
+    }
+    diag(tok.line, field,
+         "'" + tok.text + "' is not a finite positive bitrate; ignoring");
+    return std::nullopt;
+  }
+
+  /// One sidecar numeric cell. Strict: must parse to a finite value.
+  /// Lenient: corrupt tokens become 0.0 with a diagnostic; truncation (a
+  /// keyword or EOF where a number belongs) yields 0.0 without consuming
+  /// the keyword, reported once per parse.
+  double sidecar_cell(const char* field) {
+    const Token* peeked = ts_.peek();
+    if (lenient_ && (peeked == nullptr || is_keyword(peeked->text))) {
+      if (!sidecar_truncation_reported_) {
+        sidecar_truncation_reported_ = true;
+        diag(ts_.current_line(), field,
+             "sidecar truncated; remaining cells zeroed");
+      }
+      note_defaulted();
+      return 0.0;
+    }
+    const Token tok = ts_.next(field);
+    const auto v = parse_double(tok.text);
+    if (v && std::isfinite(*v)) {
+      return *v;
+    }
+    if (!lenient_) {
+      fail(tok.line, field, "'" + tok.text + "' is not a finite number");
+    }
+    diag(tok.line, field, "'" + tok.text + "' is not a finite number; using 0");
+    note_defaulted();
+    return 0.0;
+  }
+
+  void note_defaulted() {
+    if (report_ != nullptr) {
+      ++report_->defaulted_quality;
+    }
+  }
+
+  void parse_sizes(RawTrack& rt, std::size_t track_idx, std::size_t track_line,
+                   std::size_t num_chunks, double chunk_duration);
+
+  TokenStream ts_;
+  bool lenient_;
+  ManifestReadReport* report_;
+  bool sidecar_truncation_reported_ = false;
+};
+
+void Parser::parse_sizes(RawTrack& rt, std::size_t track_idx,
+                         std::size_t track_line, std::size_t num_chunks,
+                         double chunk_duration) {
+  const std::string where = "track " + std::to_string(track_idx);
+  rt.chunks.resize(num_chunks);
+  std::vector<bool> valid(num_chunks, false);
+  for (std::size_t i = 0; i < num_chunks; ++i) {
+    const Token* peeked = ts_.peek();
+    if (lenient_ && (peeked == nullptr || is_keyword(peeked->text))) {
+      diag(ts_.current_line(), "segment size",
+           where + ": size table truncated at chunk " + std::to_string(i) +
+               " of " + std::to_string(num_chunks) +
+               "; filling the rest from the declared rate");
+      break;
+    }
+    const Token tok = ts_.next("segment size");
+    const auto v = parse_double(tok.text);
+    if (v && std::isfinite(*v) && *v > 0.0) {
+      rt.chunks[i].size_bits = *v;
+      valid[i] = true;
+      continue;
+    }
+    if (!lenient_) {
+      fail(tok.line, "segment size",
+           "'" + tok.text + "' is not a finite positive size (" + where +
+               ", chunk " + std::to_string(i) + ")");
+    }
+    diag(tok.line, "segment size",
+         where + ", chunk " + std::to_string(i) + ": '" + tok.text +
+             "' is not a finite positive size; using declared-rate fallback");
+  }
+
+  // Repair holes. Fallback order: the track's declared average rate, then
+  // the mean of the cells that did survive. A track with neither is
+  // unrecoverable — inventing a bitrate from nothing would be worse than
+  // failing.
+  double fallback_bits = 0.0;
+  if (rt.declared_avg_bps) {
+    fallback_bits = *rt.declared_avg_bps * chunk_duration;
+  } else {
+    double sum = 0.0;
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < num_chunks; ++i) {
+      if (valid[i]) {
+        sum += rt.chunks[i].size_bits;
+        ++n;
+      }
+    }
+    if (n > 0) {
+      fallback_bits = sum / static_cast<double>(n);
+    }
+  }
+  for (std::size_t i = 0; i < num_chunks; ++i) {
+    rt.chunks[i].duration_s = chunk_duration;
+    if (valid[i]) {
+      continue;
+    }
+    if (fallback_bits <= 0.0) {
+      fail(track_line, "segment_sizes_bits",
+           where + ": no usable sizes and no declared average bitrate");
+    }
+    rt.chunks[i].size_bits = fallback_bits;
+    if (report_ != nullptr) {
+      ++report_->repaired_sizes;
+    }
+  }
 }
 
-template <typename T>
-T read_value(std::istream& is, const char* what) {
-  T v{};
-  if (!(is >> v)) {
-    throw std::runtime_error(std::string("manifest: failed to read ") + what);
+Video Parser::parse() {
+  const Token magic = ts_.next("magic");
+  if (magic.text != kMagic) {
+    fail(magic.line, "magic",
+         "bad magic '" + magic.text + "' (expected '" + kMagic + "')");
   }
-  return v;
+
+  expect_keyword("name");
+  const std::string name = ts_.next("name").text;
+
+  expect_keyword("genre");
+  const Token genre_tok = ts_.next("genre");
+  Genre genre = Genre::kNature;
+  if (const auto g = genre_from_string(genre_tok.text)) {
+    genre = *g;
+  } else if (lenient_) {
+    diag(genre_tok.line, "genre",
+         "unknown genre '" + genre_tok.text + "'; defaulting to nature");
+  } else {
+    fail(genre_tok.line, "genre", "unknown genre '" + genre_tok.text + "'");
+  }
+
+  expect_keyword("codec");
+  const Token codec_tok = ts_.next("codec");
+  Codec codec = Codec::kH264;
+  if (const auto c = codec_from_string(codec_tok.text)) {
+    codec = *c;
+  } else if (lenient_) {
+    diag(codec_tok.line, "codec",
+         "unknown codec '" + codec_tok.text + "'; defaulting to H.264");
+  } else {
+    fail(codec_tok.line, "codec", "unknown codec '" + codec_tok.text + "'");
+  }
+
+  expect_keyword("chunk_duration");
+  const Token dur_tok = ts_.next("chunk_duration");
+  const auto dur = parse_double(dur_tok.text);
+  if (!dur || !std::isfinite(*dur) || *dur <= 0.0) {
+    // Unrecoverable even leniently: the duration scales every chunk of
+    // every track, so there is nothing sound to repair it from.
+    fail(dur_tok.line, "chunk_duration",
+         "'" + dur_tok.text + "' is not a finite positive duration");
+  }
+  const double chunk_duration = *dur;
+
+  expect_keyword("tracks");
+  const std::size_t num_tracks = read_count("tracks");
+  expect_keyword("chunks");
+  const std::size_t num_chunks = read_count("chunks");
+
+  std::vector<RawTrack> raw(num_tracks);
+  for (std::size_t t = 0; t < num_tracks; ++t) {
+    const Token track_tok = expect_keyword("track");
+    RawTrack& rt = raw[t];
+    rt.level = read_track_int("level", static_cast<int>(t));
+    rt.res.width = read_track_int("width", 0);
+    rt.res.height = read_track_int("height", 0);
+    expect_keyword("avg_bps");
+    rt.declared_avg_bps = read_bitrate("avg_bps");
+    expect_keyword("peak_bps");
+    (void)read_bitrate("peak_bps");  // derived; recomputed on load
+    expect_keyword("segment_sizes_bits");
+    parse_sizes(rt, t, track_tok.line, num_chunks, chunk_duration);
+  }
+
+  // Sidecar flag. Strict mode requires it (quality/scene data cannot be
+  // reconstructed); lenient mode synthesizes zeros.
+  bool has_sidecar = false;
+  if (ts_.peek() == nullptr) {
+    if (!lenient_) {
+      fail(ts_.current_line(), "sidecar", "unexpected end of manifest");
+    }
+    diag(ts_.current_line(), "sidecar",
+         "manifest ends before the sidecar flag; quality and scene data "
+         "zeroed");
+  } else {
+    expect_keyword("sidecar");
+    const Token flag_tok = ts_.next("sidecar flag");
+    const auto flag = parse_int(flag_tok.text);
+    if (flag && *flag == 1) {
+      has_sidecar = true;
+    } else if (!lenient_) {
+      fail(flag_tok.line, "sidecar flag",
+           "sidecar required to reconstruct a Video (flag is '" +
+               flag_tok.text + "')");
+    } else {
+      diag(flag_tok.line, "sidecar flag",
+           "manifest written without sidecar; quality and scene data zeroed");
+    }
+  }
+  if (!has_sidecar && report_ != nullptr) {
+    report_->sidecar_missing = true;
+  }
+
+  if (has_sidecar) {
+    for (std::size_t t = 0; t < num_tracks; ++t) {
+      if (lenient_ && ts_.peek() == nullptr) {
+        diag(ts_.current_line(), "quality",
+             "sidecar truncated before quality block " + std::to_string(t) +
+                 "; remaining quality zeroed");
+        break;
+      }
+      expect_keyword("quality");
+      const Token lvl_tok = ts_.next("quality level");
+      const auto lvl = parse_int(lvl_tok.text);
+      std::size_t level = t;
+      if (lvl && *lvl >= 0 && static_cast<std::size_t>(*lvl) < num_tracks) {
+        level = static_cast<std::size_t>(*lvl);
+      } else if (lenient_) {
+        diag(lvl_tok.line, "quality level",
+             "'" + lvl_tok.text + "' is not a valid track index; assuming "
+             "block order " + std::to_string(t));
+      } else {
+        fail(lvl_tok.line, "quality level",
+             "'" + lvl_tok.text + "' is not a valid track index");
+      }
+      for (std::size_t i = 0; i < num_chunks; ++i) {
+        ChunkQuality& q = raw[level].chunks[i].quality;
+        q.psnr_db = sidecar_cell("psnr");
+        q.ssim = sidecar_cell("ssim");
+        q.vmaf_tv = sidecar_cell("vmaf_tv");
+        q.vmaf_phone = sidecar_cell("vmaf_phone");
+      }
+    }
+  }
+
+  std::vector<SceneInfo> infos(num_chunks);
+  if (has_sidecar) {
+    if (lenient_ && ts_.peek() == nullptr) {
+      diag(ts_.current_line(), "scene_info",
+           "sidecar truncated before scene_info; zeroed");
+    } else {
+      expect_keyword("scene_info");
+      for (std::size_t i = 0; i < num_chunks; ++i) {
+        infos[i].si = sidecar_cell("si");
+        infos[i].ti = sidecar_cell("ti");
+      }
+    }
+  }
+
+  // Lenient repair can perturb the ladder out of ascending-average order
+  // (e.g. a low track repaired onto a large declared rate); Video requires
+  // strictly ascending. Re-sorting keeps the manifest usable and is
+  // reported like any other repair.
+  const auto avg_of = [](const RawTrack& rt) {
+    double bits = 0.0;
+    double dur_s = 0.0;
+    for (const Chunk& c : rt.chunks) {
+      bits += c.size_bits;
+      dur_s += c.duration_s;
+    }
+    return bits / dur_s;
+  };
+  if (lenient_ &&
+      !std::is_sorted(raw.begin(), raw.end(),
+                      [&](const RawTrack& a, const RawTrack& b) {
+                        return avg_of(a) < avg_of(b);
+                      })) {
+    diag(ts_.current_line(), "track",
+         "ladder not in ascending average-bitrate order; re-sorting");
+    std::stable_sort(raw.begin(), raw.end(),
+                     [&](const RawTrack& a, const RawTrack& b) {
+                       return avg_of(a) < avg_of(b);
+                     });
+    for (std::size_t t = 0; t < raw.size(); ++t) {
+      raw[t].level = static_cast<int>(t);
+    }
+  }
+
+  try {
+    std::vector<Track> tracks;
+    tracks.reserve(num_tracks);
+    for (RawTrack& rt : raw) {
+      tracks.emplace_back(rt.level, rt.res, codec, std::move(rt.chunks));
+    }
+    return Video(name, genre, std::move(tracks), std::move(infos));
+  } catch (const std::invalid_argument& e) {
+    // Normalize construction failures to the parser's exception type: the
+    // caller handed us bytes, not arguments.
+    throw std::runtime_error(
+        std::string("manifest: parsed fields do not form a valid video: ") +
+        e.what());
+  }
 }
 
 }  // namespace
@@ -93,88 +553,34 @@ std::string to_manifest_string(const Video& v, const ManifestOptions& opts) {
   return oss.str();
 }
 
+std::string ManifestDiagnostic::to_string() const {
+  return "line " + std::to_string(line) + ": field '" + field + "': " +
+         message;
+}
+
 Video read_manifest(std::istream& is) {
-  std::string magic;
-  if (!(is >> magic) || magic != kMagic) {
-    throw std::runtime_error("manifest: bad magic");
-  }
-  expect_keyword(is, "name");
-  const auto name = read_value<std::string>(is, "name");
-  expect_keyword(is, "genre");
-  const Genre genre = genre_from_string(read_value<std::string>(is, "genre"));
-  expect_keyword(is, "codec");
-  const Codec codec = codec_from_string(read_value<std::string>(is, "codec"));
-  expect_keyword(is, "chunk_duration");
-  const auto chunk_duration = read_value<double>(is, "chunk_duration");
-  expect_keyword(is, "tracks");
-  const auto num_tracks = read_value<std::size_t>(is, "tracks");
-  expect_keyword(is, "chunks");
-  const auto num_chunks = read_value<std::size_t>(is, "chunks");
-  if (num_tracks == 0 || num_chunks == 0) {
-    throw std::runtime_error("manifest: empty ladder or chunk list");
-  }
+  return read_manifest(is, ManifestReadOptions{}, nullptr);
+}
 
-  struct RawTrack {
-    int level = 0;
-    Resolution res;
-    std::vector<Chunk> chunks;
-  };
-  std::vector<RawTrack> raw(num_tracks);
-  for (std::size_t t = 0; t < num_tracks; ++t) {
-    expect_keyword(is, "track");
-    raw[t].level = read_value<int>(is, "level");
-    raw[t].res.width = read_value<int>(is, "width");
-    raw[t].res.height = read_value<int>(is, "height");
-    expect_keyword(is, "avg_bps");
-    (void)read_value<double>(is, "avg_bps");  // derived; recomputed on load
-    expect_keyword(is, "peak_bps");
-    (void)read_value<double>(is, "peak_bps");
-    expect_keyword(is, "segment_sizes_bits");
-    raw[t].chunks.resize(num_chunks);
-    for (std::size_t i = 0; i < num_chunks; ++i) {
-      raw[t].chunks[i].size_bits = read_value<double>(is, "segment size");
-      raw[t].chunks[i].duration_s = chunk_duration;
-    }
+Video read_manifest(std::istream& is, const ManifestReadOptions& opts,
+                    ManifestReadReport* report) {
+  if (report != nullptr) {
+    *report = ManifestReadReport{};
   }
-
-  expect_keyword(is, "sidecar");
-  const auto has_sidecar = read_value<int>(is, "sidecar flag");
-  if (has_sidecar != 1) {
-    throw std::runtime_error(
-        "manifest: sidecar required to reconstruct a Video");
-  }
-  for (std::size_t t = 0; t < num_tracks; ++t) {
-    expect_keyword(is, "quality");
-    const auto level = read_value<std::size_t>(is, "quality level");
-    if (level >= num_tracks) {
-      throw std::runtime_error("manifest: quality level out of range");
-    }
-    for (std::size_t i = 0; i < num_chunks; ++i) {
-      ChunkQuality& q = raw[level].chunks[i].quality;
-      q.psnr_db = read_value<double>(is, "psnr");
-      q.ssim = read_value<double>(is, "ssim");
-      q.vmaf_tv = read_value<double>(is, "vmaf_tv");
-      q.vmaf_phone = read_value<double>(is, "vmaf_phone");
-    }
-  }
-  expect_keyword(is, "scene_info");
-  std::vector<SceneInfo> infos(num_chunks);
-  for (std::size_t i = 0; i < num_chunks; ++i) {
-    infos[i].si = read_value<double>(is, "si");
-    infos[i].ti = read_value<double>(is, "ti");
-  }
-
-  std::vector<Track> tracks;
-  tracks.reserve(num_tracks);
-  for (RawTrack& rt : raw) {
-    tracks.emplace_back(rt.level, rt.res, codec, std::move(rt.chunks));
-  }
-  return Video(name, genre, std::move(tracks), std::move(infos));
+  Parser parser(is, opts, report);
+  return parser.parse();
 }
 
 Video from_manifest_string(const std::string& text) {
   std::istringstream iss(text);
   return read_manifest(iss);
+}
+
+Video from_manifest_string(const std::string& text,
+                           const ManifestReadOptions& opts,
+                           ManifestReadReport* report) {
+  std::istringstream iss(text);
+  return read_manifest(iss, opts, report);
 }
 
 }  // namespace vbr::video

@@ -6,10 +6,26 @@
 // paper's LoadSegmentSize extension to dash.js) — plus an optional
 // evaluation sidecar carrying the per-chunk quality scores and source SI/TI,
 // which a real client would never see but the evaluation harness needs.
+//
+// Two ingestion modes:
+//   - strict (the default): any malformed token aborts with a
+//     std::runtime_error naming the line and field. Non-finite or
+//     non-positive sizes, bitrates, and chunk durations are rejected — a
+//     NaN in a size table must never reach a scheme.
+//   - lenient: real-world manifests arrive truncated, with corrupted size
+//     cells, or without evaluation sidecars. Lenient mode repairs what it
+//     can (corrupt size cells fall back to the track's declared average
+//     rate, corrupt quality/scene cells become zeros, a missing sidecar is
+//     synthesized as all-zero) and reports every repair as a per-line
+//     diagnostic instead of throwing. Structural damage that cannot be
+//     repaired (bad magic, unreadable header, a track with neither usable
+//     sizes nor a declared rate) still throws.
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "video/video.h"
 
@@ -18,7 +34,8 @@ namespace vbr::video {
 /// What to include when writing a manifest.
 struct ManifestOptions {
   /// Include per-chunk quality and scene-info sidecar (required to parse the
-  /// manifest back into a full Video).
+  /// manifest back into a full Video in strict mode; lenient mode
+  /// synthesizes zeros without it).
   bool include_sidecar = true;
 };
 
@@ -30,11 +47,48 @@ void write_manifest(std::ostream& os, const Video& v,
 [[nodiscard]] std::string to_manifest_string(const Video& v,
                                              const ManifestOptions& opts = {});
 
-/// Parses a manifest previously written with the sidecar enabled.
-/// Throws std::runtime_error on malformed input or a missing sidecar.
+/// One recoverable problem found during lenient ingestion.
+struct ManifestDiagnostic {
+  std::size_t line = 0;  ///< 1-based manifest line the problem was found on.
+  std::string field;     ///< Field being parsed (e.g. "segment size").
+  std::string message;   ///< What was wrong and how it was repaired.
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+struct ManifestReadOptions {
+  /// Repair-and-continue instead of throwing on recoverable damage.
+  bool lenient = false;
+};
+
+/// What lenient ingestion had to do to produce a usable Video.
+struct ManifestReadReport {
+  std::vector<ManifestDiagnostic> diagnostics;
+  std::size_t repaired_sizes = 0;     ///< Size cells replaced by fallbacks.
+  std::size_t defaulted_quality = 0;  ///< Quality/scene cells zeroed.
+  bool sidecar_missing = false;       ///< Sidecar absent; zeros synthesized.
+
+  [[nodiscard]] bool clean() const { return diagnostics.empty(); }
+};
+
+/// Parses a manifest previously written with the sidecar enabled (strict
+/// mode). Throws std::runtime_error naming the offending line and field on
+/// malformed input or a missing sidecar.
 [[nodiscard]] Video read_manifest(std::istream& is);
 
-/// Parses from a string.
+/// Parses with explicit mode control. In lenient mode, recoverable damage
+/// is repaired and recorded into `report` (ignored when null) instead of
+/// aborting; unrecoverable structural damage still throws.
+[[nodiscard]] Video read_manifest(std::istream& is,
+                                  const ManifestReadOptions& opts,
+                                  ManifestReadReport* report = nullptr);
+
+/// Parses from a string (strict mode).
 [[nodiscard]] Video from_manifest_string(const std::string& text);
+
+/// Parses from a string with explicit mode control.
+[[nodiscard]] Video from_manifest_string(const std::string& text,
+                                         const ManifestReadOptions& opts,
+                                         ManifestReadReport* report = nullptr);
 
 }  // namespace vbr::video

@@ -1,0 +1,232 @@
+#include "video/size_provider.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace vbr::video {
+
+namespace {
+
+/// Estimates never collapse to zero: a degenerate 0-bit belief would divide
+/// by zero in download-time predictions downstream.
+constexpr double kMinEstimateBits = 1.0;
+
+/// splitmix64 finalizer (Vigna), the same counter-based mixer the fault
+/// model uses; duplicated here because the video layer must not depend on
+/// the net layer.
+std::uint64_t mix64(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Hashes (seed, track, chunk, salt) into a uniform double in [0, 1).
+double keyed_u01(std::uint64_t seed, std::size_t level, std::size_t chunk,
+                 std::uint64_t salt) {
+  std::uint64_t h = mix64(seed ^ mix64(static_cast<std::uint64_t>(level)));
+  h = mix64(h ^ mix64(static_cast<std::uint64_t>(chunk) ^ salt));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+double declared_rate_bits(const Video& v, std::size_t level, std::size_t i) {
+  const Track& t = v.track(level);
+  return t.average_bitrate_bps() * t.chunk(i).duration_s;
+}
+
+}  // namespace
+
+double OracleSizeProvider::size_bits(const Video& v, std::size_t level,
+                                     std::size_t i) const {
+  return v.chunk_size_bits(level, i);
+}
+
+double DeclaredRateSizeProvider::size_bits(const Video& v, std::size_t level,
+                                           std::size_t i) const {
+  return declared_rate_bits(v, level, i);
+}
+
+NoisySizeProvider::NoisySizeProvider(double err, std::uint64_t seed)
+    : err_(err), seed_(seed) {
+  // Negated-range form so NaN (which fails every comparison) is rejected.
+  if (!(err_ >= 0.0 && err_ < 1.0)) {
+    throw std::invalid_argument("NoisySizeProvider: err out of [0, 1)");
+  }
+}
+
+double NoisySizeProvider::size_bits(const Video& v, std::size_t level,
+                                    std::size_t i) const {
+  const double truth = v.chunk_size_bits(level, i);
+  if (err_ == 0.0) {
+    return truth;
+  }
+  const double u = keyed_u01(seed_, level, i, 0x51);
+  const double factor = 1.0 - err_ + 2.0 * err_ * u;
+  return std::max(truth * factor, kMinEstimateBits);
+}
+
+std::string NoisySizeProvider::name() const {
+  return "noisy(err=" + std::to_string(err_) + ")";
+}
+
+PartialSizeProvider::PartialSizeProvider(double miss_rate, std::uint64_t seed,
+                                         std::size_t known_prefix_chunks)
+    : miss_rate_(miss_rate),
+      seed_(seed),
+      known_prefix_chunks_(known_prefix_chunks) {
+  if (!(miss_rate_ >= 0.0 && miss_rate_ <= 1.0)) {
+    throw std::invalid_argument("PartialSizeProvider: miss rate out of [0, 1]");
+  }
+  if (known_prefix_chunks_ == 0) {
+    throw std::invalid_argument(
+        "PartialSizeProvider: zero-length known prefix (use kNoPrefixLimit "
+        "for an untruncated table)");
+  }
+}
+
+bool PartialSizeProvider::knows(std::size_t level, std::size_t i) const {
+  if (i >= known_prefix_chunks_) {
+    return false;
+  }
+  if (miss_rate_ <= 0.0) {
+    return true;
+  }
+  return keyed_u01(seed_, level, i, 0x52) >= miss_rate_;
+}
+
+double PartialSizeProvider::size_bits(const Video& v, std::size_t level,
+                                      std::size_t i) const {
+  return knows(level, i) ? v.chunk_size_bits(level, i)
+                         : declared_rate_bits(v, level, i);
+}
+
+std::string PartialSizeProvider::name() const {
+  std::string n = "partial(miss=" + std::to_string(miss_rate_);
+  if (known_prefix_chunks_ != kNoPrefixLimit) {
+    n += ",prefix=" + std::to_string(known_prefix_chunks_);
+  }
+  return n + ")";
+}
+
+OnlineCorrectedSizeProvider::OnlineCorrectedSizeProvider(
+    std::unique_ptr<ChunkSizeProvider> base, double alpha)
+    : base_(std::move(base)), alpha_(alpha) {
+  if (base_ == nullptr) {
+    throw std::invalid_argument("OnlineCorrectedSizeProvider: null base");
+  }
+  if (!(alpha_ > 0.0 && alpha_ <= 1.0)) {
+    throw std::invalid_argument(
+        "OnlineCorrectedSizeProvider: alpha out of (0, 1]");
+  }
+}
+
+double OnlineCorrectedSizeProvider::correction(std::size_t level) const {
+  return level < correction_.size() ? correction_[level] : 1.0;
+}
+
+double OnlineCorrectedSizeProvider::size_bits(const Video& v,
+                                              std::size_t level,
+                                              std::size_t i) const {
+  return std::max(base_->size_bits(v, level, i) * correction(level),
+                  kMinEstimateBits);
+}
+
+void OnlineCorrectedSizeProvider::on_actual_size(const Video& v,
+                                                 std::size_t level,
+                                                 std::size_t i,
+                                                 double actual_bits) {
+  if (!std::isfinite(actual_bits) || actual_bits <= 0.0) {
+    return;  // corrupt observation: never poison the model
+  }
+  const double estimated = base_->size_bits(v, level, i);
+  if (!std::isfinite(estimated) || estimated <= 0.0) {
+    return;
+  }
+  if (level >= correction_.size()) {
+    correction_.resize(level + 1, 1.0);
+  }
+  const double ratio = actual_bits / estimated;
+  // Clamp so one pathological sample cannot blow up every later estimate.
+  correction_[level] = std::clamp(
+      (1.0 - alpha_) * correction_[level] + alpha_ * ratio, 0.1, 10.0);
+  base_->on_actual_size(v, level, i, actual_bits);
+}
+
+void OnlineCorrectedSizeProvider::reset() {
+  correction_.clear();
+  base_->reset();
+}
+
+std::string OnlineCorrectedSizeProvider::name() const {
+  return "online-corrected(" + base_->name() + ")";
+}
+
+std::string to_string(SizeKnowledge k) {
+  switch (k) {
+    case SizeKnowledge::kOracle:
+      return "oracle";
+    case SizeKnowledge::kDeclared:
+      return "declared";
+    case SizeKnowledge::kNoisy:
+      return "noisy";
+    case SizeKnowledge::kPartial:
+      return "partial";
+  }
+  return "oracle";
+}
+
+SizeKnowledge size_knowledge_from_string(const std::string& s) {
+  if (s == "oracle") return SizeKnowledge::kOracle;
+  if (s == "declared") return SizeKnowledge::kDeclared;
+  if (s == "noisy") return SizeKnowledge::kNoisy;
+  if (s == "partial") return SizeKnowledge::kPartial;
+  throw std::invalid_argument("unknown size knowledge mode '" + s +
+                              "' (oracle|declared|noisy|partial)");
+}
+
+void SizeKnowledgeConfig::validate() const {
+  // Negated-range guards so NaN parameters are rejected too.
+  if (!(noise_err >= 0.0 && noise_err < 1.0)) {
+    throw std::invalid_argument("SizeKnowledgeConfig: noise_err out of [0, 1)");
+  }
+  if (!(miss_rate >= 0.0 && miss_rate <= 1.0)) {
+    throw std::invalid_argument("SizeKnowledgeConfig: miss_rate out of [0, 1]");
+  }
+  if (!(correction_alpha > 0.0 && correction_alpha <= 1.0)) {
+    throw std::invalid_argument(
+        "SizeKnowledgeConfig: correction_alpha out of (0, 1]");
+  }
+}
+
+std::unique_ptr<ChunkSizeProvider> make_size_provider(
+    const SizeKnowledgeConfig& config) {
+  config.validate();
+  std::unique_ptr<ChunkSizeProvider> base;
+  switch (config.mode) {
+    case SizeKnowledge::kOracle:
+      base = std::make_unique<OracleSizeProvider>();
+      break;
+    case SizeKnowledge::kDeclared:
+      base = std::make_unique<DeclaredRateSizeProvider>();
+      break;
+    case SizeKnowledge::kNoisy:
+      base = std::make_unique<NoisySizeProvider>(config.noise_err,
+                                                 config.seed);
+      break;
+    case SizeKnowledge::kPartial:
+      base = std::make_unique<PartialSizeProvider>(
+          config.miss_rate, config.seed,
+          config.known_prefix_chunks == 0
+              ? PartialSizeProvider::kNoPrefixLimit
+              : config.known_prefix_chunks);
+      break;
+  }
+  if (config.online_correction) {
+    return std::make_unique<OnlineCorrectedSizeProvider>(
+        std::move(base), config.correction_alpha);
+  }
+  return base;
+}
+
+}  // namespace vbr::video

@@ -1,0 +1,185 @@
+// Chunk-size knowledge layer: what an ABR client believes chunks cost.
+//
+// Every size-aware scheme in this repo (CAVA's controllers, MPC's horizon
+// search, BOLA's per-segment view, BBA-1, RBA, PANDA/CQ) reads the per-chunk
+// segment size table straight from the manifest. Real deployments are not so
+// lucky: plain DASH MPDs declare only average bitrates per representation
+// (the paper needed a LoadSegmentSize dash.js extension to get real sizes),
+// CDN-edge manifests carry stale or quantized tables, and live manifests are
+// truncated at the edge. A ChunkSizeProvider models that knowledge gap: the
+// *network* always moves the true bytes, but the *scheme* decides from the
+// provider's estimate.
+//
+// Fallback ladder (most to least informed):
+//   OracleSizeProvider          exact table — bit-for-bit today's behaviour
+//   NoisySizeProvider           exact table with seeded multiplicative error
+//   PartialSizeProvider         exact table with per-entry holes / truncation
+//   DeclaredRateSizeProvider    avg_bitrate x duration, a plain MPD's view
+// plus OnlineCorrectedSizeProvider, a decorator that refines any base
+// estimate from observed actual download sizes (per-track EWMA).
+//
+// Determinism: Noisy/Partial draw from counter-based hashes keyed on
+// (seed, track, chunk) — no mutable RNG state — so repeated queries for the
+// same chunk agree (look-ahead searches query each entry many times) and a
+// fixed seed reproduces the same knowledge faults across runs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "video/video.h"
+
+namespace vbr::video {
+
+/// What a scheme believes chunk (track, i) costs, in bits. Implementations
+/// must return positive, finite estimates for every in-range query.
+class ChunkSizeProvider {
+ public:
+  virtual ~ChunkSizeProvider() = default;
+
+  /// Estimated size in bits of chunk `i` of track `level`.
+  [[nodiscard]] virtual double size_bits(const Video& v, std::size_t level,
+                                         std::size_t i) const = 0;
+
+  /// Informs the provider of the true delivered size of a chunk it may have
+  /// estimated (decorators refine their model; base providers ignore it).
+  virtual void on_actual_size(const Video& v, std::size_t level,
+                              std::size_t i, double actual_bits) {
+    (void)v;
+    (void)level;
+    (void)i;
+    (void)actual_bits;
+  }
+
+  /// Clears any per-session learned state.
+  virtual void reset() {}
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Exact per-chunk table, as if the manifest carried perfect segment sizes.
+/// Byte-identical to reading Video::chunk_size_bits directly.
+class OracleSizeProvider final : public ChunkSizeProvider {
+ public:
+  [[nodiscard]] double size_bits(const Video& v, std::size_t level,
+                                 std::size_t i) const override;
+  [[nodiscard]] std::string name() const override { return "oracle"; }
+};
+
+/// What a plain (size-table-less) MPD gives: the track's declared average
+/// bitrate times the chunk duration. Systematically wrong for VBR — exactly
+/// the failure mode the paper's Section 4 warns about.
+class DeclaredRateSizeProvider final : public ChunkSizeProvider {
+ public:
+  [[nodiscard]] double size_bits(const Video& v, std::size_t level,
+                                 std::size_t i) const override;
+  [[nodiscard]] std::string name() const override { return "declared-rate"; }
+};
+
+/// Exact table perturbed by seeded multiplicative error: the estimate is
+/// true_size * U(1 - err, 1 + err), drawn deterministically per (track,
+/// chunk). Models stale or quantized size tables (the size-domain analogue
+/// of net::NoisyOracleEstimator).
+class NoisySizeProvider final : public ChunkSizeProvider {
+ public:
+  /// @param err   relative error bound in [0, 1)
+  /// @param seed  deterministic knowledge-fault seed
+  NoisySizeProvider(double err, std::uint64_t seed);
+
+  [[nodiscard]] double size_bits(const Video& v, std::size_t level,
+                                 std::size_t i) const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  double err_;
+  std::uint64_t seed_;
+};
+
+/// Exact table with holes: each (track, chunk) entry is independently
+/// missing with probability `miss_rate` (lazily-fetched or corrupt table
+/// rows), and every entry at index >= `known_prefix_chunks` is missing
+/// (truncated table). Holes fall back to the declared-rate estimate.
+class PartialSizeProvider final : public ChunkSizeProvider {
+ public:
+  static constexpr std::size_t kNoPrefixLimit =
+      std::numeric_limits<std::size_t>::max();
+
+  /// @param miss_rate            per-entry hole probability in [0, 1]
+  /// @param seed                 deterministic hole-pattern seed
+  /// @param known_prefix_chunks  table truncation point (kNoPrefixLimit =
+  ///                             untruncated)
+  PartialSizeProvider(double miss_rate, std::uint64_t seed,
+                      std::size_t known_prefix_chunks = kNoPrefixLimit);
+
+  [[nodiscard]] double size_bits(const Video& v, std::size_t level,
+                                 std::size_t i) const override;
+  /// True if the table has a real entry for (level, i) under this pattern.
+  [[nodiscard]] bool knows(std::size_t level, std::size_t i) const;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  double miss_rate_;
+  std::uint64_t seed_;
+  std::size_t known_prefix_chunks_;
+};
+
+/// Decorator: refines any base provider's estimates from observed actual
+/// download sizes. Keeps one EWMA correction ratio per track (actual /
+/// estimated) and scales the base estimate by it — so a client stuck with
+/// declared average rates converges toward each track's realized cost.
+class OnlineCorrectedSizeProvider final : public ChunkSizeProvider {
+ public:
+  /// @param base   the estimate source being corrected (owned)
+  /// @param alpha  EWMA weight of the newest observation, in (0, 1]
+  OnlineCorrectedSizeProvider(std::unique_ptr<ChunkSizeProvider> base,
+                              double alpha = 0.3);
+
+  [[nodiscard]] double size_bits(const Video& v, std::size_t level,
+                                 std::size_t i) const override;
+  void on_actual_size(const Video& v, std::size_t level, std::size_t i,
+                      double actual_bits) override;
+  void reset() override;
+  [[nodiscard]] std::string name() const override;
+
+  /// Current correction ratio for `level` (1.0 until observations arrive).
+  [[nodiscard]] double correction(std::size_t level) const;
+
+ private:
+  std::unique_ptr<ChunkSizeProvider> base_;
+  double alpha_;
+  std::vector<double> correction_;  ///< Per-track EWMA of actual/estimated.
+};
+
+/// Named knowledge modes, for CLI flags and sweep benches.
+enum class SizeKnowledge { kOracle, kDeclared, kNoisy, kPartial };
+
+[[nodiscard]] std::string to_string(SizeKnowledge k);
+
+/// Parses "oracle" | "declared" | "noisy" | "partial"; throws
+/// std::invalid_argument on anything else.
+[[nodiscard]] SizeKnowledge size_knowledge_from_string(const std::string& s);
+
+/// One-stop configuration for building a provider stack.
+struct SizeKnowledgeConfig {
+  SizeKnowledge mode = SizeKnowledge::kOracle;
+  double noise_err = 0.25;       ///< kNoisy: relative error bound, [0, 1).
+  double miss_rate = 0.25;       ///< kPartial: per-entry hole probability.
+  /// kPartial: table truncation point; 0 = untruncated.
+  std::size_t known_prefix_chunks = 0;
+  bool online_correction = false;  ///< Wrap with OnlineCorrectedSizeProvider.
+  double correction_alpha = 0.3;   ///< EWMA weight, (0, 1].
+  std::uint64_t seed = 1;          ///< Deterministic knowledge-fault seed.
+
+  /// Throws std::invalid_argument on out-of-range parameters.
+  void validate() const;
+};
+
+/// Builds the provider stack described by `config` (validating it first).
+[[nodiscard]] std::unique_ptr<ChunkSizeProvider> make_size_provider(
+    const SizeKnowledgeConfig& config);
+
+}  // namespace vbr::video

@@ -1,6 +1,7 @@
 #include "video/track.h"
 
 #include <array>
+#include <cmath>
 
 namespace vbr::video {
 
@@ -36,8 +37,11 @@ Track::Track(int level, Resolution resolution, Codec codec,
     throw std::invalid_argument("Track: negative level");
   }
   for (const Chunk& c : chunks_) {
-    if (c.size_bits <= 0.0 || c.duration_s <= 0.0) {
-      throw std::invalid_argument("Track: chunk with non-positive size or duration");
+    // NaN compares false against <= 0, so finiteness needs its own check.
+    if (!std::isfinite(c.size_bits) || c.size_bits <= 0.0 ||
+        !std::isfinite(c.duration_s) || c.duration_s <= 0.0) {
+      throw std::invalid_argument(
+          "Track: chunk with non-finite or non-positive size or duration");
     }
     total_bits_ += c.size_bits;
     total_duration_s_ += c.duration_s;

@@ -45,7 +45,7 @@ inline constexpr Resolution kLadder1080p{1920, 1080};
 class Track {
  public:
   /// Constructs a track; throws std::invalid_argument if chunks is empty or
-  /// any chunk has non-positive size/duration.
+  /// any chunk has a non-finite or non-positive size/duration.
   Track(int level, Resolution resolution, Codec codec,
         std::vector<Chunk> chunks);
 

@@ -1,0 +1,207 @@
+// Malformed-manifest corpus: strict mode must refuse every damaged file
+// with an error naming the line and field; lenient mode must repair the
+// recoverable ones into a usable Video, reporting each repair, and still
+// refuse structural damage it cannot repair soundly.
+//
+// Corpus files live in tests/data/manifests (VBR_TEST_DATA_DIR is supplied
+// by the build).
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "video/manifest.h"
+#include "video/video.h"
+
+namespace {
+
+using namespace vbr;
+
+std::string corpus_file(const std::string& name) {
+  const std::string path =
+      std::string(VBR_TEST_DATA_DIR) + "/manifests/" + name;
+  std::ifstream in(path);
+  EXPECT_TRUE(in.is_open()) << "missing corpus file " << path;
+  std::ostringstream oss;
+  oss << in.rdbuf();
+  return oss.str();
+}
+
+video::Video lenient_parse(const std::string& name,
+                           video::ManifestReadReport* report) {
+  return video::from_manifest_string(corpus_file(name), {.lenient = true},
+                                     report);
+}
+
+// Every damaged file in the corpus, recoverable or not, must be refused in
+// strict mode — and refused with a message that names the manifest line, so
+// whoever produced the file can find the damage.
+class StrictRejectionTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(StrictRejectionTest, ThrowsWithLineAndField) {
+  const std::string text = corpus_file(GetParam());
+  try {
+    (void)video::from_manifest_string(text);
+    FAIL() << GetParam() << " parsed strictly despite the damage";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("manifest:"), std::string::npos)
+        << GetParam() << " error lacks the manifest: prefix: " << e.what();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, StrictRejectionTest,
+    ::testing::Values("bad_magic.txt", "bad_nan_size.txt",
+                      "bad_negative_size.txt", "bad_garbage_size.txt",
+                      "bad_truncated_sizes.txt", "bad_missing_sidecar.txt",
+                      "bad_nonfinite_bitrate.txt", "bad_unknown_genre.txt",
+                      "bad_truncated_sidecar.txt", "bad_huge_counts.txt",
+                      "bad_zero_duration.txt", "bad_unsorted_ladder.txt"));
+
+// The recoverable subset must come back as a usable 2-track, 3-chunk Video
+// under lenient ingestion, with at least one diagnostic explaining what was
+// repaired.
+class LenientRecoveryTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(LenientRecoveryTest, RepairsIntoUsableVideo) {
+  video::ManifestReadReport report;
+  const video::Video v = lenient_parse(GetParam(), &report);
+  EXPECT_EQ(v.num_tracks(), 2u);
+  EXPECT_EQ(v.num_chunks(), 3u);
+  EXPECT_FALSE(report.clean()) << GetParam() << " reported no repairs";
+  for (const video::ManifestDiagnostic& d : report.diagnostics) {
+    EXPECT_GT(d.line, 0u);
+    EXPECT_FALSE(d.field.empty());
+    EXPECT_FALSE(d.message.empty());
+  }
+  // The repaired video must satisfy every Video invariant, including the
+  // strictly ascending ladder and finite positive chunk sizes.
+  for (std::size_t l = 0; l < v.num_tracks(); ++l) {
+    for (std::size_t i = 0; i < v.num_chunks(); ++i) {
+      EXPECT_GT(v.chunk_size_bits(l, i), 0.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, LenientRecoveryTest,
+    ::testing::Values("bad_nan_size.txt", "bad_negative_size.txt",
+                      "bad_garbage_size.txt", "bad_truncated_sizes.txt",
+                      "bad_missing_sidecar.txt", "bad_nonfinite_bitrate.txt",
+                      "bad_unknown_genre.txt", "bad_truncated_sidecar.txt",
+                      "bad_unsorted_ladder.txt"));
+
+// Structural damage stays fatal even leniently: there is nothing sound to
+// repair a bad magic, an implausible chunk count, or a zero chunk duration
+// from.
+class LenientStillFatalTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(LenientStillFatalTest, UnrecoverableDamageThrows) {
+  video::ManifestReadReport report;
+  EXPECT_THROW((void)lenient_parse(GetParam(), &report), std::runtime_error);
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, LenientStillFatalTest,
+                         ::testing::Values("bad_magic.txt",
+                                           "bad_huge_counts.txt",
+                                           "bad_zero_duration.txt"));
+
+TEST(ManifestRobustness, CleanFileParsesCleanlyInBothModes) {
+  const std::string text = corpus_file("good_tiny.txt");
+  const video::Video strict = video::from_manifest_string(text);
+  video::ManifestReadReport report;
+  const video::Video lenient =
+      video::from_manifest_string(text, {.lenient = true}, &report);
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.repaired_sizes, 0u);
+  EXPECT_FALSE(report.sidecar_missing);
+  EXPECT_EQ(strict.num_tracks(), 2u);
+  EXPECT_EQ(strict.num_chunks(), 3u);
+  EXPECT_EQ(strict.genre(), video::Genre::kAnimation);
+  EXPECT_DOUBLE_EQ(strict.chunk_size_bits(0, 1), 700000.0);
+  for (std::size_t l = 0; l < strict.num_tracks(); ++l) {
+    for (std::size_t i = 0; i < strict.num_chunks(); ++i) {
+      EXPECT_EQ(lenient.chunk_size_bits(l, i), strict.chunk_size_bits(l, i));
+    }
+  }
+}
+
+TEST(ManifestRobustness, CorruptSizeCellFallsBackToDeclaredRate) {
+  video::ManifestReadReport report;
+  const video::Video v = lenient_parse("bad_nan_size.txt", &report);
+  // Track 0 declares 300000 bps at 2 s chunks: the NaN cell becomes 600000.
+  EXPECT_DOUBLE_EQ(v.chunk_size_bits(0, 1), 600000.0);
+  EXPECT_DOUBLE_EQ(v.chunk_size_bits(0, 0), 500000.0);  // untouched
+  EXPECT_EQ(report.repaired_sizes, 1u);
+}
+
+TEST(ManifestRobustness, TruncatedSizeRowFilledFromDeclaredRate) {
+  video::ManifestReadReport report;
+  const video::Video v = lenient_parse("bad_truncated_sizes.txt", &report);
+  EXPECT_DOUBLE_EQ(v.chunk_size_bits(0, 0), 500000.0);
+  EXPECT_DOUBLE_EQ(v.chunk_size_bits(0, 1), 600000.0);
+  EXPECT_DOUBLE_EQ(v.chunk_size_bits(0, 2), 600000.0);
+  EXPECT_EQ(report.repaired_sizes, 2u);
+}
+
+TEST(ManifestRobustness, MissingSidecarSynthesizesZeroQuality) {
+  video::ManifestReadReport report;
+  const video::Video v = lenient_parse("bad_missing_sidecar.txt", &report);
+  EXPECT_TRUE(report.sidecar_missing);
+  const video::ChunkQuality& q = v.track(0).chunk(0).quality;
+  EXPECT_EQ(q.vmaf_tv, 0.0);
+  EXPECT_EQ(q.vmaf_phone, 0.0);
+}
+
+TEST(ManifestRobustness, UnknownGenreDefaultsLeniently) {
+  video::ManifestReadReport report;
+  const video::Video v = lenient_parse("bad_unknown_genre.txt", &report);
+  EXPECT_EQ(v.genre(), video::Genre::kNature);
+}
+
+TEST(ManifestRobustness, DescendingLadderIsResortedLeniently) {
+  video::ManifestReadReport report;
+  const video::Video v = lenient_parse("bad_unsorted_ladder.txt", &report);
+  // The file lists the 1 Mbps track first; the repaired ladder must be
+  // ascending with releveled tracks.
+  EXPECT_LT(v.track(0).average_bitrate_bps(), v.track(1).average_bitrate_bps());
+  EXPECT_DOUBLE_EQ(v.chunk_size_bits(0, 0), 500000.0);
+  EXPECT_DOUBLE_EQ(v.chunk_size_bits(1, 0), 1800000.0);
+}
+
+TEST(ManifestRobustness, StrictErrorNamesTheOffendingLine) {
+  // The NaN size sits on line 9 of bad_nan_size.txt.
+  try {
+    (void)video::from_manifest_string(corpus_file("bad_nan_size.txt"));
+    FAIL() << "strict parse accepted a NaN size";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("manifest:9"), std::string::npos) << what;
+    EXPECT_NE(what.find("segment size"), std::string::npos) << what;
+  }
+}
+
+TEST(ManifestRobustness, DiagnosticToStringNamesLineAndField) {
+  video::ManifestReadReport report;
+  (void)lenient_parse("bad_nan_size.txt", &report);
+  ASSERT_FALSE(report.diagnostics.empty());
+  const std::string s = report.diagnostics.front().to_string();
+  EXPECT_NE(s.find("9"), std::string::npos) << s;
+  EXPECT_NE(s.find("segment size"), std::string::npos) << s;
+}
+
+TEST(ManifestRobustness, RoundTripOfProgrammaticVideoStaysClean) {
+  // A Video written by our own writer must read back without diagnostics in
+  // lenient mode — lenient must not "repair" healthy input.
+  const video::Video v = video::from_manifest_string(corpus_file(
+      "good_tiny.txt"));
+  const std::string text = video::to_manifest_string(v);
+  video::ManifestReadReport report;
+  const video::Video back =
+      video::from_manifest_string(text, {.lenient = true}, &report);
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(back.num_chunks(), v.num_chunks());
+}
+
+}  // namespace

@@ -3,6 +3,7 @@
 // videos, sub-second chunks, near-zero and enormous bandwidths.
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <memory>
 #include <tuple>
 
@@ -209,6 +210,95 @@ TEST(Robustness, ZeroBandwidthStretches) {
   const sim::SessionResult r = sim::run_session(v, t, *cava, est);
   EXPECT_EQ(r.chunks.size(), v.num_chunks());
   EXPECT_GT(r.end_time_s, 0.0);
+}
+
+// Defensive input guards: malformed context values must be rejected with a
+// clear exception before any scheme arithmetic can propagate them. NaN is
+// the treacherous case — it compares false against every threshold
+// (NaN <= 0 is false), so only an explicit isnan/isfinite check stops it.
+class InputValidationTest : public ::testing::TestWithParam<SchemeMaker> {};
+
+TEST_P(InputValidationTest, NonFiniteBandwidthIsRejected) {
+  const video::Video v = testutil::default_flat_video(10);
+  for (const double bw : {std::numeric_limits<double>::quiet_NaN(),
+                          std::numeric_limits<double>::infinity(),
+                          -std::numeric_limits<double>::infinity()}) {
+    const auto scheme = GetParam()();
+    const abr::StreamContext ctx = testutil::make_context(v, 0, 5.0, bw);
+    EXPECT_THROW((void)scheme->decide(ctx), std::invalid_argument)
+        << scheme->name() << " accepted bandwidth " << bw;
+  }
+}
+
+TEST_P(InputValidationTest, NonFiniteBufferOrClockIsRejected) {
+  const video::Video v = testutil::default_flat_video(10);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  for (const double buf : {nan, inf, -1.0}) {
+    const auto scheme = GetParam()();
+    const abr::StreamContext ctx = testutil::make_context(v, 0, buf, 2e6);
+    EXPECT_THROW((void)scheme->decide(ctx), std::invalid_argument)
+        << scheme->name() << " accepted buffer " << buf;
+  }
+  for (const double now : {nan, inf}) {
+    const auto scheme = GetParam()();
+    abr::StreamContext ctx = testutil::make_context(v, 0, 5.0, 2e6);
+    ctx.now_s = now;
+    EXPECT_THROW((void)scheme->decide(ctx), std::invalid_argument)
+        << scheme->name() << " accepted clock " << now;
+  }
+}
+
+TEST_P(InputValidationTest, ZeroOrTinyBandwidthNeverCrashes) {
+  const video::Video v = testutil::default_flat_video(10);
+  for (const double bw : {0.0, 1e-9}) {
+    const auto scheme = GetParam()();
+    const abr::StreamContext ctx = testutil::make_context(v, 0, 5.0, bw);
+    try {
+      const abr::Decision d = scheme->decide(ctx);
+      EXPECT_LT(d.track, v.num_tracks()) << scheme->name();
+    } catch (const std::invalid_argument&) {
+      // Refusing a non-positive estimate outright is also acceptable —
+      // what is not acceptable is UB or a nonsense track.
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, InputValidationTest,
+                         ::testing::Values(mk_cava, mk_pia, mk_mpc, mk_panda,
+                                           mk_bola, mk_bba, mk_bba0, mk_rba,
+                                           mk_festive, mk_dynamic));
+
+TEST(InputValidation, EmptyLadderIsRejected) {
+  EXPECT_THROW(video::Video("none", video::Genre::kAnimation, {}, {}),
+               std::invalid_argument);
+}
+
+TEST(InputValidation, NonFiniteOrZeroChunkGeometryIsRejected) {
+  std::vector<video::Chunk> good(3);
+  for (video::Chunk& c : good) {
+    c.size_bits = 1e6;
+    c.duration_s = 2.0;
+  }
+  const auto expect_rejected = [&](std::size_t idx, double size_bits,
+                                   double duration_s) {
+    std::vector<video::Chunk> bad = good;
+    bad[idx].size_bits = size_bits;
+    bad[idx].duration_s = duration_s;
+    EXPECT_THROW(video::Track(0, video::kLadder144p, video::Codec::kH264,
+                              std::move(bad)),
+                 std::invalid_argument)
+        << "size=" << size_bits << " dur=" << duration_s;
+  };
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  expect_rejected(1, 1e6, 0.0);    // zero-duration chunk
+  expect_rejected(1, 1e6, -2.0);   // negative duration
+  expect_rejected(1, 1e6, nan);    // NaN duration
+  expect_rejected(2, 0.0, 2.0);    // zero-size chunk
+  expect_rejected(2, -1e6, 2.0);   // negative size
+  expect_rejected(2, nan, 2.0);    // NaN size
+  expect_rejected(0, inf, 2.0);    // infinite size
 }
 
 // A scheme must behave when the bandwidth estimate is wildly wrong in both

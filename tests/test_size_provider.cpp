@@ -1,0 +1,424 @@
+// Chunk-size knowledge layer: provider estimates, determinism, online
+// correction, config plumbing — and the golden guarantee that the oracle
+// provider reproduces the exact-table simulator bit for bit.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <memory>
+
+#include "abr/bola.h"
+#include "abr/mpc.h"
+#include "core/cava.h"
+#include "net/bandwidth_estimator.h"
+#include "sim/experiment.h"
+#include "sim/live_session.h"
+#include "sim/multi_client.h"
+#include "sim/session.h"
+#include "test_util.h"
+#include "video/dataset.h"
+#include "video/size_provider.h"
+
+namespace {
+
+using namespace vbr;
+
+TEST(OracleProvider, MatchesTableExactly) {
+  const video::Video v =
+      testutil::make_flat_video({3e5, 2e6}, 20, 2.0, {{5, 3.0}, {11, 2.0}});
+  const video::OracleSizeProvider oracle;
+  for (std::size_t l = 0; l < v.num_tracks(); ++l) {
+    for (std::size_t i = 0; i < v.num_chunks(); ++i) {
+      EXPECT_EQ(oracle.size_bits(v, l, i), v.chunk_size_bits(l, i));
+    }
+  }
+}
+
+TEST(DeclaredRateProvider, IsFlatAverageTimesDuration) {
+  // Spiked chunks make per-chunk sizes differ from the average, so the
+  // declared view must be the *same* value everywhere on a track.
+  const video::Video v =
+      testutil::make_flat_video({3e5, 2e6}, 20, 2.0, {{5, 4.0}});
+  const video::DeclaredRateSizeProvider declared;
+  for (std::size_t l = 0; l < v.num_tracks(); ++l) {
+    const double expected =
+        v.tracks()[l].average_bitrate_bps() * v.chunk_duration_s();
+    for (std::size_t i = 0; i < v.num_chunks(); ++i) {
+      EXPECT_DOUBLE_EQ(declared.size_bits(v, l, i), expected);
+    }
+    EXPECT_NE(declared.size_bits(v, l, 5), v.chunk_size_bits(l, 5));
+  }
+}
+
+TEST(NoisyProvider, DeterministicBoundedAndSeedSensitive) {
+  const video::Video v = testutil::default_flat_video(30);
+  const video::NoisySizeProvider a(0.25, 7);
+  const video::NoisySizeProvider b(0.25, 7);
+  const video::NoisySizeProvider c(0.25, 8);
+  bool some_entry_differs_across_seeds = false;
+  for (std::size_t l = 0; l < v.num_tracks(); ++l) {
+    for (std::size_t i = 0; i < v.num_chunks(); ++i) {
+      const double truth = v.chunk_size_bits(l, i);
+      const double est = a.size_bits(v, l, i);
+      // Repeated queries and a twin instance agree exactly — look-ahead
+      // searches hit the same entry many times and must see one value.
+      EXPECT_EQ(est, a.size_bits(v, l, i));
+      EXPECT_EQ(est, b.size_bits(v, l, i));
+      EXPECT_GE(est, truth * 0.75);
+      EXPECT_LE(est, truth * 1.25);
+      some_entry_differs_across_seeds |= est != c.size_bits(v, l, i);
+    }
+  }
+  EXPECT_TRUE(some_entry_differs_across_seeds);
+}
+
+TEST(NoisyProvider, RejectsOutOfRangeError) {
+  EXPECT_THROW(video::NoisySizeProvider(-0.1, 1), std::invalid_argument);
+  EXPECT_THROW(video::NoisySizeProvider(1.0, 1), std::invalid_argument);
+  EXPECT_THROW(
+      video::NoisySizeProvider(std::numeric_limits<double>::quiet_NaN(), 1),
+      std::invalid_argument);
+  EXPECT_NO_THROW(video::NoisySizeProvider(0.0, 1));
+}
+
+TEST(PartialProvider, HolesFallBackToDeclaredRate) {
+  const video::Video v =
+      testutil::make_flat_video({3e5, 2e6}, 40, 2.0, {{7, 3.0}});
+  const video::PartialSizeProvider partial(0.5, 11);
+  const video::DeclaredRateSizeProvider declared;
+  std::size_t holes = 0;
+  for (std::size_t l = 0; l < v.num_tracks(); ++l) {
+    for (std::size_t i = 0; i < v.num_chunks(); ++i) {
+      if (partial.knows(l, i)) {
+        EXPECT_EQ(partial.size_bits(v, l, i), v.chunk_size_bits(l, i));
+      } else {
+        ++holes;
+        EXPECT_EQ(partial.size_bits(v, l, i), declared.size_bits(v, l, i));
+      }
+    }
+  }
+  // With miss_rate 0.5 over 80 entries, both outcomes must occur.
+  EXPECT_GT(holes, 0u);
+  EXPECT_LT(holes, v.num_tracks() * v.num_chunks());
+}
+
+TEST(PartialProvider, PrefixTruncationHidesTail) {
+  const video::Video v = testutil::default_flat_video(30);
+  const video::PartialSizeProvider partial(0.0, 1, 10);
+  const video::DeclaredRateSizeProvider declared;
+  for (std::size_t i = 0; i < v.num_chunks(); ++i) {
+    if (i < 10) {
+      EXPECT_TRUE(partial.knows(0, i));
+      EXPECT_EQ(partial.size_bits(v, 0, i), v.chunk_size_bits(0, i));
+    } else {
+      EXPECT_FALSE(partial.knows(0, i));
+      EXPECT_EQ(partial.size_bits(v, 0, i), declared.size_bits(v, 0, i));
+    }
+  }
+}
+
+TEST(PartialProvider, RejectsBadParameters) {
+  EXPECT_THROW(video::PartialSizeProvider(-0.1, 1), std::invalid_argument);
+  EXPECT_THROW(video::PartialSizeProvider(1.5, 1), std::invalid_argument);
+  // A zero-length prefix means the provider knows nothing at all — reject
+  // it rather than silently behaving as DeclaredRateSizeProvider.
+  EXPECT_THROW(video::PartialSizeProvider(0.0, 1, 0), std::invalid_argument);
+}
+
+TEST(OnlineCorrection, ConvergesTowardRealizedCost) {
+  // Every chunk on track 0 is really twice the declared average: feeding
+  // actual sizes must pull the correction ratio toward 2.
+  const std::size_t n = 40;
+  const video::Video v = testutil::default_flat_video(n);
+  video::OnlineCorrectedSizeProvider corrected(
+      std::make_unique<video::DeclaredRateSizeProvider>(), 0.3);
+  const double declared = corrected.size_bits(v, 0, 0);
+  EXPECT_DOUBLE_EQ(corrected.correction(0), 1.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    corrected.on_actual_size(v, 0, i, 2.0 * v.chunk_size_bits(0, i));
+  }
+  EXPECT_NEAR(corrected.correction(0), 2.0, 0.01);
+  EXPECT_NEAR(corrected.size_bits(v, 0, 0), 2.0 * declared, declared * 0.02);
+  // Other tracks never observed anything and stay uncorrected.
+  EXPECT_DOUBLE_EQ(corrected.correction(1), 1.0);
+
+  corrected.reset();
+  EXPECT_DOUBLE_EQ(corrected.correction(0), 1.0);
+  EXPECT_DOUBLE_EQ(corrected.size_bits(v, 0, 0), declared);
+}
+
+TEST(OnlineCorrection, ClampsAndIgnoresGarbageObservations) {
+  const video::Video v = testutil::default_flat_video(10);
+  video::OnlineCorrectedSizeProvider corrected(
+      std::make_unique<video::DeclaredRateSizeProvider>(), 1.0);
+  const double truth = v.chunk_size_bits(0, 0);
+  // A wildly large observation is clamped, not believed verbatim.
+  corrected.on_actual_size(v, 0, 0, truth * 1e6);
+  EXPECT_DOUBLE_EQ(corrected.correction(0), 10.0);
+  corrected.reset();
+  corrected.on_actual_size(v, 0, 0, truth * 1e-6);
+  EXPECT_DOUBLE_EQ(corrected.correction(0), 0.1);
+  // Non-finite or non-positive observations are dropped on the floor.
+  corrected.reset();
+  corrected.on_actual_size(v, 0, 0,
+                           std::numeric_limits<double>::quiet_NaN());
+  corrected.on_actual_size(v, 0, 0, std::numeric_limits<double>::infinity());
+  corrected.on_actual_size(v, 0, 0, -1.0);
+  corrected.on_actual_size(v, 0, 0, 0.0);
+  EXPECT_DOUBLE_EQ(corrected.correction(0), 1.0);
+}
+
+TEST(OnlineCorrection, RejectsBadAlpha) {
+  EXPECT_THROW(video::OnlineCorrectedSizeProvider(
+                   std::make_unique<video::OracleSizeProvider>(), 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(video::OnlineCorrectedSizeProvider(
+                   std::make_unique<video::OracleSizeProvider>(), 1.5),
+               std::invalid_argument);
+  EXPECT_THROW(video::OnlineCorrectedSizeProvider(nullptr, 0.3),
+               std::invalid_argument);
+}
+
+TEST(SizeKnowledgeConfig, FactoryBuildsTheRequestedStack) {
+  video::SizeKnowledgeConfig c;
+  EXPECT_EQ(video::make_size_provider(c)->name(), "oracle");
+  c.mode = video::SizeKnowledge::kDeclared;
+  EXPECT_EQ(video::make_size_provider(c)->name(), "declared-rate");
+  c.mode = video::SizeKnowledge::kNoisy;
+  EXPECT_NE(video::make_size_provider(c)->name().find("noisy"),
+            std::string::npos);
+  c.mode = video::SizeKnowledge::kPartial;
+  EXPECT_NE(video::make_size_provider(c)->name().find("partial"),
+            std::string::npos);
+  c.online_correction = true;
+  EXPECT_NE(video::make_size_provider(c)->name().find("corrected"),
+            std::string::npos);
+}
+
+TEST(SizeKnowledgeConfig, ValidateRejectsOutOfRangeParameters) {
+  video::SizeKnowledgeConfig c;
+  c.noise_err = 1.0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = {};
+  c.miss_rate = -0.1;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = {};
+  c.correction_alpha = 0.0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = {};
+  EXPECT_NO_THROW(c.validate());
+}
+
+TEST(SizeKnowledgeConfig, ModeNamesRoundTrip) {
+  using video::SizeKnowledge;
+  for (const SizeKnowledge k :
+       {SizeKnowledge::kOracle, SizeKnowledge::kDeclared,
+        SizeKnowledge::kNoisy, SizeKnowledge::kPartial}) {
+    EXPECT_EQ(video::size_knowledge_from_string(video::to_string(k)), k);
+  }
+  EXPECT_THROW(video::size_knowledge_from_string("exact"),
+               std::invalid_argument);
+}
+
+TEST(StreamContext, ChunkSizeHelperUsesProviderWhenSet) {
+  const video::Video v = testutil::default_flat_video(10);
+  abr::StreamContext ctx = testutil::make_context(v, 0, 5.0, 2e6);
+  EXPECT_EQ(ctx.chunk_size_bits(2, 3), v.chunk_size_bits(2, 3));
+  const video::DeclaredRateSizeProvider declared;
+  ctx.sizes = &declared;
+  EXPECT_EQ(ctx.chunk_size_bits(2, 3), declared.size_bits(v, 2, 3));
+}
+
+// ---------------------------------------------------------------------------
+// Golden guarantee: a session run with OracleSizeProvider is bit-for-bit
+// identical to one with no provider at all (the pre-existing exact-table
+// path). This pins the whole degraded-metadata layer as a strict no-op at
+// its default setting.
+// ---------------------------------------------------------------------------
+
+void expect_identical(const sim::SessionResult& a,
+                      const sim::SessionResult& b) {
+  EXPECT_EQ(a.startup_delay_s, b.startup_delay_s);
+  EXPECT_EQ(a.total_rebuffer_s, b.total_rebuffer_s);
+  EXPECT_EQ(a.total_bits, b.total_bits);
+  EXPECT_EQ(a.end_time_s, b.end_time_s);
+  ASSERT_EQ(a.chunks.size(), b.chunks.size());
+  for (std::size_t i = 0; i < a.chunks.size(); ++i) {
+    const sim::ChunkRecord& x = a.chunks[i];
+    const sim::ChunkRecord& y = b.chunks[i];
+    EXPECT_EQ(x.track, y.track) << "chunk " << i;
+    EXPECT_EQ(x.size_bits, y.size_bits) << "chunk " << i;
+    EXPECT_EQ(x.download_start_s, y.download_start_s) << "chunk " << i;
+    EXPECT_EQ(x.download_s, y.download_s) << "chunk " << i;
+    EXPECT_EQ(x.wait_s, y.wait_s) << "chunk " << i;
+    EXPECT_EQ(x.stall_s, y.stall_s) << "chunk " << i;
+    EXPECT_EQ(x.buffer_after_s, y.buffer_after_s) << "chunk " << i;
+    EXPECT_EQ(x.wasted_bits, y.wasted_bits) << "chunk " << i;
+  }
+}
+
+TEST(GoldenOracle, SessionIsBitForBitIdenticalToExactTable) {
+  // A real VBR video (not a flat fixture): byte-identity must hold where
+  // per-chunk sizes genuinely vary and horizon searches matter.
+  const video::Video v = video::make_video(
+      "golden", video::Genre::kAnimation, video::Codec::kH264, 2.0, 2.0, 99,
+      120.0);
+  const net::Trace t = testutil::flat_trace(2.5e6, 7200.0);
+
+  const auto run_pair = [&](std::unique_ptr<abr::AbrScheme> s1,
+                            std::unique_ptr<abr::AbrScheme> s2) {
+    net::HarmonicMeanEstimator e1(5);
+    net::HarmonicMeanEstimator e2(5);
+    sim::SessionConfig plain;
+    const sim::SessionResult base = sim::run_session(v, t, *s1, e1, plain);
+    video::OracleSizeProvider oracle;
+    sim::SessionConfig with_oracle;
+    with_oracle.size_provider = &oracle;
+    const sim::SessionResult oracled =
+        sim::run_session(v, t, *s2, e2, with_oracle);
+    expect_identical(base, oracled);
+  };
+
+  run_pair(core::make_cava_p123(), core::make_cava_p123());
+  run_pair(std::make_unique<abr::Mpc>(abr::robust_mpc_config()),
+           std::make_unique<abr::Mpc>(abr::robust_mpc_config()));
+  run_pair(std::make_unique<abr::Bola>(), std::make_unique<abr::Bola>());
+}
+
+TEST(GoldenOracle, DeclaredRateEqualsOracleOnTrulyFlatVideo) {
+  // On a constant-bitrate fixture the declared average IS the truth, so
+  // even the least-informed provider must change nothing.
+  const video::Video v = testutil::default_flat_video(40);
+  const net::Trace t = testutil::flat_trace(2e6, 7200.0);
+  auto s1 = core::make_cava_p123();
+  auto s2 = core::make_cava_p123();
+  net::HarmonicMeanEstimator e1(5);
+  net::HarmonicMeanEstimator e2(5);
+  const sim::SessionResult base = sim::run_session(v, t, *s1, e1, {});
+  video::DeclaredRateSizeProvider declared;
+  sim::SessionConfig cfg;
+  cfg.size_provider = &declared;
+  const sim::SessionResult degraded = sim::run_session(v, t, *s2, e2, cfg);
+  expect_identical(base, degraded);
+}
+
+// ---------------------------------------------------------------------------
+// Degraded sessions still complete; wiring smoke tests across harnesses.
+// ---------------------------------------------------------------------------
+
+TEST(DegradedSession, CompletesUnderEveryKnowledgeMode) {
+  const video::Video v = video::make_video(
+      "degraded", video::Genre::kSports, video::Codec::kH264, 2.0, 2.0, 7,
+      120.0);
+  const net::Trace t = testutil::flat_trace(1.5e6, 7200.0);
+  using video::SizeKnowledge;
+  for (const SizeKnowledge mode :
+       {SizeKnowledge::kOracle, SizeKnowledge::kDeclared,
+        SizeKnowledge::kNoisy, SizeKnowledge::kPartial}) {
+    for (const bool correct : {false, true}) {
+      video::SizeKnowledgeConfig kc;
+      kc.mode = mode;
+      kc.online_correction = correct;
+      const auto provider = video::make_size_provider(kc);
+      auto scheme = core::make_cava_p123();
+      net::HarmonicMeanEstimator est(5);
+      sim::SessionConfig cfg;
+      cfg.size_provider = provider.get();
+      const sim::SessionResult r = sim::run_session(v, t, *scheme, est, cfg);
+      ASSERT_EQ(r.chunks.size(), v.num_chunks())
+          << video::to_string(mode) << " correct=" << correct;
+      for (const sim::ChunkRecord& c : r.chunks) {
+        EXPECT_LT(c.track, v.num_tracks());
+        // The network moved the TRUE bytes regardless of beliefs.
+        EXPECT_EQ(c.size_bits, v.chunk_size_bits(c.track, c.index));
+      }
+    }
+  }
+}
+
+TEST(DegradedSession, LiveSessionAcceptsProvider) {
+  const video::Video v = testutil::default_flat_video(30);
+  const net::Trace t = testutil::flat_trace(2e6, 7200.0);
+  video::SizeKnowledgeConfig kc;
+  kc.mode = video::SizeKnowledge::kDeclared;
+  kc.online_correction = true;
+  const auto provider = video::make_size_provider(kc);
+  auto scheme = core::make_cava_p123();
+  net::HarmonicMeanEstimator est(5);
+  sim::LiveSessionConfig cfg;
+  cfg.size_provider = provider.get();
+  const sim::LiveSessionResult r =
+      sim::run_live_session(v, t, *scheme, est, cfg);
+  EXPECT_FALSE(r.session.chunks.empty());
+}
+
+TEST(DegradedSession, MultiClientUsesPerClientProviders) {
+  const video::Video v = testutil::default_flat_video(20);
+  const net::Trace t = testutil::flat_trace(4e6, 7200.0);
+  std::vector<sim::ClientSpec> clients(2);
+  for (sim::ClientSpec& c : clients) {
+    c.video = &v;
+    c.scheme = core::make_cava_p123();
+    c.estimator = std::make_unique<net::HarmonicMeanEstimator>(5);
+  }
+  video::SizeKnowledgeConfig kc;
+  kc.mode = video::SizeKnowledge::kDeclared;
+  kc.online_correction = true;
+  clients[0].size_provider = video::make_size_provider(kc);
+  const sim::MultiClientResult r = sim::run_multi_client(t, std::move(clients));
+  ASSERT_EQ(r.sessions.size(), 2u);
+  for (const sim::SessionResult& s : r.sessions) {
+    EXPECT_EQ(s.chunks.size(), v.num_chunks());
+  }
+}
+
+TEST(DegradedSession, MultiClientRejectsSharedProvider) {
+  const video::Video v = testutil::default_flat_video(5);
+  const net::Trace t = testutil::flat_trace(4e6, 7200.0);
+  std::vector<sim::ClientSpec> clients(1);
+  clients[0].video = &v;
+  clients[0].scheme = core::make_cava_p123();
+  clients[0].estimator = std::make_unique<net::HarmonicMeanEstimator>(5);
+  video::OracleSizeProvider shared;
+  sim::SessionConfig cfg;
+  cfg.size_provider = &shared;
+  EXPECT_THROW((void)sim::run_multi_client(t, std::move(clients), cfg),
+               std::invalid_argument);
+}
+
+TEST(DegradedSession, ExperimentFactoryBuildsPerWorkerProviders) {
+  const video::Video v = testutil::default_flat_video(20);
+  const std::vector<net::Trace> traces = {testutil::flat_trace(1e6, 7200.0),
+                                          testutil::flat_trace(3e6, 7200.0),
+                                          testutil::flat_trace(6e6, 7200.0)};
+  video::SizeKnowledgeConfig kc;
+  kc.mode = video::SizeKnowledge::kNoisy;
+  kc.online_correction = true;
+  sim::ExperimentSpec spec;
+  spec.video = &v;
+  spec.traces = traces;
+  spec.make_scheme = [] { return core::make_cava_p123(); };
+  spec.make_size_provider = [&kc] { return video::make_size_provider(kc); };
+  const sim::ExperimentResult r = sim::run_experiment(spec);
+  EXPECT_EQ(r.per_trace.size(), traces.size());
+  // A flat fixture has no Q4 (top-complexity) chunks, so assert on the
+  // all-chunk mean instead.
+  EXPECT_GT(r.mean_all_quality, 0.0);
+}
+
+TEST(DegradedSession, ExperimentRejectsFactoryPlusSharedProvider) {
+  const video::Video v = testutil::default_flat_video(5);
+  const std::vector<net::Trace> traces = {testutil::flat_trace(1e6, 7200.0)};
+  video::OracleSizeProvider shared;
+  sim::ExperimentSpec spec;
+  spec.video = &v;
+  spec.traces = traces;
+  spec.make_scheme = [] { return core::make_cava_p123(); };
+  spec.make_size_provider = [] {
+    return std::make_unique<video::OracleSizeProvider>();
+  };
+  spec.session.size_provider = &shared;
+  EXPECT_THROW((void)sim::run_experiment(spec), std::invalid_argument);
+}
+
+}  // namespace

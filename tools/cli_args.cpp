@@ -89,4 +89,27 @@ sim::RetryPolicy retry_policy_from_args(const CliArgs& args) {
   return rp;
 }
 
+const std::set<std::string>& size_knowledge_flag_names() {
+  static const std::set<std::string> names = {
+      "size-knowledge", "size-err",   "size-miss-rate", "size-prefix",
+      "size-correct",   "size-alpha", "size-seed"};
+  return names;
+}
+
+video::SizeKnowledgeConfig size_knowledge_config_from_args(
+    const CliArgs& args) {
+  video::SizeKnowledgeConfig sc;
+  sc.mode = video::size_knowledge_from_string(
+      args.get("size-knowledge", video::to_string(sc.mode)));
+  sc.noise_err = args.get_double("size-err", sc.noise_err);
+  sc.miss_rate = args.get_double("size-miss-rate", sc.miss_rate);
+  sc.known_prefix_chunks =
+      args.get_size("size-prefix", sc.known_prefix_chunks);
+  sc.online_correction = args.has("size-correct");
+  sc.correction_alpha = args.get_double("size-alpha", sc.correction_alpha);
+  sc.seed = args.get_size("size-seed", static_cast<std::size_t>(sc.seed));
+  sc.validate();
+  return sc;
+}
+
 }  // namespace vbr::tools

@@ -11,6 +11,7 @@
 
 #include "net/fault_model.h"
 #include "sim/retry.h"
+#include "video/size_provider.h"
 
 namespace vbr::tools {
 
@@ -58,5 +59,20 @@ class CliArgs {
 
 /// Builds a RetryPolicy from the retry flag group (defaults: sim defaults).
 [[nodiscard]] sim::RetryPolicy retry_policy_from_args(const CliArgs& args);
+
+/// The chunk-size knowledge flag group (degraded-metadata operation):
+///   --size-knowledge M   oracle | declared | noisy | partial (oracle)
+///   --size-err E         noisy: relative error bound in [0, 1)
+///   --size-miss-rate P   partial: per-entry hole probability in [0, 1]
+///   --size-prefix N      partial: table truncated after N chunks (0 = off)
+///   --size-correct       learn per-track EWMA corrections from actual sizes
+///   --size-alpha A       EWMA weight of the newest observation, (0, 1]
+///   --size-seed N        deterministic knowledge-fault seed
+[[nodiscard]] const std::set<std::string>& size_knowledge_flag_names();
+
+/// Builds a SizeKnowledgeConfig from the size-knowledge flag group
+/// (defaults: oracle, i.e. exact sizes). Validates before returning.
+[[nodiscard]] video::SizeKnowledgeConfig size_knowledge_config_from_args(
+    const CliArgs& args);
 
 }  // namespace vbr::tools

@@ -39,6 +39,16 @@
 //   --retry-timeout S  player-side no-progress timeout (fault model's T)
 //   --resume           byte-range resume of partial downloads
 //   --no-downgrade     keep retrying the chosen track, never downgrade
+//
+// Chunk-size knowledge flags (degraded-metadata operation; the network
+// always moves true bytes, only the schemes' size beliefs degrade):
+//   --size-knowledge M oracle|declared|noisy|partial (oracle = exact table)
+//   --size-err E       noisy: relative error bound in [0, 1) (0.25)
+//   --size-miss-rate P partial: per-entry hole probability (0.25)
+//   --size-prefix N    partial: size table truncated after N chunks (0=off)
+//   --size-correct     learn per-track EWMA corrections from actual sizes
+//   --size-alpha A     EWMA weight of the newest observation (0.3)
+//   --size-seed N      deterministic knowledge-fault seed (1)
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -92,6 +102,8 @@ int main(int argc, char** argv) {
         "rtt",    "abandon", "csv",   "fault-csv", "list-schemes", "help"};
     known.insert(tools::fault_flag_names().begin(),
                  tools::fault_flag_names().end());
+    known.insert(tools::size_knowledge_flag_names().begin(),
+                 tools::size_knowledge_flag_names().end());
     const tools::CliArgs args(argc, argv, known);
 
     if (args.has("help")) {
@@ -148,12 +160,22 @@ int main(int argc, char** argv) {
     const net::FaultConfig fault = tools::fault_config_from_args(args);
     const sim::RetryPolicy retry = tools::retry_policy_from_args(args);
     const bool faults_on = fault.any();
+    const video::SizeKnowledgeConfig size_knowledge =
+        tools::size_knowledge_config_from_args(args);
+    const bool degraded_sizes =
+        size_knowledge.mode != video::SizeKnowledge::kOracle ||
+        size_knowledge.online_correction;
 
     std::printf("video %s: %zu tracks, %zu chunks of %.1f s | %zu traces "
                 "(%s) | metric VMAF-%s\n",
                 v.name().c_str(), v.num_tracks(), v.num_chunks(),
                 v.chunk_duration_s(), traces.size(), kind.c_str(),
                 metric_name.c_str());
+    if (degraded_sizes) {
+      std::printf("size knowledge: %s (seed %llu)\n",
+                  video::make_size_provider(size_knowledge)->name().c_str(),
+                  static_cast<unsigned long long>(size_knowledge.seed));
+    }
     if (faults_on) {
       std::printf("faults: connect %.3f, drop %.3f, timeout %.3f (seed "
                   "%llu) | retry max %zu, backoff %.2fs%s%s\n",
@@ -203,6 +225,11 @@ int main(int argc, char** argv) {
       spec.session.enable_abandonment = args.has("abandon");
       spec.session.fault = fault;
       spec.session.retry = retry;
+      if (degraded_sizes) {
+        spec.make_size_provider = [&size_knowledge] {
+          return video::make_size_provider(size_knowledge);
+        };
+      }
       const sim::ExperimentResult r = sim::run_experiment(spec);
       if (faults_on) {
         std::printf("%-18s %8.1f %8.1f %8.1f %9.2f %8.2f %8.1f %8.2f "
