@@ -1,0 +1,153 @@
+// Telemetry overhead micro-benchmarks (google-benchmark).
+//
+// Quantifies what the observability layer (src/obs) costs per session and
+// per chunk across the sink spectrum:
+//
+//   - none:     SessionConfig.trace/metrics null — the zero-cost path the
+//               overhead regression ctest guards (one branch per chunk);
+//   - null_obj: an attached NullTraceSink — pays event construction and the
+//               virtual dispatch, discards the result;
+//   - memory:   MemoryTraceSink + MetricsRegistry — the full in-process
+//               telemetry the experiment harness uses per trace;
+//   - jsonl:    JsonlTraceSink into a discarded stream + registry — adds
+//               canonical serialization, the --trace-jsonl cost.
+//
+// Run: ./bench_micro_telemetry (any google-benchmark flags apply).
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "common.h"
+#include "core/cava.h"
+#include "net/bandwidth_estimator.h"
+#include "obs/metrics.h"
+#include "obs/trace_sink.h"
+#include "sim/session.h"
+
+namespace {
+
+using namespace vbr;
+
+const video::Video& ed() {
+  static const video::Video v = video::make_video(
+      "ED-ffmpeg-h264", video::Genre::kAnimation, video::Codec::kH264, 2.0,
+      2.0, bench::kCorpusSeed + 0x11, 600.0);
+  return v;
+}
+
+const net::Trace& lte() {
+  static const net::Trace t = net::generate_lte_trace(bench::kLteSeed);
+  return t;
+}
+
+void run_once(benchmark::State& state, const sim::SessionConfig& cfg) {
+  for (auto _ : state) {
+    auto cava = core::make_cava_p123();
+    net::HarmonicMeanEstimator est(5);
+    sim::SessionResult r = sim::run_session(ed(), lte(), *cava, est, cfg);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(ed().num_chunks()));
+}
+
+void BM_Session_NoTelemetry(benchmark::State& state) {
+  run_once(state, sim::SessionConfig{});
+}
+BENCHMARK(BM_Session_NoTelemetry);
+
+void BM_Session_NullObjectSink(benchmark::State& state) {
+  obs::NullTraceSink sink;
+  sim::SessionConfig cfg;
+  cfg.trace = &sink;
+  run_once(state, cfg);
+}
+BENCHMARK(BM_Session_NullObjectSink);
+
+void BM_Session_MemorySinkAndRegistry(benchmark::State& state) {
+  for (auto _ : state) {
+    obs::MemoryTraceSink sink;
+    obs::MetricsRegistry reg;
+    sim::SessionConfig cfg;
+    cfg.trace = &sink;
+    cfg.metrics = &reg;
+    auto cava = core::make_cava_p123();
+    net::HarmonicMeanEstimator est(5);
+    sim::SessionResult r = sim::run_session(ed(), lte(), *cava, est, cfg);
+    benchmark::DoNotOptimize(r);
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(ed().num_chunks()));
+}
+BENCHMARK(BM_Session_MemorySinkAndRegistry);
+
+void BM_Session_JsonlSinkAndRegistry(benchmark::State& state) {
+  for (auto _ : state) {
+    std::ostringstream out;
+    obs::JsonlTraceSink sink(out);
+    obs::MetricsRegistry reg;
+    sim::SessionConfig cfg;
+    cfg.trace = &sink;
+    cfg.metrics = &reg;
+    auto cava = core::make_cava_p123();
+    net::HarmonicMeanEstimator est(5);
+    sim::SessionResult r = sim::run_session(ed(), lte(), *cava, est, cfg);
+    benchmark::DoNotOptimize(r);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(ed().num_chunks()));
+}
+BENCHMARK(BM_Session_JsonlSinkAndRegistry);
+
+// The serializer in isolation: cost of one canonical JSONL line.
+void BM_EventToJsonl(benchmark::State& state) {
+  obs::DecisionEvent ev;
+  ev.session_id = 1;
+  ev.seq = 42;
+  ev.chunk_index = 42;
+  ev.decision_now_s = 123.456789;
+  ev.sim_now_s = 124.0001;
+  ev.scheme = "CAVA";
+  ev.size_mode = "exact";
+  ev.track = 3;
+  ev.buffer_before_s = 41.87;
+  ev.buffer_after_s = 43.87;
+  ev.est_bandwidth_bps = 2.34e6;
+  ev.size_bits = 4.2e6;
+  ev.download_s = 1.795;
+  obs::ControllerInternals c;
+  c.target_buffer_s = 60.0;
+  c.u = 1.23;
+  c.error_s = 18.13;
+  c.integral = 44.7;
+  c.alpha = 0.8;
+  c.complexity_class = 2;
+  ev.controller = c;
+  for (auto _ : state) {
+    std::string line = obs::to_jsonl(ev);
+    benchmark::DoNotOptimize(line);
+  }
+}
+BENCHMARK(BM_EventToJsonl);
+
+// One registry bump set, as on_chunk performs per chunk.
+void BM_MetricsPerChunkUpdate(benchmark::State& state) {
+  obs::MetricsRegistry reg;
+  obs::Counter& chunks = reg.counter("chunks_total");
+  obs::Counter& bits = reg.counter("bits_downloaded");
+  obs::Histogram& dl =
+      reg.histogram("download_seconds", obs::download_seconds_bounds());
+  for (auto _ : state) {
+    chunks.increment();
+    bits.add(4.2e6);
+    dl.record(1.795);
+    benchmark::DoNotOptimize(reg);
+  }
+}
+BENCHMARK(BM_MetricsPerChunkUpdate);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -12,6 +12,7 @@
 #include <cstddef>
 #include <string>
 
+#include "obs/event.h"
 #include "video/size_provider.h"
 #include "video/video.h"
 
@@ -80,6 +81,14 @@ class AbrScheme {
 
   /// Clears per-session state.
   virtual void reset() {}
+
+  /// Telemetry hook: enriches the event for the scheme's *most recent*
+  /// decision with scheme-specific internals (CAVA fills the controller
+  /// block; plain schemes have nothing to add). Called by the session loops
+  /// only when a trace sink is attached — never on the null-sink hot path.
+  virtual void annotate_event(obs::DecisionEvent& event) const {
+    (void)event;
+  }
 
   [[nodiscard]] virtual std::string name() const = 0;
 };

@@ -71,6 +71,9 @@ abr::Decision Cava::decide(const abr::StreamContext& ctx) {
   Diagnostics d;
   d.u = u;
   d.target_buffer_s = target;
+  d.error_s = target - ctx.buffer_s;
+  d.integral = pid_.integral();
+  d.complexity_class = classifier_->class_of(ctx.next_chunk);
   d.complex_chunk = classifier_->is_complex(ctx.next_chunk);
   d.alpha = config_.use_differential_treatment
                 ? (d.complex_chunk ? config_.alpha_complex
@@ -79,6 +82,22 @@ abr::Decision Cava::decide(const abr::StreamContext& ctx) {
   last_diagnostics_ = d;
 
   return abr::Decision{.track = track};
+}
+
+void Cava::annotate_event(obs::DecisionEvent& event) const {
+  if (!last_diagnostics_.has_value()) {
+    return;
+  }
+  const Diagnostics& d = *last_diagnostics_;
+  obs::ControllerInternals c;
+  c.target_buffer_s = d.target_buffer_s;
+  c.u = d.u;
+  c.error_s = d.error_s;
+  c.integral = d.integral;
+  c.alpha = d.alpha;
+  c.complexity_class = d.complexity_class;
+  c.complex_chunk = d.complex_chunk;
+  event.controller = c;
 }
 
 void Cava::reset() {

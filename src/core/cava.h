@@ -37,6 +37,10 @@ class Cava final : public abr::AbrScheme {
 
   [[nodiscard]] abr::Decision decide(const abr::StreamContext& ctx) override;
   void reset() override;
+  /// Fills the event's controller block from the most recent decision
+  /// (outer target, PID terms, classifier bucket) — the quantities the
+  /// paper's Figs. 6–7 plot.
+  void annotate_event(obs::DecisionEvent& event) const override;
   [[nodiscard]] std::string name() const override;
 
   [[nodiscard]] const CavaConfig& config() const { return config_; }
@@ -46,7 +50,10 @@ class Cava final : public abr::AbrScheme {
   struct Diagnostics {
     double u = 0.0;                 ///< PID output.
     double target_buffer_s = 0.0;   ///< Outer-controller target x_r(t).
+    double error_s = 0.0;           ///< PID proportional input x_r - x.
+    double integral = 0.0;          ///< PID integral state after the update.
     double alpha = 1.0;             ///< Bandwidth scale applied.
+    std::size_t complexity_class = 0;  ///< Classifier bucket of the chunk.
     bool complex_chunk = false;     ///< Next chunk classified Q4.
   };
   [[nodiscard]] const std::optional<Diagnostics>& last_diagnostics() const {

@@ -1,0 +1,74 @@
+// Typed per-decision telemetry events (observability layer).
+//
+// One DecisionEvent is emitted per chunk the session loop resolves — the
+// structured record of *why* the player did what it did: the state the
+// scheme saw, the track it picked, what the download cost, and (for CAVA)
+// the controller internals behind the choice. The paper's Figs. 6–7 are
+// exactly plots of these quantities; real deployments (Puffer's per-chunk
+// server-side logs) instrument the same thing.
+//
+// Events carry only *simulation-deterministic* values: same-seed runs must
+// serialize byte-identically at any thread count, so wall-clock data lives
+// exclusively in the metrics layer (see obs/metrics.h), never in events.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace vbr::obs {
+
+/// CAVA controller internals captured at decision time (absent for schemes
+/// without a controller; populated via AbrScheme::annotate_event).
+struct ControllerInternals {
+  double target_buffer_s = 0.0;  ///< Outer-controller setpoint x_r(t).
+  double u = 0.0;                ///< Inner PID output.
+  double error_s = 0.0;          ///< PID proportional term input x_r - x.
+  double integral = 0.0;         ///< PID integral state after the update.
+  double alpha = 1.0;            ///< Differential-treatment bandwidth scale.
+  std::size_t complexity_class = 0;  ///< Classifier bucket of the chunk.
+  bool complex_chunk = false;        ///< Chunk in the top ("Q4") class.
+};
+
+/// One resolved chunk decision. Field semantics mirror sim::ChunkRecord,
+/// plus the decision inputs (buffer, bandwidth estimate) and the running
+/// rebuffer total that makes the stream self-auditing.
+struct DecisionEvent {
+  std::uint64_t session_id = 0;  ///< Trace index / client id within a run.
+  std::uint64_t seq = 0;         ///< Emission order within the stream.
+  std::size_t chunk_index = 0;
+  double decision_now_s = 0.0;   ///< Sim clock when the scheme decided.
+  double sim_now_s = 0.0;        ///< Sim clock when the chunk resolved.
+  std::string scheme;            ///< Scheme name (AbrScheme::name()).
+  std::string size_mode;         ///< Size-knowledge mode ("exact" or the
+                                 ///< attached provider's name()).
+  std::size_t track = 0;         ///< Track as delivered (post downgrade /
+                                 ///< abandonment).
+  bool in_startup = false;       ///< Decision taken before playback began.
+  double buffer_before_s = 0.0;  ///< Buffer level the scheme saw.
+  double buffer_after_s = 0.0;   ///< Buffer right after the chunk resolved.
+  double est_bandwidth_bps = 0.0;
+  double size_bits = 0.0;        ///< Bits of the delivered chunk (0 if
+                                 ///< skipped).
+  double wait_s = 0.0;
+  double download_s = 0.0;
+  double stall_s = 0.0;          ///< Rebuffering during this download.
+  double cum_rebuffer_s = 0.0;   ///< Session rebuffer total so far.
+
+  // Fault/retry outcome (all zero / false on the fault-free path).
+  std::size_t attempts = 1;
+  std::size_t connect_failures = 0;
+  std::size_t mid_drops = 0;
+  std::size_t timeouts = 0;
+  double backoff_wait_s = 0.0;
+  double resumed_bits = 0.0;
+  double wasted_bits = 0.0;
+  bool downgraded = false;
+  bool skipped = false;
+  bool abandoned_higher = false;
+
+  std::optional<ControllerInternals> controller;
+};
+
+}  // namespace vbr::obs

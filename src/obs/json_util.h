@@ -1,0 +1,66 @@
+// Canonical JSON fragment writers shared by the telemetry serializers.
+//
+// Doubles use std::to_chars with no precision argument: the shortest
+// decimal form that round-trips, which is uniquely defined and therefore
+// byte-stable across runs — the property the golden-trace and determinism
+// tests rely on. Never use printf %g here (its output is locale- and
+// precision-policy dependent).
+#pragma once
+
+#include <charconv>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace vbr::obs::detail {
+
+inline void append_double(std::string& out, double v) {
+  char buf[64];
+  const std::to_chars_result r = std::to_chars(buf, buf + sizeof(buf), v);
+  if (r.ec == std::errc()) {
+    out.append(buf, r.ptr);
+  } else {
+    out += "null";  // unrepresentable (cannot happen for finite doubles)
+  }
+}
+
+inline void append_uint(std::string& out, std::uint64_t v) {
+  char buf[32];
+  const std::to_chars_result r = std::to_chars(buf, buf + sizeof(buf), v);
+  out.append(buf, r.ptr);
+}
+
+inline void append_json_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace vbr::obs::detail

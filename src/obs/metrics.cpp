@@ -1,0 +1,223 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <array>
+#include <limits>
+#include <stdexcept>
+
+#include "obs/json_util.h"
+
+namespace vbr::obs {
+
+Histogram::Histogram(std::vector<double> bounds, bool wall_clock)
+    : bounds_(std::move(bounds)),
+      counts_(bounds_.size() + 1, 0),
+      wall_clock_(wall_clock) {
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    if (!(bounds_[i - 1] < bounds_[i])) {
+      throw std::invalid_argument(
+          "Histogram: bounds must be strictly increasing");
+    }
+  }
+}
+
+void Histogram::record(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+  if (count_ == 0) {
+    min_ = v;
+    max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
+  sum_ += v;
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (bounds_ != other.bounds_) {
+    throw std::invalid_argument("Histogram::merge: mismatched bounds");
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  if (other.count_ > 0) {
+    if (count_ == 0) {
+      min_ = other.min_;
+      max_ = other.max_;
+    } else {
+      min_ = std::min(min_, other.min_);
+      max_ = std::max(max_, other.max_);
+    }
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  wall_clock_ = wall_clock_ || other.wall_clock_;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  if (gauges_.count(name) != 0 || histograms_.count(name) != 0) {
+    throw std::invalid_argument("MetricsRegistry: '" + name +
+                                "' already registered as another kind");
+  }
+  return counters_[name];
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  if (counters_.count(name) != 0 || histograms_.count(name) != 0) {
+    throw std::invalid_argument("MetricsRegistry: '" + name +
+                                "' already registered as another kind");
+  }
+  return gauges_[name];
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::span<const double> bounds,
+                                      bool wall_clock) {
+  if (counters_.count(name) != 0 || gauges_.count(name) != 0) {
+    throw std::invalid_argument("MetricsRegistry: '" + name +
+                                "' already registered as another kind");
+  }
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) {
+    if (!std::equal(bounds.begin(), bounds.end(), it->second.bounds().begin(),
+                    it->second.bounds().end())) {
+      throw std::invalid_argument("MetricsRegistry: histogram '" + name +
+                                  "' re-registered with different bounds");
+    }
+    return it->second;
+  }
+  return histograms_
+      .emplace(name, Histogram(std::vector<double>(bounds.begin(),
+                                                   bounds.end()),
+                               wall_clock))
+      .first->second;
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  for (const auto& [name, c] : other.counters_) {
+    counter(name).add(c.value());
+  }
+  for (const auto& [name, g] : other.gauges_) {
+    if (g.written()) {
+      gauge(name).set(g.value());
+    }
+  }
+  for (const auto& [name, h] : other.histograms_) {
+    histogram(name, h.bounds(), h.wall_clock()).merge(h);
+  }
+}
+
+namespace {
+
+void write_histogram_json(std::string& s, const Histogram& h,
+                          bool deterministic_only) {
+  using detail::append_double;
+  using detail::append_uint;
+  // A wall-clock histogram's only reproducible quantity is how many
+  // observations it took; which bucket each landed in is machine noise, so
+  // the fingerprint drops the bucket spread along with sum/min/max.
+  const bool hide_values = deterministic_only && h.wall_clock();
+  s += "{\"bounds\":[";
+  for (std::size_t i = 0; i < h.bounds().size(); ++i) {
+    if (i != 0) {
+      s += ',';
+    }
+    append_double(s, h.bounds()[i]);
+  }
+  s += ']';
+  if (!hide_values) {
+    s += ",\"counts\":[";
+    for (std::size_t i = 0; i < h.counts().size(); ++i) {
+      if (i != 0) {
+        s += ',';
+      }
+      append_uint(s, h.counts()[i]);
+    }
+    s += ']';
+  }
+  s += ",\"count\":";
+  append_uint(s, h.count());
+  if (!hide_values) {
+    s += ",\"sum\":";
+    append_double(s, h.sum());
+    if (h.count() > 0) {
+      s += ",\"min\":";
+      append_double(s, h.min());
+      s += ",\"max\":";
+      append_double(s, h.max());
+    }
+  }
+  if (h.wall_clock()) {
+    s += ",\"wall_clock\":true";
+  }
+  s += '}';
+}
+
+std::string registry_json(const MetricsRegistry& reg,
+                          bool deterministic_only) {
+  using detail::append_double;
+  using detail::append_json_string;
+  std::string s;
+  s += "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : reg.counters()) {
+    if (!first) {
+      s += ',';
+    }
+    first = false;
+    append_json_string(s, name);
+    s += ':';
+    append_double(s, c.value());
+  }
+  s += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : reg.gauges()) {
+    if (!first) {
+      s += ',';
+    }
+    first = false;
+    append_json_string(s, name);
+    s += ':';
+    append_double(s, g.value());
+  }
+  s += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : reg.histograms()) {
+    if (!first) {
+      s += ',';
+    }
+    first = false;
+    append_json_string(s, name);
+    s += ':';
+    write_histogram_json(s, h, deterministic_only);
+  }
+  s += "}}";
+  return s;
+}
+
+}  // namespace
+
+void MetricsRegistry::write_json(std::ostream& out) const {
+  out << registry_json(*this, /*deterministic_only=*/false);
+}
+
+std::string MetricsRegistry::deterministic_fingerprint() const {
+  return registry_json(*this, /*deterministic_only=*/true);
+}
+
+namespace {
+// Download durations span tens of ms (one small chunk on fast LTE) to tens
+// of seconds (outage + retry); decisions are sub-millisecond in C++ (the
+// paper's JS rule measured ~190 us).
+constexpr std::array<double, 10> kDownloadBounds = {
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 5.0, 10.0, 30.0, 60.0};
+constexpr std::array<double, 9> kDecisionBounds = {
+    1e-7, 5e-7, 1e-6, 5e-6, 1e-5, 5e-5, 1e-4, 1e-3, 1e-2};
+}  // namespace
+
+std::span<const double> download_seconds_bounds() { return kDownloadBounds; }
+std::span<const double> decision_latency_bounds() { return kDecisionBounds; }
+
+}  // namespace vbr::obs

@@ -1,0 +1,161 @@
+// MetricsRegistry: counters, gauges, and histograms for the session loops.
+//
+// Concurrency model: lock-free by construction, not by atomics. Each
+// concurrently-running session owns a private registry; the harness merges
+// them at the end in a *stable order* (trace index, never worker id), so
+// counter/gauge/histogram-bucket values are bit-identical at any thread
+// count. The one deliberate exception is wall-clock time accumulated by
+// ScopedTimer (decision latency): those sums depend on the machine, so
+// histograms created via scoped timers are flagged `wall_clock` and
+// excluded from deterministic_fingerprint().
+//
+// Metric handles returned by counter()/gauge()/histogram() stay valid for
+// the registry's lifetime (std::map node stability), so hot loops resolve
+// names once and bump pointers thereafter.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace vbr::obs {
+
+/// Monotonically-increasing sum (doubles: bits and seconds are counters
+/// here, as in Prometheus).
+class Counter {
+ public:
+  void add(double v) { value_ += v; }
+  void increment() { value_ += 1.0; }
+  [[nodiscard]] double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Last-written value. Merge semantics: the later-merged registry wins if
+/// it ever wrote the gauge — deterministic because merges happen in stable
+/// trace order.
+class Gauge {
+ public:
+  void set(double v) {
+    value_ = v;
+    written_ = true;
+  }
+  [[nodiscard]] double value() const { return value_; }
+  [[nodiscard]] bool written() const { return written_; }
+
+ private:
+  double value_ = 0.0;
+  bool written_ = false;
+};
+
+/// Fixed-boundary histogram: counts[i] = observations <= bounds[i], plus an
+/// overflow bucket; tracks sum/count/min/max.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds, bool wall_clock = false);
+
+  void record(double v);
+
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+  [[nodiscard]] const std::vector<std::uint64_t>& counts() const {
+    return counts_;
+  }
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+  /// True when the recorded quantity is machine wall-clock time, i.e. not
+  /// reproducible across runs (set by ScopedTimer's histogram factory).
+  [[nodiscard]] bool wall_clock() const { return wall_clock_; }
+
+  /// Adds another histogram's observations. Throws std::invalid_argument
+  /// on mismatched bucket boundaries.
+  void merge(const Histogram& other);
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> counts_;  ///< bounds_.size() + 1 entries.
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  bool wall_clock_ = false;
+};
+
+class MetricsRegistry {
+ public:
+  /// Finds or creates. The returned reference is stable for the registry's
+  /// lifetime. A name must keep one kind: re-requesting it as a different
+  /// metric type throws std::invalid_argument.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// `bounds` must be strictly increasing (validated on first creation; a
+  /// later call with different bounds for the same name throws).
+  Histogram& histogram(const std::string& name,
+                       std::span<const double> bounds,
+                       bool wall_clock = false);
+
+  [[nodiscard]] const std::map<std::string, Counter>& counters() const {
+    return counters_;
+  }
+  [[nodiscard]] const std::map<std::string, Gauge>& gauges() const {
+    return gauges_;
+  }
+  [[nodiscard]] const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
+  }
+
+  /// Folds `other` into this registry (sum counters, overwrite written
+  /// gauges, merge histograms). Call in a stable order for reproducibility.
+  void merge(const MetricsRegistry& other);
+
+  /// Deterministic JSON object: counters, gauges, histograms sorted by
+  /// name. Doubles serialize in shortest round-trip form.
+  void write_json(std::ostream& out) const;
+
+  /// The reproducible slice of write_json: wall-clock histograms keep their
+  /// counts (how many decisions happened is deterministic) but drop their
+  /// sum/min/max and per-bucket spread. Equal fingerprints <=> equal
+  /// deterministic telemetry.
+  [[nodiscard]] std::string deterministic_fingerprint() const;
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+/// RAII wall-clock timer recording seconds into a wall-clock histogram on
+/// destruction. Null histogram = fully inert (no clock read).
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* hist) : hist_(hist) {
+    if (hist_ != nullptr) {
+      start_ = std::chrono::steady_clock::now();
+    }
+  }
+  ~ScopedTimer() {
+    if (hist_ != nullptr) {
+      const auto end = std::chrono::steady_clock::now();
+      hist_->record(std::chrono::duration<double>(end - start_).count());
+    }
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram* hist_;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+/// Default bucket boundaries.
+[[nodiscard]] std::span<const double> download_seconds_bounds();
+[[nodiscard]] std::span<const double> decision_latency_bounds();
+
+}  // namespace vbr::obs

@@ -1,0 +1,126 @@
+#include "obs/trace_sink.h"
+
+#include <cerrno>
+#include <system_error>
+
+#include "obs/json_util.h"
+
+namespace vbr::obs {
+
+void MemoryTraceSink::on_decision(const DecisionEvent& event) {
+  ++received_;
+  events_.push_back(event);
+  if (capacity_ > 0 && events_.size() > capacity_) {
+    events_.pop_front();
+  }
+}
+
+void MemoryTraceSink::clear() {
+  events_.clear();
+  received_ = 0;
+}
+
+std::string to_jsonl(const DecisionEvent& e) {
+  using detail::append_double;
+  using detail::append_json_string;
+  using detail::append_uint;
+
+  std::string s;
+  s.reserve(384);
+  s += "{\"session\":";
+  append_uint(s, e.session_id);
+  s += ",\"seq\":";
+  append_uint(s, e.seq);
+  s += ",\"chunk\":";
+  append_uint(s, e.chunk_index);
+  s += ",\"t_decide\":";
+  append_double(s, e.decision_now_s);
+  s += ",\"t\":";
+  append_double(s, e.sim_now_s);
+  s += ",\"scheme\":";
+  append_json_string(s, e.scheme);
+  s += ",\"size_mode\":";
+  append_json_string(s, e.size_mode);
+  s += ",\"track\":";
+  append_uint(s, e.track);
+  s += ",\"in_startup\":";
+  s += e.in_startup ? "true" : "false";
+  s += ",\"buffer_s\":";
+  append_double(s, e.buffer_before_s);
+  s += ",\"buffer_after_s\":";
+  append_double(s, e.buffer_after_s);
+  s += ",\"est_bw_bps\":";
+  append_double(s, e.est_bandwidth_bps);
+  s += ",\"size_bits\":";
+  append_double(s, e.size_bits);
+  s += ",\"wait_s\":";
+  append_double(s, e.wait_s);
+  s += ",\"download_s\":";
+  append_double(s, e.download_s);
+  s += ",\"stall_s\":";
+  append_double(s, e.stall_s);
+  s += ",\"cum_rebuffer_s\":";
+  append_double(s, e.cum_rebuffer_s);
+  s += ",\"attempts\":";
+  append_uint(s, e.attempts);
+  s += ",\"connect_failures\":";
+  append_uint(s, e.connect_failures);
+  s += ",\"mid_drops\":";
+  append_uint(s, e.mid_drops);
+  s += ",\"timeouts\":";
+  append_uint(s, e.timeouts);
+  s += ",\"backoff_s\":";
+  append_double(s, e.backoff_wait_s);
+  s += ",\"resumed_bits\":";
+  append_double(s, e.resumed_bits);
+  s += ",\"wasted_bits\":";
+  append_double(s, e.wasted_bits);
+  s += ",\"downgraded\":";
+  s += e.downgraded ? "true" : "false";
+  s += ",\"skipped\":";
+  s += e.skipped ? "true" : "false";
+  s += ",\"abandoned\":";
+  s += e.abandoned_higher ? "true" : "false";
+  if (e.controller.has_value()) {
+    const ControllerInternals& c = *e.controller;
+    s += ",\"cava\":{\"target_s\":";
+    append_double(s, c.target_buffer_s);
+    s += ",\"u\":";
+    append_double(s, c.u);
+    s += ",\"error_s\":";
+    append_double(s, c.error_s);
+    s += ",\"integral\":";
+    append_double(s, c.integral);
+    s += ",\"alpha\":";
+    append_double(s, c.alpha);
+    s += ",\"class\":";
+    append_uint(s, c.complexity_class);
+    s += ",\"complex\":";
+    s += c.complex_chunk ? "true" : "false";
+    s += "}";
+  }
+  s += "}";
+  return s;
+}
+
+JsonlTraceSink::JsonlTraceSink(const std::string& path) {
+  errno = 0;
+  owned_.open(path, std::ios::out | std::ios::trunc);
+  if (!owned_) {
+    // Surface the OS reason (ENOENT, EACCES, EISDIR, ...) to the caller —
+    // a telemetry run that silently logs nothing is worse than no run.
+    throw std::system_error(errno != 0 ? errno : EIO,
+                            std::generic_category(),
+                            "JsonlTraceSink: cannot open '" + path + "'");
+  }
+  out_ = &owned_;
+}
+
+void JsonlTraceSink::on_decision(const DecisionEvent& event) {
+  *out_ << to_jsonl(event) << '\n';
+  ++lines_;
+}
+
+void JsonlTraceSink::flush() { out_->flush(); }
+
+}  // namespace vbr::obs

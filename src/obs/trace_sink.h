@@ -1,0 +1,92 @@
+// TraceSink: where DecisionEvents go.
+//
+// The session loops accept a nullable TraceSink*; a null pointer is the
+// "null sink" and costs one predictable branch per chunk — nothing is
+// allocated, formatted, or copied (enforced by the overhead regression
+// test). Three concrete sinks:
+//
+//   - MemoryTraceSink:  in-memory ring (bounded or unbounded) for tests and
+//                       programmatic analysis;
+//   - JsonlTraceSink:   one canonical JSON object per line, to a file or a
+//                       caller-owned stream. Serialization is deterministic
+//                       (std::to_chars shortest round-trip doubles, fixed
+//                       field order), so same-seed runs diff byte-for-byte;
+//   - NullTraceSink:    a discarding object, for call sites that need a
+//                       non-null sink.
+//
+// Sinks are NOT thread-safe by design: each concurrent session owns its own
+// sink and the harness merges afterwards in a stable order (see
+// sim::run_experiment).
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <fstream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/event.h"
+
+namespace vbr::obs {
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void on_decision(const DecisionEvent& event) = 0;
+  virtual void flush() {}
+};
+
+/// Discards everything (explicit-object variant of the null sink).
+class NullTraceSink final : public TraceSink {
+ public:
+  void on_decision(const DecisionEvent& event) override { (void)event; }
+};
+
+/// Keeps the last `capacity` events in memory (0 = unbounded).
+class MemoryTraceSink final : public TraceSink {
+ public:
+  explicit MemoryTraceSink(std::size_t capacity = 0) : capacity_(capacity) {}
+
+  void on_decision(const DecisionEvent& event) override;
+
+  [[nodiscard]] const std::deque<DecisionEvent>& events() const {
+    return events_;
+  }
+  /// Total events ever received (>= events().size() once the ring wraps).
+  [[nodiscard]] std::uint64_t total_received() const { return received_; }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  void clear();
+
+ private:
+  std::size_t capacity_;
+  std::uint64_t received_ = 0;
+  std::deque<DecisionEvent> events_;
+};
+
+/// Serializes one event as a canonical single-line JSON object (no trailing
+/// newline). Field order is fixed; doubles use std::to_chars shortest
+/// round-trip form, so equal event streams serialize byte-identically.
+[[nodiscard]] std::string to_jsonl(const DecisionEvent& event);
+
+/// Writes each event as one JSONL line.
+class JsonlTraceSink final : public TraceSink {
+ public:
+  /// Opens (truncates) `path`. Throws std::system_error carrying errno when
+  /// the file cannot be opened, so callers can surface the OS reason.
+  explicit JsonlTraceSink(const std::string& path);
+  /// Writes to a caller-owned stream (kept borrowed; must outlive the sink).
+  explicit JsonlTraceSink(std::ostream& out) : out_(&out) {}
+
+  void on_decision(const DecisionEvent& event) override;
+  void flush() override;
+
+  [[nodiscard]] std::uint64_t lines_written() const { return lines_; }
+
+ private:
+  std::ofstream owned_;
+  std::ostream* out_ = nullptr;
+  std::uint64_t lines_ = 0;
+};
+
+}  // namespace vbr::obs

@@ -86,6 +86,20 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
         "run_experiment: set make_size_provider or session.size_provider, "
         "not both");
   }
+  if (spec.threads > kMaxThreads) {
+    throw std::invalid_argument(
+        "run_experiment: threads exceeds kMaxThreads (" +
+        std::to_string(kMaxThreads) + ")");
+  }
+  if (spec.session.trace != nullptr || spec.session.metrics != nullptr) {
+    // A sink on the per-session config would be shared by every worker
+    // thread at once; the spec-level sinks exist precisely to avoid that.
+    throw std::invalid_argument(
+        "run_experiment: wire telemetry through ExperimentSpec::trace/"
+        "metrics, not SessionConfig — session sinks are not thread-safe");
+  }
+  const bool telemetry_on =
+      spec.trace != nullptr || spec.metrics != nullptr;
   const EstimatorFactory make_estimator =
       spec.make_estimator ? spec.make_estimator : default_estimator_factory();
 
@@ -99,6 +113,16 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
   result.per_trace.resize(spec.traces.size());
   result.per_trace_faults.resize(spec.traces.size());
   result.scheme_name = spec.make_scheme()->name();
+
+  // Per-trace telemetry slots: each worker writes only the slot of the
+  // trace it owns (lock-free), and the fold below reads them in index
+  // order — the merged stream is invariant under the worker schedule.
+  std::vector<std::unique_ptr<obs::MemoryTraceSink>> trace_sinks;
+  std::vector<std::unique_ptr<obs::MetricsRegistry>> registries;
+  if (telemetry_on) {
+    trace_sinks.resize(spec.traces.size());
+    registries.resize(spec.traces.size());
+  }
 
   const unsigned threads =
       spec.threads > 0
@@ -126,6 +150,17 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
           SessionConfig session_config = spec.session;
           if (sizes) {
             session_config.size_provider = sizes.get();
+          }
+          if (telemetry_on) {
+            session_config.session_id = i;
+            if (spec.trace != nullptr) {
+              trace_sinks[i] = std::make_unique<obs::MemoryTraceSink>();
+              session_config.trace = trace_sinks[i].get();
+            }
+            if (spec.metrics != nullptr) {
+              registries[i] = std::make_unique<obs::MetricsRegistry>();
+              session_config.metrics = registries[i].get();
+            }
           }
           const SessionResult session =
               run_session(*spec.video, spec.traces[i], *scheme, *estimator,
@@ -155,6 +190,30 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
   }
   for (std::thread& w : workers) {
     w.join();
+  }
+
+  // Stable-order telemetry fold: trace index, never worker id. Events are
+  // re-sequenced globally so the merged stream has one monotone `seq`.
+  if (spec.trace != nullptr) {
+    std::uint64_t global_seq = 0;
+    for (const std::unique_ptr<obs::MemoryTraceSink>& sink : trace_sinks) {
+      if (!sink) {
+        continue;
+      }
+      for (const obs::DecisionEvent& ev : sink->events()) {
+        obs::DecisionEvent merged = ev;
+        merged.seq = global_seq++;
+        spec.trace->on_decision(merged);
+      }
+    }
+    spec.trace->flush();
+  }
+  if (spec.metrics != nullptr) {
+    for (const std::unique_ptr<obs::MetricsRegistry>& reg : registries) {
+      if (reg) {
+        spec.metrics->merge(*reg);
+      }
+    }
   }
 
   const auto& pt = result.per_trace;

@@ -47,9 +47,26 @@ struct ExperimentSpec {
   SessionConfig session;
   video::QualityMetric metric = video::QualityMetric::kVmafPhone;
   metrics::QoeConfig qoe;
-  /// Worker threads; 0 = hardware concurrency.
+  /// Worker threads; 0 = hardware concurrency. Validated: run_experiment
+  /// rejects values above kMaxThreads (a mistyped thread count should fail
+  /// loudly, not fork-bomb the host).
   unsigned threads = 0;
+
+  /// Merged telemetry destinations (optional, not owned). Sessions never
+  /// touch these concurrently: each trace runs with a private in-memory
+  /// sink and registry, and the harness folds them into `trace`/`metrics`
+  /// in *trace-index order* after the workers join. Same-seed experiments
+  /// therefore produce byte-identical merged event streams and identical
+  /// deterministic metrics at any thread count. Because of this discipline,
+  /// run_experiment rejects sinks wired through `session` (they would be
+  /// shared across worker threads).
+  obs::TraceSink* trace = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
 };
+
+/// Upper bound on ExperimentSpec::threads (sanity guard, not a tuning
+/// knob).
+inline constexpr unsigned kMaxThreads = 1024;
 
 /// Aggregate over all traces of one experiment.
 struct ExperimentResult {

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "sim/buffer.h"
+#include "sim/telemetry.h"
 
 namespace vbr::sim {
 
@@ -46,6 +47,9 @@ LiveSessionResult run_live_session(const video::Video& video,
   if (config.size_provider != nullptr) {
     config.size_provider->reset();
   }
+  detail::SessionTelemetry telemetry;
+  telemetry.bind(config.trace, config.metrics, config.session_id, scheme,
+                 config.size_provider);
 
   PlayoutBuffer buffer(config.max_buffer_s);
   LiveSessionResult result;
@@ -91,7 +95,8 @@ LiveSessionResult run_live_session(const video::Video& video,
     ctx.visible_chunks = std::min(visible, video.num_chunks());
     ctx.sizes = config.size_provider;
 
-    const abr::Decision decision = scheme.decide(ctx);
+    const abr::Decision decision = detail::timed_decide(telemetry, scheme,
+                                                        ctx);
     if (decision.track >= video.num_tracks()) {
       throw std::logic_error("run_live_session: scheme chose invalid track");
     }
@@ -218,11 +223,15 @@ LiveSessionResult run_live_session(const video::Video& video,
 
     result.session.total_bits += rec.size_bits;
     result.session.chunks.push_back(rec);
+    telemetry.on_chunk(rec, ctx, scheme, result.session.total_rebuffer_s, t);
     if (!rec.skipped) {
       prev_track = static_cast<int>(rec.track);
     }
   }
   result.session.end_time_s = t;
+  if (config.trace != nullptr) {
+    config.trace->flush();
+  }
 
   // Latency accounting: chunk i starts playing at
   //   P(0) = playback start, P(i) = max(P(i-1) + chunk_s, F(i)),

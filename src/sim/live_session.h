@@ -39,6 +39,12 @@ struct LiveSessionConfig {
   /// same null-means-exact semantics). Degraded metadata is *more* likely
   /// live: segment size tables are only published as segments are encoded.
   video::ChunkSizeProvider* size_provider = nullptr;
+
+  /// Telemetry, same semantics as SessionConfig (both null = off and
+  /// zero-cost; not owned; not thread-safe).
+  obs::TraceSink* trace = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
+  std::uint64_t session_id = 0;
 };
 
 struct LiveSessionResult {

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "sim/buffer.h"
+#include "sim/telemetry.h"
 
 namespace vbr::sim {
 
@@ -87,6 +88,8 @@ struct ClientState {
   double attempt_bits = 0.0;     ///< Bits the current attempt transfers.
   bool attempt_failing = false;  ///< Current transfer ends in a mid-drop.
   bool pending_failure = false;  ///< A no-byte failure's delay is elapsing.
+  detail::SessionTelemetry telemetry;  ///< Bound per client (single-threaded
+                                       ///< loop, so one shared sink is safe).
 
   explicit ClientState(ClientSpec s, double max_buffer,
                        const net::FaultConfig& fc, std::uint64_t stream)
@@ -128,6 +131,8 @@ MultiClientResult run_multi_client(const net::Trace& trace,
     }
     ClientState cs(std::move(spec), config.max_buffer_s, config.fault, ci);
     cs.phase_until = cs.spec.start_offset_s;
+    cs.telemetry.bind(config.trace, config.metrics, config.session_id + ci,
+                      *cs.spec.scheme, cs.spec.size_provider.get());
     state.push_back(std::move(cs));
   }
 
@@ -148,6 +153,8 @@ MultiClientResult run_multi_client(const net::Trace& trace,
       c.result.startup_delay_s = t - c.spec.start_offset_s;
     }
     c.result.chunks.push_back(c.rec);
+    c.telemetry.on_chunk(c.rec, c.last_ctx, *c.spec.scheme,
+                         c.result.total_rebuffer_s, t);
     ++c.next_chunk;
     c.room_checked = false;
     c.fetch_started = false;
@@ -233,7 +240,8 @@ MultiClientResult run_multi_client(const net::Trace& trace,
       ctx.startup_latency_s = config.startup_latency_s;
       ctx.in_startup = !c.buffer.playing();
       ctx.sizes = c.spec.size_provider.get();
-      const abr::Decision d = c.spec.scheme->decide(ctx);
+      const abr::Decision d =
+          detail::timed_decide(c.telemetry, *c.spec.scheme, ctx);
       if (d.track >= v.num_tracks()) {
         throw std::logic_error("run_multi_client: invalid track");
       }
@@ -336,6 +344,8 @@ MultiClientResult run_multi_client(const net::Trace& trace,
     }
     c.result.total_bits += c.rec.size_bits;
     c.result.chunks.push_back(c.rec);
+    c.telemetry.on_chunk(c.rec, c.last_ctx, *c.spec.scheme,
+                         c.result.total_rebuffer_s, t);
     c.prev_track = static_cast<int>(c.rec.track);
     ++c.next_chunk;
     c.room_checked = false;
@@ -422,6 +432,10 @@ MultiClientResult run_multi_client(const net::Trace& trace,
         }
       }
     }
+  }
+
+  if (config.trace != nullptr) {
+    config.trace->flush();
   }
 
   MultiClientResult result;

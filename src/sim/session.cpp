@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "sim/buffer.h"
+#include "sim/telemetry.h"
 
 namespace vbr::sim {
 
@@ -80,6 +81,9 @@ SessionResult run_session(const video::Video& video, const net::Trace& trace,
   if (config.size_provider != nullptr) {
     config.size_provider->reset();
   }
+  detail::SessionTelemetry telemetry;
+  telemetry.bind(config.trace, config.metrics, config.session_id, scheme,
+                 config.size_provider);
 
   PlayoutBuffer buffer(config.max_buffer_s);
   SessionResult result;
@@ -102,7 +106,8 @@ SessionResult run_session(const video::Video& video, const net::Trace& trace,
     ctx.in_startup = !buffer.playing();
     ctx.sizes = config.size_provider;
 
-    const abr::Decision decision = scheme.decide(ctx);
+    const abr::Decision decision = detail::timed_decide(telemetry, scheme,
+                                                        ctx);
     if (decision.track >= video.num_tracks()) {
       throw std::logic_error("run_session: scheme chose an invalid track");
     }
@@ -307,11 +312,15 @@ SessionResult run_session(const video::Video& video, const net::Trace& trace,
 
     result.total_bits += rec.size_bits;
     result.chunks.push_back(rec);
+    telemetry.on_chunk(rec, ctx, scheme, result.total_rebuffer_s, t);
     if (!rec.skipped) {
       prev_track = static_cast<int>(rec.track);
     }
   }
   result.end_time_s = t;
+  if (config.trace != nullptr) {
+    config.trace->flush();
+  }
   return result;
 }
 

@@ -25,6 +25,8 @@
 #include "net/bandwidth_estimator.h"
 #include "net/fault_model.h"
 #include "net/trace.h"
+#include "obs/metrics.h"
+#include "obs/trace_sink.h"
 #include "sim/retry.h"
 #include "video/size_provider.h"
 #include "video/video.h"
@@ -65,6 +67,18 @@ struct SessionConfig {
   /// beliefs degrade. Not owned; reset() at session start; fed every
   /// delivered chunk's actual size so correcting providers can learn.
   video::ChunkSizeProvider* size_provider = nullptr;
+
+  /// Telemetry (observability layer, src/obs). Both null = off, which costs
+  /// one branch per chunk and nothing else (the null-sink guarantee). Not
+  /// owned; the sink receives one obs::DecisionEvent per resolved chunk and
+  /// the registry the session-loop counters/histograms. Neither is
+  /// thread-safe — concurrent sessions need private instances, merged
+  /// afterwards (run_experiment does this for you; it rejects sinks set
+  /// here for exactly that reason).
+  obs::TraceSink* trace = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Stamped into every event this session emits (trace index, client id).
+  std::uint64_t session_id = 0;
 };
 
 /// Per-chunk record of what the session did.

@@ -1,0 +1,378 @@
+// Unit tests for the observability layer (src/obs): sinks, the metrics
+// registry, canonical JSONL serialization, and the golden-trace pin.
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+
+#include "core/cava.h"
+#include "net/bandwidth_estimator.h"
+#include "net/trace_gen.h"
+#include "obs/metrics.h"
+#include "obs/trace_sink.h"
+#include "sim/session.h"
+#include "test_util.h"
+#include "video/dataset.h"
+
+namespace {
+
+using namespace vbr;
+using testutil::default_flat_video;
+using testutil::flat_trace;
+
+// ---------------------------------------------------------------- sinks --
+
+obs::DecisionEvent sample_event(std::uint64_t seq) {
+  obs::DecisionEvent ev;
+  ev.session_id = 3;
+  ev.seq = seq;
+  ev.chunk_index = seq;
+  ev.scheme = "CAVA";
+  ev.size_mode = "exact";
+  ev.track = 2;
+  ev.buffer_before_s = 12.5;
+  ev.size_bits = 1.6e6;
+  return ev;
+}
+
+TEST(TraceSink, MemorySinkStoresEverythingWhenUnbounded) {
+  obs::MemoryTraceSink sink;
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    sink.on_decision(sample_event(i));
+  }
+  EXPECT_EQ(sink.events().size(), 100u);
+  EXPECT_EQ(sink.total_received(), 100u);
+  EXPECT_EQ(sink.events().front().seq, 0u);
+  EXPECT_EQ(sink.events().back().seq, 99u);
+}
+
+TEST(TraceSink, MemorySinkRingEvictsOldest) {
+  obs::MemoryTraceSink sink(10);
+  for (std::uint64_t i = 0; i < 25; ++i) {
+    sink.on_decision(sample_event(i));
+  }
+  EXPECT_EQ(sink.events().size(), 10u);
+  EXPECT_EQ(sink.total_received(), 25u);
+  EXPECT_EQ(sink.events().front().seq, 15u);  // 15..24 retained
+  EXPECT_EQ(sink.events().back().seq, 24u);
+}
+
+TEST(TraceSink, NullSinkDiscards) {
+  obs::NullTraceSink sink;
+  sink.on_decision(sample_event(0));  // must not crash; nothing observable
+}
+
+TEST(TraceSink, JsonlLinesAreValidAndStable) {
+  const std::string a = obs::to_jsonl(sample_event(7));
+  const std::string b = obs::to_jsonl(sample_event(7));
+  EXPECT_EQ(a, b);  // serialization is a pure function
+  EXPECT_EQ(a.front(), '{');
+  EXPECT_EQ(a.back(), '}');
+  EXPECT_NE(a.find("\"session\":3"), std::string::npos);
+  EXPECT_NE(a.find("\"scheme\":\"CAVA\""), std::string::npos);
+  EXPECT_NE(a.find("\"buffer_s\":12.5"), std::string::npos);
+  // No controller block for a plain event.
+  EXPECT_EQ(a.find("\"cava\""), std::string::npos);
+}
+
+TEST(TraceSink, JsonlEscapesStrings) {
+  obs::DecisionEvent ev = sample_event(0);
+  ev.scheme = "weird\"name\\with\nnewline";
+  const std::string line = obs::to_jsonl(ev);
+  EXPECT_NE(line.find("weird\\\"name\\\\with\\nnewline"), std::string::npos);
+}
+
+TEST(TraceSink, JsonlControllerBlockSerialized) {
+  obs::DecisionEvent ev = sample_event(0);
+  obs::ControllerInternals c;
+  c.target_buffer_s = 42.5;
+  c.u = 0.75;
+  c.complexity_class = 3;
+  c.complex_chunk = true;
+  ev.controller = c;
+  const std::string line = obs::to_jsonl(ev);
+  EXPECT_NE(line.find("\"cava\":{\"target_s\":42.5"), std::string::npos);
+  EXPECT_NE(line.find("\"class\":3"), std::string::npos);
+  EXPECT_NE(line.find("\"complex\":true"), std::string::npos);
+}
+
+TEST(TraceSink, JsonlFileSinkWritesAndCounts) {
+  const std::string path = ::testing::TempDir() + "telemetry_sink_test.jsonl";
+  {
+    obs::JsonlTraceSink sink(path);
+    sink.on_decision(sample_event(0));
+    sink.on_decision(sample_event(1));
+    sink.flush();
+    EXPECT_EQ(sink.lines_written(), 2u);
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) {
+    EXPECT_EQ(line.front(), '{');
+    ++lines;
+  }
+  EXPECT_EQ(lines, 2u);
+  std::remove(path.c_str());
+}
+
+TEST(TraceSink, UnopenablePathSurfacesErrno) {
+  try {
+    obs::JsonlTraceSink sink("/nonexistent-dir-xyz/trace.jsonl");
+    FAIL() << "expected std::system_error";
+  } catch (const std::system_error& e) {
+    EXPECT_NE(e.code().value(), 0);  // errno captured (ENOENT here)
+    EXPECT_NE(std::string(e.what()).find("/nonexistent-dir-xyz"),
+              std::string::npos);
+  }
+}
+
+// -------------------------------------------------------------- metrics --
+
+TEST(Metrics, CounterAndGaugeBasics) {
+  obs::MetricsRegistry reg;
+  obs::Counter& c = reg.counter("bits");
+  c.add(10.0);
+  c.increment();
+  EXPECT_DOUBLE_EQ(reg.counter("bits").value(), 11.0);
+  obs::Gauge& g = reg.gauge("buffer");
+  EXPECT_FALSE(g.written());
+  g.set(7.5);
+  EXPECT_TRUE(g.written());
+  EXPECT_DOUBLE_EQ(reg.gauge("buffer").value(), 7.5);
+}
+
+TEST(Metrics, NameKindCollisionThrows) {
+  obs::MetricsRegistry reg;
+  reg.counter("x");
+  EXPECT_THROW(reg.gauge("x"), std::invalid_argument);
+  EXPECT_THROW(reg.histogram("x", obs::download_seconds_bounds()),
+               std::invalid_argument);
+}
+
+TEST(Metrics, HistogramBucketsAndStats) {
+  obs::MetricsRegistry reg;
+  const double bounds[] = {1.0, 2.0, 4.0};
+  obs::Histogram& h = reg.histogram("h", bounds);
+  h.record(0.5);   // bucket 0 (<= 1)
+  h.record(1.5);   // bucket 1
+  h.record(2.0);   // bucket 1 (<= 2)
+  h.record(100.0); // overflow bucket
+  EXPECT_EQ(h.counts(), (std::vector<std::uint64_t>{1, 2, 0, 1}));
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 104.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+}
+
+TEST(Metrics, HistogramRejectsBadBounds) {
+  obs::MetricsRegistry reg;
+  const double bad[] = {2.0, 1.0};
+  EXPECT_THROW(reg.histogram("h", bad), std::invalid_argument);
+  const double bounds[] = {1.0, 2.0};
+  reg.histogram("ok", bounds);
+  const double other[] = {1.0, 3.0};
+  EXPECT_THROW(reg.histogram("ok", other), std::invalid_argument);
+}
+
+TEST(Metrics, MergeSumsCountersAndHistograms) {
+  obs::MetricsRegistry a;
+  obs::MetricsRegistry b;
+  a.counter("c").add(1.0);
+  b.counter("c").add(2.0);
+  b.counter("only_b").add(5.0);
+  const double bounds[] = {1.0};
+  a.histogram("h", bounds).record(0.5);
+  b.histogram("h", bounds).record(2.0);
+  b.gauge("g").set(9.0);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.counter("c").value(), 3.0);
+  EXPECT_DOUBLE_EQ(a.counter("only_b").value(), 5.0);
+  EXPECT_EQ(a.histogram("h", bounds).count(), 2u);
+  EXPECT_EQ(a.histogram("h", bounds).counts(),
+            (std::vector<std::uint64_t>{1, 1}));
+  EXPECT_DOUBLE_EQ(a.gauge("g").value(), 9.0);
+}
+
+TEST(Metrics, JsonIsDeterministicAndSorted) {
+  obs::MetricsRegistry reg;
+  reg.counter("zeta").add(1.0);
+  reg.counter("alpha").add(2.0);
+  std::ostringstream a;
+  std::ostringstream b;
+  reg.write_json(a);
+  reg.write_json(b);
+  EXPECT_EQ(a.str(), b.str());
+  EXPECT_LT(a.str().find("alpha"), a.str().find("zeta"));
+}
+
+TEST(Metrics, FingerprintDropsWallClockSpreadButKeepsCount) {
+  obs::MetricsRegistry reg;
+  obs::Histogram& wall = reg.histogram(
+      "latency", obs::decision_latency_bounds(), /*wall_clock=*/true);
+  wall.record(1e-6);
+  wall.record(2e-4);
+  const std::string fp = reg.deterministic_fingerprint();
+  EXPECT_NE(fp.find("\"count\":2"), std::string::npos);
+  EXPECT_EQ(fp.find("\"sum\""), std::string::npos);
+  EXPECT_EQ(fp.find("\"counts\""), std::string::npos);
+  // The full JSON keeps everything.
+  std::ostringstream full;
+  reg.write_json(full);
+  EXPECT_NE(full.str().find("\"sum\""), std::string::npos);
+  EXPECT_NE(full.str().find("\"counts\""), std::string::npos);
+  EXPECT_NE(full.str().find("\"wall_clock\":true"), std::string::npos);
+}
+
+TEST(Metrics, ScopedTimerRecordsOnlyWhenBound) {
+  obs::MetricsRegistry reg;
+  obs::Histogram& h = reg.histogram("t", obs::decision_latency_bounds(),
+                                    /*wall_clock=*/true);
+  {
+    obs::ScopedTimer timer(&h);
+  }
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_GE(h.sum(), 0.0);
+  {
+    obs::ScopedTimer inert(nullptr);  // must be a no-op
+  }
+  EXPECT_EQ(h.count(), 1u);
+}
+
+// --------------------------------------------------------- golden trace --
+
+// The pinned-run configuration: the canonical 'ED' video, one synthetic LTE
+// trace, CAVA with the oracle size provider implied by a null provider.
+// Everything here is seed-determined; any behavioural drift in the session
+// loop, CAVA's controllers, the encoder, or the trace generator shifts
+// these bytes and fails the comparison loudly.
+std::string golden_run_jsonl() {
+  const video::Video v =
+      video::make_video("ED", video::Genre::kAnimation, video::Codec::kH264,
+                        2.0, 2.0, 42, 120.0);
+  const net::Trace t = net::generate_lte_trace(7);
+  auto cava = core::make_cava_p123();
+  net::HarmonicMeanEstimator est(5);
+  std::ostringstream out;
+  obs::JsonlTraceSink sink(out);
+  sim::SessionConfig cfg;
+  cfg.trace = &sink;
+  (void)sim::run_session(v, t, *cava, est, cfg);
+  return out.str();
+}
+
+TEST(GoldenTrace, RepeatedRunsAreByteIdentical) {
+  EXPECT_EQ(golden_run_jsonl(), golden_run_jsonl());
+}
+
+TEST(GoldenTrace, HeadMatchesPinnedFile) {
+  const std::string got = golden_run_jsonl();
+  std::ifstream golden(std::string(VBR_TEST_DATA_DIR) +
+                       "/golden/telemetry_head.jsonl");
+  ASSERT_TRUE(golden.is_open())
+      << "golden file missing: tests/data/golden/telemetry_head.jsonl";
+  std::istringstream got_lines(got);
+  std::string want_line;
+  std::string got_line;
+  std::size_t n = 0;
+  while (std::getline(golden, want_line)) {
+    ASSERT_TRUE(std::getline(got_lines, got_line))
+        << "trace shorter than golden head at line " << n;
+    EXPECT_EQ(got_line, want_line) << "divergence at golden line " << n;
+    ++n;
+  }
+  EXPECT_GE(n, 10u) << "golden head suspiciously short";
+}
+
+// ------------------------------------------------- session integration --
+
+TEST(SessionTelemetry, NoSinkMeansNoChangeToResults) {
+  const video::Video v = default_flat_video(30);
+  const net::Trace t = flat_trace(3e6);
+  net::HarmonicMeanEstimator est1(5);
+  net::HarmonicMeanEstimator est2(5);
+  auto cava1 = core::make_cava_p123();
+  auto cava2 = core::make_cava_p123();
+  sim::SessionConfig plain;
+  const sim::SessionResult a = sim::run_session(v, t, *cava1, est1, plain);
+  obs::MemoryTraceSink sink;
+  obs::MetricsRegistry reg;
+  sim::SessionConfig traced;
+  traced.trace = &sink;
+  traced.metrics = &reg;
+  const sim::SessionResult b = sim::run_session(v, t, *cava2, est2, traced);
+  ASSERT_EQ(a.chunks.size(), b.chunks.size());
+  for (std::size_t i = 0; i < a.chunks.size(); ++i) {
+    EXPECT_EQ(a.chunks[i].track, b.chunks[i].track);
+    EXPECT_DOUBLE_EQ(a.chunks[i].download_s, b.chunks[i].download_s);
+  }
+  EXPECT_DOUBLE_EQ(a.total_rebuffer_s, b.total_rebuffer_s);
+  EXPECT_DOUBLE_EQ(a.total_bits, b.total_bits);
+}
+
+TEST(SessionTelemetry, CavaEventsCarryControllerInternals) {
+  const video::Video v = default_flat_video(20);
+  const net::Trace t = flat_trace(3e6);
+  auto cava = core::make_cava_p123();
+  net::HarmonicMeanEstimator est(5);
+  obs::MemoryTraceSink sink;
+  sim::SessionConfig cfg;
+  cfg.trace = &sink;
+  cfg.session_id = 17;
+  (void)sim::run_session(v, t, *cava, est, cfg);
+  ASSERT_EQ(sink.events().size(), 20u);
+  for (const obs::DecisionEvent& ev : sink.events()) {
+    EXPECT_EQ(ev.session_id, 17u);
+    EXPECT_EQ(ev.scheme, "CAVA");
+    EXPECT_EQ(ev.size_mode, "exact");
+    ASSERT_TRUE(ev.controller.has_value());
+    EXPECT_GT(ev.controller->target_buffer_s, 0.0);
+    EXPECT_LT(ev.controller->complexity_class, 4u);
+  }
+}
+
+TEST(SessionTelemetry, PlainSchemeEventsHaveNoControllerBlock) {
+  const video::Video v = default_flat_video(10);
+  const net::Trace t = flat_trace(3e6);
+  abr::FixedTrackScheme scheme(1);
+  net::HarmonicMeanEstimator est(5);
+  obs::MemoryTraceSink sink;
+  sim::SessionConfig cfg;
+  cfg.trace = &sink;
+  (void)sim::run_session(v, t, scheme, est, cfg);
+  ASSERT_EQ(sink.events().size(), 10u);
+  for (const obs::DecisionEvent& ev : sink.events()) {
+    EXPECT_FALSE(ev.controller.has_value());
+    EXPECT_EQ(ev.scheme, "fixed-1");
+  }
+}
+
+TEST(SessionTelemetry, MetricsCountersMatchSessionOutcome) {
+  const video::Video v = default_flat_video(25);
+  const net::Trace t = flat_trace(3e6);
+  abr::FixedTrackScheme scheme(2);
+  net::HarmonicMeanEstimator est(5);
+  obs::MetricsRegistry reg;
+  sim::SessionConfig cfg;
+  cfg.metrics = &reg;
+  const sim::SessionResult r = sim::run_session(v, t, scheme, est, cfg);
+  EXPECT_DOUBLE_EQ(reg.counter("chunks_total").value(), 25.0);
+  EXPECT_DOUBLE_EQ(reg.counter("chunks_downloaded").value(), 25.0);
+  EXPECT_DOUBLE_EQ(reg.counter("chunks_skipped").value(), 0.0);
+  EXPECT_DOUBLE_EQ(reg.counter("bits_downloaded").value(), r.total_bits);
+  EXPECT_DOUBLE_EQ(reg.counter("rebuffer_seconds").value(),
+                   r.total_rebuffer_s);
+  EXPECT_EQ(
+      reg.histogram("download_seconds", obs::download_seconds_bounds())
+          .count(),
+      25u);
+  EXPECT_EQ(reg.histogram("decision_latency_seconds",
+                          obs::decision_latency_bounds(), true)
+                .count(),
+            25u);
+}
+
+}  // namespace

@@ -1,0 +1,161 @@
+// Thread-count determinism: the same ExperimentSpec must produce
+// byte-identical merged telemetry (event stream and deterministic metrics
+// fingerprint) at 1, 2, and 8 worker threads, because the harness folds
+// per-trace sinks in trace-index order after the workers join. Also covers
+// the spec-validation satellites: the kMaxThreads guard and the rejection
+// of session-level sinks in run_experiment.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/cava.h"
+#include "net/bandwidth_estimator.h"
+#include "net/trace_gen.h"
+#include "obs/metrics.h"
+#include "obs/trace_sink.h"
+#include "sim/experiment.h"
+#include "test_util.h"
+#include "video/dataset.h"
+
+namespace {
+
+using namespace vbr;
+
+struct MergedTelemetry {
+  std::string serialized_events;  ///< Every merged event, via to_jsonl.
+  std::string fingerprint;        ///< MetricsRegistry fingerprint.
+  sim::ExperimentResult result;
+};
+
+MergedTelemetry run_at(const video::Video& video,
+                       const std::vector<net::Trace>& traces,
+                       unsigned threads) {
+  obs::MemoryTraceSink sink;
+  obs::MetricsRegistry registry;
+  sim::ExperimentSpec spec;
+  spec.video = &video;
+  spec.traces = traces;
+  spec.make_scheme = [] { return core::make_cava_p123(); };
+  spec.threads = threads;
+  spec.trace = &sink;
+  spec.metrics = &registry;
+  MergedTelemetry out{.serialized_events = {},
+                      .fingerprint = {},
+                      .result = sim::run_experiment(spec)};
+  for (const obs::DecisionEvent& ev : sink.events()) {
+    out.serialized_events += obs::to_jsonl(ev);
+    out.serialized_events += '\n';
+  }
+  out.fingerprint = registry.deterministic_fingerprint();
+  return out;
+}
+
+TEST(TelemetryDeterminism, MergedStreamsIdenticalAcrossThreadCounts) {
+  const video::Video v =
+      video::make_video("ED", video::Genre::kAnimation, video::Codec::kH264,
+                        2.0, 2.0, 42, 120.0);
+  const std::vector<net::Trace> traces = net::make_lte_trace_set(6, 7);
+
+  const MergedTelemetry t1 = run_at(v, traces, 1);
+  const MergedTelemetry t2 = run_at(v, traces, 2);
+  const MergedTelemetry t8 = run_at(v, traces, 8);
+
+  ASSERT_FALSE(t1.serialized_events.empty());
+  EXPECT_EQ(t1.serialized_events, t2.serialized_events);
+  EXPECT_EQ(t1.serialized_events, t8.serialized_events);
+  EXPECT_EQ(t1.fingerprint, t2.fingerprint);
+  EXPECT_EQ(t1.fingerprint, t8.fingerprint);
+
+  // Repeat-run identity at a fixed thread count, for good measure.
+  const MergedTelemetry again = run_at(v, traces, 8);
+  EXPECT_EQ(t8.serialized_events, again.serialized_events);
+  EXPECT_EQ(t8.fingerprint, again.fingerprint);
+}
+
+TEST(TelemetryDeterminism, MergedEventsOrderedByTraceIndex) {
+  const video::Video v = testutil::default_flat_video(10);
+  const std::vector<net::Trace> traces = {testutil::flat_trace(2e6),
+                                          testutil::flat_trace(4e6),
+                                          testutil::flat_trace(8e6)};
+  obs::MemoryTraceSink sink;
+  sim::ExperimentSpec spec;
+  spec.video = &v;
+  spec.traces = traces;
+  spec.make_scheme = [] { return core::make_cava_p123(); };
+  spec.threads = 3;
+  spec.trace = &sink;
+  (void)sim::run_experiment(spec);
+  ASSERT_EQ(sink.events().size(), 30u);
+  for (std::size_t k = 0; k < sink.events().size(); ++k) {
+    const obs::DecisionEvent& ev = sink.events()[k];
+    // Global seq renumbered over the merged stream; session id is the trace
+    // index; all of trace 0 precedes all of trace 1, etc.
+    EXPECT_EQ(ev.seq, k);
+    EXPECT_EQ(ev.session_id, k / 10);
+    EXPECT_EQ(ev.chunk_index, k % 10);
+  }
+}
+
+TEST(TelemetryDeterminism, TelemetryDoesNotPerturbQoeResults) {
+  const video::Video v = testutil::default_flat_video(20);
+  const std::vector<net::Trace> traces = net::make_lte_trace_set(4, 21);
+  sim::ExperimentSpec plain;
+  plain.video = &v;
+  plain.traces = traces;
+  plain.make_scheme = [] { return core::make_cava_p123(); };
+  plain.threads = 2;
+  const sim::ExperimentResult base = sim::run_experiment(plain);
+  const MergedTelemetry traced = run_at(v, traces, 2);
+  ASSERT_EQ(base.per_trace.size(), traced.result.per_trace.size());
+  for (std::size_t i = 0; i < base.per_trace.size(); ++i) {
+    EXPECT_DOUBLE_EQ(base.per_trace[i].rebuffer_s,
+                     traced.result.per_trace[i].rebuffer_s);
+    EXPECT_DOUBLE_EQ(base.per_trace[i].all_quality_mean,
+                     traced.result.per_trace[i].all_quality_mean);
+    EXPECT_DOUBLE_EQ(base.per_trace[i].data_usage_mb,
+                     traced.result.per_trace[i].data_usage_mb);
+  }
+}
+
+TEST(TelemetryDeterminism, AbsurdThreadCountRejected) {
+  const video::Video v = testutil::default_flat_video(4);
+  const std::vector<net::Trace> traces = {testutil::flat_trace(2e6)};
+  sim::ExperimentSpec spec;
+  spec.video = &v;
+  spec.traces = traces;
+  spec.make_scheme = [] { return core::make_cava_p123(); };
+  spec.threads = sim::kMaxThreads + 1;
+  EXPECT_THROW((void)sim::run_experiment(spec), std::invalid_argument);
+  spec.threads = sim::kMaxThreads;  // the bound itself is legal
+  EXPECT_NO_THROW((void)sim::run_experiment(spec));
+}
+
+TEST(TelemetryDeterminism, SessionLevelSinksRejected) {
+  const video::Video v = testutil::default_flat_video(4);
+  const std::vector<net::Trace> traces = {testutil::flat_trace(2e6)};
+  sim::ExperimentSpec spec;
+  spec.video = &v;
+  spec.traces = traces;
+  spec.make_scheme = [] { return core::make_cava_p123(); };
+
+  obs::MemoryTraceSink sink;
+  spec.session.trace = &sink;  // shared across workers: must be refused
+  EXPECT_THROW((void)sim::run_experiment(spec), std::invalid_argument);
+  spec.session.trace = nullptr;
+
+  obs::MetricsRegistry reg;
+  spec.session.metrics = &reg;
+  EXPECT_THROW((void)sim::run_experiment(spec), std::invalid_argument);
+  spec.session.metrics = nullptr;
+
+  // The experiment-level slots are the supported path.
+  spec.trace = &sink;
+  spec.metrics = &reg;
+  EXPECT_NO_THROW((void)sim::run_experiment(spec));
+  EXPECT_EQ(sink.events().size(), 4u);
+}
+
+}  // namespace

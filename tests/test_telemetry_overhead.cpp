@@ -1,0 +1,106 @@
+// Overhead regression: attaching telemetry must not distort the simulator.
+//
+// Two guarantees are enforced, both with deliberately generous hard bounds
+// (this is a regression tripwire for "telemetry accidentally became a
+// per-chunk allocation festival", not a microbenchmark — CI machines are
+// noisy and sanitizer builds are slow):
+//
+//   1. the null sink (no sink/registry attached) costs one branch per
+//      chunk, so a plain run must stay within a small factor of itself and
+//      of the pre-telemetry cost — measured as factor vs. best-of-K;
+//   2. full telemetry (memory sink + registry) stays within a generous
+//      multiple of the null-sink run.
+//
+// bench/bench_ext_telemetry_overhead.cpp gives the precise numbers; this
+// test only fails when something is badly wrong.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+
+#include "core/cava.h"
+#include "net/bandwidth_estimator.h"
+#include "obs/metrics.h"
+#include "obs/trace_sink.h"
+#include "sim/session.h"
+#include "test_util.h"
+
+namespace {
+
+using namespace vbr;
+using testutil::default_flat_video;
+using testutil::flat_trace;
+
+double time_session_s(const video::Video& v, const net::Trace& t,
+                      const sim::SessionConfig& cfg, int reps) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < reps; ++r) {
+    auto cava = core::make_cava_p123();
+    net::HarmonicMeanEstimator est(5);
+    const auto start = std::chrono::steady_clock::now();
+    const sim::SessionResult res = sim::run_session(v, t, *cava, est, cfg);
+    const auto end = std::chrono::steady_clock::now();
+    EXPECT_FALSE(res.chunks.empty());
+    best = std::min(best, std::chrono::duration<double>(end - start).count());
+  }
+  return best;
+}
+
+TEST(TelemetryOverhead, NullSinkStaysNearBaselineAndFullStaysBounded) {
+  const video::Video v = default_flat_video(500);
+  const net::Trace t = flat_trace(1e7);
+  constexpr int kReps = 5;
+
+  sim::SessionConfig null_cfg;  // trace/metrics null: the zero-cost path
+  const double null_s = time_session_s(v, t, null_cfg, kReps);
+
+  obs::MemoryTraceSink sink;
+  obs::MetricsRegistry reg;
+  sim::SessionConfig full_cfg;
+  full_cfg.trace = &sink;
+  full_cfg.metrics = &reg;
+  const double full_s = time_session_s(v, t, full_cfg, kReps);
+
+  // Sanity: the instrumented runs actually recorded telemetry.
+  EXPECT_GT(sink.total_received(), 0u);
+  EXPECT_GT(reg.counter("chunks_total").value(), 0.0);
+
+  // Generous hard bounds: an absolute floor keeps sub-millisecond timing
+  // noise from ever deciding the verdict.
+  constexpr double kSlackS = 0.05;
+  constexpr double kFullFactor = 10.0;
+  EXPECT_LT(full_s, kFullFactor * null_s + kSlackS)
+      << "full telemetry run took " << full_s << " s vs null-sink " << null_s
+      << " s — telemetry is no longer cheap";
+
+  // The null path must not itself have grown pathological: 500 decisions
+  // of pure simulation should never take a second even under sanitizers.
+  EXPECT_LT(null_s, 1.0)
+      << "null-sink session took " << null_s
+      << " s for 500 chunks — the supposedly free path is doing work";
+}
+
+TEST(TelemetryOverhead, RecordedDecisionLatencyIsSane) {
+  // The scoped-timer histogram itself is the second tripwire: per-decision
+  // wall-clock latency has to stay far below anything that would matter at
+  // streaming timescales (the paper measured ~190 us for its JS rule).
+  const video::Video v = default_flat_video(200);
+  const net::Trace t = flat_trace(1e7);
+  auto cava = core::make_cava_p123();
+  net::HarmonicMeanEstimator est(5);
+  obs::MetricsRegistry reg;
+  sim::SessionConfig cfg;
+  cfg.metrics = &reg;
+  (void)sim::run_session(v, t, *cava, est, cfg);
+  const obs::Histogram& h = reg.histogram(
+      "decision_latency_seconds", obs::decision_latency_bounds(), true);
+  ASSERT_EQ(h.count(), 200u);
+  EXPECT_GE(h.min(), 0.0);
+  // Mean per-decision latency under 50 ms — a bound ~1000x above the
+  // expected value, immune to CI noise, that still catches an accidental
+  // O(n) or allocation storm inside decide()/telemetry.
+  EXPECT_LT(h.sum() / static_cast<double>(h.count()), 0.05);
+}
+
+}  // namespace

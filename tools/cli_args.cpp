@@ -96,6 +96,11 @@ const std::set<std::string>& size_knowledge_flag_names() {
   return names;
 }
 
+const std::set<std::string>& telemetry_flag_names() {
+  static const std::set<std::string> names = {"trace-jsonl", "metrics-json"};
+  return names;
+}
+
 video::SizeKnowledgeConfig size_knowledge_config_from_args(
     const CliArgs& args) {
   video::SizeKnowledgeConfig sc;

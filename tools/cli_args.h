@@ -60,6 +60,14 @@ class CliArgs {
 /// Builds a RetryPolicy from the retry flag group (defaults: sim defaults).
 [[nodiscard]] sim::RetryPolicy retry_policy_from_args(const CliArgs& args);
 
+/// The telemetry flag group (observability layer, src/obs):
+///   --trace-jsonl FILE   write one JSON line per chunk decision to FILE
+///                        (merged in trace-index order; byte-identical for
+///                        same-seed runs at any thread count)
+///   --metrics-json FILE  write the merged metrics registries as one JSON
+///                        object keyed by scheme name
+[[nodiscard]] const std::set<std::string>& telemetry_flag_names();
+
 /// The chunk-size knowledge flag group (degraded-metadata operation):
 ///   --size-knowledge M   oracle | declared | noisy | partial (oracle)
 ///   --size-err E         noisy: relative error bound in [0, 1)

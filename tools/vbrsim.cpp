@@ -49,15 +49,27 @@
 //   --size-correct     learn per-track EWMA corrections from actual sizes
 //   --size-alpha A     EWMA weight of the newest observation (0.3)
 //   --size-seed N      deterministic knowledge-fault seed (1)
+//
+// Telemetry flags (observability layer; see DESIGN.md section 8):
+//   --trace-jsonl FILE one JSON line per chunk decision, merged across
+//                      traces in trace-index order (same-seed runs produce
+//                      byte-identical files at any thread count)
+//   --metrics-json FILE merged counters/histograms, one JSON object keyed
+//                      by scheme name
+#include <cerrno>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <sstream>
+#include <system_error>
 
 #include "cli_args.h"
 #include "common.h"
 #include "metrics/report.h"
 #include "net/trace_io.h"
+#include "obs/metrics.h"
+#include "obs/trace_sink.h"
 
 namespace {
 
@@ -104,6 +116,8 @@ int main(int argc, char** argv) {
                  tools::fault_flag_names().end());
     known.insert(tools::size_knowledge_flag_names().begin(),
                  tools::size_knowledge_flag_names().end());
+    known.insert(tools::telemetry_flag_names().begin(),
+                 tools::telemetry_flag_names().end());
     const tools::CliArgs args(argc, argv, known);
 
     if (args.has("help")) {
@@ -203,6 +217,25 @@ int main(int argc, char** argv) {
       }
       csv_header = csv.tellp() == 0;
     }
+    // Telemetry sinks. JsonlTraceSink throws a std::system_error carrying
+    // errno for unopenable paths, surfaced via the catch below.
+    std::unique_ptr<obs::JsonlTraceSink> trace_sink;
+    if (args.has("trace-jsonl")) {
+      trace_sink = std::make_unique<obs::JsonlTraceSink>(
+          args.get("trace-jsonl", "trace.jsonl"));
+    }
+    std::ofstream metrics_out;
+    if (args.has("metrics-json")) {
+      const std::string path = args.get("metrics-json", "metrics.json");
+      errno = 0;
+      metrics_out.open(path, std::ios::out | std::ios::trunc);
+      if (!metrics_out) {
+        throw std::system_error(errno != 0 ? errno : EIO,
+                                std::generic_category(),
+                                "cannot open '" + path + "'");
+      }
+    }
+
     std::ofstream fault_csv;
     bool fault_header = true;
     if (args.has("fault-csv")) {
@@ -214,8 +247,13 @@ int main(int argc, char** argv) {
       fault_header = fault_csv.tellp() == 0;
     }
 
+    bool first_scheme = true;
+    if (metrics_out.is_open()) {
+      metrics_out << "{";
+    }
     for (const std::string& name :
          split_csv(args.get("scheme", "CAVA"))) {
+      obs::MetricsRegistry registry;
       sim::ExperimentSpec spec;
       spec.video = &v;
       spec.traces = traces;
@@ -230,7 +268,21 @@ int main(int argc, char** argv) {
           return video::make_size_provider(size_knowledge);
         };
       }
+      if (trace_sink) {
+        spec.trace = trace_sink.get();
+      }
+      if (metrics_out.is_open()) {
+        spec.metrics = &registry;
+      }
       const sim::ExperimentResult r = sim::run_experiment(spec);
+      if (metrics_out.is_open()) {
+        if (!first_scheme) {
+          metrics_out << ",";
+        }
+        metrics_out << "\"" << name << "\":";
+        registry.write_json(metrics_out);
+        first_scheme = false;
+      }
       if (faults_on) {
         std::printf("%-18s %8.1f %8.1f %8.1f %9.2f %8.2f %8.1f %8.2f "
                     "%8.2f\n",
@@ -253,6 +305,12 @@ int main(int argc, char** argv) {
                                  fault_header);
         fault_header = false;
       }
+    }
+    if (metrics_out.is_open()) {
+      metrics_out << "}\n";
+    }
+    if (trace_sink) {
+      trace_sink->flush();
     }
     return 0;
   } catch (const std::exception& e) {
