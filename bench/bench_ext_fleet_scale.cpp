@@ -1,0 +1,93 @@
+// Extension: fleet-scale workload throughput and the edge-cache effect.
+//
+// Two sweeps over the fleet driver (src/fleet):
+//
+//   1. Scale: wall-clock and sessions/s for growing fleets at 1, 2, and
+//      hardware-concurrency worker threads — the sharded-by-title design
+//      should scale near-linearly while staying byte-deterministic.
+//   2. Cache arms: the same 300-session fleet with the edge cache on vs the
+//      origin-only control arm, reporting hit ratio, edge vs origin bytes,
+//      and the per-class QoE shift from hit latency / origin-rate haircuts.
+//
+// Run: ./bench_ext_fleet_scale
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common.h"
+#include "fleet/fleet.h"
+
+namespace {
+
+using namespace vbr;
+
+fleet::FleetSpec base_spec(const std::vector<net::Trace>& traces,
+                           std::size_t sessions) {
+  fleet::FleetSpec spec;
+  spec.catalog.num_titles = 24;
+  spec.catalog.title_duration_s = 120.0;
+  spec.catalog.zipf_alpha = 0.8;
+  spec.arrivals.rate_per_s = 1.0;
+  spec.arrivals.horizon_s = 1e9;  // session-count limited
+  spec.arrivals.max_sessions = sessions;
+  spec.classes.resize(2);
+  spec.classes[0].label = "CAVA";
+  spec.classes[0].make_scheme = bench::scheme_factory("CAVA");
+  spec.classes[1].label = "BBA-1";
+  spec.classes[1].make_scheme = bench::scheme_factory("BBA-1");
+  spec.traces = traces;
+  spec.cache.capacity_bits = 16e9;
+  return spec;
+}
+
+double run_timed(const fleet::FleetSpec& spec, double* wall_s) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const fleet::FleetResult r = fleet::run_fleet(spec);
+  const auto t1 = std::chrono::steady_clock::now();
+  *wall_s = std::chrono::duration<double>(t1 - t0).count();
+  return r.cache.hit_ratio();
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<net::Trace> traces = bench::lte_traces(20);
+  const unsigned hw = std::max(2u, std::thread::hardware_concurrency());
+
+  std::printf("== fleet scale: wall clock vs sessions and threads ==\n");
+  std::printf("%10s %8s %12s %12s\n", "sessions", "threads", "wall(s)",
+              "sessions/s");
+  for (const std::size_t sessions : {100, 300, 600}) {
+    for (const unsigned threads : {1u, 2u, hw}) {
+      fleet::FleetSpec spec = base_spec(traces, sessions);
+      spec.threads = threads;
+      double wall = 0.0;
+      (void)run_timed(spec, &wall);
+      std::printf("%10zu %8u %12.2f %12.1f\n", sessions, threads, wall,
+                  static_cast<double>(sessions) / wall);
+    }
+  }
+
+  std::printf("\n== cache arms (300 sessions, 24 titles, zipf 0.8) ==\n");
+  for (const bool cached : {true, false}) {
+    fleet::FleetSpec spec = base_spec(traces, 300);
+    spec.use_cache = cached;
+    spec.threads = hw;
+    const fleet::FleetResult r = fleet::run_fleet(spec);
+    std::printf("cache %-3s | hit ratio %.3f (byte %.3f) | edge %.0f MB, "
+                "origin %.0f MB\n",
+                cached ? "on" : "off", r.cache.hit_ratio(),
+                r.cache.byte_hit_ratio(), r.edge_hit_bits / 8e6,
+                r.origin_bits / 8e6);
+    for (const fleet::FleetSchemeReport& c : r.per_class) {
+      std::printf("  %-8s n=%-4zu qual %5.1f  low%% %5.1f  rebuf %6.2fs  "
+                  "startup %5.2fs  %6.1f MB\n",
+                  c.label.c_str(), c.sessions, c.mean_all_quality,
+                  c.mean_low_quality_pct, c.mean_rebuffer_s,
+                  c.mean_startup_delay_s, c.mean_data_usage_mb);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,62 @@
+#include "fleet/arrivals.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "fleet/rng.h"
+
+namespace vbr::fleet {
+
+void ArrivalConfig::validate() const {
+  if (!(rate_per_s > 0.0) || !std::isfinite(rate_per_s)) {
+    throw std::invalid_argument("ArrivalConfig: rate_per_s must be > 0");
+  }
+  if (!(horizon_s > 0.0) || !std::isfinite(horizon_s)) {
+    throw std::invalid_argument("ArrivalConfig: horizon_s must be > 0");
+  }
+  if (kind == ArrivalKind::kFlashCrowd) {
+    if (burst_start_s < 0.0 || burst_duration_s <= 0.0 ||
+        burst_start_s + burst_duration_s > horizon_s) {
+      throw std::invalid_argument(
+          "ArrivalConfig: burst window must lie inside [0, horizon)");
+    }
+    if (burst_multiplier < 1.0) {
+      throw std::invalid_argument(
+          "ArrivalConfig: burst_multiplier below 1");
+    }
+  }
+}
+
+std::vector<double> generate_arrivals(const ArrivalConfig& cfg) {
+  cfg.validate();
+  std::vector<double> times;
+  // Thinning at the peak rate: exact for kPoisson (accept-all) and for the
+  // piecewise-constant flash-crowd intensity alike.
+  const bool burst = cfg.kind == ArrivalKind::kFlashCrowd;
+  const double peak_rate =
+      burst ? cfg.rate_per_s * cfg.burst_multiplier : cfg.rate_per_s;
+  double t = 0.0;
+  for (std::uint64_t i = 0;; ++i) {
+    const double u = detail::keyed_u01(cfg.seed, i, 0, 0xa221);
+    // 1 - u in (0, 1]: log() stays finite.
+    t += -std::log(1.0 - u) / peak_rate;
+    if (t >= cfg.horizon_s) {
+      break;
+    }
+    double rate = cfg.rate_per_s;
+    if (burst && t >= cfg.burst_start_s &&
+        t < cfg.burst_start_s + cfg.burst_duration_s) {
+      rate *= cfg.burst_multiplier;
+    }
+    const double accept = detail::keyed_u01(cfg.seed, i, 1, 0xa222);
+    if (accept < rate / peak_rate) {
+      times.push_back(t);
+      if (cfg.max_sessions > 0 && times.size() >= cfg.max_sessions) {
+        break;
+      }
+    }
+  }
+  return times;
+}
+
+}  // namespace vbr::fleet

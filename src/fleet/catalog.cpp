@@ -1,0 +1,105 @@
+#include "fleet/catalog.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "fleet/rng.h"
+
+namespace vbr::fleet {
+
+namespace {
+
+/// Genres rotate through the paper's six categories so a catalog mixes
+/// complexity profiles the way a real library does.
+constexpr video::Genre kGenreCycle[] = {
+    video::Genre::kAnimation, video::Genre::kSports, video::Genre::kAction,
+    video::Genre::kNature,    video::Genre::kSciFi,  video::Genre::kAnimal,
+};
+
+}  // namespace
+
+void CatalogConfig::validate() const {
+  if (num_titles == 0) {
+    throw std::invalid_argument("CatalogConfig: empty catalog");
+  }
+  if (!(zipf_alpha >= 0.0) || !std::isfinite(zipf_alpha)) {
+    throw std::invalid_argument(
+        "CatalogConfig: zipf_alpha must be finite and >= 0");
+  }
+  if (title_duration_s <= 0.0 || chunk_duration_s <= 0.0 ||
+      title_duration_s < chunk_duration_s) {
+    throw std::invalid_argument(
+        "CatalogConfig: need 0 < chunk_duration_s <= title_duration_s");
+  }
+  if (cap_factor < 1.0) {
+    throw std::invalid_argument("CatalogConfig: cap_factor below 1");
+  }
+}
+
+ZipfSampler::ZipfSampler(std::size_t n, double alpha, std::uint64_t seed)
+    : alpha_(alpha), seed_(seed) {
+  if (n == 0) {
+    throw std::invalid_argument("ZipfSampler: empty support");
+  }
+  if (!(alpha >= 0.0) || !std::isfinite(alpha)) {
+    throw std::invalid_argument(
+        "ZipfSampler: alpha must be finite and >= 0");
+  }
+  cdf_.resize(n);
+  double total = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    total += std::pow(static_cast<double>(k + 1), -alpha);
+    cdf_[k] = total;
+  }
+  for (double& c : cdf_) {
+    c /= total;
+  }
+  cdf_.back() = 1.0;  // kill float residue so sample() can never overflow
+}
+
+std::size_t ZipfSampler::sample(std::uint64_t i) const {
+  const double u = detail::keyed_u01(seed_, i, 0, 0x5a1f);
+  const auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::pmf(std::size_t k) const {
+  if (k >= cdf_.size()) {
+    throw std::out_of_range("ZipfSampler::pmf: rank out of range");
+  }
+  return k == 0 ? cdf_[0] : cdf_[k] - cdf_[k - 1];
+}
+
+Catalog::Catalog(const CatalogConfig& cfg) : config_(cfg) {
+  cfg.validate();
+  titles_.reserve(cfg.num_titles);
+  for (std::size_t k = 0; k < cfg.num_titles; ++k) {
+    titles_.push_back(video::make_video(
+        "title-" + std::to_string(k),
+        kGenreCycle[k % (sizeof(kGenreCycle) / sizeof(kGenreCycle[0]))],
+        cfg.codec, cfg.chunk_duration_s, cfg.cap_factor,
+        detail::derive_seed(cfg.seed, k, 0x7171e5), cfg.title_duration_s));
+  }
+}
+
+double Catalog::title_bits(std::size_t k) const {
+  const video::Video& v = titles_.at(k);
+  double bits = 0.0;
+  for (std::size_t l = 0; l < v.num_tracks(); ++l) {
+    for (std::size_t i = 0; i < v.num_chunks(); ++i) {
+      bits += v.chunk_size_bits(l, i);
+    }
+  }
+  return bits;
+}
+
+std::size_t Catalog::popularity_decile(std::size_t k) const {
+  if (k >= titles_.size()) {
+    throw std::out_of_range("Catalog::popularity_decile: bad title");
+  }
+  return k * 10 / titles_.size();
+}
+
+}  // namespace vbr::fleet

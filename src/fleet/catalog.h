@@ -1,0 +1,92 @@
+// Content catalog + Zipf popularity for fleet-scale workloads.
+//
+// Real VoD traffic is dominated by a small hot set: request popularity
+// across a catalog follows a Zipf-like law (rank-k popularity proportional
+// to 1/k^alpha, alpha typically 0.6-1.0 for video CDNs). The catalog builds
+// N synthetic titles with deterministic per-title content seeds — title k
+// is byte-identical across runs and across catalogs that share a master
+// seed — and the ZipfSampler draws which title each arriving session plays.
+//
+// Title index doubles as popularity rank: title 0 is the most popular.
+// Fleet reports bucket cache behaviour by popularity decile on exactly this
+// rank.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "video/dataset.h"
+#include "video/video.h"
+
+namespace vbr::fleet {
+
+/// Catalog shape: how many titles and what each title looks like.
+struct CatalogConfig {
+  std::size_t num_titles = 16;
+  /// Zipf popularity exponent; 0 = uniform popularity.
+  double zipf_alpha = 0.8;
+  /// Master seed. Per-title content seeds are derived from it, so the same
+  /// (seed, index) always yields the same title even as num_titles changes.
+  std::uint64_t seed = 42;
+  double title_duration_s = 120.0;  ///< Per-title length.
+  double chunk_duration_s = 2.0;
+  double cap_factor = 2.0;          ///< VBR peak-to-average cap.
+  video::Codec codec = video::Codec::kH264;
+
+  /// Throws std::invalid_argument on an empty catalog, a negative or
+  /// non-finite alpha, or non-positive durations.
+  void validate() const;
+};
+
+/// Deterministic Zipf(alpha) sampler over ranks 0..n-1. Stateless: draw i
+/// is a pure function of (seed, i), so any worker can sample any index
+/// without coordination.
+class ZipfSampler {
+ public:
+  /// Throws std::invalid_argument if n == 0 or alpha is negative/non-finite.
+  ZipfSampler(std::size_t n, double alpha, std::uint64_t seed);
+
+  /// Rank drawn for counter `i` (same (seed, i) -> same rank, always).
+  [[nodiscard]] std::size_t sample(std::uint64_t i) const;
+
+  /// P(rank == k) under the analytic law.
+  [[nodiscard]] double pmf(std::size_t k) const;
+
+  [[nodiscard]] std::size_t size() const { return cdf_.size(); }
+  [[nodiscard]] double alpha() const { return alpha_; }
+
+ private:
+  std::vector<double> cdf_;  ///< cdf_[k] = P(rank <= k); back() == 1.
+  double alpha_;
+  std::uint64_t seed_;
+};
+
+/// N synthetic titles with deterministic per-title seeds, popularity-ranked
+/// by index.
+class Catalog {
+ public:
+  /// Builds every title eagerly (validated config). Title k's content seed
+  /// is derive_seed(cfg.seed, k), so catalogs are reproducible and titles
+  /// are independent of catalog size.
+  explicit Catalog(const CatalogConfig& cfg);
+
+  [[nodiscard]] std::size_t num_titles() const { return titles_.size(); }
+  [[nodiscard]] const video::Video& title(std::size_t k) const {
+    return titles_.at(k);
+  }
+  [[nodiscard]] const CatalogConfig& config() const { return config_; }
+
+  /// Total bits of every track of title k (the shard footprint an edge
+  /// cache would need to hold the whole title).
+  [[nodiscard]] double title_bits(std::size_t k) const;
+
+  /// Popularity decile of title k in [0, 9] (0 = hottest tenth).
+  [[nodiscard]] std::size_t popularity_decile(std::size_t k) const;
+
+ private:
+  CatalogConfig config_;
+  std::vector<video::Video> titles_;
+};
+
+}  // namespace vbr::fleet

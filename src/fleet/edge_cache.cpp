@@ -1,0 +1,131 @@
+#include "fleet/edge_cache.h"
+
+#include <stdexcept>
+
+namespace vbr::fleet {
+
+void EdgeCacheConfig::validate() const {
+  if (!(capacity_bits > 0.0)) {
+    throw std::invalid_argument("EdgeCacheConfig: non-positive capacity");
+  }
+  if (hit_latency_s < 0.0 || miss_latency_s < 0.0) {
+    throw std::invalid_argument("EdgeCacheConfig: negative latency");
+  }
+  if (!(origin_rate_scale > 0.0) || origin_rate_scale > 1.0) {
+    throw std::invalid_argument(
+        "EdgeCacheConfig: origin_rate_scale must be in (0, 1]");
+  }
+  if (!(max_object_fraction > 0.0) || max_object_fraction > 1.0) {
+    throw std::invalid_argument(
+        "EdgeCacheConfig: max_object_fraction must be in (0, 1]");
+  }
+}
+
+void EdgeCacheStats::merge(const EdgeCacheStats& other) {
+  lookups += other.lookups;
+  hits += other.hits;
+  hit_bits += other.hit_bits;
+  miss_bits += other.miss_bits;
+  evictions += other.evictions;
+  evicted_bits += other.evicted_bits;
+  rejected += other.rejected;
+}
+
+EdgeCache::EdgeCache(const EdgeCacheConfig& cfg) : config_(cfg) {
+  cfg.validate();
+}
+
+std::uint64_t EdgeCache::pack(const ObjectKey& key) {
+  // 20 bits of title, 8 of track, 36 of chunk: collision-free for any
+  // catalog this simulator can build, and cheap to hash.
+  if (key.title >= (1u << 20) || key.track >= (1u << 8) ||
+      key.chunk >= (1ULL << 36)) {
+    throw std::invalid_argument("EdgeCache: object key out of range");
+  }
+  return (static_cast<std::uint64_t>(key.title) << 44) |
+         (static_cast<std::uint64_t>(key.track) << 36) | key.chunk;
+}
+
+bool EdgeCache::lookup(const ObjectKey& key, double size_bits) {
+  ++stats_.lookups;
+  const auto it = index_.find(pack(key));
+  if (it == index_.end()) {
+    stats_.miss_bits += size_bits;
+    return false;
+  }
+  ++stats_.hits;
+  stats_.hit_bits += size_bits;
+  lru_.splice(lru_.begin(), lru_, it->second);  // touch: most recent
+  return true;
+}
+
+void EdgeCache::admit(const ObjectKey& key, double size_bits) {
+  if (!(size_bits > 0.0)) {
+    throw std::invalid_argument("EdgeCache::admit: non-positive size");
+  }
+  const std::uint64_t packed = pack(key);
+  const auto it = index_.find(packed);
+  if (it != index_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency only
+    return;
+  }
+  if (size_bits > config_.max_object_fraction * config_.capacity_bits) {
+    ++stats_.rejected;
+    return;
+  }
+  while (used_bits_ + size_bits > config_.capacity_bits) {
+    evict_lru();
+  }
+  lru_.push_front(Entry{packed, size_bits});
+  index_.emplace(packed, lru_.begin());
+  used_bits_ += size_bits;
+}
+
+bool EdgeCache::contains(const ObjectKey& key) const {
+  return index_.find(pack(key)) != index_.end();
+}
+
+void EdgeCache::evict_lru() {
+  // Only reachable while an admissible object still lacks room, so the
+  // cache cannot be empty here.
+  const Entry& victim = lru_.back();
+  used_bits_ -= victim.bits;
+  ++stats_.evictions;
+  stats_.evicted_bits += victim.bits;
+  index_.erase(victim.key);
+  lru_.pop_back();
+}
+
+sim::FetchPlan EdgeCachePath::on_chunk_request(const video::Video& video,
+                                               std::size_t track,
+                                               std::size_t index,
+                                               double size_bits,
+                                               double now_s) {
+  (void)video;
+  (void)now_s;
+  const ObjectKey key{title_, static_cast<std::uint32_t>(track),
+                      static_cast<std::uint64_t>(index)};
+  sim::FetchPlan plan;
+  if (cache_->lookup(key, size_bits)) {
+    plan.added_latency_s = cache_->config().hit_latency_s;
+    plan.rate_scale = 1.0;
+    plan.edge_hit = true;
+  } else {
+    plan.added_latency_s = cache_->config().miss_latency_s;
+    plan.rate_scale = cache_->config().origin_rate_scale;
+    plan.edge_hit = false;
+  }
+  return plan;
+}
+
+void EdgeCachePath::on_chunk_delivered(const video::Video& video,
+                                       std::size_t track, std::size_t index,
+                                       double size_bits, double now_s) {
+  (void)video;
+  (void)now_s;
+  cache_->admit(ObjectKey{title_, static_cast<std::uint32_t>(track),
+                          static_cast<std::uint64_t>(index)},
+                size_bits);
+}
+
+}  // namespace vbr::fleet

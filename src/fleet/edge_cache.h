@@ -1,0 +1,146 @@
+// Edge-cache / origin delivery model for fleet workloads.
+//
+// The paper's deployment context (a large content provider) serves chunks
+// through CDN edge caches; a chunk present at the edge arrives with low
+// first-byte latency at full path bandwidth, while a miss is fetched from
+// the origin — extra latency, and a throughput haircut for the origin leg.
+// VBR's defining property makes the cache interesting: chunk sizes vary by
+// multiples within a track, so byte-based LRU eviction and size-aware
+// admission interact with exactly the variability the paper characterizes.
+//
+// EdgeCache is a byte-capacity LRU over (title, track, chunk) objects with
+// size-aware admission: objects above `max_object_fraction` of capacity are
+// never admitted (one oversized object must not flush the whole shard). The
+// byte capacity invariant — used_bits() <= capacity at all times — holds
+// across any operation sequence and is unit-tested.
+//
+// Thread-safety: none, by design. run_fleet shards one cache per title and
+// serializes each shard's sessions in arrival order (the determinism
+// discipline documented in DESIGN.md §9), so shards never see concurrent
+// access.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "sim/session.h"
+#include "video/video.h"
+
+namespace vbr::fleet {
+
+struct EdgeCacheConfig {
+  /// Shard byte capacity. run_fleet treats a zero *total* capacity as
+  /// "cache model off" (no hook attached at all); EdgeCache itself requires
+  /// a positive capacity.
+  double capacity_bits = 8e9;
+  double hit_latency_s = 0.005;   ///< First-byte latency served from edge.
+  double miss_latency_s = 0.080;  ///< Edge->origin round trip on a miss.
+  /// Fraction of the client's path bandwidth sustained while the chunk
+  /// streams through from the origin (the origin leg is the bottleneck).
+  double origin_rate_scale = 0.7;
+  /// Size-aware admission: objects larger than this fraction of capacity
+  /// are served but never cached.
+  double max_object_fraction = 0.5;
+
+  /// Throws std::invalid_argument on non-positive capacity/latency bounds,
+  /// origin_rate_scale outside (0, 1], or max_object_fraction outside
+  /// (0, 1].
+  void validate() const;
+};
+
+/// One cached object: a specific encoded chunk of a specific title.
+struct ObjectKey {
+  std::uint32_t title = 0;
+  std::uint32_t track = 0;
+  std::uint64_t chunk = 0;
+};
+
+struct EdgeCacheStats {
+  std::uint64_t lookups = 0;
+  std::uint64_t hits = 0;
+  double hit_bits = 0.0;     ///< Bytes of lookups answered at the edge.
+  double miss_bits = 0.0;    ///< Bytes of lookups sent to the origin.
+  std::uint64_t evictions = 0;
+  double evicted_bits = 0.0;
+  std::uint64_t rejected = 0;  ///< Admissions refused by the size gate.
+
+  [[nodiscard]] double hit_ratio() const {
+    return lookups == 0 ? 0.0
+                        : static_cast<double>(hits) /
+                              static_cast<double>(lookups);
+  }
+  [[nodiscard]] double byte_hit_ratio() const {
+    const double total = hit_bits + miss_bits;
+    return total <= 0.0 ? 0.0 : hit_bits / total;
+  }
+
+  void merge(const EdgeCacheStats& other);
+};
+
+/// Byte-capacity LRU with size-aware admission. Deterministic: behaviour is
+/// a pure function of the operation sequence.
+class EdgeCache {
+ public:
+  /// Throws std::invalid_argument on invalid config (including
+  /// capacity_bits <= 0 — a zero-capacity shard is a fleet-level "off").
+  explicit EdgeCache(const EdgeCacheConfig& cfg);
+
+  /// True (and the entry is touched most-recently-used) if the object is
+  /// cached. Records the lookup and attributes `size_bits` to hit or miss
+  /// bytes.
+  bool lookup(const ObjectKey& key, double size_bits);
+
+  /// Inserts the object after an origin fetch, evicting least-recently-used
+  /// entries until it fits. Oversized objects (size gate) are counted as
+  /// rejected and not admitted. Re-admitting a cached object refreshes its
+  /// recency. `size_bits` must be positive.
+  void admit(const ObjectKey& key, double size_bits);
+
+  [[nodiscard]] bool contains(const ObjectKey& key) const;
+  [[nodiscard]] double used_bits() const { return used_bits_; }
+  [[nodiscard]] std::size_t num_objects() const { return index_.size(); }
+  [[nodiscard]] const EdgeCacheConfig& config() const { return config_; }
+  [[nodiscard]] const EdgeCacheStats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    std::uint64_t key;
+    double bits;
+  };
+
+  static std::uint64_t pack(const ObjectKey& key);
+  void evict_lru();
+
+  EdgeCacheConfig config_;
+  std::list<Entry> lru_;  ///< Front = most recently used.
+  std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_;
+  double used_bits_ = 0.0;
+  EdgeCacheStats stats_;
+};
+
+/// sim::DownloadPathHook adapter: routes one session's chunk fetches
+/// through an EdgeCache shard. Hits get `hit_latency_s` at full bandwidth;
+/// misses get `miss_latency_s` plus the origin-rate haircut and are
+/// admitted once the chunk lands.
+class EdgeCachePath final : public sim::DownloadPathHook {
+ public:
+  EdgeCachePath(EdgeCache& cache, std::uint32_t title)
+      : cache_(&cache), title_(title) {}
+
+  [[nodiscard]] sim::FetchPlan on_chunk_request(const video::Video& video,
+                                                std::size_t track,
+                                                std::size_t index,
+                                                double size_bits,
+                                                double now_s) override;
+  void on_chunk_delivered(const video::Video& video, std::size_t track,
+                          std::size_t index, double size_bits,
+                          double now_s) override;
+
+ private:
+  EdgeCache* cache_;
+  std::uint32_t title_;
+};
+
+}  // namespace vbr::fleet

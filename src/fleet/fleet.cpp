@@ -1,0 +1,474 @@
+#include "fleet/fleet.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <memory>
+#include <ostream>
+#include <stdexcept>
+#include <thread>
+
+#include "core/complexity_classifier.h"
+#include "fleet/rng.h"
+#include "metrics/stats.h"
+#include "obs/json_util.h"
+
+namespace vbr::fleet {
+
+namespace {
+
+// Draw salts: one per independent per-session decision stream.
+constexpr std::uint64_t kSaltZipf = 0xf1ee70;
+constexpr std::uint64_t kSaltClass = 0xf1ee71;
+constexpr std::uint64_t kSaltTrace = 0xf1ee72;
+constexpr std::uint64_t kSaltWatchFull = 0xf1ee73;
+constexpr std::uint64_t kSaltWatchTail = 0xf1ee74;
+
+/// Everything an arriving session is, decided up front as pure functions of
+/// (spec.seed, session index) so workers never race on a draw.
+struct SessionDraw {
+  std::size_t title = 0;
+  std::size_t cls = 0;
+  std::size_t trace = 0;
+  double watch_s = 0.0;  ///< 0 = watches to the end.
+};
+
+}  // namespace
+
+void WatchConfig::validate() const {
+  if (full_watch_prob < 0.0 || full_watch_prob > 1.0) {
+    throw std::invalid_argument(
+        "WatchConfig: full_watch_prob must be in [0, 1]");
+  }
+  if (!(mean_partial_s > 0.0)) {
+    throw std::invalid_argument("WatchConfig: non-positive partial mean");
+  }
+  if (min_watch_s < 0.0) {
+    throw std::invalid_argument("WatchConfig: negative minimum watch");
+  }
+}
+
+FleetResult run_fleet(const FleetSpec& spec) {
+  spec.catalog.validate();
+  spec.arrivals.validate();
+  spec.watch.validate();
+  if (spec.use_cache) {
+    spec.cache.validate();
+  }
+  if (spec.classes.empty()) {
+    throw std::invalid_argument("run_fleet: no client classes");
+  }
+  double total_weight = 0.0;
+  for (const FleetClientClass& c : spec.classes) {
+    if (!c.make_scheme) {
+      throw std::invalid_argument("run_fleet: class without make_scheme");
+    }
+    if (!(c.weight > 0.0)) {
+      throw std::invalid_argument("run_fleet: class weight must be > 0");
+    }
+    c.fault.validate();
+    if (c.fault.any()) {
+      c.retry.validate();
+    }
+    total_weight += c.weight;
+  }
+  if (spec.traces.empty()) {
+    throw std::invalid_argument("run_fleet: no traces");
+  }
+  if (spec.threads > sim::kMaxThreads) {
+    throw std::invalid_argument("run_fleet: threads exceeds kMaxThreads (" +
+                                std::to_string(sim::kMaxThreads) + ")");
+  }
+  if (spec.session.trace != nullptr || spec.session.metrics != nullptr) {
+    throw std::invalid_argument(
+        "run_fleet: wire telemetry through FleetSpec::trace/metrics — "
+        "session sinks are not thread-safe");
+  }
+  if (spec.session.size_provider != nullptr) {
+    throw std::invalid_argument(
+        "run_fleet: size knowledge is per client class "
+        "(FleetClientClass::make_size_provider), not the shared session "
+        "config");
+  }
+  if (spec.session.download_hook != nullptr) {
+    throw std::invalid_argument(
+        "run_fleet: the delivery path is owned by the fleet cache model; "
+        "configure FleetSpec::cache instead of a session hook");
+  }
+  sim::validate_session_config(spec.session, "run_fleet");
+
+  const Catalog catalog(spec.catalog);
+  const std::size_t num_titles = catalog.num_titles();
+  const std::vector<double> arrivals = generate_arrivals(spec.arrivals);
+  if (arrivals.empty()) {
+    throw std::invalid_argument(
+        "run_fleet: arrival process yielded zero sessions (raise the rate, "
+        "the horizon, or max_sessions)");
+  }
+  const std::size_t n = arrivals.size();
+
+  // Per-session workload draws, all up front, all counter-based.
+  const ZipfSampler zipf(num_titles, spec.catalog.zipf_alpha,
+                         detail::derive_seed(spec.seed, 0, kSaltZipf));
+  std::vector<SessionDraw> draws(n);
+  std::vector<std::vector<std::size_t>> by_title(num_titles);
+  for (std::size_t i = 0; i < n; ++i) {
+    SessionDraw& d = draws[i];
+    d.title = zipf.sample(i);
+    const double uc = detail::keyed_u01(spec.seed, i, 0, kSaltClass);
+    double acc = 0.0;
+    d.cls = spec.classes.size() - 1;  // guard against float residue at 1.0
+    for (std::size_t c = 0; c < spec.classes.size(); ++c) {
+      acc += spec.classes[c].weight / total_weight;
+      if (uc < acc) {
+        d.cls = c;
+        break;
+      }
+    }
+    d.trace = std::min(
+        spec.traces.size() - 1,
+        static_cast<std::size_t>(
+            detail::keyed_u01(spec.seed, i, 0, kSaltTrace) *
+            static_cast<double>(spec.traces.size())));
+    if (detail::keyed_u01(spec.seed, i, 0, kSaltWatchFull) >=
+        spec.watch.full_watch_prob) {
+      const double u = detail::keyed_u01(spec.seed, i, 0, kSaltWatchTail);
+      d.watch_s = spec.watch.min_watch_s -
+                  spec.watch.mean_partial_s * std::log(1.0 - u);
+    }
+    by_title[d.title].push_back(i);
+  }
+
+  // Private telemetry slots, folded in session-id order after the join.
+  const bool telemetry_on = spec.trace != nullptr || spec.metrics != nullptr;
+  std::vector<std::unique_ptr<obs::MemoryTraceSink>> sinks;
+  std::vector<std::unique_ptr<obs::MetricsRegistry>> registries;
+  if (telemetry_on) {
+    sinks.resize(n);
+    registries.resize(n);
+  }
+
+  FleetResult result;
+  result.sessions.resize(n);
+  result.cache_enabled = spec.use_cache;
+
+  std::size_t max_tracks = 0;
+  for (std::size_t k = 0; k < num_titles; ++k) {
+    max_tracks = std::max(max_tracks, catalog.title(k).num_tracks());
+  }
+
+  // Worker-owned per-title aggregates: each row is written only by the
+  // worker that claimed the title, then folded in title order.
+  std::vector<EdgeCacheStats> shard_stats(num_titles);
+  std::vector<std::vector<std::uint64_t>> track_hits(
+      num_titles, std::vector<std::uint64_t>(max_tracks, 0));
+  std::vector<std::vector<std::uint64_t>> track_total(
+      num_titles, std::vector<std::uint64_t>(max_tracks, 0));
+
+  // Total capacity splits evenly across per-title shards.
+  EdgeCacheConfig shard_cfg = spec.cache;
+  if (spec.use_cache) {
+    shard_cfg.capacity_bits =
+        spec.cache.capacity_bits / static_cast<double>(num_titles);
+  }
+
+  const sim::EstimatorFactory default_estimator =
+      sim::default_estimator_factory();
+
+  const unsigned threads =
+      spec.threads > 0 ? spec.threads
+                       : std::max(1u, std::thread::hardware_concurrency());
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (unsigned w = 0; w < threads; ++w) {
+    workers.emplace_back([&] {
+      while (true) {
+        const std::size_t k = next.fetch_add(1);
+        if (k >= num_titles || failed.load()) {
+          return;
+        }
+        try {
+          const std::vector<std::size_t>& ids = by_title[k];
+          if (ids.empty()) {
+            continue;
+          }
+          const video::Video& title_video = catalog.title(k);
+          const core::ComplexityClassifier classifier(title_video);
+          const std::vector<std::size_t>& classes = classifier.classes();
+          metrics::QoeConfig qoe = spec.qoe;
+          qoe.top_class = classifier.num_classes() - 1;
+
+          // One cache shard per title; its sessions run serially in
+          // arrival order, so shard state is schedule-independent.
+          std::unique_ptr<EdgeCache> shard;
+          if (spec.use_cache) {
+            shard = std::make_unique<EdgeCache>(shard_cfg);
+          }
+
+          for (const std::size_t sid : ids) {
+            const SessionDraw& d = draws[sid];
+            const FleetClientClass& cls = spec.classes[d.cls];
+            const std::unique_ptr<abr::AbrScheme> scheme = cls.make_scheme();
+            const std::unique_ptr<net::BandwidthEstimator> estimator =
+                (cls.make_estimator ? cls.make_estimator
+                                    : default_estimator)(spec.traces[d.trace]);
+            const std::unique_ptr<video::ChunkSizeProvider> sizes =
+                cls.make_size_provider ? cls.make_size_provider() : nullptr;
+
+            sim::SessionConfig sc = spec.session;
+            sc.fault = cls.fault;
+            sc.retry = cls.retry;
+            sc.watch_duration_s = d.watch_s;
+            sc.session_id = sid;
+            sc.fleet_session = true;
+            sc.fleet_arrival_s = arrivals[sid];
+            sc.fleet_title = k;
+            if (sizes) {
+              sc.size_provider = sizes.get();
+            }
+            std::unique_ptr<EdgeCachePath> path;
+            if (shard) {
+              path = std::make_unique<EdgeCachePath>(
+                  *shard, static_cast<std::uint32_t>(k));
+              sc.download_hook = path.get();
+            }
+            if (telemetry_on) {
+              if (spec.trace != nullptr) {
+                sinks[sid] = std::make_unique<obs::MemoryTraceSink>();
+                sc.trace = sinks[sid].get();
+              }
+              if (spec.metrics != nullptr) {
+                registries[sid] = std::make_unique<obs::MetricsRegistry>();
+                sc.metrics = registries[sid].get();
+              }
+            }
+
+            const sim::SessionResult sr = sim::run_session(
+                title_video, spec.traces[d.trace], *scheme, *estimator, sc);
+
+            FleetSessionRecord rec;
+            rec.session_id = sid;
+            rec.arrival_s = arrivals[sid];
+            rec.title = k;
+            rec.class_index = d.cls;
+            rec.trace_index = d.trace;
+            rec.watch_duration_s = d.watch_s;
+            rec.faults = sr.fault_summary();
+            rec.chunks = sr.chunks.size();
+            for (const sim::ChunkRecord& c : sr.chunks) {
+              if (c.skipped) {
+                continue;
+              }
+              ++track_total[k][c.track];
+              if (c.edge_hit) {
+                ++track_hits[k][c.track];
+                ++rec.edge_hits;
+                rec.edge_hit_bits += c.size_bits;
+              } else {
+                rec.origin_bits += c.size_bits;
+              }
+            }
+            const std::vector<metrics::PlayedChunk> played =
+                sr.to_played_chunks(spec.metric, classes);
+            if (played.empty()) {
+              // Nothing watchable (total outage): timing metrics only.
+              metrics::QoeSummary s;
+              s.rebuffer_s = sr.total_rebuffer_s;
+              s.startup_delay_s = sr.startup_delay_s;
+              s.low_quality_pct = 100.0;
+              rec.qoe = std::move(s);
+            } else {
+              rec.qoe = metrics::compute_qoe(played, sr.total_rebuffer_s,
+                                             sr.startup_delay_s, qoe);
+            }
+            result.sessions[sid] = std::move(rec);
+          }
+          if (shard) {
+            shard_stats[k] = shard->stats();
+          }
+        } catch (...) {
+          failed.store(true);
+          throw;  // fleet bugs are fatal, as in run_experiment
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) {
+    w.join();
+  }
+
+  // Deterministic folds: title order for shard aggregates, session order
+  // for everything per-session.
+  for (std::size_t k = 0; k < num_titles; ++k) {
+    result.cache.merge(shard_stats[k]);
+  }
+  {
+    std::vector<std::uint64_t> hits(max_tracks, 0);
+    std::vector<std::uint64_t> total(max_tracks, 0);
+    std::vector<std::uint64_t> dec_hits(10, 0);
+    std::vector<std::uint64_t> dec_total(10, 0);
+    for (std::size_t k = 0; k < num_titles; ++k) {
+      const std::size_t decile = catalog.popularity_decile(k);
+      for (std::size_t tr = 0; tr < max_tracks; ++tr) {
+        hits[tr] += track_hits[k][tr];
+        total[tr] += track_total[k][tr];
+        dec_hits[decile] += track_hits[k][tr];
+        dec_total[decile] += track_total[k][tr];
+      }
+    }
+    result.hit_ratio_by_track.assign(max_tracks, 0.0);
+    for (std::size_t tr = 0; tr < max_tracks; ++tr) {
+      result.hit_ratio_by_track[tr] =
+          total[tr] == 0 ? 0.0
+                         : static_cast<double>(hits[tr]) /
+                               static_cast<double>(total[tr]);
+    }
+    result.hit_ratio_by_popularity_decile.assign(10, 0.0);
+    for (std::size_t dd = 0; dd < 10; ++dd) {
+      result.hit_ratio_by_popularity_decile[dd] =
+          dec_total[dd] == 0 ? 0.0
+                             : static_cast<double>(dec_hits[dd]) /
+                                   static_cast<double>(dec_total[dd]);
+    }
+  }
+
+  std::vector<double> session_quality;
+  std::vector<double> session_bits;
+  session_quality.reserve(n);
+  session_bits.reserve(n);
+  result.per_class.resize(spec.classes.size());
+  for (std::size_t c = 0; c < spec.classes.size(); ++c) {
+    result.per_class[c].label = spec.classes[c].label.empty()
+                                    ? spec.classes[c].make_scheme()->name()
+                                    : spec.classes[c].label;
+  }
+  for (const FleetSessionRecord& rec : result.sessions) {
+    result.edge_hit_bits += rec.edge_hit_bits;
+    result.origin_bits += rec.origin_bits;
+    session_quality.push_back(rec.qoe.all_quality_mean);
+    session_bits.push_back(rec.qoe.data_usage_mb);
+    FleetSchemeReport& cr = result.per_class[rec.class_index];
+    ++cr.sessions;
+    cr.mean_all_quality += rec.qoe.all_quality_mean;
+    cr.mean_q4_quality += rec.qoe.q4_quality_mean;
+    cr.mean_low_quality_pct += rec.qoe.low_quality_pct;
+    cr.mean_rebuffer_s += rec.qoe.rebuffer_s;
+    cr.mean_startup_delay_s += rec.qoe.startup_delay_s;
+    cr.mean_data_usage_mb += rec.qoe.data_usage_mb;
+  }
+  for (FleetSchemeReport& cr : result.per_class) {
+    if (cr.sessions > 0) {
+      const double inv = 1.0 / static_cast<double>(cr.sessions);
+      cr.mean_all_quality *= inv;
+      cr.mean_q4_quality *= inv;
+      cr.mean_low_quality_pct *= inv;
+      cr.mean_rebuffer_s *= inv;
+      cr.mean_startup_delay_s *= inv;
+      cr.mean_data_usage_mb *= inv;
+    }
+  }
+  result.jain_quality = stats::jain_index(session_quality);
+  result.jain_bits = stats::jain_index(session_bits);
+
+  // Telemetry fold: session-id order with one monotone global sequence —
+  // the same merged-stream discipline as run_experiment.
+  if (spec.trace != nullptr) {
+    std::uint64_t global_seq = 0;
+    for (const std::unique_ptr<obs::MemoryTraceSink>& sink : sinks) {
+      if (!sink) {
+        continue;
+      }
+      for (const obs::DecisionEvent& ev : sink->events()) {
+        obs::DecisionEvent merged = ev;
+        merged.seq = global_seq++;
+        spec.trace->on_decision(merged);
+      }
+    }
+    spec.trace->flush();
+  }
+  if (spec.metrics != nullptr) {
+    for (const std::unique_ptr<obs::MetricsRegistry>& reg : registries) {
+      if (reg) {
+        spec.metrics->merge(*reg);
+      }
+    }
+  }
+  return result;
+}
+
+void FleetResult::write_json(std::ostream& out) const {
+  using obs::detail::append_double;
+  using obs::detail::append_json_string;
+  using obs::detail::append_uint;
+
+  std::string s;
+  s.reserve(1024);
+  s += "{\"sessions\":";
+  append_uint(s, sessions.size());
+  s += ",\"cache\":{\"enabled\":";
+  s += cache_enabled ? "true" : "false";
+  s += ",\"lookups\":";
+  append_uint(s, cache.lookups);
+  s += ",\"hits\":";
+  append_uint(s, cache.hits);
+  s += ",\"hit_ratio\":";
+  append_double(s, cache.hit_ratio());
+  s += ",\"byte_hit_ratio\":";
+  append_double(s, cache.byte_hit_ratio());
+  s += ",\"evictions\":";
+  append_uint(s, cache.evictions);
+  s += ",\"rejected\":";
+  append_uint(s, cache.rejected);
+  s += ",\"edge_hit_bits\":";
+  append_double(s, edge_hit_bits);
+  s += ",\"origin_bits\":";
+  append_double(s, origin_bits);
+  s += "},\"hit_ratio_by_track\":[";
+  for (std::size_t i = 0; i < hit_ratio_by_track.size(); ++i) {
+    if (i > 0) {
+      s += ',';
+    }
+    append_double(s, hit_ratio_by_track[i]);
+  }
+  s += "],\"hit_ratio_by_popularity_decile\":[";
+  for (std::size_t i = 0; i < hit_ratio_by_popularity_decile.size(); ++i) {
+    if (i > 0) {
+      s += ',';
+    }
+    append_double(s, hit_ratio_by_popularity_decile[i]);
+  }
+  s += "],\"fairness\":{\"jain_quality\":";
+  append_double(s, jain_quality);
+  s += ",\"jain_bits\":";
+  append_double(s, jain_bits);
+  s += "},\"per_class\":[";
+  for (std::size_t c = 0; c < per_class.size(); ++c) {
+    const FleetSchemeReport& r = per_class[c];
+    if (c > 0) {
+      s += ',';
+    }
+    s += "{\"label\":";
+    append_json_string(s, r.label);
+    s += ",\"sessions\":";
+    append_uint(s, r.sessions);
+    s += ",\"mean_quality\":";
+    append_double(s, r.mean_all_quality);
+    s += ",\"mean_q4_quality\":";
+    append_double(s, r.mean_q4_quality);
+    s += ",\"low_quality_pct\":";
+    append_double(s, r.mean_low_quality_pct);
+    s += ",\"mean_rebuffer_s\":";
+    append_double(s, r.mean_rebuffer_s);
+    s += ",\"mean_startup_s\":";
+    append_double(s, r.mean_startup_delay_s);
+    s += ",\"mean_data_mb\":";
+    append_double(s, r.mean_data_usage_mb);
+    s += "}";
+  }
+  s += "]}";
+  out << s << '\n';
+}
+
+}  // namespace vbr::fleet

@@ -1,0 +1,160 @@
+// Fleet-scale workload driver.
+//
+// Composes the catalog (Zipf popularity), the arrival processes, the
+// edge-cache/origin delivery model, and the per-session simulator into one
+// deterministic "day in the life of a CDN region": sessions arrive over
+// time, each picks a title by popularity, a client class by mix weight, a
+// network trace, and a watch duration, then streams through a per-title
+// edge-cache shard.
+//
+// Determinism discipline (unit-tested at 1, 2, and 8 worker threads):
+//   - every per-session draw (title, class, trace, watch duration) is a
+//     counter-based pure function of (spec.seed, session index);
+//   - the edge cache is sharded per title, and each shard's sessions run
+//     serially in arrival order on whichever worker claimed the title —
+//     shard state never depends on the thread schedule;
+//   - telemetry goes to private per-session sinks folded in session-id
+//     order after the workers join, exactly run_experiment's discipline;
+//   - aggregate report fields are folded in title order / session order,
+//     never worker order.
+// Consequence: run_fleet output (including serialized JSONL telemetry and
+// the report JSON) is byte-identical at any thread count.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "fleet/arrivals.h"
+#include "fleet/catalog.h"
+#include "fleet/edge_cache.h"
+#include "metrics/report.h"
+#include "net/trace.h"
+#include "sim/experiment.h"
+
+namespace vbr::fleet {
+
+/// One heterogeneous client population (a scheme + resilience + metadata
+/// profile) with a mix weight. Arriving sessions draw their class with
+/// probability proportional to `weight`.
+struct FleetClientClass {
+  std::string label;              ///< Report key (e.g. "cava", "bola-lte").
+  sim::SchemeFactory make_scheme; ///< Required; one fresh scheme per session.
+  sim::EstimatorFactory make_estimator;  ///< Empty = default harmonic mean.
+  sim::SizeProviderFactory make_size_provider;  ///< Empty = exact sizes.
+  net::FaultConfig fault;   ///< Per-class fault profile (default: none).
+  sim::RetryPolicy retry;   ///< Consulted when `fault` is enabled.
+  double weight = 1.0;      ///< Relative arrival share (> 0).
+};
+
+/// Watch-duration / early-abandon distribution: with probability
+/// `full_watch_prob` a viewer watches to the end; otherwise they leave
+/// after min_watch_s plus an Exp(mean_partial_s) tail.
+struct WatchConfig {
+  double full_watch_prob = 0.6;
+  double mean_partial_s = 45.0;  ///< Mean of the partial-watch tail.
+  double min_watch_s = 5.0;      ///< Everyone watches at least this much.
+
+  /// Throws std::invalid_argument on a probability outside [0, 1] or
+  /// non-positive tail mean / negative minimum.
+  void validate() const;
+};
+
+/// Declarative description of a whole fleet run.
+struct FleetSpec {
+  CatalogConfig catalog;
+  ArrivalConfig arrivals;
+  std::vector<FleetClientClass> classes;  ///< Non-empty; weights > 0.
+  /// Per-session network traces; each session draws one uniformly.
+  std::span<const net::Trace> traces;
+
+  /// Edge-cache model. `cache.capacity_bits` is the TOTAL capacity, split
+  /// evenly across per-title shards. `use_cache = false` detaches the
+  /// delivery model entirely (direct origin delivery, no latency, no
+  /// haircut) — the control arm for cache experiments.
+  EdgeCacheConfig cache;
+  bool use_cache = true;
+
+  WatchConfig watch;
+
+  /// Shared per-session base config. Telemetry sinks, size providers, and
+  /// download hooks must be null here — run_fleet owns all three (throws
+  /// otherwise).
+  sim::SessionConfig session;
+  video::QualityMetric metric = video::QualityMetric::kVmafPhone;
+  metrics::QoeConfig qoe;
+
+  /// Worker threads; 0 = hardware concurrency. Bounded by sim::kMaxThreads.
+  unsigned threads = 0;
+  /// Master workload seed: drives the per-session draws (title, class,
+  /// trace, watch duration). Independent of catalog.seed (content) and
+  /// arrivals.seed (timing).
+  std::uint64_t seed = 7;
+
+  /// Merged telemetry destinations (optional, not owned); same fold
+  /// discipline as ExperimentSpec.
+  obs::TraceSink* trace = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+/// Outcome of one fleet session, in arrival order.
+struct FleetSessionRecord {
+  std::uint64_t session_id = 0;  ///< Arrival index; telemetry session_id.
+  double arrival_s = 0.0;
+  std::size_t title = 0;
+  std::size_t class_index = 0;
+  std::size_t trace_index = 0;
+  double watch_duration_s = 0.0;  ///< 0 = watched to the end.
+  metrics::QoeSummary qoe;
+  metrics::FaultSummary faults;
+  std::size_t chunks = 0;      ///< Chunks resolved (delivered or skipped).
+  std::size_t edge_hits = 0;   ///< Delivered chunks served from the edge.
+  double edge_hit_bits = 0.0;  ///< Bytes of delivered chunks served at edge.
+  double origin_bits = 0.0;    ///< Bytes of delivered chunks from origin.
+};
+
+/// Per-class QoE aggregate (the "QoE distribution per scheme" view).
+struct FleetSchemeReport {
+  std::string label;
+  std::size_t sessions = 0;
+  double mean_all_quality = 0.0;
+  double mean_q4_quality = 0.0;
+  double mean_low_quality_pct = 0.0;
+  double mean_rebuffer_s = 0.0;
+  double mean_startup_delay_s = 0.0;
+  double mean_data_usage_mb = 0.0;
+};
+
+/// Complete fleet outcome + report.
+struct FleetResult {
+  std::vector<FleetSessionRecord> sessions;  ///< Arrival order.
+  std::vector<FleetSchemeReport> per_class;  ///< Ordered like spec.classes.
+
+  bool cache_enabled = false;
+  EdgeCacheStats cache;  ///< Summed over per-title shards, title order.
+  double edge_hit_bits = 0.0;  ///< Delivered bytes served from the edge.
+  double origin_bits = 0.0;    ///< Delivered bytes egressed from the origin.
+  /// Delivered-chunk hit ratio per track index (0 when a track saw no
+  /// fetches). Sized to the widest title.
+  std::vector<double> hit_ratio_by_track;
+  /// Delivered-chunk hit ratio per popularity decile (10 entries; 0 =
+  /// hottest tenth of the catalog).
+  std::vector<double> hit_ratio_by_popularity_decile;
+
+  // Cross-session fairness over per-session outcomes (stats::jain_index).
+  double jain_quality = 0.0;  ///< Over per-session mean delivered quality.
+  double jain_bits = 0.0;     ///< Over per-session data usage.
+
+  /// Serializes the fleet report (cache + fairness + per-class QoE) as one
+  /// JSON object, byte-deterministic (obs json_util writers).
+  void write_json(std::ostream& out) const;
+};
+
+/// Runs the whole fleet. Throws std::invalid_argument on a malformed spec
+/// or an arrival config that yields zero sessions.
+[[nodiscard]] FleetResult run_fleet(const FleetSpec& spec);
+
+}  // namespace vbr::fleet

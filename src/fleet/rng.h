@@ -1,0 +1,38 @@
+// Counter-based deterministic random draws for the fleet workload layer.
+//
+// Same discipline as net::FaultModel: every draw is a pure function of
+// (seed, counters, salt) through the splitmix64 finalizer — no mutable RNG
+// state — so workload sampling (titles, client classes, traces, watch
+// durations, arrival gaps) is reproducible regardless of the order in which
+// worker threads consume sessions.
+#pragma once
+
+#include <cstdint>
+
+namespace vbr::fleet::detail {
+
+/// splitmix64 finalizer (Vigna): the standard strong 64-bit mixer for
+/// counter-based streams.
+inline std::uint64_t mix64(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Hashes (seed, a, b, salt) into a uniform double in [0, 1).
+inline double keyed_u01(std::uint64_t seed, std::uint64_t a,
+                        std::uint64_t b = 0, std::uint64_t salt = 0) {
+  std::uint64_t h = mix64(seed ^ mix64(a));
+  h = mix64(h ^ mix64(b ^ salt));
+  // 53 mantissa bits -> [0, 1).
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+/// Derives an independent child seed (per-title content seeds etc.).
+inline std::uint64_t derive_seed(std::uint64_t seed, std::uint64_t index,
+                                 std::uint64_t salt) {
+  return mix64(mix64(seed ^ salt) ^ index);
+}
+
+}  // namespace vbr::fleet::detail

@@ -120,6 +120,22 @@ std::vector<double> ranks(std::span<const double> xs) {
   return r;
 }
 
+double jain_index(std::span<const double> xs) {
+  if (xs.empty()) {
+    throw std::invalid_argument("jain_index: empty input");
+  }
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (const double x : xs) {
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (sum_sq == 0.0) {
+    return 1.0;  // nothing allocated to anyone: perfectly even
+  }
+  return (sum * sum) / (static_cast<double>(xs.size()) * sum_sq);
+}
+
 double spearman(std::span<const double> xs, std::span<const double> ys) {
   if (xs.size() != ys.size()) {
     throw std::invalid_argument("spearman: size mismatch");

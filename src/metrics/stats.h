@@ -40,6 +40,12 @@ double spearman(std::span<const double> xs, std::span<const double> ys);
 /// Ranks of the samples (1-based, average rank for ties).
 std::vector<double> ranks(std::span<const double> xs);
 
+/// Jain fairness index of a resource allocation, in [1/n, 1]:
+/// (sum x)^2 / (n * sum x^2). 1 = perfectly even; 1/n = one sample holds
+/// everything. All-zero allocations are defined as perfectly fair (1.0).
+/// Throws std::invalid_argument on empty input.
+double jain_index(std::span<const double> xs);
+
 /// Quartile thresholds [q25, q50, q75] of the sample distribution.
 struct Quartiles {
   double q25 = 0.0;

@@ -69,6 +69,16 @@ struct DecisionEvent {
   bool abandoned_higher = false;
 
   std::optional<ControllerInternals> controller;
+
+  /// Fleet / delivery-path context (absent outside fleet runs and
+  /// edge-cache sessions, so pre-fleet streams serialize byte-identically).
+  struct EdgeInfo {
+    double arrival_s = 0.0;       ///< Session arrival time in the fleet run.
+    std::uint64_t title = 0;      ///< Catalog title index.
+    bool edge_hit = false;        ///< Chunk served from the edge cache.
+    double edge_latency_s = 0.0;  ///< Delivery-path first-byte latency.
+  };
+  std::optional<EdgeInfo> edge;
 };
 
 }  // namespace vbr::obs

@@ -99,6 +99,18 @@ std::string to_jsonl(const DecisionEvent& e) {
     s += c.complex_chunk ? "true" : "false";
     s += "}";
   }
+  if (e.edge.has_value()) {
+    const DecisionEvent::EdgeInfo& g = *e.edge;
+    s += ",\"edge\":{\"arrival_s\":";
+    append_double(s, g.arrival_s);
+    s += ",\"title\":";
+    append_uint(s, g.title);
+    s += ",\"hit\":";
+    s += g.edge_hit ? "true" : "false";
+    s += ",\"latency_s\":";
+    append_double(s, g.edge_latency_s);
+    s += "}";
+  }
   s += "}";
   return s;
 }

@@ -98,6 +98,15 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
         "run_experiment: wire telemetry through ExperimentSpec::trace/"
         "metrics, not SessionConfig — session sinks are not thread-safe");
   }
+  if (spec.session.download_hook != nullptr) {
+    // Same reasoning as the sinks: one stateful hook shared across worker
+    // threads would make cache state depend on scheduling. run_fleet owns
+    // the threading story for delivery-path models (per-title shards).
+    throw std::invalid_argument(
+        "run_experiment: download hooks are not supported here — "
+        "delivery-path models belong to fleet::run_fleet, which shards "
+        "them deterministically");
+  }
   const bool telemetry_on =
       spec.trace != nullptr || spec.metrics != nullptr;
   const EstimatorFactory make_estimator =

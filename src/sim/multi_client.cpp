@@ -5,25 +5,14 @@
 #include <limits>
 #include <stdexcept>
 
+#include "metrics/stats.h"
 #include "sim/buffer.h"
 #include "sim/telemetry.h"
 
 namespace vbr::sim {
 
 double MultiClientResult::jain_index(const std::vector<double>& xs) {
-  if (xs.empty()) {
-    throw std::invalid_argument("jain_index: empty input");
-  }
-  double sum = 0.0;
-  double sq = 0.0;
-  for (const double x : xs) {
-    sum += x;
-    sq += x * x;
-  }
-  if (sq == 0.0) {
-    return 1.0;  // all zero: trivially fair
-  }
-  return sum * sum / (static_cast<double>(xs.size()) * sq);
+  return stats::jain_index(xs);
 }
 
 std::vector<double> MultiClientResult::mean_qualities(
@@ -79,6 +68,7 @@ struct ClientState {
   bool room_checked = false;     ///< Room gate applied for the current chunk.
   ChunkRecord rec;               ///< In-flight chunk bookkeeping.
   abr::StreamContext last_ctx;   ///< Context used for the in-flight decide.
+  std::size_t total_chunks = 0;  ///< Watch-duration-truncated chunk bound.
 
   // Retry state for the in-flight chunk.
   bool fetch_started = false;    ///< First attempt of this chunk was issued.
@@ -106,14 +96,28 @@ MultiClientResult run_multi_client(const net::Trace& trace,
   }
   validate_session_config(config, "run_multi_client");
   if (config.enable_abandonment) {
+    // Documented constraint (unit-tested): mid-download abandonment needs a
+    // progress model for the aborted request, and under a shared bottleneck
+    // aborting one client's transfer retroactively changes every other
+    // client's fair share over the same interval — the event loop would
+    // have to rewind. Early-leaving viewers are modeled instead through
+    // watch-duration truncation (ClientSpec::watch_duration_s), which
+    // composes cleanly with the shared-bottleneck semantics.
     throw std::invalid_argument(
-        "run_multi_client: abandonment is not modeled for shared "
-        "bottlenecks");
+        "run_multi_client: segment abandonment is not modeled for shared "
+        "bottlenecks; model early-leaving viewers with "
+        "ClientSpec::watch_duration_s instead");
   }
   if (config.size_provider != nullptr) {
     throw std::invalid_argument(
         "run_multi_client: use ClientSpec::size_provider — a shared "
         "provider would cross-contaminate per-client learned state");
+  }
+  if (config.download_hook != nullptr) {
+    throw std::invalid_argument(
+        "run_multi_client: download hooks are not supported — a shared "
+        "stateful hook would make cache state depend on event-loop "
+        "interleaving; use run_fleet's per-title shards instead");
   }
 
   std::vector<ClientState> state;
@@ -129,8 +133,16 @@ MultiClientResult run_multi_client(const net::Trace& trace,
     if (spec.size_provider) {
       spec.size_provider->reset();
     }
+    if (spec.watch_duration_s < 0.0) {
+      throw std::invalid_argument(
+          "run_multi_client: negative client watch duration");
+    }
     ClientState cs(std::move(spec), config.max_buffer_s, config.fault, ci);
     cs.phase_until = cs.spec.start_offset_s;
+    const double watch_s = cs.spec.watch_duration_s > 0.0
+                               ? cs.spec.watch_duration_s
+                               : config.watch_duration_s;
+    cs.total_chunks = effective_chunk_count(*cs.spec.video, watch_s);
     cs.telemetry.bind(config.trace, config.metrics, config.session_id + ci,
                       *cs.spec.scheme, cs.spec.size_provider.get());
     state.push_back(std::move(cs));
@@ -140,7 +152,6 @@ MultiClientResult run_multi_client(const net::Trace& trace,
 
   // Finishes the current chunk as skipped: recorded, never delivered.
   auto skip_chunk = [&](ClientState& c) {
-    const video::Video& v = *c.spec.video;
     c.rec.skipped = true;
     c.rec.attempts = c.failures;
     c.rec.download_s = 0.0;
@@ -148,7 +159,7 @@ MultiClientResult run_multi_client(const net::Trace& trace,
     c.rec.buffer_after_s = c.buffer.level_s();
     if (!c.buffer.playing() &&
         (c.buffer.level_s() >= config.startup_latency_s ||
-         c.rec.index + 1 == v.num_chunks())) {
+         c.rec.index + 1 == c.total_chunks)) {
       c.buffer.start_playback();
       c.result.startup_delay_s = t - c.spec.start_offset_s;
     }
@@ -159,7 +170,7 @@ MultiClientResult run_multi_client(const net::Trace& trace,
     c.room_checked = false;
     c.fetch_started = false;
     c.failures = 0;
-    if (c.next_chunk >= v.num_chunks()) {
+    if (c.next_chunk >= c.total_chunks) {
       c.phase = Phase::kDone;
       c.result.end_time_s = t;
     } else {
@@ -215,7 +226,7 @@ MultiClientResult run_multi_client(const net::Trace& trace,
   // consulting the fault model per attempt.
   auto activate = [&](ClientState& c) {
     const video::Video& v = *c.spec.video;
-    if (c.next_chunk >= v.num_chunks()) {
+    if (c.next_chunk >= c.total_chunks) {
       c.phase = Phase::kDone;
       c.result.end_time_s = t;
       return;
@@ -338,7 +349,7 @@ MultiClientResult run_multi_client(const net::Trace& trace,
     }
     if (!c.buffer.playing() &&
         (c.buffer.level_s() >= config.startup_latency_s ||
-         c.rec.index + 1 == v.num_chunks())) {
+         c.rec.index + 1 == c.total_chunks)) {
       c.buffer.start_playback();
       c.result.startup_delay_s = t - c.spec.start_offset_s;
     }
@@ -351,7 +362,7 @@ MultiClientResult run_multi_client(const net::Trace& trace,
     c.room_checked = false;
     c.fetch_started = false;
     c.failures = 0;
-    if (c.next_chunk >= v.num_chunks()) {
+    if (c.next_chunk >= c.total_chunks) {
       c.phase = Phase::kDone;
       c.result.end_time_s = t;
     } else {

@@ -34,13 +34,20 @@ struct ClientSpec {
   /// one across clients would cross-contaminate their beliefs — which is
   /// why run_multi_client rejects SessionConfig::size_provider.
   std::unique_ptr<video::ChunkSizeProvider> size_provider;
+  /// Per-client watch duration (seconds of content; see
+  /// SessionConfig::watch_duration_s). 0 falls back to the shared config
+  /// value; both 0 = watch to the end. Fleet-style populations mix viewers
+  /// who leave at different times, which changes the bottleneck share for
+  /// everyone still watching.
+  double watch_duration_s = 0.0;
 };
 
 struct MultiClientResult {
   std::vector<SessionResult> sessions;  ///< One per client, same order.
 
-  /// Jain fairness index of a per-client statistic in [1/n, 1]:
-  /// (sum x)^2 / (n * sum x^2).
+  /// Jain fairness index of a per-client statistic in [1/n, 1]. Thin
+  /// wrapper over stats::jain_index (src/metrics/stats.h), kept for source
+  /// compatibility.
   [[nodiscard]] static double jain_index(const std::vector<double>& xs);
 
   /// Per-client mean delivered quality under `metric`.

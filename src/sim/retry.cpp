@@ -26,8 +26,8 @@ FailedAttempt charge_failed_attempt(const net::Trace& trace,
                                     const net::FaultOutcome& outcome,
                                     const net::FaultConfig& fault,
                                     const RetryPolicy& policy, double t,
-                                    double request_rtt_s,
-                                    double bits_needed) {
+                                    double request_rtt_s, double bits_needed,
+                                    double rate_scale) {
   FailedAttempt out;
   switch (outcome.kind) {
     case net::FaultKind::kConnectFail:
@@ -42,9 +42,9 @@ FailedAttempt charge_failed_attempt(const net::Trace& trace,
       break;
     case net::FaultKind::kMidDrop:
       out.delivered_bits = outcome.drop_fraction * bits_needed;
-      out.elapsed_s =
-          request_rtt_s +
-          trace.download_duration_s(t + request_rtt_s, out.delivered_bits);
+      out.elapsed_s = request_rtt_s +
+                      trace.download_duration_s(t + request_rtt_s,
+                                                out.delivered_bits / rate_scale);
       break;
     case net::FaultKind::kNone:
       throw std::logic_error("charge_failed_attempt: attempt did not fail");

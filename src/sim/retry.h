@@ -55,11 +55,13 @@ struct FailedAttempt {
 };
 
 /// Accounts a failed attempt of `bits_needed` bits. `outcome.kind` must not
-/// be kNone.
+/// be kNone. `rate_scale` is the delivery path's bandwidth fraction (see
+/// sim::FetchPlan): it stretches the transfer time of a mid-drop's partial
+/// bytes without changing the bytes themselves.
 [[nodiscard]] FailedAttempt charge_failed_attempt(
     const net::Trace& trace, const net::FaultOutcome& outcome,
     const net::FaultConfig& fault, const RetryPolicy& policy, double t,
-    double request_rtt_s, double bits_needed);
+    double request_rtt_s, double bits_needed, double rate_scale = 1.0);
 
 /// Deterministic backoff delay before retry number `retry_index` (0-based)
 /// of chunk `chunk_index`.

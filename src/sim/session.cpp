@@ -1,6 +1,7 @@
 #include "sim/session.h"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 #include "sim/buffer.h"
@@ -63,10 +64,25 @@ void validate_session_config(const SessionConfig& config,
     throw std::invalid_argument(
         who + ": abandon check fraction must be in (0, 1]");
   }
+  if (config.watch_duration_s < 0.0) {
+    throw std::invalid_argument(who + ": negative watch duration");
+  }
   config.fault.validate();
   if (config.fault.any()) {
     config.retry.validate();
   }
+}
+
+std::size_t effective_chunk_count(const video::Video& video,
+                                  double watch_duration_s) {
+  if (watch_duration_s <= 0.0) {
+    return video.num_chunks();
+  }
+  // The epsilon keeps an exact multiple of the chunk duration from rounding
+  // up to one extra chunk through float residue.
+  const std::size_t wanted = static_cast<std::size_t>(
+      std::ceil(watch_duration_s / video.chunk_duration_s() - 1e-9));
+  return std::min(video.num_chunks(), std::max<std::size_t>(wanted, 1));
 }
 
 SessionResult run_session(const video::Video& video, const net::Trace& trace,
@@ -83,17 +99,24 @@ SessionResult run_session(const video::Video& video, const net::Trace& trace,
   }
   detail::SessionTelemetry telemetry;
   telemetry.bind(config.trace, config.metrics, config.session_id, scheme,
-                 config.size_provider);
+                 config.size_provider,
+                 /*edge_path_session=*/config.download_hook != nullptr,
+                 config.fleet_session, config.fleet_arrival_s,
+                 config.fleet_title);
 
   PlayoutBuffer buffer(config.max_buffer_s);
   SessionResult result;
-  result.chunks.reserve(video.num_chunks());
+  // Watch-duration truncation: a viewer who leaves early only ever fetches
+  // the chunks covering what they watch.
+  const std::size_t total_chunks =
+      effective_chunk_count(video, config.watch_duration_s);
+  result.chunks.reserve(total_chunks);
 
   double t = 0.0;
   int prev_track = -1;
   const double chunk_s = video.chunk_duration_s();
 
-  for (std::size_t i = 0; i < video.num_chunks(); ++i) {
+  for (std::size_t i = 0; i < total_chunks; ++i) {
     abr::StreamContext ctx;
     ctx.video = &video;
     ctx.next_chunk = i;
@@ -137,11 +160,34 @@ SessionResult run_session(const video::Video& video, const net::Trace& trace,
     rec.size_bits = video.chunk_size_bits(decision.track, i);
     double final_bits = rec.size_bits;  ///< Bits of the delivering attempt.
 
+    // Delivery-path plan. The identity default (no hook) adds 0 latency and
+    // divides bits by 1.0, both exact, so the hook-free arithmetic is
+    // byte-for-byte what it was before the hook existed. Re-drawn whenever
+    // abandonment or downgrade switches the fetch to a different track —
+    // a different object as far as the edge cache is concerned.
+    FetchPlan plan;
+    const auto draw_plan = [&]() {
+      if (config.download_hook != nullptr) {
+        plan = config.download_hook->on_chunk_request(video, rec.track, i,
+                                                      rec.size_bits, t);
+        if (!(plan.rate_scale > 0.0) || plan.rate_scale > 1.0 ||
+            plan.added_latency_s < 0.0) {
+          throw std::logic_error(
+              "run_session: download hook returned an invalid fetch plan");
+        }
+        rec.edge_hit = plan.edge_hit;
+        rec.edge_latency_s = plan.added_latency_s;
+      }
+    };
+    draw_plan();
+    // First-byte lead time of every attempt that reaches the wire.
+    double lead = config.request_rtt_s + plan.added_latency_s;
+
     if (!fault_model.enabled()) {
       // Fault-free path: identical arithmetic to the pre-fault simulator.
       rec.download_s =
-          config.request_rtt_s +
-          trace.download_duration_s(t + config.request_rtt_s, rec.size_bits);
+          lead +
+          trace.download_duration_s(t + lead, rec.size_bits / plan.rate_scale);
 
       // Segment abandonment: part-way through a too-slow fetch of a
       // non-bottom track, abort it and refetch the lowest track (dash.js
@@ -153,16 +199,17 @@ SessionResult run_session(const video::Video& video, const net::Trace& trace,
           // Time + bytes burned on the aborted request.
           rec.wasted_bits =
               trace.average_bandwidth_bps(t, std::max(check_at, 1e-9)) *
-              check_at;
+              check_at * plan.rate_scale;
           result.total_rebuffer_s += buffer.elapse(check_at);
           t += check_at;
           rec.abandoned_higher = true;
           rec.track = 0;
           rec.size_bits = video.chunk_size_bits(0, i);
+          draw_plan();
+          lead = config.request_rtt_s + plan.added_latency_s;
           rec.download_s =
-              config.request_rtt_s +
-              trace.download_duration_s(t + config.request_rtt_s,
-                                        rec.size_bits);
+              lead + trace.download_duration_s(
+                         t + lead, rec.size_bits / plan.rate_scale);
           result.total_bits += rec.wasted_bits;
           final_bits = rec.size_bits;
         }
@@ -180,9 +227,8 @@ SessionResult run_session(const video::Video& video, const net::Trace& trace,
       while (true) {
         const net::FaultOutcome outcome = fault_model.outcome(i, failures);
         if (outcome.kind == net::FaultKind::kNone) {
-          double dl = config.request_rtt_s +
-                      trace.download_duration_s(t + config.request_rtt_s,
-                                                remaining_bits);
+          double dl = lead + trace.download_duration_s(
+                                 t + lead, remaining_bits / plan.rate_scale);
           // Abandonment applies to clean full-chunk attempts only; resumed
           // or downgraded fetches are already the recovery path.
           if (config.enable_abandonment && rec.track > 0 &&
@@ -191,7 +237,7 @@ SessionResult run_session(const video::Video& video, const net::Trace& trace,
             if (dl - check_at > buffer.level_s() + chunk_s) {
               const double waste =
                   trace.average_bandwidth_bps(t, std::max(check_at, 1e-9)) *
-                  check_at;
+                  check_at * plan.rate_scale;
               rec.wasted_bits += waste;
               result.total_bits += waste;
               result.total_rebuffer_s += buffer.elapse(check_at);
@@ -200,9 +246,10 @@ SessionResult run_session(const video::Video& video, const net::Trace& trace,
               rec.track = 0;
               rec.size_bits = video.chunk_size_bits(0, i);
               remaining_bits = rec.size_bits;
-              dl = config.request_rtt_s +
-                   trace.download_duration_s(t + config.request_rtt_s,
-                                             remaining_bits);
+              draw_plan();
+              lead = config.request_rtt_s + plan.added_latency_s;
+              dl = lead + trace.download_duration_s(
+                              t + lead, remaining_bits / plan.rate_scale);
             }
           }
           rec.download_s = dl;
@@ -230,9 +277,9 @@ SessionResult run_session(const video::Video& video, const net::Trace& trace,
           case net::FaultKind::kNone:
             break;
         }
-        const FailedAttempt fa = charge_failed_attempt(
-            trace, outcome, config.fault, config.retry, t,
-            config.request_rtt_s, remaining_bits);
+        const FailedAttempt fa =
+            charge_failed_attempt(trace, outcome, config.fault, config.retry,
+                                  t, lead, remaining_bits, plan.rate_scale);
         const double stalled = buffer.elapse(fa.elapsed_s);
         rec.stall_s += stalled;
         result.total_rebuffer_s += stalled;
@@ -266,6 +313,8 @@ SessionResult run_session(const video::Video& video, const net::Trace& trace,
             rec.resumed_bits = 0.0;
           }
           remaining_bits = rec.size_bits;
+          draw_plan();
+          lead = config.request_rtt_s + plan.added_latency_s;
         }
         const double backoff =
             backoff_delay_s(config.retry, fault_model, i, failures - 1);
@@ -291,6 +340,10 @@ SessionResult run_session(const video::Video& video, const net::Trace& trace,
 
       estimator.on_chunk_downloaded(final_bits, rec.download_s, t);
       scheme.on_chunk_downloaded(ctx, rec.track, rec.download_s);
+      if (config.download_hook != nullptr) {
+        config.download_hook->on_chunk_delivered(video, rec.track, i,
+                                                 rec.size_bits, t);
+      }
       if (config.size_provider != nullptr) {
         // The wire delivered the true size; correcting providers learn from
         // it even when their estimate was wrong.
@@ -305,7 +358,7 @@ SessionResult run_session(const video::Video& video, const net::Trace& trace,
     // (or the video has been fully downloaded first).
     if (!buffer.playing() &&
         (buffer.level_s() >= config.startup_latency_s ||
-         i + 1 == video.num_chunks())) {
+         i + 1 == total_chunks)) {
       buffer.start_playback();
       result.startup_delay_s = t;
     }

@@ -33,6 +33,44 @@
 
 namespace vbr::sim {
 
+/// How one chunk will be delivered, decided by the download-path hook
+/// before the transfer starts. The default-constructed plan is the
+/// identity: zero added latency and a rate scale of 1 reproduce the
+/// hook-free arithmetic bit for bit.
+struct FetchPlan {
+  double added_latency_s = 0.0;  ///< Extra first-byte latency (cache/origin).
+  /// Fraction of the path bandwidth the transfer sustains, in (0, 1]. An
+  /// origin-served chunk behind a congested backhaul gets < 1.
+  double rate_scale = 1.0;
+  bool edge_hit = false;         ///< Served from the edge cache (bookkeeping).
+};
+
+/// Delivery-infrastructure hook in the chunk-download path (edge cache /
+/// origin model; see fleet::EdgeCachePath). Consulted once per fetched
+/// object — re-consulted when abandonment or downgrade switches the fetch
+/// to a different track — and notified when the chunk lands so caches can
+/// admit it. Not owned and not thread-safe: concurrent sessions need
+/// private hooks (run_experiment rejects a shared one; run_fleet shards
+/// per title).
+class DownloadPathHook {
+ public:
+  virtual ~DownloadPathHook() = default;
+  [[nodiscard]] virtual FetchPlan on_chunk_request(const video::Video& video,
+                                                   std::size_t track,
+                                                   std::size_t index,
+                                                   double size_bits,
+                                                   double now_s) = 0;
+  virtual void on_chunk_delivered(const video::Video& video,
+                                  std::size_t track, std::size_t index,
+                                  double size_bits, double now_s) {
+    (void)video;
+    (void)track;
+    (void)index;
+    (void)size_bits;
+    (void)now_s;
+  }
+};
+
 struct SessionConfig {
   double startup_latency_s = 10.0;  ///< Paper's reported setting.
   double max_buffer_s = 100.0;      ///< Paper's apple-to-apple buffer cap.
@@ -67,6 +105,25 @@ struct SessionConfig {
   /// beliefs degrade. Not owned; reset() at session start; fed every
   /// delivered chunk's actual size so correcting providers can learn.
   video::ChunkSizeProvider* size_provider = nullptr;
+
+  /// Session watch duration in seconds: the viewer leaves once this much
+  /// content has played, so the session only fetches the chunks covering
+  /// it. 0 (default) = watch to the end. Fleet runs draw per-session watch
+  /// durations from an early-abandon distribution and set this.
+  double watch_duration_s = 0.0;
+
+  /// Delivery-infrastructure hook (edge cache / origin model) in the chunk
+  /// download path. Null = direct delivery, today's behaviour, with
+  /// byte-identical arithmetic. Not owned; not thread-safe (see
+  /// DownloadPathHook).
+  DownloadPathHook* download_hook = nullptr;
+
+  /// Fleet workload context stamped into telemetry events (run_fleet sets
+  /// these; standalone sessions leave fleet_session false and their events
+  /// omit the block).
+  bool fleet_session = false;
+  double fleet_arrival_s = 0.0;   ///< Session arrival time in the fleet run.
+  std::uint64_t fleet_title = 0;  ///< Catalog title index.
 
   /// Telemetry (observability layer, src/obs). Both null = off, which costs
   /// one branch per chunk and nothing else (the null-sink guarantee). Not
@@ -105,6 +162,10 @@ struct ChunkRecord {
   double resumed_bits = 0.0;         ///< Bits salvaged via byte-range resume.
   bool downgraded = false;  ///< Dropped to the lowest track after failures.
   bool skipped = false;     ///< All attempts exhausted; chunk never played.
+
+  // Delivery-path outcome (identity defaults when no hook is attached).
+  bool edge_hit = false;        ///< Served from the edge cache.
+  double edge_latency_s = 0.0;  ///< Hook-added first-byte latency.
 };
 
 /// Complete session outcome.
@@ -128,9 +189,16 @@ struct SessionResult {
 };
 
 /// Validates the shared SessionConfig invariants (positive buffer/startup,
-/// non-negative RTT, abandon fraction in (0, 1], fault/retry configs);
-/// throws std::invalid_argument with messages prefixed by `caller`.
+/// non-negative RTT and watch duration, abandon fraction in (0, 1],
+/// fault/retry configs); throws std::invalid_argument with messages
+/// prefixed by `caller`.
 void validate_session_config(const SessionConfig& config, const char* caller);
+
+/// Number of chunks a session with the given watch duration fetches:
+/// ceil(watch / chunk_duration), clamped to [1, num_chunks]; the full video
+/// when watch_duration_s <= 0.
+[[nodiscard]] std::size_t effective_chunk_count(const video::Video& video,
+                                                double watch_duration_s);
 
 /// Runs one full session. The scheme and estimator are reset() first, so
 /// instances can be reused across traces.

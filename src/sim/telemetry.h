@@ -46,18 +46,37 @@ struct SessionTelemetry {
   obs::Histogram* download_seconds = nullptr;
   obs::Histogram* decision_latency = nullptr;
 
+  // Fleet / delivery-path context. Only edge-path sessions register the
+  // edge counters (keeps pre-fleet registry fingerprints stable), and only
+  // fleet or edge-path sessions stamp the optional edge block on events
+  // (keeps pre-fleet JSONL streams byte-identical).
+  bool edge_path = false;
+  bool fleet = false;
+  double fleet_arrival_s = 0.0;
+  std::uint64_t fleet_title = 0;
+  obs::Counter* edge_hits = nullptr;
+  obs::Counter* edge_misses = nullptr;
+  obs::Counter* edge_hit_bits = nullptr;
+  obs::Counter* edge_origin_bits = nullptr;
+
   [[nodiscard]] bool active() const {
     return sink != nullptr || reg != nullptr;
   }
 
   void bind(obs::TraceSink* trace_sink, obs::MetricsRegistry* registry,
             std::uint64_t id, const abr::AbrScheme& scheme,
-            const video::ChunkSizeProvider* sizes) {
+            const video::ChunkSizeProvider* sizes,
+            bool edge_path_session = false, bool fleet_session = false,
+            double arrival_s = 0.0, std::uint64_t title = 0) {
     sink = trace_sink;
     reg = registry;
     session_id = id;
     seq = 0;
     prev_rebuffer_s = 0.0;
+    edge_path = edge_path_session;
+    fleet = fleet_session;
+    fleet_arrival_s = arrival_s;
+    fleet_title = title;
     if (!active()) {
       return;
     }
@@ -84,6 +103,12 @@ struct SessionTelemetry {
           &reg->histogram("decision_latency_seconds",
                           obs::decision_latency_bounds(),
                           /*wall_clock=*/true);
+      if (edge_path) {
+        edge_hits = &reg->counter("edge_hits");
+        edge_misses = &reg->counter("edge_misses");
+        edge_hit_bits = &reg->counter("edge_hit_bits");
+        edge_origin_bits = &reg->counter("edge_origin_bits");
+      }
     }
   }
 
@@ -123,6 +148,15 @@ struct SessionTelemetry {
       rebuffer_seconds->add(rebuffer_delta);
       bits_downloaded->add(rec.size_bits);
       bits_wasted->add(rec.wasted_bits);
+      if (edge_path && !rec.skipped) {
+        if (rec.edge_hit) {
+          edge_hits->increment();
+          edge_hit_bits->add(rec.size_bits);
+        } else {
+          edge_misses->increment();
+          edge_origin_bits->add(rec.size_bits);
+        }
+      }
     }
     if (sink != nullptr) {
       obs::DecisionEvent ev;
@@ -153,6 +187,14 @@ struct SessionTelemetry {
       ev.downgraded = rec.downgraded;
       ev.skipped = rec.skipped;
       ev.abandoned_higher = rec.abandoned_higher;
+      if (fleet || edge_path) {
+        obs::DecisionEvent::EdgeInfo info;
+        info.arrival_s = fleet_arrival_s;
+        info.title = fleet_title;
+        info.edge_hit = rec.edge_hit;
+        info.edge_latency_s = rec.edge_latency_s;
+        ev.edge = info;
+      }
       scheme.annotate_event(ev);
       sink->on_decision(ev);
     }

@@ -1,0 +1,160 @@
+// Edge-cache unit tests: LRU order, size-aware admission, the byte-capacity
+// invariant, and the DownloadPathHook adapter.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "fleet/edge_cache.h"
+#include "fleet/rng.h"
+#include "test_util.h"
+
+namespace vbr {
+namespace {
+
+fleet::EdgeCacheConfig small_cache(double capacity_bits) {
+  fleet::EdgeCacheConfig cfg;
+  cfg.capacity_bits = capacity_bits;
+  cfg.max_object_fraction = 0.5;
+  return cfg;
+}
+
+fleet::ObjectKey key(std::uint64_t chunk, std::uint32_t track = 0) {
+  return fleet::ObjectKey{0, track, chunk};
+}
+
+TEST(EdgeCache, MissThenHit) {
+  fleet::EdgeCache cache(small_cache(1000.0));
+  EXPECT_FALSE(cache.lookup(key(0), 100.0));
+  cache.admit(key(0), 100.0);
+  EXPECT_TRUE(cache.lookup(key(0), 100.0));
+  EXPECT_EQ(cache.stats().lookups, 2u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_DOUBLE_EQ(cache.stats().hit_bits, 100.0);
+  EXPECT_DOUBLE_EQ(cache.stats().miss_bits, 100.0);
+  EXPECT_DOUBLE_EQ(cache.stats().hit_ratio(), 0.5);
+  EXPECT_DOUBLE_EQ(cache.stats().byte_hit_ratio(), 0.5);
+}
+
+TEST(EdgeCache, EvictsLeastRecentlyUsedFirst) {
+  // Three 100-bit objects fill a 300-bit cache; admitting a fourth must
+  // evict the LRU object (0), not the most recent.
+  fleet::EdgeCache cache(small_cache(300.0));
+  cache.admit(key(0), 100.0);
+  cache.admit(key(1), 100.0);
+  cache.admit(key(2), 100.0);
+  cache.admit(key(3), 100.0);
+  EXPECT_FALSE(cache.contains(key(0)));
+  EXPECT_TRUE(cache.contains(key(1)));
+  EXPECT_TRUE(cache.contains(key(2)));
+  EXPECT_TRUE(cache.contains(key(3)));
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_DOUBLE_EQ(cache.stats().evicted_bits, 100.0);
+}
+
+TEST(EdgeCache, LookupTouchRefreshesRecency) {
+  fleet::EdgeCache cache(small_cache(300.0));
+  cache.admit(key(0), 100.0);
+  cache.admit(key(1), 100.0);
+  cache.admit(key(2), 100.0);
+  // Touch 0: it becomes MRU, so the next eviction takes 1.
+  EXPECT_TRUE(cache.lookup(key(0), 100.0));
+  cache.admit(key(3), 100.0);
+  EXPECT_TRUE(cache.contains(key(0)));
+  EXPECT_FALSE(cache.contains(key(1)));
+}
+
+TEST(EdgeCache, SizeAwareAdmissionRejectsOversized) {
+  // max_object_fraction = 0.5 of 1000 bits: a 600-bit object is served but
+  // never cached, and evicts nothing.
+  fleet::EdgeCache cache(small_cache(1000.0));
+  cache.admit(key(0), 400.0);
+  cache.admit(key(1), 600.0);
+  EXPECT_FALSE(cache.contains(key(1)));
+  EXPECT_TRUE(cache.contains(key(0)));
+  EXPECT_EQ(cache.stats().rejected, 1u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+}
+
+TEST(EdgeCache, ReAdmitRefreshesWithoutDoubleCounting) {
+  fleet::EdgeCache cache(small_cache(300.0));
+  cache.admit(key(0), 100.0);
+  cache.admit(key(1), 100.0);
+  cache.admit(key(0), 100.0);  // refresh, not a second copy
+  EXPECT_EQ(cache.num_objects(), 2u);
+  EXPECT_DOUBLE_EQ(cache.used_bits(), 200.0);
+  cache.admit(key(2), 100.0);
+  cache.admit(key(3), 100.0);  // evicts LRU = 1 (0 was refreshed)
+  EXPECT_TRUE(cache.contains(key(0)));
+  EXPECT_FALSE(cache.contains(key(1)));
+}
+
+TEST(EdgeCache, CapacityInvariantHoldsUnderRandomOperations) {
+  // Property: used_bits() <= capacity after every operation, for an
+  // adversarial mix of sizes drawn deterministically.
+  fleet::EdgeCache cache(small_cache(5000.0));
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    const double u = fleet::detail::keyed_u01(99, i, 0, 0xcafe);
+    const std::uint64_t which = fleet::detail::mix64(i) % 40;
+    const double size = 50.0 + 2600.0 * u;  // some objects oversized
+    if (fleet::detail::keyed_u01(99, i, 1, 0xcafe) < 0.5) {
+      cache.lookup(key(which), size);
+    } else {
+      cache.admit(key(which, static_cast<std::uint32_t>(i % 3)), size);
+    }
+    ASSERT_LE(cache.used_bits(), 5000.0 + 1e-9);
+  }
+  EXPECT_GT(cache.stats().lookups, 0u);
+}
+
+TEST(EdgeCache, ValidationRejectsBadConfigAndInputs) {
+  fleet::EdgeCacheConfig cfg;
+  cfg.capacity_bits = 0.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = {};
+  cfg.origin_rate_scale = 0.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = {};
+  cfg.origin_rate_scale = 1.5;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = {};
+  cfg.max_object_fraction = 0.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = {};
+  cfg.hit_latency_s = -1.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  fleet::EdgeCache cache(small_cache(1000.0));
+  EXPECT_THROW(cache.admit(key(0), 0.0), std::invalid_argument);
+  // Packed-key range guards.
+  EXPECT_THROW((void)cache.contains(fleet::ObjectKey{1u << 20, 0, 0}),
+               std::invalid_argument);
+  EXPECT_THROW((void)cache.contains(fleet::ObjectKey{0, 1u << 8, 0}),
+               std::invalid_argument);
+}
+
+TEST(EdgeCachePath, HitAndMissPlansMatchConfig) {
+  const video::Video v = testutil::default_flat_video(10);
+  fleet::EdgeCacheConfig cfg = small_cache(1e9);
+  cfg.hit_latency_s = 0.004;
+  cfg.miss_latency_s = 0.1;
+  cfg.origin_rate_scale = 0.5;
+  fleet::EdgeCache cache(cfg);
+  fleet::EdgeCachePath path(cache, 0);
+
+  const sim::FetchPlan miss = path.on_chunk_request(v, 1, 0, 800.0, 0.0);
+  EXPECT_FALSE(miss.edge_hit);
+  EXPECT_DOUBLE_EQ(miss.added_latency_s, 0.1);
+  EXPECT_DOUBLE_EQ(miss.rate_scale, 0.5);
+
+  path.on_chunk_delivered(v, 1, 0, 800.0, 1.0);
+  const sim::FetchPlan hit = path.on_chunk_request(v, 1, 0, 800.0, 2.0);
+  EXPECT_TRUE(hit.edge_hit);
+  EXPECT_DOUBLE_EQ(hit.added_latency_s, 0.004);
+  EXPECT_DOUBLE_EQ(hit.rate_scale, 1.0);
+  // A different track of the same chunk is a different object.
+  EXPECT_FALSE(path.on_chunk_request(v, 2, 0, 800.0, 3.0).edge_hit);
+}
+
+}  // namespace
+}  // namespace vbr

@@ -1,0 +1,262 @@
+// Fleet-driver integration tests: thread-count byte-determinism, cache
+// behaviour as a function of popularity skew and catalog size, edge/origin
+// byte separation, watch-duration truncation, and spec validation.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "abr/bba.h"
+#include "abr/scheme.h"
+#include "fleet/fleet.h"
+#include "obs/metrics.h"
+#include "obs/trace_sink.h"
+#include "test_util.h"
+
+namespace vbr {
+namespace {
+
+/// A small mixed-scheme fleet: ~40 sessions over 6 short titles, two
+/// client classes, two flat traces, a cache sized to force real eviction.
+fleet::FleetSpec small_spec(const std::vector<net::Trace>& traces) {
+  fleet::FleetSpec spec;
+  spec.catalog.num_titles = 6;
+  spec.catalog.title_duration_s = 40.0;
+  spec.catalog.chunk_duration_s = 2.0;
+  spec.arrivals.rate_per_s = 0.3;
+  spec.arrivals.horizon_s = 150.0;
+  spec.arrivals.max_sessions = 40;
+  spec.classes.resize(2);
+  spec.classes[0].label = "bba";
+  spec.classes[0].make_scheme = [] { return std::make_unique<abr::Bba>(); };
+  spec.classes[1].label = "fixed1";
+  spec.classes[1].make_scheme = [] {
+    return std::make_unique<abr::FixedTrackScheme>(1);
+  };
+  spec.traces = traces;
+  spec.cache.capacity_bits = 1.2e9;
+  spec.watch.full_watch_prob = 0.5;
+  spec.watch.mean_partial_s = 20.0;
+  spec.watch.min_watch_s = 4.0;
+  spec.session.startup_latency_s = 4.0;
+  return spec;
+}
+
+std::vector<net::Trace> two_traces() {
+  std::vector<net::Trace> traces;
+  traces.push_back(testutil::flat_trace(4e6, 600.0));
+  traces.push_back(testutil::flat_trace(1.5e6, 600.0));
+  return traces;
+}
+
+/// Full serialized observation of one run: merged JSONL events, metrics
+/// fingerprint, report JSON, and the per-session outcome table.
+std::string run_and_serialize(fleet::FleetSpec spec, unsigned threads) {
+  obs::MemoryTraceSink sink;
+  obs::MetricsRegistry registry;
+  spec.trace = &sink;
+  spec.metrics = &registry;
+  spec.threads = threads;
+  const fleet::FleetResult result = fleet::run_fleet(spec);
+
+  std::ostringstream out;
+  for (const obs::DecisionEvent& ev : sink.events()) {
+    out << obs::to_jsonl(ev) << '\n';
+  }
+  out << registry.deterministic_fingerprint() << '\n';
+  result.write_json(out);
+  for (const fleet::FleetSessionRecord& r : result.sessions) {
+    out << r.session_id << ' ' << r.arrival_s << ' ' << r.title << ' '
+        << r.class_index << ' ' << r.trace_index << ' ' << r.chunks << ' '
+        << r.edge_hits << ' ' << r.qoe.data_usage_mb << '\n';
+  }
+  return out.str();
+}
+
+TEST(Fleet, ByteDeterministicAcrossWorkerThreadCounts) {
+  const std::vector<net::Trace> traces = two_traces();
+  const std::string one = run_and_serialize(small_spec(traces), 1);
+  const std::string two = run_and_serialize(small_spec(traces), 2);
+  const std::string eight = run_and_serialize(small_spec(traces), 8);
+  EXPECT_GT(one.size(), 1000u);  // the run actually produced telemetry
+  EXPECT_EQ(one, two);
+  EXPECT_EQ(one, eight);
+}
+
+TEST(Fleet, HitRatioIncreasesWithZipfAlpha) {
+  const std::vector<net::Trace> traces = two_traces();
+  fleet::FleetSpec uniform = small_spec(traces);
+  uniform.catalog.zipf_alpha = 0.0;
+  fleet::FleetSpec skewed = small_spec(traces);
+  skewed.catalog.zipf_alpha = 1.4;
+  const fleet::FleetResult ru = fleet::run_fleet(uniform);
+  const fleet::FleetResult rs = fleet::run_fleet(skewed);
+  ASSERT_GT(ru.cache.lookups, 0u);
+  ASSERT_GT(rs.cache.lookups, 0u);
+  // Skewed popularity concentrates requests on few titles: more reuse.
+  EXPECT_GT(rs.cache.hit_ratio(), ru.cache.hit_ratio());
+}
+
+TEST(Fleet, HitRatioDecreasesWithCatalogSize) {
+  const std::vector<net::Trace> traces = two_traces();
+  fleet::FleetSpec small_cat = small_spec(traces);
+  small_cat.catalog.num_titles = 3;
+  fleet::FleetSpec large_cat = small_spec(traces);
+  large_cat.catalog.num_titles = 24;
+  const fleet::FleetResult rs = fleet::run_fleet(small_cat);
+  const fleet::FleetResult rl = fleet::run_fleet(large_cat);
+  // Same total capacity spread over 8x the titles: colder shards.
+  EXPECT_LT(rl.cache.hit_ratio(), rs.cache.hit_ratio());
+}
+
+TEST(Fleet, SeparatesEdgeFromOriginBytes) {
+  const std::vector<net::Trace> traces = two_traces();
+  const fleet::FleetResult r = fleet::run_fleet(small_spec(traces));
+  EXPECT_TRUE(r.cache_enabled);
+  EXPECT_GT(r.edge_hit_bits, 0.0);
+  EXPECT_GT(r.origin_bits, 0.0);
+  double per_session_edge = 0.0;
+  double per_session_origin = 0.0;
+  for (const fleet::FleetSessionRecord& rec : r.sessions) {
+    per_session_edge += rec.edge_hit_bits;
+    per_session_origin += rec.origin_bits;
+  }
+  EXPECT_DOUBLE_EQ(r.edge_hit_bits, per_session_edge);
+  EXPECT_DOUBLE_EQ(r.origin_bits, per_session_origin);
+
+  std::ostringstream json;
+  r.write_json(json);
+  EXPECT_NE(json.str().find("\"edge_hit_bits\":"), std::string::npos);
+  EXPECT_NE(json.str().find("\"origin_bits\":"), std::string::npos);
+
+  // Control arm: no cache model at all means every byte is origin-served.
+  fleet::FleetSpec no_cache = small_spec(traces);
+  no_cache.use_cache = false;
+  const fleet::FleetResult rn = fleet::run_fleet(no_cache);
+  EXPECT_FALSE(rn.cache_enabled);
+  EXPECT_EQ(rn.cache.lookups, 0u);
+  EXPECT_DOUBLE_EQ(rn.edge_hit_bits, 0.0);
+  EXPECT_GT(rn.origin_bits, 0.0);
+}
+
+TEST(Fleet, HotTitlesHitMoreThanColdOnes) {
+  const std::vector<net::Trace> traces = two_traces();
+  fleet::FleetSpec spec = small_spec(traces);
+  spec.catalog.num_titles = 10;
+  spec.catalog.zipf_alpha = 1.2;
+  spec.arrivals.max_sessions = 60;
+  spec.arrivals.horizon_s = 250.0;
+  const fleet::FleetResult r = fleet::run_fleet(spec);
+  ASSERT_EQ(r.hit_ratio_by_popularity_decile.size(), 10u);
+  // The hottest decile sees the most reuse.
+  for (std::size_t d = 1; d < 10; ++d) {
+    EXPECT_GE(r.hit_ratio_by_popularity_decile[0],
+              r.hit_ratio_by_popularity_decile[d])
+        << "decile " << d;
+  }
+}
+
+TEST(Fleet, WatchDurationTruncatesSessions) {
+  const std::vector<net::Trace> traces = two_traces();
+  fleet::FleetSpec spec = small_spec(traces);
+  spec.watch.full_watch_prob = 0.3;  // most viewers leave early
+  const fleet::FleetResult r = fleet::run_fleet(spec);
+  const fleet::Catalog cat(spec.catalog);
+  bool any_truncated = false;
+  for (const fleet::FleetSessionRecord& rec : r.sessions) {
+    const std::size_t expected =
+        sim::effective_chunk_count(cat.title(rec.title), rec.watch_duration_s);
+    EXPECT_EQ(rec.chunks, expected) << "session " << rec.session_id;
+    any_truncated |= rec.watch_duration_s > 0.0 &&
+                     expected < cat.title(rec.title).num_chunks();
+  }
+  EXPECT_TRUE(any_truncated);
+}
+
+TEST(Fleet, PerClassReportCoversEverySession) {
+  const std::vector<net::Trace> traces = two_traces();
+  const fleet::FleetResult r = fleet::run_fleet(small_spec(traces));
+  ASSERT_EQ(r.per_class.size(), 2u);
+  EXPECT_EQ(r.per_class[0].label, "bba");
+  EXPECT_EQ(r.per_class[1].label, "fixed1");
+  EXPECT_EQ(r.per_class[0].sessions + r.per_class[1].sessions,
+            r.sessions.size());
+  EXPECT_GT(r.jain_quality, 0.0);
+  EXPECT_LE(r.jain_quality, 1.0 + 1e-12);
+  EXPECT_GT(r.jain_bits, 0.0);
+}
+
+TEST(Fleet, Validation) {
+  const std::vector<net::Trace> traces = two_traces();
+  {
+    fleet::FleetSpec spec = small_spec(traces);
+    spec.classes.clear();
+    EXPECT_THROW((void)fleet::run_fleet(spec), std::invalid_argument);
+  }
+  {
+    fleet::FleetSpec spec = small_spec(traces);
+    spec.classes[0].weight = 0.0;
+    EXPECT_THROW((void)fleet::run_fleet(spec), std::invalid_argument);
+  }
+  {
+    fleet::FleetSpec spec = small_spec(traces);
+    spec.classes[0].make_scheme = nullptr;
+    EXPECT_THROW((void)fleet::run_fleet(spec), std::invalid_argument);
+  }
+  {
+    fleet::FleetSpec spec = small_spec(traces);
+    spec.traces = {};
+    EXPECT_THROW((void)fleet::run_fleet(spec), std::invalid_argument);
+  }
+  {
+    fleet::FleetSpec spec = small_spec(traces);
+    obs::MemoryTraceSink sink;
+    spec.session.trace = &sink;  // sinks go through FleetSpec, not session
+    EXPECT_THROW((void)fleet::run_fleet(spec), std::invalid_argument);
+  }
+  {
+    fleet::FleetSpec spec = small_spec(traces);
+    spec.threads = sim::kMaxThreads + 1;
+    EXPECT_THROW((void)fleet::run_fleet(spec), std::invalid_argument);
+  }
+  {
+    // An arrival horizon too short for the rate yields zero sessions.
+    fleet::FleetSpec spec = small_spec(traces);
+    spec.arrivals.rate_per_s = 1e-9;
+    spec.arrivals.horizon_s = 0.01;
+    EXPECT_THROW((void)fleet::run_fleet(spec), std::invalid_argument);
+  }
+}
+
+TEST(Fleet, SessionLevelHookConfigIsRejectedEverywhere) {
+  // The delivery model is fleet-owned: both the fleet (session base config)
+  // and the other multi-session drivers refuse a user-supplied hook.
+  class NullHook final : public sim::DownloadPathHook {
+   public:
+    sim::FetchPlan on_chunk_request(const video::Video&, std::size_t,
+                                    std::size_t, double, double) override {
+      return {};
+    }
+  };
+  NullHook hook;
+  const std::vector<net::Trace> traces = two_traces();
+  {
+    fleet::FleetSpec spec = small_spec(traces);
+    spec.session.download_hook = &hook;
+    EXPECT_THROW((void)fleet::run_fleet(spec), std::invalid_argument);
+  }
+  {
+    const video::Video v = testutil::default_flat_video(10);
+    sim::ExperimentSpec spec;
+    spec.video = &v;
+    spec.traces = traces;
+    spec.make_scheme = [] { return std::make_unique<abr::Bba>(); };
+    spec.session.download_hook = &hook;
+    EXPECT_THROW((void)sim::run_experiment(spec), std::invalid_argument);
+  }
+}
+
+}  // namespace
+}  // namespace vbr

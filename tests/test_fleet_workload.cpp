@@ -1,0 +1,161 @@
+// Workload-layer tests: Zipf catalog sampling and the arrival processes.
+// Both are counter-based, so the key properties are (a) seeded determinism
+// and (b) empirical agreement with the analytic law they claim to follow.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "fleet/arrivals.h"
+#include "fleet/catalog.h"
+
+namespace vbr {
+namespace {
+
+TEST(ZipfSampler, DeterministicInSeedAndCounter) {
+  const fleet::ZipfSampler a(32, 0.9, 7);
+  const fleet::ZipfSampler b(32, 0.9, 7);
+  const fleet::ZipfSampler c(32, 0.9, 8);
+  bool any_differs = false;
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    EXPECT_EQ(a.sample(i), b.sample(i));
+    any_differs |= a.sample(i) != c.sample(i);
+  }
+  EXPECT_TRUE(any_differs);  // the seed actually matters
+}
+
+TEST(ZipfSampler, EmpiricalFrequenciesMatchAnalyticPmf) {
+  const std::size_t n = 16;
+  const fleet::ZipfSampler zipf(n, 1.0, 42);
+  const std::size_t draws = 40000;
+  std::vector<double> freq(n, 0.0);
+  for (std::uint64_t i = 0; i < draws; ++i) {
+    freq[zipf.sample(i)] += 1.0 / static_cast<double>(draws);
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    EXPECT_NEAR(freq[k], zipf.pmf(k), 0.01) << "rank " << k;
+  }
+  // Popularity is rank-ordered: the head dominates the tail.
+  EXPECT_GT(freq[0], freq[n - 1] * 4.0);
+}
+
+TEST(ZipfSampler, AlphaZeroIsUniform) {
+  const std::size_t n = 10;
+  const fleet::ZipfSampler zipf(n, 0.0, 3);
+  for (std::size_t k = 0; k < n; ++k) {
+    EXPECT_NEAR(zipf.pmf(k), 1.0 / static_cast<double>(n), 1e-12);
+  }
+}
+
+TEST(ZipfSampler, Validation) {
+  EXPECT_THROW(fleet::ZipfSampler(0, 1.0, 1), std::invalid_argument);
+  EXPECT_THROW(fleet::ZipfSampler(4, -0.5, 1), std::invalid_argument);
+  const fleet::ZipfSampler z(4, 1.0, 1);
+  EXPECT_THROW((void)z.pmf(4), std::out_of_range);
+}
+
+TEST(Catalog, DeterministicPerTitleSeeds) {
+  fleet::CatalogConfig cfg;
+  cfg.num_titles = 4;
+  cfg.title_duration_s = 30.0;
+  const fleet::Catalog a(cfg);
+  const fleet::Catalog b(cfg);
+  ASSERT_EQ(a.num_titles(), 4u);
+  for (std::size_t k = 0; k < 4; ++k) {
+    ASSERT_EQ(a.title(k).num_chunks(), b.title(k).num_chunks());
+    for (std::size_t i = 0; i < a.title(k).num_chunks(); ++i) {
+      EXPECT_DOUBLE_EQ(a.title(k).chunk_size_bits(2, i),
+                       b.title(k).chunk_size_bits(2, i));
+    }
+  }
+  // Distinct titles really are distinct content.
+  EXPECT_NE(a.title(0).chunk_size_bits(2, 0), a.title(1).chunk_size_bits(2, 0));
+  EXPECT_GT(a.title_bits(0), 0.0);
+}
+
+TEST(Catalog, PopularityDecilesSpanTheCatalog) {
+  fleet::CatalogConfig cfg;
+  cfg.num_titles = 20;
+  cfg.title_duration_s = 10.0;
+  const fleet::Catalog cat(cfg);
+  EXPECT_EQ(cat.popularity_decile(0), 0u);
+  EXPECT_EQ(cat.popularity_decile(19), 9u);
+  for (std::size_t k = 1; k < 20; ++k) {
+    EXPECT_GE(cat.popularity_decile(k), cat.popularity_decile(k - 1));
+  }
+}
+
+TEST(Arrivals, DeterministicAndStrictlyIncreasing) {
+  fleet::ArrivalConfig cfg;
+  cfg.rate_per_s = 1.0;
+  cfg.horizon_s = 200.0;
+  const std::vector<double> a = fleet::generate_arrivals(cfg);
+  const std::vector<double> b = fleet::generate_arrivals(cfg);
+  EXPECT_EQ(a, b);
+  ASSERT_FALSE(a.empty());
+  for (std::size_t i = 1; i < a.size(); ++i) {
+    EXPECT_GT(a[i], a[i - 1]);
+  }
+  EXPECT_GE(a.front(), 0.0);
+  EXPECT_LT(a.back(), cfg.horizon_s);
+  cfg.seed = 2;
+  EXPECT_NE(fleet::generate_arrivals(cfg), a);
+}
+
+TEST(Arrivals, PoissonCountMatchesRateTimesHorizon) {
+  fleet::ArrivalConfig cfg;
+  cfg.rate_per_s = 2.0;
+  cfg.horizon_s = 2000.0;
+  const std::vector<double> times = fleet::generate_arrivals(cfg);
+  // Mean 4000, stddev ~63: a 5-sigma band is a stable test.
+  EXPECT_NEAR(static_cast<double>(times.size()), 4000.0, 320.0);
+}
+
+TEST(Arrivals, FlashCrowdConcentratesInsideBurstWindow) {
+  fleet::ArrivalConfig cfg;
+  cfg.kind = fleet::ArrivalKind::kFlashCrowd;
+  cfg.rate_per_s = 0.5;
+  cfg.horizon_s = 600.0;
+  cfg.burst_start_s = 200.0;
+  cfg.burst_duration_s = 100.0;
+  cfg.burst_multiplier = 6.0;
+  const std::vector<double> times = fleet::generate_arrivals(cfg);
+  double inside = 0.0;
+  double outside = 0.0;
+  for (const double t : times) {
+    (t >= 200.0 && t < 300.0 ? inside : outside) += 1.0;
+  }
+  // Inside density ~3/s over 100 s vs ~0.5/s over 500 s outside: the
+  // per-second density inside should dwarf the outside density.
+  EXPECT_GT(inside / 100.0, 3.0 * (outside / 500.0));
+}
+
+TEST(Arrivals, MaxSessionsCapsTheCount) {
+  fleet::ArrivalConfig cfg;
+  cfg.rate_per_s = 5.0;
+  cfg.horizon_s = 1000.0;
+  cfg.max_sessions = 17;
+  EXPECT_EQ(fleet::generate_arrivals(cfg).size(), 17u);
+}
+
+TEST(Arrivals, Validation) {
+  fleet::ArrivalConfig cfg;
+  cfg.rate_per_s = 0.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = {};
+  cfg.horizon_s = -1.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = {};
+  cfg.kind = fleet::ArrivalKind::kFlashCrowd;
+  cfg.burst_start_s = 290.0;
+  cfg.burst_duration_s = 20.0;  // spills past the 300 s horizon
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = {};
+  cfg.kind = fleet::ArrivalKind::kFlashCrowd;
+  cfg.burst_multiplier = 0.5;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vbr

@@ -127,6 +127,63 @@ TEST(MultiClient, JainIndexBasics) {
                std::invalid_argument);
 }
 
+TEST(MultiClient, WatchDurationTruncatesOneClient) {
+  // Abandonment proper is rejected (the fair-share event loop cannot rewind
+  // already-shared capacity), but watch-duration truncation — the fleet's
+  // early-leave model — composes fine: the leaver just stops fetching.
+  const video::Video v = testutil::default_flat_video(20);  // 40 s of video
+  const net::Trace t = flat_trace(10e6);
+  std::vector<sim::ClientSpec> clients;
+  clients.push_back(make_client(v));
+  clients.push_back(make_client(v));
+  clients[1].watch_duration_s = 10.0;  // leaves after 5 chunks
+  const auto r = sim::run_multi_client(t, std::move(clients));
+  ASSERT_EQ(r.sessions.size(), 2u);
+  EXPECT_EQ(r.sessions[0].chunks.size(), 20u);
+  EXPECT_EQ(r.sessions[1].chunks.size(), 5u);
+  EXPECT_LT(r.sessions[1].total_bits, r.sessions[0].total_bits);
+}
+
+TEST(MultiClient, ConfigWatchDurationIsTheFallback) {
+  // A per-client value of 0 inherits the shared config's truncation.
+  const video::Video v = testutil::default_flat_video(20);
+  const net::Trace t = flat_trace(10e6);
+  std::vector<sim::ClientSpec> clients;
+  clients.push_back(make_client(v));
+  sim::SessionConfig cfg;
+  cfg.watch_duration_s = 6.0;
+  const auto r = sim::run_multi_client(t, std::move(clients), cfg);
+  EXPECT_EQ(r.sessions[0].chunks.size(), 3u);
+}
+
+TEST(MultiClient, RejectsDownloadHookAndBadWatchDuration) {
+  class NullHook final : public sim::DownloadPathHook {
+   public:
+    sim::FetchPlan on_chunk_request(const video::Video&, std::size_t,
+                                    std::size_t, double, double) override {
+      return {};
+    }
+  };
+  NullHook hook;
+  const video::Video v = testutil::default_flat_video(10);
+  const net::Trace t = flat_trace(2e6);
+  {
+    std::vector<sim::ClientSpec> clients;
+    clients.push_back(make_client(v));
+    sim::SessionConfig cfg;
+    cfg.download_hook = &hook;  // delivery models belong to run_fleet
+    EXPECT_THROW((void)sim::run_multi_client(t, std::move(clients), cfg),
+                 std::invalid_argument);
+  }
+  {
+    std::vector<sim::ClientSpec> clients;
+    clients.push_back(make_client(v));
+    clients[0].watch_duration_s = -1.0;
+    EXPECT_THROW((void)sim::run_multi_client(t, std::move(clients)),
+                 std::invalid_argument);
+  }
+}
+
 TEST(MultiClient, ThroughputConservation) {
   // Total delivered bits cannot exceed the bottleneck's capacity over the
   // busy interval.

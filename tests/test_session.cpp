@@ -262,4 +262,122 @@ TEST(Session, SpikedChunksTakeLonger) {
   EXPECT_NEAR(r.chunks[4].download_s, 3.0 * r.chunks[3].download_s, 1e-9);
 }
 
+TEST(Session, EffectiveChunkCountArithmetic) {
+  const video::Video v = default_flat_video(20);  // 2 s chunks, 40 s
+  EXPECT_EQ(sim::effective_chunk_count(v, 0.0), 20u);   // 0 = full watch
+  EXPECT_EQ(sim::effective_chunk_count(v, 40.0), 20u);
+  EXPECT_EQ(sim::effective_chunk_count(v, 100.0), 20u);  // clamped
+  EXPECT_EQ(sim::effective_chunk_count(v, 10.0), 5u);
+  EXPECT_EQ(sim::effective_chunk_count(v, 10.1), 6u);    // partial chunk counts
+  EXPECT_EQ(sim::effective_chunk_count(v, 0.5), 1u);     // floor of one chunk
+}
+
+TEST(Session, WatchDurationTruncatesTheSession) {
+  const video::Video v = default_flat_video(20);
+  const net::Trace t = flat_trace(5e6);
+  abr::FixedTrackScheme scheme(2);
+  net::HarmonicMeanEstimator est(5);
+  sim::SessionConfig cfg = quick_config();
+  cfg.watch_duration_s = 10.0;
+  const sim::SessionResult r = sim::run_session(v, t, scheme, est, cfg);
+  ASSERT_EQ(r.chunks.size(), 5u);
+  EXPECT_NEAR(r.total_bits, 5 * 1.6e6, 1.0);
+  cfg.watch_duration_s = -1.0;
+  EXPECT_THROW((void)sim::run_session(v, t, scheme, est, cfg),
+               std::invalid_argument);
+}
+
+namespace hooks {
+
+/// Constant-plan hook for download-path arithmetic tests.
+class FixedPlanHook final : public sim::DownloadPathHook {
+ public:
+  explicit FixedPlanHook(sim::FetchPlan plan) : plan_(plan) {}
+  sim::FetchPlan on_chunk_request(const video::Video&, std::size_t,
+                                  std::size_t, double, double) override {
+    ++requests;
+    return plan_;
+  }
+  void on_chunk_delivered(const video::Video&, std::size_t, std::size_t,
+                          double, double) override {
+    ++deliveries;
+  }
+  int requests = 0;
+  int deliveries = 0;
+
+ private:
+  sim::FetchPlan plan_;
+};
+
+}  // namespace hooks
+
+TEST(Session, IdentityDownloadHookIsExactlyANoOp) {
+  // The null FetchPlan (latency 0, rate scale 1) must reproduce the
+  // hook-free session bit for bit — the determinism contract the fleet
+  // driver leans on.
+  const video::Video v = default_flat_video(10);
+  const net::Trace t = flat_trace(3e6);
+  abr::FixedTrackScheme s1(2);
+  net::HarmonicMeanEstimator e1(5);
+  const sim::SessionResult base = sim::run_session(v, t, s1, e1, quick_config());
+
+  hooks::FixedPlanHook hook(sim::FetchPlan{});
+  sim::SessionConfig cfg = quick_config();
+  cfg.download_hook = &hook;
+  abr::FixedTrackScheme s2(2);
+  net::HarmonicMeanEstimator e2(5);
+  const sim::SessionResult hooked = sim::run_session(v, t, s2, e2, cfg);
+
+  ASSERT_EQ(hooked.chunks.size(), base.chunks.size());
+  for (std::size_t i = 0; i < base.chunks.size(); ++i) {
+    EXPECT_EQ(hooked.chunks[i].track, base.chunks[i].track);
+    EXPECT_EQ(hooked.chunks[i].download_s, base.chunks[i].download_s);
+    EXPECT_EQ(hooked.chunks[i].download_start_s, base.chunks[i].download_start_s);
+    EXPECT_FALSE(hooked.chunks[i].edge_hit);
+  }
+  EXPECT_EQ(hooked.total_rebuffer_s, base.total_rebuffer_s);
+  EXPECT_EQ(hook.requests, 10);
+  EXPECT_EQ(hook.deliveries, 10);
+}
+
+TEST(Session, DownloadHookLatencyAndRateScaleSlowDelivery) {
+  // Track 2 = 1.6 Mb chunks at 5 Mbps: 0.32 s clean. With 0.1 s added
+  // latency and a 0.5x origin haircut: 0.1 + 0.64 s on top of the RTT.
+  const video::Video v = default_flat_video(5);
+  const net::Trace t = flat_trace(5e6);
+  abr::FixedTrackScheme scheme(2);
+  net::HarmonicMeanEstimator est(5);
+  hooks::FixedPlanHook hook(sim::FetchPlan{0.1, 0.5, false});
+  sim::SessionConfig cfg = quick_config();
+  cfg.download_hook = &hook;
+  const sim::SessionResult r = sim::run_session(v, t, scheme, est, cfg);
+  for (const sim::ChunkRecord& c : r.chunks) {
+    EXPECT_NEAR(c.download_s, 0.1 + 1.6e6 / 5e6 / 0.5, 1e-9);
+    EXPECT_FALSE(c.edge_hit);
+    EXPECT_DOUBLE_EQ(c.edge_latency_s, 0.1);
+  }
+  // Delivered bytes are accounted at face value, not divided by the haircut.
+  EXPECT_NEAR(r.total_bits, 5 * 1.6e6, 1.0);
+}
+
+TEST(Session, DownloadHookInvalidPlanThrows) {
+  const video::Video v = default_flat_video(5);
+  const net::Trace t = flat_trace(5e6);
+  abr::FixedTrackScheme scheme(2);
+  net::HarmonicMeanEstimator est(5);
+  sim::SessionConfig cfg = quick_config();
+  hooks::FixedPlanHook zero_rate(sim::FetchPlan{0.0, 0.0, false});
+  cfg.download_hook = &zero_rate;
+  EXPECT_THROW((void)sim::run_session(v, t, scheme, est, cfg),
+               std::logic_error);
+  hooks::FixedPlanHook boost(sim::FetchPlan{0.0, 1.5, false});
+  cfg.download_hook = &boost;
+  EXPECT_THROW((void)sim::run_session(v, t, scheme, est, cfg),
+               std::logic_error);
+  hooks::FixedPlanHook negative(sim::FetchPlan{-0.1, 1.0, false});
+  cfg.download_hook = &negative;
+  EXPECT_THROW((void)sim::run_session(v, t, scheme, est, cfg),
+               std::logic_error);
+}
+
 }  // namespace

@@ -184,6 +184,34 @@ TEST(EmpiricalCdf, CurveIsMonotone) {
   EXPECT_DOUBLE_EQ(curve.back().second, 1.0);
 }
 
+TEST(Stats, JainIndexEqualSharesIsOne) {
+  const std::vector<double> v = {3.0, 3.0, 3.0, 3.0};
+  EXPECT_DOUBLE_EQ(jain_index(v), 1.0);
+}
+
+TEST(Stats, JainIndexSingleUserDominates) {
+  // One user with everything out of n: index = 1/n.
+  const std::vector<double> v = {10.0, 0.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(jain_index(v), 0.25);
+}
+
+TEST(Stats, JainIndexKnownValue) {
+  const std::vector<double> v = {1.0, 2.0, 3.0};
+  // (6^2) / (3 * 14) = 36/42.
+  EXPECT_DOUBLE_EQ(jain_index(v), 36.0 / 42.0);
+}
+
+TEST(Stats, JainIndexAllZeroIsOne) {
+  // Degenerate but perfectly fair: nobody got anything.
+  const std::vector<double> v = {0.0, 0.0};
+  EXPECT_DOUBLE_EQ(jain_index(v), 1.0);
+}
+
+TEST(Stats, JainIndexEmptyThrows) {
+  const std::vector<double> v;
+  EXPECT_THROW((void)jain_index(v), std::invalid_argument);
+}
+
 // Property: percentile(v, p) is monotone in p for random samples.
 class PercentileMonotoneTest : public ::testing::TestWithParam<int> {};
 

@@ -117,4 +117,52 @@ video::SizeKnowledgeConfig size_knowledge_config_from_args(
   return sc;
 }
 
+const std::set<std::string>& fleet_flag_names() {
+  static const std::set<std::string> names = {
+      "fleet",           "fleet-sessions",       "fleet-titles",
+      "fleet-alpha",     "fleet-title-duration", "fleet-rate",
+      "fleet-horizon",   "fleet-arrival",        "fleet-burst-start",
+      "fleet-burst-duration", "fleet-burst-mult", "fleet-cache-mb",
+      "fleet-threads",   "fleet-seed",           "fleet-full-watch",
+      "fleet-report"};
+  return names;
+}
+
+fleet::FleetSpec fleet_spec_from_args(const CliArgs& args) {
+  fleet::FleetSpec spec;
+  spec.catalog.num_titles = args.get_size("fleet-titles", 16);
+  spec.catalog.zipf_alpha = args.get_double("fleet-alpha", 0.8);
+  spec.catalog.title_duration_s =
+      args.get_double("fleet-title-duration", 120.0);
+  spec.arrivals.rate_per_s = args.get_double("fleet-rate", 0.5);
+  spec.arrivals.horizon_s = args.get_double("fleet-horizon", 300.0);
+  spec.arrivals.max_sessions = args.get_size("fleet-sessions", 200);
+  const std::string kind = args.get("fleet-arrival", "poisson");
+  if (kind == "flash") {
+    spec.arrivals.kind = fleet::ArrivalKind::kFlashCrowd;
+    spec.arrivals.burst_start_s = args.get_double("fleet-burst-start", 60.0);
+    spec.arrivals.burst_duration_s =
+        args.get_double("fleet-burst-duration", 30.0);
+    spec.arrivals.burst_multiplier = args.get_double("fleet-burst-mult", 8.0);
+  } else if (kind != "poisson") {
+    throw std::invalid_argument("flag --fleet-arrival expects poisson|flash");
+  }
+  const double cache_mb = args.get_double("fleet-cache-mb", 1000.0);
+  if (cache_mb < 0.0) {
+    throw std::invalid_argument("flag --fleet-cache-mb must be non-negative");
+  }
+  spec.use_cache = cache_mb > 0.0;
+  if (spec.use_cache) {
+    spec.cache.capacity_bits = cache_mb * 8e6;
+  }
+  spec.threads = static_cast<unsigned>(args.get_size("fleet-threads", 0));
+  spec.seed = args.get_size("fleet-seed", 7);
+  spec.watch.full_watch_prob = args.get_double("fleet-full-watch", 0.6);
+  spec.catalog.validate();
+  spec.arrivals.validate();
+  spec.cache.validate();
+  spec.watch.validate();
+  return spec;
+}
+
 }  // namespace vbr::tools

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "fleet/fleet.h"
 #include "net/fault_model.h"
 #include "sim/retry.h"
 #include "video/size_provider.h"
@@ -82,5 +83,30 @@ class CliArgs {
 /// (defaults: oracle, i.e. exact sizes). Validates before returning.
 [[nodiscard]] video::SizeKnowledgeConfig size_knowledge_config_from_args(
     const CliArgs& args);
+
+/// The fleet flag group (fleet-scale workloads, src/fleet):
+///   --fleet                 run the fleet driver instead of per-trace sweeps
+///   --fleet-sessions N      cap on arriving sessions (200)
+///   --fleet-titles N        catalog size (16)
+///   --fleet-alpha A         Zipf popularity exponent (0.8)
+///   --fleet-title-duration S  per-title length in seconds (120)
+///   --fleet-rate R          mean arrivals per second (0.5)
+///   --fleet-horizon S       arrival horizon in seconds (300)
+///   --fleet-arrival K       poisson | flash (poisson)
+///   --fleet-burst-start S   flash: burst window start (60)
+///   --fleet-burst-duration S  flash: burst window length (30)
+///   --fleet-burst-mult M    flash: rate multiplier inside the window (8)
+///   --fleet-cache-mb MB     total edge-cache capacity in megabytes (1000);
+///                           0 disables the cache model (origin-only arm)
+///   --fleet-threads N       worker threads (0 = hardware concurrency)
+///   --fleet-seed N          master workload seed (7)
+///   --fleet-full-watch P    probability a viewer watches to the end (0.6)
+///   --fleet-report FILE     write the fleet report JSON to FILE
+[[nodiscard]] const std::set<std::string>& fleet_flag_names();
+
+/// Builds the workload part of a FleetSpec (catalog, arrivals, cache,
+/// watch model, threads, seed) from the fleet flag group. Client classes,
+/// traces, and sinks stay with the caller. Validates before returning.
+[[nodiscard]] fleet::FleetSpec fleet_spec_from_args(const CliArgs& args);
 
 }  // namespace vbr::tools

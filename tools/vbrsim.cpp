@@ -56,6 +56,17 @@
 //                      byte-identical files at any thread count)
 //   --metrics-json FILE merged counters/histograms, one JSON object keyed
 //                      by scheme name
+//
+// Fleet mode (fleet-scale workloads; see DESIGN.md section 9). --fleet
+// replaces the per-trace sweep with the fleet driver: sessions arrive over
+// time, pick a title by Zipf popularity and a scheme from the --scheme list
+// (uniform class mix), and stream through per-title edge-cache shards.
+// Flags: --fleet-sessions, --fleet-titles, --fleet-alpha,
+// --fleet-title-duration, --fleet-rate, --fleet-horizon,
+// --fleet-arrival poisson|flash (+ --fleet-burst-start/-duration/-mult),
+// --fleet-cache-mb (0 = origin-only control arm), --fleet-threads,
+// --fleet-seed, --fleet-full-watch, --fleet-report FILE. See
+// tools/cli_args.h for defaults.
 #include <cerrno>
 #include <cstdio>
 #include <filesystem>
@@ -104,6 +115,103 @@ video::Genre parse_genre(const std::string& g) {
   throw std::invalid_argument("unknown genre: " + g);
 }
 
+/// --fleet mode: sessions arrive over time, draw a title by popularity and
+/// a scheme class from the --scheme list, and stream through per-title
+/// edge-cache shards. Prints the per-class QoE table + cache report and
+/// optionally writes the fleet report JSON.
+int run_fleet_mode(const tools::CliArgs& args,
+                   const std::vector<net::Trace>& traces,
+                   video::QualityMetric metric, const net::FaultConfig& fault,
+                   const sim::RetryPolicy& retry,
+                   const video::SizeKnowledgeConfig& size_knowledge,
+                   bool degraded_sizes) {
+  fleet::FleetSpec spec = tools::fleet_spec_from_args(args);
+  spec.metric = metric;
+  spec.session.request_rtt_s = args.get_double("rtt", 0.0);
+  for (const std::string& name : split_csv(args.get("scheme", "CAVA"))) {
+    fleet::FleetClientClass cls;
+    cls.label = name;
+    cls.make_scheme = bench::scheme_factory(name, metric);
+    cls.fault = fault;
+    cls.retry = retry;
+    if (degraded_sizes) {
+      cls.make_size_provider = [size_knowledge] {
+        return video::make_size_provider(size_knowledge);
+      };
+    }
+    spec.classes.push_back(std::move(cls));
+  }
+  spec.traces = traces;
+
+  std::unique_ptr<obs::JsonlTraceSink> trace_sink;
+  if (args.has("trace-jsonl")) {
+    trace_sink = std::make_unique<obs::JsonlTraceSink>(
+        args.get("trace-jsonl", "trace.jsonl"));
+    spec.trace = trace_sink.get();
+  }
+  obs::MetricsRegistry registry;
+  if (args.has("metrics-json")) {
+    spec.metrics = &registry;
+  }
+
+  const fleet::FleetResult r = fleet::run_fleet(spec);
+
+  std::printf("fleet: %zu sessions over %zu titles (zipf %.2f) | %zu traces "
+              "| %s arrivals\n",
+              r.sessions.size(), spec.catalog.num_titles,
+              spec.catalog.zipf_alpha, traces.size(),
+              spec.arrivals.kind == fleet::ArrivalKind::kFlashCrowd
+                  ? "flash-crowd"
+                  : "poisson");
+  std::printf("%-18s %8s %8s %8s %8s %9s %9s %8s\n", "class", "sessions",
+              "qual", "Q4qual", "low%", "rebuf(s)", "start(s)", "MB");
+  for (const fleet::FleetSchemeReport& c : r.per_class) {
+    std::printf("%-18s %8zu %8.1f %8.1f %8.1f %9.2f %9.2f %8.1f\n",
+                c.label.c_str(), c.sessions, c.mean_all_quality,
+                c.mean_q4_quality, c.mean_low_quality_pct, c.mean_rebuffer_s,
+                c.mean_startup_delay_s, c.mean_data_usage_mb);
+  }
+  if (r.cache_enabled) {
+    std::printf("cache: hit ratio %.3f (byte %.3f) | edge %.1f MB, origin "
+                "%.1f MB | evictions %zu\n",
+                r.cache.hit_ratio(), r.cache.byte_hit_ratio(),
+                r.edge_hit_bits / 8e6, r.origin_bits / 8e6,
+                static_cast<std::size_t>(r.cache.evictions));
+  } else {
+    std::printf("cache: disabled | origin %.1f MB\n", r.origin_bits / 8e6);
+  }
+  std::printf("fairness: jain(quality) %.3f, jain(bits) %.3f\n",
+              r.jain_quality, r.jain_bits);
+
+  if (args.has("fleet-report")) {
+    const std::string path = args.get("fleet-report", "fleet-report.json");
+    errno = 0;
+    std::ofstream report(path, std::ios::out | std::ios::trunc);
+    if (!report) {
+      throw std::system_error(errno != 0 ? errno : EIO,
+                              std::generic_category(),
+                              "cannot open '" + path + "'");
+    }
+    r.write_json(report);
+  }
+  if (spec.metrics != nullptr) {
+    const std::string path = args.get("metrics-json", "metrics.json");
+    errno = 0;
+    std::ofstream metrics_out(path, std::ios::out | std::ios::trunc);
+    if (!metrics_out) {
+      throw std::system_error(errno != 0 ? errno : EIO,
+                              std::generic_category(),
+                              "cannot open '" + path + "'");
+    }
+    registry.write_json(metrics_out);
+    metrics_out << "\n";
+  }
+  if (trace_sink) {
+    trace_sink->flush();
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -118,6 +226,8 @@ int main(int argc, char** argv) {
                  tools::size_knowledge_flag_names().end());
     known.insert(tools::telemetry_flag_names().begin(),
                  tools::telemetry_flag_names().end());
+    known.insert(tools::fleet_flag_names().begin(),
+                 tools::fleet_flag_names().end());
     const tools::CliArgs args(argc, argv, known);
 
     if (args.has("help")) {
@@ -179,6 +289,11 @@ int main(int argc, char** argv) {
     const bool degraded_sizes =
         size_knowledge.mode != video::SizeKnowledge::kOracle ||
         size_knowledge.online_correction;
+
+    if (args.has("fleet")) {
+      return run_fleet_mode(args, traces, metric, fault, retry,
+                            size_knowledge, degraded_sizes);
+    }
 
     std::printf("video %s: %zu tracks, %zu chunks of %.1f s | %zu traces "
                 "(%s) | metric VMAF-%s\n",
