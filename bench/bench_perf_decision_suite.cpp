@@ -1,0 +1,285 @@
+// Decision hot-path performance suite with a machine-readable report.
+//
+// Measures ns/decision for the ABR schemes on the canonical ED title —
+// including both MPC engines, so the pruned-search speedup is recorded
+// next to the numbers it came from — plus end-to-end fleet throughput
+// (sessions/sec) for the batched fleet driver. Results go to
+// BENCH_PERF.json (see EXPERIMENTS.md for the recipe).
+//
+// Flags:
+//   --quick        ~10x fewer iterations (CI smoke-gate budget)
+//   --check        exit non-zero unless the pruned MPC engines match the
+//                  reference decisions AND the RobustMPC horizon-5 speedup
+//                  clears a deliberately generous 2x floor (the recorded
+//                  number is the real claim; the gate only catches a
+//                  regression back to enumeration)
+//   --out FILE     report path (default BENCH_PERF.json)
+//
+// Timing methodology: one steady_clock read per scheme around a loop of
+// decide() calls over a deterministic sweep of contexts (chunk index,
+// buffer level, and previous track all vary), so the measured mix includes
+// early-chunk, mid-stream, and deep-buffer decisions rather than one
+// flattering point. The context sweep is identical for every scheme.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "abr/bola.h"
+#include "abr/mpc.h"
+#include "common.h"
+#include "core/cava.h"
+#include "fleet/fleet.h"
+#include "net/bandwidth_estimator.h"
+#include "net/trace_gen.h"
+#include "obs/json_util.h"
+#include "sim/session.h"
+#include "video/dataset.h"
+
+namespace {
+
+using namespace vbr;
+
+const video::Video& ed() {
+  static const video::Video v = video::make_video(
+      "ED-ffmpeg-h264", video::Genre::kAnimation, video::Codec::kH264, 2.0,
+      2.0, bench::kCorpusSeed + 0x11, 600.0);
+  return v;
+}
+
+/// Deterministic context sweep: chunk, buffer, and previous track all vary
+/// with the iteration counter so every scheme sees the same representative
+/// mix of decision points.
+abr::StreamContext sweep_context(std::size_t i) {
+  const video::Video& v = ed();
+  abr::StreamContext ctx;
+  ctx.video = &v;
+  ctx.next_chunk = (i * 17) % v.num_chunks();
+  ctx.buffer_s = 4.0 + static_cast<double>(i % 29);
+  ctx.est_bandwidth_bps = 1.2e6 + 3.0e5 * static_cast<double>(i % 7);
+  ctx.prev_track = static_cast<int>(i % v.num_tracks());
+  ctx.now_s = 2.0 * static_cast<double>(i);
+  return ctx;
+}
+
+struct Measured {
+  double ns_per_decision = 0.0;
+  std::uint64_t track_checksum = 0;  ///< Defeats dead-code elimination.
+};
+
+Measured measure_scheme(abr::AbrScheme& scheme, std::size_t iters) {
+  scheme.reset();
+  // Warm-up pass: fault in code/data and let RobustMPC variants build an
+  // error window, so the timed loop measures steady state.
+  for (std::size_t i = 0; i < 16; ++i) {
+    const abr::StreamContext ctx = sweep_context(i);
+    (void)scheme.decide(ctx);
+    scheme.on_chunk_downloaded(ctx, 2, 0.8);
+  }
+  Measured m;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < iters; ++i) {
+    m.track_checksum += scheme.decide(sweep_context(i)).track;
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  m.ns_per_decision =
+      static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+              .count()) /
+      static_cast<double>(iters);
+  return m;
+}
+
+/// Differential spot-check: pruned vs reference engine must agree on the
+/// chosen track AND the searched QoE at every sweep point (both engines fed
+/// the same download observations so robust discounts stay in lockstep).
+bool engines_agree(const abr::MpcConfig& cfg, std::size_t iters,
+                   std::string& why) {
+  abr::Mpc pruned(cfg);
+  abr::ReferenceMpc reference(cfg);
+  for (std::size_t i = 0; i < iters; ++i) {
+    const abr::StreamContext ctx = sweep_context(i);
+    const abr::Decision dp = pruned.decide(ctx);
+    const abr::Decision dr = reference.decide(ctx);
+    if (dp.track != dr.track ||
+        pruned.last_best_qoe() != reference.last_best_qoe()) {
+      why = "engine mismatch at sweep point " + std::to_string(i);
+      return false;
+    }
+    pruned.on_chunk_downloaded(ctx, dp.track, 0.9);
+    reference.on_chunk_downloaded(ctx, dr.track, 0.9);
+  }
+  return true;
+}
+
+struct FleetThroughput {
+  std::size_t sessions = 0;
+  double wall_s = 0.0;
+  double sessions_per_sec = 0.0;
+};
+
+FleetThroughput measure_fleet(std::size_t max_sessions) {
+  std::vector<net::Trace> traces = bench::lte_traces(8);
+  fleet::FleetSpec spec;
+  spec.catalog.num_titles = 8;
+  spec.catalog.title_duration_s = 60.0;
+  spec.arrivals.rate_per_s = 1.0;
+  spec.arrivals.horizon_s = 1e9;  // session cap is the binding limit
+  spec.arrivals.max_sessions = max_sessions;
+  spec.classes.resize(2);
+  spec.classes[0].label = "cava";
+  spec.classes[0].make_scheme = bench::scheme_factory("CAVA");
+  spec.classes[1].label = "robust-mpc";
+  spec.classes[1].make_scheme = bench::scheme_factory("RobustMPC");
+  spec.traces = traces;
+  spec.cache.capacity_bits = 2e9;
+  spec.session.startup_latency_s = 4.0;
+  spec.threads = 0;  // hardware concurrency: throughput, not determinism
+
+  FleetThroughput ft;
+  const auto t0 = std::chrono::steady_clock::now();
+  const fleet::FleetResult result = fleet::run_fleet(spec);
+  const auto t1 = std::chrono::steady_clock::now();
+  ft.sessions = result.sessions.size();
+  ft.wall_s = std::chrono::duration<double>(t1 - t0).count();
+  ft.sessions_per_sec =
+      ft.wall_s > 0.0 ? static_cast<double>(ft.sessions) / ft.wall_s : 0.0;
+  return ft;
+}
+
+struct SchemeRow {
+  std::string name;
+  Measured m;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  bool check = false;
+  std::string out_path = "BENCH_PERF.json";
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    if (arg == "--quick") {
+      quick = true;
+    } else if (arg == "--check") {
+      check = true;
+    } else if (arg == "--out" && a + 1 < argc) {
+      out_path = argv[++a];
+    } else {
+      std::cerr << "usage: bench_perf_decision_suite [--quick] [--check] "
+                   "[--out FILE]\n";
+      return 2;
+    }
+  }
+
+  const std::size_t iters = quick ? 300 : 3000;
+  const std::size_t agree_iters = quick ? 64 : 256;
+
+  // Correctness first: a fast wrong answer is not a benchmark result.
+  std::string why;
+  bool ok = true;
+  for (const bool robust : {false, true}) {
+    abr::MpcConfig cfg = robust ? abr::robust_mpc_config() : abr::mpc_config();
+    if (!engines_agree(cfg, agree_iters, why)) {
+      std::cerr << (robust ? "RobustMPC" : "MPC") << ": " << why << "\n";
+      ok = false;
+    }
+  }
+
+  std::vector<SchemeRow> rows;
+  const auto run = [&](const std::string& name,
+                       std::unique_ptr<abr::AbrScheme> scheme) {
+    rows.push_back({name, measure_scheme(*scheme, iters)});
+    std::printf("%-24s %10.0f ns/decision\n", name.c_str(),
+                rows.back().m.ns_per_decision);
+  };
+  run("MPC", std::make_unique<abr::Mpc>(abr::mpc_config()));
+  run("MPC-reference",
+      std::make_unique<abr::ReferenceMpc>(abr::mpc_config()));
+  run("RobustMPC", std::make_unique<abr::Mpc>(abr::robust_mpc_config()));
+  run("RobustMPC-reference",
+      std::make_unique<abr::ReferenceMpc>(abr::robust_mpc_config()));
+  run("CAVA", core::make_cava_p123());
+  run("BOLA-E", std::make_unique<abr::Bola>());
+
+  const auto ns_of = [&](const std::string& name) {
+    for (const SchemeRow& r : rows) {
+      if (r.name == name) {
+        return r.m.ns_per_decision;
+      }
+    }
+    return 0.0;
+  };
+  const double mpc_speedup = ns_of("MPC") > 0.0
+                                 ? ns_of("MPC-reference") / ns_of("MPC")
+                                 : 0.0;
+  const double robust_speedup =
+      ns_of("RobustMPC") > 0.0
+          ? ns_of("RobustMPC-reference") / ns_of("RobustMPC")
+          : 0.0;
+  std::printf("speedup: MPC %.1fx, RobustMPC %.1fx (horizon 5)\n",
+              mpc_speedup, robust_speedup);
+
+  const FleetThroughput ft = measure_fleet(quick ? 48 : 200);
+  std::printf("fleet: %zu sessions in %.2f s (%.1f sessions/sec)\n",
+              ft.sessions, ft.wall_s, ft.sessions_per_sec);
+
+  // Machine-readable report (canonical round-trip doubles, stable key
+  // order) — the artifact CI uploads and EXPERIMENTS.md documents.
+  std::string json;
+  json += "{\"suite\":\"decision-hot-path\",\"quick\":";
+  json += quick ? "true" : "false";
+  json += ",\"iterations\":";
+  obs::detail::append_uint(json, iters);
+  json += ",\"schemes\":[";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (i > 0) {
+      json += ',';
+    }
+    json += "{\"name\":";
+    obs::detail::append_json_string(json, rows[i].name);
+    json += ",\"ns_per_decision\":";
+    obs::detail::append_double(json, rows[i].m.ns_per_decision);
+    json += ",\"track_checksum\":";
+    obs::detail::append_uint(json, rows[i].m.track_checksum);
+    json += '}';
+  }
+  json += "],\"speedup\":{\"mpc_horizon5\":";
+  obs::detail::append_double(json, mpc_speedup);
+  json += ",\"robust_mpc_horizon5\":";
+  obs::detail::append_double(json, robust_speedup);
+  json += "},\"fleet\":{\"sessions\":";
+  obs::detail::append_uint(json, ft.sessions);
+  json += ",\"wall_s\":";
+  obs::detail::append_double(json, ft.wall_s);
+  json += ",\"sessions_per_sec\":";
+  obs::detail::append_double(json, ft.sessions_per_sec);
+  json += ",\"threads\":\"hardware\"},\"engines_agree\":";
+  json += ok ? "true" : "false";
+  json += "}\n";
+
+  std::ofstream out(out_path);
+  out << json;
+  out.close();
+  std::printf("wrote %s\n", out_path.c_str());
+
+  if (check) {
+    if (!ok) {
+      std::cerr << "FAIL: pruned engine diverged from the reference\n";
+      return 1;
+    }
+    // Generous floor: the recorded speedup is the honest number; this gate
+    // exists only to catch the hot path regressing back to enumeration.
+    if (robust_speedup < 2.0) {
+      std::cerr << "FAIL: RobustMPC horizon-5 speedup " << robust_speedup
+                << "x below the 2x regression floor\n";
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -39,6 +39,16 @@ vbr::sim::SchemeFactory scheme_factory(const std::string& name,
   if (name == "RobustMPC") {
     return [] { return std::make_unique<abr::Mpc>(abr::robust_mpc_config()); };
   }
+  // Exhaustive-enumeration oracles for the pruned engines (DESIGN.md §10):
+  // same decisions, no pruning — for differential and perf comparisons.
+  if (name == "MPC-reference") {
+    return [] { return std::make_unique<abr::ReferenceMpc>(abr::mpc_config()); };
+  }
+  if (name == "RobustMPC-reference") {
+    return [] {
+      return std::make_unique<abr::ReferenceMpc>(abr::robust_mpc_config());
+    };
+  }
   if (name == "PANDA/CQ max-sum") {
     return [metric] {
       abr::PandaCqConfig c;

@@ -9,8 +9,10 @@ namespace vbr::abr {
 
 namespace {
 
-/// Recursively enumerates track sequences, tracking buffer evolution and the
-/// partial QoE, and records the best first-step decision.
+/// Reference engine: recursively enumerates every track sequence, tracking
+/// buffer evolution and the partial QoE, and records the best first-step
+/// decision. Kept verbatim as the differential-testing oracle for the
+/// pruned engine below.
 struct HorizonSearch {
   const video::Video* video = nullptr;
   const StreamContext* ctx = nullptr;  ///< Size-knowledge view of the chunks.
@@ -54,6 +56,103 @@ struct HorizonSearch {
   }
 };
 
+/// Pruned engine: depth-first search over the same tree, on per-decision
+/// memoized size/quality tables, with greedy child ordering below the first
+/// level and admissible upper-bound pruning. Produces bit-identical
+/// (best_qoe, best_first) to HorizonSearch:
+///   - every step value and accumulation uses the exact expressions (and
+///     hence rounding) of the reference, over identical inputs (providers
+///     are deterministic per (track, chunk), so batched reads agree with
+///     per-node reads);
+///   - the bound adds the maximum per-step quality once per remaining
+///     level using the same float additions a real path would take, so by
+///     monotonicity of rounding it upper-bounds every leaf below — a
+///     subtree is only skipped when no leaf in it can beat the incumbent;
+///   - the winner is the lowest first track among sequences attaining the
+///     maximal QoE, which only depth-0 visit order decides; depth 0 stays
+///     in ascending-track order, so reordering deeper levels is free.
+struct PrunedSearch {
+  const double* quality = nullptr;  ///< L per-track qualities (Mbps).
+  const double* dl = nullptr;       ///< K x L download seconds, depth-major.
+  double* child_qoe = nullptr;      ///< K x L arena row per depth.
+  double* child_buf = nullptr;
+  std::size_t* order = nullptr;
+  std::size_t levels = 0;  ///< K: effective search depth.
+  std::size_t tracks = 0;  ///< L.
+  double chunk_duration_s = 0.0;
+  double max_buffer_s = 0.0;
+  double lambda = 0.0;
+  double mu = 0.0;
+  double max_quality = 0.0;
+
+  double best_qoe = -1e300;
+  std::size_t best_first = 0;
+
+  /// True if a leaf below a node with partial QoE `qoe` and `remaining`
+  /// levels to go could still beat the incumbent. The repeated addition
+  /// (not qoe + remaining * max_quality) matters: it reproduces the
+  /// rounding of the real accumulation chain, keeping the bound admissible
+  /// in floating point, not just in exact arithmetic.
+  [[nodiscard]] bool can_improve(double qoe, std::size_t remaining) const {
+    double bound = qoe;
+    for (std::size_t r = 0; r < remaining; ++r) {
+      if (bound > best_qoe) {
+        return true;  // additions only grow the bound
+      }
+      bound += max_quality;
+    }
+    return bound > best_qoe;
+  }
+
+  void search(std::size_t depth, double buffer_s, double prev_quality,
+              double qoe, std::size_t first_track) {
+    const double* dl_row = dl + depth * tracks;
+    double* cq = child_qoe + depth * tracks;
+    double* cb = child_buf + depth * tracks;
+    std::size_t* ord = order + depth * tracks;
+    for (std::size_t l = 0; l < tracks; ++l) {
+      const double dl_s = dl_row[l];
+      const double rebuffer = std::max(dl_s - buffer_s, 0.0);
+      double buf = std::max(buffer_s - dl_s, 0.0) + chunk_duration_s;
+      buf = std::min(buf, max_buffer_s);
+      const double q = quality[l];
+      const double smooth =
+          prev_quality >= 0.0 ? std::abs(q - prev_quality) : 0.0;
+      const double step_qoe = q - lambda * smooth - mu * rebuffer;
+      cq[l] = qoe + step_qoe;
+      cb[l] = buf;
+      ord[l] = l;
+    }
+    if (depth > 0) {
+      // Greedy ordering: the most promising subtree first, so the
+      // incumbent tightens early and the bound prunes the rest.
+      std::sort(ord, ord + tracks, [&](std::size_t a, std::size_t b) {
+        if (cq[a] != cq[b]) {
+          return cq[a] > cq[b];
+        }
+        return a < b;
+      });
+    }
+    const std::size_t remaining = levels - depth - 1;
+    for (std::size_t j = 0; j < tracks; ++j) {
+      const std::size_t l = ord[j];
+      const double candidate = cq[l];
+      if (remaining == 0) {
+        if (candidate > best_qoe) {
+          best_qoe = candidate;
+          best_first = depth == 0 ? l : first_track;
+        }
+        continue;
+      }
+      if (!can_improve(candidate, remaining)) {
+        continue;
+      }
+      search(depth + 1, cb[l], quality[l], candidate,
+             depth == 0 ? l : first_track);
+    }
+  }
+};
+
 }  // namespace
 
 Mpc::Mpc(MpcConfig config) : config_(config) {
@@ -77,14 +176,19 @@ Decision Mpc::decide(const StreamContext& ctx) {
         *std::max_element(relative_errors_.begin(), relative_errors_.end());
     bw /= (1.0 + max_err);
   }
+  return config_.reference_search ? decide_reference(ctx, bw)
+                                  : decide_pruned(ctx, bw);
+}
 
+Decision Mpc::decide_reference(const StreamContext& ctx,
+                               double bandwidth_bps) {
   HorizonSearch s;
   s.video = ctx.video;
   s.ctx = &ctx;
   s.first_chunk = ctx.next_chunk;
   s.horizon = config_.horizon;
   s.visible_limit = ctx.lookahead_limit();
-  s.bandwidth_bps = bw;
+  s.bandwidth_bps = bandwidth_bps;
   s.max_buffer_s = ctx.max_buffer_s;
   s.lambda = config_.lambda;
   s.mu = config_.mu_rebuffer;
@@ -95,6 +199,66 @@ Decision Mpc::decide(const StreamContext& ctx) {
                 1e6
           : -1.0;
   s.search(0, ctx.next_chunk, ctx.buffer_s, prev_q, 0.0, 0);
+  last_best_qoe_ = s.best_qoe;
+  return Decision{.track = s.best_first};
+}
+
+Decision Mpc::decide_pruned(const StreamContext& ctx, double bandwidth_bps) {
+  const video::Video& video = *ctx.video;
+  const std::size_t tracks = video.num_tracks();
+  const std::size_t first = ctx.next_chunk;
+  const std::size_t visible = ctx.lookahead_limit();
+  // The reference leaf condition (depth == horizon || chunk >= visible)
+  // truncates every path at the same depth.
+  const std::size_t levels =
+      visible > first ? std::min(config_.horizon, visible - first) : 0;
+  if (levels == 0) {
+    // Zero-step window: the enumerator scores the empty sequence (QoE 0)
+    // and keeps the initial first track of 0.
+    last_best_qoe_ = 0.0;
+    return Decision{.track = 0};
+  }
+
+  quality_scratch_.resize(tracks);
+  for (std::size_t l = 0; l < tracks; ++l) {
+    quality_scratch_[l] = video.track(l).average_bitrate_bps() / 1e6;
+  }
+  const double max_quality = *std::max_element(quality_scratch_.begin(),
+                                               quality_scratch_.end());
+
+  // One batched size query per track for the whole window, then the same
+  // size / bandwidth division the reference performs per node.
+  size_scratch_.resize(levels);
+  dl_scratch_.resize(levels * tracks);
+  for (std::size_t l = 0; l < tracks; ++l) {
+    ctx.fill_chunk_sizes(l, first, first + levels, size_scratch_.data());
+    for (std::size_t k = 0; k < levels; ++k) {
+      dl_scratch_[k * tracks + l] = size_scratch_[k] / bandwidth_bps;
+    }
+  }
+  child_qoe_.resize(levels * tracks);
+  child_buf_.resize(levels * tracks);
+  order_.resize(levels * tracks);
+
+  PrunedSearch s;
+  s.quality = quality_scratch_.data();
+  s.dl = dl_scratch_.data();
+  s.child_qoe = child_qoe_.data();
+  s.child_buf = child_buf_.data();
+  s.order = order_.data();
+  s.levels = levels;
+  s.tracks = tracks;
+  s.chunk_duration_s = video.chunk_duration_s();
+  s.max_buffer_s = ctx.max_buffer_s;
+  s.lambda = config_.lambda;
+  s.mu = config_.mu_rebuffer;
+  s.max_quality = max_quality;
+  const double prev_q =
+      ctx.prev_track >= 0
+          ? quality_scratch_[static_cast<std::size_t>(ctx.prev_track)]
+          : -1.0;
+  s.search(0, ctx.buffer_s, prev_q, 0.0, 0);
+  last_best_qoe_ = s.best_qoe;
   return Decision{.track = s.best_first};
 }
 
@@ -117,6 +281,7 @@ void Mpc::on_chunk_downloaded(const StreamContext& ctx, std::size_t track,
 
 void Mpc::reset() {
   last_prediction_bps_ = 0.0;
+  last_best_qoe_ = 0.0;
   relative_errors_.clear();
 }
 

@@ -13,10 +13,24 @@
 // RobustMPC divides the bandwidth estimate by (1 + max relative prediction
 // error observed over the last 5 chunks), which markedly reduces rebuffering
 // under dynamic bandwidth at some cost in quality.
+//
+// Two search engines produce bit-identical decisions (DESIGN.md §10):
+//   - the pruned engine (default): per-decision size/quality tables filled
+//     by one batched provider query per track, an arena-backed depth-first
+//     search whose scratch is reused across decisions, greedy child
+//     ordering below the first level, and admissible upper-bound pruning
+//     (remaining QoE can never exceed one max-quality step per remaining
+//     level, evaluated with the same rounding as the real accumulation);
+//   - the reference engine: the original recursive enumerator over all
+//     tracks^horizon sequences, kept as the differential-testing oracle.
+// The differential suite (tests/test_mpc_differential.cpp) pins that both
+// engines return the same track and the same searched QoE on randomized
+// ladders, horizons, and size-knowledge modes.
 #pragma once
 
 #include <cstddef>
 #include <deque>
+#include <vector>
 
 #include "abr/scheme.h"
 
@@ -28,9 +42,14 @@ struct MpcConfig {
   double mu_rebuffer = 8.0;     ///< Rebuffer penalty (QoE per second).
   bool robust = false;          ///< RobustMPC bandwidth discounting.
   std::size_t error_window = 5; ///< Prediction-error memory (robust mode).
+  /// Use the exhaustive reference enumerator instead of the pruned search.
+  /// Decisions and QoE are bit-identical either way; the flag exists so
+  /// tests and benches can cross-check the optimized hot path against the
+  /// original implementation.
+  bool reference_search = false;
 };
 
-class Mpc final : public AbrScheme {
+class Mpc : public AbrScheme {
  public:
   explicit Mpc(MpcConfig config = {});
 
@@ -42,10 +61,49 @@ class Mpc final : public AbrScheme {
     return config_.robust ? "RobustMPC" : "MPC";
   }
 
+  /// QoE of the optimizing sequence found by the most recent decide() —
+  /// diagnostics and the differential suite's same-QoE assertion. 0 before
+  /// any decision.
+  [[nodiscard]] double last_best_qoe() const { return last_best_qoe_; }
+
+  [[nodiscard]] const MpcConfig& config() const { return config_; }
+
  private:
+  [[nodiscard]] Decision decide_reference(const StreamContext& ctx,
+                                          double bandwidth_bps);
+  [[nodiscard]] Decision decide_pruned(const StreamContext& ctx,
+                                       double bandwidth_bps);
+
   MpcConfig config_;
   double last_prediction_bps_ = 0.0;  ///< Estimate used for the last decision.
+  double last_best_qoe_ = 0.0;
   std::deque<double> relative_errors_;
+
+  // Arena-backed per-decision scratch for the pruned engine, reused across
+  // decisions and sessions (capacity persists; every cell read by a search
+  // is written first by the same decide() call, so no decision state leaks
+  // — the scratch-reuse regression tests pin this).
+  std::vector<double> quality_scratch_;  ///< Per-track quality (Mbps).
+  std::vector<double> dl_scratch_;       ///< K x L download seconds.
+  std::vector<double> size_scratch_;     ///< Batched per-track size rows.
+  std::vector<double> child_qoe_;        ///< K x L candidate partial QoE.
+  std::vector<double> child_buf_;        ///< K x L candidate buffers.
+  std::vector<std::size_t> order_;       ///< K x L child visit order.
+};
+
+/// Differential-testing oracle: an Mpc pinned to the original recursive
+/// enumerator. Same config semantics, same name(), same decisions — only
+/// the search implementation differs.
+class ReferenceMpc final : public Mpc {
+ public:
+  explicit ReferenceMpc(MpcConfig config = {})
+      : Mpc(with_reference_search(config)) {}
+
+ private:
+  static MpcConfig with_reference_search(MpcConfig config) {
+    config.reference_search = true;
+    return config;
+  }
 };
 
 /// Convenience factories matching the paper's two variants.

@@ -53,6 +53,21 @@ struct StreamContext {
     return sizes != nullptr ? sizes->size_bits(*video, level, i)
                             : video->chunk_size_bits(level, i);
   }
+
+  /// Batch form of chunk_size_bits over chunks [begin, end): bit-identical
+  /// values, one provider dispatch per row. Look-ahead searches hoist their
+  /// size reads through this so a provider is consulted once per
+  /// (track, window) instead of once per search-node visit.
+  void fill_chunk_sizes(std::size_t level, std::size_t begin,
+                        std::size_t end, double* out) const {
+    if (sizes != nullptr) {
+      sizes->fill_size_bits(*video, level, begin, end, out);
+      return;
+    }
+    for (std::size_t i = begin; i < end; ++i) {
+      out[i - begin] = video->chunk_size_bits(level, i);
+    }
+  }
 };
 
 /// A scheme's answer: which track to download, optionally after idling.

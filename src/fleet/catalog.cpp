@@ -75,22 +75,22 @@ double ZipfSampler::pmf(std::size_t k) const {
 Catalog::Catalog(const CatalogConfig& cfg) : config_(cfg) {
   cfg.validate();
   titles_.reserve(cfg.num_titles);
+  indices_.reserve(cfg.num_titles);
   for (std::size_t k = 0; k < cfg.num_titles; ++k) {
     titles_.push_back(video::make_video(
         "title-" + std::to_string(k),
         kGenreCycle[k % (sizeof(kGenreCycle) / sizeof(kGenreCycle[0]))],
         cfg.codec, cfg.chunk_duration_s, cfg.cap_factor,
         detail::derive_seed(cfg.seed, k, 0x7171e5), cfg.title_duration_s));
+    indices_.emplace_back(titles_.back());
   }
 }
 
 double Catalog::title_bits(std::size_t k) const {
-  const video::Video& v = titles_.at(k);
+  const video::SizeIndex& idx = indices_.at(k);
   double bits = 0.0;
-  for (std::size_t l = 0; l < v.num_tracks(); ++l) {
-    for (std::size_t i = 0; i < v.num_chunks(); ++i) {
-      bits += v.chunk_size_bits(l, i);
-    }
+  for (std::size_t l = 0; l < idx.num_tracks(); ++l) {
+    bits += idx.total_bits(l);
   }
   return bits;
 }

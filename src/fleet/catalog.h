@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "video/dataset.h"
+#include "video/size_index.h"
 #include "video/video.h"
 
 namespace vbr::fleet {
@@ -77,8 +78,15 @@ class Catalog {
   }
   [[nodiscard]] const CatalogConfig& config() const { return config_; }
 
+  /// Prefix-sum size index of title k, built once at catalog construction
+  /// (range-sum queries for provisioning math and look-ahead bounds).
+  [[nodiscard]] const video::SizeIndex& size_index(std::size_t k) const {
+    return indices_.at(k);
+  }
+
   /// Total bits of every track of title k (the shard footprint an edge
-  /// cache would need to hold the whole title).
+  /// cache would need to hold the whole title). O(num_tracks) via the
+  /// prefix index, not a full table walk.
   [[nodiscard]] double title_bits(std::size_t k) const;
 
   /// Popularity decile of title k in [0, 9] (0 = hottest tenth).
@@ -87,6 +95,7 @@ class Catalog {
  private:
   CatalogConfig config_;
   std::vector<video::Video> titles_;
+  std::vector<video::SizeIndex> indices_;  ///< One per title, same order.
 };
 
 }  // namespace vbr::fleet

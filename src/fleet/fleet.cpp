@@ -178,120 +178,146 @@ FleetResult run_fleet(const FleetSpec& spec) {
   const unsigned threads =
       spec.threads > 0 ? spec.threads
                        : std::max(1u, std::thread::hardware_concurrency());
+  const std::size_t title_batch =
+      spec.title_batch > 0 ? spec.title_batch : 4;
   std::atomic<std::size_t> next{0};
   std::atomic<bool> failed{false};
   std::vector<std::thread> workers;
   workers.reserve(threads);
   for (unsigned w = 0; w < threads; ++w) {
     workers.emplace_back([&] {
-      while (true) {
-        const std::size_t k = next.fetch_add(1);
-        if (k >= num_titles || failed.load()) {
-          return;
-        }
-        try {
-          const std::vector<std::size_t>& ids = by_title[k];
-          if (ids.empty()) {
-            continue;
+      try {
+        // Worker-owned reusable actors, one per client class, built lazily
+        // and reset by run_session before each use. Reuse is bit-exact
+        // (reset() restores construction state; the differential and
+        // batched-vs-unbatched fleet tests pin it) and removes the
+        // per-session scheme/provider allocations from the hot loop.
+        std::vector<std::unique_ptr<abr::AbrScheme>> class_schemes(
+            spec.classes.size());
+        std::vector<std::unique_ptr<video::ChunkSizeProvider>>
+            class_providers(spec.classes.size());
+        while (true) {
+          // Batched claim: one fetch_add hands this worker a contiguous run
+          // of titles. Folds are in title/session order, so the batch size
+          // cannot influence any result byte.
+          const std::size_t base = next.fetch_add(title_batch);
+          if (base >= num_titles || failed.load()) {
+            return;
           }
-          const video::Video& title_video = catalog.title(k);
-          const core::ComplexityClassifier classifier(title_video);
-          const std::vector<std::size_t>& classes = classifier.classes();
-          metrics::QoeConfig qoe = spec.qoe;
-          qoe.top_class = classifier.num_classes() - 1;
-
-          // One cache shard per title; its sessions run serially in
-          // arrival order, so shard state is schedule-independent.
-          std::unique_ptr<EdgeCache> shard;
-          if (spec.use_cache) {
-            shard = std::make_unique<EdgeCache>(shard_cfg);
-          }
-
-          for (const std::size_t sid : ids) {
-            const SessionDraw& d = draws[sid];
-            const FleetClientClass& cls = spec.classes[d.cls];
-            const std::unique_ptr<abr::AbrScheme> scheme = cls.make_scheme();
-            const std::unique_ptr<net::BandwidthEstimator> estimator =
-                (cls.make_estimator ? cls.make_estimator
-                                    : default_estimator)(spec.traces[d.trace]);
-            const std::unique_ptr<video::ChunkSizeProvider> sizes =
-                cls.make_size_provider ? cls.make_size_provider() : nullptr;
-
-            sim::SessionConfig sc = spec.session;
-            sc.fault = cls.fault;
-            sc.retry = cls.retry;
-            sc.watch_duration_s = d.watch_s;
-            sc.session_id = sid;
-            sc.fleet_session = true;
-            sc.fleet_arrival_s = arrivals[sid];
-            sc.fleet_title = k;
-            if (sizes) {
-              sc.size_provider = sizes.get();
+          const std::size_t limit = std::min(num_titles, base + title_batch);
+          for (std::size_t k = base; k < limit; ++k) {
+            const std::vector<std::size_t>& ids = by_title[k];
+            if (ids.empty()) {
+              continue;
             }
+            const video::Video& title_video = catalog.title(k);
+            const core::ComplexityClassifier classifier(title_video);
+            const std::vector<std::size_t>& classes = classifier.classes();
+            metrics::QoeConfig qoe = spec.qoe;
+            qoe.top_class = classifier.num_classes() - 1;
+
+            // One cache shard per title; its sessions run serially in
+            // arrival order, so shard state is schedule-independent.
+            std::unique_ptr<EdgeCache> shard;
             std::unique_ptr<EdgeCachePath> path;
-            if (shard) {
+            if (spec.use_cache) {
+              shard = std::make_unique<EdgeCache>(shard_cfg);
+              // The path adapter is stateless per session (cache + title id),
+              // so one instance serves every session of the title.
               path = std::make_unique<EdgeCachePath>(
                   *shard, static_cast<std::uint32_t>(k));
-              sc.download_hook = path.get();
-            }
-            if (telemetry_on) {
-              if (spec.trace != nullptr) {
-                sinks[sid] = std::make_unique<obs::MemoryTraceSink>();
-                sc.trace = sinks[sid].get();
-              }
-              if (spec.metrics != nullptr) {
-                registries[sid] = std::make_unique<obs::MetricsRegistry>();
-                sc.metrics = registries[sid].get();
-              }
             }
 
-            const sim::SessionResult sr = sim::run_session(
-                title_video, spec.traces[d.trace], *scheme, *estimator, sc);
-
-            FleetSessionRecord rec;
-            rec.session_id = sid;
-            rec.arrival_s = arrivals[sid];
-            rec.title = k;
-            rec.class_index = d.cls;
-            rec.trace_index = d.trace;
-            rec.watch_duration_s = d.watch_s;
-            rec.faults = sr.fault_summary();
-            rec.chunks = sr.chunks.size();
-            for (const sim::ChunkRecord& c : sr.chunks) {
-              if (c.skipped) {
-                continue;
+            for (const std::size_t sid : ids) {
+              const SessionDraw& d = draws[sid];
+              const FleetClientClass& cls = spec.classes[d.cls];
+              if (!class_schemes[d.cls]) {
+                class_schemes[d.cls] = cls.make_scheme();
               }
-              ++track_total[k][c.track];
-              if (c.edge_hit) {
-                ++track_hits[k][c.track];
-                ++rec.edge_hits;
-                rec.edge_hit_bits += c.size_bits;
+              abr::AbrScheme& scheme = *class_schemes[d.cls];
+              const std::unique_ptr<net::BandwidthEstimator> estimator =
+                  (cls.make_estimator ? cls.make_estimator
+                                      : default_estimator)(spec.traces[d.trace]);
+              if (cls.make_size_provider && !class_providers[d.cls]) {
+                class_providers[d.cls] = cls.make_size_provider();
+              }
+              video::ChunkSizeProvider* sizes =
+                  cls.make_size_provider ? class_providers[d.cls].get()
+                                         : nullptr;
+
+              sim::SessionConfig sc = spec.session;
+              sc.fault = cls.fault;
+              sc.retry = cls.retry;
+              sc.watch_duration_s = d.watch_s;
+              sc.session_id = sid;
+              sc.fleet_session = true;
+              sc.fleet_arrival_s = arrivals[sid];
+              sc.fleet_title = k;
+              if (sizes != nullptr) {
+                sc.size_provider = sizes;
+              }
+              if (path) {
+                sc.download_hook = path.get();
+              }
+              if (telemetry_on) {
+                if (spec.trace != nullptr) {
+                  sinks[sid] = std::make_unique<obs::MemoryTraceSink>();
+                  sc.trace = sinks[sid].get();
+                }
+                if (spec.metrics != nullptr) {
+                  registries[sid] = std::make_unique<obs::MetricsRegistry>();
+                  sc.metrics = registries[sid].get();
+                }
+              }
+
+              const sim::SessionResult sr = sim::run_session(
+                  title_video, spec.traces[d.trace], scheme, *estimator, sc);
+
+              FleetSessionRecord rec;
+              rec.session_id = sid;
+              rec.arrival_s = arrivals[sid];
+              rec.title = k;
+              rec.class_index = d.cls;
+              rec.trace_index = d.trace;
+              rec.watch_duration_s = d.watch_s;
+              rec.faults = sr.fault_summary();
+              rec.chunks = sr.chunks.size();
+              for (const sim::ChunkRecord& c : sr.chunks) {
+                if (c.skipped) {
+                  continue;
+                }
+                ++track_total[k][c.track];
+                if (c.edge_hit) {
+                  ++track_hits[k][c.track];
+                  ++rec.edge_hits;
+                  rec.edge_hit_bits += c.size_bits;
+                } else {
+                  rec.origin_bits += c.size_bits;
+                }
+              }
+              const std::vector<metrics::PlayedChunk> played =
+                  sr.to_played_chunks(spec.metric, classes);
+              if (played.empty()) {
+                // Nothing watchable (total outage): timing metrics only.
+                metrics::QoeSummary s;
+                s.rebuffer_s = sr.total_rebuffer_s;
+                s.startup_delay_s = sr.startup_delay_s;
+                s.low_quality_pct = 100.0;
+                rec.qoe = std::move(s);
               } else {
-                rec.origin_bits += c.size_bits;
+                rec.qoe = metrics::compute_qoe(played, sr.total_rebuffer_s,
+                                               sr.startup_delay_s, qoe);
               }
+              result.sessions[sid] = std::move(rec);
             }
-            const std::vector<metrics::PlayedChunk> played =
-                sr.to_played_chunks(spec.metric, classes);
-            if (played.empty()) {
-              // Nothing watchable (total outage): timing metrics only.
-              metrics::QoeSummary s;
-              s.rebuffer_s = sr.total_rebuffer_s;
-              s.startup_delay_s = sr.startup_delay_s;
-              s.low_quality_pct = 100.0;
-              rec.qoe = std::move(s);
-            } else {
-              rec.qoe = metrics::compute_qoe(played, sr.total_rebuffer_s,
-                                             sr.startup_delay_s, qoe);
+            if (shard) {
+              shard_stats[k] = shard->stats();
             }
-            result.sessions[sid] = std::move(rec);
           }
-          if (shard) {
-            shard_stats[k] = shard->stats();
-          }
-        } catch (...) {
-          failed.store(true);
-          throw;  // fleet bugs are fatal, as in run_experiment
         }
+      } catch (...) {
+        failed.store(true);
+        throw;  // fleet bugs are fatal, as in run_experiment
       }
     });
   }

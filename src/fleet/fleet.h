@@ -12,7 +12,9 @@
 //     counter-based pure function of (spec.seed, session index);
 //   - the edge cache is sharded per title, and each shard's sessions run
 //     serially in arrival order on whichever worker claimed the title —
-//     shard state never depends on the thread schedule;
+//     workers claim titles in batches (FleetSpec::title_batch) to amortize
+//     the atomic claim, but shard state never depends on the thread
+//     schedule or the batch size;
 //   - telemetry goes to private per-session sinks folded in session-id
 //     order after the workers join, exactly run_experiment's discipline;
 //   - aggregate report fields are folded in title order / session order,
@@ -42,7 +44,10 @@ namespace vbr::fleet {
 /// probability proportional to `weight`.
 struct FleetClientClass {
   std::string label;              ///< Report key (e.g. "cava", "bola-lte").
-  sim::SchemeFactory make_scheme; ///< Required; one fresh scheme per session.
+  /// Required. Workers build one scheme per class and reuse it across the
+  /// sessions they run (run_session resets scheme state up front), so the
+  /// factory is called O(threads), not O(sessions).
+  sim::SchemeFactory make_scheme;
   sim::EstimatorFactory make_estimator;  ///< Empty = default harmonic mean.
   sim::SizeProviderFactory make_size_provider;  ///< Empty = exact sizes.
   net::FaultConfig fault;   ///< Per-class fault profile (default: none).
@@ -89,6 +94,12 @@ struct FleetSpec {
 
   /// Worker threads; 0 = hardware concurrency. Bounded by sim::kMaxThreads.
   unsigned threads = 0;
+  /// Titles claimed per atomic fetch_add when workers pull work. Batching
+  /// amortizes the claim (and the per-worker warm-up of reusable schemes /
+  /// providers) across several titles; it cannot affect results, because
+  /// every fold is in title/session order regardless of who ran what.
+  /// 0 = auto (currently 4).
+  std::size_t title_batch = 0;
   /// Master workload seed: drives the per-session draws (title, class,
   /// trace, watch duration). Independent of catalog.seed (content) and
   /// arrivals.seed (timing).

@@ -143,19 +143,23 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
   std::atomic<bool> failed{false};
   for (unsigned w = 0; w < threads; ++w) {
     workers.emplace_back([&] {
-      while (true) {
-        const std::size_t i = next.fetch_add(1);
-        if (i >= spec.traces.size() || failed.load()) {
-          return;
-        }
-        try {
-          const std::unique_ptr<abr::AbrScheme> scheme = spec.make_scheme();
+      try {
+        // Worker-owned reusable actors: run_session resets scheme and
+        // provider state before each session, so one instance per worker
+        // serves every trace it claims with no cross-trace leakage (the
+        // back-to-back regression tests pin this) and no per-trace
+        // allocation bill. Providers stay worker-private so learned
+        // correction state never crosses concurrently-running sessions.
+        const std::unique_ptr<abr::AbrScheme> scheme = spec.make_scheme();
+        const std::unique_ptr<video::ChunkSizeProvider> sizes =
+            spec.make_size_provider ? spec.make_size_provider() : nullptr;
+        while (true) {
+          const std::size_t i = next.fetch_add(1);
+          if (i >= spec.traces.size() || failed.load()) {
+            return;
+          }
           const std::unique_ptr<net::BandwidthEstimator> estimator =
               make_estimator(spec.traces[i]);
-          // Each worker owns its provider instance: learned correction
-          // state must not leak across concurrently-running sessions.
-          const std::unique_ptr<video::ChunkSizeProvider> sizes =
-              spec.make_size_provider ? spec.make_size_provider() : nullptr;
           SessionConfig session_config = spec.session;
           if (sizes) {
             session_config.size_provider = sizes.get();
@@ -190,10 +194,10 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
                 metrics::compute_qoe(played, session.total_rebuffer_s,
                                      session.startup_delay_s, qoe);
           }
-        } catch (...) {
-          failed.store(true);
-          throw;  // surfaces via std::terminate: experiment bugs are fatal
         }
+      } catch (...) {
+        failed.store(true);
+        throw;  // surfaces via std::terminate: experiment bugs are fatal
       }
     });
   }

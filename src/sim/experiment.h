@@ -18,7 +18,12 @@
 
 namespace vbr::sim {
 
-/// Builds a fresh scheme instance per session (schemes are stateful).
+/// Builds a scheme instance. Schemes are stateful, but run_session resets
+/// scheme state up front, so each worker builds ONE instance and reuses it
+/// across the sessions it runs: the factory is called O(threads), not
+/// O(sessions). Back-to-back reuse is pinned byte-identical to fresh
+/// instances by regression tests (tests/test_mpc_differential.cpp,
+/// tests/test_experiment.cpp).
 using SchemeFactory = std::function<std::unique_ptr<abr::AbrScheme>()>;
 
 /// Builds a fresh estimator per session; receives the trace so oracle

@@ -92,6 +92,13 @@ SessionResult run_session(const video::Video& video, const net::Trace& trace,
   validate_session_config(config, "run_session");
   const net::FaultModel fault_model(config.fault);
 
+  // Reuse contract: run_experiment and run_fleet hand the same scheme /
+  // estimator / provider instances to many sessions back-to-back. These
+  // resets are the only barrier between sessions — any cross-chunk state a
+  // scheme keeps (error windows, controllers, search scratch) must either
+  // be cleared by reset() or be overwritten before it is read. The
+  // back-to-back regression tests pin that a reused instance reproduces a
+  // fresh instance byte-for-byte.
   scheme.reset();
   estimator.reset();
   if (config.size_provider != nullptr) {

@@ -1,0 +1,90 @@
+#include "video/size_index.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace vbr::video {
+
+SizeIndex::SizeIndex(const Video& video) : num_chunks_(video.num_chunks()) {
+  const std::size_t tracks = video.num_tracks();
+  prefix_.resize(tracks);
+  min_prefix_.assign(num_chunks_ + 1, 0.0);
+  for (std::size_t l = 0; l < tracks; ++l) {
+    std::vector<double>& row = prefix_[l];
+    row.assign(num_chunks_ + 1, 0.0);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < num_chunks_; ++i) {
+      // Left-to-right accumulation: prefix sums stay bit-identical to the
+      // naive loops they replace.
+      acc += video.chunk_size_bits(l, i);
+      row[i + 1] = acc;
+    }
+  }
+  double min_acc = 0.0;
+  for (std::size_t i = 0; i < num_chunks_; ++i) {
+    double m = video.chunk_size_bits(0, i);
+    for (std::size_t l = 1; l < tracks; ++l) {
+      m = std::min(m, video.chunk_size_bits(l, i));
+    }
+    min_acc += m;
+    min_prefix_[i + 1] = min_acc;
+  }
+}
+
+void SizeIndex::check_level(std::size_t level) const {
+  if (level >= prefix_.size()) {
+    throw std::out_of_range("SizeIndex: track " + std::to_string(level) +
+                            " out of range (tracks=" +
+                            std::to_string(prefix_.size()) + ")");
+  }
+}
+
+void SizeIndex::check_end(std::size_t end) const {
+  if (end > num_chunks_) {
+    throw std::out_of_range("SizeIndex: chunk bound " + std::to_string(end) +
+                            " out of range (chunks=" +
+                            std::to_string(num_chunks_) + ")");
+  }
+}
+
+double SizeIndex::prefix_bits(std::size_t level, std::size_t end) const {
+  check_level(level);
+  check_end(end);
+  return prefix_[level][end];
+}
+
+double SizeIndex::range_bits(std::size_t level, std::size_t begin,
+                             std::size_t end) const {
+  check_level(level);
+  check_end(end);
+  if (begin > end) {
+    throw std::out_of_range("SizeIndex: range begin " +
+                            std::to_string(begin) + " exceeds end " +
+                            std::to_string(end));
+  }
+  return prefix_[level][end] - prefix_[level][begin];
+}
+
+double SizeIndex::min_track_prefix_bits(std::size_t end) const {
+  check_end(end);
+  return min_prefix_[end];
+}
+
+double SizeIndex::min_track_range_bits(std::size_t begin,
+                                       std::size_t end) const {
+  check_end(end);
+  if (begin > end) {
+    throw std::out_of_range("SizeIndex: range begin " +
+                            std::to_string(begin) + " exceeds end " +
+                            std::to_string(end));
+  }
+  return min_prefix_[end] - min_prefix_[begin];
+}
+
+double SizeIndex::total_bits(std::size_t level) const {
+  check_level(level);
+  return prefix_[level][num_chunks_];
+}
+
+}  // namespace vbr::video

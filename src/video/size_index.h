@@ -1,0 +1,78 @@
+// Per-chunk cumulative size prefix tables: O(1) range-sum queries over the
+// exact manifest size table.
+//
+// Look-ahead searches, cache-provisioning math, and dataset statistics all
+// need "how many bits do chunks [a, b) of track l cost" — answered today by
+// naive per-chunk summation loops that re-walk the table on every query.
+// A SizeIndex is built once per Video (one pass per track) and answers any
+// range query with one subtraction, plus a cross-track minimum table
+// (min_track_prefix_bits) that lower-bounds the cost of *any* track choice
+// per chunk — the admissible-bound ingredient for pruned look-ahead search
+// (DESIGN.md §10).
+//
+// Exactness discipline: prefix_bits(level, end) is the left-to-right
+// floating-point running sum of the table entries — bit-identical to the
+// naive accumulation loop it replaces. Range queries are a subtraction of
+// two prefixes (exact for the [0, end) case, within one rounding of the
+// naive loop otherwise; callers needing the bit-exact loop sum over an
+// interior range keep the loop).
+//
+// Error discipline: every query validates its indices and throws
+// std::out_of_range — the same error type the underlying
+// Track::chunk(i) / Video::track(l) `.at()` paths raise today.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "video/video.h"
+
+namespace vbr::video {
+
+/// Immutable prefix-sum index over one Video's exact chunk-size table.
+class SizeIndex {
+ public:
+  /// Builds the per-track and min-over-tracks prefix tables in one pass.
+  explicit SizeIndex(const Video& video);
+
+  [[nodiscard]] std::size_t num_tracks() const {
+    return prefix_.size();
+  }
+  [[nodiscard]] std::size_t num_chunks() const { return num_chunks_; }
+
+  /// Sum of the sizes (bits) of chunks [0, end) of `level` — bit-identical
+  /// to the naive left-to-right accumulation. end == 0 returns 0.
+  /// Throws std::out_of_range on level >= num_tracks() or
+  /// end > num_chunks().
+  [[nodiscard]] double prefix_bits(std::size_t level, std::size_t end) const;
+
+  /// Sum of the sizes (bits) of chunks [begin, end) of `level`, computed as
+  /// prefix_bits(end) - prefix_bits(begin). Throws std::out_of_range on
+  /// out-of-range indices or begin > end.
+  [[nodiscard]] double range_bits(std::size_t level, std::size_t begin,
+                                  std::size_t end) const;
+
+  /// Sum over chunks [0, end) of the per-chunk minimum size across tracks:
+  /// a lower bound on the bits any track sequence must download for that
+  /// span. Same bounds/error discipline as prefix_bits.
+  [[nodiscard]] double min_track_prefix_bits(std::size_t end) const;
+
+  /// Range form of min_track_prefix_bits over [begin, end).
+  [[nodiscard]] double min_track_range_bits(std::size_t begin,
+                                            std::size_t end) const;
+
+  /// Total size of a whole track — prefix_bits(level, num_chunks()).
+  [[nodiscard]] double total_bits(std::size_t level) const;
+
+ private:
+  void check_level(std::size_t level) const;
+  void check_end(std::size_t end) const;
+
+  std::size_t num_chunks_ = 0;
+  /// prefix_[l][i] = sum of chunk sizes [0, i) of track l; length chunks+1.
+  std::vector<std::vector<double>> prefix_;
+  /// min_prefix_[i] = sum over [0, i) of min-over-tracks chunk size.
+  std::vector<double> min_prefix_;
+};
+
+}  // namespace vbr::video

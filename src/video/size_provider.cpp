@@ -42,6 +42,15 @@ double OracleSizeProvider::size_bits(const Video& v, std::size_t level,
   return v.chunk_size_bits(level, i);
 }
 
+void OracleSizeProvider::fill_size_bits(const Video& v, std::size_t level,
+                                        std::size_t begin, std::size_t end,
+                                        double* out) const {
+  // Bounds via the same .at() path per entry; values are the table's own.
+  for (std::size_t i = begin; i < end; ++i) {
+    out[i - begin] = v.chunk_size_bits(level, i);
+  }
+}
+
 double DeclaredRateSizeProvider::size_bits(const Video& v, std::size_t level,
                                            std::size_t i) const {
   return declared_rate_bits(v, level, i);

@@ -45,6 +45,20 @@ class ChunkSizeProvider {
   [[nodiscard]] virtual double size_bits(const Video& v, std::size_t level,
                                          std::size_t i) const = 0;
 
+  /// Batch query: fills out[0 .. end-begin) with size_bits(v, level, i) for
+  /// i in [begin, end). Semantically identical to the per-entry loop —
+  /// providers are deterministic per (seed, track, chunk), so hoisting a
+  /// look-ahead search's queries into one batch returns bit-identical
+  /// values while paying one virtual dispatch per row instead of one per
+  /// node visit. Overrides must preserve the per-entry values exactly.
+  virtual void fill_size_bits(const Video& v, std::size_t level,
+                              std::size_t begin, std::size_t end,
+                              double* out) const {
+    for (std::size_t i = begin; i < end; ++i) {
+      out[i - begin] = size_bits(v, level, i);
+    }
+  }
+
   /// Informs the provider of the true delivered size of a chunk it may have
   /// estimated (decorators refine their model; base providers ignore it).
   virtual void on_actual_size(const Video& v, std::size_t level,
@@ -67,6 +81,10 @@ class OracleSizeProvider final : public ChunkSizeProvider {
  public:
   [[nodiscard]] double size_bits(const Video& v, std::size_t level,
                                  std::size_t i) const override;
+  /// Straight copy out of the manifest table (same values, same
+  /// std::out_of_range on a bad index, no per-entry virtual dispatch).
+  void fill_size_bits(const Video& v, std::size_t level, std::size_t begin,
+                      std::size_t end, double* out) const override;
   [[nodiscard]] std::string name() const override { return "oracle"; }
 };
 

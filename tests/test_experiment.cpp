@@ -4,11 +4,15 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <sstream>
 #include <stdexcept>
+#include <string>
 
+#include "abr/mpc.h"
 #include "net/trace_gen.h"
 #include "test_util.h"
 #include "video/dataset.h"
+#include "video/size_provider.h"
 
 namespace {
 
@@ -116,6 +120,47 @@ TEST(Experiment, CollectorsMatchPerTraceValues) {
   }
   const auto pooled = r.pooled_all_qualities();
   EXPECT_EQ(pooled.size(), 3u * v.num_chunks());
+}
+
+
+/// Serializes the per-trace summaries with full precision so experiment
+/// results can be compared byte-for-byte.
+std::string serialize_per_trace(const sim::ExperimentResult& r) {
+  std::ostringstream out;
+  out.precision(17);
+  for (const metrics::QoeSummary& s : r.per_trace) {
+    out << s.q4_quality_mean << ' ' << s.q13_quality_mean << ' '
+        << s.all_quality_mean << ' ' << s.low_quality_pct << ' '
+        << s.rebuffer_s << ' ' << s.startup_delay_s << ' '
+        << s.avg_quality_change << ' ' << s.data_usage_mb << '\n';
+  }
+  return out.str();
+}
+
+TEST(Experiment, WorkerSchemeReuseMatchesFreshPerTraceRuns) {
+  // Workers build ONE scheme (and size provider) per thread and reuse them
+  // across sessions; run_session's reset preamble is the only state
+  // barrier. A single-threaded multi-trace run (maximum reuse: one Mpc
+  // instance serves every trace) must match running each trace through its
+  // own one-trace experiment (a fresh instance every time), byte-for-byte.
+  const video::Video v = small_video();
+  const auto traces = net::make_lte_trace_set(5, 3);
+  sim::ExperimentSpec spec = base_spec(v, traces);
+  spec.make_scheme = [] {
+    return std::make_unique<abr::Mpc>(abr::robust_mpc_config());
+  };
+  spec.make_size_provider = [] {
+    return std::make_unique<video::NoisySizeProvider>(0.2, 19);
+  };
+  spec.threads = 1;
+  const std::string reused = serialize_per_trace(sim::run_experiment(spec));
+  std::string fresh;
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    sim::ExperimentSpec one = spec;
+    one.traces = std::span<const net::Trace>(&traces[i], 1);
+    fresh += serialize_per_trace(sim::run_experiment(one));
+  }
+  EXPECT_EQ(reused, fresh);
 }
 
 }  // namespace

@@ -1,0 +1,166 @@
+// SizeIndex property tests: prefix sums must reproduce the naive
+// left-to-right accumulation bit-for-bit, range queries must stay within
+// one rounding of the naive loop, and every out-of-range query must throw
+// std::out_of_range — the same error type the `.at()` table paths raise.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <random>
+#include <stdexcept>
+#include <vector>
+
+#include "test_util.h"
+#include "video/dataset.h"
+#include "video/size_index.h"
+#include "video/size_provider.h"
+
+namespace vbr {
+namespace {
+
+/// Naive reference: the left-to-right loop the index replaces.
+double naive_sum(const video::Video& v, std::size_t level, std::size_t begin,
+                 std::size_t end) {
+  double acc = 0.0;
+  for (std::size_t i = begin; i < end; ++i) {
+    acc += v.chunk_size_bits(level, i);
+  }
+  return acc;
+}
+
+double naive_min_sum(const video::Video& v, std::size_t begin,
+                     std::size_t end) {
+  double acc = 0.0;
+  for (std::size_t i = begin; i < end; ++i) {
+    double m = v.chunk_size_bits(0, i);
+    for (std::size_t l = 1; l < v.num_tracks(); ++l) {
+      m = std::min(m, v.chunk_size_bits(l, i));
+    }
+    acc += m;
+  }
+  return acc;
+}
+
+video::Video random_video(std::uint64_t seed) {
+  return video::make_video("szidx-" + std::to_string(seed),
+                           video::Genre::kAction, video::Codec::kH264, 2.0,
+                           2.0, seed, 60.0 + 4.0 * static_cast<double>(
+                                                      seed % 5));
+}
+
+TEST(SizeIndex, PrefixSumsBitIdenticalToNaiveAccumulation) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const video::Video v = random_video(seed);
+    const video::SizeIndex idx(v);
+    ASSERT_EQ(idx.num_tracks(), v.num_tracks());
+    ASSERT_EQ(idx.num_chunks(), v.num_chunks());
+    for (std::size_t l = 0; l < v.num_tracks(); ++l) {
+      for (std::size_t end = 0; end <= v.num_chunks(); ++end) {
+        // Exact equality: same additions in the same order.
+        ASSERT_EQ(idx.prefix_bits(l, end), naive_sum(v, l, 0, end))
+            << "seed " << seed << " track " << l << " end " << end;
+      }
+      ASSERT_EQ(idx.total_bits(l), naive_sum(v, l, 0, v.num_chunks()));
+    }
+  }
+}
+
+TEST(SizeIndex, MinTrackPrefixBitIdenticalToNaive) {
+  const video::Video v = random_video(42);
+  const video::SizeIndex idx(v);
+  for (std::size_t end = 0; end <= v.num_chunks(); ++end) {
+    ASSERT_EQ(idx.min_track_prefix_bits(end), naive_min_sum(v, 0, end));
+  }
+}
+
+TEST(SizeIndex, InteriorRangesWithinOneRoundingOfNaiveLoop) {
+  std::mt19937_64 rng(7);
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    const video::Video v = random_video(seed);
+    const video::SizeIndex idx(v);
+    for (int q = 0; q < 200; ++q) {
+      const std::size_t a = rng() % (v.num_chunks() + 1);
+      const std::size_t b = a + rng() % (v.num_chunks() + 1 - a);
+      for (std::size_t l = 0; l < v.num_tracks(); ++l) {
+        const double naive = naive_sum(v, l, a, b);
+        const double indexed = idx.range_bits(l, a, b);
+        // Subtraction of two prefixes: not bit-equal to the interior loop
+        // in general, but within a tight relative tolerance of it.
+        ASSERT_NEAR(indexed, naive, 1e-9 * std::max(1.0, naive))
+            << "track " << l << " [" << a << ", " << b << ")";
+      }
+      ASSERT_NEAR(idx.min_track_range_bits(a, b), naive_min_sum(v, a, b),
+                  1e-9 * std::max(1.0, naive_min_sum(v, a, b)));
+    }
+  }
+}
+
+TEST(SizeIndex, PrefixFromZeroRangeIsExact) {
+  const video::Video v = random_video(9);
+  const video::SizeIndex idx(v);
+  for (std::size_t l = 0; l < v.num_tracks(); ++l) {
+    for (std::size_t end = 0; end <= v.num_chunks(); ++end) {
+      // [0, end) ranges subtract a zero prefix, so they stay bit-exact.
+      ASSERT_EQ(idx.range_bits(l, 0, end), idx.prefix_bits(l, end));
+    }
+  }
+}
+
+TEST(SizeIndex, FlatVideoPrefixesAreLinear) {
+  const video::Video v = testutil::make_flat_video({1e6, 2e6}, 10);
+  const video::SizeIndex idx(v);
+  // Flat 2 s chunks at 1 Mbps = 2e6 bits each; sums are exact in binary.
+  EXPECT_EQ(idx.prefix_bits(0, 5), 5 * 2e6);
+  EXPECT_EQ(idx.range_bits(0, 2, 7), 5 * 2e6);
+  EXPECT_EQ(idx.min_track_prefix_bits(10), 10 * 2e6);
+  EXPECT_EQ(idx.total_bits(1), 10 * 4e6);
+}
+
+TEST(SizeIndex, OutOfRangeQueriesThrowOutOfRange) {
+  const video::Video v = testutil::default_flat_video(12);
+  const video::SizeIndex idx(v);
+  const std::size_t tracks = idx.num_tracks();
+  const std::size_t chunks = idx.num_chunks();
+  EXPECT_THROW((void)idx.prefix_bits(tracks, 0), std::out_of_range);
+  EXPECT_THROW((void)idx.prefix_bits(0, chunks + 1), std::out_of_range);
+  EXPECT_THROW((void)idx.range_bits(0, 5, 4), std::out_of_range);
+  EXPECT_THROW((void)idx.range_bits(0, 0, chunks + 1), std::out_of_range);
+  EXPECT_THROW((void)idx.range_bits(tracks, 0, 1), std::out_of_range);
+  EXPECT_THROW((void)idx.min_track_prefix_bits(chunks + 1),
+               std::out_of_range);
+  EXPECT_THROW((void)idx.min_track_range_bits(3, 2), std::out_of_range);
+  EXPECT_THROW((void)idx.total_bits(tracks), std::out_of_range);
+  // In-range boundary queries do not throw.
+  EXPECT_NO_THROW((void)idx.prefix_bits(tracks - 1, chunks));
+  EXPECT_NO_THROW((void)idx.range_bits(0, chunks, chunks));
+}
+
+TEST(SizeIndex, BatchedProviderFillMatchesPerEntryQueries) {
+  // The batch API the pruned MPC hot path uses must reproduce per-entry
+  // values exactly, for every provider in the fallback ladder.
+  const video::Video v = random_video(3);
+  std::vector<std::unique_ptr<video::ChunkSizeProvider>> providers;
+  providers.push_back(std::make_unique<video::OracleSizeProvider>());
+  providers.push_back(std::make_unique<video::DeclaredRateSizeProvider>());
+  providers.push_back(std::make_unique<video::NoisySizeProvider>(0.25, 5));
+  providers.push_back(std::make_unique<video::PartialSizeProvider>(0.3, 9));
+  for (const auto& p : providers) {
+    for (std::size_t l = 0; l < v.num_tracks(); ++l) {
+      std::vector<double> batch(v.num_chunks());
+      p->fill_size_bits(v, l, 0, v.num_chunks(), batch.data());
+      for (std::size_t i = 0; i < v.num_chunks(); ++i) {
+        ASSERT_EQ(batch[i], p->size_bits(v, l, i))
+            << p->name() << " track " << l << " chunk " << i;
+      }
+      // Interior window.
+      std::vector<double> window(5);
+      p->fill_size_bits(v, l, 3, 8, window.data());
+      for (std::size_t i = 0; i < 5; ++i) {
+        ASSERT_EQ(window[i], p->size_bits(v, l, 3 + i));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vbr
