@@ -1,0 +1,975 @@
+#include "fleet/checkpoint.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <bit>
+#include <cerrno>
+#include <charconv>
+#include <string_view>
+#include <system_error>
+
+#include "fleet/rng.h"
+#include "obs/json_util.h"
+#include "obs/jsonl_io.h"
+#include "obs/trace_sink.h"
+
+namespace vbr::fleet {
+
+KillSchedule KillSchedule::random(std::uint64_t seed, std::uint64_t round,
+                                  std::uint64_t num_sessions) {
+  KillSchedule k;
+  if (num_sessions > 0) {
+    constexpr std::uint64_t kSaltKill = 0xc4a05;
+    k.after_sessions =
+        1 + static_cast<std::uint64_t>(
+                detail::keyed_u01(seed, round, 0, kSaltKill) *
+                static_cast<double>(num_sessions));
+    k.after_sessions = std::min(k.after_sessions, num_sessions);
+  }
+  return k;
+}
+
+// ---------------------------------------------------------------------------
+// Spec fingerprint.
+
+namespace {
+
+/// mix64-chained hasher over the workload-defining fields of a FleetSpec.
+/// Doubles hash by bit pattern (exact), strings by content.
+class SpecHasher {
+ public:
+  void u64(std::uint64_t v) { h_ = detail::mix64(h_ ^ v); }
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+  void b(bool v) { u64(v ? 1 : 2); }
+  void str(const std::string& s) {
+    u64(s.size());
+    for (const char c : s) {
+      h_ = detail::mix64(h_ ^ static_cast<unsigned char>(c));
+    }
+  }
+  [[nodiscard]] std::uint64_t value() const { return h_; }
+
+ private:
+  std::uint64_t h_ = 0x9e3779b97f4a7c15ULL;
+};
+
+void hash_fault(SpecHasher& h, const net::FaultConfig& f) {
+  h.f64(f.connect_failure_prob);
+  h.f64(f.mid_drop_prob);
+  h.f64(f.timeout_prob);
+  h.f64(f.connect_fail_delay_s);
+  h.f64(f.timeout_s);
+  h.u64(f.seed);
+}
+
+void hash_retry(SpecHasher& h, const sim::RetryPolicy& r) {
+  h.u64(r.max_attempts);
+  h.f64(r.backoff_base_s);
+  h.f64(r.backoff_factor);
+  h.f64(r.backoff_max_s);
+  h.f64(r.backoff_jitter);
+  h.f64(r.request_timeout_s);
+  h.b(r.downgrade_on_failure);
+  h.u64(r.downgrade_after);
+  h.b(r.resume_partial);
+}
+
+}  // namespace
+
+std::uint64_t fleet_spec_fingerprint(const FleetSpec& spec) {
+  SpecHasher h;
+  h.u64(FleetCheckpoint::kVersion);
+  h.u64(spec.seed);
+
+  h.u64(spec.catalog.num_titles);
+  h.f64(spec.catalog.zipf_alpha);
+  h.u64(spec.catalog.seed);
+  h.f64(spec.catalog.title_duration_s);
+  h.f64(spec.catalog.chunk_duration_s);
+  h.f64(spec.catalog.cap_factor);
+  h.u64(static_cast<std::uint64_t>(spec.catalog.codec));
+
+  h.u64(static_cast<std::uint64_t>(spec.arrivals.kind));
+  h.f64(spec.arrivals.rate_per_s);
+  h.f64(spec.arrivals.horizon_s);
+  h.u64(spec.arrivals.max_sessions);
+  h.f64(spec.arrivals.burst_start_s);
+  h.f64(spec.arrivals.burst_duration_s);
+  h.f64(spec.arrivals.burst_multiplier);
+  h.u64(spec.arrivals.seed);
+
+  h.u64(spec.classes.size());
+  for (const FleetClientClass& c : spec.classes) {
+    h.str(c.label);
+    h.f64(c.weight);
+    hash_fault(h, c.fault);
+    hash_retry(h, c.retry);
+    h.b(static_cast<bool>(c.make_estimator));
+    h.b(static_cast<bool>(c.make_size_provider));
+  }
+
+  h.f64(spec.watch.full_watch_prob);
+  h.f64(spec.watch.mean_partial_s);
+  h.f64(spec.watch.min_watch_s);
+
+  h.b(spec.use_cache);
+  h.f64(spec.cache.capacity_bits);
+  h.f64(spec.cache.hit_latency_s);
+  h.f64(spec.cache.miss_latency_s);
+  h.f64(spec.cache.origin_rate_scale);
+  h.f64(spec.cache.max_object_fraction);
+
+  h.f64(spec.session.startup_latency_s);
+  h.f64(spec.session.max_buffer_s);
+  h.f64(spec.session.request_rtt_s);
+  h.b(spec.session.enable_abandonment);
+  h.f64(spec.session.abandon_check_fraction);
+  hash_fault(h, spec.session.fault);
+  hash_retry(h, spec.session.retry);
+  h.f64(spec.session.watch_duration_s);
+  h.u64(spec.session.watchdog_max_decisions);
+  h.f64(spec.session.watchdog_max_sim_s);
+
+  h.u64(static_cast<std::uint64_t>(spec.metric));
+  h.f64(spec.qoe.low_quality_threshold);
+  h.u64(spec.qoe.top_class);
+
+  h.u64(spec.traces.size());
+  for (const net::Trace& t : spec.traces) {
+    h.str(t.name());
+    h.f64(t.sample_period_s());
+    h.u64(t.samples_bps().size());
+    for (const double s : t.samples_bps()) {
+      h.f64(s);
+    }
+  }
+
+  // Telemetry collection is workload-defining for a checkpoint: a snapshot
+  // taken without per-session events cannot resume a run that merges them.
+  h.b(spec.trace != nullptr);
+  h.b(spec.metrics != nullptr);
+  return h.value();
+}
+
+// ---------------------------------------------------------------------------
+// Serialization.
+
+namespace {
+
+constexpr std::string_view kMagic = "VBRFLEETCKPT";
+
+void sp(std::string& s) { s += ' '; }
+
+void put_u64(std::string& s, std::uint64_t v) {
+  obs::detail::append_uint(s, v);
+}
+
+void put_f64(std::string& s, double v) { obs::detail::append_double(s, v); }
+
+void put_stats(std::string& s, const EdgeCacheStats& st) {
+  s += "stats ";
+  put_u64(s, st.lookups);
+  sp(s);
+  put_u64(s, st.hits);
+  sp(s);
+  put_f64(s, st.hit_bits);
+  sp(s);
+  put_f64(s, st.miss_bits);
+  sp(s);
+  put_u64(s, st.evictions);
+  sp(s);
+  put_f64(s, st.evicted_bits);
+  sp(s);
+  put_u64(s, st.rejected);
+  s += '\n';
+}
+
+void put_dvec(std::string& s, const char* tag,
+              const std::vector<double>& v) {
+  s += tag;
+  sp(s);
+  put_u64(s, v.size());
+  for (const double x : v) {
+    sp(s);
+    put_f64(s, x);
+  }
+  s += '\n';
+}
+
+void put_uvec(std::string& s, const char* tag,
+              const std::vector<std::uint64_t>& v) {
+  s += tag;
+  sp(s);
+  put_u64(s, v.size());
+  for (const std::uint64_t x : v) {
+    sp(s);
+    put_u64(s, x);
+  }
+  s += '\n';
+}
+
+/// Sequential line/token reader over the checkpoint payload. Every helper
+/// throws CheckpointError naming the line on any malformed input, so load()
+/// can never silently misread a damaged file.
+class Reader {
+ public:
+  explicit Reader(std::string_view payload) : s_(payload) {}
+
+  [[nodiscard]] std::string_view next_line() {
+    if (pos_ >= s_.size()) {
+      fail("unexpected end of file");
+    }
+    const std::size_t nl = s_.find('\n', pos_);
+    if (nl == std::string_view::npos) {
+      fail("unterminated line");
+    }
+    const std::string_view line = s_.substr(pos_, nl - pos_);
+    pos_ = nl + 1;
+    ++line_no_;
+    return line;
+  }
+
+  [[nodiscard]] bool at_end() const { return pos_ >= s_.size(); }
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw CheckpointError("checkpoint: " + what + " (line " +
+                          std::to_string(line_no_) + ")");
+  }
+
+  [[nodiscard]] std::uint64_t line_no() const { return line_no_; }
+
+ private:
+  std::string_view s_;
+  std::size_t pos_ = 0;
+  std::uint64_t line_no_ = 0;
+};
+
+/// Tokenizer over one line.
+class Tokens {
+ public:
+  Tokens(std::string_view line, Reader& r) : s_(line), r_(&r) {}
+
+  void expect(std::string_view tag) {
+    if (word() != tag) {
+      r_->fail("expected '" + std::string(tag) + "' record");
+    }
+  }
+
+  [[nodiscard]] std::string_view word() {
+    skip_space();
+    const std::size_t start = pos_;
+    while (pos_ < s_.size() && s_[pos_] != ' ') {
+      ++pos_;
+    }
+    if (start == pos_) {
+      r_->fail("missing token");
+    }
+    return s_.substr(start, pos_ - start);
+  }
+
+  [[nodiscard]] std::uint64_t u64() {
+    const std::string_view w = word();
+    std::uint64_t v = 0;
+    const auto r = std::from_chars(w.data(), w.data() + w.size(), v);
+    if (r.ec != std::errc() || r.ptr != w.data() + w.size()) {
+      r_->fail("expected unsigned integer");
+    }
+    return v;
+  }
+
+  [[nodiscard]] double f64() {
+    const std::string_view w = word();
+    double v = 0.0;
+    const auto r = std::from_chars(w.data(), w.data() + w.size(), v);
+    if (r.ec != std::errc() || r.ptr != w.data() + w.size()) {
+      r_->fail("expected number");
+    }
+    return v;
+  }
+
+  [[nodiscard]] bool flag() {
+    const std::uint64_t v = u64();
+    if (v > 1) {
+      r_->fail("expected 0/1 flag");
+    }
+    return v == 1;
+  }
+
+  /// JSON-quoted string (metric names may contain spaces).
+  [[nodiscard]] std::string quoted() {
+    skip_space();
+    if (pos_ >= s_.size() || s_[pos_] != '"') {
+      r_->fail("expected quoted string");
+    }
+    ++pos_;
+    std::string out;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_++];
+      if (c == '"') {
+        return out;
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= s_.size()) {
+        break;
+      }
+      const char esc = s_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case 'r': out += '\r'; break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) {
+            r_->fail("truncated escape in string");
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char hx = s_[pos_++];
+            code <<= 4;
+            if (hx >= '0' && hx <= '9') {
+              code |= static_cast<unsigned>(hx - '0');
+            } else if (hx >= 'a' && hx <= 'f') {
+              code |= static_cast<unsigned>(hx - 'a') + 10;
+            } else {
+              r_->fail("bad escape digit in string");
+            }
+          }
+          out += static_cast<char>(code);
+          break;
+        }
+        default:
+          r_->fail("unknown string escape");
+      }
+    }
+    r_->fail("unterminated quoted string");
+  }
+
+  void done() {
+    skip_space();
+    if (pos_ != s_.size()) {
+      r_->fail("trailing tokens");
+    }
+  }
+
+ private:
+  void skip_space() {
+    while (pos_ < s_.size() && s_[pos_] == ' ') {
+      ++pos_;
+    }
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+  Reader* r_;
+};
+
+std::vector<double> read_dvec(Reader& r, const char* tag) {
+  Tokens t(r.next_line(), r);
+  t.expect(tag);
+  const std::uint64_t n = t.u64();
+  std::vector<double> out;
+  out.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    out.push_back(t.f64());
+  }
+  t.done();
+  return out;
+}
+
+std::vector<std::uint64_t> read_uvec(Reader& r, const char* tag) {
+  Tokens t(r.next_line(), r);
+  t.expect(tag);
+  const std::uint64_t n = t.u64();
+  std::vector<std::uint64_t> out;
+  out.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    out.push_back(t.u64());
+  }
+  t.done();
+  return out;
+}
+
+EdgeCacheStats read_stats(Reader& r) {
+  Tokens t(r.next_line(), r);
+  t.expect("stats");
+  EdgeCacheStats st;
+  st.lookups = t.u64();
+  st.hits = t.u64();
+  st.hit_bits = t.f64();
+  st.miss_bits = t.f64();
+  st.evictions = t.u64();
+  st.evicted_bits = t.f64();
+  st.rejected = t.u64();
+  t.done();
+  return st;
+}
+
+void put_registry(std::string& s, const obs::MetricsRegistry& reg) {
+  using obs::detail::append_json_string;
+  s += "counters ";
+  put_u64(s, reg.counters().size());
+  s += '\n';
+  for (const auto& [name, c] : reg.counters()) {
+    s += "c ";
+    append_json_string(s, name);
+    sp(s);
+    put_f64(s, c.value());
+    s += '\n';
+  }
+  s += "gauges ";
+  put_u64(s, reg.gauges().size());
+  s += '\n';
+  for (const auto& [name, g] : reg.gauges()) {
+    s += "g ";
+    append_json_string(s, name);
+    sp(s);
+    put_u64(s, g.written() ? 1 : 0);
+    sp(s);
+    put_f64(s, g.value());
+    s += '\n';
+  }
+  s += "hists ";
+  put_u64(s, reg.histograms().size());
+  s += '\n';
+  for (const auto& [name, hh] : reg.histograms()) {
+    s += "h ";
+    append_json_string(s, name);
+    sp(s);
+    put_u64(s, hh.wall_clock() ? 1 : 0);
+    sp(s);
+    put_u64(s, hh.bounds().size());
+    for (const double b : hh.bounds()) {
+      sp(s);
+      put_f64(s, b);
+    }
+    for (const std::uint64_t c : hh.counts()) {
+      sp(s);
+      put_u64(s, c);
+    }
+    sp(s);
+    put_u64(s, hh.count());
+    sp(s);
+    put_f64(s, hh.sum());
+    sp(s);
+    put_f64(s, hh.min());
+    sp(s);
+    put_f64(s, hh.max());
+    s += '\n';
+  }
+}
+
+obs::MetricsRegistry read_registry(Reader& r) {
+  obs::MetricsRegistry reg;
+  {
+    Tokens t(r.next_line(), r);
+    t.expect("counters");
+    const std::uint64_t n = t.u64();
+    t.done();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      Tokens ct(r.next_line(), r);
+      ct.expect("c");
+      const std::string name = ct.quoted();
+      const double v = ct.f64();
+      ct.done();
+      reg.counter(name).add(v);
+    }
+  }
+  {
+    Tokens t(r.next_line(), r);
+    t.expect("gauges");
+    const std::uint64_t n = t.u64();
+    t.done();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      Tokens gt(r.next_line(), r);
+      gt.expect("g");
+      const std::string name = gt.quoted();
+      const bool written = gt.flag();
+      const double v = gt.f64();
+      gt.done();
+      obs::Gauge& g = reg.gauge(name);
+      if (written) {
+        g.set(v);
+      }
+    }
+  }
+  {
+    Tokens t(r.next_line(), r);
+    t.expect("hists");
+    const std::uint64_t n = t.u64();
+    t.done();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      Tokens ht(r.next_line(), r);
+      ht.expect("h");
+      const std::string name = ht.quoted();
+      const bool wall = ht.flag();
+      const std::uint64_t nb = ht.u64();
+      std::vector<double> bounds;
+      bounds.reserve(nb);
+      for (std::uint64_t j = 0; j < nb; ++j) {
+        bounds.push_back(ht.f64());
+      }
+      std::vector<std::uint64_t> counts;
+      counts.reserve(nb + 1);
+      for (std::uint64_t j = 0; j < nb + 1; ++j) {
+        counts.push_back(ht.u64());
+      }
+      const std::uint64_t count = ht.u64();
+      const double sum = ht.f64();
+      const double mn = ht.f64();
+      const double mx = ht.f64();
+      ht.done();
+      try {
+        reg.histogram(name, bounds, wall).restore(counts, count, sum, mn, mx);
+      } catch (const std::invalid_argument& e) {
+        r.fail(std::string("bad histogram record: ") + e.what());
+      }
+    }
+  }
+  return reg;
+}
+
+}  // namespace
+
+void FleetCheckpoint::save(const std::string& path) const {
+  std::string s;
+  s.reserve(1 << 16);
+  s += kMagic;
+  sp(s);
+  put_u64(s, kVersion);
+  s += '\n';
+  s += "meta ";
+  put_u64(s, spec_fingerprint);
+  sp(s);
+  put_u64(s, num_sessions);
+  sp(s);
+  put_u64(s, num_titles);
+  sp(s);
+  put_u64(s, max_tracks);
+  sp(s);
+  put_u64(s, sessions_done);
+  s += '\n';
+
+  s += "titles ";
+  put_u64(s, titles.size());
+  s += '\n';
+  for (const TitleState& ts : titles) {
+    s += "title ";
+    put_u64(s, ts.index);
+    sp(s);
+    put_u64(s, ts.done);
+    sp(s);
+    put_u64(s, ts.total);
+    sp(s);
+    put_u64(s, ts.has_shard ? 1 : 0);
+    s += '\n';
+    put_stats(s, ts.stats);
+    put_uvec(s, "hits", ts.track_hits);
+    put_uvec(s, "tot", ts.track_total);
+    s += "entries ";
+    put_u64(s, ts.shard_entries.size());
+    s += '\n';
+    for (const EdgeCacheEntrySnapshot& e : ts.shard_entries) {
+      s += "e ";
+      put_u64(s, e.title);
+      sp(s);
+      put_u64(s, e.track);
+      sp(s);
+      put_u64(s, e.chunk);
+      sp(s);
+      put_f64(s, e.bits);
+      s += '\n';
+    }
+  }
+
+  s += "sessions ";
+  put_u64(s, sessions.size());
+  s += '\n';
+  for (const SessionState& ss : sessions) {
+    const FleetSessionRecord& rec = ss.record;
+    s += "session ";
+    put_u64(s, rec.session_id);
+    sp(s);
+    put_f64(s, rec.arrival_s);
+    sp(s);
+    put_u64(s, rec.title);
+    sp(s);
+    put_u64(s, rec.class_index);
+    sp(s);
+    put_u64(s, rec.trace_index);
+    sp(s);
+    put_f64(s, rec.watch_duration_s);
+    sp(s);
+    put_u64(s, rec.chunks);
+    sp(s);
+    put_u64(s, rec.edge_hits);
+    sp(s);
+    put_f64(s, rec.edge_hit_bits);
+    sp(s);
+    put_f64(s, rec.origin_bits);
+    sp(s);
+    put_u64(s, rec.watchdog_aborted ? 1 : 0);
+    s += '\n';
+    s += "qoe ";
+    put_f64(s, rec.qoe.q4_quality_mean);
+    sp(s);
+    put_f64(s, rec.qoe.q4_quality_median);
+    sp(s);
+    put_f64(s, rec.qoe.q13_quality_mean);
+    sp(s);
+    put_f64(s, rec.qoe.all_quality_mean);
+    sp(s);
+    put_f64(s, rec.qoe.low_quality_pct);
+    sp(s);
+    put_f64(s, rec.qoe.rebuffer_s);
+    sp(s);
+    put_f64(s, rec.qoe.startup_delay_s);
+    sp(s);
+    put_f64(s, rec.qoe.avg_quality_change);
+    sp(s);
+    put_f64(s, rec.qoe.data_usage_mb);
+    s += '\n';
+    put_dvec(s, "qv4", rec.qoe.q4_qualities);
+    put_dvec(s, "qv13", rec.qoe.q13_qualities);
+    put_dvec(s, "qvall", rec.qoe.all_qualities);
+    s += "faults ";
+    put_u64(s, rec.faults.chunks);
+    sp(s);
+    put_u64(s, rec.faults.skipped);
+    sp(s);
+    put_u64(s, rec.faults.downgraded);
+    sp(s);
+    put_u64(s, rec.faults.attempts);
+    sp(s);
+    put_u64(s, rec.faults.connect_failures);
+    sp(s);
+    put_u64(s, rec.faults.mid_drops);
+    sp(s);
+    put_u64(s, rec.faults.timeouts);
+    sp(s);
+    put_f64(s, rec.faults.backoff_wait_s);
+    sp(s);
+    put_f64(s, rec.faults.resumed_mb);
+    sp(s);
+    put_f64(s, rec.faults.wasted_mb);
+    s += '\n';
+    s += "events ";
+    put_u64(s, ss.has_events ? 1 : 0);
+    sp(s);
+    put_u64(s, ss.events.size());
+    s += '\n';
+    for (const obs::DecisionEvent& ev : ss.events) {
+      // Each event rides as a checksummed canonical JSONL line — the same
+      // torn/corrupt detection as the durable trace sinks.
+      s += obs::checksummed_line(obs::to_jsonl(ev));
+      s += '\n';
+    }
+    s += "metrics ";
+    put_u64(s, ss.has_metrics ? 1 : 0);
+    s += '\n';
+    if (ss.has_metrics) {
+      put_registry(s, ss.metrics);
+    }
+  }
+
+  // Whole-payload trailer: everything above, checksummed.
+  s += "end ";
+  {
+    // Covers the payload plus the "end " prefix itself (load() mirrors).
+    const std::uint32_t crc =
+        obs::line_checksum(std::string_view(s.data(), s.size()));
+    static const char* digits = "0123456789abcdef";
+    for (int shift = 28; shift >= 0; shift -= 4) {
+      s += digits[(crc >> shift) & 0xFu];
+    }
+  }
+  s += '\n';
+
+  // Atomic durable write: temp + fsync + rename + directory fsync. A crash
+  // at any byte of this sequence leaves either the old checkpoint or the
+  // new one — never a torn file under the real name.
+  const std::string tmp = path + ".tmp";
+  errno = 0;
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    throw std::system_error(errno != 0 ? errno : EIO, std::generic_category(),
+                            "FleetCheckpoint::save: cannot open '" + tmp +
+                                "'");
+  }
+  std::size_t done = 0;
+  while (done < s.size()) {
+    const ssize_t nw = ::write(fd, s.data() + done, s.size() - done);
+    if (nw < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      const int err = errno;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      throw std::system_error(err, std::generic_category(),
+                              "FleetCheckpoint::save: write failed on '" +
+                                  tmp + "'");
+    }
+    done += static_cast<std::size_t>(nw);
+  }
+  if (::fsync(fd) != 0) {
+    const int err = errno;
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    throw std::system_error(err, std::generic_category(),
+                            "FleetCheckpoint::save: fsync failed on '" + tmp +
+                                "'");
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int err = errno;
+    ::unlink(tmp.c_str());
+    throw std::system_error(err, std::generic_category(),
+                            "FleetCheckpoint::save: cannot rename '" + tmp +
+                                "' to '" + path + "'");
+  }
+  // Make the rename itself durable.
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    (void)::fsync(dfd);  // best effort; some filesystems refuse dir fsync
+    ::close(dfd);
+  }
+}
+
+FleetCheckpoint FleetCheckpoint::load(const std::string& path) {
+  errno = 0;
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    throw std::system_error(errno != 0 ? errno : EIO, std::generic_category(),
+                            "FleetCheckpoint::load: cannot open '" + path +
+                                "'");
+  }
+  std::string data;
+  char buf[1 << 16];
+  while (true) {
+    const ssize_t nr = ::read(fd, buf, sizeof buf);
+    if (nr < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      const int err = errno;
+      ::close(fd);
+      throw std::system_error(err, std::generic_category(),
+                              "FleetCheckpoint::load: read failed on '" +
+                                  path + "'");
+    }
+    if (nr == 0) {
+      break;
+    }
+    data.append(buf, static_cast<std::size_t>(nr));
+  }
+  ::close(fd);
+
+  // Trailer first: the last line must be "end <8hex>" covering everything
+  // before it. A truncated or bit-rotted file fails here with one clear
+  // error instead of a confusing parse failure deep inside.
+  if (data.empty() || data.back() != '\n') {
+    throw CheckpointError("checkpoint: truncated file (no trailer)");
+  }
+  const std::size_t tail_nl = data.find_last_of('\n', data.size() - 2);
+  const std::size_t trailer_at =
+      tail_nl == std::string::npos ? 0 : tail_nl + 1;
+  const std::string_view trailer(data.data() + trailer_at,
+                                 data.size() - trailer_at - 1);
+  if (trailer.size() != 12 || trailer.substr(0, 4) != "end ") {
+    throw CheckpointError("checkpoint: missing 'end' trailer");
+  }
+  std::uint32_t stored = 0;
+  for (std::size_t i = 4; i < 12; ++i) {
+    const char c = trailer[i];
+    std::uint32_t nib = 0;
+    if (c >= '0' && c <= '9') {
+      nib = static_cast<std::uint32_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      nib = static_cast<std::uint32_t>(c - 'a') + 10;
+    } else {
+      throw CheckpointError("checkpoint: malformed trailer checksum");
+    }
+    stored = (stored << 4) | nib;
+  }
+  // The checksum covers the payload plus the literal "end " prefix, i.e.
+  // everything up to the hex digits — matching how save() computed it.
+  const std::string_view covered(data.data(), trailer_at + 4);
+  if (obs::line_checksum(covered) != stored) {
+    throw CheckpointError(
+        "checkpoint: trailer checksum mismatch (corrupt or torn file)");
+  }
+
+  Reader r(std::string_view(data.data(), trailer_at));
+  {
+    Tokens t(r.next_line(), r);
+    const std::string_view magic = t.word();
+    if (magic != kMagic) {
+      throw CheckpointError("checkpoint: bad magic '" + std::string(magic) +
+                            "'");
+    }
+    const std::uint64_t version = t.u64();
+    t.done();
+    if (version != kVersion) {
+      throw CheckpointError("checkpoint: unsupported version " +
+                            std::to_string(version) + " (expected " +
+                            std::to_string(kVersion) + ")");
+    }
+  }
+
+  FleetCheckpoint ck;
+  {
+    Tokens t(r.next_line(), r);
+    t.expect("meta");
+    ck.spec_fingerprint = t.u64();
+    ck.num_sessions = t.u64();
+    ck.num_titles = t.u64();
+    ck.max_tracks = t.u64();
+    ck.sessions_done = t.u64();
+    t.done();
+  }
+
+  {
+    Tokens t(r.next_line(), r);
+    t.expect("titles");
+    const std::uint64_t n = t.u64();
+    t.done();
+    ck.titles.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      TitleState ts;
+      Tokens tt(r.next_line(), r);
+      tt.expect("title");
+      ts.index = tt.u64();
+      ts.done = tt.u64();
+      ts.total = tt.u64();
+      ts.has_shard = tt.flag();
+      tt.done();
+      if (ts.index >= ck.num_titles || ts.done > ts.total) {
+        r.fail("inconsistent title record");
+      }
+      ts.stats = read_stats(r);
+      ts.track_hits = read_uvec(r, "hits");
+      ts.track_total = read_uvec(r, "tot");
+      if (ts.track_hits.size() != ck.max_tracks ||
+          ts.track_total.size() != ck.max_tracks) {
+        r.fail("track vector size mismatch");
+      }
+      Tokens et(r.next_line(), r);
+      et.expect("entries");
+      const std::uint64_t ne = et.u64();
+      et.done();
+      ts.shard_entries.reserve(ne);
+      for (std::uint64_t j = 0; j < ne; ++j) {
+        Tokens e(r.next_line(), r);
+        e.expect("e");
+        EdgeCacheEntrySnapshot snap;
+        snap.title = static_cast<std::uint32_t>(e.u64());
+        snap.track = static_cast<std::uint32_t>(e.u64());
+        snap.chunk = e.u64();
+        snap.bits = e.f64();
+        e.done();
+        ts.shard_entries.push_back(snap);
+      }
+      ck.titles.push_back(std::move(ts));
+    }
+  }
+
+  {
+    Tokens t(r.next_line(), r);
+    t.expect("sessions");
+    const std::uint64_t n = t.u64();
+    t.done();
+    ck.sessions.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      SessionState ss;
+      FleetSessionRecord& rec = ss.record;
+      Tokens st(r.next_line(), r);
+      st.expect("session");
+      rec.session_id = st.u64();
+      rec.arrival_s = st.f64();
+      rec.title = st.u64();
+      rec.class_index = st.u64();
+      rec.trace_index = st.u64();
+      rec.watch_duration_s = st.f64();
+      rec.chunks = st.u64();
+      rec.edge_hits = st.u64();
+      rec.edge_hit_bits = st.f64();
+      rec.origin_bits = st.f64();
+      rec.watchdog_aborted = st.flag();
+      st.done();
+      if (rec.session_id >= ck.num_sessions) {
+        r.fail("session id out of range");
+      }
+      Tokens qt(r.next_line(), r);
+      qt.expect("qoe");
+      rec.qoe.q4_quality_mean = qt.f64();
+      rec.qoe.q4_quality_median = qt.f64();
+      rec.qoe.q13_quality_mean = qt.f64();
+      rec.qoe.all_quality_mean = qt.f64();
+      rec.qoe.low_quality_pct = qt.f64();
+      rec.qoe.rebuffer_s = qt.f64();
+      rec.qoe.startup_delay_s = qt.f64();
+      rec.qoe.avg_quality_change = qt.f64();
+      rec.qoe.data_usage_mb = qt.f64();
+      qt.done();
+      rec.qoe.q4_qualities = read_dvec(r, "qv4");
+      rec.qoe.q13_qualities = read_dvec(r, "qv13");
+      rec.qoe.all_qualities = read_dvec(r, "qvall");
+      Tokens ft(r.next_line(), r);
+      ft.expect("faults");
+      rec.faults.chunks = ft.u64();
+      rec.faults.skipped = ft.u64();
+      rec.faults.downgraded = ft.u64();
+      rec.faults.attempts = ft.u64();
+      rec.faults.connect_failures = ft.u64();
+      rec.faults.mid_drops = ft.u64();
+      rec.faults.timeouts = ft.u64();
+      rec.faults.backoff_wait_s = ft.f64();
+      rec.faults.resumed_mb = ft.f64();
+      rec.faults.wasted_mb = ft.f64();
+      ft.done();
+      Tokens evt(r.next_line(), r);
+      evt.expect("events");
+      ss.has_events = evt.flag();
+      const std::uint64_t nev = evt.u64();
+      evt.done();
+      ss.events.reserve(nev);
+      for (std::uint64_t j = 0; j < nev; ++j) {
+        const std::string_view line = r.next_line();
+        std::string_view payload;
+        if (!obs::verify_checksummed_line(line, payload)) {
+          r.fail("event line failed its checksum");
+        }
+        try {
+          ss.events.push_back(obs::parse_jsonl(payload));
+        } catch (const std::invalid_argument& e) {
+          r.fail(std::string("bad event line: ") + e.what());
+        }
+      }
+      Tokens mt(r.next_line(), r);
+      mt.expect("metrics");
+      ss.has_metrics = mt.flag();
+      mt.done();
+      if (ss.has_metrics) {
+        ss.metrics = read_registry(r);
+      }
+      ck.sessions.push_back(std::move(ss));
+    }
+  }
+
+  if (!r.at_end()) {
+    r.fail("trailing data after last session");
+  }
+  return ck;
+}
+
+}  // namespace vbr::fleet

@@ -1,0 +1,144 @@
+// Crash-safe fleet checkpoints: periodic snapshots of run_fleet progress
+// that resume to byte-identical output.
+//
+// Why this is possible at all: every workload draw in the fleet layer is a
+// counter-based pure function of (seed, session index) — there is no
+// mutable RNG state to capture — and every fold is in title/session order.
+// The whole resumable state is therefore: which sessions completed (a done
+// count per title, since each title's sessions run serially in arrival
+// order), their FleetSessionRecords, their private telemetry, the per-title
+// track aggregates, and the live edge-cache shard contents of in-progress
+// titles. A checkpoint captures exactly that; resuming replays only the
+// remaining sessions against restored shards, so the final FleetResult,
+// report JSON, and merged telemetry are byte-for-byte what an uninterrupted
+// run produces, at any thread count.
+//
+// The checkpoint *file* is NOT deterministic (which sessions have finished
+// when the snapshot fires depends on the thread schedule); only resume-to-
+// final-output is, and that is the property the tests pin.
+//
+// Snapshot safety: checkpoints are taken at a cooperative barrier — every
+// worker parks at a session boundary, the last arriver serializes — so a
+// snapshot never sees a half-run session. Durability: the file is written
+// to `<path>.tmp`, fsynced, atomically renamed over `<path>`, and the
+// directory is fsynced; a crash mid-write leaves the previous checkpoint
+// intact. Format: versioned text ("VBRFLEETCKPT 1"), shortest-round-trip
+// doubles (exact), telemetry as checksummed JSONL lines, and a whole-file
+// FNV-1a trailer. load() rejects bad magic, unknown versions, trailer
+// mismatches, and a spec fingerprint that does not match the running spec
+// (a stale checkpoint from a different workload) — each with a named
+// CheckpointError.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "fleet/edge_cache.h"
+#include "fleet/fleet.h"
+#include "obs/event.h"
+#include "obs/metrics.h"
+
+namespace vbr::fleet {
+
+/// A checkpoint that cannot be used: bad magic, unsupported version,
+/// truncation, trailer mismatch, or a spec fingerprint that does not match
+/// the running FleetSpec. The message names what was wrong.
+class CheckpointError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Thrown by run_fleet when a KillSchedule fires: the fleet stopped
+/// cooperatively at a session boundary after writing a final checkpoint
+/// (when FleetSpec::checkpoint_path is set). Carries how far the run got.
+class FleetKilled : public std::runtime_error {
+ public:
+  FleetKilled(std::uint64_t sessions_completed, std::string checkpoint_path)
+      : std::runtime_error(
+            "run_fleet: killed by schedule after " +
+            std::to_string(sessions_completed) + " sessions" +
+            (checkpoint_path.empty() ? std::string(" (no checkpoint)")
+                                     : " (checkpoint: " + checkpoint_path +
+                                           ")")),
+        sessions_completed_(sessions_completed),
+        checkpoint_path_(std::move(checkpoint_path)) {}
+
+  [[nodiscard]] std::uint64_t sessions_completed() const {
+    return sessions_completed_;
+  }
+  [[nodiscard]] const std::string& checkpoint_path() const {
+    return checkpoint_path_;
+  }
+
+ private:
+  std::uint64_t sessions_completed_;
+  std::string checkpoint_path_;
+};
+
+/// Hash of everything that defines the workload a checkpoint belongs to:
+/// seeds, catalog, arrivals, classes (label/weight/fault/retry and which
+/// factories are attached), watch model, cache config, session config,
+/// QoE config, full trace contents, and whether telemetry is collected.
+/// Deliberately EXCLUDES execution knobs that cannot change any output
+/// byte: threads, title_batch, checkpoint/resume/kill/throttle settings.
+/// Class factories themselves cannot be hashed — the label stands in for
+/// the scheme identity, so resuming with a different scheme under the same
+/// label is undetectable (documented sharp edge).
+[[nodiscard]] std::uint64_t fleet_spec_fingerprint(const FleetSpec& spec);
+
+/// Versioned snapshot of run_fleet progress. See the header comment for
+/// the determinism argument and the on-disk format.
+struct FleetCheckpoint {
+  static constexpr std::uint32_t kVersion = 1;
+
+  std::uint64_t spec_fingerprint = 0;
+  std::uint64_t num_sessions = 0;  ///< Total sessions of the run.
+  std::uint64_t num_titles = 0;
+  std::uint64_t max_tracks = 0;
+  std::uint64_t sessions_done = 0;
+
+  /// Progress of one title that has at least one completed session. A
+  /// title's sessions run serially in arrival order, so `done` fully
+  /// locates the resume point within it.
+  struct TitleState {
+    std::uint64_t index = 0;
+    std::uint64_t done = 0;   ///< Completed sessions of this title.
+    std::uint64_t total = 0;  ///< All sessions of this title.
+    EdgeCacheStats stats;     ///< Shard stats at capture time.
+    /// In-progress titles with the cache model on carry their live shard
+    /// contents (MRU-first); completed titles only need `stats`.
+    bool has_shard = false;
+    std::vector<EdgeCacheEntrySnapshot> shard_entries;
+    std::vector<std::uint64_t> track_hits;   ///< Sized to max_tracks.
+    std::vector<std::uint64_t> track_total;  ///< Sized to max_tracks.
+  };
+  std::vector<TitleState> titles;
+
+  /// One completed session: its record plus its private telemetry (events
+  /// and metrics registry), exactly as the post-join fold will consume
+  /// them. Present only for the telemetry streams the spec collects.
+  struct SessionState {
+    FleetSessionRecord record;
+    bool has_events = false;
+    std::vector<obs::DecisionEvent> events;
+    bool has_metrics = false;
+    obs::MetricsRegistry metrics;
+  };
+  std::vector<SessionState> sessions;  ///< Session-id order.
+
+  /// Atomically writes the checkpoint: temp file + fsync + rename +
+  /// directory fsync. Throws std::system_error (carrying errno) on any
+  /// I/O failure — a checkpoint that silently failed to persist is worse
+  /// than none.
+  void save(const std::string& path) const;
+
+  /// Loads and fully validates a checkpoint file. Throws CheckpointError
+  /// naming the problem (magic, version, truncation, trailer checksum,
+  /// malformed field); throws std::system_error when the file cannot be
+  /// opened or read.
+  [[nodiscard]] static FleetCheckpoint load(const std::string& path);
+};
+
+}  // namespace vbr::fleet

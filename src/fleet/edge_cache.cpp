@@ -1,5 +1,6 @@
 #include "fleet/edge_cache.h"
 
+#include <iterator>
 #include <stdexcept>
 
 namespace vbr::fleet {
@@ -83,6 +84,51 @@ void EdgeCache::admit(const ObjectKey& key, double size_bits) {
 
 bool EdgeCache::contains(const ObjectKey& key) const {
   return index_.find(pack(key)) != index_.end();
+}
+
+std::vector<EdgeCacheEntrySnapshot> EdgeCache::snapshot() const {
+  std::vector<EdgeCacheEntrySnapshot> out;
+  out.reserve(lru_.size());
+  for (const Entry& e : lru_) {  // front = MRU, so snapshot is MRU-first
+    EdgeCacheEntrySnapshot snap;
+    snap.title = static_cast<std::uint32_t>(e.key >> 44);
+    snap.track = static_cast<std::uint32_t>((e.key >> 36) & 0xFFu);
+    snap.chunk = e.key & ((1ULL << 36) - 1);
+    snap.bits = e.bits;
+    out.push_back(snap);
+  }
+  return out;
+}
+
+void EdgeCache::restore(const std::vector<EdgeCacheEntrySnapshot>& entries,
+                        const EdgeCacheStats& stats) {
+  if (!index_.empty()) {
+    throw std::invalid_argument(
+        "EdgeCache::restore: cache must be empty before restore");
+  }
+  // The snapshot is MRU-first; rebuilding by push_back preserves that
+  // order exactly (front stays most recently used).
+  double total = 0.0;
+  for (const EdgeCacheEntrySnapshot& snap : entries) {
+    if (!(snap.bits > 0.0)) {
+      throw std::invalid_argument(
+          "EdgeCache::restore: non-positive entry size");
+    }
+    total += snap.bits;
+    if (total > config_.capacity_bits) {
+      throw std::invalid_argument(
+          "EdgeCache::restore: entries exceed capacity");
+    }
+    const std::uint64_t packed =
+        pack(ObjectKey{snap.title, snap.track, snap.chunk});
+    if (index_.count(packed) != 0) {
+      throw std::invalid_argument("EdgeCache::restore: duplicate entry");
+    }
+    lru_.push_back(Entry{packed, snap.bits});
+    index_.emplace(packed, std::prev(lru_.end()));
+  }
+  used_bits_ = total;
+  stats_ = stats;
 }
 
 void EdgeCache::evict_lru() {

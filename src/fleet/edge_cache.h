@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <list>
 #include <unordered_map>
+#include <vector>
 
 #include "sim/session.h"
 #include "video/video.h"
@@ -79,6 +80,15 @@ struct EdgeCacheStats {
   void merge(const EdgeCacheStats& other);
 };
 
+/// One cached object as serialized into a fleet checkpoint: the unpacked
+/// key plus its size. Snapshots are ordered most-recently-used first.
+struct EdgeCacheEntrySnapshot {
+  std::uint32_t title = 0;
+  std::uint32_t track = 0;
+  std::uint64_t chunk = 0;
+  double bits = 0.0;
+};
+
 /// Byte-capacity LRU with size-aware admission. Deterministic: behaviour is
 /// a pure function of the operation sequence.
 class EdgeCache {
@@ -99,6 +109,16 @@ class EdgeCache {
   void admit(const ObjectKey& key, double size_bits);
 
   [[nodiscard]] bool contains(const ObjectKey& key) const;
+
+  /// Full cache contents, most-recently-used first (checkpoint capture).
+  [[nodiscard]] std::vector<EdgeCacheEntrySnapshot> snapshot() const;
+
+  /// Rebuilds contents and stats from a snapshot (checkpoint resume). The
+  /// cache must be freshly constructed and empty; entries must fit within
+  /// capacity. Throws std::invalid_argument otherwise.
+  void restore(const std::vector<EdgeCacheEntrySnapshot>& entries,
+               const EdgeCacheStats& stats);
+
   [[nodiscard]] double used_bits() const { return used_bits_; }
   [[nodiscard]] std::size_t num_objects() const { return index_.size(); }
   [[nodiscard]] const EdgeCacheConfig& config() const { return config_; }

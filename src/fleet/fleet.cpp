@@ -2,13 +2,20 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
+#include <condition_variable>
+#include <cstdio>
+#include <exception>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <ostream>
 #include <stdexcept>
 #include <thread>
 
 #include "core/complexity_classifier.h"
+#include "fleet/checkpoint.h"
 #include "fleet/rng.h"
 #include "metrics/stats.h"
 #include "obs/json_util.h"
@@ -33,6 +40,136 @@ struct SessionDraw {
   double watch_s = 0.0;  ///< 0 = watches to the end.
 };
 
+/// Session-boundary barrier for checkpoints and cooperative kills.
+///
+/// Workers call on_session_complete() after every session. When a
+/// checkpoint (or kill) is due, every active worker parks here; the last
+/// arriver — or a worker exiting while the rest are parked — serializes the
+/// shared state and releases everyone. Because all workers sit at session
+/// boundaries during the snapshot, it can never observe a half-run session,
+/// and the mutex hand-off makes each worker's plain writes (done counts,
+/// shard contents, records) visible to the snapshotting thread.
+class CheckpointCoordinator {
+ public:
+  CheckpointCoordinator(unsigned workers, bool have_path,
+                        std::uint64_t every, std::uint64_t kill_after,
+                        std::uint64_t initial_done,
+                        std::function<void(std::uint64_t)> save_fn)
+      : active_(workers),
+        have_path_(have_path),
+        every_(every),
+        kill_after_(kill_after),
+        done_(initial_done),
+        save_fn_(std::move(save_fn)) {
+    if (have_path_ && every_ > 0) {
+      next_at_ = (done_ / every_ + 1) * every_;
+    }
+  }
+
+  [[nodiscard]] bool stopping() const {
+    return stop_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool killed() const { return killed_.load(); }
+  [[nodiscard]] std::uint64_t sessions_done() {
+    std::lock_guard<std::mutex> g(mu_);
+    return done_;
+  }
+
+  void on_session_complete() {
+    std::unique_lock<std::mutex> lk(mu_);
+    ++done_;
+    if (kill_after_ > 0 && !killed_.load() && done_ >= kill_after_) {
+      kill_pending_ = true;
+    }
+    if (kill_pending_ ||
+        (have_path_ && every_ > 0 && done_ >= next_at_)) {
+      request_ = true;
+    }
+    if (!request_) {
+      return;
+    }
+    ++paused_;
+    if (paused_ == active_) {
+      perform();
+    } else {
+      const std::uint64_t g = gen_;
+      cv_.wait(lk, [&] { return gen_ != g; });
+    }
+  }
+
+  void worker_exit() {
+    std::unique_lock<std::mutex> lk(mu_);
+    --active_;
+    if (request_ && active_ > 0 && paused_ == active_) {
+      // The exiting worker became the effective last arriver: it must run
+      // the snapshot, or the parked workers wait forever.
+      perform();
+    } else if (request_ && active_ == 0) {
+      release();  // defensive: never strand a waiter
+    }
+  }
+
+ private:
+  /// Runs the snapshot under the lock, then releases the barrier. On a save
+  /// failure the barrier is still released (and the fleet stopped) before
+  /// the error propagates — a full disk must surface as one clean
+  /// std::system_error from run_fleet, not a deadlocked worker pool.
+  void perform() {
+    if (have_path_) {
+      try {
+        save_fn_(done_);
+      } catch (...) {
+        stop_.store(true);
+        release();
+        throw;
+      }
+    }
+    if (kill_pending_) {
+      killed_.store(true);
+      stop_.store(true);
+    }
+    if (every_ > 0) {
+      while (next_at_ <= done_) {
+        next_at_ += every_;
+      }
+    }
+    release();
+  }
+
+  void release() {
+    request_ = false;
+    kill_pending_ = false;
+    paused_ = 0;
+    ++gen_;
+    cv_.notify_all();
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  unsigned active_;
+  unsigned paused_ = 0;
+  bool have_path_;
+  std::uint64_t every_;
+  std::uint64_t kill_after_;
+  std::uint64_t done_;
+  std::uint64_t next_at_ = 0;
+  bool request_ = false;
+  bool kill_pending_ = false;
+  std::uint64_t gen_ = 0;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> killed_{false};
+  std::function<void(std::uint64_t)> save_fn_;
+};
+
+[[nodiscard]] bool file_exists(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return false;
+  }
+  std::fclose(f);
+  return true;
+}
+
 }  // namespace
 
 void WatchConfig::validate() const {
@@ -48,68 +185,92 @@ void WatchConfig::validate() const {
   }
 }
 
-FleetResult run_fleet(const FleetSpec& spec) {
-  spec.catalog.validate();
-  spec.arrivals.validate();
-  spec.watch.validate();
-  if (spec.use_cache) {
-    spec.cache.validate();
+void FleetSpec::validate() const {
+  catalog.validate();
+  arrivals.validate();
+  watch.validate();
+  if (use_cache) {
+    cache.validate();
   }
-  if (spec.classes.empty()) {
-    throw std::invalid_argument("run_fleet: no client classes");
+  if (classes.empty()) {
+    throw std::invalid_argument(
+        "FleetSpec.classes: empty — at least one client class is required");
   }
-  double total_weight = 0.0;
-  for (const FleetClientClass& c : spec.classes) {
+  for (std::size_t i = 0; i < classes.size(); ++i) {
+    const FleetClientClass& c = classes[i];
+    const std::string who = "FleetSpec.classes[" + std::to_string(i) + "]";
     if (!c.make_scheme) {
-      throw std::invalid_argument("run_fleet: class without make_scheme");
+      throw std::invalid_argument(who + ".make_scheme: missing scheme "
+                                        "factory");
     }
     if (!(c.weight > 0.0)) {
-      throw std::invalid_argument("run_fleet: class weight must be > 0");
+      throw std::invalid_argument(
+          who + ".weight: must be > 0 (got " + std::to_string(c.weight) +
+          ")");
     }
     c.fault.validate();
     if (c.fault.any()) {
       c.retry.validate();
     }
-    total_weight += c.weight;
   }
-  if (spec.traces.empty()) {
-    throw std::invalid_argument("run_fleet: no traces");
-  }
-  if (spec.threads > sim::kMaxThreads) {
-    throw std::invalid_argument("run_fleet: threads exceeds kMaxThreads (" +
-                                std::to_string(sim::kMaxThreads) + ")");
-  }
-  if (spec.session.trace != nullptr || spec.session.metrics != nullptr) {
+  if (traces.empty()) {
     throw std::invalid_argument(
-        "run_fleet: wire telemetry through FleetSpec::trace/metrics — "
-        "session sinks are not thread-safe");
+        "FleetSpec.traces: empty — sessions need at least one network "
+        "trace");
   }
-  if (spec.session.size_provider != nullptr) {
+  if (title_batch == 0) {
     throw std::invalid_argument(
-        "run_fleet: size knowledge is per client class "
-        "(FleetClientClass::make_size_provider), not the shared session "
-        "config");
+        "FleetSpec.title_batch: must be >= 1 (titles are claimed in "
+        "batches)");
   }
-  if (spec.session.download_hook != nullptr) {
+  if (threads > sim::kMaxThreads) {
     throw std::invalid_argument(
-        "run_fleet: the delivery path is owned by the fleet cache model; "
-        "configure FleetSpec::cache instead of a session hook");
+        "FleetSpec.threads: exceeds kMaxThreads (" +
+        std::to_string(sim::kMaxThreads) + ")");
   }
-  sim::validate_session_config(spec.session, "run_fleet");
+  if (session.trace != nullptr || session.metrics != nullptr) {
+    throw std::invalid_argument(
+        "FleetSpec.session.trace/metrics: wire telemetry through "
+        "FleetSpec::trace/metrics — session sinks are not thread-safe");
+  }
+  if (session.size_provider != nullptr) {
+    throw std::invalid_argument(
+        "FleetSpec.session.size_provider: size knowledge is per client "
+        "class (FleetClientClass::make_size_provider), not the shared "
+        "session config");
+  }
+  if (session.download_hook != nullptr) {
+    throw std::invalid_argument(
+        "FleetSpec.session.download_hook: the delivery path is owned by "
+        "the fleet cache model; configure FleetSpec::cache instead");
+  }
+  sim::validate_session_config(session, "FleetSpec.session");
+  if (resume && checkpoint_path.empty()) {
+    throw std::invalid_argument(
+        "FleetSpec.resume: set checkpoint_path to resume from");
+  }
+}
+
+FleetResult run_fleet(const FleetSpec& spec) {
+  spec.validate();
 
   const Catalog catalog(spec.catalog);
   const std::size_t num_titles = catalog.num_titles();
   const std::vector<double> arrivals = generate_arrivals(spec.arrivals);
   if (arrivals.empty()) {
     throw std::invalid_argument(
-        "run_fleet: arrival process yielded zero sessions (raise the rate, "
-        "the horizon, or max_sessions)");
+        "FleetSpec.arrivals: the arrival process yielded zero sessions "
+        "(raise the rate, the horizon, or max_sessions)");
   }
   const std::size_t n = arrivals.size();
 
   // Per-session workload draws, all up front, all counter-based.
   const ZipfSampler zipf(num_titles, spec.catalog.zipf_alpha,
                          detail::derive_seed(spec.seed, 0, kSaltZipf));
+  double total_weight = 0.0;
+  for (const FleetClientClass& c : spec.classes) {
+    total_weight += c.weight;
+  }
   std::vector<SessionDraw> draws(n);
   std::vector<std::vector<std::size_t>> by_title(num_titles);
   for (std::size_t i = 0; i < n; ++i) {
@@ -157,8 +318,11 @@ FleetResult run_fleet(const FleetSpec& spec) {
     max_tracks = std::max(max_tracks, catalog.title(k).num_tracks());
   }
 
-  // Worker-owned per-title aggregates: each row is written only by the
-  // worker that claimed the title, then folded in title order.
+  // Shared progress + per-title state. Each row is written only by the
+  // worker that owns the title; cross-thread reads happen exclusively at
+  // the checkpoint barrier (all writers parked, mutex hand-off).
+  std::vector<std::size_t> done_in_title(num_titles, 0);
+  std::vector<std::unique_ptr<EdgeCache>> shards(num_titles);
   std::vector<EdgeCacheStats> shard_stats(num_titles);
   std::vector<std::vector<std::uint64_t>> track_hits(
       num_titles, std::vector<std::uint64_t>(max_tracks, 0));
@@ -172,16 +336,165 @@ FleetResult run_fleet(const FleetSpec& spec) {
         spec.cache.capacity_bits / static_cast<double>(num_titles);
   }
 
+  const bool crash_safety_on = !spec.checkpoint_path.empty() ||
+                               spec.kill.after_sessions > 0 || spec.resume;
+  const std::uint64_t fp =
+      crash_safety_on ? fleet_spec_fingerprint(spec) : 0;
+
+  // Resume: restore per-title progress, shard contents, records, and
+  // telemetry from the checkpoint, then let the workers run only what is
+  // left. An absent file is a fresh run (so one flag drives every
+  // iteration of a kill/resume loop); a stale or damaged file is an error.
+  std::uint64_t initial_done = 0;
+  if (spec.resume && file_exists(spec.checkpoint_path)) {
+    const FleetCheckpoint ck = FleetCheckpoint::load(spec.checkpoint_path);
+    if (ck.spec_fingerprint != fp) {
+      throw CheckpointError(
+          "checkpoint: spec fingerprint mismatch — this checkpoint belongs "
+          "to a different workload (stale checkpoint)");
+    }
+    if (ck.num_sessions != n || ck.num_titles != num_titles ||
+        ck.max_tracks != max_tracks) {
+      throw CheckpointError(
+          "checkpoint: geometry mismatch (sessions/titles/tracks)");
+    }
+    for (const FleetCheckpoint::TitleState& ts : ck.titles) {
+      const std::size_t k = static_cast<std::size_t>(ts.index);
+      if (ts.total != by_title[k].size()) {
+        throw CheckpointError(
+            "checkpoint: per-title session count mismatch");
+      }
+      done_in_title[k] = static_cast<std::size_t>(ts.done);
+      track_hits[k] = ts.track_hits;
+      track_total[k] = ts.track_total;
+      if (ts.done == ts.total) {
+        shard_stats[k] = ts.stats;
+      } else if (spec.use_cache) {
+        if (!ts.has_shard) {
+          throw CheckpointError(
+              "checkpoint: in-progress title is missing its shard "
+              "snapshot");
+        }
+        shards[k] = std::make_unique<EdgeCache>(shard_cfg);
+        try {
+          shards[k]->restore(ts.shard_entries, ts.stats);
+        } catch (const std::invalid_argument& e) {
+          throw CheckpointError(
+              std::string("checkpoint: bad shard snapshot: ") + e.what());
+        }
+      }
+      initial_done += ts.done;
+    }
+    if (initial_done != ck.sessions_done ||
+        ck.sessions.size() != initial_done) {
+      throw CheckpointError(
+          "checkpoint: session count inconsistent with per-title "
+          "progress");
+    }
+    for (const FleetCheckpoint::SessionState& ss : ck.sessions) {
+      const std::size_t sid = static_cast<std::size_t>(ss.record.session_id);
+      if (spec.trace != nullptr) {
+        if (!ss.has_events) {
+          throw CheckpointError(
+              "checkpoint: session is missing its event stream");
+        }
+        sinks[sid] = std::make_unique<obs::MemoryTraceSink>();
+        for (const obs::DecisionEvent& ev : ss.events) {
+          sinks[sid]->on_decision(ev);
+        }
+      }
+      if (spec.metrics != nullptr) {
+        if (!ss.has_metrics) {
+          throw CheckpointError(
+              "checkpoint: session is missing its metrics registry");
+        }
+        registries[sid] =
+            std::make_unique<obs::MetricsRegistry>(ss.metrics);
+      }
+      result.sessions[sid] = ss.record;
+    }
+  }
+
   const sim::EstimatorFactory default_estimator =
       sim::default_estimator_factory();
 
   const unsigned threads =
       spec.threads > 0 ? spec.threads
                        : std::max(1u, std::thread::hardware_concurrency());
-  const std::size_t title_batch =
-      spec.title_batch > 0 ? spec.title_batch : 4;
+  const std::size_t title_batch = spec.title_batch;
+
+  // Snapshot closure: runs only at the coordinator barrier, when every
+  // worker is parked at a session boundary.
+  auto save_checkpoint = [&](std::uint64_t sessions_done_now) {
+    FleetCheckpoint ck;
+    ck.spec_fingerprint = fp;
+    ck.num_sessions = n;
+    ck.num_titles = num_titles;
+    ck.max_tracks = max_tracks;
+    ck.sessions_done = sessions_done_now;
+    std::vector<std::size_t> done_sids;
+    done_sids.reserve(sessions_done_now);
+    for (std::size_t k = 0; k < num_titles; ++k) {
+      const std::size_t dk = done_in_title[k];
+      if (dk == 0) {
+        continue;
+      }
+      FleetCheckpoint::TitleState ts;
+      ts.index = k;
+      ts.done = dk;
+      ts.total = by_title[k].size();
+      ts.track_hits = track_hits[k];
+      ts.track_total = track_total[k];
+      if (shards[k]) {
+        ts.stats = shards[k]->stats();
+        if (dk < by_title[k].size()) {
+          ts.has_shard = true;
+          ts.shard_entries = shards[k]->snapshot();
+        }
+      } else {
+        ts.stats = shard_stats[k];
+      }
+      ck.titles.push_back(std::move(ts));
+      for (std::size_t idx = 0; idx < dk; ++idx) {
+        done_sids.push_back(by_title[k][idx]);
+      }
+    }
+    std::sort(done_sids.begin(), done_sids.end());
+    ck.sessions.reserve(done_sids.size());
+    for (const std::size_t sid : done_sids) {
+      FleetCheckpoint::SessionState ss;
+      ss.record = result.sessions[sid];
+      if (spec.trace != nullptr && sinks[sid]) {
+        ss.has_events = true;
+        ss.events.assign(sinks[sid]->events().begin(),
+                         sinks[sid]->events().end());
+      }
+      if (spec.metrics != nullptr && registries[sid]) {
+        ss.has_metrics = true;
+        ss.metrics = *registries[sid];
+      }
+      ck.sessions.push_back(std::move(ss));
+    }
+    ck.save(spec.checkpoint_path);
+  };
+
+  CheckpointCoordinator coord(threads, !spec.checkpoint_path.empty(),
+                              spec.checkpoint_every,
+                              spec.kill.after_sessions, initial_done,
+                              save_checkpoint);
+
   std::atomic<std::size_t> next{0};
   std::atomic<bool> failed{false};
+  std::mutex err_mu;
+  std::exception_ptr first_error;
+  const auto record_error = [&](std::exception_ptr e) {
+    std::lock_guard<std::mutex> g(err_mu);
+    if (!first_error) {
+      first_error = e;
+    }
+    failed.store(true);
+  };
+
   std::vector<std::thread> workers;
   workers.reserve(threads);
   for (unsigned w = 0; w < threads; ++w) {
@@ -201,13 +514,17 @@ FleetResult run_fleet(const FleetSpec& spec) {
           // of titles. Folds are in title/session order, so the batch size
           // cannot influence any result byte.
           const std::size_t base = next.fetch_add(title_batch);
-          if (base >= num_titles || failed.load()) {
-            return;
+          if (base >= num_titles || failed.load() || coord.stopping()) {
+            break;
           }
           const std::size_t limit = std::min(num_titles, base + title_batch);
           for (std::size_t k = base; k < limit; ++k) {
+            if (failed.load() || coord.stopping()) {
+              break;
+            }
             const std::vector<std::size_t>& ids = by_title[k];
-            if (ids.empty()) {
+            // Resumed-complete titles (and unplayed ones) need no work.
+            if (ids.empty() || done_in_title[k] >= ids.size()) {
               continue;
             }
             const video::Video& title_video = catalog.title(k);
@@ -217,18 +534,23 @@ FleetResult run_fleet(const FleetSpec& spec) {
             qoe.top_class = classifier.num_classes() - 1;
 
             // One cache shard per title; its sessions run serially in
-            // arrival order, so shard state is schedule-independent.
-            std::unique_ptr<EdgeCache> shard;
+            // arrival order, so shard state is schedule-independent. A
+            // resumed in-progress title arrives here with its shard
+            // already restored from the checkpoint.
             std::unique_ptr<EdgeCachePath> path;
             if (spec.use_cache) {
-              shard = std::make_unique<EdgeCache>(shard_cfg);
-              // The path adapter is stateless per session (cache + title id),
-              // so one instance serves every session of the title.
+              if (!shards[k]) {
+                shards[k] = std::make_unique<EdgeCache>(shard_cfg);
+              }
+              // The path adapter is stateless per session (cache + title
+              // id), so one instance serves every session of the title.
               path = std::make_unique<EdgeCachePath>(
-                  *shard, static_cast<std::uint32_t>(k));
+                  *shards[k], static_cast<std::uint32_t>(k));
             }
 
-            for (const std::size_t sid : ids) {
+            for (std::size_t idx = done_in_title[k]; idx < ids.size();
+                 ++idx) {
+              const std::size_t sid = ids[idx];
               const SessionDraw& d = draws[sid];
               const FleetClientClass& cls = spec.classes[d.cls];
               if (!class_schemes[d.cls]) {
@@ -237,7 +559,8 @@ FleetResult run_fleet(const FleetSpec& spec) {
               abr::AbrScheme& scheme = *class_schemes[d.cls];
               const std::unique_ptr<net::BandwidthEstimator> estimator =
                   (cls.make_estimator ? cls.make_estimator
-                                      : default_estimator)(spec.traces[d.trace]);
+                                      : default_estimator)(
+                      spec.traces[d.trace]);
               if (cls.make_size_provider && !class_providers[d.cls]) {
                 class_providers[d.cls] = cls.make_size_provider();
               }
@@ -282,6 +605,7 @@ FleetResult run_fleet(const FleetSpec& spec) {
               rec.watch_duration_s = d.watch_s;
               rec.faults = sr.fault_summary();
               rec.chunks = sr.chunks.size();
+              rec.watchdog_aborted = sr.watchdog_aborted;
               for (const sim::ChunkRecord& c : sr.chunks) {
                 if (c.skipped) {
                   continue;
@@ -309,20 +633,40 @@ FleetResult run_fleet(const FleetSpec& spec) {
                                                sr.startup_delay_s, qoe);
               }
               result.sessions[sid] = std::move(rec);
+              done_in_title[k] = idx + 1;
+
+              if (spec.throttle_us > 0) {
+                // Chaos aid only: stretches wall time so an external
+                // SIGKILL can land mid-run. Nothing downstream reads the
+                // wall clock, so this cannot change any output byte.
+                std::this_thread::sleep_for(
+                    std::chrono::microseconds(spec.throttle_us));
+              }
+              coord.on_session_complete();
+              if (failed.load() || coord.stopping()) {
+                break;
+              }
             }
-            if (shard) {
-              shard_stats[k] = shard->stats();
+            if (done_in_title[k] == ids.size() && shards[k]) {
+              shard_stats[k] = shards[k]->stats();
+              shards[k].reset();  // bound memory: the shard is folded
             }
           }
         }
       } catch (...) {
-        failed.store(true);
-        throw;  // fleet bugs are fatal, as in run_experiment
+        record_error(std::current_exception());
       }
+      coord.worker_exit();
     });
   }
   for (std::thread& w : workers) {
     w.join();
+  }
+  if (first_error) {
+    std::rethrow_exception(first_error);
+  }
+  if (coord.killed()) {
+    throw FleetKilled(coord.sessions_done(), spec.checkpoint_path);
   }
 
   // Deterministic folds: title order for shard aggregates, session order
@@ -373,6 +717,9 @@ FleetResult run_fleet(const FleetSpec& spec) {
   for (const FleetSessionRecord& rec : result.sessions) {
     result.edge_hit_bits += rec.edge_hit_bits;
     result.origin_bits += rec.origin_bits;
+    if (rec.watchdog_aborted) {
+      ++result.watchdog_aborted_sessions;
+    }
     session_quality.push_back(rec.qoe.all_quality_mean);
     session_bits.push_back(rec.qoe.data_usage_mb);
     FleetSchemeReport& cr = result.per_class[rec.class_index];
@@ -433,6 +780,8 @@ void FleetResult::write_json(std::ostream& out) const {
   s.reserve(1024);
   s += "{\"sessions\":";
   append_uint(s, sessions.size());
+  s += ",\"watchdog_aborted\":";
+  append_uint(s, watchdog_aborted_sessions);
   s += ",\"cache\":{\"enabled\":";
   s += cache_enabled ? "true" : "false";
   s += ",\"lookups\":";

@@ -68,6 +68,21 @@ struct WatchConfig {
   void validate() const;
 };
 
+/// Cooperative in-process kill: the chaos harness's way of aborting a
+/// fleet mid-run at a session boundary. When `after_sessions` completed
+/// sessions have been counted, every worker parks at its next session
+/// boundary, a final checkpoint is written (when checkpointing is on), and
+/// run_fleet throws FleetKilled. 0 = never fires.
+struct KillSchedule {
+  std::uint64_t after_sessions = 0;
+
+  /// A seeded random kill point in [1, num_sessions] — `round` varies the
+  /// draw so a soak loop kills somewhere new each iteration.
+  [[nodiscard]] static KillSchedule random(std::uint64_t seed,
+                                           std::uint64_t round,
+                                           std::uint64_t num_sessions);
+};
+
 /// Declarative description of a whole fleet run.
 struct FleetSpec {
   CatalogConfig catalog;
@@ -98,8 +113,8 @@ struct FleetSpec {
   /// amortizes the claim (and the per-worker warm-up of reusable schemes /
   /// providers) across several titles; it cannot affect results, because
   /// every fold is in title/session order regardless of who ran what.
-  /// 0 = auto (currently 4).
-  std::size_t title_batch = 0;
+  /// Must be >= 1 (validated).
+  std::size_t title_batch = 4;
   /// Master workload seed: drives the per-session draws (title, class,
   /// trace, watch duration). Independent of catalog.seed (content) and
   /// arrivals.seed (timing).
@@ -109,6 +124,32 @@ struct FleetSpec {
   /// discipline as ExperimentSpec.
   obs::TraceSink* trace = nullptr;
   obs::MetricsRegistry* metrics = nullptr;
+
+  // --- Crash safety (see fleet/checkpoint.h) ---------------------------
+  /// Checkpoint file; empty = checkpointing off. Written atomically
+  /// (temp + rename) at the periodic barrier and when a kill fires.
+  std::string checkpoint_path;
+  /// Completed sessions between periodic checkpoints. 0 = no periodic
+  /// checkpoints (a kill still writes a final one when a path is set).
+  std::uint64_t checkpoint_every = 64;
+  /// Resume from `checkpoint_path` when that file exists (absent file =
+  /// fresh run, so one flag serves every iteration of a kill/resume loop).
+  /// The checkpoint's spec fingerprint must match this spec; a stale or
+  /// corrupt file is rejected with a CheckpointError.
+  bool resume = false;
+  /// Cooperative chaos kill (0 = off).
+  KillSchedule kill;
+  /// Wall-clock sleep per completed session, microseconds. Purely a chaos
+  /// aid: it stretches a run so an external SIGKILL can land mid-flight,
+  /// and cannot affect any output byte (nothing reads the wall clock).
+  std::uint64_t throttle_us = 0;
+
+  /// Validates the whole spec with field-named errors ("FleetSpec.<field>:
+  /// ..."): empty class list, zero/negative mix weights, missing scheme
+  /// factories, zero title_batch, empty trace set, thread cap, misplaced
+  /// session sinks, and every nested config's own validate(). run_fleet
+  /// calls this first; call it directly to fail fast before a long setup.
+  void validate() const;
 };
 
 /// Outcome of one fleet session, in arrival order.
@@ -125,6 +166,7 @@ struct FleetSessionRecord {
   std::size_t edge_hits = 0;   ///< Delivered chunks served from the edge.
   double edge_hit_bits = 0.0;  ///< Bytes of delivered chunks served at edge.
   double origin_bits = 0.0;    ///< Bytes of delivered chunks from origin.
+  bool watchdog_aborted = false;  ///< Session hit a watchdog budget.
 };
 
 /// Per-class QoE aggregate (the "QoE distribution per scheme" view).
@@ -159,13 +201,20 @@ struct FleetResult {
   double jain_quality = 0.0;  ///< Over per-session mean delivered quality.
   double jain_bits = 0.0;     ///< Over per-session data usage.
 
+  /// Sessions aborted by the per-session watchdog (counted, not hidden:
+  /// a pathological session is a result, not a hang).
+  std::uint64_t watchdog_aborted_sessions = 0;
+
   /// Serializes the fleet report (cache + fairness + per-class QoE) as one
   /// JSON object, byte-deterministic (obs json_util writers).
   void write_json(std::ostream& out) const;
 };
 
 /// Runs the whole fleet. Throws std::invalid_argument on a malformed spec
-/// or an arrival config that yields zero sessions.
+/// or an arrival config that yields zero sessions; CheckpointError on a
+/// stale/corrupt resume checkpoint; std::system_error on checkpoint I/O
+/// failure; FleetKilled when the kill schedule fires (both defined in
+/// fleet/checkpoint.h).
 [[nodiscard]] FleetResult run_fleet(const FleetSpec& spec);
 
 }  // namespace vbr::fleet

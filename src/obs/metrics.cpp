@@ -56,6 +56,20 @@ void Histogram::merge(const Histogram& other) {
   wall_clock_ = wall_clock_ || other.wall_clock_;
 }
 
+void Histogram::restore(const std::vector<std::uint64_t>& counts,
+                        std::uint64_t count, double sum, double min,
+                        double max) {
+  if (counts.size() != counts_.size()) {
+    throw std::invalid_argument(
+        "Histogram::restore: counts size does not match bucket layout");
+  }
+  counts_ = counts;
+  count_ = count;
+  sum_ = sum;
+  min_ = min;
+  max_ = max;
+}
+
 Counter& MetricsRegistry::counter(const std::string& name) {
   if (gauges_.count(name) != 0 || histograms_.count(name) != 0) {
     throw std::invalid_argument("MetricsRegistry: '" + name +

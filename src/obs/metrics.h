@@ -78,6 +78,13 @@ class Histogram {
   /// on mismatched bucket boundaries.
   void merge(const Histogram& other);
 
+  /// Overwrites the accumulated state wholesale (checkpoint reload). The
+  /// bucket boundaries are not part of the state — they come from the
+  /// constructor — so `counts` must have bounds().size() + 1 entries;
+  /// throws std::invalid_argument otherwise.
+  void restore(const std::vector<std::uint64_t>& counts, std::uint64_t count,
+               double sum, double min, double max);
+
  private:
   std::vector<double> bounds_;
   std::vector<std::uint64_t> counts_;  ///< bounds_.size() + 1 entries.

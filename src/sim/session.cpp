@@ -67,6 +67,9 @@ void validate_session_config(const SessionConfig& config,
   if (config.watch_duration_s < 0.0) {
     throw std::invalid_argument(who + ": negative watch duration");
   }
+  if (config.watchdog_max_sim_s < 0.0) {
+    throw std::invalid_argument(who + ": negative watchdog sim-time budget");
+  }
   config.fault.validate();
   if (config.fault.any()) {
     config.retry.validate();
@@ -124,6 +127,14 @@ SessionResult run_session(const video::Video& video, const net::Trace& trace,
   const double chunk_s = video.chunk_duration_s();
 
   for (std::size_t i = 0; i < total_chunks; ++i) {
+    // Watchdog: both budgets are pure functions of simulation state, so an
+    // over-budget session aborts at the same chunk on every replay.
+    if ((config.watchdog_max_decisions > 0 &&
+         static_cast<std::uint64_t>(i) >= config.watchdog_max_decisions) ||
+        (config.watchdog_max_sim_s > 0.0 && t >= config.watchdog_max_sim_s)) {
+      result.watchdog_aborted = true;
+      break;
+    }
     abr::StreamContext ctx;
     ctx.video = &video;
     ctx.next_chunk = i;

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "abr/scheme.h"
@@ -118,6 +119,16 @@ struct SessionConfig {
   /// DownloadPathHook).
   DownloadPathHook* download_hook = nullptr;
 
+  /// Per-session watchdog budgets (0 = off). A pathological combination of
+  /// scheme, trace, and fault model (endless waits, unbounded retries) must
+  /// not pin a fleet worker forever: when either budget is exceeded the
+  /// session stops fetching, keeps everything resolved so far, and flags
+  /// `SessionResult::watchdog_aborted`. Both budgets are measured in
+  /// simulation state (decision count, sim clock), never wall time, so an
+  /// aborted session aborts identically on every run at any thread count.
+  std::uint64_t watchdog_max_decisions = 0;  ///< Max chunk decisions taken.
+  double watchdog_max_sim_s = 0.0;           ///< Max simulated clock time.
+
   /// Fleet workload context stamped into telemetry events (run_fleet sets
   /// these; standalone sessions leave fleet_session false and their events
   /// omit the block).
@@ -175,6 +186,9 @@ struct SessionResult {
   double total_rebuffer_s = 0.0;
   double total_bits = 0.0;
   double end_time_s = 0.0;       ///< Wall-clock time of the last download.
+  /// The session hit a watchdog budget and stopped fetching early; the
+  /// chunks resolved before the abort are all present and final.
+  bool watchdog_aborted = false;
 
   /// Converts to the QoE layer's view using the given quality metric and
   /// per-position complexity classes. Skipped chunks were never played and

@@ -1,0 +1,397 @@
+// Crash-safe fleet checkpoints (fleet/checkpoint.h): kill-at-any-point
+// resume-to-byte-identical-output across thread counts, save/load
+// exactness, stale/corrupt checkpoint rejection with named errors, and
+// errno-carrying save failures.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <system_error>
+#include <vector>
+
+#include "abr/bba.h"
+#include "abr/scheme.h"
+#include "fleet/checkpoint.h"
+#include "fleet/fleet.h"
+#include "obs/jsonl_io.h"
+#include "obs/metrics.h"
+#include "obs/trace_sink.h"
+#include "test_util.h"
+
+namespace vbr {
+namespace {
+
+std::vector<net::Trace> two_traces() {
+  std::vector<net::Trace> traces;
+  traces.push_back(testutil::flat_trace(4e6, 600.0));
+  traces.push_back(testutil::flat_trace(1.5e6, 600.0));
+  return traces;
+}
+
+/// The checkpoint test fleet: ~40 mixed-scheme sessions over 6 titles with
+/// an eviction-prone cache, telemetry on, periodic checkpoints every 8
+/// sessions.
+fleet::FleetSpec ck_spec(const std::vector<net::Trace>& traces,
+                         const std::string& checkpoint_path) {
+  fleet::FleetSpec spec;
+  spec.catalog.num_titles = 6;
+  spec.catalog.title_duration_s = 40.0;
+  spec.arrivals.rate_per_s = 0.3;
+  spec.arrivals.horizon_s = 150.0;
+  spec.arrivals.max_sessions = 40;
+  spec.classes.resize(2);
+  spec.classes[0].label = "bba";
+  spec.classes[0].make_scheme = [] { return std::make_unique<abr::Bba>(); };
+  spec.classes[1].label = "fixed1";
+  spec.classes[1].make_scheme = [] {
+    return std::make_unique<abr::FixedTrackScheme>(1);
+  };
+  spec.traces = traces;
+  spec.cache.capacity_bits = 1.2e9;
+  spec.watch.full_watch_prob = 0.5;
+  spec.watch.mean_partial_s = 20.0;
+  spec.watch.min_watch_s = 4.0;
+  spec.session.startup_latency_s = 4.0;
+  spec.checkpoint_path = checkpoint_path;
+  spec.checkpoint_every = 8;
+  return spec;
+}
+
+/// Full serialized observation of one completed run: merged events,
+/// deterministic metrics fingerprint, report JSON, per-session table.
+std::string run_and_serialize(fleet::FleetSpec spec, unsigned threads) {
+  obs::MemoryTraceSink sink;
+  obs::MetricsRegistry registry;
+  spec.trace = &sink;
+  spec.metrics = &registry;
+  spec.threads = threads;
+  const fleet::FleetResult result = fleet::run_fleet(spec);
+
+  std::ostringstream out;
+  for (const obs::DecisionEvent& ev : sink.events()) {
+    out << obs::to_jsonl(ev) << '\n';
+  }
+  out << registry.deterministic_fingerprint() << '\n';
+  result.write_json(out);
+  for (const fleet::FleetSessionRecord& r : result.sessions) {
+    out << r.session_id << ' ' << r.arrival_s << ' ' << r.title << ' '
+        << r.class_index << ' ' << r.chunks << ' ' << r.edge_hits << ' '
+        << r.qoe.data_usage_mb << '\n';
+  }
+  return out.str();
+}
+
+/// Runs until the kill schedule fires; the final checkpoint lands on disk.
+void run_until_killed(fleet::FleetSpec spec, unsigned threads,
+                      std::uint64_t kill_after) {
+  obs::MemoryTraceSink sink;
+  obs::MetricsRegistry registry;
+  spec.trace = &sink;
+  spec.metrics = &registry;
+  spec.threads = threads;
+  spec.kill.after_sessions = kill_after;
+  try {
+    (void)fleet::run_fleet(spec);
+    FAIL() << "expected FleetKilled (kill_after=" << kill_after << ")";
+  } catch (const fleet::FleetKilled& k) {
+    EXPECT_GE(k.sessions_completed(), kill_after);
+    EXPECT_EQ(k.checkpoint_path(), spec.checkpoint_path);
+  }
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream(path, std::ios::binary) << bytes;
+}
+
+/// Appends the canonical "end <8hex>\n" trailer (the checksum covers the
+/// payload plus the "end " prefix, mirroring FleetCheckpoint::save).
+std::string with_trailer(std::string body) {
+  body += "end ";
+  const std::uint32_t crc = obs::line_checksum(body);
+  char hex[9];
+  std::snprintf(hex, sizeof hex, "%08x", crc);
+  body += hex;
+  body += '\n';
+  return body;
+}
+
+TEST(Checkpoint, KillAndResumeIsByteIdenticalAtAnyPointAndThreadCount) {
+  const std::vector<net::Trace> traces = two_traces();
+  const std::string golden =
+      run_and_serialize(ck_spec(traces, ""), 1);  // uninterrupted, no ckpt
+  ASSERT_GT(golden.size(), 1000u);
+
+  int case_id = 0;
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    for (const std::uint64_t kill_after : {std::uint64_t{1},
+                                           std::uint64_t{9},
+                                           std::uint64_t{25}}) {
+      const std::string path = testing::TempDir() + "ck_case_" +
+                               std::to_string(case_id++) + ".ckpt";
+      std::remove(path.c_str());
+      run_until_killed(ck_spec(traces, path), threads, kill_after);
+      fleet::FleetSpec resume = ck_spec(traces, path);
+      resume.resume = true;
+      EXPECT_EQ(run_and_serialize(resume, threads), golden)
+          << "threads=" << threads << " kill_after=" << kill_after;
+      std::remove(path.c_str());
+    }
+  }
+}
+
+TEST(Checkpoint, RepeatedKillsChainToTheSameGolden) {
+  // The soak pattern: kill, resume, kill again further in, resume again —
+  // each leg picks up from the last checkpoint and the final output still
+  // matches an uninterrupted run byte for byte.
+  const std::vector<net::Trace> traces = two_traces();
+  const std::string golden = run_and_serialize(ck_spec(traces, ""), 2);
+  const std::string path = testing::TempDir() + "ck_chain.ckpt";
+  std::remove(path.c_str());
+
+  run_until_killed(ck_spec(traces, path), 2, 4);
+  fleet::FleetSpec mid = ck_spec(traces, path);
+  mid.resume = true;
+  run_until_killed(mid, 8, 17);
+  fleet::FleetSpec last = ck_spec(traces, path);
+  last.resume = true;
+  run_until_killed(last, 1, 29);
+
+  fleet::FleetSpec fin = ck_spec(traces, path);
+  fin.resume = true;
+  EXPECT_EQ(run_and_serialize(fin, 2), golden);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, ResumeWithAbsentFileIsAFreshRun) {
+  // One flag serves every iteration of a kill/resume loop: when the
+  // checkpoint file does not exist yet, --resume is a plain fresh run.
+  const std::vector<net::Trace> traces = two_traces();
+  const std::string path = testing::TempDir() + "ck_absent.ckpt";
+  std::remove(path.c_str());
+  fleet::FleetSpec spec = ck_spec(traces, path);
+  spec.resume = true;
+  const std::string out = run_and_serialize(spec, 2);
+  EXPECT_EQ(out, run_and_serialize(ck_spec(traces, ""), 2));
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, SaveLoadSaveIsByteExact) {
+  // load() is an exact inverse of save(): re-serializing a loaded
+  // checkpoint reproduces the file byte for byte (doubles are shortest
+  // round-trip, telemetry lines are canonical).
+  const std::vector<net::Trace> traces = two_traces();
+  const std::string path = testing::TempDir() + "ck_roundtrip.ckpt";
+  std::remove(path.c_str());
+  run_until_killed(ck_spec(traces, path), 2, 13);
+
+  const fleet::FleetCheckpoint ck = fleet::FleetCheckpoint::load(path);
+  EXPECT_GT(ck.num_sessions, 13u);  // rate x horizon yields ~37 arrivals
+  EXPECT_GE(ck.sessions_done, 13u);
+  EXPECT_EQ(ck.sessions.size(), ck.sessions_done);
+
+  const std::string copy = path + ".copy";
+  ck.save(copy);
+  EXPECT_EQ(read_file(copy), read_file(path));
+  std::remove(path.c_str());
+  std::remove(copy.c_str());
+}
+
+TEST(Checkpoint, StaleCheckpointFromDifferentWorkloadRejected) {
+  const std::vector<net::Trace> traces = two_traces();
+  const std::string path = testing::TempDir() + "ck_stale.ckpt";
+  std::remove(path.c_str());
+  run_until_killed(ck_spec(traces, path), 2, 10);
+
+  // Same file, different workload: seed, class mix weight, and arrival cap
+  // each change the fingerprint (or geometry) and must be rejected.
+  {
+    fleet::FleetSpec other = ck_spec(traces, path);
+    other.resume = true;
+    other.seed = 8;
+    EXPECT_THROW((void)fleet::run_fleet(other), fleet::CheckpointError);
+  }
+  {
+    fleet::FleetSpec other = ck_spec(traces, path);
+    other.resume = true;
+    other.classes[0].weight = 2.0;
+    EXPECT_THROW((void)fleet::run_fleet(other), fleet::CheckpointError);
+  }
+  {
+    fleet::FleetSpec other = ck_spec(traces, path);
+    other.resume = true;
+    other.arrivals.max_sessions = 39;
+    EXPECT_THROW((void)fleet::run_fleet(other), fleet::CheckpointError);
+  }
+  // ... while execution knobs are fingerprint-exempt: a different thread
+  // count / batch size resumes fine (proved byte-identical above).
+  {
+    fleet::FleetSpec same = ck_spec(traces, path);
+    same.resume = true;
+    same.threads = 3;
+    same.title_batch = 1;
+    obs::MemoryTraceSink sink;
+    obs::MetricsRegistry registry;
+    same.trace = &sink;
+    same.metrics = &registry;
+    EXPECT_NO_THROW((void)fleet::run_fleet(same));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, CorruptFilesRejectedWithNamedErrors) {
+  const std::vector<net::Trace> traces = two_traces();
+  const std::string path = testing::TempDir() + "ck_corrupt.ckpt";
+  std::remove(path.c_str());
+  run_until_killed(ck_spec(traces, path), 2, 10);
+  const std::string good = read_file(path);
+  ASSERT_GT(good.size(), 200u);
+
+  const auto expect_rejected = [&](const std::string& bytes,
+                                   const char* what) {
+    write_file(path, bytes);
+    EXPECT_THROW((void)fleet::FleetCheckpoint::load(path),
+                 fleet::CheckpointError)
+        << what;
+  };
+  expect_rejected("", "empty file");
+  expect_rejected(good.substr(0, good.size() / 2), "truncated file");
+  {
+    std::string flipped = good;
+    flipped[good.size() / 2] ^= 0x20;  // damage one interior byte
+    expect_rejected(flipped, "interior bit flip (trailer mismatch)");
+  }
+  expect_rejected(with_trailer("NOTACKPT 1\nmeta 0 0 0 0 0\n"),
+                  "bad magic");
+  expect_rejected(with_trailer("VBRFLEETCKPT 99\nmeta 0 0 0 0 0\n"),
+                  "unsupported version");
+  {
+    // Valid trailer, garbage body: the field parser must name the problem,
+    // not crash.
+    expect_rejected(with_trailer("VBRFLEETCKPT 1\nmeta not-a-number\n"),
+                    "malformed meta line");
+  }
+
+  // And the full resume path surfaces the same rejection.
+  write_file(path, good.substr(0, good.size() - 3));
+  fleet::FleetSpec resume = ck_spec(traces, path);
+  resume.resume = true;
+  obs::MemoryTraceSink sink;
+  obs::MetricsRegistry registry;
+  resume.trace = &sink;
+  resume.metrics = &registry;
+  EXPECT_THROW((void)fleet::run_fleet(resume), fleet::CheckpointError);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, SaveFailuresCarryErrno) {
+  // A checkpoint routed through a regular file fails with ENOTDIR (robust
+  // under root, unlike permission-bit tricks) — first from save() itself,
+  // then surfaced out of run_fleet's checkpoint barrier.
+  const std::string blocker = testing::TempDir() + "ck_not_a_dir";
+  write_file(blocker, "x");
+  const std::string bad_path = blocker + "/fleet.ckpt";
+
+  fleet::FleetCheckpoint ck;
+  try {
+    ck.save(bad_path);
+    FAIL() << "expected std::system_error";
+  } catch (const std::system_error& e) {
+    EXPECT_EQ(e.code().value(), ENOTDIR);
+  }
+
+  const std::vector<net::Trace> traces = two_traces();
+  fleet::FleetSpec spec = ck_spec(traces, bad_path);
+  spec.threads = 2;
+  try {
+    (void)fleet::run_fleet(spec);
+    FAIL() << "expected std::system_error from the checkpoint barrier";
+  } catch (const std::system_error& e) {
+    EXPECT_EQ(e.code().value(), ENOTDIR);
+  }
+  std::remove(blocker.c_str());
+}
+
+TEST(Checkpoint, KillWithoutCheckpointPathStillStopsCleanly) {
+  const std::vector<net::Trace> traces = two_traces();
+  fleet::FleetSpec spec = ck_spec(traces, "");
+  spec.threads = 2;
+  spec.kill.after_sessions = 5;
+  try {
+    (void)fleet::run_fleet(spec);
+    FAIL() << "expected FleetKilled";
+  } catch (const fleet::FleetKilled& k) {
+    EXPECT_GE(k.sessions_completed(), 5u);
+    EXPECT_TRUE(k.checkpoint_path().empty());
+  }
+}
+
+TEST(Checkpoint, RandomKillScheduleIsSeededAndInRange) {
+  const fleet::KillSchedule a = fleet::KillSchedule::random(7, 0, 100);
+  const fleet::KillSchedule b = fleet::KillSchedule::random(7, 0, 100);
+  EXPECT_EQ(a.after_sessions, b.after_sessions);  // same draw, same point
+  EXPECT_GE(a.after_sessions, 1u);
+  EXPECT_LE(a.after_sessions, 100u);
+  // Different rounds move the kill point (with overwhelming likelihood
+  // over 64 rounds of a 100-wide range).
+  bool moved = false;
+  for (std::uint64_t round = 1; round <= 64 && !moved; ++round) {
+    moved = fleet::KillSchedule::random(7, round, 100).after_sessions !=
+            a.after_sessions;
+  }
+  EXPECT_TRUE(moved);
+  EXPECT_EQ(fleet::KillSchedule::random(3, 5, 1).after_sessions, 1u);
+}
+
+TEST(Checkpoint, FleetSpecValidateNamesTheField) {
+  const std::vector<net::Trace> traces = two_traces();
+  const auto message_of = [&](fleet::FleetSpec spec) {
+    try {
+      spec.validate();
+      return std::string("(no error)");
+    } catch (const std::invalid_argument& e) {
+      return std::string(e.what());
+    }
+  };
+  {
+    fleet::FleetSpec spec = ck_spec(traces, "");
+    spec.classes.clear();
+    EXPECT_NE(message_of(spec).find("FleetSpec.classes"), std::string::npos);
+  }
+  {
+    fleet::FleetSpec spec = ck_spec(traces, "");
+    spec.classes[1].weight = -0.5;
+    EXPECT_NE(message_of(spec).find("FleetSpec.classes[1].weight"),
+              std::string::npos);
+  }
+  {
+    fleet::FleetSpec spec = ck_spec(traces, "");
+    spec.title_batch = 0;
+    EXPECT_NE(message_of(spec).find("FleetSpec.title_batch"),
+              std::string::npos);
+  }
+  {
+    fleet::FleetSpec spec = ck_spec(traces, "");
+    spec.traces = {};
+    EXPECT_NE(message_of(spec).find("FleetSpec.traces"), std::string::npos);
+  }
+  {
+    fleet::FleetSpec spec = ck_spec(traces, "");
+    spec.resume = true;
+    spec.checkpoint_path.clear();
+    EXPECT_NE(message_of(spec).find("FleetSpec.resume"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace vbr

@@ -1,0 +1,127 @@
+// Per-session watchdog budgets: deterministic aborts of runaway sessions
+// (decision-count and simulated-time caps), plus the fleet-level accounting
+// that keeps aborted sessions visible in FleetResult and its report JSON.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "abr/scheme.h"
+#include "fleet/fleet.h"
+#include "net/bandwidth_estimator.h"
+#include "sim/session.h"
+#include "test_util.h"
+
+namespace {
+
+using namespace vbr;
+using testutil::default_flat_video;
+using testutil::flat_trace;
+
+sim::SessionConfig quick_config() {
+  sim::SessionConfig cfg;
+  cfg.startup_latency_s = 4.0;
+  cfg.max_buffer_s = 30.0;
+  return cfg;
+}
+
+sim::SessionResult run(const sim::SessionConfig& cfg, std::size_t chunks = 20) {
+  const video::Video v = default_flat_video(chunks);
+  const net::Trace t = flat_trace(5e6);
+  abr::FixedTrackScheme scheme(2);
+  net::HarmonicMeanEstimator est(5);
+  return sim::run_session(v, t, scheme, est, cfg);
+}
+
+TEST(Watchdog, OffByDefaultAndChangesNothing) {
+  const sim::SessionResult base = run(quick_config());
+  EXPECT_FALSE(base.watchdog_aborted);
+  EXPECT_EQ(base.chunks.size(), 20u);
+
+  // Generous budgets that never fire leave the run untouched.
+  sim::SessionConfig cfg = quick_config();
+  cfg.watchdog_max_decisions = 1000;
+  cfg.watchdog_max_sim_s = 1e6;
+  const sim::SessionResult guarded = run(cfg);
+  EXPECT_FALSE(guarded.watchdog_aborted);
+  EXPECT_EQ(guarded.chunks.size(), base.chunks.size());
+  EXPECT_EQ(guarded.total_bits, base.total_bits);
+}
+
+TEST(Watchdog, DecisionBudgetAbortsDeterministically) {
+  sim::SessionConfig cfg = quick_config();
+  cfg.watchdog_max_decisions = 7;
+  const sim::SessionResult r = run(cfg);
+  EXPECT_TRUE(r.watchdog_aborted);
+  EXPECT_EQ(r.chunks.size(), 7u);
+  // The budget is a pure function of sim state: rerunning is identical.
+  const sim::SessionResult again = run(cfg);
+  EXPECT_EQ(again.chunks.size(), 7u);
+  EXPECT_EQ(again.total_bits, r.total_bits);
+}
+
+TEST(Watchdog, SimTimeBudgetAborts) {
+  // At 5 Mbps each 1.6 Mb chunk takes 0.32 s; a 1 s sim budget stops the
+  // session after roughly three decisions rather than twenty.
+  sim::SessionConfig cfg = quick_config();
+  cfg.watchdog_max_sim_s = 1.0;
+  const sim::SessionResult r = run(cfg);
+  EXPECT_TRUE(r.watchdog_aborted);
+  EXPECT_LT(r.chunks.size(), 20u);
+  EXPECT_GE(r.chunks.size(), 1u);
+}
+
+TEST(Watchdog, NegativeSimBudgetRejected) {
+  sim::SessionConfig cfg = quick_config();
+  cfg.watchdog_max_sim_s = -1.0;
+  EXPECT_THROW((void)run(cfg), std::invalid_argument);
+}
+
+TEST(Watchdog, FleetCountsAbortedSessionsAndReportsThem) {
+  std::vector<net::Trace> traces;
+  traces.push_back(flat_trace(4e6, 600.0));
+
+  fleet::FleetSpec spec;
+  spec.catalog.num_titles = 4;
+  spec.catalog.title_duration_s = 40.0;
+  spec.arrivals.rate_per_s = 0.3;
+  spec.arrivals.horizon_s = 150.0;
+  spec.arrivals.max_sessions = 20;
+  spec.classes.resize(1);
+  spec.classes[0].label = "fixed";
+  spec.classes[0].make_scheme = [] {
+    return std::make_unique<abr::FixedTrackScheme>(1);
+  };
+  spec.traces = traces;
+  spec.watch.full_watch_prob = 1.0;  // everyone watches to the end
+  spec.session.startup_latency_s = 4.0;
+  spec.threads = 2;
+
+  const fleet::FleetResult base = fleet::run_fleet(spec);
+  EXPECT_EQ(base.watchdog_aborted_sessions, 0u);
+
+  // A 2-decision budget trips every session (titles are 20 chunks).
+  spec.session.watchdog_max_decisions = 2;
+  const fleet::FleetResult capped = fleet::run_fleet(spec);
+  EXPECT_EQ(capped.watchdog_aborted_sessions, capped.sessions.size());
+  for (const fleet::FleetSessionRecord& rec : capped.sessions) {
+    EXPECT_TRUE(rec.watchdog_aborted);
+    EXPECT_LE(rec.chunks, 2u);
+  }
+
+  // Accounting is visible in the serialized report, not just the struct.
+  std::ostringstream json;
+  capped.write_json(json);
+  EXPECT_NE(json.str().find("\"watchdog_aborted\":" +
+                            std::to_string(capped.sessions.size())),
+            std::string::npos);
+  std::ostringstream base_json;
+  base.write_json(base_json);
+  EXPECT_NE(base_json.str().find("\"watchdog_aborted\":0"),
+            std::string::npos);
+}
+
+}  // namespace

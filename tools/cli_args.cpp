@@ -97,7 +97,8 @@ const std::set<std::string>& size_knowledge_flag_names() {
 }
 
 const std::set<std::string>& telemetry_flag_names() {
-  static const std::set<std::string> names = {"trace-jsonl", "metrics-json"};
+  static const std::set<std::string> names = {"trace-jsonl", "metrics-json",
+                                              "trace-durable"};
   return names;
 }
 
@@ -124,7 +125,9 @@ const std::set<std::string>& fleet_flag_names() {
       "fleet-horizon",   "fleet-arrival",        "fleet-burst-start",
       "fleet-burst-duration", "fleet-burst-mult", "fleet-cache-mb",
       "fleet-threads",   "fleet-seed",           "fleet-full-watch",
-      "fleet-report"};
+      "fleet-report",    "checkpoint",           "checkpoint-every",
+      "fleet-kill-after", "fleet-throttle-us",
+      "fleet-watchdog-decisions", "fleet-watchdog-sim-s"};
   return names;
 }
 
@@ -158,6 +161,20 @@ fleet::FleetSpec fleet_spec_from_args(const CliArgs& args) {
   spec.threads = static_cast<unsigned>(args.get_size("fleet-threads", 0));
   spec.seed = args.get_size("fleet-seed", 7);
   spec.watch.full_watch_prob = args.get_double("fleet-full-watch", 0.6);
+  // Crash safety. In fleet mode --resume keeps its per-request meaning
+  // (byte-range resume of partial downloads) AND, when --checkpoint is
+  // set, additionally asks run_fleet to resume from that checkpoint file
+  // if it exists.
+  spec.checkpoint_path = args.get("checkpoint", "");
+  spec.checkpoint_every =
+      args.get_size("checkpoint-every", spec.checkpoint_every);
+  spec.resume = args.has("resume") && !spec.checkpoint_path.empty();
+  spec.kill.after_sessions = args.get_size("fleet-kill-after", 0);
+  spec.throttle_us = args.get_size("fleet-throttle-us", 0);
+  spec.session.watchdog_max_decisions =
+      args.get_size("fleet-watchdog-decisions", 0);
+  spec.session.watchdog_max_sim_s =
+      args.get_double("fleet-watchdog-sim-s", 0.0);
   spec.catalog.validate();
   spec.arrivals.validate();
   spec.cache.validate();

@@ -65,6 +65,9 @@ class CliArgs {
 ///   --trace-jsonl FILE   write one JSON line per chunk decision to FILE
 ///                        (merged in trace-index order; byte-identical for
 ///                        same-seed runs at any thread count)
+///   --trace-durable      crash-safe JSONL: append an FNV-1a checksum to
+///                        every line and fsync on flush, so a torn tail is
+///                        detectable and recoverable (obs/jsonl_io.h)
 ///   --metrics-json FILE  write the merged metrics registries as one JSON
 ///                        object keyed by scheme name
 [[nodiscard]] const std::set<std::string>& telemetry_flag_names();
@@ -102,6 +105,25 @@ class CliArgs {
 ///   --fleet-seed N          master workload seed (7)
 ///   --fleet-full-watch P    probability a viewer watches to the end (0.6)
 ///   --fleet-report FILE     write the fleet report JSON to FILE
+///
+/// Crash safety (fleet/checkpoint.h):
+///   --checkpoint FILE       checkpoint the fleet run to FILE (atomic
+///                           temp+rename writes at session-boundary barriers)
+///   --checkpoint-every N    completed sessions between checkpoints (64);
+///                           0 = only the final kill checkpoint
+///   --resume                with --checkpoint: resume from FILE when it
+///                           exists (absent = fresh run; stale/corrupt =
+///                           named CheckpointError). Keeps its per-request
+///                           byte-range-resume meaning too.
+///   --fleet-kill-after N    chaos: cooperative kill after N completed
+///                           sessions — final checkpoint, then exit code 3
+///   --fleet-throttle-us N   chaos: sleep N us per completed session so an
+///                           external SIGKILL can land mid-run (no effect
+///                           on any output byte)
+///   --fleet-watchdog-decisions N   per-session decision budget (0 = off)
+///   --fleet-watchdog-sim-s S       per-session simulated-time budget
+///                                  (0 = off); aborted sessions are counted
+///                                  in the report, never hidden
 [[nodiscard]] const std::set<std::string>& fleet_flag_names();
 
 /// Builds the workload part of a FleetSpec (catalog, arrivals, cache,

@@ -54,8 +54,13 @@
 //   --trace-jsonl FILE one JSON line per chunk decision, merged across
 //                      traces in trace-index order (same-seed runs produce
 //                      byte-identical files at any thread count)
+//   --trace-durable    crash-safe JSONL: per-line FNV-1a checksums + fsync
+//                      on flush (recover torn files with --scan-jsonl)
 //   --metrics-json FILE merged counters/histograms, one JSON object keyed
 //                      by scheme name
+//   --scan-jsonl FILE  standalone recovery mode: scan a checksummed JSONL
+//                      file, report torn tails / corrupt interior lines,
+//                      truncate a torn tail in place, and exit
 //
 // Fleet mode (fleet-scale workloads; see DESIGN.md section 9). --fleet
 // replaces the per-trace sweep with the fleet driver: sessions arrive over
@@ -67,6 +72,15 @@
 // --fleet-cache-mb (0 = origin-only control arm), --fleet-threads,
 // --fleet-seed, --fleet-full-watch, --fleet-report FILE. See
 // tools/cli_args.h for defaults.
+//
+// Crash safety (fleet mode; DESIGN.md section 11): --checkpoint FILE,
+// --checkpoint-every N, --resume (resume from FILE when it exists),
+// --fleet-kill-after N (cooperative chaos kill: final checkpoint + exit
+// code 3), --fleet-throttle-us N (stretch wall time so an external SIGKILL
+// can land), --fleet-watchdog-decisions / --fleet-watchdog-sim-s
+// (per-session runaway budgets, counted in the report). A killed or
+// SIGKILLed run resumed with the same flags produces a report and
+// telemetry byte-identical to an uninterrupted run.
 #include <cerrno>
 #include <cstdio>
 #include <filesystem>
@@ -77,8 +91,10 @@
 
 #include "cli_args.h"
 #include "common.h"
+#include "fleet/checkpoint.h"
 #include "metrics/report.h"
 #include "net/trace_io.h"
+#include "obs/jsonl_io.h"
 #include "obs/metrics.h"
 #include "obs/trace_sink.h"
 
@@ -143,10 +159,14 @@ int run_fleet_mode(const tools::CliArgs& args,
   }
   spec.traces = traces;
 
-  std::unique_ptr<obs::JsonlTraceSink> trace_sink;
+  std::unique_ptr<obs::TraceSink> trace_sink;
   if (args.has("trace-jsonl")) {
-    trace_sink = std::make_unique<obs::JsonlTraceSink>(
-        args.get("trace-jsonl", "trace.jsonl"));
+    const std::string path = args.get("trace-jsonl", "trace.jsonl");
+    if (args.has("trace-durable")) {
+      trace_sink = std::make_unique<obs::DurableJsonlTraceSink>(path);
+    } else {
+      trace_sink = std::make_unique<obs::JsonlTraceSink>(path);
+    }
     spec.trace = trace_sink.get();
   }
   obs::MetricsRegistry registry;
@@ -154,7 +174,17 @@ int run_fleet_mode(const tools::CliArgs& args,
     spec.metrics = &registry;
   }
 
-  const fleet::FleetResult r = fleet::run_fleet(spec);
+  fleet::FleetResult r;
+  try {
+    r = fleet::run_fleet(spec);
+  } catch (const fleet::FleetKilled& k) {
+    // The chaos kill is a cooperative crash: the final checkpoint is on
+    // disk (when --checkpoint is set) and a --resume rerun finishes the
+    // fleet to byte-identical output. Distinct exit code so soak loops can
+    // tell "killed as scheduled" from real failures.
+    std::fprintf(stderr, "vbrsim: %s\n", k.what());
+    return 3;
+  }
 
   std::printf("fleet: %zu sessions over %zu titles (zipf %.2f) | %zu traces "
               "| %s arrivals\n",
@@ -182,6 +212,10 @@ int run_fleet_mode(const tools::CliArgs& args,
   }
   std::printf("fairness: jain(quality) %.3f, jain(bits) %.3f\n",
               r.jain_quality, r.jain_bits);
+  if (r.watchdog_aborted_sessions > 0) {
+    std::printf("watchdog: %llu sessions aborted at budget\n",
+                static_cast<unsigned long long>(r.watchdog_aborted_sessions));
+  }
 
   if (args.has("fleet-report")) {
     const std::string path = args.get("fleet-report", "fleet-report.json");
@@ -219,7 +253,8 @@ int main(int argc, char** argv) {
     std::set<std::string> known = {
         "scheme", "title",  "genre",  "codec",  "chunk",        "cap",
         "duration", "seed", "traces", "trace-dir", "count",     "metric",
-        "rtt",    "abandon", "csv",   "fault-csv", "list-schemes", "help"};
+        "rtt",    "abandon", "csv",   "fault-csv", "list-schemes", "help",
+        "scan-jsonl"};
     known.insert(tools::fault_flag_names().begin(),
                  tools::fault_flag_names().end());
     known.insert(tools::size_knowledge_flag_names().begin(),
@@ -239,6 +274,30 @@ int main(int argc, char** argv) {
         std::printf("%s\n", s.c_str());
       }
       return 0;
+    }
+    if (args.has("scan-jsonl")) {
+      // Standalone recovery: truncate a torn tail (the crash signature),
+      // report interior corruption loudly, exit 0 only on a clean file.
+      const std::string path = args.get("scan-jsonl", "");
+      if (path.empty()) {
+        std::fprintf(stderr, "vbrsim: --scan-jsonl needs a file path\n");
+        return 1;
+      }
+      const obs::JsonlScanReport rep = obs::recover_checksummed_jsonl(path);
+      std::printf("scan %s: %llu lines, %llu valid\n", path.c_str(),
+                  static_cast<unsigned long long>(rep.total_lines),
+                  static_cast<unsigned long long>(rep.valid_lines));
+      if (rep.torn_tail) {
+        std::printf("torn tail truncated; file now %llu bytes\n",
+                    static_cast<unsigned long long>(rep.keep_bytes));
+      }
+      for (const std::uint64_t ln : rep.corrupt_interior_lines) {
+        std::fprintf(stderr,
+                     "vbrsim: CORRUPT interior line %llu (checksum "
+                     "mismatch) — kept in place, inspect by hand\n",
+                     static_cast<unsigned long long>(ln));
+      }
+      return rep.corrupt_interior_lines.empty() ? 0 : 2;
     }
 
     // Video.
