@@ -1,0 +1,141 @@
+// Extension: multi-tier CDN under a flash crowd riding through an origin
+// brownout (DESIGN.md section 12).
+//
+// Four arms of the same 300-session flash-crowd fleet:
+//
+//   1. flat        — the single-tier edge/origin baseline (CDN off);
+//   2. cdn         — edge -> regional -> origin with coalescing, regional
+//                    outages, and load shedding, but no brownout;
+//   3. cdn+brown   — the same hierarchy with an origin brownout covering
+//                    the burst window (the headline robustness scenario);
+//   4. no-coalesce — arm 3 with request coalescing disabled, isolating how
+//                    much of the origin protection coalescing provides.
+//
+// Reported per arm: tier request counts, coalesced/shed/failover volumes,
+// the upstream fetch ratio (retry amplification), and the per-class QoE
+// shift — overload protection is only worth its latency penalties if the
+// viewer-facing numbers degrade gracefully.
+//
+// Run: ./bench_ext_cdn_brownout
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "common.h"
+#include "fleet/fleet.h"
+
+namespace {
+
+using namespace vbr;
+
+fleet::FleetSpec base_spec(const std::vector<net::Trace>& traces) {
+  fleet::FleetSpec spec;
+  spec.catalog.num_titles = 24;
+  spec.catalog.title_duration_s = 120.0;
+  spec.catalog.zipf_alpha = 0.8;
+  spec.arrivals.kind = fleet::ArrivalKind::kFlashCrowd;
+  spec.arrivals.rate_per_s = 0.5;
+  spec.arrivals.horizon_s = 600.0;
+  spec.arrivals.max_sessions = 300;
+  spec.arrivals.burst_start_s = 120.0;
+  spec.arrivals.burst_duration_s = 60.0;
+  spec.arrivals.burst_multiplier = 8.0;
+  spec.classes.resize(2);
+  spec.classes[0].label = "CAVA";
+  spec.classes[0].make_scheme = bench::scheme_factory("CAVA");
+  spec.classes[1].label = "BBA-1";
+  spec.classes[1].make_scheme = bench::scheme_factory("BBA-1");
+  spec.traces = traces;
+  spec.cache.capacity_bits = 2e9;  // eviction-prone: plenty goes upstream
+  return spec;
+}
+
+void enable_cdn(fleet::FleetSpec* spec, bool brownout, bool coalesce) {
+  spec->cdn.enabled = true;
+  spec->cdn.coalesce = coalesce;
+  spec->cdn.backhaul_bps = 10e6;
+  spec->cdn.regional.nodes = 4;
+  spec->cdn.regional.capacity_bits = 16e9;
+  spec->cdn.regional.outages_per_node = 2;
+  spec->cdn.regional.outage_duration_s = 30.0;
+  spec->cdn.shed.capacity_sessions = 40.0;
+  spec->cdn.shed.active_session_s = 60.0;
+  if (brownout) {
+    spec->cdn.brownout.start_s = 120.0;  // covers the burst
+    spec->cdn.brownout.duration_s = 90.0;
+    spec->cdn.brownout.rate_scale = 0.5;
+    spec->cdn.brownout.extra_latency_s = 0.2;
+    spec->cdn.brownout.capacity_scale = 0.5;
+  }
+}
+
+void report_arm(const char* label, const fleet::FleetResult& r) {
+  if (r.cdn_enabled) {
+    std::printf("%-11s | edge %5llu reg %5llu origin %5llu of %5llu | "
+                "coal %4llu shed %4llu fo %4llu brown %4llu | up-ratio %.3f\n",
+                label,
+                static_cast<unsigned long long>(r.cdn.edge_hits),
+                static_cast<unsigned long long>(r.cdn.regional_hits),
+                static_cast<unsigned long long>(r.cdn.origin_fetches),
+                static_cast<unsigned long long>(r.cdn.client_requests),
+                static_cast<unsigned long long>(r.cdn.coalesced),
+                static_cast<unsigned long long>(r.cdn.shed),
+                static_cast<unsigned long long>(r.cdn.failovers),
+                static_cast<unsigned long long>(r.cdn.brownout_fetches),
+                r.upstream_fetch_ratio);
+  } else {
+    std::printf("%-11s | hit ratio %.3f | edge %.0f MB, origin %.0f MB | "
+                "up-ratio %.3f\n",
+                label, r.cache.hit_ratio(), r.edge_hit_bits / 8e6,
+                r.origin_bits / 8e6, r.upstream_fetch_ratio);
+  }
+  for (const fleet::FleetSchemeReport& c : r.per_class) {
+    std::printf("  %-8s n=%-4zu qual %5.1f  low%% %5.1f  rebuf %6.2fs  "
+                "startup %5.2fs  %6.1f MB\n",
+                c.label.c_str(), c.sessions, c.mean_all_quality,
+                c.mean_low_quality_pct, c.mean_rebuffer_s,
+                c.mean_startup_delay_s, c.mean_data_usage_mb);
+  }
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<net::Trace> traces = bench::lte_traces(20);
+  const unsigned hw = std::max(2u, std::thread::hardware_concurrency());
+
+  std::printf("== flash crowd (300 sessions, 8x burst) through the CDN "
+              "hierarchy ==\n");
+
+  fleet::FleetSpec flat = base_spec(traces);
+  flat.threads = hw;
+  report_arm("flat", fleet::run_fleet(flat));
+
+  fleet::FleetSpec cdn = base_spec(traces);
+  cdn.threads = hw;
+  enable_cdn(&cdn, /*brownout=*/false, /*coalesce=*/true);
+  report_arm("cdn", fleet::run_fleet(cdn));
+
+  fleet::FleetSpec brown = base_spec(traces);
+  brown.threads = hw;
+  enable_cdn(&brown, /*brownout=*/true, /*coalesce=*/true);
+  const fleet::FleetResult rb = fleet::run_fleet(brown);
+  report_arm("cdn+brown", rb);
+
+  fleet::FleetSpec nocoal = base_spec(traces);
+  nocoal.threads = hw;
+  enable_cdn(&nocoal, /*brownout=*/true, /*coalesce=*/false);
+  const fleet::FleetResult rn = fleet::run_fleet(nocoal);
+  report_arm("no-coalesce", rn);
+
+  std::printf("\ncoalescing saved %lld origin/regional fetches during the "
+              "brownout run (%.1f%% of upstream demand)\n",
+              static_cast<long long>(rn.cdn.regional_hits +
+                                     rn.cdn.origin_fetches) -
+                  static_cast<long long>(rb.cdn.regional_hits +
+                                         rb.cdn.origin_fetches),
+              100.0 * (rn.upstream_fetch_ratio - rb.upstream_fetch_ratio) /
+                  (rn.upstream_fetch_ratio > 0.0 ? rn.upstream_fetch_ratio
+                                                 : 1.0));
+  return 0;
+}

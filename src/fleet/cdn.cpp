@@ -1,0 +1,324 @@
+#include "fleet/cdn.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "fleet/rng.h"
+
+namespace vbr::fleet {
+
+namespace {
+
+// Draw salts for the CDN's independent decision streams.
+constexpr std::uint64_t kSaltOutage = 0xcd7001;
+constexpr std::uint64_t kSaltShed = 0xcd7002;
+
+}  // namespace
+
+void CdnBrownoutConfig::validate() const {
+  if (start_s < 0.0 || duration_s < 0.0) {
+    throw std::invalid_argument(
+        "CdnConfig.brownout.start_s/duration_s: must be non-negative");
+  }
+  if (!(rate_scale > 0.0) || rate_scale > 1.0) {
+    throw std::invalid_argument(
+        "CdnConfig.brownout.rate_scale: must be in (0, 1]");
+  }
+  if (extra_latency_s < 0.0) {
+    throw std::invalid_argument(
+        "CdnConfig.brownout.extra_latency_s: must be non-negative");
+  }
+  if (!(capacity_scale > 0.0) || capacity_scale > 1.0) {
+    throw std::invalid_argument(
+        "CdnConfig.brownout.capacity_scale: must be in (0, 1]");
+  }
+}
+
+void CdnRegionalConfig::validate() const {
+  if (nodes == 0) {
+    throw std::invalid_argument(
+        "CdnConfig.regional.nodes: at least one regional node is required");
+  }
+  if (!(capacity_bits > 0.0)) {
+    throw std::invalid_argument(
+        "CdnConfig.regional.capacity_bits: must be positive");
+  }
+  if (hit_latency_s < 0.0) {
+    throw std::invalid_argument(
+        "CdnConfig.regional.hit_latency_s: must be non-negative");
+  }
+  if (!(rate_scale > 0.0) || rate_scale > 1.0) {
+    throw std::invalid_argument(
+        "CdnConfig.regional.rate_scale: must be in (0, 1]");
+  }
+  if (outages_per_node > 0 && !(outage_duration_s > 0.0)) {
+    throw std::invalid_argument(
+        "CdnConfig.regional.outage_duration_s: must be positive when "
+        "outages are scheduled");
+  }
+  if (outage_duration_s < 0.0 || failover_latency_s < 0.0) {
+    throw std::invalid_argument(
+        "CdnConfig.regional.outage_duration_s/failover_latency_s: must be "
+        "non-negative");
+  }
+}
+
+void CdnShedConfig::validate() const {
+  if (capacity_sessions < 0.0) {
+    throw std::invalid_argument(
+        "CdnConfig.shed.capacity_sessions: must be non-negative (0 = "
+        "shedding off)");
+  }
+  if (!(active_session_s > 0.0)) {
+    throw std::invalid_argument(
+        "CdnConfig.shed.active_session_s: must be positive");
+  }
+  if (!(threshold > 0.0)) {
+    throw std::invalid_argument(
+        "CdnConfig.shed.threshold: must be positive (shedding below zero "
+        "utilization is meaningless)");
+  }
+  if (max_shed_prob < 0.0 || max_shed_prob > 1.0) {
+    throw std::invalid_argument(
+        "CdnConfig.shed.max_shed_prob: must be in [0, 1]");
+  }
+  if (!(penalty_rate_scale > 0.0) || penalty_rate_scale > 1.0) {
+    throw std::invalid_argument(
+        "CdnConfig.shed.penalty_rate_scale: must be in (0, 1]");
+  }
+}
+
+void CdnConfig::validate() const {
+  if (!(backhaul_bps > 0.0)) {
+    throw std::invalid_argument("CdnConfig.backhaul_bps: must be positive");
+  }
+  regional.validate();
+  brownout.validate();
+  shed.validate();
+  retry.validate();
+}
+
+void CdnStats::merge(const CdnStats& other) {
+  client_requests += other.client_requests;
+  edge_hits += other.edge_hits;
+  regional_hits += other.regional_hits;
+  origin_fetches += other.origin_fetches;
+  coalesced += other.coalesced;
+  shed += other.shed;
+  failovers += other.failovers;
+  brownout_fetches += other.brownout_fetches;
+  shed_wait_s += other.shed_wait_s;
+  regional_hit_bits += other.regional_hit_bits;
+  origin_fetch_bits += other.origin_fetch_bits;
+}
+
+CdnModel::CdnModel(const CdnConfig& cfg, const EdgeCacheConfig& edge_cfg,
+                   std::size_t num_titles, std::vector<double> arrivals)
+    : cfg_(cfg), edge_cfg_(edge_cfg), arrivals_(std::move(arrivals)) {
+  cfg_.validate();
+  edge_cfg_.validate();
+  if (num_titles == 0) {
+    throw std::invalid_argument("CdnModel: num_titles must be positive");
+  }
+  if (!std::is_sorted(arrivals_.begin(), arrivals_.end())) {
+    throw std::invalid_argument(
+        "CdnModel: arrival times must be ascending");
+  }
+  regional_shard_cfg_ = edge_cfg_;
+  regional_shard_cfg_.capacity_bits =
+      cfg_.regional.capacity_bits / static_cast<double>(num_titles);
+  regional_shard_cfg_.hit_latency_s = cfg_.regional.hit_latency_s;
+  regional_shard_cfg_.origin_rate_scale = cfg_.regional.rate_scale;
+
+  // Seeded outage schedule: window starts are uniform over the arrival
+  // horizon — a pure function of (seed, node, outage index), so the fault
+  // timeline is identical on every run, thread count, and resume.
+  const double horizon = arrivals_.empty() ? 0.0 : arrivals_.back();
+  outages_.resize(cfg_.regional.nodes);
+  for (std::size_t m = 0; m < cfg_.regional.nodes; ++m) {
+    outages_[m].reserve(cfg_.regional.outages_per_node);
+    for (std::size_t j = 0; j < cfg_.regional.outages_per_node; ++j) {
+      const double start =
+          detail::keyed_u01(cfg_.seed, m, j, kSaltOutage) * horizon;
+      outages_[m].emplace_back(start, start + cfg_.regional.outage_duration_s);
+    }
+    std::sort(outages_[m].begin(), outages_[m].end());
+  }
+}
+
+bool CdnModel::brownout_at(double t) const {
+  return cfg_.brownout.duration_s > 0.0 && t >= cfg_.brownout.start_s &&
+         t < cfg_.brownout.start_s + cfg_.brownout.duration_s;
+}
+
+bool CdnModel::node_down(std::size_t node, double t) const {
+  for (const auto& [start, end] : outages_[node]) {
+    if (t >= start && t < end) {
+      return true;
+    }
+    if (t < start) {
+      break;  // windows are sorted; nothing later can cover t either
+    }
+  }
+  return false;
+}
+
+double CdnModel::origin_utilization(double t) const {
+  if (!(cfg_.shed.capacity_sessions > 0.0)) {
+    return 0.0;
+  }
+  // Offered load = arrivals inside the sliding activity window, read off
+  // the precomputed arrival times (never a runtime concurrency count,
+  // which would see the thread schedule).
+  const auto lo = std::lower_bound(arrivals_.begin(), arrivals_.end(),
+                                   t - cfg_.shed.active_session_s);
+  const auto hi = std::upper_bound(arrivals_.begin(), arrivals_.end(), t);
+  const double active = static_cast<double>(hi - lo);
+  const double capacity =
+      cfg_.shed.capacity_sessions *
+      (brownout_at(t) ? cfg_.brownout.capacity_scale : 1.0);
+  return active / capacity;
+}
+
+double CdnModel::shed_probability(double t) const {
+  const double u = origin_utilization(t);
+  if (u <= cfg_.shed.threshold) {
+    return 0.0;
+  }
+  return std::min(cfg_.shed.max_shed_prob, (u - cfg_.shed.threshold) / u);
+}
+
+double shed_backoff_s(const sim::RetryPolicy& policy,
+                      std::uint64_t consecutive_sheds) {
+  double d = policy.backoff_base_s;
+  for (std::uint64_t k = 0; k < consecutive_sheds; ++k) {
+    d *= policy.backoff_factor;
+    if (d >= policy.backoff_max_s) {
+      break;
+    }
+  }
+  return std::min(d, policy.backoff_max_s);
+}
+
+CdnPath::CdnPath(const CdnModel& model, EdgeCache& edge, TitleCdnState& state,
+                 std::uint32_t title)
+    : model_(&model), edge_(&edge), state_(&state), title_(title) {
+  if (!state_->regional) {
+    state_->regional =
+        std::make_unique<EdgeCache>(model.regional_shard_config());
+  }
+}
+
+sim::FetchPlan CdnPath::on_chunk_request(const video::Video& video,
+                                         std::size_t track, std::size_t index,
+                                         double size_bits, double now_s) {
+  (void)video;
+  const double now = arrival_s_ + now_s;  // global fleet time
+  const CdnConfig& cfg = model_->config();
+  CdnStats& st = state_->stats;
+  ++st.client_requests;
+  ++state_->requests;
+  state_->admit_regional = false;
+
+  const ObjectKey key{title_, static_cast<std::uint32_t>(track),
+                      static_cast<std::uint64_t>(index)};
+  sim::FetchPlan plan;
+
+  // Tier 0: the edge shard.
+  if (edge_->lookup(key, size_bits)) {
+    ++st.edge_hits;
+    plan.added_latency_s = edge_->config().hit_latency_s;
+    plan.rate_scale = 1.0;
+    plan.edge_hit = true;
+    plan.tier = 0;
+    return plan;
+  }
+
+  // Coalescing: join an upstream fetch whose window covers this request.
+  const std::uint64_t packed = EdgeCache::pack(key);
+  if (cfg.coalesce) {
+    const auto it = state_->inflight.find(packed);
+    if (it != state_->inflight.end() && now >= it->second.start_s &&
+        now < it->second.ready_s) {
+      ++st.coalesced;
+      plan.added_latency_s =
+          (it->second.ready_s - now) + edge_->config().hit_latency_s;
+      plan.rate_scale = 1.0;  // served locally once the shared fetch lands
+      plan.tier = it->second.tier;
+      plan.coalesced = true;
+      return plan;
+    }
+  }
+
+  const std::size_t node = model_->node_of(title_);
+  const bool down = model_->node_down(node, now);
+  double upstream_bps = cfg.backhaul_bps;
+
+  // Tier 1: the regional node (skipped entirely while it is down).
+  if (down) {
+    ++st.failovers;
+  } else if (state_->regional->lookup(key, size_bits)) {
+    ++st.regional_hits;
+    st.regional_hit_bits += size_bits;
+    state_->admit_regional = true;  // refresh on delivery
+    plan.added_latency_s = cfg.regional.hit_latency_s;
+    plan.rate_scale = cfg.regional.rate_scale;
+    plan.tier = 1;
+    state_->inflight[packed] = CdnInflight{
+        now, now + plan.added_latency_s + size_bits / upstream_bps, 1};
+    return plan;
+  } else {
+    state_->admit_regional = true;  // origin response transits the node
+  }
+
+  // Tier 2: the origin.
+  double latency = edge_->config().miss_latency_s;
+  double rate = edge_->config().origin_rate_scale;
+  if (down) {
+    latency += cfg.regional.failover_latency_s;
+  }
+  if (model_->brownout_at(now)) {
+    ++st.brownout_fetches;
+    latency += cfg.brownout.extra_latency_s;
+    rate *= cfg.brownout.rate_scale;
+    upstream_bps *= cfg.brownout.rate_scale;
+  }
+  const double shed_p = model_->shed_probability(now);
+  if (shed_p > 0.0 && detail::keyed_u01(cfg.seed, title_, state_->requests,
+                                        kSaltShed) < shed_p) {
+    ++st.shed;
+    const double penalty = shed_backoff_s(cfg.retry,
+                                          state_->consecutive_sheds);
+    ++state_->consecutive_sheds;
+    st.shed_wait_s += penalty;
+    latency += penalty;
+    rate *= cfg.shed.penalty_rate_scale;
+    plan.shed = true;
+  } else {
+    state_->consecutive_sheds = 0;
+  }
+  ++st.origin_fetches;
+  st.origin_fetch_bits += size_bits;
+  state_->inflight[packed] =
+      CdnInflight{now, now + latency + size_bits / upstream_bps, 2};
+  plan.added_latency_s = latency;
+  plan.rate_scale = rate;
+  plan.tier = 2;
+  return plan;
+}
+
+void CdnPath::on_chunk_delivered(const video::Video& video, std::size_t track,
+                                 std::size_t index, double size_bits,
+                                 double now_s) {
+  (void)video;
+  const ObjectKey key{title_, static_cast<std::uint32_t>(track),
+                      static_cast<std::uint64_t>(index)};
+  edge_->admit(key, size_bits);
+  if (state_->admit_regional &&
+      !model_->node_down(model_->node_of(title_), arrival_s_ + now_s)) {
+    state_->regional->admit(key, size_bits);
+  }
+  state_->admit_regional = false;
+}
+
+}  // namespace vbr::fleet

@@ -1,0 +1,256 @@
+// Multi-tier CDN delivery model with overload protection.
+//
+// Extends the flat edge-cache/origin model into an edge -> regional ->
+// origin hierarchy with first-class failure and overload behaviour:
+//
+//   - request coalescing: an edge miss whose object is already being
+//     fetched upstream (its fetch window, in global fleet time, covers the
+//     request) joins that fetch instead of issuing a new one — the
+//     thundering-herd killer for flash crowds;
+//   - fault domains: titles map onto regional nodes (title % nodes); a
+//     node outage (seeded, scheduled windows) fails requests over straight
+//     to the origin with an extra failover latency, and a downed node
+//     neither serves nor absorbs content;
+//   - origin brownout: a configured window during which origin fetches pay
+//     extra latency, a rate haircut, and a capacity cut that drives load
+//     shedding;
+//   - admission control / load shedding: when offered load (active
+//     sessions, derived from the precomputed arrival times) exceeds the
+//     origin's session capacity, requests are shed probabilistically; a
+//     shed request is still served, but behind a RetryPolicy-style
+//     exponential backoff and a rate penalty the ABR schemes then react to
+//     (retry-storm protection: consecutive sheds back off further).
+//
+// Determinism discipline (the same contract as the rest of src/fleet, and
+// unit-tested at 1/2/8 worker threads, under brownouts, and across
+// kill/resume): every cross-session coupling is derived from data known
+// before any session runs — the arrival-times vector (offered load), the
+// spec'd brownout window, and seeded outage schedules — never from runtime
+// measurements that could see the thread schedule. Per-title state
+// (regional slice, fetch windows, shed counters) is only ever touched by
+// the worker that owns the title, and each title's sessions run serially
+// in arrival order.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "fleet/edge_cache.h"
+#include "sim/retry.h"
+
+namespace vbr::fleet {
+
+/// Origin brownout: a degraded-service window. duration_s == 0 disables it.
+struct CdnBrownoutConfig {
+  double start_s = 0.0;     ///< Window start, global fleet time.
+  double duration_s = 0.0;  ///< Window length; 0 = no brownout.
+  /// Multiplies the origin rate scale (and the upstream backhaul rate)
+  /// inside the window, in (0, 1].
+  double rate_scale = 0.5;
+  double extra_latency_s = 0.2;  ///< Added origin first-byte latency.
+  /// Multiplies the origin session capacity inside the window, in (0, 1] —
+  /// a brownout both slows fetches and tightens the shedding gate.
+  double capacity_scale = 0.5;
+
+  /// Throws std::invalid_argument with field-named messages.
+  void validate() const;
+};
+
+/// The regional tier: nodes are fault domains; capacity is one pool split
+/// into per-title slices (like the edge tier), served LRU.
+struct CdnRegionalConfig {
+  std::size_t nodes = 2;        ///< Fault domains; title k -> node k % nodes.
+  double capacity_bits = 32e9;  ///< Total regional capacity, split per title.
+  double hit_latency_s = 0.020; ///< First-byte latency of a regional hit.
+  double rate_scale = 0.85;     ///< Path-bandwidth fraction on a regional hit.
+  /// Seeded outage schedule: each node suffers this many outage windows,
+  /// placed uniformly over the arrival horizon. 0 = no outages.
+  std::size_t outages_per_node = 0;
+  double outage_duration_s = 30.0;
+  /// Extra first-byte latency when a request fails over past a downed node.
+  double failover_latency_s = 0.050;
+
+  /// Throws std::invalid_argument with field-named messages.
+  void validate() const;
+};
+
+/// Admission control at the origin. capacity_sessions == 0 disables
+/// shedding entirely.
+struct CdnShedConfig {
+  /// Concurrent sessions the origin serves comfortably; offered load above
+  /// `threshold` of this starts shedding. 0 = shedding off.
+  double capacity_sessions = 0.0;
+  /// A session arriving within this window of `t` counts as active at `t`.
+  double active_session_s = 60.0;
+  double threshold = 0.7;      ///< Utilization where shedding begins, > 0.
+  double max_shed_prob = 0.8;  ///< Shed probability ceiling, in [0, 1].
+  /// Rate haircut a shed-but-served request suffers, in (0, 1].
+  double penalty_rate_scale = 0.4;
+
+  /// Throws std::invalid_argument with field-named messages.
+  void validate() const;
+};
+
+/// The whole hierarchy. `enabled == false` keeps the flat
+/// EdgeCache-vs-origin model byte-for-byte untouched.
+struct CdnConfig {
+  bool enabled = false;
+  bool coalesce = true;     ///< Request coalescing on upstream fetches.
+  /// Edge->upstream transfer rate used to size coalescing fetch windows
+  /// (how long an object stays "in flight" behind the edge).
+  double backhaul_bps = 50e6;
+  CdnRegionalConfig regional;
+  CdnBrownoutConfig brownout;
+  CdnShedConfig shed;
+  /// Backoff schedule for shed requests (base/factor/max): the k-th
+  /// consecutive shed waits min(base * factor^k, max) — the existing
+  /// RetryPolicy exponential, so injected overload cannot amplify load.
+  sim::RetryPolicy retry;
+  std::uint64_t seed = 11;  ///< Outage schedule + shed draws.
+
+  /// Validates every nested config; throws std::invalid_argument with
+  /// field-named messages ("CdnConfig.<field>: ...").
+  void validate() const;
+};
+
+/// Per-tier delivery counters, folded in title order into the fleet report.
+struct CdnStats {
+  std::uint64_t client_requests = 0;  ///< Hook consultations (per object).
+  std::uint64_t edge_hits = 0;
+  std::uint64_t regional_hits = 0;
+  std::uint64_t origin_fetches = 0;  ///< New upstream fetches to the origin.
+  std::uint64_t coalesced = 0;       ///< Requests joined to an in-flight fetch.
+  std::uint64_t shed = 0;            ///< Requests shed by admission control.
+  std::uint64_t failovers = 0;       ///< Requests routed past a downed node.
+  std::uint64_t brownout_fetches = 0;  ///< Origin fetches inside the window.
+  double shed_wait_s = 0.0;          ///< Backoff seconds charged to sheds.
+  double regional_hit_bits = 0.0;
+  double origin_fetch_bits = 0.0;
+
+  void merge(const CdnStats& other);
+
+  /// Upstream fetches (regional + origin) per client request — the
+  /// retry-amplification number; 1.0 means every request left the edge.
+  [[nodiscard]] double upstream_fetch_ratio() const {
+    return client_requests == 0
+               ? 0.0
+               : static_cast<double>(regional_hits + origin_fetches) /
+                     static_cast<double>(client_requests);
+  }
+};
+
+/// One upstream fetch window, keyed by packed ObjectKey: a later request
+/// for the same object whose global time falls inside [start_s, ready_s)
+/// coalesces onto it. Windows persist until the title completes (a new
+/// fetch of the same object overwrites its window), so serialized
+/// session execution still observes every overlap in global time.
+struct CdnInflight {
+  double start_s = 0.0;
+  double ready_s = 0.0;
+  std::uint32_t tier = 2;  ///< Tier the original fetch was served from.
+};
+
+/// Mutable per-title CDN state. Owned by whichever worker holds the title;
+/// snapshotted/restored by the fleet checkpoint.
+struct TitleCdnState {
+  /// This title's regional slice, created lazily with the title's edge
+  /// shard and folded into `regional_stats` when the title completes.
+  std::unique_ptr<EdgeCache> regional;
+  EdgeCacheStats regional_stats;
+  /// Ordered so checkpoint snapshots serialize deterministically.
+  std::map<std::uint64_t, CdnInflight> inflight;
+  std::uint64_t requests = 0;           ///< Shed-draw counter.
+  std::uint64_t consecutive_sheds = 0;  ///< Backoff ladder position.
+  /// Set by on_chunk_request, consumed by on_chunk_delivered: the object
+  /// traversed a healthy regional node and should be admitted there.
+  bool admit_regional = false;
+  CdnStats stats;
+};
+
+/// Immutable shared run data: the tier graph, the fault schedule, and the
+/// offered-load profile. Pure functions of (config, num_titles, arrivals),
+/// so every worker can query it without synchronization.
+class CdnModel {
+ public:
+  /// `arrivals` must be the run's full ascending arrival-times vector (the
+  /// offered-load profile shedding reads). Throws std::invalid_argument on
+  /// an invalid config or unsorted arrivals.
+  CdnModel(const CdnConfig& cfg, const EdgeCacheConfig& edge_cfg,
+           std::size_t num_titles, std::vector<double> arrivals);
+
+  [[nodiscard]] const CdnConfig& config() const { return cfg_; }
+  [[nodiscard]] const EdgeCacheConfig& edge_config() const {
+    return edge_cfg_;
+  }
+  /// Per-title regional slice config (capacity_bits / num_titles).
+  [[nodiscard]] const EdgeCacheConfig& regional_shard_config() const {
+    return regional_shard_cfg_;
+  }
+
+  [[nodiscard]] std::size_t node_of(std::size_t title) const {
+    return title % cfg_.regional.nodes;
+  }
+  [[nodiscard]] bool brownout_at(double t) const;
+  [[nodiscard]] bool node_down(std::size_t node, double t) const;
+  /// The node's outage windows, ascending by start (tests + reporting).
+  [[nodiscard]] const std::vector<std::pair<double, double>>& outages(
+      std::size_t node) const {
+    return outages_[node];
+  }
+
+  /// Active sessions at `t` divided by the (brownout-scaled) origin
+  /// capacity; 0 when shedding is off.
+  [[nodiscard]] double origin_utilization(double t) const;
+  /// min(max_shed_prob, (u - threshold) / u) above the threshold, else 0.
+  [[nodiscard]] double shed_probability(double t) const;
+
+ private:
+  CdnConfig cfg_;
+  EdgeCacheConfig edge_cfg_;
+  EdgeCacheConfig regional_shard_cfg_;
+  std::vector<double> arrivals_;
+  std::vector<std::vector<std::pair<double, double>>> outages_;
+};
+
+/// Deterministic shed backoff: min(base * factor^consecutive, max) off the
+/// policy's exponential schedule (no jitter — the draw that shed the
+/// request already carries the randomness).
+[[nodiscard]] double shed_backoff_s(const sim::RetryPolicy& policy,
+                                    std::uint64_t consecutive_sheds);
+
+/// sim::DownloadPathHook adapter routing one title's fetches through the
+/// hierarchy. One instance serves every session of the title (they run
+/// serially); call begin_session() with each session's arrival time so
+/// fetch windows, fault schedules, and offered load are all evaluated in
+/// global fleet time.
+class CdnPath final : public sim::DownloadPathHook {
+ public:
+  /// Creates `state.regional` (this title's regional slice) when absent, so
+  /// a fresh title and a checkpoint-restored one wire up identically.
+  CdnPath(const CdnModel& model, EdgeCache& edge, TitleCdnState& state,
+          std::uint32_t title);
+
+  void begin_session(double arrival_s) { arrival_s_ = arrival_s; }
+
+  [[nodiscard]] sim::FetchPlan on_chunk_request(const video::Video& video,
+                                                std::size_t track,
+                                                std::size_t index,
+                                                double size_bits,
+                                                double now_s) override;
+  void on_chunk_delivered(const video::Video& video, std::size_t track,
+                          std::size_t index, double size_bits,
+                          double now_s) override;
+
+ private:
+  const CdnModel* model_;
+  EdgeCache* edge_;
+  TitleCdnState* state_;
+  std::uint32_t title_;
+  double arrival_s_ = 0.0;
+};
+
+}  // namespace vbr::fleet

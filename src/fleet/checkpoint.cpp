@@ -121,6 +121,29 @@ std::uint64_t fleet_spec_fingerprint(const FleetSpec& spec) {
   h.f64(spec.cache.origin_rate_scale);
   h.f64(spec.cache.max_object_fraction);
 
+  h.b(spec.cdn.enabled);
+  h.b(spec.cdn.coalesce);
+  h.f64(spec.cdn.backhaul_bps);
+  h.u64(spec.cdn.seed);
+  h.u64(spec.cdn.regional.nodes);
+  h.f64(spec.cdn.regional.capacity_bits);
+  h.f64(spec.cdn.regional.hit_latency_s);
+  h.f64(spec.cdn.regional.rate_scale);
+  h.u64(spec.cdn.regional.outages_per_node);
+  h.f64(spec.cdn.regional.outage_duration_s);
+  h.f64(spec.cdn.regional.failover_latency_s);
+  h.f64(spec.cdn.brownout.start_s);
+  h.f64(spec.cdn.brownout.duration_s);
+  h.f64(spec.cdn.brownout.rate_scale);
+  h.f64(spec.cdn.brownout.extra_latency_s);
+  h.f64(spec.cdn.brownout.capacity_scale);
+  h.f64(spec.cdn.shed.capacity_sessions);
+  h.f64(spec.cdn.shed.active_session_s);
+  h.f64(spec.cdn.shed.threshold);
+  h.f64(spec.cdn.shed.max_shed_prob);
+  h.f64(spec.cdn.shed.penalty_rate_scale);
+  hash_retry(h, spec.cdn.retry);
+
   h.f64(spec.session.startup_latency_s);
   h.f64(spec.session.max_buffer_s);
   h.f64(spec.session.request_rtt_s);
@@ -168,8 +191,7 @@ void put_u64(std::string& s, std::uint64_t v) {
 
 void put_f64(std::string& s, double v) { obs::detail::append_double(s, v); }
 
-void put_stats(std::string& s, const EdgeCacheStats& st) {
-  s += "stats ";
+void put_stats_fields(std::string& s, const EdgeCacheStats& st) {
   put_u64(s, st.lookups);
   sp(s);
   put_u64(s, st.hits);
@@ -183,6 +205,11 @@ void put_stats(std::string& s, const EdgeCacheStats& st) {
   put_f64(s, st.evicted_bits);
   sp(s);
   put_u64(s, st.rejected);
+}
+
+void put_stats(std::string& s, const EdgeCacheStats& st) {
+  s += "stats ";
+  put_stats_fields(s, st);
   s += '\n';
 }
 
@@ -395,9 +422,9 @@ std::vector<std::uint64_t> read_uvec(Reader& r, const char* tag) {
   return out;
 }
 
-EdgeCacheStats read_stats(Reader& r) {
+EdgeCacheStats read_stats(Reader& r, const char* tag = "stats") {
   Tokens t(r.next_line(), r);
-  t.expect("stats");
+  t.expect(tag);
   EdgeCacheStats st;
   st.lookups = t.u64();
   st.hits = t.u64();
@@ -408,6 +435,46 @@ EdgeCacheStats read_stats(Reader& r) {
   st.rejected = t.u64();
   t.done();
   return st;
+}
+
+void put_entries(std::string& s, const char* tag,
+                 const std::vector<EdgeCacheEntrySnapshot>& entries) {
+  s += tag;
+  sp(s);
+  put_u64(s, entries.size());
+  s += '\n';
+  for (const EdgeCacheEntrySnapshot& e : entries) {
+    s += "e ";
+    put_u64(s, e.title);
+    sp(s);
+    put_u64(s, e.track);
+    sp(s);
+    put_u64(s, e.chunk);
+    sp(s);
+    put_f64(s, e.bits);
+    s += '\n';
+  }
+}
+
+std::vector<EdgeCacheEntrySnapshot> read_entries(Reader& r, const char* tag) {
+  Tokens t(r.next_line(), r);
+  t.expect(tag);
+  const std::uint64_t n = t.u64();
+  t.done();
+  std::vector<EdgeCacheEntrySnapshot> out;
+  out.reserve(n);
+  for (std::uint64_t j = 0; j < n; ++j) {
+    Tokens e(r.next_line(), r);
+    e.expect("e");
+    EdgeCacheEntrySnapshot snap;
+    snap.title = static_cast<std::uint32_t>(e.u64());
+    snap.track = static_cast<std::uint32_t>(e.u64());
+    snap.chunk = e.u64();
+    snap.bits = e.f64();
+    e.done();
+    out.push_back(snap);
+  }
+  return out;
 }
 
 void put_registry(std::string& s, const obs::MetricsRegistry& reg) {
@@ -571,18 +638,54 @@ void FleetCheckpoint::save(const std::string& path) const {
     put_stats(s, ts.stats);
     put_uvec(s, "hits", ts.track_hits);
     put_uvec(s, "tot", ts.track_total);
-    s += "entries ";
-    put_u64(s, ts.shard_entries.size());
+    put_entries(s, "entries", ts.shard_entries);
+    // CDN hierarchy state (v2): uniform — all zeros when the CDN is off.
+    s += "cdn ";
+    put_u64(s, ts.cdn_requests);
+    sp(s);
+    put_u64(s, ts.cdn_consecutive_sheds);
+    sp(s);
+    put_u64(s, ts.has_regional ? 1 : 0);
     s += '\n';
-    for (const EdgeCacheEntrySnapshot& e : ts.shard_entries) {
-      s += "e ";
-      put_u64(s, e.title);
+    s += "cstats ";
+    put_u64(s, ts.cdn_stats.client_requests);
+    sp(s);
+    put_u64(s, ts.cdn_stats.edge_hits);
+    sp(s);
+    put_u64(s, ts.cdn_stats.regional_hits);
+    sp(s);
+    put_u64(s, ts.cdn_stats.origin_fetches);
+    sp(s);
+    put_u64(s, ts.cdn_stats.coalesced);
+    sp(s);
+    put_u64(s, ts.cdn_stats.shed);
+    sp(s);
+    put_u64(s, ts.cdn_stats.failovers);
+    sp(s);
+    put_u64(s, ts.cdn_stats.brownout_fetches);
+    sp(s);
+    put_f64(s, ts.cdn_stats.shed_wait_s);
+    sp(s);
+    put_f64(s, ts.cdn_stats.regional_hit_bits);
+    sp(s);
+    put_f64(s, ts.cdn_stats.origin_fetch_bits);
+    s += '\n';
+    s += "rstats ";
+    put_stats_fields(s, ts.regional_stats);
+    s += '\n';
+    put_entries(s, "rentries", ts.regional_entries);
+    s += "inflight ";
+    put_u64(s, ts.inflight.size());
+    s += '\n';
+    for (const auto& [key, fl] : ts.inflight) {
+      s += "if ";
+      put_u64(s, key);
       sp(s);
-      put_u64(s, e.track);
+      put_f64(s, fl.start_s);
       sp(s);
-      put_u64(s, e.chunk);
+      put_f64(s, fl.ready_s);
       sp(s);
-      put_f64(s, e.bits);
+      put_u64(s, fl.tier);
       s += '\n';
     }
   }
@@ -612,6 +715,14 @@ void FleetCheckpoint::save(const std::string& path) const {
     put_f64(s, rec.edge_hit_bits);
     sp(s);
     put_f64(s, rec.origin_bits);
+    sp(s);
+    put_u64(s, rec.regional_hits);
+    sp(s);
+    put_u64(s, rec.coalesced_chunks);
+    sp(s);
+    put_u64(s, rec.shed_chunks);
+    sp(s);
+    put_f64(s, rec.regional_bits);
     sp(s);
     put_u64(s, rec.watchdog_aborted ? 1 : 0);
     s += '\n';
@@ -863,21 +974,53 @@ FleetCheckpoint FleetCheckpoint::load(const std::string& path) {
           ts.track_total.size() != ck.max_tracks) {
         r.fail("track vector size mismatch");
       }
-      Tokens et(r.next_line(), r);
-      et.expect("entries");
-      const std::uint64_t ne = et.u64();
-      et.done();
-      ts.shard_entries.reserve(ne);
-      for (std::uint64_t j = 0; j < ne; ++j) {
-        Tokens e(r.next_line(), r);
-        e.expect("e");
-        EdgeCacheEntrySnapshot snap;
-        snap.title = static_cast<std::uint32_t>(e.u64());
-        snap.track = static_cast<std::uint32_t>(e.u64());
-        snap.chunk = e.u64();
-        snap.bits = e.f64();
-        e.done();
-        ts.shard_entries.push_back(snap);
+      ts.shard_entries = read_entries(r, "entries");
+      {
+        Tokens ct(r.next_line(), r);
+        ct.expect("cdn");
+        ts.cdn_requests = ct.u64();
+        ts.cdn_consecutive_sheds = ct.u64();
+        ts.has_regional = ct.flag();
+        ct.done();
+      }
+      {
+        Tokens cs(r.next_line(), r);
+        cs.expect("cstats");
+        ts.cdn_stats.client_requests = cs.u64();
+        ts.cdn_stats.edge_hits = cs.u64();
+        ts.cdn_stats.regional_hits = cs.u64();
+        ts.cdn_stats.origin_fetches = cs.u64();
+        ts.cdn_stats.coalesced = cs.u64();
+        ts.cdn_stats.shed = cs.u64();
+        ts.cdn_stats.failovers = cs.u64();
+        ts.cdn_stats.brownout_fetches = cs.u64();
+        ts.cdn_stats.shed_wait_s = cs.f64();
+        ts.cdn_stats.regional_hit_bits = cs.f64();
+        ts.cdn_stats.origin_fetch_bits = cs.f64();
+        cs.done();
+      }
+      ts.regional_stats = read_stats(r, "rstats");
+      ts.regional_entries = read_entries(r, "rentries");
+      {
+        Tokens it(r.next_line(), r);
+        it.expect("inflight");
+        const std::uint64_t ni = it.u64();
+        it.done();
+        ts.inflight.reserve(ni);
+        for (std::uint64_t j = 0; j < ni; ++j) {
+          Tokens f(r.next_line(), r);
+          f.expect("if");
+          const std::uint64_t key = f.u64();
+          CdnInflight fl;
+          fl.start_s = f.f64();
+          fl.ready_s = f.f64();
+          fl.tier = static_cast<std::uint32_t>(f.u64());
+          f.done();
+          if (fl.tier > 2) {
+            r.fail("inflight tier out of range");
+          }
+          ts.inflight.emplace_back(key, fl);
+        }
       }
       ck.titles.push_back(std::move(ts));
     }
@@ -904,6 +1047,10 @@ FleetCheckpoint FleetCheckpoint::load(const std::string& path) {
       rec.edge_hits = st.u64();
       rec.edge_hit_bits = st.f64();
       rec.origin_bits = st.f64();
+      rec.regional_hits = st.u64();
+      rec.coalesced_chunks = st.u64();
+      rec.shed_chunks = st.u64();
+      rec.regional_bits = st.f64();
       rec.watchdog_aborted = st.flag();
       st.done();
       if (rec.session_id >= ck.num_sessions) {

@@ -22,7 +22,7 @@
 // snapshot never sees a half-run session. Durability: the file is written
 // to `<path>.tmp`, fsynced, atomically renamed over `<path>`, and the
 // directory is fsynced; a crash mid-write leaves the previous checkpoint
-// intact. Format: versioned text ("VBRFLEETCKPT 1"), shortest-round-trip
+// intact. Format: versioned text ("VBRFLEETCKPT 2"), shortest-round-trip
 // doubles (exact), telemetry as checksummed JSONL lines, and a whole-file
 // FNV-1a trailer. load() rejects bad magic, unknown versions, trailer
 // mismatches, and a spec fingerprint that does not match the running spec
@@ -35,6 +35,7 @@
 #include <string>
 #include <vector>
 
+#include "fleet/cdn.h"
 #include "fleet/edge_cache.h"
 #include "fleet/fleet.h"
 #include "obs/event.h"
@@ -91,7 +92,7 @@ class FleetKilled : public std::runtime_error {
 /// Versioned snapshot of run_fleet progress. See the header comment for
 /// the determinism argument and the on-disk format.
 struct FleetCheckpoint {
-  static constexpr std::uint32_t kVersion = 1;
+  static constexpr std::uint32_t kVersion = 2;
 
   std::uint64_t spec_fingerprint = 0;
   std::uint64_t num_sessions = 0;  ///< Total sessions of the run.
@@ -113,6 +114,18 @@ struct FleetCheckpoint {
     std::vector<EdgeCacheEntrySnapshot> shard_entries;
     std::vector<std::uint64_t> track_hits;   ///< Sized to max_tracks.
     std::vector<std::uint64_t> track_total;  ///< Sized to max_tracks.
+
+    // CDN hierarchy state (fleet/cdn.h). All-zero / empty when the spec's
+    // CDN is disabled; serialized unconditionally so the format is uniform.
+    std::uint64_t cdn_requests = 0;           ///< Shed-draw counter.
+    std::uint64_t cdn_consecutive_sheds = 0;  ///< Backoff ladder position.
+    CdnStats cdn_stats;
+    EdgeCacheStats regional_stats;
+    /// In-progress titles with the CDN on carry their live regional slice
+    /// (MRU-first) and open coalescing fetch windows (key order).
+    bool has_regional = false;
+    std::vector<EdgeCacheEntrySnapshot> regional_entries;
+    std::vector<std::pair<std::uint64_t, CdnInflight>> inflight;
   };
   std::vector<TitleState> titles;
 

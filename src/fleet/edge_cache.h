@@ -119,6 +119,11 @@ class EdgeCache {
   void restore(const std::vector<EdgeCacheEntrySnapshot>& entries,
                const EdgeCacheStats& stats);
 
+  /// Packs a key into the 64-bit form used internally and by the CDN
+  /// layer's coalescing tables (20 bits title / 8 track / 36 chunk).
+  /// Throws std::invalid_argument on out-of-range components.
+  static std::uint64_t pack(const ObjectKey& key);
+
   [[nodiscard]] double used_bits() const { return used_bits_; }
   [[nodiscard]] std::size_t num_objects() const { return index_.size(); }
   [[nodiscard]] const EdgeCacheConfig& config() const { return config_; }
@@ -130,7 +135,6 @@ class EdgeCache {
     double bits;
   };
 
-  static std::uint64_t pack(const ObjectKey& key);
   void evict_lru();
 
   EdgeCacheConfig config_;

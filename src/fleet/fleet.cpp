@@ -10,6 +10,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <ostream>
 #include <stdexcept>
 #include <thread>
@@ -191,6 +192,36 @@ void FleetSpec::validate() const {
   watch.validate();
   if (use_cache) {
     cache.validate();
+    // Cross-field: a miss that is cheaper than a hit inverts the whole
+    // delivery model (every downstream latency comparison assumes the
+    // origin is the slow path).
+    if (cache.miss_latency_s <= cache.hit_latency_s) {
+      throw std::invalid_argument(
+          "FleetSpec.cache.miss_latency_s: must exceed cache.hit_latency_s "
+          "(the origin path cannot be faster than an edge hit)");
+    }
+  }
+  if (cdn.enabled) {
+    if (!use_cache) {
+      throw std::invalid_argument(
+          "FleetSpec.cdn.enabled: requires use_cache — the CDN hierarchy "
+          "extends the edge tier");
+    }
+    cdn.validate();
+    // Cross-field sanity of the hierarchy: each tier must be bigger and
+    // slower than the one below it, or the topology is unsatisfiable.
+    if (cdn.regional.capacity_bits < cache.capacity_bits) {
+      throw std::invalid_argument(
+          "FleetSpec.cdn.regional.capacity_bits: smaller than the edge "
+          "tier's cache.capacity_bits — the hierarchy is unsatisfiable");
+    }
+    if (cdn.regional.hit_latency_s <= cache.hit_latency_s ||
+        cdn.regional.hit_latency_s >= cache.miss_latency_s) {
+      throw std::invalid_argument(
+          "FleetSpec.cdn.regional.hit_latency_s: must lie strictly between "
+          "cache.hit_latency_s and cache.miss_latency_s (edge < regional < "
+          "origin)");
+    }
   }
   if (classes.empty()) {
     throw std::invalid_argument(
@@ -336,6 +367,17 @@ FleetResult run_fleet(const FleetSpec& spec) {
         spec.cache.capacity_bits / static_cast<double>(num_titles);
   }
 
+  // CDN hierarchy: one immutable shared model (tier graph, fault schedule,
+  // offered-load profile — all pure functions of the spec and the arrival
+  // times) plus per-title mutable state rows, owned like the shards.
+  const bool cdn_on = spec.use_cache && spec.cdn.enabled;
+  std::optional<CdnModel> cdn_model;
+  std::vector<TitleCdnState> cdn_states(cdn_on ? num_titles : 0);
+  if (cdn_on) {
+    cdn_model.emplace(spec.cdn, shard_cfg, num_titles, arrivals);
+  }
+  result.cdn_enabled = cdn_on;
+
   const bool crash_safety_on = !spec.checkpoint_path.empty() ||
                                spec.kill.after_sessions > 0 || spec.resume;
   const std::uint64_t fp =
@@ -381,6 +423,33 @@ FleetResult run_fleet(const FleetSpec& spec) {
         } catch (const std::invalid_argument& e) {
           throw CheckpointError(
               std::string("checkpoint: bad shard snapshot: ") + e.what());
+        }
+      }
+      if (cdn_on) {
+        TitleCdnState& cst = cdn_states[k];
+        cst.requests = ts.cdn_requests;
+        cst.consecutive_sheds = ts.cdn_consecutive_sheds;
+        cst.stats = ts.cdn_stats;
+        if (ts.done == ts.total) {
+          cst.regional_stats = ts.regional_stats;
+        } else {
+          if (!ts.has_regional) {
+            throw CheckpointError(
+                "checkpoint: in-progress title is missing its regional "
+                "slice snapshot");
+          }
+          cst.regional = std::make_unique<EdgeCache>(
+              cdn_model->regional_shard_config());
+          try {
+            cst.regional->restore(ts.regional_entries, ts.regional_stats);
+          } catch (const std::invalid_argument& e) {
+            throw CheckpointError(
+                std::string("checkpoint: bad regional slice snapshot: ") +
+                e.what());
+          }
+          for (const auto& [key, fl] : ts.inflight) {
+            cst.inflight.emplace(key, fl);
+          }
         }
       }
       initial_done += ts.done;
@@ -453,6 +522,22 @@ FleetResult run_fleet(const FleetSpec& spec) {
         }
       } else {
         ts.stats = shard_stats[k];
+      }
+      if (cdn_on) {
+        const TitleCdnState& cst = cdn_states[k];
+        ts.cdn_requests = cst.requests;
+        ts.cdn_consecutive_sheds = cst.consecutive_sheds;
+        ts.cdn_stats = cst.stats;
+        if (cst.regional) {
+          ts.regional_stats = cst.regional->stats();
+          if (dk < by_title[k].size()) {
+            ts.has_regional = true;
+            ts.regional_entries = cst.regional->snapshot();
+            ts.inflight.assign(cst.inflight.begin(), cst.inflight.end());
+          }
+        } else {
+          ts.regional_stats = cst.regional_stats;
+        }
       }
       ck.titles.push_back(std::move(ts));
       for (std::size_t idx = 0; idx < dk; ++idx) {
@@ -538,14 +623,24 @@ FleetResult run_fleet(const FleetSpec& spec) {
             // resumed in-progress title arrives here with its shard
             // already restored from the checkpoint.
             std::unique_ptr<EdgeCachePath> path;
+            std::unique_ptr<CdnPath> cdn_path;
             if (spec.use_cache) {
               if (!shards[k]) {
                 shards[k] = std::make_unique<EdgeCache>(shard_cfg);
               }
-              // The path adapter is stateless per session (cache + title
-              // id), so one instance serves every session of the title.
-              path = std::make_unique<EdgeCachePath>(
-                  *shards[k], static_cast<std::uint32_t>(k));
+              if (cdn_on) {
+                // The CDN path routes through the hierarchy; it needs each
+                // session's arrival time (begin_session below) to evaluate
+                // fetch windows and fault schedules in global fleet time.
+                cdn_path = std::make_unique<CdnPath>(
+                    *cdn_model, *shards[k], cdn_states[k],
+                    static_cast<std::uint32_t>(k));
+              } else {
+                // The path adapter is stateless per session (cache + title
+                // id), so one instance serves every session of the title.
+                path = std::make_unique<EdgeCachePath>(
+                    *shards[k], static_cast<std::uint32_t>(k));
+              }
             }
 
             for (std::size_t idx = done_in_title[k]; idx < ids.size();
@@ -579,7 +674,10 @@ FleetResult run_fleet(const FleetSpec& spec) {
               if (sizes != nullptr) {
                 sc.size_provider = sizes;
               }
-              if (path) {
+              if (cdn_path) {
+                cdn_path->begin_session(arrivals[sid]);
+                sc.download_hook = cdn_path.get();
+              } else if (path) {
                 sc.download_hook = path.get();
               }
               if (telemetry_on) {
@@ -615,8 +713,21 @@ FleetResult run_fleet(const FleetSpec& spec) {
                   ++track_hits[k][c.track];
                   ++rec.edge_hits;
                   rec.edge_hit_bits += c.size_bits;
+                } else if (c.coalesced) {
+                  // Joined a shared upstream fetch: no new origin egress,
+                  // so the hit-ratio views count it like an edge hit.
+                  ++track_hits[k][c.track];
+                  ++rec.coalesced_chunks;
+                  rec.edge_hit_bits += c.size_bits;
+                } else if (c.delivery_tier == 1) {
+                  ++track_hits[k][c.track];
+                  ++rec.regional_hits;
+                  rec.regional_bits += c.size_bits;
                 } else {
                   rec.origin_bits += c.size_bits;
+                }
+                if (c.shed) {
+                  ++rec.shed_chunks;
                 }
               }
               const std::vector<metrics::PlayedChunk> played =
@@ -650,6 +761,14 @@ FleetResult run_fleet(const FleetSpec& spec) {
             if (done_in_title[k] == ids.size() && shards[k]) {
               shard_stats[k] = shards[k]->stats();
               shards[k].reset();  // bound memory: the shard is folded
+              if (cdn_on) {
+                TitleCdnState& cst = cdn_states[k];
+                if (cst.regional) {
+                  cst.regional_stats = cst.regional->stats();
+                  cst.regional.reset();
+                }
+                cst.inflight.clear();  // fetch windows die with the title
+              }
             }
           }
         }
@@ -673,6 +792,22 @@ FleetResult run_fleet(const FleetSpec& spec) {
   // for everything per-session.
   for (std::size_t k = 0; k < num_titles; ++k) {
     result.cache.merge(shard_stats[k]);
+  }
+  if (cdn_on) {
+    for (std::size_t k = 0; k < num_titles; ++k) {
+      result.cdn.merge(cdn_states[k].stats);
+      result.regional.merge(cdn_states[k].regional_stats);
+    }
+    result.upstream_fetch_ratio = result.cdn.upstream_fetch_ratio();
+  } else if (spec.use_cache) {
+    // Flat cache model: every miss is exactly one upstream fetch.
+    result.upstream_fetch_ratio =
+        result.cache.lookups == 0
+            ? 0.0
+            : static_cast<double>(result.cache.lookups - result.cache.hits) /
+                  static_cast<double>(result.cache.lookups);
+  } else {
+    result.upstream_fetch_ratio = 1.0;  // no cache: everything hits origin
   }
   {
     std::vector<std::uint64_t> hits(max_tracks, 0);
@@ -767,6 +902,26 @@ FleetResult run_fleet(const FleetSpec& spec) {
         spec.metrics->merge(*reg);
       }
     }
+    if (cdn_on) {
+      // Fold-time tier counters: deterministic (title-order merge above),
+      // so they ride in the registry like any other workload metric.
+      const CdnStats& c = result.cdn;
+      spec.metrics->counter("cdn_client_requests")
+          .add(static_cast<double>(c.client_requests));
+      spec.metrics->counter("cdn_edge_hits")
+          .add(static_cast<double>(c.edge_hits));
+      spec.metrics->counter("cdn_regional_hits")
+          .add(static_cast<double>(c.regional_hits));
+      spec.metrics->counter("cdn_origin_fetches")
+          .add(static_cast<double>(c.origin_fetches));
+      spec.metrics->counter("cdn_coalesced")
+          .add(static_cast<double>(c.coalesced));
+      spec.metrics->counter("cdn_shed").add(static_cast<double>(c.shed));
+      spec.metrics->counter("cdn_failovers")
+          .add(static_cast<double>(c.failovers));
+      spec.metrics->counter("cdn_brownout_fetches")
+          .add(static_cast<double>(c.brownout_fetches));
+    }
   }
   return result;
 }
@@ -800,7 +955,43 @@ void FleetResult::write_json(std::ostream& out) const {
   append_double(s, edge_hit_bits);
   s += ",\"origin_bits\":";
   append_double(s, origin_bits);
-  s += "},\"hit_ratio_by_track\":[";
+  s += ",\"upstream_fetch_ratio\":";
+  append_double(s, upstream_fetch_ratio);
+  s += "},\"cdn\":{\"enabled\":";
+  s += cdn_enabled ? "true" : "false";
+  s += ",\"client_requests\":";
+  append_uint(s, cdn.client_requests);
+  s += ",\"edge_hits\":";
+  append_uint(s, cdn.edge_hits);
+  s += ",\"regional_hits\":";
+  append_uint(s, cdn.regional_hits);
+  s += ",\"origin_fetches\":";
+  append_uint(s, cdn.origin_fetches);
+  s += ",\"coalesced\":";
+  append_uint(s, cdn.coalesced);
+  s += ",\"shed\":";
+  append_uint(s, cdn.shed);
+  s += ",\"failovers\":";
+  append_uint(s, cdn.failovers);
+  s += ",\"brownout_fetches\":";
+  append_uint(s, cdn.brownout_fetches);
+  s += ",\"shed_wait_s\":";
+  append_double(s, cdn.shed_wait_s);
+  s += ",\"regional_hit_bits\":";
+  append_double(s, cdn.regional_hit_bits);
+  s += ",\"origin_fetch_bits\":";
+  append_double(s, cdn.origin_fetch_bits);
+  s += ",\"upstream_fetch_ratio\":";
+  append_double(s, cdn.upstream_fetch_ratio());
+  s += ",\"regional_cache\":{\"lookups\":";
+  append_uint(s, regional.lookups);
+  s += ",\"hits\":";
+  append_uint(s, regional.hits);
+  s += ",\"hit_ratio\":";
+  append_double(s, regional.hit_ratio());
+  s += ",\"evictions\":";
+  append_uint(s, regional.evictions);
+  s += "}},\"hit_ratio_by_track\":[";
   for (std::size_t i = 0; i < hit_ratio_by_track.size(); ++i) {
     if (i > 0) {
       s += ',';

@@ -32,6 +32,7 @@
 
 #include "fleet/arrivals.h"
 #include "fleet/catalog.h"
+#include "fleet/cdn.h"
 #include "fleet/edge_cache.h"
 #include "metrics/report.h"
 #include "net/trace.h"
@@ -97,6 +98,12 @@ struct FleetSpec {
   /// haircut) — the control arm for cache experiments.
   EdgeCacheConfig cache;
   bool use_cache = true;
+
+  /// Multi-tier CDN hierarchy (fleet/cdn.h): edge -> regional -> origin
+  /// with coalescing, fault domains, brownouts, and load shedding.
+  /// `cdn.enabled` requires `use_cache` (the hierarchy extends the edge
+  /// tier); disabled leaves the flat model byte-for-byte untouched.
+  CdnConfig cdn;
 
   WatchConfig watch;
 
@@ -166,6 +173,11 @@ struct FleetSessionRecord {
   std::size_t edge_hits = 0;   ///< Delivered chunks served from the edge.
   double edge_hit_bits = 0.0;  ///< Bytes of delivered chunks served at edge.
   double origin_bits = 0.0;    ///< Bytes of delivered chunks from origin.
+  // CDN-tier outcomes (all zero when FleetSpec::cdn is disabled).
+  std::size_t regional_hits = 0;     ///< Chunks served by the regional tier.
+  std::size_t coalesced_chunks = 0;  ///< Chunks joined to an in-flight fetch.
+  std::size_t shed_chunks = 0;       ///< Chunks penalized by load shedding.
+  double regional_bits = 0.0;        ///< Bytes served by the regional tier.
   bool watchdog_aborted = false;  ///< Session hit a watchdog budget.
 };
 
@@ -190,6 +202,16 @@ struct FleetResult {
   EdgeCacheStats cache;  ///< Summed over per-title shards, title order.
   double edge_hit_bits = 0.0;  ///< Delivered bytes served from the edge.
   double origin_bits = 0.0;    ///< Delivered bytes egressed from the origin.
+
+  /// CDN hierarchy aggregates (fleet/cdn.h), folded in title order.
+  bool cdn_enabled = false;
+  CdnStats cdn;
+  EdgeCacheStats regional;  ///< Regional-tier cache stats, title order.
+  /// Upstream fetches per client request — the retry-amplification number
+  /// (satellite of the report): with the flat cache model this is the miss
+  /// ratio; with the CDN it is (regional hits + origin fetches) / requests;
+  /// 1.0 with the cache model off.
+  double upstream_fetch_ratio = 0.0;
   /// Delivered-chunk hit ratio per track index (0 when a track saw no
   /// fetches). Sized to the widest title.
   std::vector<double> hit_ratio_by_track;

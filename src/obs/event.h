@@ -77,6 +77,12 @@ struct DecisionEvent {
     std::uint64_t title = 0;      ///< Catalog title index.
     bool edge_hit = false;        ///< Chunk served from the edge cache.
     double edge_latency_s = 0.0;  ///< Delivery-path first-byte latency.
+    /// CDN delivery outcome (fleet::CdnPath): tier 0 = edge, 1 = regional,
+    /// 2 = origin. Serialized only when non-default, so flat edge-cache
+    /// streams keep their pre-CDN bytes.
+    std::uint32_t tier = 0;
+    bool coalesced = false;  ///< Joined an in-flight upstream fetch.
+    bool shed = false;       ///< Penalized by upstream admission control.
   };
   std::optional<EdgeInfo> edge;
 };

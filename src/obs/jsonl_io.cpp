@@ -294,6 +294,13 @@ DecisionEvent parse_jsonl(std::string_view line) {
     g.edge_hit = c.read_bool();
     c.expect(",\"latency_s\":");
     g.edge_latency_s = c.read_double();
+    if (c.try_consume(",\"tier\":")) {
+      g.tier = static_cast<std::uint32_t>(c.read_uint());
+      c.expect(",\"coalesced\":");
+      g.coalesced = c.read_bool();
+      c.expect(",\"shed\":");
+      g.shed = c.read_bool();
+    }
     c.expect("}");
     e.edge = g;
   }

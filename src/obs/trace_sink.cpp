@@ -109,6 +109,16 @@ std::string to_jsonl(const DecisionEvent& e) {
     s += g.edge_hit ? "true" : "false";
     s += ",\"latency_s\":";
     append_double(s, g.edge_latency_s);
+    if (g.tier != 0 || g.coalesced || g.shed) {
+      // CDN-tier outcome: emitted only when non-default so flat edge-cache
+      // streams serialize byte-identically to their pre-CDN form.
+      s += ",\"tier\":";
+      append_uint(s, g.tier);
+      s += ",\"coalesced\":";
+      s += g.coalesced ? "true" : "false";
+      s += ",\"shed\":";
+      s += g.shed ? "true" : "false";
+    }
     s += "}";
   }
   s += "}";

@@ -189,12 +189,15 @@ SessionResult run_session(const video::Video& video, const net::Trace& trace,
         plan = config.download_hook->on_chunk_request(video, rec.track, i,
                                                       rec.size_bits, t);
         if (!(plan.rate_scale > 0.0) || plan.rate_scale > 1.0 ||
-            plan.added_latency_s < 0.0) {
+            plan.added_latency_s < 0.0 || plan.tier > 2) {
           throw std::logic_error(
               "run_session: download hook returned an invalid fetch plan");
         }
         rec.edge_hit = plan.edge_hit;
         rec.edge_latency_s = plan.added_latency_s;
+        rec.delivery_tier = plan.tier;
+        rec.coalesced = plan.coalesced;
+        rec.shed = plan.shed;
       }
     };
     draw_plan();

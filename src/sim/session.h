@@ -44,6 +44,11 @@ struct FetchPlan {
   /// origin-served chunk behind a congested backhaul gets < 1.
   double rate_scale = 1.0;
   bool edge_hit = false;         ///< Served from the edge cache (bookkeeping).
+  /// Delivery tier the chunk was served from: 0 = edge, 1 = regional,
+  /// 2 = origin (fleet::CdnPath; the flat edge model only uses 0).
+  unsigned tier = 0;
+  bool coalesced = false;  ///< Joined an in-flight upstream fetch.
+  bool shed = false;       ///< Penalized by upstream admission control.
 };
 
 /// Delivery-infrastructure hook in the chunk-download path (edge cache /
@@ -177,6 +182,9 @@ struct ChunkRecord {
   // Delivery-path outcome (identity defaults when no hook is attached).
   bool edge_hit = false;        ///< Served from the edge cache.
   double edge_latency_s = 0.0;  ///< Hook-added first-byte latency.
+  unsigned delivery_tier = 0;   ///< 0 = edge, 1 = regional, 2 = origin.
+  bool coalesced = false;       ///< Joined an in-flight upstream fetch.
+  bool shed = false;            ///< Penalized by upstream admission control.
 };
 
 /// Complete session outcome.

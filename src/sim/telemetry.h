@@ -193,6 +193,9 @@ struct SessionTelemetry {
         info.title = fleet_title;
         info.edge_hit = rec.edge_hit;
         info.edge_latency_s = rec.edge_latency_s;
+        info.tier = rec.delivery_tier;
+        info.coalesced = rec.coalesced;
+        info.shed = rec.shed;
         ev.edge = info;
       }
       scheme.annotate_event(ev);

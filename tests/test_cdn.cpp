@@ -1,0 +1,437 @@
+// Multi-tier CDN unit tests (fleet/cdn.h): config validation with named
+// fields, the seeded fault/overload model (brownouts, outages, shedding),
+// coalescing fetch-window semantics, and the CdnPath tier routing.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "fleet/cdn.h"
+#include "fleet/edge_cache.h"
+#include "test_util.h"
+
+namespace vbr {
+namespace {
+
+fleet::EdgeCacheConfig edge_cfg() {
+  fleet::EdgeCacheConfig cfg;
+  cfg.capacity_bits = 1e6;
+  cfg.hit_latency_s = 0.005;
+  cfg.miss_latency_s = 0.080;
+  cfg.origin_rate_scale = 0.7;
+  return cfg;
+}
+
+fleet::CdnConfig cdn_cfg() {
+  fleet::CdnConfig cfg;
+  cfg.enabled = true;
+  cfg.backhaul_bps = 1000.0;  // slow on purpose: long coalescing windows
+  cfg.regional.capacity_bits = 1e7;
+  return cfg;
+}
+
+std::vector<double> ramp_arrivals(std::size_t n, double step) {
+  std::vector<double> a(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = static_cast<double>(i) * step;
+  }
+  return a;
+}
+
+/// Expects cfg.validate() to throw naming `field`.
+void expect_field_error(const fleet::CdnConfig& cfg,
+                        const std::string& field) {
+  try {
+    cfg.validate();
+    FAIL() << "expected invalid_argument naming " << field;
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find(field), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(CdnConfig, ValidationNamesTheOffendingField) {
+  {
+    fleet::CdnConfig c = cdn_cfg();
+    c.backhaul_bps = 0.0;
+    expect_field_error(c, "CdnConfig.backhaul_bps");
+  }
+  {
+    fleet::CdnConfig c = cdn_cfg();
+    c.regional.nodes = 0;
+    expect_field_error(c, "CdnConfig.regional.nodes");
+  }
+  {
+    fleet::CdnConfig c = cdn_cfg();
+    c.regional.rate_scale = 1.5;
+    expect_field_error(c, "CdnConfig.regional.rate_scale");
+  }
+  {
+    fleet::CdnConfig c = cdn_cfg();
+    c.regional.outages_per_node = 2;
+    c.regional.outage_duration_s = 0.0;
+    expect_field_error(c, "CdnConfig.regional.outage_duration_s");
+  }
+  {
+    fleet::CdnConfig c = cdn_cfg();
+    c.brownout.rate_scale = 0.0;
+    expect_field_error(c, "CdnConfig.brownout.rate_scale");
+  }
+  {
+    fleet::CdnConfig c = cdn_cfg();
+    c.brownout.capacity_scale = 2.0;
+    expect_field_error(c, "CdnConfig.brownout.capacity_scale");
+  }
+  {
+    fleet::CdnConfig c = cdn_cfg();
+    c.shed.threshold = 0.0;
+    expect_field_error(c, "CdnConfig.shed.threshold");
+  }
+  {
+    fleet::CdnConfig c = cdn_cfg();
+    c.shed.max_shed_prob = 1.5;
+    expect_field_error(c, "CdnConfig.shed.max_shed_prob");
+  }
+  {
+    fleet::CdnConfig c = cdn_cfg();
+    c.shed.penalty_rate_scale = 0.0;
+    expect_field_error(c, "CdnConfig.shed.penalty_rate_scale");
+  }
+}
+
+TEST(CdnModel, BrownoutWindowIsHalfOpen) {
+  fleet::CdnConfig cfg = cdn_cfg();
+  cfg.brownout.start_s = 100.0;
+  cfg.brownout.duration_s = 50.0;
+  const fleet::CdnModel m(cfg, edge_cfg(), 4, ramp_arrivals(10, 10.0));
+  EXPECT_FALSE(m.brownout_at(99.9));
+  EXPECT_TRUE(m.brownout_at(100.0));
+  EXPECT_TRUE(m.brownout_at(149.9));
+  EXPECT_FALSE(m.brownout_at(150.0));
+}
+
+TEST(CdnModel, ZeroDurationMeansNoBrownout) {
+  const fleet::CdnModel m(cdn_cfg(), edge_cfg(), 4, ramp_arrivals(10, 10.0));
+  EXPECT_FALSE(m.brownout_at(0.0));
+  EXPECT_FALSE(m.brownout_at(1e9));
+}
+
+TEST(CdnModel, OutageScheduleIsSeededAndDeterministic) {
+  fleet::CdnConfig cfg = cdn_cfg();
+  cfg.regional.nodes = 3;
+  cfg.regional.outages_per_node = 4;
+  cfg.regional.outage_duration_s = 20.0;
+  const std::vector<double> arrivals = ramp_arrivals(100, 5.0);
+  const fleet::CdnModel a(cfg, edge_cfg(), 6, arrivals);
+  const fleet::CdnModel b(cfg, edge_cfg(), 6, arrivals);
+  for (std::size_t node = 0; node < 3; ++node) {
+    ASSERT_EQ(a.outages(node).size(), 4u);
+    EXPECT_EQ(a.outages(node), b.outages(node));
+    // Windows are sorted and node_down agrees with them (individual
+    // windows may overlap, so "up" is only checkable past all of them).
+    double prev = -1.0;
+    double max_end = 0.0;
+    for (const auto& [start, end] : a.outages(node)) {
+      EXPECT_GE(start, prev);
+      EXPECT_DOUBLE_EQ(end - start, 20.0);
+      EXPECT_TRUE(a.node_down(node, start));
+      EXPECT_TRUE(a.node_down(node, (start + end) / 2.0));
+      prev = start;
+      max_end = std::max(max_end, end);
+    }
+    EXPECT_FALSE(a.node_down(node, max_end));
+  }
+  // A different seed moves the schedule.
+  fleet::CdnConfig reseeded = cfg;
+  reseeded.seed = cfg.seed + 1;
+  const fleet::CdnModel c(reseeded, edge_cfg(), 6, arrivals);
+  EXPECT_NE(a.outages(0), c.outages(0));
+}
+
+TEST(CdnModel, TitlesMapOntoNodesRoundRobin) {
+  fleet::CdnConfig cfg = cdn_cfg();
+  cfg.regional.nodes = 3;
+  const fleet::CdnModel m(cfg, edge_cfg(), 7, ramp_arrivals(5, 1.0));
+  EXPECT_EQ(m.node_of(0), 0u);
+  EXPECT_EQ(m.node_of(4), 1u);
+  EXPECT_EQ(m.node_of(5), 2u);
+}
+
+TEST(CdnModel, UtilizationTracksTheArrivalWindow) {
+  fleet::CdnConfig cfg = cdn_cfg();
+  cfg.shed.capacity_sessions = 10.0;
+  cfg.shed.active_session_s = 10.0;
+  // 100 arrivals, one per second.
+  const fleet::CdnModel m(cfg, edge_cfg(), 4, ramp_arrivals(100, 1.0));
+  // At t=50 the window [40, 50] holds the 11 arrivals 40..50 inclusive.
+  EXPECT_DOUBLE_EQ(m.origin_utilization(50.0), 1.1);
+  // At t=0 only the t=0 arrival is in [-10, 0].
+  EXPECT_DOUBLE_EQ(m.origin_utilization(0.0), 0.1);
+  // Brownout halves capacity, doubling utilization.
+  fleet::CdnConfig hot = cfg;
+  hot.brownout.start_s = 40.0;
+  hot.brownout.duration_s = 20.0;
+  hot.brownout.capacity_scale = 0.5;
+  const fleet::CdnModel mh(hot, edge_cfg(), 4, ramp_arrivals(100, 1.0));
+  EXPECT_DOUBLE_EQ(mh.origin_utilization(50.0), 2.2);
+}
+
+TEST(CdnModel, ShedProbabilityRampsAboveThresholdAndIsCapped) {
+  fleet::CdnConfig cfg = cdn_cfg();
+  cfg.shed.capacity_sessions = 10.0;
+  cfg.shed.active_session_s = 10.0;
+  cfg.shed.threshold = 0.7;
+  cfg.shed.max_shed_prob = 0.5;
+  const fleet::CdnModel m(cfg, edge_cfg(), 4, ramp_arrivals(400, 0.25));
+  // 4 arrivals/s * 10 s window / 10 capacity = utilization 4.0.
+  const double t = 50.0;
+  ASSERT_GT(m.origin_utilization(t), 3.5);
+  const double expected = (m.origin_utilization(t) - 0.7) /
+                          m.origin_utilization(t);
+  EXPECT_DOUBLE_EQ(m.shed_probability(t),
+                   expected > 0.5 ? 0.5 : expected);
+  // Below threshold: no shedding at all.
+  fleet::CdnConfig cold = cfg;
+  cold.shed.capacity_sessions = 1000.0;
+  const fleet::CdnModel mc(cold, edge_cfg(), 4, ramp_arrivals(400, 0.25));
+  EXPECT_DOUBLE_EQ(mc.shed_probability(t), 0.0);
+  // Shedding off entirely.
+  fleet::CdnConfig off = cfg;
+  off.shed.capacity_sessions = 0.0;
+  const fleet::CdnModel mo(off, edge_cfg(), 4, ramp_arrivals(400, 0.25));
+  EXPECT_DOUBLE_EQ(mo.origin_utilization(t), 0.0);
+  EXPECT_DOUBLE_EQ(mo.shed_probability(t), 0.0);
+}
+
+TEST(CdnModel, ShedBackoffGrowsExponentiallyToTheCap) {
+  sim::RetryPolicy policy;
+  policy.backoff_base_s = 0.5;
+  policy.backoff_factor = 2.0;
+  policy.backoff_max_s = 3.0;
+  EXPECT_DOUBLE_EQ(fleet::shed_backoff_s(policy, 0), 0.5);
+  EXPECT_DOUBLE_EQ(fleet::shed_backoff_s(policy, 1), 1.0);
+  EXPECT_DOUBLE_EQ(fleet::shed_backoff_s(policy, 2), 2.0);
+  EXPECT_DOUBLE_EQ(fleet::shed_backoff_s(policy, 3), 3.0);
+  EXPECT_DOUBLE_EQ(fleet::shed_backoff_s(policy, 50), 3.0);  // capped
+}
+
+TEST(CdnModel, RegionalSliceSplitsCapacityPerTitle) {
+  fleet::CdnConfig cfg = cdn_cfg();
+  cfg.regional.capacity_bits = 8e6;
+  cfg.regional.hit_latency_s = 0.02;
+  cfg.regional.rate_scale = 0.9;
+  const fleet::CdnModel m(cfg, edge_cfg(), 4, ramp_arrivals(10, 1.0));
+  EXPECT_DOUBLE_EQ(m.regional_shard_config().capacity_bits, 2e6);
+  EXPECT_DOUBLE_EQ(m.regional_shard_config().hit_latency_s, 0.02);
+  EXPECT_DOUBLE_EQ(m.regional_shard_config().origin_rate_scale, 0.9);
+}
+
+TEST(CdnModel, RejectsUnsortedArrivals) {
+  EXPECT_THROW(fleet::CdnModel(cdn_cfg(), edge_cfg(), 4, {3.0, 1.0, 2.0}),
+               std::invalid_argument);
+  EXPECT_THROW(fleet::CdnModel(cdn_cfg(), edge_cfg(), 0, {1.0}),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// CdnPath tier routing.
+
+/// Harness: one title's path with a hand-driven clock. The edge cache is
+/// tiny with a strict size gate so 600-bit objects are never admitted at
+/// the edge — every request goes upstream, which makes coalescing windows
+/// and regional behaviour directly observable.
+struct PathHarness {
+  explicit PathHarness(fleet::CdnConfig cfg,
+                       double edge_capacity_bits = 1000.0)
+      : video(testutil::default_flat_video(10)) {
+    fleet::EdgeCacheConfig ec = edge_cfg();
+    ec.capacity_bits = edge_capacity_bits;
+    ec.max_object_fraction = 0.5;
+    model = std::make_unique<fleet::CdnModel>(cfg, ec, 4,
+                                              ramp_arrivals(100, 1.0));
+    edge = std::make_unique<fleet::EdgeCache>(ec);
+    path = std::make_unique<fleet::CdnPath>(*model, *edge, state, 0);
+  }
+
+  sim::FetchPlan request(double arrival_s, std::size_t chunk,
+                         double size_bits = 600.0, double now_s = 0.0) {
+    path->begin_session(arrival_s);
+    return path->on_chunk_request(video, 0, chunk, size_bits, now_s);
+  }
+
+  void deliver(double arrival_s, std::size_t chunk, double size_bits = 600.0,
+               double now_s = 0.0) {
+    path->begin_session(arrival_s);
+    path->on_chunk_delivered(video, 0, chunk, size_bits, now_s);
+  }
+
+  video::Video video;
+  std::unique_ptr<fleet::CdnModel> model;
+  std::unique_ptr<fleet::EdgeCache> edge;
+  fleet::TitleCdnState state;
+  std::unique_ptr<fleet::CdnPath> path;
+};
+
+TEST(CdnPath, RoutesMissesToOriginThenServesEdgeHits) {
+  fleet::CdnConfig cfg = cdn_cfg();
+  PathHarness h(cfg, /*edge_capacity_bits=*/1e6);  // roomy edge: admits
+  const sim::FetchPlan miss = h.request(0.0, 0);
+  EXPECT_EQ(miss.tier, 2u);
+  EXPECT_FALSE(miss.edge_hit);
+  EXPECT_DOUBLE_EQ(miss.added_latency_s, 0.080);
+  EXPECT_DOUBLE_EQ(miss.rate_scale, 0.7);
+  h.deliver(0.0, 0);
+  const sim::FetchPlan hit = h.request(0.0, 0);
+  EXPECT_EQ(hit.tier, 0u);
+  EXPECT_TRUE(hit.edge_hit);
+  EXPECT_DOUBLE_EQ(hit.added_latency_s, 0.005);
+  EXPECT_EQ(h.state.stats.client_requests, 2u);
+  EXPECT_EQ(h.state.stats.edge_hits, 1u);
+  EXPECT_EQ(h.state.stats.origin_fetches, 1u);
+}
+
+TEST(CdnPath, ServesFromRegionalWhenEdgeCannotHold) {
+  fleet::CdnConfig cfg = cdn_cfg();
+  cfg.regional.hit_latency_s = 0.02;
+  cfg.regional.rate_scale = 0.9;
+  PathHarness h(cfg);  // 1000-bit edge rejects 600-bit objects (size gate)
+  const sim::FetchPlan first = h.request(0.0, 0);
+  EXPECT_EQ(first.tier, 2u);
+  h.deliver(0.0, 0);  // admitted regionally, rejected at the edge
+  EXPECT_EQ(h.edge->stats().rejected, 1u);
+  // Outside the coalescing window the rerequest lands on the regional tier.
+  const sim::FetchPlan second = h.request(50.0, 0);
+  EXPECT_EQ(second.tier, 1u);
+  EXPECT_FALSE(second.edge_hit);
+  EXPECT_DOUBLE_EQ(second.added_latency_s, 0.02);
+  EXPECT_DOUBLE_EQ(second.rate_scale, 0.9);
+  EXPECT_EQ(h.state.stats.regional_hits, 1u);
+}
+
+TEST(CdnPath, CoalescesConcurrentMissesIntoOneOriginFetch) {
+  // K requests for the same object inside its fetch window must produce
+  // exactly one origin fetch. backhaul 1000 bps * 600 bits = 0.6 s window.
+  PathHarness h(cdn_cfg());
+  const sim::FetchPlan first = h.request(0.0, 0);
+  EXPECT_EQ(first.tier, 2u);
+  h.deliver(0.0, 0);
+  constexpr int kConcurrent = 5;
+  for (int i = 1; i <= kConcurrent; ++i) {
+    const double arrival = 0.1 * i;  // all inside [0, ~0.68)
+    const sim::FetchPlan p = h.request(arrival, 0);
+    EXPECT_TRUE(p.coalesced) << "request " << i;
+    EXPECT_EQ(p.tier, 2u);  // the shared fetch came from the origin
+    EXPECT_DOUBLE_EQ(p.rate_scale, 1.0);
+    // The joiner waits out the remaining window plus the edge hand-off.
+    EXPECT_GT(p.added_latency_s, 0.0);
+    h.deliver(arrival, 0);
+  }
+  EXPECT_EQ(h.state.stats.origin_fetches, 1u);
+  EXPECT_EQ(h.state.stats.coalesced,
+            static_cast<std::uint64_t>(kConcurrent));
+  // Past the window the object must be re-fetched (regional this time:
+  // delivery admitted it there).
+  const sim::FetchPlan late = h.request(10.0, 0);
+  EXPECT_FALSE(late.coalesced);
+  EXPECT_EQ(late.tier, 1u);
+}
+
+TEST(CdnPath, CoalescingCanBeDisabled) {
+  fleet::CdnConfig cfg = cdn_cfg();
+  cfg.coalesce = false;
+  cfg.regional.capacity_bits = 400.0;  // too small: regional rejects too
+  PathHarness h(cfg);
+  (void)h.request(0.0, 0);
+  h.deliver(0.0, 0);
+  const sim::FetchPlan p = h.request(0.1, 0);
+  EXPECT_FALSE(p.coalesced);
+  EXPECT_EQ(h.state.stats.origin_fetches, 2u);
+}
+
+TEST(CdnPath, FailsOverPastADownedNodeWithLatencyPenalty) {
+  fleet::CdnConfig cfg = cdn_cfg();
+  cfg.regional.nodes = 1;
+  cfg.regional.outages_per_node = 1;
+  cfg.regional.outage_duration_s = 30.0;
+  cfg.regional.failover_latency_s = 0.05;
+  PathHarness h(cfg);
+  const auto& window = h.model->outages(0)[0];
+  const double down_t = (window.first + window.second) / 2.0;
+  ASSERT_TRUE(h.model->node_down(0, down_t));
+
+  // Fetch + deliver while the node is down: origin with failover latency,
+  // and the object must NOT be absorbed by the downed regional node.
+  const sim::FetchPlan p = h.request(down_t, 0);
+  EXPECT_EQ(p.tier, 2u);
+  EXPECT_DOUBLE_EQ(p.added_latency_s, 0.080 + 0.05);
+  EXPECT_EQ(h.state.stats.failovers, 1u);
+  h.deliver(down_t, 0);
+  EXPECT_EQ(h.state.regional->stats().lookups, 0u);
+
+  // After recovery the same object misses regionally (it was never
+  // admitted) and this time transits the healthy node.
+  const double up_t = window.second + 100.0;
+  const sim::FetchPlan q = h.request(up_t, 0);
+  EXPECT_EQ(q.tier, 2u);
+  EXPECT_DOUBLE_EQ(q.added_latency_s, 0.080);
+  h.deliver(up_t, 0);
+  const sim::FetchPlan r = h.request(up_t + 50.0, 0);
+  EXPECT_EQ(r.tier, 1u);
+}
+
+TEST(CdnPath, BrownoutDegradesOriginFetches) {
+  fleet::CdnConfig cfg = cdn_cfg();
+  cfg.brownout.start_s = 10.0;
+  cfg.brownout.duration_s = 10.0;
+  cfg.brownout.rate_scale = 0.5;
+  cfg.brownout.extra_latency_s = 0.2;
+  PathHarness h(cfg);
+  const sim::FetchPlan cool = h.request(0.0, 0);
+  EXPECT_DOUBLE_EQ(cool.added_latency_s, 0.080);
+  EXPECT_DOUBLE_EQ(cool.rate_scale, 0.7);
+  const sim::FetchPlan hot = h.request(15.0, 1);
+  EXPECT_DOUBLE_EQ(hot.added_latency_s, 0.080 + 0.2);
+  EXPECT_DOUBLE_EQ(hot.rate_scale, 0.7 * 0.5);
+  EXPECT_EQ(h.state.stats.brownout_fetches, 1u);
+}
+
+TEST(CdnPath, ShedsUnderOverloadWithEscalatingBackoff) {
+  fleet::CdnConfig cfg = cdn_cfg();
+  cfg.shed.capacity_sessions = 1.0;  // absurdly small: always overloaded
+  cfg.shed.active_session_s = 100.0;
+  cfg.shed.threshold = 0.1;
+  cfg.shed.max_shed_prob = 1.0;
+  cfg.shed.penalty_rate_scale = 0.4;
+  cfg.retry.backoff_base_s = 0.5;
+  cfg.retry.backoff_factor = 2.0;
+  cfg.retry.backoff_max_s = 8.0;
+  cfg.regional.capacity_bits = 400.0;  // regional rejects: all origin
+  cfg.coalesce = false;
+  PathHarness h(cfg);
+  const double t = 90.0;
+  ASSERT_GT(h.model->shed_probability(t), 0.95);
+  std::uint64_t sheds = 0;
+  double max_penalty = 0.0;
+  for (std::size_t i = 0; i < 12; ++i) {
+    const sim::FetchPlan p = h.request(t, i);
+    if (p.shed) {
+      ++sheds;
+      EXPECT_DOUBLE_EQ(p.rate_scale, 0.7 * 0.4);
+      max_penalty = std::max(max_penalty, p.added_latency_s - 0.080);
+    }
+    h.deliver(t, i);
+  }
+  EXPECT_EQ(sheds, h.state.stats.shed);
+  EXPECT_GE(sheds, 8u);  // shed probability ~= 0.9-cap region
+  // Consecutive sheds climbed the exponential ladder past the base delay.
+  EXPECT_GT(max_penalty, 0.5);
+  EXPECT_LE(max_penalty, 8.0);
+  EXPECT_GT(h.state.stats.shed_wait_s, 0.0);
+}
+
+}  // namespace
+}  // namespace vbr

@@ -278,7 +278,7 @@ TEST(Checkpoint, CorruptFilesRejectedWithNamedErrors) {
   {
     // Valid trailer, garbage body: the field parser must name the problem,
     // not crash.
-    expect_rejected(with_trailer("VBRFLEETCKPT 1\nmeta not-a-number\n"),
+    expect_rejected(with_trailer("VBRFLEETCKPT 2\nmeta not-a-number\n"),
                     "malformed meta line");
   }
 

@@ -2,6 +2,8 @@
 // invariant, and the DownloadPathHook adapter.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
@@ -105,6 +107,53 @@ TEST(EdgeCache, CapacityInvariantHoldsUnderRandomOperations) {
     ASSERT_LE(cache.used_bits(), 5000.0 + 1e-9);
   }
   EXPECT_GT(cache.stats().lookups, 0u);
+}
+
+TEST(EdgeCache, StatsConserveBytesUnderEvictionChurn) {
+  // Accounting invariants across an adversarial churn of admits (unique
+  // keys, so no refresh ambiguity) and lookups against recent admits:
+  //   - every looked-up bit lands in exactly one of hit_bits/miss_bits,
+  //   - every accepted admitted bit is either still resident or evicted,
+  //   - the size gate accounts for every rejection.
+  const double capacity = 4000.0;
+  fleet::EdgeCache cache(small_cache(capacity));
+  double lookup_bits = 0.0;
+  double accepted_bits = 0.0;
+  std::uint64_t lookups = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t admits = 0;
+  for (std::uint64_t i = 0; i < 800; ++i) {
+    // Integer sizes keep the double sums exact; the range straddles the
+    // 2000-bit size gate (max_object_fraction 0.5 of 4000).
+    const double size =
+        50.0 + std::floor(2200.0 * fleet::detail::keyed_u01(7, i, 0, 0xbeef));
+    if (fleet::detail::keyed_u01(7, i, 1, 0xbeef) < 0.4 && admits > 0) {
+      // Look up one of the ~20 most recently admitted objects.
+      const std::uint64_t back =
+          fleet::detail::mix64(i) % std::min<std::uint64_t>(admits, 20);
+      cache.lookup(key(1000 + admits - 1 - back), size);
+      ++lookups;
+      lookup_bits += size;
+    } else {
+      cache.admit(key(1000 + admits), size);
+      ++admits;
+      if (size > 0.5 * capacity) {
+        ++rejected;
+      } else {
+        accepted_bits += size;
+      }
+    }
+    ASSERT_LE(cache.used_bits(), capacity + 1e-9);
+  }
+  const fleet::EdgeCacheStats& st = cache.stats();
+  EXPECT_EQ(st.lookups, lookups);
+  EXPECT_GT(st.hits, 0u);
+  EXPECT_LE(st.hits, st.lookups);
+  EXPECT_DOUBLE_EQ(st.hit_bits + st.miss_bits, lookup_bits);
+  EXPECT_EQ(st.rejected, rejected);
+  EXPECT_GT(st.rejected, 0u);
+  EXPECT_GT(st.evictions, 0u);
+  EXPECT_DOUBLE_EQ(cache.used_bits() + st.evicted_bits, accepted_bits);
 }
 
 TEST(EdgeCache, ValidationRejectsBadConfigAndInputs) {

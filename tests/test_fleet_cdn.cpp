@@ -1,0 +1,306 @@
+// Fleet-level CDN integration tests: a flash crowd riding through an
+// origin brownout with regional outages and load shedding must stay
+// byte-deterministic across worker thread counts and across kill/resume,
+// coalescing must measurably cut origin fetches, the report JSON must
+// carry the CDN block, and FleetSpec::validate must reject inconsistent
+// cross-field configurations by name.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "abr/bba.h"
+#include "abr/scheme.h"
+#include "fleet/checkpoint.h"
+#include "fleet/fleet.h"
+#include "obs/metrics.h"
+#include "obs/trace_sink.h"
+#include "test_util.h"
+
+namespace vbr {
+namespace {
+
+std::vector<net::Trace> two_traces() {
+  std::vector<net::Trace> traces;
+  traces.push_back(testutil::flat_trace(4e6, 600.0));
+  traces.push_back(testutil::flat_trace(1.5e6, 600.0));
+  return traces;
+}
+
+/// The CDN stress fleet: a flash crowd whose burst lands inside an origin
+/// brownout, with one regional outage per node, aggressive shedding, and a
+/// slow backhaul so coalescing windows actually overlap concurrent
+/// arrivals. The edge cache is eviction-prone, so plenty of traffic goes
+/// upstream.
+fleet::FleetSpec cdn_spec(const std::vector<net::Trace>& traces,
+                          const std::string& checkpoint_path = "") {
+  fleet::FleetSpec spec;
+  spec.catalog.num_titles = 6;
+  spec.catalog.title_duration_s = 40.0;
+  spec.arrivals.kind = fleet::ArrivalKind::kFlashCrowd;
+  spec.arrivals.rate_per_s = 0.3;
+  spec.arrivals.horizon_s = 150.0;
+  spec.arrivals.max_sessions = 40;
+  spec.arrivals.burst_start_s = 40.0;
+  spec.arrivals.burst_duration_s = 30.0;
+  spec.arrivals.burst_multiplier = 8.0;
+  spec.classes.resize(2);
+  spec.classes[0].label = "bba";
+  spec.classes[0].make_scheme = [] { return std::make_unique<abr::Bba>(); };
+  spec.classes[1].label = "fixed1";
+  spec.classes[1].make_scheme = [] {
+    return std::make_unique<abr::FixedTrackScheme>(1);
+  };
+  spec.traces = traces;
+  // Deliberately tiny edge shards: a single session's content overflows
+  // its title's slice, so re-requests miss the edge and land on the
+  // regional tier or inside a still-open coalescing window.
+  spec.cache.capacity_bits = 5e7;
+  spec.watch.full_watch_prob = 0.5;
+  spec.watch.mean_partial_s = 20.0;
+  spec.watch.min_watch_s = 4.0;
+  spec.session.startup_latency_s = 4.0;
+  spec.checkpoint_path = checkpoint_path;
+  spec.checkpoint_every = 8;
+
+  spec.cdn.enabled = true;
+  spec.cdn.backhaul_bps = 1e6;  // multi-second fetch windows per chunk
+  spec.cdn.regional.nodes = 2;
+  spec.cdn.regional.capacity_bits = 4e9;
+  spec.cdn.regional.outages_per_node = 2;
+  spec.cdn.regional.outage_duration_s = 25.0;
+  spec.cdn.brownout.start_s = 40.0;  // the brownout covers the burst
+  spec.cdn.brownout.duration_s = 40.0;
+  spec.cdn.brownout.rate_scale = 0.5;
+  spec.cdn.brownout.extra_latency_s = 0.2;
+  spec.cdn.brownout.capacity_scale = 0.5;
+  spec.cdn.shed.capacity_sessions = 6.0;
+  spec.cdn.shed.active_session_s = 30.0;
+  spec.cdn.shed.threshold = 0.5;
+  spec.cdn.shed.max_shed_prob = 0.8;
+  return spec;
+}
+
+/// Full serialized observation of one run: merged JSONL (which carries the
+/// per-chunk tier/coalesced/shed fields), metrics fingerprint, report
+/// JSON, and the per-session outcome table including the CDN columns.
+std::string run_and_serialize(fleet::FleetSpec spec, unsigned threads) {
+  obs::MemoryTraceSink sink;
+  obs::MetricsRegistry registry;
+  spec.trace = &sink;
+  spec.metrics = &registry;
+  spec.threads = threads;
+  const fleet::FleetResult result = fleet::run_fleet(spec);
+
+  std::ostringstream out;
+  for (const obs::DecisionEvent& ev : sink.events()) {
+    out << obs::to_jsonl(ev) << '\n';
+  }
+  out << registry.deterministic_fingerprint() << '\n';
+  result.write_json(out);
+  for (const fleet::FleetSessionRecord& r : result.sessions) {
+    out << r.session_id << ' ' << r.arrival_s << ' ' << r.title << ' '
+        << r.class_index << ' ' << r.chunks << ' ' << r.edge_hits << ' '
+        << r.regional_hits << ' ' << r.coalesced_chunks << ' '
+        << r.shed_chunks << ' ' << r.regional_bits << ' '
+        << r.qoe.data_usage_mb << '\n';
+  }
+  return out.str();
+}
+
+void run_until_killed(fleet::FleetSpec spec, unsigned threads,
+                      std::uint64_t kill_after) {
+  obs::MemoryTraceSink sink;
+  obs::MetricsRegistry registry;
+  spec.trace = &sink;
+  spec.metrics = &registry;
+  spec.threads = threads;
+  spec.kill.after_sessions = kill_after;
+  try {
+    (void)fleet::run_fleet(spec);
+    FAIL() << "expected FleetKilled (kill_after=" << kill_after << ")";
+  } catch (const fleet::FleetKilled& k) {
+    EXPECT_GE(k.sessions_completed(), kill_after);
+  }
+}
+
+TEST(FleetCdn, FlashCrowdBrownoutIsByteDeterministicAcrossThreads) {
+  const std::vector<net::Trace> traces = two_traces();
+  const std::string one = run_and_serialize(cdn_spec(traces), 1);
+  const std::string two = run_and_serialize(cdn_spec(traces), 2);
+  const std::string eight = run_and_serialize(cdn_spec(traces), 8);
+  EXPECT_GT(one.size(), 1000u);
+  EXPECT_EQ(one, two);
+  EXPECT_EQ(one, eight);
+}
+
+TEST(FleetCdn, ExercisesEveryProtectionPathAndFoldsConsistently) {
+  const std::vector<net::Trace> traces = two_traces();
+  const fleet::FleetResult r = fleet::run_fleet(cdn_spec(traces));
+  ASSERT_TRUE(r.cdn_enabled);
+  // The stress spec must actually reach every tier and every protection
+  // mechanism, or the determinism tests above prove nothing about them.
+  EXPECT_GT(r.cdn.edge_hits, 0u);
+  EXPECT_GT(r.cdn.regional_hits, 0u);
+  EXPECT_GT(r.cdn.origin_fetches, 0u);
+  EXPECT_GT(r.cdn.coalesced, 0u);
+  EXPECT_GT(r.cdn.shed, 0u);
+  EXPECT_GT(r.cdn.failovers, 0u);
+  EXPECT_GT(r.cdn.brownout_fetches, 0u);
+  EXPECT_GT(r.cdn.shed_wait_s, 0.0);
+  // Every client request was served by exactly one of the four paths.
+  EXPECT_EQ(r.cdn.client_requests, r.cdn.edge_hits + r.cdn.coalesced +
+                                       r.cdn.regional_hits +
+                                       r.cdn.origin_fetches);
+  // Shed and brownout fetches are subsets of origin fetches.
+  EXPECT_LE(r.cdn.shed, r.cdn.origin_fetches);
+  EXPECT_LE(r.cdn.brownout_fetches, r.cdn.origin_fetches);
+  EXPECT_DOUBLE_EQ(r.upstream_fetch_ratio, r.cdn.upstream_fetch_ratio());
+  EXPECT_GT(r.upstream_fetch_ratio, 0.0);
+  EXPECT_LT(r.upstream_fetch_ratio, 1.0);  // the edge absorbed something
+
+  // The per-session records fold to the same totals as the title-order
+  // CDN aggregates (each request maps to exactly one delivered chunk).
+  std::size_t regional = 0;
+  std::size_t coalesced = 0;
+  std::size_t shed = 0;
+  double regional_bits = 0.0;
+  for (const fleet::FleetSessionRecord& rec : r.sessions) {
+    regional += rec.regional_hits;
+    coalesced += rec.coalesced_chunks;
+    shed += rec.shed_chunks;
+    regional_bits += rec.regional_bits;
+  }
+  EXPECT_EQ(regional, r.cdn.regional_hits);
+  EXPECT_EQ(coalesced, r.cdn.coalesced);
+  EXPECT_EQ(shed, r.cdn.shed);
+  EXPECT_DOUBLE_EQ(regional_bits, r.cdn.regional_hit_bits);
+  // The regional-tier cache saw the regional traffic.
+  EXPECT_GT(r.regional.lookups, 0u);
+  EXPECT_EQ(r.regional.hits, r.cdn.regional_hits);
+}
+
+TEST(FleetCdn, KillAndResumeMidBrownoutMatchesTheUninterruptedRun) {
+  const std::vector<net::Trace> traces = two_traces();
+  const std::string golden = run_and_serialize(cdn_spec(traces), 1);
+  ASSERT_GT(golden.size(), 1000u);
+
+  int case_id = 0;
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    // kill_after 12 lands inside the burst/brownout window with live
+    // coalescing state; 25 lands past it with shed counters accumulated.
+    for (const std::uint64_t kill_after :
+         {std::uint64_t{12}, std::uint64_t{25}}) {
+      const std::string path = testing::TempDir() + "cdn_ck_" +
+                               std::to_string(case_id++) + ".ckpt";
+      std::remove(path.c_str());
+      run_until_killed(cdn_spec(traces, path), threads, kill_after);
+      fleet::FleetSpec resume = cdn_spec(traces, path);
+      resume.resume = true;
+      EXPECT_EQ(run_and_serialize(resume, threads), golden)
+          << "threads=" << threads << " kill_after=" << kill_after;
+      std::remove(path.c_str());
+    }
+  }
+}
+
+TEST(FleetCdn, CoalescingReducesOriginFetches) {
+  const std::vector<net::Trace> traces = two_traces();
+  const fleet::FleetResult with = fleet::run_fleet(cdn_spec(traces));
+  fleet::FleetSpec off_spec = cdn_spec(traces);
+  off_spec.cdn.coalesce = false;
+  const fleet::FleetResult without = fleet::run_fleet(off_spec);
+  ASSERT_GT(with.cdn.coalesced, 0u);
+  EXPECT_EQ(without.cdn.coalesced, 0u);
+  // The coalesced requests would otherwise have gone upstream: switching
+  // coalescing off must cost extra regional/origin fetches.
+  EXPECT_LT(with.cdn.origin_fetches + with.cdn.regional_hits,
+            without.cdn.origin_fetches + without.cdn.regional_hits);
+  EXPECT_LT(with.upstream_fetch_ratio, without.upstream_fetch_ratio);
+}
+
+TEST(FleetCdn, ReportJsonCarriesTheCdnBlock) {
+  const std::vector<net::Trace> traces = two_traces();
+  const fleet::FleetResult r = fleet::run_fleet(cdn_spec(traces));
+  std::ostringstream out;
+  r.write_json(out);
+  const std::string json = out.str();
+  for (const char* needle :
+       {"\"cdn\":{\"enabled\":true", "\"client_requests\":",
+        "\"regional_hits\":", "\"origin_fetches\":", "\"coalesced\":",
+        "\"shed\":", "\"failovers\":", "\"brownout_fetches\":",
+        "\"shed_wait_s\":", "\"upstream_fetch_ratio\":",
+        "\"regional_cache\":{"}) {
+    EXPECT_NE(json.find(needle), std::string::npos) << needle;
+  }
+
+  // Disabled CDN: the block says so and the flat ratio is reported.
+  fleet::FleetSpec flat = cdn_spec(traces);
+  flat.cdn = fleet::CdnConfig{};
+  const fleet::FleetResult rf = fleet::run_fleet(flat);
+  std::ostringstream out_flat;
+  rf.write_json(out_flat);
+  EXPECT_NE(out_flat.str().find("\"cdn\":{\"enabled\":false"),
+            std::string::npos);
+  EXPECT_FALSE(rf.cdn_enabled);
+  EXPECT_EQ(rf.cdn.client_requests, 0u);
+  ASSERT_GT(rf.cache.lookups, 0u);
+  EXPECT_DOUBLE_EQ(
+      rf.upstream_fetch_ratio,
+      static_cast<double>(rf.cache.lookups - rf.cache.hits) /
+          static_cast<double>(rf.cache.lookups));
+}
+
+/// Expects spec.validate() to throw an invalid_argument naming `field`.
+void expect_spec_error(const fleet::FleetSpec& spec,
+                       const std::string& field) {
+  try {
+    spec.validate();
+    FAIL() << "expected invalid_argument naming " << field;
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find(field), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(FleetCdn, ValidateRejectsInconsistentCrossFieldConfigs) {
+  const std::vector<net::Trace> traces = two_traces();
+  {
+    // Edge miss latency must exceed the hit latency or tiering is absurd.
+    fleet::FleetSpec s = cdn_spec(traces);
+    s.cache.miss_latency_s = s.cache.hit_latency_s;
+    expect_spec_error(s, "FleetSpec.cache.miss_latency_s");
+  }
+  {
+    // The CDN extends the edge cache; it cannot run without one.
+    fleet::FleetSpec s = cdn_spec(traces);
+    s.use_cache = false;
+    expect_spec_error(s, "FleetSpec.cdn.enabled");
+  }
+  {
+    // A regional tier smaller than the edge it backs can never help.
+    fleet::FleetSpec s = cdn_spec(traces);
+    s.cdn.regional.capacity_bits = s.cache.capacity_bits / 2.0;
+    expect_spec_error(s, "FleetSpec.cdn.regional.capacity_bits");
+  }
+  {
+    // Regional latency must sit strictly between edge hit and miss.
+    fleet::FleetSpec s = cdn_spec(traces);
+    s.cdn.regional.hit_latency_s = s.cache.hit_latency_s;
+    expect_spec_error(s, "FleetSpec.cdn.regional.hit_latency_s");
+  }
+  {
+    // Nested CdnConfig validation surfaces through FleetSpec::validate.
+    fleet::FleetSpec s = cdn_spec(traces);
+    s.cdn.backhaul_bps = 0.0;
+    expect_spec_error(s, "CdnConfig.backhaul_bps");
+  }
+}
+
+}  // namespace
+}  // namespace vbr

@@ -127,7 +127,12 @@ const std::set<std::string>& fleet_flag_names() {
       "fleet-threads",   "fleet-seed",           "fleet-full-watch",
       "fleet-report",    "checkpoint",           "checkpoint-every",
       "fleet-kill-after", "fleet-throttle-us",
-      "fleet-watchdog-decisions", "fleet-watchdog-sim-s"};
+      "fleet-watchdog-decisions", "fleet-watchdog-sim-s",
+      "fleet-cdn",       "fleet-cdn-nodes",      "fleet-cdn-regional-mb",
+      "fleet-cdn-backhaul-mbps", "fleet-cdn-no-coalesce", "fleet-cdn-seed",
+      "fleet-brownout-start", "fleet-brownout-duration",
+      "fleet-brownout-rate", "fleet-brownout-capacity",
+      "fleet-shed-capacity", "fleet-outages", "fleet-outage-duration"};
   return names;
 }
 
@@ -175,6 +180,30 @@ fleet::FleetSpec fleet_spec_from_args(const CliArgs& args) {
       args.get_size("fleet-watchdog-decisions", 0);
   spec.session.watchdog_max_sim_s =
       args.get_double("fleet-watchdog-sim-s", 0.0);
+  // CDN hierarchy + overload protection.
+  spec.cdn.enabled = args.has("fleet-cdn");
+  if (spec.cdn.enabled) {
+    spec.cdn.coalesce = !args.has("fleet-cdn-no-coalesce");
+    spec.cdn.regional.nodes = args.get_size("fleet-cdn-nodes", 2);
+    spec.cdn.regional.capacity_bits =
+        args.get_double("fleet-cdn-regional-mb", 4000.0) * 8e6;
+    spec.cdn.backhaul_bps =
+        args.get_double("fleet-cdn-backhaul-mbps", 50.0) * 1e6;
+    spec.cdn.seed = args.get_size("fleet-cdn-seed", 11);
+    spec.cdn.brownout.start_s = args.get_double("fleet-brownout-start", 0.0);
+    spec.cdn.brownout.duration_s =
+        args.get_double("fleet-brownout-duration", 0.0);
+    spec.cdn.brownout.rate_scale =
+        args.get_double("fleet-brownout-rate", 0.5);
+    spec.cdn.brownout.capacity_scale =
+        args.get_double("fleet-brownout-capacity", 0.5);
+    spec.cdn.shed.capacity_sessions =
+        args.get_double("fleet-shed-capacity", 0.0);
+    spec.cdn.regional.outages_per_node = args.get_size("fleet-outages", 0);
+    spec.cdn.regional.outage_duration_s =
+        args.get_double("fleet-outage-duration", 30.0);
+    spec.cdn.validate();
+  }
   spec.catalog.validate();
   spec.arrivals.validate();
   spec.cache.validate();

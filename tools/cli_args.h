@@ -124,6 +124,22 @@ class CliArgs {
 ///   --fleet-watchdog-sim-s S       per-session simulated-time budget
 ///                                  (0 = off); aborted sessions are counted
 ///                                  in the report, never hidden
+///
+/// CDN hierarchy + overload protection (fleet/cdn.h):
+///   --fleet-cdn               enable the edge -> regional -> origin tiers
+///   --fleet-cdn-nodes N       regional fault domains (2)
+///   --fleet-cdn-regional-mb MB  total regional capacity in megabytes (4000)
+///   --fleet-cdn-backhaul-mbps M edge->upstream rate sizing coalescing
+///                             windows, in Mbit/s (50)
+///   --fleet-cdn-no-coalesce   disable request coalescing (control arm)
+///   --fleet-cdn-seed N        outage-schedule + shed-draw seed (11)
+///   --fleet-brownout-start S  origin brownout window start (0)
+///   --fleet-brownout-duration S  window length; 0 = no brownout (0)
+///   --fleet-brownout-rate F   origin rate scale inside the window (0.5)
+///   --fleet-brownout-capacity F  origin capacity scale in the window (0.5)
+///   --fleet-shed-capacity N   origin session capacity; 0 = shedding off (0)
+///   --fleet-outages N         outage windows per regional node (0)
+///   --fleet-outage-duration S length of each node outage (30)
 [[nodiscard]] const std::set<std::string>& fleet_flag_names();
 
 /// Builds the workload part of a FleetSpec (catalog, arrivals, cache,

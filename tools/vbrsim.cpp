@@ -73,6 +73,15 @@
 // --fleet-seed, --fleet-full-watch, --fleet-report FILE. See
 // tools/cli_args.h for defaults.
 //
+// CDN hierarchy (fleet mode; DESIGN.md section 12): --fleet-cdn enables
+// the edge -> regional -> origin tiers with request coalescing
+// (--fleet-cdn-no-coalesce for the control arm), regional fault domains
+// (--fleet-cdn-nodes, --fleet-outages, --fleet-outage-duration), origin
+// brownouts (--fleet-brownout-start/-duration/-rate/-capacity), and load
+// shedding (--fleet-shed-capacity). All faults are seeded
+// (--fleet-cdn-seed): output stays byte-identical at any thread count and
+// across kill/resume, even mid-brownout.
+//
 // Crash safety (fleet mode; DESIGN.md section 11): --checkpoint FILE,
 // --checkpoint-every N, --resume (resume from FILE when it exists),
 // --fleet-kill-after N (cooperative chaos kill: final checkpoint + exit
@@ -209,6 +218,20 @@ int run_fleet_mode(const tools::CliArgs& args,
                 static_cast<std::size_t>(r.cache.evictions));
   } else {
     std::printf("cache: disabled | origin %.1f MB\n", r.origin_bits / 8e6);
+  }
+  if (r.cdn_enabled) {
+    std::printf("cdn: edge %llu, regional %llu, origin %llu of %llu requests "
+                "| coalesced %llu, shed %llu, failovers %llu, brownout %llu "
+                "| upstream ratio %.3f\n",
+                static_cast<unsigned long long>(r.cdn.edge_hits),
+                static_cast<unsigned long long>(r.cdn.regional_hits),
+                static_cast<unsigned long long>(r.cdn.origin_fetches),
+                static_cast<unsigned long long>(r.cdn.client_requests),
+                static_cast<unsigned long long>(r.cdn.coalesced),
+                static_cast<unsigned long long>(r.cdn.shed),
+                static_cast<unsigned long long>(r.cdn.failovers),
+                static_cast<unsigned long long>(r.cdn.brownout_fetches),
+                r.upstream_fetch_ratio);
   }
   std::printf("fairness: jain(quality) %.3f, jain(bits) %.3f\n",
               r.jain_quality, r.jain_bits);
