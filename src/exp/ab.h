@@ -1,0 +1,103 @@
+// In-situ A/B experiment analysis.
+//
+// The assignment side of an experiment lives inside run_fleet (stratified
+// permuted-block randomization, src/fleet/fleet.h); this layer turns the
+// resulting FleetResult into an AbReport: per-arm point estimates with
+// bootstrap confidence intervals, pairwise Welch / Mann-Whitney tests with
+// a single Benjamini-Hochberg family across every (metric, pair, test)
+// hypothesis, a significant-pair matrix per metric, and per-stratum
+// breakdowns. Everything is seeded and counter-based, so the report JSON is
+// byte-identical across runs and thread counts.
+//
+// Metrics analyzed: every pluggable QoE-model score the fleet recorded
+// (FleetResult::qoe_model_names order), then the fixed session outcomes
+// rebuffer_s, all_quality_mean, startup_delay_s, data_usage_mb.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "fleet/fleet.h"
+#include "stats/bootstrap.h"
+#include "stats/inference.h"
+
+namespace vbr::exp {
+
+struct AbAnalysisConfig {
+  /// FDR level for the Benjamini-Hochberg family (significance threshold on
+  /// adjusted p-values). Must be in (0, 1).
+  double alpha = 0.05;
+  /// Bootstrap settings shared by per-arm CIs, pairwise difference CIs, and
+  /// per-stratum CIs (the per-use counter salts keep draws independent).
+  stats::BootstrapConfig bootstrap;
+  /// Strata with fewer sessions per arm than this get a point estimate but
+  /// no confidence interval (a 3-session bootstrap is noise, not evidence).
+  std::size_t min_stratum_sessions = 8;
+
+  /// Throws std::invalid_argument with field-named messages.
+  void validate() const;
+};
+
+/// Point estimate + bootstrap CI for one (arm, metric) cell.
+struct AbEstimate {
+  std::size_t n = 0;
+  double mean = 0.0;
+  bool has_ci = false;  ///< False when n is below the CI floor.
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+/// One pairwise arm comparison under one metric.
+struct AbPairTest {
+  std::size_t arm_a = 0;
+  std::size_t arm_b = 0;
+  stats::TTestResult welch;     ///< mean(a) - mean(b) direction.
+  stats::MannWhitneyResult mwu;
+  double welch_p_adj = 1.0;     ///< BH-adjusted across the whole family.
+  double mwu_p_adj = 1.0;
+  stats::BootstrapCi diff;      ///< CI for mean(a) - mean(b).
+  /// min(welch_p_adj, mwu_p_adj) < alpha.
+  bool significant = false;
+};
+
+/// Everything the analysis produced for one metric.
+struct AbMetricReport {
+  std::string metric;
+  std::vector<AbEstimate> arms;   ///< One per arm, arm order.
+  std::vector<AbPairTest> pairs;  ///< All (a < b) pairs, lexicographic.
+};
+
+/// Per-stratum per-arm cells for one stratum that saw sessions.
+struct AbStratumReport {
+  std::uint32_t stratum = 0;  ///< trace_bucket * 10 + popularity decile.
+  /// cells[metric][arm], metric order matching AbReport::metrics.
+  std::vector<std::vector<AbEstimate>> cells;
+};
+
+struct AbReport {
+  std::vector<std::string> arm_labels;
+  std::vector<std::string> metric_names;
+  double alpha = 0.05;
+  std::size_t hypotheses = 0;  ///< BH family size: metrics * pairs * 2.
+  std::vector<AbMetricReport> metrics;
+  std::vector<AbStratumReport> strata;  ///< Ascending stratum id.
+
+  /// True when any test found the (a, b) pair significant under any metric.
+  [[nodiscard]] bool any_significant() const;
+
+  /// Serializes the report as one deterministic JSON object (ab_report.json
+  /// schema; obs json_util writers, byte-identical across runs).
+  void write_json(std::ostream& out) const;
+};
+
+/// Analyzes an experiment-enabled fleet result. Throws std::invalid_argument
+/// when the result did not come from an experiment run (experiment_enabled
+/// false), when the config is malformed, or when any arm has fewer than two
+/// sessions (the tests need n >= 2 per side).
+[[nodiscard]] AbReport analyze_ab(const fleet::FleetResult& result,
+                                  const AbAnalysisConfig& cfg = {});
+
+}  // namespace vbr::exp

@@ -76,12 +76,35 @@ void hash_retry(SpecHasher& h, const sim::RetryPolicy& r) {
   h.b(r.resume_partial);
 }
 
+void hash_class(SpecHasher& h, const FleetClientClass& c) {
+  h.str(c.label);
+  h.f64(c.weight);
+  hash_fault(h, c.fault);
+  hash_retry(h, c.retry);
+  h.b(static_cast<bool>(c.make_estimator));
+  h.b(static_cast<bool>(c.make_size_provider));
+}
+
 }  // namespace
+
+std::uint64_t fleet_experiment_fingerprint(const FleetSpec& spec) {
+  SpecHasher h;
+  h.b(spec.experiment.enabled());
+  h.u64(spec.experiment.seed);
+  h.u64(spec.experiment.trace_strata);
+  h.b(spec.experiment.score_qoe_models);
+  h.u64(spec.experiment.arms.size());
+  for (const FleetClientClass& c : spec.experiment.arms) {
+    hash_class(h, c);
+  }
+  return h.value();
+}
 
 std::uint64_t fleet_spec_fingerprint(const FleetSpec& spec) {
   SpecHasher h;
   h.u64(FleetCheckpoint::kVersion);
   h.u64(spec.seed);
+  h.u64(fleet_experiment_fingerprint(spec));
 
   h.u64(spec.catalog.num_titles);
   h.f64(spec.catalog.zipf_alpha);
@@ -102,12 +125,7 @@ std::uint64_t fleet_spec_fingerprint(const FleetSpec& spec) {
 
   h.u64(spec.classes.size());
   for (const FleetClientClass& c : spec.classes) {
-    h.str(c.label);
-    h.f64(c.weight);
-    hash_fault(h, c.fault);
-    hash_retry(h, c.retry);
-    h.b(static_cast<bool>(c.make_estimator));
-    h.b(static_cast<bool>(c.make_size_provider));
+    hash_class(h, c);
   }
 
   h.f64(spec.watch.full_watch_prob);
@@ -620,6 +638,8 @@ void FleetCheckpoint::save(const std::string& path) const {
   put_u64(s, max_tracks);
   sp(s);
   put_u64(s, sessions_done);
+  sp(s);
+  put_u64(s, experiment_fingerprint);
   s += '\n';
 
   s += "titles ";
@@ -769,6 +789,12 @@ void FleetCheckpoint::save(const std::string& path) const {
     sp(s);
     put_f64(s, rec.faults.wasted_mb);
     s += '\n';
+    // Experiment stratum + per-QoE-model scores (v3; zero/empty outside
+    // experiment runs, serialized unconditionally for a uniform format).
+    s += "abx ";
+    put_u64(s, rec.stratum);
+    s += '\n';
+    put_dvec(s, "scores", rec.qoe_scores);
     s += "events ";
     put_u64(s, ss.has_events ? 1 : 0);
     sp(s);
@@ -946,6 +972,7 @@ FleetCheckpoint FleetCheckpoint::load(const std::string& path) {
     ck.num_titles = t.u64();
     ck.max_tracks = t.u64();
     ck.sessions_done = t.u64();
+    ck.experiment_fingerprint = t.u64();
     t.done();
   }
 
@@ -1084,6 +1111,11 @@ FleetCheckpoint FleetCheckpoint::load(const std::string& path) {
       rec.faults.resumed_mb = ft.f64();
       rec.faults.wasted_mb = ft.f64();
       ft.done();
+      Tokens at(r.next_line(), r);
+      at.expect("abx");
+      rec.stratum = static_cast<std::uint32_t>(at.u64());
+      at.done();
+      rec.qoe_scores = read_dvec(r, "scores");
       Tokens evt(r.next_line(), r);
       evt.expect("events");
       ss.has_events = evt.flag();

@@ -22,7 +22,7 @@
 // snapshot never sees a half-run session. Durability: the file is written
 // to `<path>.tmp`, fsynced, atomically renamed over `<path>`, and the
 // directory is fsynced; a crash mid-write leaves the previous checkpoint
-// intact. Format: versioned text ("VBRFLEETCKPT 2"), shortest-round-trip
+// intact. Format: versioned text ("VBRFLEETCKPT 3"), shortest-round-trip
 // doubles (exact), telemetry as checksummed JSONL lines, and a whole-file
 // FNV-1a trailer. load() rejects bad magic, unknown versions, trailer
 // mismatches, and a spec fingerprint that does not match the running spec
@@ -89,12 +89,24 @@ class FleetKilled : public std::runtime_error {
 /// label is undetectable (documented sharp edge).
 [[nodiscard]] std::uint64_t fleet_spec_fingerprint(const FleetSpec& spec);
 
+/// Hash of the experiment block alone (enabled flag, assignment seed,
+/// stratum count, QoE-model scoring, and every arm's label/weight/fault/
+/// retry/factory shape). Folded into fleet_spec_fingerprint AND stored
+/// separately in the checkpoint, so resuming under a different arm table
+/// fails with an error naming FleetSpec.experiment instead of a generic
+/// fingerprint mismatch. 0 is never returned (a disabled block hashes to a
+/// fixed non-zero value).
+[[nodiscard]] std::uint64_t fleet_experiment_fingerprint(const FleetSpec& spec);
+
 /// Versioned snapshot of run_fleet progress. See the header comment for
 /// the determinism argument and the on-disk format.
 struct FleetCheckpoint {
-  static constexpr std::uint32_t kVersion = 2;
+  static constexpr std::uint32_t kVersion = 3;
 
   std::uint64_t spec_fingerprint = 0;
+  /// fleet_experiment_fingerprint(spec) at capture time; checked first on
+  /// resume so a changed arm table gets a field-named error.
+  std::uint64_t experiment_fingerprint = 0;
   std::uint64_t num_sessions = 0;  ///< Total sessions of the run.
   std::uint64_t num_titles = 0;
   std::uint64_t max_tracks = 0;

@@ -10,6 +10,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <numeric>
 #include <optional>
 #include <ostream>
 #include <stdexcept>
@@ -18,6 +19,7 @@
 #include "core/complexity_classifier.h"
 #include "fleet/checkpoint.h"
 #include "fleet/rng.h"
+#include "metrics/qoe_model.h"
 #include "metrics/stats.h"
 #include "obs/json_util.h"
 
@@ -31,15 +33,64 @@ constexpr std::uint64_t kSaltClass = 0xf1ee71;
 constexpr std::uint64_t kSaltTrace = 0xf1ee72;
 constexpr std::uint64_t kSaltWatchFull = 0xf1ee73;
 constexpr std::uint64_t kSaltWatchTail = 0xf1ee74;
+constexpr std::uint64_t kSaltArmPerm = 0xf1ee75;
 
 /// Everything an arriving session is, decided up front as pure functions of
 /// (spec.seed, session index) so workers never race on a draw.
 struct SessionDraw {
   std::size_t title = 0;
-  std::size_t cls = 0;
+  std::size_t cls = 0;   ///< Class index — the arm index in an experiment.
   std::size_t trace = 0;
+  std::uint32_t stratum = 0;  ///< Experiment stratum; 0 otherwise.
   double watch_s = 0.0;  ///< 0 = watches to the end.
 };
+
+/// Bandwidth-rank bucket per trace: traces sorted by mean sample bandwidth
+/// (ties by index), rank mapped onto `strata` equal buckets. Pure function
+/// of the trace set, so every thread count sees the same stratification.
+std::vector<std::size_t> trace_rank_buckets(std::span<const net::Trace> traces,
+                                            std::size_t strata) {
+  const std::size_t m = traces.size();
+  std::vector<double> mean_bps(m, 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    const auto& samples = traces[i].samples_bps();
+    double acc = 0.0;
+    for (const double s : samples) acc += s;
+    mean_bps[i] = samples.empty()
+                      ? 0.0
+                      : acc / static_cast<double>(samples.size());
+  }
+  std::vector<std::size_t> order(m);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return mean_bps[a] < mean_bps[b];
+                   });
+  std::vector<std::size_t> bucket(m, 0);
+  for (std::size_t rank = 0; rank < m; ++rank) {
+    bucket[order[rank]] = rank * strata / m;
+  }
+  return bucket;
+}
+
+/// Permuted-block arm assignment: the `pos`-th session of block `block` in
+/// stratum `stratum` gets the `pos`-th entry of a seeded Fisher-Yates
+/// permutation of [0, num_arms). Counter-based (no RNG stream), so the
+/// assignment depends only on (seed, stratum, block, pos).
+std::size_t permuted_block_arm(std::uint64_t seed, std::uint32_t stratum,
+                               std::uint64_t block, std::size_t pos,
+                               std::size_t num_arms) {
+  std::vector<std::size_t> perm(num_arms);
+  std::iota(perm.begin(), perm.end(), std::size_t{0});
+  for (std::size_t i = num_arms - 1; i > 0; --i) {
+    const double u = detail::keyed_u01(seed, stratum,
+                                       block * num_arms + i, kSaltArmPerm);
+    const std::size_t j = std::min(
+        i, static_cast<std::size_t>(u * static_cast<double>(i + 1)));
+    std::swap(perm[i], perm[j]);
+  }
+  return perm[pos];
+}
 
 /// Session-boundary barrier for checkpoints and cooperative kills.
 ///
@@ -223,25 +274,69 @@ void FleetSpec::validate() const {
           "origin)");
     }
   }
-  if (classes.empty()) {
-    throw std::invalid_argument(
-        "FleetSpec.classes: empty — at least one client class is required");
-  }
-  for (std::size_t i = 0; i < classes.size(); ++i) {
-    const FleetClientClass& c = classes[i];
-    const std::string who = "FleetSpec.classes[" + std::to_string(i) + "]";
+  const auto validate_class = [](const FleetClientClass& c,
+                                 const std::string& who) {
     if (!c.make_scheme) {
       throw std::invalid_argument(who + ".make_scheme: missing scheme "
                                         "factory");
     }
-    if (!(c.weight > 0.0)) {
-      throw std::invalid_argument(
-          who + ".weight: must be > 0 (got " + std::to_string(c.weight) +
-          ")");
-    }
     c.fault.validate();
     if (c.fault.any()) {
       c.retry.validate();
+    }
+  };
+  if (experiment.enabled()) {
+    if (!classes.empty()) {
+      throw std::invalid_argument(
+          "FleetSpec.experiment.arms: arms replace the client classes — "
+          "leave FleetSpec.classes empty in an experiment run");
+    }
+    if (experiment.arms.size() < 2) {
+      throw std::invalid_argument(
+          "FleetSpec.experiment.arms: an experiment needs at least two "
+          "arms");
+    }
+    if (experiment.arms.size() > 64) {
+      throw std::invalid_argument(
+          "FleetSpec.experiment.arms: at most 64 arms");
+    }
+    if (experiment.trace_strata < 1 || experiment.trace_strata > 64) {
+      throw std::invalid_argument(
+          "FleetSpec.experiment.trace_strata: must be in [1, 64]");
+    }
+    for (std::size_t i = 0; i < experiment.arms.size(); ++i) {
+      const FleetClientClass& a = experiment.arms[i];
+      const std::string who =
+          "FleetSpec.experiment.arms[" + std::to_string(i) + "]";
+      if (a.label.empty()) {
+        throw std::invalid_argument(
+            who + ".label: arms need explicit, unique labels (they key the "
+                  "A/B report)");
+      }
+      for (std::size_t j = 0; j < i; ++j) {
+        if (experiment.arms[j].label == a.label) {
+          throw std::invalid_argument(
+              who + ".label: duplicate label '" + a.label + "' (arm " +
+              std::to_string(j) + " already uses it)");
+        }
+      }
+      validate_class(a, who);
+    }
+  } else {
+    if (classes.empty()) {
+      throw std::invalid_argument(
+          "FleetSpec.classes: empty — at least one client class is "
+          "required");
+    }
+    for (std::size_t i = 0; i < classes.size(); ++i) {
+      const FleetClientClass& c = classes[i];
+      const std::string who = "FleetSpec.classes[" + std::to_string(i) + "]";
+      if (!(c.weight > 0.0)) {
+        throw std::invalid_argument(
+            who + ".weight: must be > 0 (got " + std::to_string(c.weight) +
+            ")");
+      }
+      validate_class(c, who);
     }
   }
   if (traces.empty()) {
@@ -295,28 +390,35 @@ FleetResult run_fleet(const FleetSpec& spec) {
   }
   const std::size_t n = arrivals.size();
 
-  // Per-session workload draws, all up front, all counter-based.
+  // Experiment runs swap the arms into the class slots; everything per
+  // class downstream (scheme reuse, folds, the per-class report) is per
+  // arm.
+  const bool experiment_on = spec.experiment.enabled();
+  const std::vector<FleetClientClass>& fleet_classes =
+      experiment_on ? spec.experiment.arms : spec.classes;
+
+  // Per-session workload draws, all up front, all counter-based. The
+  // experiment assignment lives here too: the per-stratum counters advance
+  // in arrival order in this single-threaded loop, so the arm table is
+  // byte-identical at any thread count and invariant to title_batch.
   const ZipfSampler zipf(num_titles, spec.catalog.zipf_alpha,
                          detail::derive_seed(spec.seed, 0, kSaltZipf));
   double total_weight = 0.0;
-  for (const FleetClientClass& c : spec.classes) {
+  for (const FleetClientClass& c : fleet_classes) {
     total_weight += c.weight;
+  }
+  std::vector<std::size_t> trace_bucket;
+  std::vector<std::uint64_t> stratum_counter;
+  if (experiment_on) {
+    trace_bucket =
+        trace_rank_buckets(spec.traces, spec.experiment.trace_strata);
+    stratum_counter.assign(spec.experiment.trace_strata * 10, 0);
   }
   std::vector<SessionDraw> draws(n);
   std::vector<std::vector<std::size_t>> by_title(num_titles);
   for (std::size_t i = 0; i < n; ++i) {
     SessionDraw& d = draws[i];
     d.title = zipf.sample(i);
-    const double uc = detail::keyed_u01(spec.seed, i, 0, kSaltClass);
-    double acc = 0.0;
-    d.cls = spec.classes.size() - 1;  // guard against float residue at 1.0
-    for (std::size_t c = 0; c < spec.classes.size(); ++c) {
-      acc += spec.classes[c].weight / total_weight;
-      if (uc < acc) {
-        d.cls = c;
-        break;
-      }
-    }
     d.trace = std::min(
         spec.traces.size() - 1,
         static_cast<std::size_t>(
@@ -327,6 +429,29 @@ FleetResult run_fleet(const FleetSpec& spec) {
       const double u = detail::keyed_u01(spec.seed, i, 0, kSaltWatchTail);
       d.watch_s = spec.watch.min_watch_s -
                   spec.watch.mean_partial_s * std::log(1.0 - u);
+    }
+    if (experiment_on) {
+      // Stratified permuted-block randomization: stratum = trace-class
+      // bucket x popularity decile; the arm comes from a seeded block
+      // permutation at the stratum's arrival counter.
+      d.stratum = static_cast<std::uint32_t>(
+          trace_bucket[d.trace] * 10 + catalog.popularity_decile(d.title));
+      const std::uint64_t count = stratum_counter[d.stratum]++;
+      d.cls = permuted_block_arm(
+          spec.experiment.seed, d.stratum, count / fleet_classes.size(),
+          static_cast<std::size_t>(count % fleet_classes.size()),
+          fleet_classes.size());
+    } else {
+      const double uc = detail::keyed_u01(spec.seed, i, 0, kSaltClass);
+      double acc = 0.0;
+      d.cls = fleet_classes.size() - 1;  // guard float residue at 1.0
+      for (std::size_t c = 0; c < fleet_classes.size(); ++c) {
+        acc += fleet_classes[c].weight / total_weight;
+        if (uc < acc) {
+          d.cls = c;
+          break;
+        }
+      }
     }
     by_title[d.title].push_back(i);
   }
@@ -343,6 +468,15 @@ FleetResult run_fleet(const FleetSpec& spec) {
   FleetResult result;
   result.sessions.resize(n);
   result.cache_enabled = spec.use_cache;
+  result.experiment_enabled = experiment_on;
+
+  // Pluggable QoE-model suite: one immutable, stateless instance shared
+  // read-only across workers; every arm is scored under every definition.
+  const metrics::QoeModelSuite qoe_suite =
+      experiment_on && spec.experiment.score_qoe_models
+          ? metrics::QoeModelSuite::standard()
+          : metrics::QoeModelSuite();
+  result.qoe_model_names = qoe_suite.names();
 
   std::size_t max_tracks = 0;
   for (std::size_t k = 0; k < num_titles; ++k) {
@@ -382,6 +516,8 @@ FleetResult run_fleet(const FleetSpec& spec) {
                                spec.kill.after_sessions > 0 || spec.resume;
   const std::uint64_t fp =
       crash_safety_on ? fleet_spec_fingerprint(spec) : 0;
+  const std::uint64_t exp_fp =
+      crash_safety_on ? fleet_experiment_fingerprint(spec) : 0;
 
   // Resume: restore per-title progress, shard contents, records, and
   // telemetry from the checkpoint, then let the workers run only what is
@@ -390,6 +526,17 @@ FleetResult run_fleet(const FleetSpec& spec) {
   std::uint64_t initial_done = 0;
   if (spec.resume && file_exists(spec.checkpoint_path)) {
     const FleetCheckpoint ck = FleetCheckpoint::load(spec.checkpoint_path);
+    // The experiment block is checked before the whole-spec fingerprint so
+    // a re-randomized or re-armed experiment gets an error naming the
+    // field instead of a generic mismatch: resuming under a different arm
+    // table would silently mix assignment schedules.
+    if (ck.experiment_fingerprint != exp_fp) {
+      throw CheckpointError(
+          "checkpoint: FleetSpec.experiment changed since this checkpoint "
+          "was written (arms / seed / trace_strata / score_qoe_models) — "
+          "resuming under a different arm table is not allowed (stale "
+          "checkpoint)");
+    }
     if (ck.spec_fingerprint != fp) {
       throw CheckpointError(
           "checkpoint: spec fingerprint mismatch — this checkpoint belongs "
@@ -497,6 +644,7 @@ FleetResult run_fleet(const FleetSpec& spec) {
   auto save_checkpoint = [&](std::uint64_t sessions_done_now) {
     FleetCheckpoint ck;
     ck.spec_fingerprint = fp;
+    ck.experiment_fingerprint = exp_fp;
     ck.num_sessions = n;
     ck.num_titles = num_titles;
     ck.max_tracks = max_tracks;
@@ -591,9 +739,9 @@ FleetResult run_fleet(const FleetSpec& spec) {
         // batched-vs-unbatched fleet tests pin it) and removes the
         // per-session scheme/provider allocations from the hot loop.
         std::vector<std::unique_ptr<abr::AbrScheme>> class_schemes(
-            spec.classes.size());
+            fleet_classes.size());
         std::vector<std::unique_ptr<video::ChunkSizeProvider>>
-            class_providers(spec.classes.size());
+            class_providers(fleet_classes.size());
         while (true) {
           // Batched claim: one fetch_add hands this worker a contiguous run
           // of titles. Folds are in title/session order, so the batch size
@@ -647,7 +795,7 @@ FleetResult run_fleet(const FleetSpec& spec) {
                  ++idx) {
               const std::size_t sid = ids[idx];
               const SessionDraw& d = draws[sid];
-              const FleetClientClass& cls = spec.classes[d.cls];
+              const FleetClientClass& cls = fleet_classes[d.cls];
               if (!class_schemes[d.cls]) {
                 class_schemes[d.cls] = cls.make_scheme();
               }
@@ -671,6 +819,9 @@ FleetResult run_fleet(const FleetSpec& spec) {
               sc.fleet_session = true;
               sc.fleet_arrival_s = arrivals[sid];
               sc.fleet_title = k;
+              if (experiment_on) {
+                sc.fleet_arm = static_cast<std::int64_t>(d.cls);
+              }
               if (sizes != nullptr) {
                 sc.size_provider = sizes;
               }
@@ -742,6 +893,16 @@ FleetResult run_fleet(const FleetSpec& spec) {
               } else {
                 rec.qoe = metrics::compute_qoe(played, sr.total_rebuffer_s,
                                                sr.startup_delay_s, qoe);
+              }
+              if (experiment_on) {
+                rec.stratum = d.stratum;
+                rec.qoe_scores.reserve(qoe_suite.size());
+                for (std::size_t m = 0; m < qoe_suite.size(); ++m) {
+                  const metrics::QoeModelSpec& ms = qoe_suite.at(m);
+                  rec.qoe_scores.push_back(ms.model->score(
+                      sim::qoe_session_view(sr, ms.metric,
+                                            spec.catalog.chunk_duration_s)));
+                }
               }
               result.sessions[sid] = std::move(rec);
               done_in_title[k] = idx + 1;
@@ -843,11 +1004,12 @@ FleetResult run_fleet(const FleetSpec& spec) {
   std::vector<double> session_bits;
   session_quality.reserve(n);
   session_bits.reserve(n);
-  result.per_class.resize(spec.classes.size());
-  for (std::size_t c = 0; c < spec.classes.size(); ++c) {
-    result.per_class[c].label = spec.classes[c].label.empty()
-                                    ? spec.classes[c].make_scheme()->name()
-                                    : spec.classes[c].label;
+  result.per_class.resize(fleet_classes.size());
+  for (std::size_t c = 0; c < fleet_classes.size(); ++c) {
+    result.per_class[c].label = fleet_classes[c].label.empty()
+                                    ? fleet_classes[c].make_scheme()->name()
+                                    : fleet_classes[c].label;
+    result.per_class[c].mean_qoe_scores.assign(qoe_suite.size(), 0.0);
   }
   for (const FleetSessionRecord& rec : result.sessions) {
     result.edge_hit_bits += rec.edge_hit_bits;
@@ -865,6 +1027,9 @@ FleetResult run_fleet(const FleetSpec& spec) {
     cr.mean_rebuffer_s += rec.qoe.rebuffer_s;
     cr.mean_startup_delay_s += rec.qoe.startup_delay_s;
     cr.mean_data_usage_mb += rec.qoe.data_usage_mb;
+    for (std::size_t m = 0; m < rec.qoe_scores.size(); ++m) {
+      cr.mean_qoe_scores[m] += rec.qoe_scores[m];
+    }
   }
   for (FleetSchemeReport& cr : result.per_class) {
     if (cr.sessions > 0) {
@@ -875,6 +1040,9 @@ FleetResult run_fleet(const FleetSpec& spec) {
       cr.mean_rebuffer_s *= inv;
       cr.mean_startup_delay_s *= inv;
       cr.mean_data_usage_mb *= inv;
+      for (double& v : cr.mean_qoe_scores) {
+        v *= inv;
+      }
     }
   }
   result.jain_quality = stats::jain_index(session_quality);
@@ -1031,9 +1199,32 @@ void FleetResult::write_json(std::ostream& out) const {
     append_double(s, r.mean_startup_delay_s);
     s += ",\"mean_data_mb\":";
     append_double(s, r.mean_data_usage_mb);
+    if (experiment_enabled) {
+      s += ",\"mean_qoe_scores\":[";
+      for (std::size_t m = 0; m < r.mean_qoe_scores.size(); ++m) {
+        if (m > 0) {
+          s += ',';
+        }
+        append_double(s, r.mean_qoe_scores[m]);
+      }
+      s += "]";
+    }
     s += "}";
   }
-  s += "]}";
+  s += "]";
+  if (experiment_enabled) {
+    s += ",\"experiment\":{\"arms\":";
+    append_uint(s, per_class.size());
+    s += ",\"qoe_models\":[";
+    for (std::size_t m = 0; m < qoe_model_names.size(); ++m) {
+      if (m > 0) {
+        s += ',';
+      }
+      append_json_string(s, qoe_model_names[m]);
+    }
+    s += "]}";
+  }
+  s += "}";
   out << s << '\n';
 }
 

@@ -84,11 +84,48 @@ struct KillSchedule {
                                            std::uint64_t num_sessions);
 };
 
+/// In-situ A/B experiment block ("Learning in situ", PAPERS.md): arriving
+/// sessions are assigned to one of N arms by seeded, counter-based
+/// randomization, stratified by trace class (bandwidth-rank bucket of the
+/// drawn trace) and title-popularity decile. Within each stratum the arms
+/// are balanced by permuted blocks: session counts per arm differ by at
+/// most one, and the assignment is a pure function of
+/// (experiment.seed, stratum, per-stratum arrival counter) — byte-identical
+/// at any thread count and invariant to title_batch.
+///
+/// When enabled (non-empty `arms`), the arms ARE the client classes:
+/// FleetSpec::classes must be left empty, class_index doubles as the arm
+/// index, and all per-class machinery (scheme reuse, per-class report,
+/// folds) applies per arm. Arms override the client-side profile (scheme /
+/// estimator / size provider / fault / retry); the delivery path (cache,
+/// CDN) is shared infrastructure and stays common to all arms — that is
+/// what makes the experiment "in situ". Arm `weight` is ignored: assignment
+/// is balanced, not weighted.
+struct FleetExperimentConfig {
+  std::vector<FleetClientClass> arms;  ///< Empty = no experiment.
+  /// Assignment randomization seed, independent of FleetSpec::seed so the
+  /// workload (titles, traces, watch times) is identical across
+  /// re-randomizations.
+  std::uint64_t seed = 1001;
+  /// Number of bandwidth-rank buckets over spec.traces (stratum count =
+  /// trace_strata * 10 popularity deciles). Must be in [1, 64].
+  std::size_t trace_strata = 4;
+  /// Score every session under the pluggable QoE-model suite
+  /// (metrics::QoeModelSuite::standard) into FleetSessionRecord::qoe_scores.
+  bool score_qoe_models = true;
+
+  [[nodiscard]] bool enabled() const { return !arms.empty(); }
+};
+
 /// Declarative description of a whole fleet run.
 struct FleetSpec {
   CatalogConfig catalog;
   ArrivalConfig arrivals;
-  std::vector<FleetClientClass> classes;  ///< Non-empty; weights > 0.
+  /// Non-empty with weights > 0 — unless `experiment` is enabled, in which
+  /// case this must be empty (the arms take over the class slots).
+  std::vector<FleetClientClass> classes;
+  /// In-situ A/B experiment (optional). See FleetExperimentConfig.
+  FleetExperimentConfig experiment;
   /// Per-session network traces; each session draws one uniformly.
   std::span<const net::Trace> traces;
 
@@ -164,8 +201,12 @@ struct FleetSessionRecord {
   std::uint64_t session_id = 0;  ///< Arrival index; telemetry session_id.
   double arrival_s = 0.0;
   std::size_t title = 0;
+  /// Client-class index — in an experiment run, the arm index.
   std::size_t class_index = 0;
   std::size_t trace_index = 0;
+  /// Experiment stratum: trace_bucket * 10 + popularity decile. 0 outside
+  /// experiment runs.
+  std::uint32_t stratum = 0;
   double watch_duration_s = 0.0;  ///< 0 = watched to the end.
   metrics::QoeSummary qoe;
   metrics::FaultSummary faults;
@@ -179,6 +220,10 @@ struct FleetSessionRecord {
   std::size_t shed_chunks = 0;       ///< Chunks penalized by load shedding.
   double regional_bits = 0.0;        ///< Bytes served by the regional tier.
   bool watchdog_aborted = false;  ///< Session hit a watchdog budget.
+  /// Per-QoE-model session scores, ordered like FleetResult::
+  /// qoe_model_names. Filled only on experiment runs with
+  /// score_qoe_models on; empty otherwise.
+  std::vector<double> qoe_scores;
 };
 
 /// Per-class QoE aggregate (the "QoE distribution per scheme" view).
@@ -191,12 +236,23 @@ struct FleetSchemeReport {
   double mean_rebuffer_s = 0.0;
   double mean_startup_delay_s = 0.0;
   double mean_data_usage_mb = 0.0;
+  /// Mean per-model QoE score, ordered like FleetResult::qoe_model_names
+  /// (experiment runs only; empty otherwise).
+  std::vector<double> mean_qoe_scores;
 };
 
 /// Complete fleet outcome + report.
 struct FleetResult {
   std::vector<FleetSessionRecord> sessions;  ///< Arrival order.
-  std::vector<FleetSchemeReport> per_class;  ///< Ordered like spec.classes.
+  /// Ordered like spec.classes — or like spec.experiment.arms when the
+  /// experiment is enabled (one row per arm).
+  std::vector<FleetSchemeReport> per_class;
+
+  /// Experiment echo: enabled flag and the QoE-model suite ordering behind
+  /// FleetSessionRecord::qoe_scores. The report JSON gains an "experiment"
+  /// block only when enabled, so pre-A/B reports keep their bytes.
+  bool experiment_enabled = false;
+  std::vector<std::string> qoe_model_names;
 
   bool cache_enabled = false;
   EdgeCacheStats cache;  ///< Summed over per-title shards, title order.

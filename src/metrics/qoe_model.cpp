@@ -1,0 +1,117 @@
+#include "metrics/qoe_model.h"
+
+#include <cmath>
+#include <cstddef>
+
+namespace vbr::metrics {
+namespace {
+
+double mean_abs_switch(const std::vector<double>& q) {
+  if (q.size() < 2) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 1; i < q.size(); ++i) {
+    acc += std::fabs(q[i] - q[i - 1]);
+  }
+  return acc / static_cast<double>(q.size() - 1);
+}
+
+double mean_of(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double acc = 0.0;
+  for (double x : xs) acc += x;
+  return acc / static_cast<double>(xs.size());
+}
+
+// Playback progress of chunk i in [0, 1]; a one-chunk session counts as 0.
+double progress(std::size_t i, std::size_t n) {
+  return n < 2 ? 0.0
+               : static_cast<double>(i) / static_cast<double>(n - 1);
+}
+
+}  // namespace
+
+double LinearQoe::score(const QoeSessionView& view) const {
+  if (view.quality.empty()) {
+    return -params_.startup_penalty * view.startup_delay_s;
+  }
+  return mean_of(view.quality) -
+         params_.switch_penalty * mean_abs_switch(view.quality) -
+         params_.rebuffer_penalty * mean_of(view.stall_s) -
+         params_.startup_penalty * view.startup_delay_s;
+}
+
+double RebufferPositionQoe::score(const QoeSessionView& view) const {
+  if (view.quality.empty()) {
+    return -params_.startup_penalty * params_.position_weight_min *
+           view.startup_delay_s;
+  }
+  const std::size_t n = view.quality.size();
+  double weighted_stall = 0.0;
+  for (std::size_t i = 0; i < view.stall_s.size(); ++i) {
+    const double w = params_.position_weight_min +
+                     (params_.position_weight_max -
+                      params_.position_weight_min) *
+                         progress(i, n);
+    weighted_stall += w * view.stall_s[i];
+  }
+  weighted_stall /= static_cast<double>(n);
+  return mean_of(view.quality) -
+         params_.switch_penalty * mean_abs_switch(view.quality) -
+         params_.rebuffer_penalty * weighted_stall -
+         params_.startup_penalty * params_.position_weight_min *
+             view.startup_delay_s;
+}
+
+double MemoryEffectQoe::score(const QoeSessionView& view) const {
+  const double half_life = params_.memory_half_life_chunks;
+  if (view.quality.empty()) {
+    return -params_.startup_penalty * view.startup_delay_s;
+  }
+  const std::size_t n = view.quality.size();
+  // w_i = 2^-((n-1-i)/h): the last chunk has weight 1, earlier chunks decay.
+  double w_sum = 0.0;
+  double q_acc = 0.0;
+  double stall_acc = 0.0;
+  double switch_acc = 0.0;
+  double switch_w_sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double age = static_cast<double>(n - 1 - i);
+    const double w = std::exp2(-age / half_life);
+    w_sum += w;
+    q_acc += w * view.quality[i];
+    if (i < view.stall_s.size()) stall_acc += w * view.stall_s[i];
+    if (i >= 1) {
+      switch_acc += w * std::fabs(view.quality[i] - view.quality[i - 1]);
+      switch_w_sum += w;
+    }
+  }
+  const double startup_decay =
+      std::exp2(-static_cast<double>(n - 1) / half_life);
+  return q_acc / w_sum -
+         params_.switch_penalty *
+             (switch_w_sum > 0.0 ? switch_acc / switch_w_sum : 0.0) -
+         params_.rebuffer_penalty * stall_acc / w_sum -
+         params_.startup_penalty * startup_decay * view.startup_delay_s;
+}
+
+QoeModelSuite QoeModelSuite::standard(const QoeModelParams& params) {
+  std::vector<QoeModelSpec> specs;
+  specs.push_back({"linear_tv", video::QualityMetric::kVmafTv,
+                   std::make_shared<LinearQoe>(params)});
+  specs.push_back({"linear_phone", video::QualityMetric::kVmafPhone,
+                   std::make_shared<LinearQoe>(params)});
+  specs.push_back({"pos_rebuffer_phone", video::QualityMetric::kVmafPhone,
+                   std::make_shared<RebufferPositionQoe>(params)});
+  specs.push_back({"memory_phone", video::QualityMetric::kVmafPhone,
+                   std::make_shared<MemoryEffectQoe>(params)});
+  return QoeModelSuite(std::move(specs));
+}
+
+std::vector<std::string> QoeModelSuite::names() const {
+  std::vector<std::string> out;
+  out.reserve(specs_.size());
+  for (const auto& s : specs_) out.push_back(s.id);
+  return out;
+}
+
+}  // namespace vbr::metrics

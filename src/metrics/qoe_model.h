@@ -1,0 +1,127 @@
+// Pluggable session-level QoE models, so experiment arms can be ranked under
+// multiple QoE definitions in one run. Duanmu et al. (PAPERS.md) show ABR
+// scheme rankings are not robust to the choice of QoE model: a linear
+// mean-quality model, a model that weights late rebuffering more heavily,
+// and a recency-weighted "memory effect" model can order the same schemes
+// differently. Device classes come for free: every delivered chunk carries
+// both VMAF-TV and VMAF-phone scores (video/quality_model), so one session
+// can be scored under both without re-simulation.
+//
+// All models are stateless and score() is const — a single suite instance is
+// shared read-only across fleet worker threads.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "video/chunk.h"
+
+namespace vbr::metrics {
+
+/// One played session under one device quality metric, in playback order.
+/// Skipped chunks are excluded (they were never played).
+struct QoeSessionView {
+  std::vector<double> quality;  ///< Per played chunk, chosen-metric score.
+  std::vector<double> stall_s;  ///< Rebuffering incurred fetching chunk i.
+  double startup_delay_s = 0.0;
+  double chunk_duration_s = 4.0;
+};
+
+/// Shared penalty weights. Quality units are the metric's (VMAF points for
+/// the standard suite); penalties convert seconds into quality points.
+struct QoeModelParams {
+  double switch_penalty = 1.0;    ///< Per unit of |quality change|.
+  double rebuffer_penalty = 25.0; ///< Per mean stall-second per chunk.
+  double startup_penalty = 5.0;   ///< Per second of startup delay.
+  /// Rebuffer-position-aware model: stall weight ramps linearly with
+  /// playback progress from min (first chunk) to max (last chunk).
+  double position_weight_min = 0.5;
+  double position_weight_max = 2.0;
+  /// Memory-effect model: exponential recency half-life, in chunks counted
+  /// back from the end of the session.
+  double memory_half_life_chunks = 12.0;
+};
+
+/// Interface: maps a session view to a scalar score (higher is better).
+class QoeModel {
+ public:
+  virtual ~QoeModel() = default;
+  [[nodiscard]] virtual const char* name() const = 0;
+  [[nodiscard]] virtual double score(const QoeSessionView& view) const = 0;
+};
+
+/// Linear QoE (Yin et al. / the paper's Section 6 metrics collapsed to one
+/// scalar): mean quality - switch_penalty * mean |dq| - rebuffer_penalty *
+/// mean stall - startup_penalty * startup. An empty view scores
+/// -startup_penalty * startup.
+class LinearQoe final : public QoeModel {
+ public:
+  explicit LinearQoe(QoeModelParams params = {}) : params_(params) {}
+  [[nodiscard]] const char* name() const override { return "linear"; }
+  [[nodiscard]] double score(const QoeSessionView& view) const override;
+
+ private:
+  QoeModelParams params_;
+};
+
+/// Rebuffer-position-aware QoE: like LinearQoe, but each stall's penalty is
+/// scaled by w(i) = wmin + (wmax - wmin) * i / (n - 1) — a stall deep into
+/// the session is more annoying than one right after startup (Duanmu et
+/// al.). Startup delay is charged at weight wmin.
+class RebufferPositionQoe final : public QoeModel {
+ public:
+  explicit RebufferPositionQoe(QoeModelParams params = {}) : params_(params) {}
+  [[nodiscard]] const char* name() const override { return "pos_rebuffer"; }
+  [[nodiscard]] double score(const QoeSessionView& view) const override;
+
+ private:
+  QoeModelParams params_;
+};
+
+/// Memory-effect (recency-weighted) QoE: chunk i gets weight
+/// 2^-((n-1-i)/half_life), so the end of the session dominates the score —
+/// viewers remember how it ended. Quality, switches, and stalls all use the
+/// recency weights (normalized); startup delay decays by the same factor
+/// with session length.
+class MemoryEffectQoe final : public QoeModel {
+ public:
+  explicit MemoryEffectQoe(QoeModelParams params = {}) : params_(params) {}
+  [[nodiscard]] const char* name() const override { return "memory"; }
+  [[nodiscard]] double score(const QoeSessionView& view) const override;
+
+ private:
+  QoeModelParams params_;
+};
+
+/// One (model, device metric) pair in a suite; `id` is the stable key used
+/// in reports and checkpoint fingerprints (e.g. "linear_tv").
+struct QoeModelSpec {
+  std::string id;
+  video::QualityMetric metric = video::QualityMetric::kVmafTv;
+  std::shared_ptr<const QoeModel> model;
+};
+
+/// An ordered, immutable set of scoring definitions applied to every arm.
+class QoeModelSuite {
+ public:
+  QoeModelSuite() = default;
+  explicit QoeModelSuite(std::vector<QoeModelSpec> specs)
+      : specs_(std::move(specs)) {}
+
+  /// The default suite: linear under both device classes, plus the
+  /// position-aware and memory-effect variants on the phone metric.
+  [[nodiscard]] static QoeModelSuite standard(const QoeModelParams& params = {});
+
+  [[nodiscard]] std::size_t size() const { return specs_.size(); }
+  [[nodiscard]] const QoeModelSpec& at(std::size_t i) const {
+    return specs_.at(i);
+  }
+  [[nodiscard]] std::vector<std::string> names() const;
+
+ private:
+  std::vector<QoeModelSpec> specs_;
+};
+
+}  // namespace vbr::metrics

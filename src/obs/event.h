@@ -85,6 +85,11 @@ struct DecisionEvent {
     bool shed = false;       ///< Penalized by upstream admission control.
   };
   std::optional<EdgeInfo> edge;
+
+  /// Experiment arm the session was assigned to (src/exp). Absent outside
+  /// A/B runs — serialized only when present, so pre-experiment JSONL
+  /// streams keep their bytes. Arm 0 is a real arm, hence the optional.
+  std::optional<std::uint32_t> arm;
 };
 
 }  // namespace vbr::obs

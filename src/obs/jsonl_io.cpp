@@ -304,6 +304,9 @@ DecisionEvent parse_jsonl(std::string_view line) {
     c.expect("}");
     e.edge = g;
   }
+  if (c.try_consume(",\"arm\":")) {
+    e.arm = static_cast<std::uint32_t>(c.read_uint());
+  }
   c.expect("}");
   if (!c.at_end()) {
     c.fail("trailing bytes after event object");

@@ -121,6 +121,10 @@ std::string to_jsonl(const DecisionEvent& e) {
     }
     s += "}";
   }
+  if (e.arm.has_value()) {
+    s += ",\"arm\":";
+    append_uint(s, *e.arm);
+  }
   s += "}";
   return s;
 }

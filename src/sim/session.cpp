@@ -28,6 +28,24 @@ std::vector<metrics::PlayedChunk> SessionResult::to_played_chunks(
   return out;
 }
 
+metrics::QoeSessionView qoe_session_view(const SessionResult& result,
+                                         video::QualityMetric metric,
+                                         double chunk_duration_s) {
+  metrics::QoeSessionView view;
+  view.startup_delay_s = result.startup_delay_s;
+  view.chunk_duration_s = chunk_duration_s;
+  view.quality.reserve(result.chunks.size());
+  view.stall_s.reserve(result.chunks.size());
+  for (const ChunkRecord& r : result.chunks) {
+    if (r.skipped) {
+      continue;  // never delivered, never played
+    }
+    view.quality.push_back(r.quality.get(metric));
+    view.stall_s.push_back(r.stall_s);
+  }
+  return view;
+}
+
 metrics::FaultSummary SessionResult::fault_summary() const {
   metrics::FaultSummary s;
   s.chunks = chunks.size();
@@ -112,7 +130,7 @@ SessionResult run_session(const video::Video& video, const net::Trace& trace,
                  config.size_provider,
                  /*edge_path_session=*/config.download_hook != nullptr,
                  config.fleet_session, config.fleet_arrival_s,
-                 config.fleet_title);
+                 config.fleet_title, config.fleet_arm);
 
   PlayoutBuffer buffer(config.max_buffer_s);
   SessionResult result;

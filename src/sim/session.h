@@ -22,6 +22,7 @@
 
 #include "abr/scheme.h"
 #include "metrics/qoe.h"
+#include "metrics/qoe_model.h"
 #include "metrics/report.h"
 #include "net/bandwidth_estimator.h"
 #include "net/fault_model.h"
@@ -140,6 +141,9 @@ struct SessionConfig {
   bool fleet_session = false;
   double fleet_arrival_s = 0.0;   ///< Session arrival time in the fleet run.
   std::uint64_t fleet_title = 0;  ///< Catalog title index.
+  /// Experiment arm index (src/exp), stamped onto every DecisionEvent when
+  /// >= 0. Negative = not part of an A/B run (events omit the field).
+  std::int64_t fleet_arm = -1;
 
   /// Telemetry (observability layer, src/obs). Both null = off, which costs
   /// one branch per chunk and nothing else (the null-sink guarantee). Not
@@ -209,6 +213,14 @@ struct SessionResult {
   /// attempts == chunks on a fault-free run).
   [[nodiscard]] metrics::FaultSummary fault_summary() const;
 };
+
+/// The QoE-model seam: projects a finished session onto one device metric
+/// as a metrics::QoeSessionView (played chunks only, playback order), so
+/// pluggable QoE models (metrics/qoe_model.h) can score it without
+/// re-simulation.
+[[nodiscard]] metrics::QoeSessionView qoe_session_view(
+    const SessionResult& result, video::QualityMetric metric,
+    double chunk_duration_s);
 
 /// Validates the shared SessionConfig invariants (positive buffer/startup,
 /// non-negative RTT and watch duration, abandon fraction in (0, 1],

@@ -54,6 +54,7 @@ struct SessionTelemetry {
   bool fleet = false;
   double fleet_arrival_s = 0.0;
   std::uint64_t fleet_title = 0;
+  std::int64_t fleet_arm = -1;  ///< Experiment arm; < 0 = not an A/B run.
   obs::Counter* edge_hits = nullptr;
   obs::Counter* edge_misses = nullptr;
   obs::Counter* edge_hit_bits = nullptr;
@@ -67,7 +68,8 @@ struct SessionTelemetry {
             std::uint64_t id, const abr::AbrScheme& scheme,
             const video::ChunkSizeProvider* sizes,
             bool edge_path_session = false, bool fleet_session = false,
-            double arrival_s = 0.0, std::uint64_t title = 0) {
+            double arrival_s = 0.0, std::uint64_t title = 0,
+            std::int64_t arm = -1) {
     sink = trace_sink;
     reg = registry;
     session_id = id;
@@ -77,6 +79,7 @@ struct SessionTelemetry {
     fleet = fleet_session;
     fleet_arrival_s = arrival_s;
     fleet_title = title;
+    fleet_arm = arm;
     if (!active()) {
       return;
     }
@@ -197,6 +200,9 @@ struct SessionTelemetry {
         info.coalesced = rec.coalesced;
         info.shed = rec.shed;
         ev.edge = info;
+      }
+      if (fleet_arm >= 0) {
+        ev.arm = static_cast<std::uint32_t>(fleet_arm);
       }
       scheme.annotate_event(ev);
       sink->on_decision(ev);

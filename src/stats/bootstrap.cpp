@@ -1,0 +1,180 @@
+#include "stats/bootstrap.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "stats/inference.h"
+
+namespace vbr::stats {
+namespace {
+
+constexpr std::uint64_t kSaltOneSample = 0xab000001u;
+constexpr std::uint64_t kSaltDiffA = 0xab0000a0u;
+constexpr std::uint64_t kSaltDiffB = 0xab0000b0u;
+
+// splitmix64 finalizer — the same integer-only construction the fleet layer
+// uses for its keyed draws, kept local so the stats library has no upward
+// dependency.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// Resample index as a pure function of (seed, salt, resample, position).
+std::size_t draw_index(std::uint64_t seed, std::uint64_t salt, std::size_t r,
+                       std::size_t j, std::size_t n) {
+  const std::uint64_t key =
+      mix64(seed ^ mix64(salt + 0x9e3779b97f4a7c15ull * (r + 1)));
+  return static_cast<std::size_t>(
+      mix64(key + 0xbf58476d1ce4e5b9ull * (j + 1)) % n);
+}
+
+double span_mean(std::span<const double> xs) {
+  double acc = 0.0;
+  for (double x : xs) acc += x;
+  return acc / static_cast<double>(xs.size());
+}
+
+double resample_mean(std::span<const double> xs, std::uint64_t seed,
+                     std::uint64_t salt, std::size_t r) {
+  double acc = 0.0;
+  for (std::size_t j = 0; j < xs.size(); ++j) {
+    acc += xs[draw_index(seed, salt, r, j, xs.size())];
+  }
+  return acc / static_cast<double>(xs.size());
+}
+
+// Type-7 (linear interpolation) quantile of an already-sorted vector.
+double sorted_quantile(const std::vector<double>& sorted, double q) {
+  if (sorted.size() == 1) return sorted.front();
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(pos));
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+void validate_config(const BootstrapConfig& cfg) {
+  if (cfg.resamples == 0) {
+    throw std::invalid_argument("bootstrap: resamples must be positive");
+  }
+  if (!(cfg.confidence > 0.0 && cfg.confidence < 1.0)) {
+    throw std::invalid_argument("bootstrap: confidence must be in (0, 1)");
+  }
+}
+
+// Jackknife acceleration constant from leave-one-out statistic values.
+double acceleration(const std::vector<double>& jack) {
+  double mean = 0.0;
+  for (double v : jack) mean += v;
+  mean /= static_cast<double>(jack.size());
+  double num = 0.0;
+  double den = 0.0;
+  for (double v : jack) {
+    const double d = mean - v;
+    num += d * d * d;
+    den += d * d;
+  }
+  if (den == 0.0) return 0.0;
+  return num / (6.0 * std::pow(den, 1.5));
+}
+
+BootstrapCi interval_from_resamples(double point, std::vector<double> thetas,
+                                    const std::vector<double>& jack,
+                                    const BootstrapConfig& cfg) {
+  std::sort(thetas.begin(), thetas.end());
+  BootstrapCi ci;
+  ci.point = point;
+  if (thetas.front() == thetas.back()) {
+    ci.lo = ci.hi = thetas.front();
+    return ci;
+  }
+  const double alpha = 1.0 - cfg.confidence;
+  double q_lo = 0.5 * alpha;
+  double q_hi = 1.0 - 0.5 * alpha;
+  if (cfg.kind == BootstrapKind::kBca) {
+    const double b = static_cast<double>(thetas.size());
+    double below = 0.0;
+    for (double v : thetas) {
+      if (v < point) below += 1.0;
+      else if (v == point) below += 0.5;
+    }
+    const double frac =
+        std::clamp(below / b, 0.5 / b, 1.0 - 0.5 / b);
+    const double z0 = normal_ppf(frac);
+    const double a = jack.size() >= 2 ? acceleration(jack) : 0.0;
+    const double z_lo = normal_ppf(q_lo);
+    const double z_hi = normal_ppf(q_hi);
+    q_lo = normal_cdf(z0 + (z0 + z_lo) / (1.0 - a * (z0 + z_lo)));
+    q_hi = normal_cdf(z0 + (z0 + z_hi) / (1.0 - a * (z0 + z_hi)));
+    if (q_lo > q_hi) std::swap(q_lo, q_hi);
+  }
+  ci.lo = sorted_quantile(thetas, q_lo);
+  ci.hi = sorted_quantile(thetas, q_hi);
+  return ci;
+}
+
+}  // namespace
+
+BootstrapCi bootstrap_mean_ci(std::span<const double> xs,
+                              const BootstrapConfig& cfg) {
+  validate_config(cfg);
+  if (xs.empty()) {
+    throw std::invalid_argument("bootstrap_mean_ci: empty sample");
+  }
+  const double point = span_mean(xs);
+  std::vector<double> thetas(cfg.resamples);
+  for (std::size_t r = 0; r < cfg.resamples; ++r) {
+    thetas[r] = resample_mean(xs, cfg.seed, kSaltOneSample, r);
+  }
+  std::vector<double> jack;
+  if (xs.size() >= 2) {
+    const double total = point * static_cast<double>(xs.size());
+    jack.resize(xs.size());
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      jack[i] = (total - xs[i]) / static_cast<double>(xs.size() - 1);
+    }
+  }
+  return interval_from_resamples(point, std::move(thetas), jack, cfg);
+}
+
+BootstrapCi bootstrap_mean_diff_ci(std::span<const double> a,
+                                   std::span<const double> b,
+                                   const BootstrapConfig& cfg) {
+  validate_config(cfg);
+  if (a.empty() || b.empty()) {
+    throw std::invalid_argument("bootstrap_mean_diff_ci: empty sample");
+  }
+  const double mean_a = span_mean(a);
+  const double mean_b = span_mean(b);
+  const double point = mean_a - mean_b;
+  std::vector<double> thetas(cfg.resamples);
+  for (std::size_t r = 0; r < cfg.resamples; ++r) {
+    thetas[r] = resample_mean(a, cfg.seed, kSaltDiffA, r) -
+                resample_mean(b, cfg.seed, kSaltDiffB, r);
+  }
+  // Leave-one-out over every observation of both samples.
+  std::vector<double> jack;
+  jack.reserve(a.size() + b.size());
+  if (a.size() >= 2) {
+    const double total = mean_a * static_cast<double>(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      jack.push_back((total - a[i]) / static_cast<double>(a.size() - 1) -
+                     mean_b);
+    }
+  }
+  if (b.size() >= 2) {
+    const double total = mean_b * static_cast<double>(b.size());
+    for (std::size_t i = 0; i < b.size(); ++i) {
+      jack.push_back(mean_a -
+                     (total - b[i]) / static_cast<double>(b.size() - 1));
+    }
+  }
+  return interval_from_resamples(point, std::move(thetas), jack, cfg);
+}
+
+}  // namespace vbr::stats

@@ -1,0 +1,50 @@
+// Seeded, counter-based bootstrap confidence intervals for sample means and
+// mean differences. Resample indices are pure functions of
+// (seed, resample, position), so results are bit-identical across runs,
+// platforms, and thread counts — no RNG stream is shared or advanced.
+//
+// Two interval kinds:
+//   - kPercentile: plain percentile interval of the resampled statistic
+//     (type-7 linear-interpolated quantiles of the sorted resamples).
+//   - kBca: bias-corrected and accelerated (Efron). Bias correction z0 from
+//     the fraction of resamples below the point estimate (ties counted at
+//     half weight, fraction clamped to [0.5/B, 1 - 0.5/B]); acceleration
+//     from the jackknife skewness of the statistic (leave-one-out over every
+//     observation, both samples for the two-sample difference).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace vbr::stats {
+
+enum class BootstrapKind { kPercentile, kBca };
+
+struct BootstrapConfig {
+  std::size_t resamples = 2000;
+  double confidence = 0.95;  ///< Two-sided coverage, in (0, 1).
+  std::uint64_t seed = 0x5eedab00u;
+  BootstrapKind kind = BootstrapKind::kBca;
+};
+
+struct BootstrapCi {
+  double point = 0.0;  ///< Statistic on the original sample(s).
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+/// Confidence interval for mean(xs). Throws std::invalid_argument on an
+/// empty sample, zero resamples, or confidence outside (0, 1). A singleton
+/// sample yields the degenerate interval [x, x].
+BootstrapCi bootstrap_mean_ci(std::span<const double> xs,
+                              const BootstrapConfig& cfg = {});
+
+/// Confidence interval for mean(a) - mean(b), resampling each side
+/// independently (distinct counter salts per side). Same preconditions as
+/// bootstrap_mean_ci, applied to both samples.
+BootstrapCi bootstrap_mean_diff_ci(std::span<const double> a,
+                                   std::span<const double> b,
+                                   const BootstrapConfig& cfg = {});
+
+}  // namespace vbr::stats

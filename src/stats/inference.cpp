@@ -1,0 +1,259 @@
+#include "stats/inference.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <numeric>
+#include <stdexcept>
+
+namespace vbr::stats {
+namespace {
+
+// Average ranks (1-based) of the combined sample, ties share the mean rank.
+// Local to this translation unit so the inference library stays free of the
+// metrics layer.
+std::vector<double> average_ranks(const std::vector<double>& xs) {
+  const std::size_t n = xs.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t i, std::size_t j) { return xs[i] < xs[j]; });
+  std::vector<double> rank(n, 0.0);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && xs[order[j + 1]] == xs[order[i]]) ++j;
+    const double avg = 0.5 * (static_cast<double>(i + 1) +
+                              static_cast<double>(j + 1));
+    for (std::size_t k = i; k <= j; ++k) rank[order[k]] = avg;
+    i = j + 1;
+  }
+  return rank;
+}
+
+double sample_variance(std::span<const double> xs, double mean) {
+  double acc = 0.0;
+  for (double x : xs) acc += (x - mean) * (x - mean);
+  return acc / static_cast<double>(xs.size() - 1);
+}
+
+double span_mean(std::span<const double> xs) {
+  double acc = 0.0;
+  for (double x : xs) acc += x;
+  return acc / static_cast<double>(xs.size());
+}
+
+// Continued-fraction kernel for the regularized incomplete beta (Numerical
+// Recipes "betacf" form, modified Lentz iteration).
+double beta_cf(double a, double b, double x) {
+  constexpr int kMaxIter = 300;
+  constexpr double kEps = 1e-16;
+  constexpr double kTiny = 1e-300;
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kTiny) d = kTiny;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIter; ++m) {
+    const double m2 = 2.0 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEps) break;
+  }
+  return h;
+}
+
+}  // namespace
+
+double normal_cdf(double x) {
+  return 0.5 * std::erfc(-x / std::sqrt(2.0));
+}
+
+double normal_ppf(double p) {
+  if (!(p > 0.0 && p < 1.0)) {
+    throw std::invalid_argument("normal_ppf: p must be in (0, 1)");
+  }
+  // Acklam's rational approximation (relative error ~1.15e-9) ...
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double p_low = 0.02425;
+  double x;
+  if (p < p_low) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    x = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  } else if (p <= 1.0 - p_low) {
+    const double q = p - 0.5;
+    const double r = q * q;
+    x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) *
+        q /
+        (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  } else {
+    const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    x = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  // ... polished with one Halley step against the exact CDF.
+  const double e = normal_cdf(x) - p;
+  const double u = e * std::sqrt(2.0 * M_PI) * std::exp(0.5 * x * x);
+  x -= u / (1.0 + 0.5 * x * u);
+  return x;
+}
+
+double incomplete_beta(double a, double b, double x) {
+  if (!(a > 0.0) || !(b > 0.0)) {
+    throw std::invalid_argument("incomplete_beta: a and b must be positive");
+  }
+  if (!(x >= 0.0 && x <= 1.0)) {
+    throw std::invalid_argument("incomplete_beta: x must be in [0, 1]");
+  }
+  if (x == 0.0) return 0.0;
+  if (x == 1.0) return 1.0;
+  const double ln_front = std::lgamma(a + b) - std::lgamma(a) -
+                          std::lgamma(b) + a * std::log(x) +
+                          b * std::log1p(-x);
+  // Use the continued fraction on whichever side converges fastest.
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return std::exp(ln_front) * beta_cf(a, b, x) / a;
+  }
+  return 1.0 - std::exp(ln_front) * beta_cf(b, a, 1.0 - x) / b;
+}
+
+double student_t_sf(double t, double df) {
+  if (!(df > 0.0)) {
+    throw std::invalid_argument("student_t_sf: df must be positive");
+  }
+  if (std::isinf(t)) return t > 0.0 ? 0.0 : 1.0;
+  const double x = df / (df + t * t);
+  const double half_tail = 0.5 * incomplete_beta(0.5 * df, 0.5, x);
+  return t >= 0.0 ? half_tail : 1.0 - half_tail;
+}
+
+TTestResult welch_t_test(std::span<const double> a,
+                         std::span<const double> b) {
+  if (a.size() < 2 || b.size() < 2) {
+    throw std::invalid_argument("welch_t_test: need >= 2 samples per side");
+  }
+  const double n1 = static_cast<double>(a.size());
+  const double n2 = static_cast<double>(b.size());
+  const double m1 = span_mean(a);
+  const double m2 = span_mean(b);
+  const double v1 = sample_variance(a, m1);
+  const double v2 = sample_variance(b, m2);
+  const double se1 = v1 / n1;
+  const double se2 = v2 / n2;
+  TTestResult r;
+  if (se1 + se2 == 0.0) {
+    // Both sides constant: the statistic is 0/0. Pin the degenerate case.
+    r.t = 0.0;
+    r.df = n1 + n2 - 2.0;
+    r.p = (m1 == m2) ? 1.0 : 0.0;
+    return r;
+  }
+  r.t = (m1 - m2) / std::sqrt(se1 + se2);
+  r.df = (se1 + se2) * (se1 + se2) /
+         (se1 * se1 / (n1 - 1.0) + se2 * se2 / (n2 - 1.0));
+  r.p = std::min(1.0, 2.0 * student_t_sf(std::fabs(r.t), r.df));
+  return r;
+}
+
+MannWhitneyResult mann_whitney_u(std::span<const double> a,
+                                 std::span<const double> b) {
+  if (a.empty() || b.empty()) {
+    throw std::invalid_argument("mann_whitney_u: both samples must be "
+                                "non-empty");
+  }
+  const double n1 = static_cast<double>(a.size());
+  const double n2 = static_cast<double>(b.size());
+  std::vector<double> combined;
+  combined.reserve(a.size() + b.size());
+  combined.insert(combined.end(), a.begin(), a.end());
+  combined.insert(combined.end(), b.begin(), b.end());
+  const std::vector<double> rank = average_ranks(combined);
+  double r1 = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) r1 += rank[i];
+
+  MannWhitneyResult res;
+  res.u1 = r1 - n1 * (n1 + 1.0) / 2.0;
+  const double u2 = n1 * n2 - res.u1;
+
+  // Tie correction: sum over tie groups of (t^3 - t).
+  std::vector<double> sorted = combined;
+  std::sort(sorted.begin(), sorted.end());
+  double tie_term = 0.0;
+  std::size_t i = 0;
+  while (i < sorted.size()) {
+    std::size_t j = i;
+    while (j + 1 < sorted.size() && sorted[j + 1] == sorted[i]) ++j;
+    const double t = static_cast<double>(j - i + 1);
+    tie_term += t * t * t - t;
+    i = j + 1;
+  }
+  const double n = n1 + n2;
+  const double sigma2 =
+      (n1 * n2 / 12.0) * ((n + 1.0) - tie_term / (n * (n - 1.0)));
+  if (sigma2 <= 0.0) {
+    // Every observation tied: no evidence either way.
+    res.z = 0.0;
+    res.p = 1.0;
+    return res;
+  }
+  const double u = std::max(res.u1, u2);
+  const double mu = n1 * n2 / 2.0;
+  res.z = (u - mu - 0.5) / std::sqrt(sigma2);
+  res.p = std::min(1.0, 2.0 * (1.0 - normal_cdf(res.z)));
+  return res;
+}
+
+std::vector<double> benjamini_hochberg(std::span<const double> pvalues) {
+  const std::size_t m = pvalues.size();
+  for (double p : pvalues) {
+    if (!(p >= 0.0 && p <= 1.0)) {
+      throw std::invalid_argument("benjamini_hochberg: p-values must be in "
+                                  "[0, 1]");
+    }
+  }
+  std::vector<std::size_t> order(m);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  // Descending by p; cumulative minimum of p * m / rank from the top down.
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t i,
+                                                   std::size_t j) {
+    return pvalues[i] > pvalues[j];
+  });
+  std::vector<double> adjusted(m, 0.0);
+  double running = 1.0;
+  for (std::size_t k = 0; k < m; ++k) {
+    const std::size_t idx = order[k];
+    const double rank = static_cast<double>(m - k);
+    running = std::min(running, pvalues[idx] * static_cast<double>(m) / rank);
+    adjusted[idx] = running;
+  }
+  return adjusted;
+}
+
+}  // namespace vbr::stats

@@ -1,0 +1,75 @@
+// Dependency-free statistical inference for A/B experiment analysis:
+// Welch's unequal-variance t-test, the Mann-Whitney U rank-sum test, and
+// Benjamini-Hochberg false-discovery-rate correction.
+//
+// Conventions are pinned to the reference implementations the oracle
+// fixtures under tests/data/stats/ were generated against:
+//   - Welch: scipy.stats.ttest_ind(equal_var=False) — sample variances with
+//     ddof=1, Welch-Satterthwaite degrees of freedom, two-sided p-value via
+//     the Student-t survival function (regularized incomplete beta).
+//   - Mann-Whitney U: scipy.stats.mannwhitneyu(alternative='two-sided',
+//     method='asymptotic') — U1 = R1 - n1(n1+1)/2 with average ranks for
+//     ties, normal approximation with continuity correction 0.5 and the
+//     tie-corrected variance term (sum t^3 - sum t) / (n (n-1)).
+//   - Benjamini-Hochberg: R p.adjust(method="BH") — cumulative minimum of
+//     p_(i) * m / i taken from the largest p downward, clipped at 1.
+//
+// The special functions (normal CDF/quantile, Student-t survival function,
+// regularized incomplete beta) are exposed because the bootstrap layer and
+// the property tests both need them.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace vbr::stats {
+
+/// Standard normal CDF, accurate to ~1e-15 (via std::erfc).
+double normal_cdf(double x);
+
+/// Standard normal quantile (inverse CDF), p in (0, 1). Acklam's rational
+/// approximation polished with one Halley step; absolute error < 1e-13.
+/// Throws std::invalid_argument outside (0, 1).
+double normal_ppf(double p);
+
+/// Regularized incomplete beta function I_x(a, b), a, b > 0, x in [0, 1].
+/// Continued-fraction (Lentz) evaluation, |error| < 1e-14.
+double incomplete_beta(double a, double b, double x);
+
+/// Student-t survival function P(T > t) for df > 0 degrees of freedom.
+double student_t_sf(double t, double df);
+
+/// Result of Welch's two-sample, two-sided t-test.
+struct TTestResult {
+  double t = 0.0;   ///< Welch t statistic (mean(a) - mean(b)) / se.
+  double df = 0.0;  ///< Welch-Satterthwaite degrees of freedom.
+  double p = 1.0;   ///< Two-sided p-value.
+};
+
+/// Welch's unequal-variance t-test. Requires >= 2 samples per side.
+/// If both sample variances are zero the statistic is degenerate: p = 1
+/// when the means are equal, p = 0 otherwise (df reported as n1 + n2 - 2).
+/// Throws std::invalid_argument if either side has fewer than 2 samples.
+TTestResult welch_t_test(std::span<const double> a, std::span<const double> b);
+
+/// Result of the two-sided Mann-Whitney U test (asymptotic, tie-corrected).
+struct MannWhitneyResult {
+  double u1 = 0.0;  ///< U statistic of the first sample: R1 - n1(n1+1)/2.
+  double z = 0.0;   ///< Continuity-corrected z-score of max(U1, U2).
+  double p = 1.0;   ///< Two-sided p-value (normal approximation).
+};
+
+/// Mann-Whitney U with average ranks for ties and the normal approximation
+/// with continuity correction. If every observation is tied the variance is
+/// zero and the test is degenerate: z = 0, p = 1. Throws
+/// std::invalid_argument if either side is empty.
+MannWhitneyResult mann_whitney_u(std::span<const double> a,
+                                 std::span<const double> b);
+
+/// Benjamini-Hochberg adjusted p-values (same order as the input). Values
+/// must be in [0, 1]; throws std::invalid_argument otherwise. Empty input
+/// yields an empty result.
+std::vector<double> benjamini_hochberg(std::span<const double> pvalues);
+
+}  // namespace vbr::stats

@@ -94,8 +94,11 @@ std::vector<std::string> fleet_args(const std::string& dir,
 }
 
 TEST(ChaosKill, SigkillResumeLoopConvergesToGoldenBytes) {
-  // Golden: one uninterrupted run (no throttle, fresh directory).
+  // Golden: one uninterrupted run (no throttle, fresh directory). A
+  // checkpoint left behind by an older binary (e.g. a previous format
+  // version) must not leak into the golden leg.
   const std::string gold_dir = testing::TempDir() + "chaos_gold_";
+  std::remove((gold_dir + "ck.ckpt").c_str());
   const RunOutcome gold = run_vbrsim(fleet_args(gold_dir, 0));
   ASSERT_FALSE(gold.signaled);
   ASSERT_EQ(gold.exit_code, 0);
@@ -148,6 +151,7 @@ TEST(ChaosKill, CooperativeKillExitsThreeAndResumesToGolden) {
   // final checkpoint and exits with code 3; the identical command minus
   // the kill flag finishes the run to the golden bytes.
   const std::string gold_dir = testing::TempDir() + "coop_gold_";
+  std::remove((gold_dir + "ck.ckpt").c_str());
   ASSERT_EQ(run_vbrsim(fleet_args(gold_dir, 0)).exit_code, 0);
   const std::string golden_report = read_file(gold_dir + "report.json");
 

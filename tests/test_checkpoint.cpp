@@ -15,6 +15,7 @@
 
 #include "abr/bba.h"
 #include "abr/scheme.h"
+#include "exp/ab.h"
 #include "fleet/checkpoint.h"
 #include "fleet/fleet.h"
 #include "obs/jsonl_io.h"
@@ -278,9 +279,13 @@ TEST(Checkpoint, CorruptFilesRejectedWithNamedErrors) {
   {
     // Valid trailer, garbage body: the field parser must name the problem,
     // not crash.
-    expect_rejected(with_trailer("VBRFLEETCKPT 2\nmeta not-a-number\n"),
+    expect_rejected(with_trailer("VBRFLEETCKPT 3\nmeta not-a-number\n"),
                     "malformed meta line");
   }
+  // A pre-experiment (v2) checkpoint has no experiment fingerprint slot:
+  // the version gate rejects it rather than guessing.
+  expect_rejected(with_trailer("VBRFLEETCKPT 2\nmeta 0 0 0 0 0\n"),
+                  "pre-experiment checkpoint version");
 
   // And the full resume path surfaces the same rejection.
   write_file(path, good.substr(0, good.size() - 3));
@@ -351,6 +356,150 @@ TEST(Checkpoint, RandomKillScheduleIsSeededAndInRange) {
   }
   EXPECT_TRUE(moved);
   EXPECT_EQ(fleet::KillSchedule::random(3, 5, 1).after_sessions, 1u);
+}
+
+/// ck_spec with the two classes moved into experiment arms (a 2-arm A/B
+/// run over the same workload), checkpointing every 8 sessions.
+fleet::FleetSpec ab_ck_spec(const std::vector<net::Trace>& traces,
+                            const std::string& checkpoint_path) {
+  fleet::FleetSpec spec = ck_spec(traces, checkpoint_path);
+  spec.experiment.arms = std::move(spec.classes);
+  spec.classes.clear();
+  return spec;
+}
+
+/// run_and_serialize plus the experiment outputs: stratum and per-model
+/// scores per session, and the full ab_report.json.
+std::string run_and_serialize_ab(fleet::FleetSpec spec, unsigned threads) {
+  obs::MemoryTraceSink sink;
+  obs::MetricsRegistry registry;
+  spec.trace = &sink;
+  spec.metrics = &registry;
+  spec.threads = threads;
+  const fleet::FleetResult result = fleet::run_fleet(spec);
+
+  std::ostringstream out;
+  for (const obs::DecisionEvent& ev : sink.events()) {
+    out << obs::to_jsonl(ev) << '\n';
+  }
+  out << registry.deterministic_fingerprint() << '\n';
+  result.write_json(out);
+  for (const fleet::FleetSessionRecord& r : result.sessions) {
+    out << r.session_id << ' ' << r.class_index << ' ' << r.stratum;
+    for (const double s : r.qoe_scores) {
+      out << ' ' << s;
+    }
+    out << '\n';
+  }
+  exp::AbAnalysisConfig cfg;
+  cfg.bootstrap.resamples = 200;
+  exp::analyze_ab(result, cfg).write_json(out);
+  return out.str();
+}
+
+TEST(Checkpoint, KillAndResumeMidExperimentIsByteIdentical) {
+  // The golden test for satellite (c): a crash in the middle of an A/B run
+  // must resume to the same assignment table, session scores, and analysis
+  // report, byte for byte, at any thread count.
+  const std::vector<net::Trace> traces = two_traces();
+  const std::string golden = run_and_serialize_ab(ab_ck_spec(traces, ""), 1);
+  ASSERT_GT(golden.size(), 1000u);
+  ASSERT_NE(golden.find("\"experiment\""), std::string::npos);
+
+  int case_id = 0;
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    for (const std::uint64_t kill_after :
+         {std::uint64_t{3}, std::uint64_t{21}}) {
+      const std::string path = testing::TempDir() + "ck_ab_case_" +
+                               std::to_string(case_id++) + ".ckpt";
+      std::remove(path.c_str());
+      run_until_killed(ab_ck_spec(traces, path), threads, kill_after);
+      fleet::FleetSpec resume = ab_ck_spec(traces, path);
+      resume.resume = true;
+      EXPECT_EQ(run_and_serialize_ab(resume, threads), golden)
+          << "threads=" << threads << " kill_after=" << kill_after;
+      std::remove(path.c_str());
+    }
+  }
+}
+
+TEST(Checkpoint, ResumeWithChangedExperimentNamesTheField) {
+  // Resuming under a different arm table would silently mix assignment
+  // schedules; the rejection must name FleetSpec.experiment, not fall back
+  // to the generic fingerprint mismatch.
+  const std::vector<net::Trace> traces = two_traces();
+  const std::string path = testing::TempDir() + "ck_ab_stale.ckpt";
+  std::remove(path.c_str());
+  run_until_killed(ab_ck_spec(traces, path), 2, 10);
+
+  const auto expect_experiment_rejection = [&](fleet::FleetSpec spec) {
+    spec.resume = true;
+    obs::MemoryTraceSink sink;
+    obs::MetricsRegistry registry;
+    spec.trace = &sink;
+    spec.metrics = &registry;
+    try {
+      (void)fleet::run_fleet(spec);
+      FAIL() << "expected CheckpointError naming FleetSpec.experiment";
+    } catch (const fleet::CheckpointError& e) {
+      EXPECT_NE(std::string(e.what()).find("FleetSpec.experiment"),
+                std::string::npos)
+          << "actual message: " << e.what();
+    }
+  };
+  {  // re-randomized assignment seed
+    fleet::FleetSpec spec = ab_ck_spec(traces, path);
+    spec.experiment.seed = 999;
+    expect_experiment_rejection(spec);
+  }
+  {  // renamed arm
+    fleet::FleetSpec spec = ab_ck_spec(traces, path);
+    spec.experiment.arms[1].label = "renamed";
+    expect_experiment_rejection(spec);
+  }
+  {  // different stratification
+    fleet::FleetSpec spec = ab_ck_spec(traces, path);
+    spec.experiment.trace_strata = 2;
+    expect_experiment_rejection(spec);
+  }
+  {  // scoring toggled off
+    fleet::FleetSpec spec = ab_ck_spec(traces, path);
+    spec.experiment.score_qoe_models = false;
+    expect_experiment_rejection(spec);
+  }
+  // An experiment checkpoint resumed by a non-experiment spec with the
+  // same shape is also an experiment change.
+  {
+    fleet::FleetSpec spec = ck_spec(traces, path);
+    expect_experiment_rejection(spec);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, ExperimentFingerprintCoversTheWholeBlock) {
+  const std::vector<net::Trace> traces = two_traces();
+  const fleet::FleetSpec base = ab_ck_spec(traces, "");
+  const std::uint64_t fp = fleet::fleet_experiment_fingerprint(base);
+  EXPECT_EQ(fleet::fleet_experiment_fingerprint(ab_ck_spec(traces, "")), fp);
+
+  fleet::FleetSpec seed = ab_ck_spec(traces, "");
+  seed.experiment.seed = 2;
+  EXPECT_NE(fleet::fleet_experiment_fingerprint(seed), fp);
+  fleet::FleetSpec strata = ab_ck_spec(traces, "");
+  strata.experiment.trace_strata = 8;
+  EXPECT_NE(fleet::fleet_experiment_fingerprint(strata), fp);
+  fleet::FleetSpec label = ab_ck_spec(traces, "");
+  label.experiment.arms[0].label = "other";
+  EXPECT_NE(fleet::fleet_experiment_fingerprint(label), fp);
+  fleet::FleetSpec scoring = ab_ck_spec(traces, "");
+  scoring.experiment.score_qoe_models = false;
+  EXPECT_NE(fleet::fleet_experiment_fingerprint(scoring), fp);
+  fleet::FleetSpec off = ck_spec(traces, "");
+  EXPECT_NE(fleet::fleet_experiment_fingerprint(off), fp);
+
+  // The experiment fingerprint folds into the whole-spec fingerprint too.
+  EXPECT_NE(fleet::fleet_spec_fingerprint(seed),
+            fleet::fleet_spec_fingerprint(base));
 }
 
 TEST(Checkpoint, FleetSpecValidateNamesTheField) {

@@ -4,6 +4,7 @@
 // errno-carrying failure paths (disk full, unwritable directory).
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -106,6 +107,55 @@ TEST(JsonlParse, InvertsToJsonlBitExactly) {
   }
 }
 
+TEST(JsonlParse, FuzzRoundTripsOptionalFieldCombinations) {
+  // Seeded structural fuzz: every combination of the optional blocks
+  // (controller, edge with CDN tier/coalesced/shed, experiment arm) with
+  // pseudo-random awkward values must survive serialize -> parse ->
+  // serialize bit-exactly. The arm field interacts with the edge block in
+  // the serializer (it is emitted after it), so the combinations matter.
+  std::uint64_t state = 0x5eedf022u;
+  const auto next = [&state] {
+    state += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  };
+  const auto u01 = [&next] {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  };
+  for (int i = 0; i < 256; ++i) {
+    obs::DecisionEvent e = full_event();
+    e.seq = next();
+    e.est_bandwidth_bps = u01() * 1e8;
+    e.download_s = u01() * 3.0;
+    e.cum_rebuffer_s = u01() < 0.3 ? 0.0 : u01() * 40.0;
+    if ((i & 1) == 0) {
+      e.controller.reset();
+    }
+    if ((i & 2) == 0) {
+      e.edge.reset();
+    } else {
+      e.edge->tier = static_cast<std::uint32_t>(next() % 3);
+      e.edge->coalesced = (next() & 1) != 0;
+      e.edge->shed = (next() & 1) != 0;
+      e.edge->edge_latency_s = u01() * 0.2;
+    }
+    if ((i & 4) != 0) {
+      e.arm = static_cast<std::uint32_t>(next() % 64);
+    }
+    const std::string line = obs::to_jsonl(e);
+    const obs::DecisionEvent back = obs::parse_jsonl(line);
+    ASSERT_EQ(obs::to_jsonl(back), line) << "fuzz case " << i;
+    ASSERT_EQ(back.arm.has_value(), e.arm.has_value()) << "fuzz case " << i;
+    if (e.edge.has_value()) {
+      ASSERT_EQ(back.edge->tier, e.edge->tier) << "fuzz case " << i;
+      ASSERT_EQ(back.edge->coalesced, e.edge->coalesced) << "fuzz case " << i;
+      ASSERT_EQ(back.edge->shed, e.edge->shed) << "fuzz case " << i;
+    }
+  }
+}
+
 TEST(JsonlParse, RejectsNonCanonicalLines) {
   const std::string good = obs::to_jsonl(full_event());
   EXPECT_THROW((void)obs::parse_jsonl(""), std::invalid_argument);
@@ -129,6 +179,33 @@ TEST(JsonlScan, CleanAndEmptyFiles) {
 
   EXPECT_THROW((void)obs::scan_checksummed_jsonl(kCorpus + "no_such.jsonl"),
                std::system_error);
+}
+
+TEST(JsonlScan, AbCdnCorpusIsCleanAndPayloadsParse) {
+  // Corpus lines carrying the experiment arm plus the CDN tier /
+  // coalesced / shed outcomes: the scanner accepts them and every payload
+  // parses back with those fields intact (one line per tier).
+  const std::string path = kCorpus + "clean_ab_cdn.jsonl";
+  const obs::JsonlScanReport rep = obs::scan_checksummed_jsonl(path);
+  EXPECT_TRUE(rep.clean());
+  ASSERT_EQ(rep.valid_lines, 3u);
+
+  std::ifstream in(path);
+  std::string line;
+  std::uint32_t expect_arm = 0;
+  while (std::getline(in, line)) {
+    std::string_view payload;
+    ASSERT_TRUE(obs::verify_checksummed_line(line, payload));
+    const obs::DecisionEvent e = obs::parse_jsonl(payload);
+    ASSERT_TRUE(e.arm.has_value());
+    EXPECT_EQ(*e.arm, expect_arm);
+    ASSERT_TRUE(e.edge.has_value());
+    EXPECT_EQ(e.edge->tier, expect_arm);  // corpus pairs tier with arm
+    EXPECT_EQ(e.edge->coalesced, expect_arm == 1);
+    EXPECT_EQ(e.edge->shed, expect_arm == 2);
+    ++expect_arm;
+  }
+  EXPECT_EQ(expect_arm, 3u);
 }
 
 TEST(JsonlScan, DetectsTornTails) {
@@ -178,6 +255,27 @@ TEST(JsonlRecover, TruncatesTornTailOnly) {
   const obs::JsonlScanReport again = obs::scan_checksummed_jsonl(tmp);
   EXPECT_TRUE(again.clean());
   EXPECT_EQ(again.valid_lines, 2u);
+  std::remove(tmp.c_str());
+}
+
+TEST(JsonlRecover, TruncatesTornAbTailKeepingArmLines) {
+  // A mid-write crash in an A/B fleet run: the torn tail goes, the two
+  // surviving lines still carry their arm + CDN fields.
+  const std::string tmp = testing::TempDir() + "recover_ab.jsonl";
+  copy_file(kCorpus + "torn_ab_tail.jsonl", tmp);
+  const obs::JsonlScanReport rep = obs::recover_checksummed_jsonl(tmp);
+  EXPECT_TRUE(rep.torn_tail);
+  EXPECT_TRUE(rep.corrupt_interior_lines.empty());
+  const obs::JsonlScanReport again = obs::scan_checksummed_jsonl(tmp);
+  EXPECT_TRUE(again.clean());
+  ASSERT_EQ(again.valid_lines, 2u);
+  std::ifstream in(tmp);
+  std::string line;
+  while (std::getline(in, line)) {
+    std::string_view payload;
+    ASSERT_TRUE(obs::verify_checksummed_line(line, payload));
+    EXPECT_TRUE(obs::parse_jsonl(payload).arm.has_value());
+  }
   std::remove(tmp.c_str());
 }
 

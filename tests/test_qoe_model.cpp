@@ -1,0 +1,163 @@
+// Pluggable QoE models (metrics/qoe_model.h): closed-form anchors for the
+// linear model, position-aware stall weighting (a late stall hurts more than
+// an early one), the memory effect (recent bad quality dominates), device
+// classes, and the standard suite's stable ordering.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "metrics/qoe_model.h"
+#include "net/bandwidth_estimator.h"
+#include "sim/session.h"
+#include "test_util.h"
+#include "video/dataset.h"
+
+namespace vbr {
+namespace {
+
+metrics::QoeSessionView flat_view(std::size_t n, double quality,
+                                  double stall_each = 0.0) {
+  metrics::QoeSessionView v;
+  v.quality.assign(n, quality);
+  v.stall_s.assign(n, stall_each);
+  v.chunk_duration_s = 2.0;
+  return v;
+}
+
+TEST(QoeModel, LinearClosedForm) {
+  const metrics::QoeModelParams p;
+  const metrics::LinearQoe model(p);
+  // Constant quality, no stalls, no startup: score == mean quality.
+  EXPECT_DOUBLE_EQ(model.score(flat_view(10, 80.0)), 80.0);
+  // Startup charges startup_penalty per second.
+  metrics::QoeSessionView v = flat_view(10, 80.0);
+  v.startup_delay_s = 3.0;
+  EXPECT_DOUBLE_EQ(model.score(v), 80.0 - p.startup_penalty * 3.0);
+  // One 2 s stall over 10 chunks: rebuffer_penalty * mean stall.
+  metrics::QoeSessionView s = flat_view(10, 80.0);
+  s.stall_s[4] = 2.0;
+  EXPECT_DOUBLE_EQ(model.score(s), 80.0 - p.rebuffer_penalty * 2.0 / 10.0);
+  // Quality switches: one step of 20 points across 10 chunks -> mean |dq|
+  // = 20 / 9 (n - 1 transitions).
+  metrics::QoeSessionView q = flat_view(10, 80.0);
+  for (std::size_t i = 5; i < 10; ++i) {
+    q.quality[i] = 60.0;
+  }
+  EXPECT_DOUBLE_EQ(model.score(q),
+                   70.0 - p.switch_penalty * 20.0 / 9.0);
+  // Empty session: only the startup term.
+  metrics::QoeSessionView empty;
+  empty.startup_delay_s = 4.0;
+  EXPECT_DOUBLE_EQ(model.score(empty), -p.startup_penalty * 4.0);
+}
+
+TEST(QoeModel, LateStallWorseThanEarlyUnderPositionAwareModel) {
+  const metrics::QoeModelParams p;
+  const metrics::RebufferPositionQoe pos(p);
+  const metrics::LinearQoe linear(p);
+
+  metrics::QoeSessionView early = flat_view(20, 70.0);
+  early.stall_s[1] = 3.0;
+  metrics::QoeSessionView late = flat_view(20, 70.0);
+  late.stall_s[18] = 3.0;
+
+  // The linear model cannot tell them apart; the position-aware model must.
+  EXPECT_DOUBLE_EQ(linear.score(early), linear.score(late));
+  EXPECT_LT(pos.score(late), pos.score(early));
+
+  // Closed form: stall at position i is weighted
+  // wmin + (wmax - wmin) * i / (n - 1).
+  const double w18 = p.position_weight_min +
+                     (p.position_weight_max - p.position_weight_min) *
+                         (18.0 / 19.0);
+  EXPECT_NEAR(pos.score(late),
+              70.0 - p.rebuffer_penalty * (3.0 * w18) / 20.0, 1e-12);
+}
+
+TEST(QoeModel, RecentBadQualityWorseUnderMemoryModel) {
+  const metrics::QoeModelParams p;
+  const metrics::MemoryEffectQoe mem(p);
+  const metrics::LinearQoe linear(p);
+
+  // Same multiset of qualities: bad start vs bad ending.
+  metrics::QoeSessionView bad_start = flat_view(24, 80.0);
+  for (std::size_t i = 0; i < 6; ++i) {
+    bad_start.quality[i] = 30.0;
+  }
+  metrics::QoeSessionView bad_end = flat_view(24, 80.0);
+  for (std::size_t i = 18; i < 24; ++i) {
+    bad_end.quality[i] = 30.0;
+  }
+  EXPECT_NEAR(linear.score(bad_start), linear.score(bad_end), 1e-12);
+  EXPECT_LT(mem.score(bad_end), mem.score(bad_start));
+
+  // A constant-quality session still scores its quality exactly (weights
+  // normalize out).
+  EXPECT_NEAR(mem.score(flat_view(16, 65.0)), 65.0, 1e-12);
+
+  // Startup fades with session length: a long session forgives startup
+  // delay more than a short one.
+  metrics::QoeSessionView short_s = flat_view(4, 70.0);
+  short_s.startup_delay_s = 5.0;
+  metrics::QoeSessionView long_s = flat_view(60, 70.0);
+  long_s.startup_delay_s = 5.0;
+  EXPECT_GT(mem.score(long_s), mem.score(short_s));
+}
+
+TEST(QoeModel, StandardSuiteOrderAndDeviceClasses) {
+  const metrics::QoeModelSuite suite = metrics::QoeModelSuite::standard();
+  const std::vector<std::string> names = suite.names();
+  ASSERT_EQ(names.size(), 4u);
+  EXPECT_EQ(names[0], "linear_tv");
+  EXPECT_EQ(names[1], "linear_phone");
+  EXPECT_EQ(names[2], "pos_rebuffer_phone");
+  EXPECT_EQ(names[3], "memory_phone");
+  EXPECT_EQ(suite.at(0).metric, video::QualityMetric::kVmafTv);
+  EXPECT_EQ(suite.at(1).metric, video::QualityMetric::kVmafPhone);
+}
+
+TEST(QoeModel, SessionViewSeamProjectsPlayedChunks) {
+  // Run a real session and check the seam: view sizes match resolved
+  // minus skipped chunks, and the two device metrics give different
+  // quality vectors for the same session.
+  // A synthesized catalog video: its TV and phone VMAF curves differ, which
+  // the flat test fixture's do not.
+  const video::Video v =
+      video::make_video("qoe", video::Genre::kSports, video::Codec::kH264,
+                        2.0, 2.0, 9, 120.0);
+  const net::Trace t = testutil::flat_trace(3e6, 600.0);
+  abr::FixedTrackScheme scheme(1);
+  net::HarmonicMeanEstimator est;
+  sim::SessionConfig cfg;
+  cfg.startup_latency_s = 4.0;
+  const sim::SessionResult r = sim::run_session(v, t, scheme, est, cfg);
+  ASSERT_GT(r.chunks.size(), 0u);
+
+  const metrics::QoeSessionView phone =
+      sim::qoe_session_view(r, video::QualityMetric::kVmafPhone, 2.0);
+  const metrics::QoeSessionView tv =
+      sim::qoe_session_view(r, video::QualityMetric::kVmafTv, 2.0);
+  std::size_t played = 0;
+  for (const sim::ChunkRecord& c : r.chunks) {
+    if (!c.skipped) {
+      ++played;
+    }
+  }
+  EXPECT_EQ(phone.quality.size(), played);
+  EXPECT_EQ(phone.stall_s.size(), played);
+  EXPECT_EQ(phone.startup_delay_s, r.startup_delay_s);
+  EXPECT_EQ(phone.chunk_duration_s, 2.0);
+  // Phone and TV VMAF differ for the same delivered chunks.
+  ASSERT_EQ(tv.quality.size(), phone.quality.size());
+  bool any_diff = false;
+  for (std::size_t i = 0; i < phone.quality.size(); ++i) {
+    if (phone.quality[i] != tv.quality[i]) {
+      any_diff = true;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+}  // namespace
+}  // namespace vbr

@@ -211,4 +211,29 @@ fleet::FleetSpec fleet_spec_from_args(const CliArgs& args) {
   return spec;
 }
 
+const std::set<std::string>& ab_flag_names() {
+  static const std::set<std::string> names = {
+      "ab-arms", "ab-seed",      "ab-strata", "ab-alpha",
+      "ab-boot", "ab-boot-seed", "ab-ci",     "ab-report"};
+  return names;
+}
+
+exp::AbAnalysisConfig ab_analysis_config_from_args(const CliArgs& args) {
+  exp::AbAnalysisConfig cfg;
+  cfg.alpha = args.get_double("ab-alpha", cfg.alpha);
+  cfg.bootstrap.resamples =
+      args.get_size("ab-boot", cfg.bootstrap.resamples);
+  cfg.bootstrap.seed = args.get_size("ab-boot-seed", cfg.bootstrap.seed);
+  const std::string ci = args.get("ab-ci", "bca");
+  if (ci == "percentile") {
+    cfg.bootstrap.kind = stats::BootstrapKind::kPercentile;
+  } else if (ci == "bca") {
+    cfg.bootstrap.kind = stats::BootstrapKind::kBca;
+  } else {
+    throw std::invalid_argument("flag --ab-ci expects percentile|bca");
+  }
+  cfg.validate();
+  return cfg;
+}
+
 }  // namespace vbr::tools

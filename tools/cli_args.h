@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "exp/ab.h"
 #include "fleet/fleet.h"
 #include "net/fault_model.h"
 #include "sim/retry.h"
@@ -146,5 +147,26 @@ class CliArgs {
 /// watch model, threads, seed) from the fleet flag group. Client classes,
 /// traces, and sinks stay with the caller. Validates before returning.
 [[nodiscard]] fleet::FleetSpec fleet_spec_from_args(const CliArgs& args);
+
+/// The in-situ A/B experiment flag group (fleet mode; src/exp):
+///   --ab-arms LIST       comma-separated scheme names, one arm each; the
+///                        arms replace the --scheme class list and share
+///                        the delivery path (in-situ). Enables A/B mode.
+///   --ab-seed N          assignment randomization seed (1001), independent
+///                        of --fleet-seed so the workload is identical
+///                        across re-randomizations
+///   --ab-strata N        trace bandwidth-rank buckets; stratum count is
+///                        N x 10 popularity deciles (4)
+///   --ab-alpha A         BH false-discovery level on adjusted p (0.05)
+///   --ab-boot N          bootstrap resamples per CI (2000)
+///   --ab-boot-seed N     bootstrap counter seed (0x5eedab00)
+///   --ab-ci KIND         percentile | bca (bca)
+///   --ab-report FILE     write ab_report.json to FILE
+[[nodiscard]] const std::set<std::string>& ab_flag_names();
+
+/// Builds the analysis config from the A/B flag group. Validates before
+/// returning (throws std::invalid_argument with the flag named).
+[[nodiscard]] exp::AbAnalysisConfig ab_analysis_config_from_args(
+    const CliArgs& args);
 
 }  // namespace vbr::tools

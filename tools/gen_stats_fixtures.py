@@ -1,0 +1,250 @@
+#!/usr/bin/env python3
+"""Regenerates the statistics-oracle fixtures under tests/data/stats/.
+
+Standard library only, by design: the container has no scipy/R, so the
+oracle values are produced by an independent numerical method (tanh-free
+composite Gauss-Legendre quadrature of the Student-t density after the
+x = sqrt(df) * tan(theta) substitution) rather than the continued-fraction
+incomplete beta the C++ engine uses. The conventions are the scipy/R ones:
+
+  - welch: scipy.stats.ttest_ind(equal_var=False)
+  - mwu:   scipy.stats.mannwhitneyu(alternative='two-sided',
+           method='asymptotic')  (continuity correction, tie-corrected sigma)
+  - bh:    R p.adjust(method='BH')
+
+Cross-checked against closed forms where they exist (df=1 Cauchy, df=2
+elementary, normal limit). Sample values are emitted with %.17g so they
+round-trip exactly through strtod.
+
+Usage: python3 tools/gen_stats_fixtures.py [output-dir]
+"""
+import math
+import os
+import random
+import sys
+
+
+# ----------------------------------------------------------------------------
+# Gauss-Legendre nodes/weights on [-1, 1] (order 40), computed via Newton on
+# Legendre polynomials — stdlib only, accurate to ~1e-15.
+def legendre_nodes(order):
+    nodes, weights = [], []
+    for i in range(order):
+        x = math.cos(math.pi * (i + 0.75) / (order + 0.5))
+        for _ in range(100):
+            p0, p1 = 1.0, x
+            for k in range(2, order + 1):
+                p0, p1 = p1, ((2 * k - 1) * x * p1 - (k - 1) * p0) / k
+            dp = order * (x * p1 - p0) / (x * x - 1.0)
+            dx = p1 / dp
+            x -= dx
+            if abs(dx) < 1e-16:
+                break
+        nodes.append(x)
+        weights.append(2.0 / ((1.0 - x * x) * dp * dp))
+    return nodes, weights
+
+
+GL_NODES, GL_WEIGHTS = legendre_nodes(40)
+
+
+def integrate(f, lo, hi, panels=16):
+    total = 0.0
+    width = (hi - lo) / panels
+    for p in range(panels):
+        a = lo + p * width
+        mid, half = a + 0.5 * width, 0.5 * width
+        total += half * sum(
+            w * f(mid + half * x) for x, w in zip(GL_NODES, GL_WEIGHTS))
+    return total
+
+
+def student_t_sf(t, df):
+    """P(T > t) by quadrature: x = sqrt(df) tan(theta) maps the tail integral
+    to C * integral of cos(theta)^(df-1) over [atan(t/sqrt(df)), pi/2]."""
+    if t < 0:
+        return 1.0 - student_t_sf(-t, df)
+    log_c = (math.lgamma(0.5 * (df + 1)) - math.lgamma(0.5 * df)
+             - 0.5 * math.log(df * math.pi))
+    theta0 = math.atan(t / math.sqrt(df))
+    return math.exp(log_c) * math.sqrt(df) * integrate(
+        lambda th: math.cos(th) ** (df - 1.0), theta0, 0.5 * math.pi)
+
+
+def reg_inc_beta(a, b, x):
+    """I_x(a, b) by quadrature of the beta density on [0, x]; needs a >= 1
+    (no left-endpoint singularity). b may be 0.5 as long as x < 1."""
+    log_b = math.lgamma(a) + math.lgamma(b) - math.lgamma(a + b)
+    inv_beta = math.exp(-log_b)
+    return inv_beta * integrate(
+        lambda u: u ** (a - 1.0) * (1.0 - u) ** (b - 1.0), 0.0, x, panels=32)
+
+
+def normal_sf(z):
+    return 0.5 * math.erfc(z / math.sqrt(2.0))
+
+
+def normal_ppf(p):
+    lo, hi = -40.0, 40.0
+    for _ in range(400):
+        mid = 0.5 * (lo + hi)
+        if 1.0 - normal_sf(mid) < p:
+            lo = mid
+        else:
+            hi = mid
+    return 0.5 * (lo + hi)
+
+
+def welch(a, b):
+    n1, n2 = len(a), len(b)
+    m1, m2 = sum(a) / n1, sum(b) / n2
+    v1 = sum((x - m1) ** 2 for x in a) / (n1 - 1)
+    v2 = sum((x - m2) ** 2 for x in b) / (n2 - 1)
+    se1, se2 = v1 / n1, v2 / n2
+    t = (m1 - m2) / math.sqrt(se1 + se2)
+    df = (se1 + se2) ** 2 / (se1 ** 2 / (n1 - 1) + se2 ** 2 / (n2 - 1))
+    p = min(1.0, 2.0 * student_t_sf(abs(t), df))
+    return t, df, p
+
+
+def average_ranks(xs):
+    order = sorted(range(len(xs)), key=lambda i: xs[i])
+    rank = [0.0] * len(xs)
+    i = 0
+    while i < len(xs):
+        j = i
+        while j + 1 < len(xs) and xs[order[j + 1]] == xs[order[i]]:
+            j += 1
+        avg = 0.5 * ((i + 1) + (j + 1))
+        for k in range(i, j + 1):
+            rank[order[k]] = avg
+        i = j + 1
+    return rank
+
+
+def mwu(a, b):
+    n1, n2 = len(a), len(b)
+    combined = list(a) + list(b)
+    rank = average_ranks(combined)
+    r1 = sum(rank[:n1])
+    u1 = r1 - n1 * (n1 + 1) / 2.0
+    u2 = n1 * n2 - u1
+    tie = 0.0
+    svals = sorted(combined)
+    i = 0
+    while i < len(svals):
+        j = i
+        while j + 1 < len(svals) and svals[j + 1] == svals[i]:
+            j += 1
+        t = j - i + 1
+        tie += t ** 3 - t
+        i = j + 1
+    n = n1 + n2
+    sigma2 = (n1 * n2 / 12.0) * ((n + 1) - tie / (n * (n - 1)))
+    if sigma2 <= 0:
+        return u1, 0.0, 1.0
+    z = (max(u1, u2) - n1 * n2 / 2.0 - 0.5) / math.sqrt(sigma2)
+    return u1, z, min(1.0, 2.0 * normal_sf(z))
+
+
+def bh(ps):
+    m = len(ps)
+    order = sorted(range(m), key=lambda i: -ps[i])
+    adj = [0.0] * m
+    running = 1.0
+    for k, idx in enumerate(order):
+        running = min(running, ps[idx] * m / (m - k))
+        adj[idx] = running
+    return adj
+
+
+def fmt(x):
+    return "%.17g" % x
+
+
+def main():
+    out_dir = sys.argv[1] if len(sys.argv) > 1 else os.path.join(
+        os.path.dirname(__file__), "..", "tests", "data", "stats")
+    os.makedirs(out_dir, exist_ok=True)
+
+    rng = random.Random(20260807)
+
+    def gauss_sample(n, mu, sd):
+        return [mu + sd * rng.gauss(0.0, 1.0) for _ in range(n)]
+
+    cases = []
+    cases.append(("normal_equal", gauss_sample(24, 50.0, 8.0),
+                  gauss_sample(30, 50.0, 8.0)))
+    cases.append(("normal_shift_small", gauss_sample(40, 60.0, 10.0),
+                  gauss_sample(40, 63.0, 10.0)))
+    cases.append(("normal_shift_large", gauss_sample(25, 40.0, 5.0),
+                  gauss_sample(35, 52.0, 9.0)))
+    cases.append(("unequal_var", gauss_sample(20, 70.0, 2.0),
+                  gauss_sample(50, 70.5, 18.0)))
+    cases.append(("small_n", gauss_sample(5, 10.0, 3.0),
+                  gauss_sample(7, 13.0, 4.0)))
+    cases.append(("skewed_exp",
+                  [-5.0 * math.log(rng.random()) for _ in range(30)],
+                  [-7.5 * math.log(rng.random()) for _ in range(28)]))
+    # Heavy ties: integer-quantized QoE-like scores exercise the tie-corrected
+    # MWU variance and average ranks.
+    cases.append(("heavy_ties",
+                  [float(rng.randint(0, 5)) for _ in range(40)],
+                  [float(rng.randint(1, 6)) for _ in range(35)]))
+    cases.append(("identical_ties", [1.0, 2.0, 2.0, 3.0, 3.0, 3.0, 4.0],
+                  [1.0, 2.0, 2.0, 3.0, 3.0, 4.0, 4.0, 4.0]))
+
+    lines = ["# Generated by tools/gen_stats_fixtures.py -- do not hand-edit."]
+    for name, a, b in cases:
+        t, df, p = welch(a, b)
+        u1, z, mp = mwu(a, b)
+        lines.append("case %s" % name)
+        lines.append("a %d %s" % (len(a), " ".join(fmt(x) for x in a)))
+        lines.append("b %d %s" % (len(b), " ".join(fmt(x) for x in b)))
+        lines.append("welch_t %s" % fmt(t))
+        lines.append("welch_df %s" % fmt(df))
+        lines.append("welch_p %s" % fmt(p))
+        lines.append("mwu_u1 %s" % fmt(u1))
+        lines.append("mwu_z %s" % fmt(z))
+        lines.append("mwu_p %s" % fmt(mp))
+    with open(os.path.join(out_dir, "ttest_cases.txt"), "w") as f:
+        f.write("\n".join(lines) + "\n")
+
+    bh_sets = [
+        ("r_doc_example",
+         [0.01, 0.02, 0.03, 0.04, 0.05, 0.99]),
+        ("mixed", [0.6, 0.001, 0.25, 0.04, 0.001, 0.9, 0.12, 0.0003]),
+        ("all_ones", [1.0, 1.0, 1.0, 1.0]),
+        ("single", [0.037]),
+        ("ties", [0.05, 0.05, 0.05, 0.2, 0.2, 0.8]),
+        ("random", sorted(rng.random() for _ in range(15))),
+    ]
+    lines = ["# Generated by tools/gen_stats_fixtures.py -- do not hand-edit."]
+    for name, ps in bh_sets:
+        adj = bh(ps)
+        lines.append("case %s" % name)
+        lines.append("p %d %s" % (len(ps), " ".join(fmt(x) for x in ps)))
+        lines.append("adj %d %s" % (len(adj), " ".join(fmt(x) for x in adj)))
+    with open(os.path.join(out_dir, "bh_cases.txt"), "w") as f:
+        f.write("\n".join(lines) + "\n")
+
+    lines = ["# Generated by tools/gen_stats_fixtures.py -- do not hand-edit."]
+    for t, df in [(0.0, 5.0), (1.0, 1.0), (2.5, 1.0), (1.0, 2.0),
+                  (2.0, 2.0), (0.5, 3.7), (1.96, 12.4), (3.2, 29.0),
+                  (4.5, 61.5), (-1.3, 8.0), (6.0, 4.2), (2.0, 200.0)]:
+        lines.append("tsf %s %s %s" % (fmt(t), fmt(df), fmt(student_t_sf(t, df))))
+    for p in [0.001, 0.01, 0.025, 0.1, 0.25, 0.5, 0.75, 0.9, 0.975, 0.99,
+              0.999]:
+        lines.append("ppf %s %s" % (fmt(p), fmt(normal_ppf(p))))
+    for a, b, x in [(1.0, 1.0, 0.3), (2.0, 3.0, 0.5), (5.0, 0.5, 0.8),
+                    (1.5, 0.5, 0.25), (10.0, 10.0, 0.5), (3.25, 0.5, 0.9)]:
+        lines.append("ibeta %s %s %s %s" % (fmt(a), fmt(b), fmt(x),
+                                            fmt(reg_inc_beta(a, b, x))))
+    with open(os.path.join(out_dir, "special_cases.txt"), "w") as f:
+        f.write("\n".join(lines) + "\n")
+
+    print("wrote fixtures to %s" % out_dir)
+
+
+if __name__ == "__main__":
+    main()

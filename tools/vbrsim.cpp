@@ -82,6 +82,17 @@
 // (--fleet-cdn-seed): output stays byte-identical at any thread count and
 // across kill/resume, even mid-brownout.
 //
+// In-situ A/B experiments (fleet mode; DESIGN.md section 13): --ab-arms
+// "CAVA,RobustMPC,BOLA-E (peak)" assigns arriving sessions to one arm per
+// named scheme by seeded stratified randomization (balanced within trace
+// class x popularity decile) while every arm shares the same delivery path.
+// The run is scored under the pluggable QoE-model suite and analyzed with
+// Welch / Mann-Whitney tests, seeded bootstrap CIs, and one
+// Benjamini-Hochberg family across every (metric, pair, test) hypothesis.
+// Flags: --ab-seed, --ab-strata, --ab-alpha, --ab-boot, --ab-boot-seed,
+// --ab-ci percentile|bca, --ab-report FILE (ab_report.json). The report is
+// byte-identical at any --fleet-threads value.
+//
 // Crash safety (fleet mode; DESIGN.md section 11): --checkpoint FILE,
 // --checkpoint-every N, --resume (resume from FILE when it exists),
 // --fleet-kill-after N (cooperative chaos kill: final checkpoint + exit
@@ -100,6 +111,7 @@
 
 #include "cli_args.h"
 #include "common.h"
+#include "exp/ab.h"
 #include "fleet/checkpoint.h"
 #include "metrics/report.h"
 #include "net/trace_io.h"
@@ -153,7 +165,8 @@ int run_fleet_mode(const tools::CliArgs& args,
   fleet::FleetSpec spec = tools::fleet_spec_from_args(args);
   spec.metric = metric;
   spec.session.request_rtt_s = args.get_double("rtt", 0.0);
-  for (const std::string& name : split_csv(args.get("scheme", "CAVA"))) {
+  const bool ab_mode = args.has("ab-arms");
+  auto make_class = [&](const std::string& name) {
     fleet::FleetClientClass cls;
     cls.label = name;
     cls.make_scheme = bench::scheme_factory(name, metric);
@@ -164,7 +177,21 @@ int run_fleet_mode(const tools::CliArgs& args,
         return video::make_size_provider(size_knowledge);
       };
     }
-    spec.classes.push_back(std::move(cls));
+    return cls;
+  };
+  if (ab_mode) {
+    // A/B mode: the arms take over the class slots; assignment is seeded
+    // stratified randomization inside run_fleet (FleetExperimentConfig).
+    for (const std::string& name : split_csv(args.get("ab-arms", ""))) {
+      spec.experiment.arms.push_back(make_class(name));
+    }
+    spec.experiment.seed = args.get_size("ab-seed", spec.experiment.seed);
+    spec.experiment.trace_strata =
+        args.get_size("ab-strata", spec.experiment.trace_strata);
+  } else {
+    for (const std::string& name : split_csv(args.get("scheme", "CAVA"))) {
+      spec.classes.push_back(make_class(name));
+    }
   }
   spec.traces = traces;
 
@@ -240,6 +267,46 @@ int run_fleet_mode(const tools::CliArgs& args,
                 static_cast<unsigned long long>(r.watchdog_aborted_sessions));
   }
 
+  if (ab_mode) {
+    const exp::AbAnalysisConfig ab_cfg =
+        tools::ab_analysis_config_from_args(args);
+    const exp::AbReport ab = exp::analyze_ab(r, ab_cfg);
+    std::printf("ab: %zu arms x %zu metrics = %zu hypotheses | BH alpha "
+                "%.3g | %zu strata (seed %llu)\n",
+                ab.arm_labels.size(), ab.metric_names.size(), ab.hypotheses,
+                ab.alpha, ab.strata.size(),
+                static_cast<unsigned long long>(spec.experiment.seed));
+    bool any = false;
+    for (const exp::AbMetricReport& mr : ab.metrics) {
+      for (const exp::AbPairTest& pt : mr.pairs) {
+        if (!pt.significant) {
+          continue;
+        }
+        any = true;
+        std::printf("ab: %-22s %s vs %s: diff %+.3f [%+.3f, %+.3f] | "
+                    "welch p %.2e (adj %.2e), mwu p %.2e (adj %.2e)\n",
+                    mr.metric.c_str(), ab.arm_labels[pt.arm_a].c_str(),
+                    ab.arm_labels[pt.arm_b].c_str(), pt.diff.point,
+                    pt.diff.lo, pt.diff.hi, pt.welch.p, pt.welch_p_adj,
+                    pt.mwu.p, pt.mwu_p_adj);
+      }
+    }
+    if (!any) {
+      std::printf("ab: no significant pairs after BH correction\n");
+    }
+    if (args.has("ab-report")) {
+      const std::string path = args.get("ab-report", "ab_report.json");
+      errno = 0;
+      std::ofstream ab_out(path, std::ios::out | std::ios::trunc);
+      if (!ab_out) {
+        throw std::system_error(errno != 0 ? errno : EIO,
+                                std::generic_category(),
+                                "cannot open '" + path + "'");
+      }
+      ab.write_json(ab_out);
+    }
+  }
+
   if (args.has("fleet-report")) {
     const std::string path = args.get("fleet-report", "fleet-report.json");
     errno = 0;
@@ -286,6 +353,8 @@ int main(int argc, char** argv) {
                  tools::telemetry_flag_names().end());
     known.insert(tools::fleet_flag_names().begin(),
                  tools::fleet_flag_names().end());
+    known.insert(tools::ab_flag_names().begin(),
+                 tools::ab_flag_names().end());
     const tools::CliArgs args(argc, argv, known);
 
     if (args.has("help")) {
@@ -372,6 +441,11 @@ int main(int argc, char** argv) {
         size_knowledge.mode != video::SizeKnowledge::kOracle ||
         size_knowledge.online_correction;
 
+    if (args.has("ab-arms") && !args.has("fleet")) {
+      throw std::invalid_argument(
+          "--ab-arms needs --fleet (A/B experiments run on the fleet "
+          "driver)");
+    }
     if (args.has("fleet")) {
       return run_fleet_mode(args, traces, metric, fault, retry,
                             size_knowledge, degraded_sizes);
