@@ -1,0 +1,222 @@
+// Learned-ABR lifecycle benchmark: what the imitation pipeline costs at
+// each stage (DESIGN.md section 14).
+//
+//   - teacher rollout + dataset build (events/sec through the feature layer)
+//   - training throughput for both backends (examples/sec)
+//   - policy file save/load time (the fleet-restart path)
+//   - per-decision latency: learned-tabular / learned-mlp next to the CAVA
+//     and MPC baselines on the same context sweep
+//
+// Results go to BENCH_LEARNED.json; the per-decision numbers also appear in
+// BENCH_PERF.json via bench_perf_decision_suite, which gates them under
+// 1 us in the perf-smoke ctest.
+//
+// Flags:
+//   --quick        smaller fleet + fewer iterations (CI budget)
+//   --out FILE     report path (default BENCH_LEARNED.json)
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "abr/mpc.h"
+#include "common.h"
+#include "core/cava.h"
+#include "fleet/catalog.h"
+#include "fleet/fleet.h"
+#include "learn/learned_scheme.h"
+#include "learn/trainer.h"
+#include "obs/json_util.h"
+#include "obs/trace_sink.h"
+
+namespace {
+
+using namespace vbr;
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Deterministic context sweep over the first catalog title (same shape as
+/// bench_perf_decision_suite's sweep).
+abr::StreamContext sweep_context(const video::Video& v, std::size_t i) {
+  abr::StreamContext ctx;
+  ctx.video = &v;
+  ctx.next_chunk = (i * 17) % v.num_chunks();
+  ctx.buffer_s = 4.0 + static_cast<double>(i % 29);
+  ctx.est_bandwidth_bps = 1.2e6 + 3.0e5 * static_cast<double>(i % 7);
+  ctx.prev_track = static_cast<int>(i % v.num_tracks());
+  ctx.now_s = 2.0 * static_cast<double>(i);
+  return ctx;
+}
+
+double measure_decide(abr::AbrScheme& scheme, const video::Video& v,
+                      std::size_t iters) {
+  scheme.reset();
+  std::uint64_t sink = 0;
+  for (std::size_t i = 0; i < 16; ++i) {
+    sink += scheme.decide(sweep_context(v, i)).track;
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < iters; ++i) {
+    sink += scheme.decide(sweep_context(v, i)).track;
+  }
+  const double ns = seconds_since(t0) * 1e9 / static_cast<double>(iters);
+  if (sink == 0xdeadbeef) {  // defeat dead-code elimination
+    std::printf("impossible\n");
+  }
+  return ns;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out_path = "BENCH_LEARNED.json";
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    if (arg == "--quick") {
+      quick = true;
+    } else if (arg == "--out" && a + 1 < argc) {
+      out_path = argv[++a];
+    } else {
+      std::cerr << "usage: bench_ext_learned_abr [--quick] [--out FILE]\n";
+      return 2;
+    }
+  }
+
+  // Stage 1: teacher rollout through the fleet driver (in memory).
+  const std::vector<net::Trace> traces = bench::fcc_traces(quick ? 20 : 60);
+  fleet::FleetSpec spec;
+  spec.arrivals.rate_per_s = 0.5;
+  spec.arrivals.horizon_s = quick ? 400.0 : 1600.0;
+  spec.arrivals.max_sessions = quick ? 200 : 800;
+  fleet::FleetClientClass teacher;
+  teacher.label = "MPC";
+  teacher.make_scheme = bench::scheme_factory("MPC");
+  spec.classes.push_back(teacher);
+  spec.traces = traces;
+  obs::MemoryTraceSink sink;
+  spec.trace = &sink;
+  auto t0 = std::chrono::steady_clock::now();
+  const fleet::FleetResult fr = fleet::run_fleet(spec);
+  const double rollout_s = seconds_since(t0);
+  const std::vector<obs::DecisionEvent> events(sink.events().begin(),
+                                               sink.events().end());
+  std::printf("rollout: %zu sessions, %zu events in %.2f s\n",
+              fr.sessions.size(), events.size(), rollout_s);
+
+  // Stage 2: dataset build through the shared feature layer.
+  const fleet::Catalog catalog(spec.catalog);
+  learn::FeatureConfig cfg;
+  cfg.num_tracks = catalog.title(0).num_tracks();
+  const learn::VideoLookup lookup =
+      [&catalog](const obs::DecisionEvent& ev) -> const video::Video* {
+    if (!ev.edge.has_value() || ev.edge->title >= catalog.num_titles()) {
+      return nullptr;
+    }
+    return &catalog.title(static_cast<std::size_t>(ev.edge->title));
+  };
+  t0 = std::chrono::steady_clock::now();
+  const learn::Dataset dataset = learn::build_dataset(events, cfg, lookup);
+  const double build_s = seconds_since(t0);
+  const double build_events_per_s =
+      build_s > 0.0 ? static_cast<double>(events.size()) / build_s : 0.0;
+  std::printf("dataset: %zu examples in %.3f s (%.0f events/sec)\n",
+              dataset.examples.size(), build_s, build_events_per_s);
+
+  // Stage 3: training throughput.
+  learn::TrainerConfig tc;
+  tc.epochs = quick ? 10 : 40;
+  t0 = std::chrono::steady_clock::now();
+  const learn::Policy tabular =
+      learn::train_tabular(dataset, cfg, tc, "bench-imitate", 1);
+  const double tab_train_s = seconds_since(t0);
+  t0 = std::chrono::steady_clock::now();
+  const learn::Policy mlp =
+      learn::train_mlp(dataset, cfg, tc, "bench-imitate", 1);
+  const double mlp_train_s = seconds_since(t0);
+  const double n = static_cast<double>(dataset.examples.size());
+  std::printf("train: tabular %.3f s (%.0f ex/s), mlp %.3f s (%.0f ex/s)\n",
+              tab_train_s, n / tab_train_s, mlp_train_s,
+              (n * static_cast<double>(tc.epochs)) / mlp_train_s);
+
+  // Stage 4: policy save + load round trip.
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "bench_ext_learned_abr";
+  std::filesystem::create_directories(dir);
+  const std::string tab_path = (dir / "tabular.vbrp").string();
+  const std::string mlp_path = (dir / "mlp.vbrp").string();
+  learn::save_policy_file(tab_path, tabular);
+  learn::save_policy_file(mlp_path, mlp);
+  const std::size_t loads = quick ? 5 : 20;
+  t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < loads; ++i) {
+    (void)learn::load_policy_file(tab_path);
+  }
+  const double tab_load_ms = seconds_since(t0) * 1e3 / loads;
+  t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < loads; ++i) {
+    (void)learn::load_policy_file(mlp_path);
+  }
+  const double mlp_load_ms = seconds_since(t0) * 1e3 / loads;
+  std::printf("load: tabular %.2f ms (%zu states), mlp %.3f ms\n",
+              tab_load_ms, tabular.tabular.table.size(), mlp_load_ms);
+
+  // Stage 5: decision latency against the baselines, on trained policies.
+  const video::Video& v = catalog.title(0);
+  const std::size_t iters = quick ? 3000 : 30000;
+  learn::LearnedScheme tab_scheme(
+      std::make_shared<const learn::Policy>(tabular));
+  learn::LearnedScheme mlp_scheme(std::make_shared<const learn::Policy>(mlp));
+  const auto cava = core::make_cava_p123();
+  abr::Mpc mpc(abr::mpc_config());
+  const double tab_ns = measure_decide(tab_scheme, v, iters);
+  const double mlp_ns = measure_decide(mlp_scheme, v, iters);
+  const double cava_ns = measure_decide(*cava, v, iters);
+  const double mpc_ns = measure_decide(mpc, v, quick ? 300 : 3000);
+  std::printf("decide: learned-tabular %.0f ns, learned-mlp %.0f ns, "
+              "CAVA %.0f ns, MPC %.0f ns\n",
+              tab_ns, mlp_ns, cava_ns, mpc_ns);
+
+  std::string json;
+  json += "{\"suite\":\"learned-abr-lifecycle\",\"quick\":";
+  json += quick ? "true" : "false";
+  json += ",\"rollout\":{\"sessions\":";
+  obs::detail::append_uint(json, fr.sessions.size());
+  json += ",\"events\":";
+  obs::detail::append_uint(json, events.size());
+  json += ",\"wall_s\":";
+  obs::detail::append_double(json, rollout_s);
+  json += "},\"dataset\":{\"examples\":";
+  obs::detail::append_uint(json, dataset.examples.size());
+  json += ",\"events_per_sec\":";
+  obs::detail::append_double(json, build_events_per_s);
+  json += "},\"train\":{\"tabular_examples_per_sec\":";
+  obs::detail::append_double(json, n / tab_train_s);
+  json += ",\"mlp_examples_per_sec\":";
+  obs::detail::append_double(
+      json, (n * static_cast<double>(tc.epochs)) / mlp_train_s);
+  json += "},\"load_ms\":{\"tabular\":";
+  obs::detail::append_double(json, tab_load_ms);
+  json += ",\"mlp\":";
+  obs::detail::append_double(json, mlp_load_ms);
+  json += "},\"decide_ns\":{\"learned_tabular\":";
+  obs::detail::append_double(json, tab_ns);
+  json += ",\"learned_mlp\":";
+  obs::detail::append_double(json, mlp_ns);
+  json += ",\"cava\":";
+  obs::detail::append_double(json, cava_ns);
+  json += ",\"mpc\":";
+  obs::detail::append_double(json, mpc_ns);
+  json += "}}\n";
+  std::ofstream out(out_path);
+  out << json;
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

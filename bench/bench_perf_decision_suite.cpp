@@ -34,6 +34,8 @@
 #include "common.h"
 #include "core/cava.h"
 #include "fleet/fleet.h"
+#include "learn/learned_scheme.h"
+#include "learn/trainer.h"
 #include "net/bandwidth_estimator.h"
 #include "net/trace_gen.h"
 #include "obs/json_util.h"
@@ -207,6 +209,20 @@ int main(int argc, char** argv) {
   run("CAVA", core::make_cava_p123());
   run("BOLA-E", std::make_unique<abr::Bola>());
 
+  // Learned backends on rule-seeded policies: the hot path (table walk /
+  // fixed-topology MLP forward pass) is identical to a trained policy's, so
+  // no rollout corpus is needed to measure it.
+  learn::FeatureConfig lcfg;
+  lcfg.num_tracks = ed().num_tracks();
+  run("learned-tabular",
+      std::make_unique<learn::LearnedScheme>(
+          std::make_shared<const learn::Policy>(
+              learn::make_rate_rule_tabular(lcfg, "bench-rule", 1))));
+  run("learned-mlp",
+      std::make_unique<learn::LearnedScheme>(
+          std::make_shared<const learn::Policy>(
+              learn::make_random_mlp(lcfg, 16, 7, "bench-rand", 1))));
+
   const auto ns_of = [&](const std::string& name) {
     for (const SchemeRow& r : rows) {
       if (r.name == name) {
@@ -249,7 +265,11 @@ int main(int argc, char** argv) {
     obs::detail::append_uint(json, rows[i].m.track_checksum);
     json += '}';
   }
-  json += "],\"speedup\":{\"mpc_horizon5\":";
+  json += "],\"learned\":{\"tabular_ns_per_decision\":";
+  obs::detail::append_double(json, ns_of("learned-tabular"));
+  json += ",\"mlp_ns_per_decision\":";
+  obs::detail::append_double(json, ns_of("learned-mlp"));
+  json += "},\"speedup\":{\"mpc_horizon5\":";
   obs::detail::append_double(json, mpc_speedup);
   json += ",\"robust_mpc_horizon5\":";
   obs::detail::append_double(json, robust_speedup);
@@ -279,6 +299,16 @@ int main(int argc, char** argv) {
       std::cerr << "FAIL: RobustMPC horizon-5 speedup " << robust_speedup
                 << "x below the 2x regression floor\n";
       return 1;
+    }
+    // The learned backends exist to be cheap: either regressing past 1 us
+    // per decision means the table walk / forward pass picked up real work
+    // (allocation, locking, search) that does not belong on the hot path.
+    for (const char* name : {"learned-tabular", "learned-mlp"}) {
+      if (ns_of(name) >= 1000.0) {
+        std::cerr << "FAIL: " << name << " " << ns_of(name)
+                  << " ns/decision breaches the 1 us hot-path ceiling\n";
+        return 1;
+      }
     }
   }
   return 0;

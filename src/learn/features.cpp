@@ -1,0 +1,297 @@
+#include "learn/features.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace vbr::learn {
+
+namespace {
+
+void require(bool ok, const std::string& field, const std::string& what) {
+  if (!ok) {
+    throw std::invalid_argument("FeatureConfig." + field + ": " + what);
+  }
+}
+
+double clamp_ratio(double r, const FeatureConfig& cfg) {
+  return std::min(cfg.ratio_hi, std::max(cfg.ratio_lo, r));
+}
+
+std::size_t margin_bin(double margin, const FeatureConfig& cfg) {
+  const double u = std::log(margin / cfg.margin_lo) /
+                   std::log(cfg.margin_hi / cfg.margin_lo);
+  const auto bin = static_cast<std::size_t>(
+      std::min(1.0, std::max(0.0, u)) *
+      static_cast<double>(cfg.margin_bins));
+  return std::min(bin, cfg.margin_bins - 1);
+}
+
+std::size_t deficit_bin(double deficit_chunks, const FeatureConfig& cfg) {
+  const double u = std::log(deficit_chunks / cfg.deficit_lo) /
+                   std::log(cfg.deficit_hi / cfg.deficit_lo);
+  const auto bin = static_cast<std::size_t>(
+      std::min(1.0, std::max(0.0, u)) *
+      static_cast<double>(cfg.deficit_bins));
+  return std::min(bin, cfg.deficit_bins - 1);
+}
+
+/// The shared core of both Signals extractors: reads the upcoming size
+/// window per track through `read`, then derives every size-dependent
+/// signal with identical arithmetic, so the two paths cannot diverge by
+/// even one ULP. `mean_bits`/`first_bits` scratch must hold num_tracks.
+template <typename ReadSizes>
+void extract_signals(const video::Video& video, std::size_t next_chunk,
+                     std::size_t limit, const FeatureConfig& cfg,
+                     const ReadSizes& read, Signals& out) {
+  const double chunk_s = video.chunk_duration_s();
+  const std::size_t begin = std::min(next_chunk, limit);
+  const std::size_t end = std::min(begin + cfg.lookahead, limit);
+  out.inflation.resize(cfg.num_tracks);
+
+  double sizes[32];
+  double mean_bits[64];
+  double first_bits[64];
+  if (end <= begin) {
+    // Past the visible edge (cannot happen for a valid decision, but keep
+    // the function total): every track at its nominal size.
+    for (std::size_t l = 0; l < cfg.num_tracks; ++l) {
+      const double nominal =
+          video.track(l).average_bitrate_bps() * chunk_s;
+      mean_bits[l] = nominal;
+      first_bits[l] = nominal;
+      out.inflation[l] = clamp_ratio(1.0, cfg);
+    }
+  } else {
+    const std::size_t n = end - begin;
+    for (std::size_t l = 0; l < cfg.num_tracks; ++l) {
+      read(l, begin, end, sizes);
+      double sum = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        sum += sizes[i];
+      }
+      mean_bits[l] = sum / static_cast<double>(n);
+      first_bits[l] = sizes[0];
+      const double nominal =
+          video.track(l).average_bitrate_bps() * chunk_s;
+      out.inflation[l] = clamp_ratio(mean_bits[l] / nominal, cfg);
+    }
+  }
+
+  // Sustainable: highest track whose mean upcoming rate fits the estimate.
+  int sustainable = -1;
+  for (std::size_t l = 0; l < cfg.num_tracks; ++l) {
+    if (mean_bits[l] / chunk_s <= out.est_bandwidth_bps) {
+      sustainable = static_cast<int>(l);
+    }
+  }
+  out.sustainable = static_cast<std::size_t>(sustainable + 1);
+
+  // Margin above the sustainable track's mean rate (track 0 when none).
+  const std::size_t anchor =
+      sustainable < 0 ? 0 : static_cast<std::size_t>(sustainable);
+  out.margin = std::min(
+      cfg.margin_hi,
+      std::max(cfg.margin_lo,
+               out.est_bandwidth_bps / (mean_bits[anchor] / chunk_s)));
+
+  // Affordable: highest track whose next chunk downloads within the
+  // current buffer at the estimated bandwidth (no rebuffer if the
+  // estimate is exact).
+  int affordable = -1;
+  for (std::size_t l = 0; l < cfg.num_tracks; ++l) {
+    if (first_bits[l] / out.est_bandwidth_bps <= out.buffer_s) {
+      affordable = static_cast<int>(l);
+    }
+  }
+  out.affordable = static_cast<std::size_t>(affordable + 1);
+
+  // Deficit absorption of the track just above the sustainable one: each
+  // of its chunks costs (download time - playout gain) of buffer; how many
+  // such chunks does the current buffer cover? deficit_hi when that track
+  // is itself sustainable (a free upgrade).
+  const std::size_t above = std::min(out.sustainable, cfg.num_tracks - 1);
+  const double over_s =
+      mean_bits[above] / out.est_bandwidth_bps - chunk_s;
+  out.deficit_chunks =
+      over_s <= 0.0
+          ? cfg.deficit_hi
+          : std::min(cfg.deficit_hi,
+                     std::max(cfg.deficit_lo, out.buffer_s / over_s));
+}
+
+}  // namespace
+
+void FeatureConfig::validate() const {
+  require(num_tracks >= 1 && num_tracks <= 64, "num_tracks",
+          "must be in [1, 64]");
+  require(lookahead >= 1 && lookahead <= 32, "lookahead",
+          "must be in [1, 32]");
+  require(buffer_bins >= 1 && buffer_bins <= 256, "buffer_bins",
+          "must be in [1, 256]");
+  require(std::isfinite(buffer_cap_s) && buffer_cap_s > 0.0, "buffer_cap_s",
+          "must be finite and positive");
+  require(bandwidth_bins >= 1 && bandwidth_bins <= 256, "bandwidth_bins",
+          "must be in [1, 256]");
+  require(std::isfinite(bw_lo_bps) && bw_lo_bps > 0.0, "bw_lo_bps",
+          "must be finite and positive");
+  require(std::isfinite(bw_hi_bps) && bw_hi_bps > bw_lo_bps, "bw_hi_bps",
+          "must be finite and greater than bw_lo_bps");
+  require(std::isfinite(ratio_lo) && ratio_lo > 0.0, "ratio_lo",
+          "must be finite and positive");
+  require(std::isfinite(ratio_hi) && ratio_hi > ratio_lo, "ratio_hi",
+          "must be finite and greater than ratio_lo");
+  require(margin_bins >= 1 && margin_bins <= 64, "margin_bins",
+          "must be in [1, 64]");
+  require(std::isfinite(margin_lo) && margin_lo > 0.0, "margin_lo",
+          "must be finite and positive");
+  require(std::isfinite(margin_hi) && margin_hi > margin_lo, "margin_hi",
+          "must be finite and greater than margin_lo");
+  require(deficit_bins >= 1 && deficit_bins <= 64, "deficit_bins",
+          "must be in [1, 64]");
+  require(std::isfinite(deficit_lo) && deficit_lo > 0.0, "deficit_lo",
+          "must be finite and positive");
+  require(std::isfinite(deficit_hi) && deficit_hi > deficit_lo,
+          "deficit_hi", "must be finite and greater than deficit_lo");
+}
+
+std::size_t FeatureConfig::num_states() const {
+  return buffer_bins * (num_tracks + 1) * margin_bins * deficit_bins *
+         (num_tracks + 1) * (num_tracks + 1) * 2;
+}
+
+std::size_t buffer_bin(double buffer_s, const FeatureConfig& cfg) {
+  if (!(buffer_s > 0.0)) {
+    return 0;
+  }
+  const double u = buffer_s / cfg.buffer_cap_s;
+  const auto bin = static_cast<std::size_t>(
+      std::min(u, 1.0) * static_cast<double>(cfg.buffer_bins));
+  return std::min(bin, cfg.buffer_bins - 1);
+}
+
+double bandwidth_norm(double bw_bps, const FeatureConfig& cfg) {
+  if (!(bw_bps > cfg.bw_lo_bps)) {
+    return 0.0;
+  }
+  if (bw_bps >= cfg.bw_hi_bps) {
+    return 1.0;
+  }
+  const double u = (std::log(bw_bps) - std::log(cfg.bw_lo_bps)) /
+                   (std::log(cfg.bw_hi_bps) - std::log(cfg.bw_lo_bps));
+  return std::min(1.0, std::max(0.0, u));
+}
+
+std::size_t bandwidth_bin(double bw_bps, const FeatureConfig& cfg) {
+  const double u = bandwidth_norm(bw_bps, cfg);
+  const auto bin = static_cast<std::size_t>(
+      u * static_cast<double>(cfg.bandwidth_bins));
+  return std::min(bin, cfg.bandwidth_bins - 1);
+}
+
+double bandwidth_bin_center_bps(std::size_t bin, const FeatureConfig& cfg) {
+  const double u = (static_cast<double>(bin) + 0.5) /
+                   static_cast<double>(cfg.bandwidth_bins);
+  return std::exp(std::log(cfg.bw_lo_bps) +
+                  u * (std::log(cfg.bw_hi_bps) - std::log(cfg.bw_lo_bps)));
+}
+
+void signals_from_context(const abr::StreamContext& ctx,
+                          const FeatureConfig& cfg, Signals& out) {
+  out.buffer_s = ctx.buffer_s;
+  out.est_bandwidth_bps = ctx.est_bandwidth_bps;
+  out.prev_track = ctx.prev_track;
+  out.in_startup = ctx.in_startup;
+  extract_signals(
+      *ctx.video, ctx.next_chunk, ctx.lookahead_limit(), cfg,
+      [&ctx](std::size_t level, std::size_t begin, std::size_t end,
+             double* sizes) {
+        ctx.fill_chunk_sizes(level, begin, end, sizes);
+      },
+      out);
+}
+
+void signals_from_event(const obs::DecisionEvent& event,
+                        const video::Video& video, int prev_track,
+                        const FeatureConfig& cfg, Signals& out) {
+  out.buffer_s = event.buffer_before_s;
+  out.est_bandwidth_bps = event.est_bandwidth_bps;
+  out.prev_track = prev_track;
+  out.in_startup = event.in_startup;
+  extract_signals(
+      video, event.chunk_index, video.num_chunks(), cfg,
+      [&video](std::size_t level, std::size_t begin, std::size_t end,
+               double* sizes) {
+        for (std::size_t i = begin; i < end; ++i) {
+          sizes[i - begin] = video.chunk_size_bits(level, i);
+        }
+      },
+      out);
+}
+
+void feature_vector(const Signals& sig, const FeatureConfig& cfg,
+                    std::vector<double>& out) {
+  out.resize(cfg.vector_dim());
+  out[0] = std::min(1.0, std::max(0.0, sig.buffer_s / cfg.buffer_cap_s));
+  out[1] = bandwidth_norm(sig.est_bandwidth_bps, cfg);
+  out[2] = static_cast<double>(sig.prev_track + 1) /
+           static_cast<double>(cfg.num_tracks);
+  out[3] = sig.in_startup ? 1.0 : 0.0;
+  out[4] = static_cast<double>(sig.sustainable) /
+           static_cast<double>(cfg.num_tracks);
+  out[5] = (sig.margin - cfg.margin_lo) / (cfg.margin_hi - cfg.margin_lo);
+  out[6] = static_cast<double>(sig.affordable) /
+           static_cast<double>(cfg.num_tracks);
+  out[7] = std::log(sig.deficit_chunks / cfg.deficit_lo) /
+           std::log(cfg.deficit_hi / cfg.deficit_lo);
+  for (std::size_t level = 0; level < cfg.num_tracks; ++level) {
+    out[8 + level] = (sig.inflation[level] - cfg.ratio_lo) /
+                     (cfg.ratio_hi - cfg.ratio_lo);
+  }
+}
+
+std::uint32_t state_id(const Signals& sig, const FeatureConfig& cfg) {
+  const std::size_t b = buffer_bin(sig.buffer_s, cfg);
+  const std::size_t u = std::min(sig.sustainable, cfg.num_tracks);
+  const std::size_t m = margin_bin(sig.margin, cfg);
+  const std::size_t d = deficit_bin(sig.deficit_chunks, cfg);
+  const std::size_t a = std::min(sig.affordable, cfg.num_tracks);
+  const std::size_t prev = static_cast<std::size_t>(
+      std::min<int>(sig.prev_track + 1, static_cast<int>(cfg.num_tracks)));
+  const std::size_t s = sig.in_startup ? 1 : 0;
+  std::size_t id = b;
+  id = id * (cfg.num_tracks + 1) + u;
+  id = id * cfg.margin_bins + m;
+  id = id * cfg.deficit_bins + d;
+  id = id * (cfg.num_tracks + 1) + a;
+  id = id * (cfg.num_tracks + 1) + prev;
+  id = id * 2 + s;
+  return static_cast<std::uint32_t>(id);
+}
+
+std::uint32_t coarse_from_state(std::uint32_t state,
+                                const FeatureConfig& cfg) {
+  std::size_t id = state;
+  id /= 2;  // Drop the startup axis.
+  const std::size_t prev = id % (cfg.num_tracks + 1);
+  id /= cfg.num_tracks + 1;
+  id /= cfg.num_tracks + 1;  // Drop the affordable axis.
+  id /= cfg.deficit_bins;    // Drop the deficit axis.
+  id /= cfg.margin_bins;     // Drop the margin axis.
+  // id == b * (num_tracks + 1) + sustainable; re-append prev_track.
+  return static_cast<std::uint32_t>(id * (cfg.num_tracks + 1) + prev);
+}
+
+std::size_t sustainable_from_state(std::uint32_t state,
+                                   const FeatureConfig& cfg) {
+  std::size_t id = state;
+  id /= 2;
+  id /= cfg.num_tracks + 1;
+  id /= cfg.num_tracks + 1;
+  id /= cfg.deficit_bins;
+  id /= cfg.margin_bins;
+  return id % (cfg.num_tracks + 1);
+}
+
+}  // namespace vbr::learn

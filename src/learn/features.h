@@ -1,0 +1,166 @@
+// Feature/state layer for the learned ABR schemes (src/learn).
+//
+// One quantization, two consumers: LearnedScheme at decision time and the
+// offline trainer (tools/abrtrain) on replayed DecisionEvent streams. Both
+// paths funnel through the same `Signals` intermediate and the same pure
+// functions below, so the feature vector and state id a policy was trained
+// on are bit-identical to the ones it sees when serving — train/serve skew
+// is ruled out structurally, not by convention (and pinned by the
+// feature-invariance test).
+//
+// The tabular state is built around the *decision-aligned* axes an MPC
+// teacher actually thresholds on: the highest sustainable track under the
+// VBR-inflated upcoming rates (plus the bandwidth margin above it), the
+// highest affordable track under the current buffer, how many chunks of
+// the next track up the buffer could absorb (the overshoot boundary), the
+// buffer level, the previously delivered track (switching cost), and the
+// startup flag. Raw bandwidth/buffer bins alone plateau well below 90%
+// teacher agreement; these derived axes put the bin edges where the
+// teacher's decision boundaries are.
+//
+// Features deliberately use only quantities that a DecisionEvent plus the
+// manifest can reconstruct exactly: the buffer level and bandwidth estimate
+// the scheme saw, startup phase, the previously *delivered* (non-skipped)
+// track, and the upcoming chunk sizes read through the context's
+// size-knowledge view. Anything richer (raw throughput samples, wall-clock)
+// would reintroduce train/serve skew.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "abr/scheme.h"
+#include "obs/event.h"
+#include "video/video.h"
+
+namespace vbr::learn {
+
+/// Quantization grid shared bit-exactly between training and inference.
+/// Serialized into every policy file; a policy only loads against the exact
+/// grid it was trained with.
+struct FeatureConfig {
+  std::size_t num_tracks = 0;    ///< Ladder height the policy is bound to.
+  std::size_t lookahead = 5;     ///< Upcoming chunks in the size window
+                                 ///< (matches the MPC teacher's horizon).
+  std::size_t buffer_bins = 16;  ///< Tabular buffer-level bins.
+  /// Buffer normalization cap (its own constant, *not* ctx.max_buffer_s:
+  /// the player capacity is a session knob and must not change features).
+  double buffer_cap_s = 60.0;
+  std::size_t bandwidth_bins = 12;  ///< Log-bandwidth bins (MLP feature
+                                    ///< resolution; not a state axis).
+  double bw_lo_bps = 2e5;           ///< Bottom of the log bandwidth range.
+  double bw_hi_bps = 2e7;           ///< Top of the log bandwidth range.
+  double ratio_lo = 0.5;            ///< Inflation clamp, lower edge.
+  double ratio_hi = 2.0;            ///< Inflation clamp, upper edge.
+  std::size_t margin_bins = 4;      ///< Bandwidth-margin bins (log scale).
+  double margin_lo = 1.0;           ///< Margin clamp, lower edge.
+  double margin_hi = 4.0;           ///< Margin clamp, upper edge.
+  std::size_t deficit_bins = 6;     ///< Deficit-absorption bins (log scale).
+  double deficit_lo = 0.5;          ///< Deficit-chunks clamp, lower edge.
+  double deficit_hi = 32.0;         ///< Deficit-chunks clamp, upper edge.
+
+  /// Throws std::invalid_argument naming the offending field.
+  void validate() const;
+
+  /// Tabular state-space size: buffer_bins * (num_tracks+1) * margin_bins
+  /// * deficit_bins * (num_tracks+1) * (num_tracks+1) * 2 (buffer x
+  /// sustainable x margin x deficit-absorption x affordable x prev-track x
+  /// startup).
+  [[nodiscard]] std::size_t num_states() const;
+
+  /// MLP input width: 8 scalars + one inflation ratio per track.
+  [[nodiscard]] std::size_t vector_dim() const { return 8 + num_tracks; }
+
+  /// Coarse fallback table size: the exact state marginalized over the
+  /// margin and startup axes — (buffer, sustainable, prev) survives, since
+  /// those carry the teacher's decision structure.
+  [[nodiscard]] std::size_t num_coarse_states() const {
+    return buffer_bins * (num_tracks + 1) * (num_tracks + 1);
+  }
+
+  friend bool operator==(const FeatureConfig&, const FeatureConfig&) = default;
+};
+
+/// The raw decision-time signals both feature forms are derived from.
+/// Extracted either from a live StreamContext or from a replayed
+/// DecisionEvent + manifest; identical Signals in, identical features out.
+struct Signals {
+  double buffer_s = 0.0;
+  double est_bandwidth_bps = 0.0;
+  int prev_track = -1;  ///< Last *delivered* (non-skipped) track; -1 if none.
+  bool in_startup = false;
+  /// Per-track mean upcoming size over the lookahead window, divided by the
+  /// track's nominal chunk size (average bitrate * chunk duration), clamped
+  /// to [ratio_lo, ratio_hi]. VBR inflation > 1 means the next chunks are
+  /// fatter than the ladder advertises — the paper's core hazard.
+  std::vector<double> inflation;
+  /// Highest track whose mean upcoming rate over the window fits the
+  /// bandwidth estimate, encoded 0 = none, t+1 = track t. This is the axis
+  /// an oracle-size MPC teacher's decision boundary actually lives on.
+  std::size_t sustainable = 0;
+  /// est_bandwidth / mean upcoming rate of the sustainable track (of track
+  /// 0 when none is sustainable), clamped to [margin_lo, margin_hi].
+  double margin = 0.0;
+  /// Highest track whose *next-chunk* download at est_bandwidth fits the
+  /// current buffer (no rebuffer even if bandwidth estimate is exact),
+  /// encoded 0 = none, t+1 = track t.
+  std::size_t affordable = 0;
+  /// How many chunks of the track just above `sustainable` the buffer can
+  /// absorb: buffer_s / (per-chunk download time minus playout gain),
+  /// clamped to [deficit_lo, deficit_hi] (deficit_hi when that track is
+  /// itself sustainable). MPC overshoots the sustainable track exactly
+  /// when this is large relative to its horizon.
+  double deficit_chunks = 0.0;
+};
+
+/// Extracts Signals from a live decision context. Sizes are read through
+/// ctx.chunk_size_bits / fill_chunk_sizes (the size-knowledge view), and the
+/// window is truncated at ctx.lookahead_limit() exactly like the built-in
+/// look-ahead schemes.
+void signals_from_context(const abr::StreamContext& ctx,
+                          const FeatureConfig& cfg, Signals& out);
+
+/// Reconstructs the same Signals offline from a DecisionEvent and the
+/// manifest it was recorded against. `prev_track` is the delivered track of
+/// the session's latest earlier non-skipped event (-1 at session start) —
+/// the caller tracks it per session, mirroring sim::run_session. Exact for
+/// size_mode == "exact" VoD sessions (the teacher-rollout setting).
+void signals_from_event(const obs::DecisionEvent& event,
+                        const video::Video& video, int prev_track,
+                        const FeatureConfig& cfg, Signals& out);
+
+/// Writes the MLP feature vector (cfg.vector_dim() entries, fixed order:
+/// buffer, log-bandwidth, prev-track, startup flag, sustainable-track,
+/// margin, affordable-track, deficit-absorption, then per-track inflation;
+/// all normalized into [0, 1]) into `out`.
+void feature_vector(const Signals& sig, const FeatureConfig& cfg,
+                    std::vector<double>& out);
+
+/// Packs Signals into the tabular state id, in [0, cfg.num_states()).
+[[nodiscard]] std::uint32_t state_id(const Signals& sig,
+                                     const FeatureConfig& cfg);
+
+/// The (buffer, sustainable, prev_track) coarse-fallback index of a state
+/// id, in [0, cfg.num_coarse_states()).
+[[nodiscard]] std::uint32_t coarse_from_state(std::uint32_t state,
+                                              const FeatureConfig& cfg);
+
+/// The sustainable-track axis value of a state id (0 = none, t+1 = track
+/// t) — lets rule-based seeding answer each state's own sustainability.
+[[nodiscard]] std::size_t sustainable_from_state(std::uint32_t state,
+                                                 const FeatureConfig& cfg);
+
+/// Quantization primitives (exposed for tests; same expressions the
+/// packers use).
+[[nodiscard]] std::size_t buffer_bin(double buffer_s,
+                                     const FeatureConfig& cfg);
+[[nodiscard]] std::size_t bandwidth_bin(double bw_bps,
+                                        const FeatureConfig& cfg);
+/// Normalized log-scale bandwidth position in [0, 1].
+[[nodiscard]] double bandwidth_norm(double bw_bps, const FeatureConfig& cfg);
+/// Geometric center (bps) of a bandwidth bin — inverse of bandwidth_bin.
+[[nodiscard]] double bandwidth_bin_center_bps(std::size_t bin,
+                                              const FeatureConfig& cfg);
+
+}  // namespace vbr::learn

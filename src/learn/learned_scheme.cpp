@@ -1,0 +1,48 @@
+#include "learn/learned_scheme.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace vbr::learn {
+
+LearnedScheme::LearnedScheme(std::shared_ptr<const Policy> policy)
+    : policy_(std::move(policy)) {
+  if (policy_ == nullptr) {
+    throw std::invalid_argument("LearnedScheme: policy must not be null");
+  }
+  try {
+    policy_->validate();
+  } catch (const PolicyError& e) {
+    throw std::invalid_argument(std::string("LearnedScheme: ") + e.what());
+  }
+}
+
+abr::Decision LearnedScheme::decide(const abr::StreamContext& ctx) {
+  abr::validate_context(ctx);
+  if (ctx.video->num_tracks() != policy_->features.num_tracks) {
+    throw std::invalid_argument(
+        "LearnedScheme: policy trained for " +
+        std::to_string(policy_->features.num_tracks) +
+        " tracks, context has " + std::to_string(ctx.video->num_tracks()));
+  }
+  signals_from_context(ctx, policy_->features, signals_);
+  std::uint32_t state = 0;
+  if (policy_->kind == PolicyKind::kTabular) {
+    state = state_id(signals_, policy_->features);
+  } else {
+    feature_vector(signals_, policy_->features, features_);
+  }
+  return {policy_select(*policy_, state, features_, hidden_), 0.0};
+}
+
+void LearnedScheme::annotate_event(obs::DecisionEvent& event) const {
+  event.policy = obs::DecisionEvent::PolicyInfo{
+      .id = policy_->id, .version = policy_->version};
+}
+
+std::string LearnedScheme::name() const {
+  return policy_->kind == PolicyKind::kTabular ? "learned-tabular"
+                                               : "learned-mlp";
+}
+
+}  // namespace vbr::learn

@@ -1,0 +1,51 @@
+// LearnedScheme: serves a trained policy (tabular or MLP) behind the
+// standard AbrScheme interface.
+//
+// The policy is immutable and shared (shared_ptr<const Policy>), so fleet
+// workers can reuse one loaded policy across threads; per-decision scratch
+// buffers live in the scheme instance (one per worker) and are reused
+// across decisions — the hot path allocates nothing after the first call.
+// Inference goes through policy_select(), the same function the trainer's
+// held-out agreement evaluation uses, so serving is bit-identical to
+// training-time evaluation.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "abr/scheme.h"
+#include "learn/features.h"
+#include "learn/policy.h"
+
+namespace vbr::learn {
+
+class LearnedScheme final : public abr::AbrScheme {
+ public:
+  /// Throws std::invalid_argument if `policy` is null or fails validation.
+  explicit LearnedScheme(std::shared_ptr<const Policy> policy);
+
+  /// Decides the next track. Throws std::invalid_argument when the context
+  /// ladder height disagrees with the policy's FeatureConfig (a policy is
+  /// bound to one ladder shape).
+  [[nodiscard]] abr::Decision decide(const abr::StreamContext& ctx) override;
+
+  void reset() override {}
+
+  /// Stamps the policy id/version into the event (train/serve provenance).
+  void annotate_event(obs::DecisionEvent& event) const override;
+
+  /// "learned-tabular" or "learned-mlp".
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] const Policy& policy() const { return *policy_; }
+
+ private:
+  std::shared_ptr<const Policy> policy_;
+  // Reused per-decision scratch (signals, feature vector, MLP hidden).
+  Signals signals_;
+  std::vector<double> features_;
+  std::vector<double> hidden_;
+};
+
+}  // namespace vbr::learn

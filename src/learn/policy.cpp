@@ -1,0 +1,660 @@
+#include "learn/policy.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <string_view>
+
+#include "obs/json_util.h"
+#include "obs/jsonl_io.h"
+
+namespace vbr::learn {
+
+namespace {
+
+constexpr std::string_view kMagic = "VBRPOLICY";
+constexpr int kFormatVersion = 1;
+constexpr std::size_t kEntriesPerLine = 64;
+
+[[noreturn]] void fail(const std::string& field, const std::string& what) {
+  throw PolicyError("PolicyFile." + field + ": " + what);
+}
+
+bool valid_id_token(const std::string& id) {
+  if (id.empty() || id.size() > 128) {
+    return false;
+  }
+  for (const char c : id) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' ||
+                    c == '-';
+    if (!ok) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void append_size(std::string& out, std::size_t v) {
+  obs::detail::append_uint(out, static_cast<std::uint64_t>(v));
+}
+
+// ---------------------------------------------------------------------------
+// Tokenizing reader with field-named errors.
+
+class Lines {
+ public:
+  explicit Lines(const std::string& text) : text_(text) {}
+
+  /// Next line, or fails naming `field` on EOF (truncation).
+  std::string_view next(const std::string& field) {
+    if (pos_ >= text_.size()) {
+      fail(field, "unexpected end of file (truncated?)");
+    }
+    const std::size_t nl = text_.find('\n', pos_);
+    if (nl == std::string::npos) {
+      fail(field, "missing trailing newline (truncated?)");
+    }
+    std::string_view line(text_.data() + pos_, nl - pos_);
+    pos_ = nl + 1;
+    ++line_no_;
+    return line;
+  }
+
+  [[nodiscard]] bool eof() const { return pos_ >= text_.size(); }
+  /// Byte offset of the start of the line that next() would return.
+  [[nodiscard]] std::size_t offset() const { return pos_; }
+
+ private:
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  std::size_t line_no_ = 0;
+};
+
+std::vector<std::string_view> split_tokens(std::string_view line) {
+  std::vector<std::string_view> out;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && line[i] == ' ') {
+      ++i;
+    }
+    const std::size_t start = i;
+    while (i < line.size() && line[i] != ' ') {
+      ++i;
+    }
+    if (i > start) {
+      out.push_back(line.substr(start, i - start));
+    }
+  }
+  return out;
+}
+
+/// "key=value" token -> value, failing with the dotted field name.
+std::string_view kv_value(std::string_view token, std::string_view key,
+                          const std::string& field) {
+  if (token.size() <= key.size() + 1 ||
+      token.substr(0, key.size()) != key || token[key.size()] != '=') {
+    fail(field, "expected " + std::string(key) + "=<value>, found '" +
+                    std::string(token) + "'");
+  }
+  return token.substr(key.size() + 1);
+}
+
+std::uint64_t parse_u64(std::string_view s, const std::string& field) {
+  std::uint64_t v = 0;
+  const auto r = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (r.ec != std::errc() || r.ptr != s.data() + s.size()) {
+    fail(field, "invalid unsigned integer '" + std::string(s) + "'");
+  }
+  return v;
+}
+
+double parse_double(std::string_view s, const std::string& field) {
+  double v = 0.0;
+  const auto r = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (r.ec != std::errc() || r.ptr != s.data() + s.size()) {
+    fail(field, "invalid number '" + std::string(s) + "'");
+  }
+  return v;
+}
+
+/// One table/coarse entry: a track number or 'x' for unseen.
+std::uint16_t parse_entry(std::string_view s, const std::string& field) {
+  if (s == "x") {
+    return kUnseen;
+  }
+  const std::uint64_t v = parse_u64(s, field);
+  if (v >= kUnseen) {
+    fail(field, "track value out of range: " + std::string(s));
+  }
+  return static_cast<std::uint16_t>(v);
+}
+
+void serialize_entry_table(std::string& out, std::string_view label,
+                           const std::vector<std::uint16_t>& table) {
+  for (std::size_t start = 0; start < table.size();
+       start += kEntriesPerLine) {
+    out += label;
+    out += ' ';
+    append_size(out, start);
+    const std::size_t end =
+        std::min(table.size(), start + kEntriesPerLine);
+    for (std::size_t i = start; i < end; ++i) {
+      out += ' ';
+      if (table[i] == kUnseen) {
+        out += 'x';
+      } else {
+        append_size(out, table[i]);
+      }
+    }
+    out += '\n';
+  }
+}
+
+void parse_entry_table(Lines& lines, std::string_view label,
+                       std::size_t expected, const std::string& field,
+                       std::vector<std::uint16_t>& out) {
+  out.clear();
+  out.reserve(expected);
+  while (out.size() < expected) {
+    const std::vector<std::string_view> toks =
+        split_tokens(lines.next(field));
+    if (toks.size() < 3 || toks[0] != label) {
+      fail(field, "expected '" + std::string(label) + " <start> ...' row");
+    }
+    const std::uint64_t start = parse_u64(toks[1], field + ".start");
+    if (start != out.size()) {
+      fail(field + ".start",
+           "rows out of order (expected " + std::to_string(out.size()) +
+               ", found " + std::to_string(start) + ")");
+    }
+    for (std::size_t i = 2; i < toks.size(); ++i) {
+      if (out.size() >= expected) {
+        fail(field, "more entries than declared");
+      }
+      out.push_back(parse_entry(toks[i], field));
+    }
+  }
+}
+
+void serialize_double_rows(std::string& out, std::string_view label,
+                           const std::vector<double>& values,
+                           std::size_t row_len, bool numbered_rows) {
+  for (std::size_t start = 0; start < values.size(); start += row_len) {
+    out += label;
+    if (numbered_rows) {
+      out += ' ';
+      append_size(out, start / row_len);
+    }
+    const std::size_t end = std::min(values.size(), start + row_len);
+    for (std::size_t i = start; i < end; ++i) {
+      out += ' ';
+      obs::detail::append_double(out, values[i]);
+    }
+    out += '\n';
+  }
+}
+
+void parse_double_rows(Lines& lines, std::string_view label,
+                       std::size_t rows, std::size_t row_len,
+                       bool numbered_rows, const std::string& field,
+                       std::vector<double>& out) {
+  out.clear();
+  out.reserve(rows * row_len);
+  for (std::size_t row = 0; row < rows; ++row) {
+    const std::vector<std::string_view> toks =
+        split_tokens(lines.next(field));
+    const std::size_t header = numbered_rows ? 2 : 1;
+    if (toks.size() != header + row_len || toks[0] != label) {
+      fail(field, "expected '" + std::string(label) + "' row with " +
+                      std::to_string(row_len) + " values");
+    }
+    if (numbered_rows) {
+      const std::uint64_t r = parse_u64(toks[1], field + ".row");
+      if (r != row) {
+        fail(field + ".row", "rows out of order (expected " +
+                                 std::to_string(row) + ", found " +
+                                 std::to_string(r) + ")");
+      }
+    }
+    for (std::size_t i = header; i < toks.size(); ++i) {
+      out.push_back(parse_double(
+          toks[i], field + "[" + std::to_string(row) + "][" +
+                       std::to_string(i - header) + "]"));
+    }
+  }
+}
+
+void check_finite(const std::vector<double>& values,
+                  const std::string& field) {
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (!std::isfinite(values[i])) {
+      fail(field, "non-finite weight at index " + std::to_string(i));
+    }
+  }
+}
+
+}  // namespace
+
+std::string to_string(PolicyKind k) {
+  return k == PolicyKind::kTabular ? "tabular" : "mlp";
+}
+
+void Policy::validate() const {
+  try {
+    features.validate();
+  } catch (const std::invalid_argument& e) {
+    throw PolicyError(std::string("PolicyFile.features: ") + e.what());
+  }
+  if (!valid_id_token(id)) {
+    fail("meta.id",
+         "must match [A-Za-z0-9._-]{1,128}, found '" + id + "'");
+  }
+  if (kind == PolicyKind::kTabular) {
+    if (tabular.table.size() != features.num_states()) {
+      fail("tabular.table",
+           "expected " + std::to_string(features.num_states()) +
+               " entries, found " + std::to_string(tabular.table.size()));
+    }
+    if (tabular.coarse.size() != features.num_coarse_states()) {
+      fail("tabular.coarse",
+           "expected " + std::to_string(features.num_coarse_states()) +
+               " entries, found " + std::to_string(tabular.coarse.size()));
+    }
+    if (tabular.default_track >= features.num_tracks) {
+      fail("tabular.default", "track out of range");
+    }
+    for (std::size_t i = 0; i < tabular.table.size(); ++i) {
+      if (tabular.table[i] != kUnseen &&
+          tabular.table[i] >= features.num_tracks) {
+        fail("tabular.table",
+             "track out of range at state " + std::to_string(i));
+      }
+    }
+    for (std::size_t i = 0; i < tabular.coarse.size(); ++i) {
+      if (tabular.coarse[i] != kUnseen &&
+          tabular.coarse[i] >= features.num_tracks) {
+        fail("tabular.coarse",
+             "track out of range at index " + std::to_string(i));
+      }
+    }
+  } else {
+    if (mlp.in != features.vector_dim()) {
+      fail("mlp.in", "expected " + std::to_string(features.vector_dim()) +
+                         " (the feature vector width), found " +
+                         std::to_string(mlp.in));
+    }
+    if (mlp.out != features.num_tracks) {
+      fail("mlp.out", "expected " + std::to_string(features.num_tracks) +
+                          " (the ladder height), found " +
+                          std::to_string(mlp.out));
+    }
+    if (mlp.hidden < 1 || mlp.hidden > 1024) {
+      fail("mlp.hidden", "must be in [1, 1024]");
+    }
+    if (mlp.w1.size() != mlp.hidden * mlp.in) {
+      fail("mlp.w1", "size mismatch");
+    }
+    if (mlp.b1.size() != mlp.hidden) {
+      fail("mlp.b1", "size mismatch");
+    }
+    if (mlp.w2.size() != mlp.out * mlp.hidden) {
+      fail("mlp.w2", "size mismatch");
+    }
+    if (mlp.b2.size() != mlp.out) {
+      fail("mlp.b2", "size mismatch");
+    }
+    check_finite(mlp.w1, "w1");
+    check_finite(mlp.b1, "b1");
+    check_finite(mlp.w2, "w2");
+    check_finite(mlp.b2, "b2");
+  }
+}
+
+std::size_t policy_select(const Policy& policy, std::uint32_t state,
+                          const std::vector<double>& features,
+                          std::vector<double>& scratch) {
+  if (policy.kind == PolicyKind::kTabular) {
+    std::uint16_t t = policy.tabular.table[state];
+    if (t == kUnseen) {
+      t = policy.tabular.coarse[coarse_from_state(state, policy.features)];
+    }
+    if (t == kUnseen) {
+      t = policy.tabular.default_track;
+    }
+    return t;
+  }
+  const MlpPolicy& m = policy.mlp;
+  scratch.resize(m.hidden);
+  for (std::size_t h = 0; h < m.hidden; ++h) {
+    double acc = m.b1[h];
+    const double* row = m.w1.data() + h * m.in;
+    for (std::size_t i = 0; i < m.in; ++i) {
+      acc += row[i] * features[i];
+    }
+    scratch[h] = std::tanh(acc);
+  }
+  std::size_t best = 0;
+  double best_v = 0.0;
+  for (std::size_t o = 0; o < m.out; ++o) {
+    double acc = m.b2[o];
+    const double* row = m.w2.data() + o * m.hidden;
+    for (std::size_t h = 0; h < m.hidden; ++h) {
+      acc += row[h] * scratch[h];
+    }
+    if (o == 0 || acc > best_v) {  // Strict '>': ties go to the lowest track.
+      best = o;
+      best_v = acc;
+    }
+  }
+  return best;
+}
+
+std::string serialize_policy(const Policy& policy) {
+  policy.validate();
+  std::string out;
+  out += kMagic;
+  out += ' ';
+  append_size(out, kFormatVersion);
+  out += '\n';
+
+  out += "meta kind=";
+  out += to_string(policy.kind);
+  out += " id=";
+  out += policy.id;
+  out += " version=";
+  append_size(out, policy.version);
+  out += " seed=";
+  obs::detail::append_uint(out, policy.seed);
+  out += '\n';
+
+  const FeatureConfig& f = policy.features;
+  out += "features num_tracks=";
+  append_size(out, f.num_tracks);
+  out += " lookahead=";
+  append_size(out, f.lookahead);
+  out += " buffer_bins=";
+  append_size(out, f.buffer_bins);
+  out += " buffer_cap_s=";
+  obs::detail::append_double(out, f.buffer_cap_s);
+  out += " bandwidth_bins=";
+  append_size(out, f.bandwidth_bins);
+  out += " bw_lo_bps=";
+  obs::detail::append_double(out, f.bw_lo_bps);
+  out += " bw_hi_bps=";
+  obs::detail::append_double(out, f.bw_hi_bps);
+  out += " ratio_lo=";
+  obs::detail::append_double(out, f.ratio_lo);
+  out += " ratio_hi=";
+  obs::detail::append_double(out, f.ratio_hi);
+  out += " margin_bins=";
+  append_size(out, f.margin_bins);
+  out += " margin_lo=";
+  obs::detail::append_double(out, f.margin_lo);
+  out += " margin_hi=";
+  obs::detail::append_double(out, f.margin_hi);
+  out += " deficit_bins=";
+  append_size(out, f.deficit_bins);
+  out += " deficit_lo=";
+  obs::detail::append_double(out, f.deficit_lo);
+  out += " deficit_hi=";
+  obs::detail::append_double(out, f.deficit_hi);
+  out += '\n';
+
+  if (policy.kind == PolicyKind::kTabular) {
+    out += "tabular states=";
+    append_size(out, policy.tabular.table.size());
+    out += " coarse=";
+    append_size(out, policy.tabular.coarse.size());
+    out += " default=";
+    append_size(out, policy.tabular.default_track);
+    out += '\n';
+    serialize_entry_table(out, "table", policy.tabular.table);
+    serialize_entry_table(out, "coarse", policy.tabular.coarse);
+  } else {
+    const MlpPolicy& m = policy.mlp;
+    out += "mlp in=";
+    append_size(out, m.in);
+    out += " hidden=";
+    append_size(out, m.hidden);
+    out += " out=";
+    append_size(out, m.out);
+    out += '\n';
+    serialize_double_rows(out, "w1", m.w1, m.in, /*numbered_rows=*/true);
+    serialize_double_rows(out, "b1", m.b1, m.b1.size(), false);
+    serialize_double_rows(out, "w2", m.w2, m.hidden, /*numbered_rows=*/true);
+    serialize_double_rows(out, "b2", m.b2, m.b2.size(), false);
+  }
+
+  char trailer[16];
+  std::snprintf(trailer, sizeof(trailer), "end %08x",
+                obs::line_checksum(out));
+  out += trailer;
+  out += '\n';
+  return out;
+}
+
+Policy parse_policy(const std::string& text) {
+  Lines lines(text);
+
+  // Magic + format version.
+  {
+    const std::vector<std::string_view> toks =
+        split_tokens(lines.next("magic"));
+    if (toks.size() != 2 || toks[0] != kMagic) {
+      fail("magic", "expected '" + std::string(kMagic) +
+                        " <version>' header");
+    }
+    const std::uint64_t v = parse_u64(toks[1], "magic.version");
+    if (v != static_cast<std::uint64_t>(kFormatVersion)) {
+      fail("magic.version",
+           "unsupported format version " + std::to_string(v) +
+               " (this build reads version " +
+               std::to_string(kFormatVersion) + ")");
+    }
+  }
+
+  Policy policy;
+
+  // meta line.
+  {
+    const std::vector<std::string_view> toks =
+        split_tokens(lines.next("meta"));
+    if (toks.size() != 5 || toks[0] != "meta") {
+      fail("meta", "expected 'meta kind=... id=... version=... seed=...'");
+    }
+    const std::string_view kind = kv_value(toks[1], "kind", "meta.kind");
+    if (kind == "tabular") {
+      policy.kind = PolicyKind::kTabular;
+    } else if (kind == "mlp") {
+      policy.kind = PolicyKind::kMlp;
+    } else {
+      fail("meta.kind",
+           "expected 'tabular' or 'mlp', found '" + std::string(kind) + "'");
+    }
+    policy.id = std::string(kv_value(toks[2], "id", "meta.id"));
+    policy.version = static_cast<std::uint32_t>(parse_u64(
+        kv_value(toks[3], "version", "meta.version"), "meta.version"));
+    policy.seed =
+        parse_u64(kv_value(toks[4], "seed", "meta.seed"), "meta.seed");
+  }
+
+  // features line.
+  {
+    const std::vector<std::string_view> toks =
+        split_tokens(lines.next("features"));
+    if (toks.size() != 16 || toks[0] != "features") {
+      fail("features", "expected the 15-field features line");
+    }
+    FeatureConfig& f = policy.features;
+    f.num_tracks = parse_u64(
+        kv_value(toks[1], "num_tracks", "features.num_tracks"),
+        "features.num_tracks");
+    f.lookahead =
+        parse_u64(kv_value(toks[2], "lookahead", "features.lookahead"),
+                  "features.lookahead");
+    f.buffer_bins =
+        parse_u64(kv_value(toks[3], "buffer_bins", "features.buffer_bins"),
+                  "features.buffer_bins");
+    f.buffer_cap_s = parse_double(
+        kv_value(toks[4], "buffer_cap_s", "features.buffer_cap_s"),
+        "features.buffer_cap_s");
+    f.bandwidth_bins = parse_u64(
+        kv_value(toks[5], "bandwidth_bins", "features.bandwidth_bins"),
+        "features.bandwidth_bins");
+    f.bw_lo_bps =
+        parse_double(kv_value(toks[6], "bw_lo_bps", "features.bw_lo_bps"),
+                     "features.bw_lo_bps");
+    f.bw_hi_bps =
+        parse_double(kv_value(toks[7], "bw_hi_bps", "features.bw_hi_bps"),
+                     "features.bw_hi_bps");
+    f.ratio_lo =
+        parse_double(kv_value(toks[8], "ratio_lo", "features.ratio_lo"),
+                     "features.ratio_lo");
+    f.ratio_hi =
+        parse_double(kv_value(toks[9], "ratio_hi", "features.ratio_hi"),
+                     "features.ratio_hi");
+    f.margin_bins =
+        parse_u64(kv_value(toks[10], "margin_bins", "features.margin_bins"),
+                  "features.margin_bins");
+    f.margin_lo =
+        parse_double(kv_value(toks[11], "margin_lo", "features.margin_lo"),
+                     "features.margin_lo");
+    f.margin_hi =
+        parse_double(kv_value(toks[12], "margin_hi", "features.margin_hi"),
+                     "features.margin_hi");
+    f.deficit_bins = parse_u64(
+        kv_value(toks[13], "deficit_bins", "features.deficit_bins"),
+        "features.deficit_bins");
+    f.deficit_lo = parse_double(
+        kv_value(toks[14], "deficit_lo", "features.deficit_lo"),
+        "features.deficit_lo");
+    f.deficit_hi = parse_double(
+        kv_value(toks[15], "deficit_hi", "features.deficit_hi"),
+        "features.deficit_hi");
+    try {
+      f.validate();
+    } catch (const std::invalid_argument& e) {
+      throw PolicyError(std::string("PolicyFile.features: ") + e.what());
+    }
+  }
+
+  if (policy.kind == PolicyKind::kTabular) {
+    const std::vector<std::string_view> toks =
+        split_tokens(lines.next("tabular"));
+    if (toks.size() != 4 || toks[0] != "tabular") {
+      fail("tabular",
+           "expected 'tabular states=... coarse=... default=...'");
+    }
+    const std::uint64_t states = parse_u64(
+        kv_value(toks[1], "states", "tabular.states"), "tabular.states");
+    const std::uint64_t coarse = parse_u64(
+        kv_value(toks[2], "coarse", "tabular.coarse"), "tabular.coarse");
+    if (states != policy.features.num_states()) {
+      fail("tabular.states",
+           "disagrees with the features line (expected " +
+               std::to_string(policy.features.num_states()) + ", found " +
+               std::to_string(states) + ")");
+    }
+    if (coarse != policy.features.num_coarse_states()) {
+      fail("tabular.coarse", "disagrees with the features line");
+    }
+    policy.tabular.default_track = parse_entry(
+        kv_value(toks[3], "default", "tabular.default"), "tabular.default");
+    parse_entry_table(lines, "table", states, "tabular.table",
+                      policy.tabular.table);
+    parse_entry_table(lines, "coarse", coarse, "tabular.coarse",
+                      policy.tabular.coarse);
+  } else {
+    const std::vector<std::string_view> toks = split_tokens(lines.next("mlp"));
+    if (toks.size() != 4 || toks[0] != "mlp") {
+      fail("mlp", "expected 'mlp in=... hidden=... out=...'");
+    }
+    MlpPolicy& m = policy.mlp;
+    m.in = parse_u64(kv_value(toks[1], "in", "mlp.in"), "mlp.in");
+    m.hidden =
+        parse_u64(kv_value(toks[2], "hidden", "mlp.hidden"), "mlp.hidden");
+    m.out = parse_u64(kv_value(toks[3], "out", "mlp.out"), "mlp.out");
+    if (m.hidden < 1 || m.hidden > 1024 || m.in < 1 || m.in > 4096 ||
+        m.out < 1 || m.out > 4096) {
+      fail("mlp", "dimensions out of range");
+    }
+    parse_double_rows(lines, "w1", m.hidden, m.in, true, "w1", m.w1);
+    parse_double_rows(lines, "b1", 1, m.hidden, false, "b1", m.b1);
+    parse_double_rows(lines, "w2", m.out, m.hidden, true, "w2", m.w2);
+    parse_double_rows(lines, "b2", 1, m.out, false, "b2", m.b2);
+  }
+
+  // Trailer: checksum over every byte before the "end" line.
+  {
+    const std::size_t payload_end = lines.offset();
+    const std::vector<std::string_view> toks =
+        split_tokens(lines.next("checksum"));
+    if (toks.size() != 2 || toks[0] != "end" || toks[1].size() != 8) {
+      fail("checksum", "expected trailing 'end <8 hex chars>' line");
+    }
+    std::uint32_t declared = 0;
+    const auto r = std::from_chars(
+        toks[1].data(), toks[1].data() + toks[1].size(), declared, 16);
+    if (r.ec != std::errc() || r.ptr != toks[1].data() + toks[1].size()) {
+      fail("checksum", "invalid hex '" + std::string(toks[1]) + "'");
+    }
+    const std::uint32_t actual = obs::line_checksum(
+        std::string_view(text.data(), payload_end));
+    if (declared != actual) {
+      char msg[80];
+      std::snprintf(msg, sizeof(msg),
+                    "mismatch (declared %08x, computed %08x)", declared,
+                    actual);
+      fail("checksum", msg);
+    }
+    if (!lines.eof()) {
+      fail("checksum", "trailing data after the 'end' line");
+    }
+  }
+
+  policy.validate();
+  return policy;
+}
+
+void save_policy_file(const std::string& path, const Policy& policy) {
+  const std::string body = serialize_policy(policy);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw PolicyError("PolicyFile.io: cannot open '" + tmp +
+                        "' for writing");
+    }
+    out.write(body.data(), static_cast<std::streamsize>(body.size()));
+    out.flush();
+    if (!out) {
+      throw PolicyError("PolicyFile.io: write to '" + tmp + "' failed");
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    throw PolicyError("PolicyFile.io: rename to '" + path +
+                      "' failed: " + ec.message());
+  }
+}
+
+Policy load_policy_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw PolicyError("PolicyFile.io: cannot open '" + path + "'");
+  }
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  if (text.empty()) {
+    fail("magic", "empty file");
+  }
+  return parse_policy(text);
+}
+
+}  // namespace vbr::learn

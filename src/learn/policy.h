@@ -1,0 +1,111 @@
+// Deterministic serialized policy format for the learned ABR schemes.
+//
+// Same discipline as the fleet checkpoint (`VBRFLEETCKPT`): versioned text
+// magic, canonical number formatting (std::to_chars shortest round-trip, so
+// serialize(parse(s)) == s byte-for-byte), an FNV-1a trailer over everything
+// before it, field-named load errors, and temp+rename atomic writes. A
+// policy file is the *only* artifact that crosses the train/serve boundary,
+// so the format carries the full FeatureConfig: a policy can never be served
+// against a quantization grid it was not trained with.
+//
+//   VBRPOLICY 1
+//   meta kind=tabular id=<token> version=<u32> seed=<u64>
+//   features num_tracks=... lookahead=... (every FeatureConfig field)
+//   --- tabular payload ---
+//   tabular states=<N> coarse=<M> default=<track>
+//   table <start> v v v ...        (rows of <= 64 entries; 'x' = unseen)
+//   coarse <start> v v v ...
+//   --- mlp payload ---
+//   mlp in=<I> hidden=<H> out=<O>
+//   w1 <row> <I doubles> | b1 <H doubles> | w2 <row> <H doubles> | b2 <O...>
+//   --- trailer ---
+//   end <8 lowercase hex FNV-1a 32 over all preceding bytes>
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "learn/features.h"
+
+namespace vbr::learn {
+
+/// Raised on any malformed policy file; the message names the field, e.g.
+/// "PolicyFile.checksum: mismatch (expected deadbeef, found 00000000)".
+class PolicyError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+enum class PolicyKind { kTabular, kMlp };
+
+[[nodiscard]] std::string to_string(PolicyKind k);
+
+/// Sentinel for "no training data reached this state" in tabular tables.
+inline constexpr std::uint16_t kUnseen = 0xFFFF;
+
+/// Quantized-state lookup policy: exact state -> coarse (buffer, bandwidth)
+/// fallback -> global default, first hit wins.
+struct TabularPolicy {
+  std::vector<std::uint16_t> table;   ///< cfg.num_states() entries.
+  std::vector<std::uint16_t> coarse;  ///< cfg.num_coarse_states() entries.
+  std::uint16_t default_track = 0;
+};
+
+/// Fixed-topology two-layer perceptron: tanh hidden layer, linear output,
+/// argmax over tracks (ties break to the lowest index). Row-major weights.
+struct MlpPolicy {
+  std::size_t in = 0;
+  std::size_t hidden = 0;
+  std::size_t out = 0;
+  std::vector<double> w1;  ///< hidden x in.
+  std::vector<double> b1;  ///< hidden.
+  std::vector<double> w2;  ///< out x hidden.
+  std::vector<double> b2;  ///< out.
+};
+
+/// A complete serializable policy: metadata + feature grid + one backend.
+struct Policy {
+  PolicyKind kind = PolicyKind::kTabular;
+  std::string id = "policy";    ///< Token [A-Za-z0-9._-]+, stamped into
+                                ///< DecisionEvents by LearnedScheme.
+  std::uint32_t version = 1;    ///< Caller-owned model version.
+  std::uint64_t seed = 0;       ///< Training seed (provenance).
+  FeatureConfig features;
+  TabularPolicy tabular;        ///< Populated when kind == kTabular.
+  MlpPolicy mlp;                ///< Populated when kind == kMlp.
+
+  /// Structural validation with field-named errors (sizes consistent with
+  /// `features`, track labels in range, weights finite). Load always
+  /// validates; trainers validate before save.
+  void validate() const;
+};
+
+/// Inference shared verbatim by LearnedScheme::decide and the trainer's
+/// held-out agreement evaluation — the single definition of "what the
+/// policy answers" for a (state, feature-vector) pair. `scratch` is the
+/// caller-owned hidden-activation buffer (unused for tabular).
+[[nodiscard]] std::size_t policy_select(const Policy& policy,
+                                        std::uint32_t state,
+                                        const std::vector<double>& features,
+                                        std::vector<double>& scratch);
+
+/// Canonical serialization; parse_policy(serialize_policy(p)) is identity
+/// and serialize_policy(parse_policy(s)) == s for any valid file.
+[[nodiscard]] std::string serialize_policy(const Policy& policy);
+
+/// Parses and fully validates; throws PolicyError naming the field.
+[[nodiscard]] Policy parse_policy(const std::string& text);
+
+/// Atomic save: serialize to `path + ".tmp"`, flush, rename over `path`.
+/// Throws PolicyError on I/O failure.
+void save_policy_file(const std::string& path, const Policy& policy);
+
+/// Loads and validates; throws PolicyError (missing file, truncation, bad
+/// checksum, version/field errors, non-finite weights).
+[[nodiscard]] Policy load_policy_file(const std::string& path);
+
+}  // namespace vbr::learn

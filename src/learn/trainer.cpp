@@ -1,0 +1,300 @@
+#include "learn/trainer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "fleet/rng.h"
+
+namespace vbr::learn {
+
+namespace {
+
+using fleet::detail::keyed_u01;
+using fleet::detail::mix64;
+
+// Salts for the independent deterministic draw streams.
+constexpr std::uint64_t kSaltW1 = 0x5731;
+constexpr std::uint64_t kSaltW2 = 0x5732;
+constexpr std::uint64_t kSaltShuffle = 0x73687566;
+
+/// Majority track of a per-track count row; kUnseen when empty. Ties break
+/// to the lowest track (a fixed, data-independent rule).
+std::uint16_t majority(const std::uint32_t* counts, std::size_t num_tracks) {
+  std::uint32_t best_count = 0;
+  std::size_t best = 0;
+  for (std::size_t t = 0; t < num_tracks; ++t) {
+    if (counts[t] > best_count) {
+      best_count = counts[t];
+      best = t;
+    }
+  }
+  return best_count == 0 ? kUnseen : static_cast<std::uint16_t>(best);
+}
+
+void init_uniform(std::vector<double>& w, std::uint64_t seed,
+                  std::uint64_t salt, double scale) {
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    w[i] = (keyed_u01(seed, i, 0, salt) - 0.5) * 2.0 * scale;
+  }
+}
+
+}  // namespace
+
+Dataset build_dataset(const std::vector<obs::DecisionEvent>& events,
+                      const FeatureConfig& cfg, const VideoLookup& lookup) {
+  cfg.validate();
+  Dataset out;
+  out.examples.reserve(events.size());
+  std::unordered_map<std::uint64_t, int> prev_track;
+  Signals sig;
+  for (const obs::DecisionEvent& ev : events) {
+    const auto it = prev_track.try_emplace(ev.session_id, -1).first;
+    const int prev = it->second;
+    // A usable label requires the delivered track to be the scheme's own
+    // choice: no skip, no fault downgrade, no abandonment, first attempt.
+    const bool usable = !ev.skipped && !ev.downgraded &&
+                        !ev.abandoned_higher && ev.attempts == 1;
+    const video::Video* video = usable ? lookup(ev) : nullptr;
+    if (video != nullptr && video->num_tracks() == cfg.num_tracks &&
+        ev.track < cfg.num_tracks && ev.chunk_index < video->num_chunks()) {
+      signals_from_event(ev, *video, prev, cfg, sig);
+      TrainExample ex;
+      ex.session_id = ev.session_id;
+      ex.state = state_id(sig, cfg);
+      feature_vector(sig, cfg, ex.features);
+      ex.label = static_cast<std::uint16_t>(ev.track);
+      out.examples.push_back(std::move(ex));
+    } else {
+      ++out.dropped_events;
+    }
+    if (!ev.skipped) {
+      it->second = static_cast<int>(ev.track);
+    }
+  }
+  return out;
+}
+
+DatasetSplit split_dataset(const Dataset& dataset, std::uint64_t holdout_k) {
+  DatasetSplit out;
+  out.train.dropped_events = dataset.dropped_events;
+  for (const TrainExample& ex : dataset.examples) {
+    if (holdout_k != 0 && ex.session_id % holdout_k == 0) {
+      out.holdout.examples.push_back(ex);
+    } else {
+      out.train.examples.push_back(ex);
+    }
+  }
+  return out;
+}
+
+void TrainerConfig::validate() const {
+  if (hidden < 1 || hidden > 1024) {
+    throw std::invalid_argument("TrainerConfig.hidden: must be in [1, 1024]");
+  }
+  if (epochs < 1 || epochs > 10000) {
+    throw std::invalid_argument(
+        "TrainerConfig.epochs: must be in [1, 10000]");
+  }
+  if (!std::isfinite(learning_rate) || learning_rate <= 0.0) {
+    throw std::invalid_argument(
+        "TrainerConfig.learning_rate: must be finite and positive");
+  }
+}
+
+Policy train_tabular(const Dataset& train, const FeatureConfig& cfg,
+                     const TrainerConfig& tc, const std::string& id,
+                     std::uint32_t version) {
+  cfg.validate();
+  tc.validate();
+  const std::size_t num_states = cfg.num_states();
+  const std::size_t num_coarse = cfg.num_coarse_states();
+  const std::size_t T = cfg.num_tracks;
+  std::vector<std::uint32_t> counts(num_states * T, 0);
+  std::vector<std::uint32_t> coarse_counts(num_coarse * T, 0);
+  std::vector<std::uint32_t> global_counts(T, 0);
+  for (const TrainExample& ex : train.examples) {
+    counts[ex.state * T + ex.label] += 1;
+    coarse_counts[coarse_from_state(ex.state, cfg) * T + ex.label] += 1;
+    global_counts[ex.label] += 1;
+  }
+
+  Policy policy;
+  policy.kind = PolicyKind::kTabular;
+  policy.id = id;
+  policy.version = version;
+  policy.seed = tc.seed;
+  policy.features = cfg;
+  policy.tabular.table.resize(num_states);
+  policy.tabular.coarse.resize(num_coarse);
+  for (std::size_t s = 0; s < num_states; ++s) {
+    policy.tabular.table[s] = majority(&counts[s * T], T);
+  }
+  for (std::size_t c = 0; c < num_coarse; ++c) {
+    policy.tabular.coarse[c] = majority(&coarse_counts[c * T], T);
+  }
+  const std::uint16_t global = majority(global_counts.data(), T);
+  policy.tabular.default_track = global == kUnseen ? 0 : global;
+  return policy;
+}
+
+Policy train_mlp(const Dataset& train, const FeatureConfig& cfg,
+                 const TrainerConfig& tc, const std::string& id,
+                 std::uint32_t version) {
+  cfg.validate();
+  tc.validate();
+  Policy policy;
+  policy.kind = PolicyKind::kMlp;
+  policy.id = id;
+  policy.version = version;
+  policy.seed = tc.seed;
+  policy.features = cfg;
+  MlpPolicy& m = policy.mlp;
+  m.in = cfg.vector_dim();
+  m.hidden = tc.hidden;
+  m.out = cfg.num_tracks;
+  m.w1.resize(m.hidden * m.in);
+  m.b1.assign(m.hidden, 0.0);
+  m.w2.resize(m.out * m.hidden);
+  m.b2.assign(m.out, 0.0);
+  init_uniform(m.w1, tc.seed, kSaltW1,
+               1.0 / std::sqrt(static_cast<double>(m.in)));
+  init_uniform(m.w2, tc.seed, kSaltW2,
+               1.0 / std::sqrt(static_cast<double>(m.hidden)));
+
+  const std::size_t n = train.examples.size();
+  if (n == 0) {
+    return policy;
+  }
+
+  std::vector<std::size_t> order(n);
+  std::vector<double> hidden(m.hidden);
+  std::vector<double> logits(m.out);
+  std::vector<double> dlogits(m.out);
+  std::vector<double> dhidden(m.hidden);
+  for (std::size_t epoch = 0; epoch < tc.epochs; ++epoch) {
+    const double lr =
+        tc.learning_rate / (1.0 + 0.1 * static_cast<double>(epoch));
+    // Deterministic Fisher-Yates keyed on (seed, epoch, position).
+    for (std::size_t i = 0; i < n; ++i) {
+      order[i] = i;
+    }
+    for (std::size_t i = n - 1; i > 0; --i) {
+      const std::uint64_t h =
+          mix64(tc.seed ^ mix64(epoch * 0x9e37ULL + i) ^ kSaltShuffle);
+      std::swap(order[i], order[h % (i + 1)]);
+    }
+    for (std::size_t step = 0; step < n; ++step) {
+      const TrainExample& ex = train.examples[order[step]];
+      // Forward: tanh hidden, softmax output.
+      for (std::size_t h = 0; h < m.hidden; ++h) {
+        double acc = m.b1[h];
+        const double* row = m.w1.data() + h * m.in;
+        for (std::size_t i = 0; i < m.in; ++i) {
+          acc += row[i] * ex.features[i];
+        }
+        hidden[h] = std::tanh(acc);
+      }
+      double max_logit = 0.0;
+      for (std::size_t o = 0; o < m.out; ++o) {
+        double acc = m.b2[o];
+        const double* row = m.w2.data() + o * m.hidden;
+        for (std::size_t h = 0; h < m.hidden; ++h) {
+          acc += row[h] * hidden[h];
+        }
+        logits[o] = acc;
+        if (o == 0 || acc > max_logit) {
+          max_logit = acc;
+        }
+      }
+      double z = 0.0;
+      for (std::size_t o = 0; o < m.out; ++o) {
+        dlogits[o] = std::exp(logits[o] - max_logit);
+        z += dlogits[o];
+      }
+      // Backward: dlogits = softmax - onehot(label).
+      for (std::size_t o = 0; o < m.out; ++o) {
+        dlogits[o] = dlogits[o] / z - (o == ex.label ? 1.0 : 0.0);
+      }
+      for (std::size_t h = 0; h < m.hidden; ++h) {
+        double acc = 0.0;
+        for (std::size_t o = 0; o < m.out; ++o) {
+          acc += dlogits[o] * m.w2[o * m.hidden + h];
+        }
+        dhidden[h] = acc * (1.0 - hidden[h] * hidden[h]);
+      }
+      for (std::size_t o = 0; o < m.out; ++o) {
+        double* row = m.w2.data() + o * m.hidden;
+        for (std::size_t h = 0; h < m.hidden; ++h) {
+          row[h] -= lr * dlogits[o] * hidden[h];
+        }
+        m.b2[o] -= lr * dlogits[o];
+      }
+      for (std::size_t h = 0; h < m.hidden; ++h) {
+        double* row = m.w1.data() + h * m.in;
+        for (std::size_t i = 0; i < m.in; ++i) {
+          row[i] -= lr * dhidden[h] * ex.features[i];
+        }
+        m.b1[h] -= lr * dhidden[h];
+      }
+    }
+  }
+  return policy;
+}
+
+double evaluate_agreement(const Policy& policy, const Dataset& dataset) {
+  if (dataset.examples.empty()) {
+    return 0.0;
+  }
+  std::vector<double> scratch;
+  std::size_t hits = 0;
+  for (const TrainExample& ex : dataset.examples) {
+    if (policy_select(policy, ex.state, ex.features, scratch) == ex.label) {
+      ++hits;
+    }
+  }
+  return static_cast<double>(hits) /
+         static_cast<double>(dataset.examples.size());
+}
+
+Policy make_rate_rule_tabular(const FeatureConfig& cfg, const std::string& id,
+                              std::uint32_t version) {
+  cfg.validate();
+  // The sustainable-track axis value IS the rule's answer: 0 = nothing
+  // sustainable -> lowest track, u -> track u-1.
+  const auto pick = [](std::size_t sustainable) {
+    return static_cast<std::uint16_t>(sustainable == 0 ? 0 : sustainable - 1);
+  };
+  Policy policy;
+  policy.kind = PolicyKind::kTabular;
+  policy.id = id;
+  policy.version = version;
+  policy.features = cfg;
+  policy.tabular.table.resize(cfg.num_states());
+  for (std::size_t s = 0; s < cfg.num_states(); ++s) {
+    policy.tabular.table[s] =
+        pick(sustainable_from_state(static_cast<std::uint32_t>(s), cfg));
+  }
+  policy.tabular.coarse.resize(cfg.num_coarse_states());
+  for (std::size_t c = 0; c < cfg.num_coarse_states(); ++c) {
+    // Coarse index layout: (b * (T+1) + sustainable) * (T+1) + prev.
+    policy.tabular.coarse[c] =
+        pick((c / (cfg.num_tracks + 1)) % (cfg.num_tracks + 1));
+  }
+  policy.tabular.default_track = 0;
+  return policy;
+}
+
+Policy make_random_mlp(const FeatureConfig& cfg, std::size_t hidden,
+                       std::uint64_t seed, const std::string& id,
+                       std::uint32_t version) {
+  Dataset empty;
+  TrainerConfig tc;
+  tc.seed = seed;
+  tc.hidden = hidden;
+  tc.epochs = 1;
+  return train_mlp(empty, cfg, tc, id, version);
+}
+
+}  // namespace vbr::learn

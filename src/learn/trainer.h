@@ -1,0 +1,104 @@
+// Offline imitation trainer: fits the tabular and MLP policies to teacher
+// rollouts (MPC with oracle size knowledge) replayed from DecisionEvent
+// streams.
+//
+// Everything here is single-threaded and counter-deterministic: weight
+// init and epoch shuffles are pure functions of (seed, counters) through
+// the splitmix64 finalizer, updates are applied in a fixed order, and
+// serialization is canonical — so the same rollout data + seed produces a
+// byte-identical policy file on every run (the abrtrain retrain check and
+// CI learn-smoke job pin this).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "learn/features.h"
+#include "learn/policy.h"
+#include "obs/event.h"
+#include "video/video.h"
+
+namespace vbr::learn {
+
+/// One supervised example: the quantized state + feature vector the scheme
+/// would have seen, labeled with the teacher's delivered track.
+struct TrainExample {
+  std::uint64_t session_id = 0;
+  std::uint32_t state = 0;
+  std::vector<double> features;
+  std::uint16_t label = 0;
+};
+
+struct Dataset {
+  std::vector<TrainExample> examples;
+  /// Events dropped because no manifest was found or the delivered track is
+  /// not the teacher's choice (skipped / downgraded / abandoned / retried).
+  std::size_t dropped_events = 0;
+};
+
+/// Resolves the manifest a DecisionEvent was recorded against (fleet
+/// rollouts: event.edge->title -> Catalog::title). Returning nullptr drops
+/// the event (counted in Dataset::dropped_events).
+using VideoLookup =
+    std::function<const video::Video*(const obs::DecisionEvent&)>;
+
+/// Replays `events` (per-session seq order, as fleet JSONL folds them) into
+/// labeled examples, tracking each session's previously delivered
+/// (non-skipped) track exactly like sim::run_session does.
+[[nodiscard]] Dataset build_dataset(
+    const std::vector<obs::DecisionEvent>& events, const FeatureConfig& cfg,
+    const VideoLookup& lookup);
+
+/// Deterministic holdout split: sessions with id % holdout_k == 0 are held
+/// out (holdout_k == 0 keeps everything in train).
+struct DatasetSplit {
+  Dataset train;
+  Dataset holdout;
+};
+[[nodiscard]] DatasetSplit split_dataset(const Dataset& dataset,
+                                         std::uint64_t holdout_k);
+
+struct TrainerConfig {
+  std::uint64_t seed = 1;     ///< Master seed (weight init + shuffles).
+  std::size_t hidden = 16;    ///< MLP hidden width.
+  std::size_t epochs = 40;    ///< MLP SGD passes.
+  double learning_rate = 0.05;  ///< Initial rate; decays 1/(1+0.1*epoch).
+
+  /// Throws std::invalid_argument naming the offending field.
+  void validate() const;
+};
+
+/// Per-state majority vote (ties to the lowest track), with a coarse
+/// (buffer, sustainable, prev-track) majority fallback and a
+/// global-majority default.
+[[nodiscard]] Policy train_tabular(const Dataset& train,
+                                   const FeatureConfig& cfg,
+                                   const TrainerConfig& tc,
+                                   const std::string& id,
+                                   std::uint32_t version);
+
+/// Seeded SGD behavior cloning (softmax cross-entropy, tanh hidden layer).
+[[nodiscard]] Policy train_mlp(const Dataset& train, const FeatureConfig& cfg,
+                               const TrainerConfig& tc, const std::string& id,
+                               std::uint32_t version);
+
+/// Fraction of examples where policy_select matches the teacher label
+/// (0.0 on an empty set). Uses the same inference path as LearnedScheme.
+[[nodiscard]] double evaluate_agreement(const Policy& policy,
+                                        const Dataset& dataset);
+
+/// Rule-seeded tabular policy (no training data): every state answers its
+/// own sustainable-track axis (track 0 when none is sustainable). Used by
+/// benches that need a structurally real policy without a rollout corpus.
+[[nodiscard]] Policy make_rate_rule_tabular(const FeatureConfig& cfg,
+                                            const std::string& id,
+                                            std::uint32_t version);
+
+/// Seeded random-weight MLP policy (benches / robustness tests).
+[[nodiscard]] Policy make_random_mlp(const FeatureConfig& cfg,
+                                     std::size_t hidden, std::uint64_t seed,
+                                     const std::string& id,
+                                     std::uint32_t version);
+
+}  // namespace vbr::learn

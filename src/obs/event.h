@@ -90,6 +90,16 @@ struct DecisionEvent {
   /// A/B runs — serialized only when present, so pre-experiment JSONL
   /// streams keep their bytes. Arm 0 is a real arm, hence the optional.
   std::optional<std::uint32_t> arm;
+
+  /// Learned-policy provenance (src/learn): which serialized policy made
+  /// this decision, stamped by LearnedScheme::annotate_event. Absent for
+  /// rule-based schemes — serialized only when present, so pre-learn JSONL
+  /// streams keep their bytes.
+  struct PolicyInfo {
+    std::string id;             ///< Policy id token from the policy file.
+    std::uint32_t version = 0;  ///< Policy version from the policy file.
+  };
+  std::optional<PolicyInfo> policy;
 };
 
 }  // namespace vbr::obs

@@ -307,6 +307,14 @@ DecisionEvent parse_jsonl(std::string_view line) {
   if (c.try_consume(",\"arm\":")) {
     e.arm = static_cast<std::uint32_t>(c.read_uint());
   }
+  if (c.try_consume(",\"policy\":{\"id\":")) {
+    DecisionEvent::PolicyInfo p;
+    p.id = c.read_string();
+    c.expect(",\"ver\":");
+    p.version = static_cast<std::uint32_t>(c.read_uint());
+    c.expect("}");
+    e.policy = p;
+  }
   c.expect("}");
   if (!c.at_end()) {
     c.fail("trailing bytes after event object");

@@ -125,6 +125,15 @@ std::string to_jsonl(const DecisionEvent& e) {
     s += ",\"arm\":";
     append_uint(s, *e.arm);
   }
+  if (e.policy.has_value()) {
+    // Learned-policy provenance: emitted only when present so pre-learn
+    // streams keep their bytes (same contract as "arm" and "cava").
+    s += ",\"policy\":{\"id\":";
+    append_json_string(s, e.policy->id);
+    s += ",\"ver\":";
+    append_uint(s, e.policy->version);
+    s += "}";
+  }
   s += "}";
   return s;
 }

@@ -68,6 +68,7 @@ obs::DecisionEvent full_event() {
   edge.edge_hit = true;
   edge.edge_latency_s = 0.02;
   e.edge = edge;
+  e.policy = obs::DecisionEvent::PolicyInfo{.id = "mpc-imitate", .version = 3};
   return e;
 }
 
@@ -144,6 +145,16 @@ TEST(JsonlParse, FuzzRoundTripsOptionalFieldCombinations) {
     if ((i & 4) != 0) {
       e.arm = static_cast<std::uint32_t>(next() % 64);
     }
+    if ((i & 8) == 0) {
+      // Pre-learn streams carry no policy block at all.
+      e.policy.reset();
+    } else {
+      // Learned-policy annotation: awkward-but-legal id tokens (the
+      // serializer must escape nothing, the parser must accept dots,
+      // dashes, underscores) and the full version range.
+      e.policy->id = (next() & 1) != 0 ? "mpc-imitate_v2.1" : "a-B.c_d-0";
+      e.policy->version = static_cast<std::uint32_t>(next());
+    }
     const std::string line = obs::to_jsonl(e);
     const obs::DecisionEvent back = obs::parse_jsonl(line);
     ASSERT_EQ(obs::to_jsonl(back), line) << "fuzz case " << i;
@@ -153,7 +164,58 @@ TEST(JsonlParse, FuzzRoundTripsOptionalFieldCombinations) {
       ASSERT_EQ(back.edge->coalesced, e.edge->coalesced) << "fuzz case " << i;
       ASSERT_EQ(back.edge->shed, e.edge->shed) << "fuzz case " << i;
     }
+    ASSERT_EQ(back.policy.has_value(), e.policy.has_value())
+        << "fuzz case " << i;
+    if (e.policy.has_value()) {
+      ASSERT_EQ(back.policy->id, e.policy->id) << "fuzz case " << i;
+      ASSERT_EQ(back.policy->version, e.policy->version) << "fuzz case " << i;
+    }
   }
+}
+
+TEST(JsonlParse, PolicyBlockEmittedOnlyWhenPresent) {
+  // The byte-stability contract: events without a policy annotation must
+  // serialize to the exact same bytes as before the learn subsystem
+  // existed — no "policy" key at all — and annotated events append the
+  // block after "arm".
+  obs::DecisionEvent plain = full_event();
+  plain.policy.reset();
+  const std::string without = obs::to_jsonl(plain);
+  EXPECT_EQ(without.find("\"policy\""), std::string::npos);
+
+  const std::string with = obs::to_jsonl(full_event());
+  EXPECT_NE(with.find("\"policy\":{\"id\":\"mpc-imitate\",\"ver\":3}"),
+            std::string::npos);
+  EXPECT_EQ(with.rfind("}"), with.size() - 1);
+}
+
+TEST(JsonlScan, LearnedCorpusIsCleanAndCarriesPolicyProvenance) {
+  // On-disk corpus of a learned-arm A/B rollout: checksummed lines whose
+  // payloads carry the policy id/version (plus arm), one pre-learn line
+  // without the block mixed in — the scanner and parser accept both.
+  const std::string path = kCorpus + "clean_learned.jsonl";
+  const obs::JsonlScanReport rep = obs::scan_checksummed_jsonl(path);
+  EXPECT_TRUE(rep.clean());
+  ASSERT_EQ(rep.valid_lines, 3u);
+
+  std::ifstream in(path);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    std::string_view payload;
+    ASSERT_TRUE(obs::verify_checksummed_line(line, payload));
+    const obs::DecisionEvent e = obs::parse_jsonl(payload);
+    if (line_no == 2) {
+      EXPECT_FALSE(e.policy.has_value());  // the pre-learn line
+    } else {
+      ASSERT_TRUE(e.policy.has_value());
+      EXPECT_EQ(e.policy->id, "mpc-imitate");
+      EXPECT_EQ(e.policy->version, 1u + static_cast<std::uint32_t>(line_no));
+      ASSERT_TRUE(e.arm.has_value());
+    }
+    ++line_no;
+  }
+  EXPECT_EQ(line_no, 3u);
 }
 
 TEST(JsonlParse, RejectsNonCanonicalLines) {
@@ -243,6 +305,28 @@ std::string read_file(const std::string& path) {
 
 void copy_file(const std::string& from, const std::string& to) {
   std::ofstream(to, std::ios::binary) << read_file(from);
+}
+
+TEST(JsonlRecover, TruncatesTornLearnedTailKeepingPolicyLines) {
+  // Crash mid-write of a learned-policy line: the torn tail is detected
+  // and truncated, the surviving annotated lines stay intact.
+  const std::string tmp = testing::TempDir() + "recover_learned.jsonl";
+  copy_file(kCorpus + "torn_learned_tail.jsonl", tmp);
+  const obs::JsonlScanReport rep = obs::recover_checksummed_jsonl(tmp);
+  EXPECT_TRUE(rep.torn_tail);
+  const obs::JsonlScanReport again = obs::scan_checksummed_jsonl(tmp);
+  EXPECT_TRUE(again.clean());
+  ASSERT_EQ(again.valid_lines, 2u);
+  std::ifstream in(tmp);
+  std::string line;
+  while (std::getline(in, line)) {
+    std::string_view payload;
+    ASSERT_TRUE(obs::verify_checksummed_line(line, payload));
+    const obs::DecisionEvent e = obs::parse_jsonl(payload);
+    ASSERT_TRUE(e.policy.has_value());
+    EXPECT_EQ(e.policy->id, "mpc-imitate");
+  }
+  std::remove(tmp.c_str());
 }
 
 TEST(JsonlRecover, TruncatesTornTailOnly) {

@@ -1,0 +1,361 @@
+// Feature/state layer of the learned ABR subsystem (learn/features.h):
+// config validation with field-named errors, quantizer properties
+// (monotonicity, bin/center inverses, state packing round trips), the
+// decision-aligned derived axes on hand-built videos, and the central
+// train/serve contract — the live StreamContext extractor and the offline
+// DecisionEvent reconstruction produce bit-identical Signals, feature
+// vectors, and state ids, including through a real session loop and a
+// JSONL round trip.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "abr/mpc.h"
+#include "learn/features.h"
+#include "net/bandwidth_estimator.h"
+#include "obs/jsonl_io.h"
+#include "obs/trace_sink.h"
+#include "sim/session.h"
+#include "test_util.h"
+
+namespace vbr {
+namespace {
+
+learn::FeatureConfig small_config(std::size_t num_tracks = 6) {
+  learn::FeatureConfig cfg;
+  cfg.num_tracks = num_tracks;
+  return cfg;
+}
+
+TEST(LearnFeatureConfig, ValidationNamesTheField) {
+  const auto expect_error = [](learn::FeatureConfig cfg,
+                               const std::string& needle) {
+    try {
+      cfg.validate();
+      FAIL() << "expected invalid_argument mentioning '" << needle << "'";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << "actual message: " << e.what();
+    }
+  };
+  learn::FeatureConfig ok = small_config();
+  EXPECT_NO_THROW(ok.validate());
+
+  learn::FeatureConfig cfg = small_config();
+  cfg.num_tracks = 0;
+  expect_error(cfg, "FeatureConfig.num_tracks");
+  cfg = small_config();
+  cfg.lookahead = 0;
+  expect_error(cfg, "FeatureConfig.lookahead");
+  cfg = small_config();
+  cfg.buffer_bins = 0;
+  expect_error(cfg, "FeatureConfig.buffer_bins");
+  cfg = small_config();
+  cfg.buffer_cap_s = 0.0;
+  expect_error(cfg, "FeatureConfig.buffer_cap_s");
+  cfg = small_config();
+  cfg.bw_hi_bps = cfg.bw_lo_bps;
+  expect_error(cfg, "FeatureConfig.bw_hi_bps");
+  cfg = small_config();
+  cfg.ratio_hi = cfg.ratio_lo;
+  expect_error(cfg, "FeatureConfig.ratio_hi");
+  cfg = small_config();
+  cfg.margin_bins = 0;
+  expect_error(cfg, "FeatureConfig.margin_bins");
+  cfg = small_config();
+  cfg.margin_hi = cfg.margin_lo;
+  expect_error(cfg, "FeatureConfig.margin_hi");
+  cfg = small_config();
+  cfg.deficit_bins = 0;
+  expect_error(cfg, "FeatureConfig.deficit_bins");
+  cfg = small_config();
+  cfg.deficit_lo = -1.0;
+  expect_error(cfg, "FeatureConfig.deficit_lo");
+}
+
+TEST(LearnFeatureConfig, StateSpaceDimensions) {
+  const learn::FeatureConfig cfg = small_config(6);
+  // buffer * (T+1 sustainable) * margin * deficit * (T+1 affordable)
+  // * (T+1 prev) * 2 startup.
+  EXPECT_EQ(cfg.num_states(), 16u * 7u * 4u * 6u * 7u * 7u * 2u);
+  EXPECT_EQ(cfg.num_coarse_states(), 16u * 7u * 7u);
+  EXPECT_EQ(cfg.vector_dim(), 8u + 6u);
+}
+
+TEST(LearnQuantizers, BufferBinMonotoneAndBounded) {
+  const learn::FeatureConfig cfg = small_config();
+  std::size_t prev = 0;
+  for (double b = -5.0; b <= 200.0; b += 0.5) {
+    const std::size_t bin = learn::buffer_bin(b, cfg);
+    EXPECT_LT(bin, cfg.buffer_bins);
+    EXPECT_GE(bin, prev);  // non-decreasing in the buffer level
+    prev = bin;
+  }
+  EXPECT_EQ(learn::buffer_bin(0.0, cfg), 0u);
+  EXPECT_EQ(learn::buffer_bin(1e9, cfg), cfg.buffer_bins - 1);
+}
+
+TEST(LearnQuantizers, BandwidthBinCenterInverts) {
+  const learn::FeatureConfig cfg = small_config();
+  for (std::size_t bin = 0; bin < cfg.bandwidth_bins; ++bin) {
+    const double center = learn::bandwidth_bin_center_bps(bin, cfg);
+    EXPECT_GT(center, cfg.bw_lo_bps);
+    EXPECT_LT(center, cfg.bw_hi_bps);
+    EXPECT_EQ(learn::bandwidth_bin(center, cfg), bin) << "bin " << bin;
+  }
+  // The norm is clamped to [0, 1] and monotone in log-bandwidth.
+  EXPECT_EQ(learn::bandwidth_norm(1.0, cfg), 0.0);
+  EXPECT_EQ(learn::bandwidth_norm(1e12, cfg), 1.0);
+  double prev = -1.0;
+  for (double bw = 1e5; bw < 4e7; bw *= 1.37) {
+    const double u = learn::bandwidth_norm(bw, cfg);
+    EXPECT_GE(u, 0.0);
+    EXPECT_LE(u, 1.0);
+    EXPECT_GE(u, prev);
+    prev = u;
+  }
+}
+
+TEST(LearnStatePacking, EveryStateDecodesConsistently) {
+  // Inverse check over the whole state space of a small grid: the packed
+  // axes must be recoverable in the documented order, and the coarse
+  // projection must keep exactly (buffer, sustainable, prev).
+  learn::FeatureConfig cfg = small_config(3);
+  cfg.buffer_bins = 4;
+  cfg.margin_bins = 2;
+  cfg.deficit_bins = 3;
+  const std::size_t T1 = cfg.num_tracks + 1;
+  for (std::uint32_t s = 0; s < cfg.num_states(); ++s) {
+    std::size_t id = s;
+    const std::size_t startup = id % 2;
+    id /= 2;
+    const std::size_t prev = id % T1;
+    id /= T1;
+    id /= T1;  // affordable
+    id /= cfg.deficit_bins;
+    id /= cfg.margin_bins;
+    const std::size_t sustainable = id % T1;
+    id /= T1;
+    const std::size_t buffer = id;
+    ASSERT_LT(buffer, cfg.buffer_bins);
+    (void)startup;
+    ASSERT_EQ(learn::sustainable_from_state(s, cfg), sustainable);
+    ASSERT_EQ(learn::coarse_from_state(s, cfg),
+              (buffer * T1 + sustainable) * T1 + prev);
+    ASSERT_LT(learn::coarse_from_state(s, cfg), cfg.num_coarse_states());
+  }
+}
+
+TEST(LearnSignals, DerivedAxesMatchHandComputation) {
+  // Flat 6-rung ladder at 0.2/0.4/0.8/1.6/3.2/6.4 Mbps, 2 s chunks. With
+  // 2.0 Mbps of bandwidth and 6 s of buffer:
+  //   sustainable = track 3 (1.6 <= 2.0 < 3.2)     -> encoded 4
+  //   margin      = 2.0 / 1.6 = 1.25
+  //   affordable: next chunk of track l costs (rate * 2 s) / 2 Mbps of
+  //   download time; track 5 costs 6.4 s > 6 s buffer, track 4 costs 3.2 s
+  //   -> affordable = track 4, encoded 5
+  //   deficit: track above sustainable is 4 (3.2 Mbps); each chunk loses
+  //   3.2*2/2.0 - 2 = 1.2 s of buffer -> 6 / 1.2 = 5 chunks
+  const video::Video v = testutil::default_flat_video(60);
+  const learn::FeatureConfig cfg = small_config(6);
+  const abr::StreamContext ctx = testutil::make_context(v, 10, 6.0, 2.0e6, 3);
+  learn::Signals sig;
+  learn::signals_from_context(ctx, cfg, sig);
+  EXPECT_EQ(sig.sustainable, 4u);
+  EXPECT_DOUBLE_EQ(sig.margin, 1.25);
+  EXPECT_EQ(sig.affordable, 5u);
+  EXPECT_DOUBLE_EQ(sig.deficit_chunks, 5.0);
+  EXPECT_EQ(sig.prev_track, 3);
+  ASSERT_EQ(sig.inflation.size(), 6u);
+  for (const double r : sig.inflation) {
+    EXPECT_DOUBLE_EQ(r, 1.0);  // flat video: no VBR inflation
+  }
+
+  // Starved: 50 kbps sustains nothing (encoded 0), and nothing is
+  // affordable within a 0.1 s buffer.
+  const abr::StreamContext starved =
+      testutil::make_context(v, 10, 0.1, 5.0e4);
+  learn::signals_from_context(starved, cfg, sig);
+  EXPECT_EQ(sig.sustainable, 0u);
+  EXPECT_EQ(sig.affordable, 0u);
+  EXPECT_DOUBLE_EQ(sig.margin, cfg.margin_lo);  // clamped from 0.25
+
+  // Luxury: everything sustainable -> the track above is clamped to the
+  // top rung, which is itself sustainable -> deficit saturates at the cap.
+  const abr::StreamContext rich = testutil::make_context(v, 10, 30.0, 2.0e7);
+  learn::signals_from_context(rich, cfg, sig);
+  EXPECT_EQ(sig.sustainable, 6u);
+  EXPECT_DOUBLE_EQ(sig.deficit_chunks, cfg.deficit_hi);
+}
+
+TEST(LearnSignals, VbrSpikesInflateTheWindow) {
+  // Chunks 10..12 are 3x nominal on every track: the lookahead window
+  // starting at 10 sees mean inflation (3+3+3+1+1)/5 = 2.2, clamped to
+  // ratio_hi = 2.0; sustainability drops accordingly (2.0 Mbps only
+  // sustains track 2's inflated 0.8 * 2.2 = 1.76 Mbps mean rate).
+  const video::Video v = testutil::make_flat_video(
+      {2e5, 4e5, 8e5, 1.6e6, 3.2e6, 6.4e6}, 60, 2.0,
+      {{10, 3.0}, {11, 3.0}, {12, 3.0}});
+  const learn::FeatureConfig cfg = small_config(6);
+  learn::Signals sig;
+  learn::signals_from_context(testutil::make_context(v, 10, 6.0, 2.0e6, 3),
+                              cfg, sig);
+  EXPECT_EQ(sig.sustainable, 3u);  // track 2, one below the flat case
+  for (const double r : sig.inflation) {
+    EXPECT_DOUBLE_EQ(r, 2.0);  // clamped at ratio_hi
+  }
+  // Outside the spike window the same video behaves like the flat one —
+  // inflation is relative to the track's declared average bitrate, which
+  // includes the spike bits (3 of 60 chunks at 3x -> nominal is 66/60 of a
+  // flat chunk), so flat chunks sit slightly *below* 1.0.
+  learn::signals_from_context(testutil::make_context(v, 20, 6.0, 2.0e6, 3),
+                              cfg, sig);
+  EXPECT_EQ(sig.sustainable, 4u);
+  EXPECT_DOUBLE_EQ(sig.inflation[2], 60.0 / 66.0);
+}
+
+/// The equivalent DecisionEvent of a live context (what the session loop
+/// records for this decision).
+obs::DecisionEvent event_for(const abr::StreamContext& ctx) {
+  obs::DecisionEvent e;
+  e.chunk_index = ctx.next_chunk;
+  e.buffer_before_s = ctx.buffer_s;
+  e.est_bandwidth_bps = ctx.est_bandwidth_bps;
+  e.in_startup = ctx.in_startup;
+  return e;
+}
+
+void expect_signals_bit_identical(const learn::Signals& a,
+                                  const learn::Signals& b) {
+  // EXPECT_EQ on doubles is exact comparison — bit-identity, not epsilon.
+  EXPECT_EQ(a.buffer_s, b.buffer_s);
+  EXPECT_EQ(a.est_bandwidth_bps, b.est_bandwidth_bps);
+  EXPECT_EQ(a.prev_track, b.prev_track);
+  EXPECT_EQ(a.in_startup, b.in_startup);
+  EXPECT_EQ(a.sustainable, b.sustainable);
+  EXPECT_EQ(a.margin, b.margin);
+  EXPECT_EQ(a.affordable, b.affordable);
+  EXPECT_EQ(a.deficit_chunks, b.deficit_chunks);
+  ASSERT_EQ(a.inflation.size(), b.inflation.size());
+  for (std::size_t l = 0; l < a.inflation.size(); ++l) {
+    EXPECT_EQ(a.inflation[l], b.inflation[l]) << "inflation[" << l << "]";
+  }
+}
+
+TEST(LearnInvariance, LiveAndOfflineExtractorsAgreeBitExactly) {
+  // The train/serve contract on crafted contexts: awkward buffers and
+  // bandwidths, VBR spikes, window truncation at the end of the video,
+  // startup, and every prev_track value.
+  const video::Video v = testutil::make_flat_video(
+      {2e5, 4e5, 8e5, 1.6e6, 3.2e6, 6.4e6}, 40, 2.0,
+      {{5, 2.7}, {6, 0.4}, {37, 3.1}});
+  const learn::FeatureConfig cfg = small_config(6);
+  std::vector<double> live_fv;
+  std::vector<double> off_fv;
+  for (const std::size_t chunk : {0u, 5u, 17u, 36u, 39u}) {
+    for (const double buffer : {0.0, 0.37, 6.000000000000001, 42.5}) {
+      for (const double bw : {3.3e5, 1.9999999999e6, 8.08e6}) {
+        for (int prev = -1; prev < 6; ++prev) {
+          abr::StreamContext ctx =
+              testutil::make_context(v, chunk, buffer, bw, prev);
+          ctx.in_startup = buffer == 0.0;
+          learn::Signals live;
+          learn::signals_from_context(ctx, cfg, live);
+          learn::Signals off;
+          learn::signals_from_event(event_for(ctx), v, prev, cfg, off);
+          expect_signals_bit_identical(live, off);
+          learn::feature_vector(live, cfg, live_fv);
+          learn::feature_vector(off, cfg, off_fv);
+          EXPECT_EQ(live_fv, off_fv);
+          EXPECT_EQ(learn::state_id(live, cfg), learn::state_id(off, cfg));
+        }
+      }
+    }
+  }
+}
+
+/// Wraps a real scheme and snapshots the live feature extraction at every
+/// decide() — the serving-side half of the invariance pin.
+class RecordingScheme final : public abr::AbrScheme {
+ public:
+  struct Snapshot {
+    std::uint32_t state = 0;
+    std::vector<double> features;
+  };
+
+  RecordingScheme(abr::AbrScheme& inner, const learn::FeatureConfig& cfg,
+                  std::vector<Snapshot>& out)
+      : inner_(inner), cfg_(cfg), out_(out) {}
+
+  [[nodiscard]] abr::Decision decide(const abr::StreamContext& ctx) override {
+    learn::Signals sig;
+    learn::signals_from_context(ctx, cfg_, sig);
+    Snapshot snap;
+    snap.state = learn::state_id(sig, cfg_);
+    learn::feature_vector(sig, cfg_, snap.features);
+    out_.push_back(std::move(snap));
+    return inner_.decide(ctx);
+  }
+  void on_chunk_downloaded(const abr::StreamContext& ctx, std::size_t track,
+                           double download_s) override {
+    inner_.on_chunk_downloaded(ctx, track, download_s);
+  }
+  void reset() override { inner_.reset(); }
+  [[nodiscard]] std::string name() const override { return inner_.name(); }
+
+ private:
+  abr::AbrScheme& inner_;
+  const learn::FeatureConfig& cfg_;
+  std::vector<Snapshot>& out_;
+};
+
+TEST(LearnInvariance, SessionLoopEventsReconstructLiveFeatures) {
+  // End to end: run a real MPC session over a VBR-spiked video while
+  // snapshotting the live extraction, push every DecisionEvent through the
+  // durable JSONL serializer and back, then rebuild the features offline
+  // exactly the way build_dataset does (tracking the delivered prev track).
+  // Every decision must reconstruct to the same state id and the same
+  // feature bytes — the property that makes offline training sound.
+  const video::Video v = testutil::make_flat_video(
+      {2e5, 4e5, 8e5, 1.6e6, 3.2e6, 6.4e6}, 50, 2.0,
+      {{7, 2.5}, {8, 2.5}, {23, 3.0}, {41, 0.5}});
+  const net::Trace trace = testutil::flat_trace(2.4e6, 600.0);
+  const learn::FeatureConfig cfg = small_config(6);
+
+  abr::Mpc mpc(abr::mpc_config());
+  std::vector<RecordingScheme::Snapshot> live;
+  RecordingScheme recorder(mpc, cfg, live);
+  net::HarmonicMeanEstimator estimator;
+  obs::MemoryTraceSink sink;
+  sim::SessionConfig sc;
+  sc.trace = &sink;
+  sc.session_id = 9;
+  const sim::SessionResult result =
+      sim::run_session(v, trace, recorder, estimator, sc);
+  ASSERT_GT(result.chunks.size(), 0u);
+  ASSERT_EQ(live.size(), sink.events().size());
+  ASSERT_GE(live.size(), 40u);
+
+  int prev = -1;
+  std::size_t i = 0;
+  std::vector<double> off_fv;
+  for (const obs::DecisionEvent& original : sink.events()) {
+    // JSONL round trip first: the offline trainer reads parsed lines, so
+    // the invariance must hold *through* serialization.
+    const obs::DecisionEvent ev = obs::parse_jsonl(obs::to_jsonl(original));
+    learn::Signals off;
+    learn::signals_from_event(ev, v, prev, cfg, off);
+    EXPECT_EQ(learn::state_id(off, cfg), live[i].state) << "decision " << i;
+    learn::feature_vector(off, cfg, off_fv);
+    EXPECT_EQ(off_fv, live[i].features) << "decision " << i;
+    if (!ev.skipped) {
+      prev = static_cast<int>(ev.track);
+    }
+    ++i;
+  }
+}
+
+}  // namespace
+}  // namespace vbr

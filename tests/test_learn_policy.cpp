@@ -1,0 +1,296 @@
+// Deterministic policy file format (learn/policy.h): canonical
+// serialize/parse identity for both backends, the tabular fallback chain,
+// and the robustness matrix — truncation, checksum damage, wrong magic,
+// unsupported format version, NaN weights, out-of-range tracks, count
+// mismatches, trailing garbage — each rejected with a field-named
+// PolicyError and no undefined behaviour (this suite runs under
+// ASan/UBSan in CI).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "learn/policy.h"
+#include "learn/trainer.h"
+#include "obs/jsonl_io.h"
+
+namespace vbr {
+namespace {
+
+learn::FeatureConfig tiny_config() {
+  learn::FeatureConfig cfg;
+  cfg.num_tracks = 3;
+  cfg.buffer_bins = 4;
+  cfg.margin_bins = 2;
+  cfg.deficit_bins = 2;
+  return cfg;
+}
+
+/// A fully populated tabular policy with a deterministic entry pattern
+/// including unseen holes.
+learn::Policy tiny_tabular() {
+  const learn::FeatureConfig cfg = tiny_config();
+  learn::Policy p;
+  p.kind = learn::PolicyKind::kTabular;
+  p.id = "test-policy_v1.0";
+  p.version = 3;
+  p.seed = 42;
+  p.features = cfg;
+  p.tabular.table.resize(cfg.num_states());
+  for (std::size_t s = 0; s < p.tabular.table.size(); ++s) {
+    p.tabular.table[s] = s % 5 == 0 ? learn::kUnseen
+                                    : static_cast<std::uint16_t>(s % 3);
+  }
+  p.tabular.coarse.resize(cfg.num_coarse_states());
+  for (std::size_t c = 0; c < p.tabular.coarse.size(); ++c) {
+    p.tabular.coarse[c] = c % 7 == 0 ? learn::kUnseen
+                                     : static_cast<std::uint16_t>(c % 3);
+  }
+  p.tabular.default_track = 1;
+  return p;
+}
+
+learn::Policy tiny_mlp() {
+  return learn::make_random_mlp(tiny_config(), 8, 5, "test-mlp", 2);
+}
+
+void expect_policy_error(const std::string& text, const std::string& needle) {
+  try {
+    (void)learn::parse_policy(text);
+    FAIL() << "expected PolicyError mentioning '" << needle << "'";
+  } catch (const learn::PolicyError& e) {
+    const std::string msg = e.what();
+    EXPECT_EQ(msg.rfind("PolicyFile.", 0), 0u) << "not field-named: " << msg;
+    EXPECT_NE(msg.find(needle), std::string::npos)
+        << "actual message: " << msg;
+  }
+}
+
+/// Re-seals a mutated policy body with a correct trailer, so the mutation
+/// under test is reached instead of tripping the checksum first.
+std::string reseal(std::string body) {
+  const std::size_t end_line = body.rfind("end ");
+  body.resize(end_line);
+  char trailer[16];
+  std::snprintf(trailer, sizeof(trailer), "end %08x",
+                obs::line_checksum(body));
+  body += trailer;
+  body += '\n';
+  return body;
+}
+
+TEST(LearnPolicy, TabularRoundTripsByteExactly) {
+  const learn::Policy p = tiny_tabular();
+  const std::string text = learn::serialize_policy(p);
+  EXPECT_EQ(text.rfind("VBRPOLICY 1\n", 0), 0u);
+  const learn::Policy back = learn::parse_policy(text);
+  EXPECT_EQ(back.kind, learn::PolicyKind::kTabular);
+  EXPECT_EQ(back.id, p.id);
+  EXPECT_EQ(back.version, p.version);
+  EXPECT_EQ(back.seed, p.seed);
+  EXPECT_EQ(back.features, p.features);
+  EXPECT_EQ(back.tabular.table, p.tabular.table);
+  EXPECT_EQ(back.tabular.coarse, p.tabular.coarse);
+  EXPECT_EQ(back.tabular.default_track, p.tabular.default_track);
+  // Canonical form: serialize(parse(s)) == s byte-for-byte.
+  EXPECT_EQ(learn::serialize_policy(back), text);
+}
+
+TEST(LearnPolicy, MlpRoundTripsByteExactly) {
+  const learn::Policy p = tiny_mlp();
+  const std::string text = learn::serialize_policy(p);
+  const learn::Policy back = learn::parse_policy(text);
+  EXPECT_EQ(back.kind, learn::PolicyKind::kMlp);
+  EXPECT_EQ(back.mlp.in, p.mlp.in);
+  EXPECT_EQ(back.mlp.hidden, p.mlp.hidden);
+  EXPECT_EQ(back.mlp.out, p.mlp.out);
+  EXPECT_EQ(back.mlp.w1, p.mlp.w1);  // exact doubles via shortest round-trip
+  EXPECT_EQ(back.mlp.b1, p.mlp.b1);
+  EXPECT_EQ(back.mlp.w2, p.mlp.w2);
+  EXPECT_EQ(back.mlp.b2, p.mlp.b2);
+  EXPECT_EQ(learn::serialize_policy(back), text);
+}
+
+TEST(LearnPolicy, TabularSelectFallsBackExactCoarseDefault) {
+  learn::Policy p = tiny_tabular();
+  const learn::FeatureConfig cfg = p.features;
+  std::vector<double> scratch;
+  const std::vector<double> no_features;
+
+  // Pick a state whose exact entry is populated.
+  std::uint32_t seen = 0;
+  while (p.tabular.table[seen] == learn::kUnseen) {
+    ++seen;
+  }
+  EXPECT_EQ(learn::policy_select(p, seen, no_features, scratch),
+            p.tabular.table[seen]);
+
+  // Hole in the exact table -> the coarse projection answers.
+  std::uint32_t hole = 0;
+  while (p.tabular.table[hole] != learn::kUnseen ||
+         p.tabular.coarse[learn::coarse_from_state(hole, cfg)] ==
+             learn::kUnseen) {
+    ++hole;
+  }
+  EXPECT_EQ(learn::policy_select(p, hole, no_features, scratch),
+            p.tabular.coarse[learn::coarse_from_state(hole, cfg)]);
+
+  // Hole in both -> the global default.
+  std::uint32_t deep = 0;
+  while (p.tabular.table[deep] != learn::kUnseen ||
+         p.tabular.coarse[learn::coarse_from_state(deep, cfg)] !=
+             learn::kUnseen) {
+    ++deep;
+  }
+  EXPECT_EQ(learn::policy_select(p, deep, no_features, scratch),
+            p.tabular.default_track);
+}
+
+TEST(LearnPolicy, RejectsWrongMagicAndVersion) {
+  std::string text = learn::serialize_policy(tiny_tabular());
+  expect_policy_error("NOTAPOLICY 1\n" + text.substr(text.find('\n') + 1),
+                      "magic");
+  // An unsupported format version is named before any payload is touched.
+  text.replace(0, text.find('\n'), "VBRPOLICY 2");
+  expect_policy_error(text, "unsupported format version 2");
+}
+
+TEST(LearnPolicy, RejectsTruncation) {
+  const std::string text = learn::serialize_policy(tiny_tabular());
+  // Cut at several depths: inside the header, inside the table, just
+  // before the trailer. All must fail loudly, never crash or accept.
+  for (const std::size_t keep :
+       {std::size_t{5}, text.size() / 4, text.size() / 2, text.size() - 3}) {
+    expect_policy_error(text.substr(0, keep), "truncated");
+  }
+}
+
+TEST(LearnPolicy, RejectsChecksumDamage) {
+  const std::string text = learn::serialize_policy(tiny_tabular());
+  // Flip one digit inside a table row (still parseable) -> the trailer
+  // mismatch is detected and reported with both values.
+  const std::size_t pos = text.find("\ntable 0 ") + 9;
+  std::string damaged = text;
+  damaged[pos] = damaged[pos] == '0' ? '1' : '0';
+  expect_policy_error(damaged, "checksum");
+
+  // Garbage after the trailer is its own named error.
+  expect_policy_error(text + "junk\n", "trailing data after the 'end' line");
+}
+
+TEST(LearnPolicy, RejectsNaNWeightsByFieldName) {
+  // std::from_chars happily parses "nan", so the parser accepts the token;
+  // structural validation must still refuse to serve non-finite weights.
+  const std::string text = learn::serialize_policy(tiny_mlp());
+  const std::size_t b1 = text.find("\nb1 ");
+  ASSERT_NE(b1, std::string::npos);
+  const std::size_t val_start = b1 + 4;
+  const std::size_t val_end = text.find(' ', val_start);
+  std::string mutated = text;
+  mutated.replace(val_start, val_end - val_start, "nan");
+  expect_policy_error(reseal(std::move(mutated)), "b1");
+
+  std::string inf_mutated = text;
+  const std::size_t w1 = inf_mutated.find("\nw1 0 ");
+  ASSERT_NE(w1, std::string::npos);
+  const std::size_t w_start = w1 + 6;
+  inf_mutated.replace(w_start, inf_mutated.find(' ', w_start) - w_start,
+                      "inf");
+  expect_policy_error(reseal(std::move(inf_mutated)), "w1");
+}
+
+TEST(LearnPolicy, RejectsOutOfRangeTracks) {
+  // num_tracks = 3, so entry "7" is a ladder the policy cannot serve.
+  const std::string text = learn::serialize_policy(tiny_tabular());
+  const std::size_t row = text.find("\ntable 0 ");
+  ASSERT_NE(row, std::string::npos);
+  std::string mutated = text;
+  mutated.replace(row + 9, 1, "7");
+  expect_policy_error(reseal(std::move(mutated)), "track out of range");
+}
+
+TEST(LearnPolicy, RejectsEntryCountMismatch) {
+  const std::string text = learn::serialize_policy(tiny_tabular());
+  // The tabular header must agree with the features line it follows.
+  const std::size_t states = text.find("tabular states=");
+  ASSERT_NE(states, std::string::npos);
+  std::string mutated = text;
+  mutated.replace(states + 15, 3, "999");
+  expect_policy_error(mutated, "disagrees with the features line");
+}
+
+TEST(LearnPolicy, RejectsInvalidFeatureGrid) {
+  // A parsed FeatureConfig is validated with the same field-named errors
+  // as a programmatic one.
+  const std::string text = learn::serialize_policy(tiny_tabular());
+  const std::size_t pos = text.find("margin_lo=1");
+  ASSERT_NE(pos, std::string::npos);
+  std::string mutated = text;
+  mutated.replace(pos, 11, "margin_lo=0");
+  expect_policy_error(reseal(std::move(mutated)),
+                      "features: FeatureConfig.margin_lo");
+}
+
+TEST(LearnPolicy, SaveLoadRoundTripsAndNamesIoErrors) {
+  const std::string path = testing::TempDir() + "learn_policy_test.vbrp";
+  const learn::Policy p = tiny_tabular();
+  learn::save_policy_file(path, p);
+  const learn::Policy back = learn::load_policy_file(path);
+  EXPECT_EQ(learn::serialize_policy(back), learn::serialize_policy(p));
+
+  try {
+    (void)learn::load_policy_file(testing::TempDir() + "no_such_policy.vbrp");
+    FAIL() << "expected PolicyError";
+  } catch (const learn::PolicyError& e) {
+    EXPECT_NE(std::string(e.what()).find("cannot open"), std::string::npos);
+  }
+
+  // An empty file is truncation at the magic line, not a crash.
+  const std::string empty = testing::TempDir() + "empty_policy.vbrp";
+  std::ofstream(empty).close();
+  try {
+    (void)learn::load_policy_file(empty);
+    FAIL() << "expected PolicyError";
+  } catch (const learn::PolicyError& e) {
+    EXPECT_NE(std::string(e.what()).find("PolicyFile.magic"),
+              std::string::npos);
+  }
+  std::remove(path.c_str());
+  std::remove(empty.c_str());
+}
+
+TEST(LearnPolicy, ValidateNamesStructuralProblems) {
+  const auto expect_invalid = [](learn::Policy p, const std::string& needle) {
+    try {
+      p.validate();
+      FAIL() << "expected PolicyError mentioning '" << needle << "'";
+    } catch (const learn::PolicyError& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << "actual message: " << e.what();
+    }
+  };
+  learn::Policy p = tiny_tabular();
+  p.id = "bad id with spaces";
+  expect_invalid(p, "meta.id");
+
+  p = tiny_tabular();
+  p.tabular.table.pop_back();
+  expect_invalid(p, "tabular.table");
+
+  p = tiny_tabular();
+  p.tabular.default_track = 9;
+  expect_invalid(p, "tabular.default");
+
+  learn::Policy m = tiny_mlp();
+  m.mlp.w2.push_back(0.0);
+  expect_invalid(m, "mlp.w2");
+
+  m = tiny_mlp();
+  m.mlp.in = 99;
+  expect_invalid(m, "mlp.in");
+}
+
+}  // namespace
+}  // namespace vbr

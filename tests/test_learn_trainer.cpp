@@ -1,0 +1,281 @@
+// Offline imitation trainer (learn/trainer.h): dataset construction
+// semantics (label hygiene, per-session prev-track threading), the
+// deterministic holdout split, majority tie-breaking, byte-identical
+// retraining for both backends, the rule-seeded policies, and the
+// headline acceptance pin — a tabular policy cloned from an oracle-size
+// MPC teacher over a synthetic FCC fleet reaches >= 90% held-out teacher
+// agreement.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "abr/mpc.h"
+#include "fleet/catalog.h"
+#include "fleet/fleet.h"
+#include "learn/trainer.h"
+#include "net/trace_gen.h"
+#include "obs/trace_sink.h"
+#include "test_util.h"
+
+namespace vbr {
+namespace {
+
+learn::FeatureConfig flat_config() {
+  learn::FeatureConfig cfg;
+  cfg.num_tracks = 6;
+  return cfg;
+}
+
+/// An event shaped like a fleet rollout line: delivered track `track` for
+/// chunk `chunk` of catalog title 0.
+obs::DecisionEvent rollout_event(std::uint64_t session, std::size_t chunk,
+                                 std::size_t track) {
+  obs::DecisionEvent e;
+  e.session_id = session;
+  e.seq = chunk;
+  e.chunk_index = chunk;
+  e.track = track;
+  e.buffer_before_s = 8.0;
+  e.est_bandwidth_bps = 2.0e6;
+  e.attempts = 1;
+  obs::DecisionEvent::EdgeInfo edge;
+  edge.title = 0;
+  e.edge = edge;
+  return e;
+}
+
+TEST(LearnDataset, DropsNonTeacherLabelsButTracksPrev) {
+  const video::Video v = testutil::default_flat_video(40);
+  const learn::FeatureConfig cfg = flat_config();
+  const learn::VideoLookup lookup =
+      [&v](const obs::DecisionEvent&) { return &v; };
+
+  std::vector<obs::DecisionEvent> events;
+  events.push_back(rollout_event(1, 0, 3));  // usable
+  obs::DecisionEvent skipped = rollout_event(1, 1, 0);
+  skipped.skipped = true;  // cache-skip: dropped AND prev stays 3
+  events.push_back(skipped);
+  obs::DecisionEvent downgraded = rollout_event(1, 2, 1);
+  downgraded.downgraded = true;  // fault downgrade: dropped, prev becomes 1
+  events.push_back(downgraded);
+  obs::DecisionEvent retried = rollout_event(1, 3, 2);
+  retried.attempts = 3;  // retries shift timing: dropped, prev becomes 2
+  events.push_back(retried);
+  obs::DecisionEvent abandoned = rollout_event(1, 4, 0);
+  abandoned.abandoned_higher = true;
+  events.push_back(abandoned);
+  events.push_back(rollout_event(1, 5, 4));  // usable, prev == 0 by now
+  events.push_back(rollout_event(2, 0, 2));  // new session starts at prev -1
+
+  const learn::Dataset ds = learn::build_dataset(events, cfg, lookup);
+  ASSERT_EQ(ds.examples.size(), 3u);
+  EXPECT_EQ(ds.dropped_events, 4u);
+  EXPECT_EQ(ds.examples[0].label, 3u);
+  EXPECT_EQ(ds.examples[1].label, 4u);
+  EXPECT_EQ(ds.examples[2].label, 2u);
+
+  // The prev-track axis must mirror the session loop: event 0 sees -1,
+  // event 5 sees 0 (the abandoned event still delivered track 0, and the
+  // skip before it did NOT advance prev), session 2 restarts at -1.
+  learn::Signals sig;
+  learn::signals_from_event(events[0], v, -1, cfg, sig);
+  EXPECT_EQ(ds.examples[0].state, learn::state_id(sig, cfg));
+  learn::signals_from_event(events[5], v, 0, cfg, sig);
+  EXPECT_EQ(ds.examples[1].state, learn::state_id(sig, cfg));
+  learn::signals_from_event(events[6], v, -1, cfg, sig);
+  EXPECT_EQ(ds.examples[2].state, learn::state_id(sig, cfg));
+}
+
+TEST(LearnDataset, DropsForeignLaddersAndMissingManifests) {
+  const video::Video v = testutil::default_flat_video(40);
+  const learn::FeatureConfig cfg = flat_config();
+  std::vector<obs::DecisionEvent> events;
+  events.push_back(rollout_event(1, 0, 3));
+  events.push_back(rollout_event(1, 99, 3));  // chunk beyond the manifest
+  const learn::Dataset none = learn::build_dataset(
+      events, cfg, [](const obs::DecisionEvent&) { return nullptr; });
+  EXPECT_TRUE(none.examples.empty());
+  EXPECT_EQ(none.dropped_events, 2u);
+
+  const learn::Dataset some = learn::build_dataset(
+      events, cfg, [&v](const obs::DecisionEvent&) { return &v; });
+  EXPECT_EQ(some.examples.size(), 1u);
+  EXPECT_EQ(some.dropped_events, 1u);
+
+  // A 3-track manifest cannot label a 6-track policy.
+  const video::Video short_ladder =
+      testutil::make_flat_video({2e5, 4e5, 8e5}, 40);
+  const learn::Dataset foreign = learn::build_dataset(
+      events, cfg,
+      [&short_ladder](const obs::DecisionEvent&) { return &short_ladder; });
+  EXPECT_TRUE(foreign.examples.empty());
+}
+
+TEST(LearnDataset, SplitIsDeterministicBySessionId) {
+  learn::Dataset ds;
+  for (std::uint64_t session = 0; session < 10; ++session) {
+    learn::TrainExample ex;
+    ex.session_id = session;
+    ex.label = 1;
+    ds.examples.push_back(ex);
+  }
+  ds.dropped_events = 7;
+  const learn::DatasetSplit split = learn::split_dataset(ds, 5);
+  EXPECT_EQ(split.holdout.examples.size(), 2u);  // sessions 0 and 5
+  EXPECT_EQ(split.train.examples.size(), 8u);
+  EXPECT_EQ(split.train.dropped_events, 7u);
+  for (const learn::TrainExample& ex : split.holdout.examples) {
+    EXPECT_EQ(ex.session_id % 5, 0u);
+  }
+  const learn::DatasetSplit all = learn::split_dataset(ds, 0);
+  EXPECT_EQ(all.train.examples.size(), 10u);
+  EXPECT_TRUE(all.holdout.examples.empty());
+}
+
+TEST(LearnTrainer, TabularMajorityTieBreaksToLowestTrack) {
+  const learn::FeatureConfig cfg = flat_config();
+  learn::Dataset ds;
+  const auto add = [&ds](std::uint32_t state, std::uint16_t label) {
+    learn::TrainExample ex;
+    ex.state = state;
+    ex.label = label;
+    ds.examples.push_back(ex);
+  };
+  add(100, 4);
+  add(100, 2);  // tie at state 100: labels {2, 4} -> the lower wins
+  add(200, 5);
+  add(200, 5);
+  add(200, 1);  // majority at state 200: 5
+  const learn::Policy p =
+      learn::train_tabular(ds, cfg, learn::TrainerConfig{}, "tie", 1);
+  EXPECT_EQ(p.tabular.table[100], 2u);
+  EXPECT_EQ(p.tabular.table[200], 5u);
+  EXPECT_EQ(p.tabular.table[300], learn::kUnseen);
+  // Global default: the overall majority label (5 appears twice).
+  EXPECT_EQ(p.tabular.default_track, 5u);
+}
+
+TEST(LearnTrainer, RateRulePolicyAnswersTheSustainableAxis) {
+  learn::FeatureConfig cfg = flat_config();
+  cfg.buffer_bins = 4;  // keep the sweep fast
+  const learn::Policy p = learn::make_rate_rule_tabular(cfg, "rule", 1);
+  ASSERT_EQ(p.tabular.table.size(), cfg.num_states());
+  for (std::uint32_t s = 0; s < cfg.num_states(); ++s) {
+    const std::size_t u = learn::sustainable_from_state(s, cfg);
+    ASSERT_EQ(p.tabular.table[s], u == 0 ? 0u : u - 1u) << "state " << s;
+  }
+  EXPECT_NO_THROW(p.validate());
+}
+
+/// A small in-process teacher rollout through the fleet driver: `sessions`
+/// MPC sessions over synthetic FCC traces, telemetry into memory.
+std::vector<obs::DecisionEvent> fleet_rollout(
+    std::size_t sessions, double horizon_s, std::size_t trace_count,
+    const std::vector<net::Trace>& traces, fleet::FleetSpec& spec_out) {
+  (void)trace_count;
+  fleet::FleetSpec spec;
+  spec.arrivals.horizon_s = horizon_s;
+  spec.arrivals.max_sessions = sessions;
+  // Mirror the abrtrain CLI defaults the recipe documents: 1000 MB edge
+  // cache, 60% full-watch sessions.
+  spec.cache.capacity_bits = 1000.0 * 8e6;
+  spec.watch.full_watch_prob = 0.6;
+  fleet::FleetClientClass teacher;
+  teacher.label = "MPC";
+  teacher.make_scheme = [] {
+    return std::make_unique<abr::Mpc>(abr::mpc_config());
+  };
+  spec.classes.push_back(teacher);
+  spec.traces = traces;
+  obs::MemoryTraceSink sink;
+  spec.trace = &sink;
+  (void)fleet::run_fleet(spec);
+  spec_out = spec;
+  spec_out.trace = nullptr;
+  return {sink.events().begin(), sink.events().end()};
+}
+
+learn::VideoLookup catalog_lookup(const fleet::Catalog& catalog) {
+  return [&catalog](const obs::DecisionEvent& ev) -> const video::Video* {
+    if (!ev.edge.has_value() || ev.edge->title >= catalog.num_titles()) {
+      return nullptr;
+    }
+    return &catalog.title(static_cast<std::size_t>(ev.edge->title));
+  };
+}
+
+TEST(LearnTrainer, RetrainingIsByteIdenticalAndSeedSensitive) {
+  const std::vector<net::Trace> traces = net::make_fcc_trace_set(20, 11);
+  fleet::FleetSpec spec;
+  const std::vector<obs::DecisionEvent> events =
+      fleet_rollout(60, 150.0, 20, traces, spec);
+  ASSERT_GT(events.size(), 500u);
+  const fleet::Catalog catalog(spec.catalog);
+  learn::FeatureConfig cfg;
+  cfg.num_tracks = catalog.title(0).num_tracks();
+  const learn::Dataset ds =
+      learn::build_dataset(events, cfg, catalog_lookup(catalog));
+  ASSERT_GT(ds.examples.size(), 300u);
+
+  learn::TrainerConfig tc;
+  tc.epochs = 3;
+  const std::string tab1 = learn::serialize_policy(
+      learn::train_tabular(ds, cfg, tc, "retrain", 1));
+  const std::string tab2 = learn::serialize_policy(
+      learn::train_tabular(ds, cfg, tc, "retrain", 1));
+  EXPECT_EQ(tab1, tab2);  // byte-identical, not merely equivalent
+
+  const std::string mlp1 =
+      learn::serialize_policy(learn::train_mlp(ds, cfg, tc, "retrain", 1));
+  const std::string mlp2 =
+      learn::serialize_policy(learn::train_mlp(ds, cfg, tc, "retrain", 1));
+  EXPECT_EQ(mlp1, mlp2);
+
+  // A different seed must actually change the MLP (the determinism is
+  // keyed, not accidental constancy).
+  tc.seed = 2;
+  const std::string mlp_seed2 =
+      learn::serialize_policy(learn::train_mlp(ds, cfg, tc, "retrain", 1));
+  EXPECT_NE(mlp1, mlp_seed2);
+}
+
+TEST(LearnTrainer, ClonesMpcTeacherAboveNinetyPercentHeldOut) {
+  // The acceptance pin (ISSUE: teacher-agreement >= 90% on held-out
+  // traces). The documented recipe: oracle-size MPC over 1000 sessions of
+  // synthetic FCC bandwidth (100 traces), default feature grid, session
+  // holdout id % 5 == 0. Everything below is counter-deterministic, so
+  // this asserts a reproducible number, not a sampling experiment.
+  const std::vector<net::Trace> traces = net::make_fcc_trace_set(100, 11);
+  fleet::FleetSpec spec;
+  const std::vector<obs::DecisionEvent> events =
+      fleet_rollout(1000, 2100.0, 100, traces, spec);
+  ASSERT_GT(events.size(), 20000u);
+  const fleet::Catalog catalog(spec.catalog);
+  learn::FeatureConfig cfg;
+  cfg.num_tracks = catalog.title(0).num_tracks();
+  const learn::Dataset ds =
+      learn::build_dataset(events, cfg, catalog_lookup(catalog));
+  const learn::DatasetSplit split = learn::split_dataset(ds, 5);
+  ASSERT_GT(split.holdout.examples.size(), 2000u);
+
+  learn::TrainerConfig tc;
+  const learn::Policy tabular =
+      learn::train_tabular(split.train, cfg, tc, "mpc-imitate", 1);
+  const double tab_holdout =
+      learn::evaluate_agreement(tabular, split.holdout);
+  EXPECT_GE(tab_holdout, 0.90) << "tabular held-out agreement regressed";
+  // Train-side agreement sits in the same band (majority vote per state is
+  // not a memorizer, so train and holdout can cross within noise).
+  EXPECT_GE(learn::evaluate_agreement(tabular, split.train), 0.90);
+
+  // The MLP distills the same teacher through 14 floats; it lands close
+  // behind the table (measured ~0.91 tabular / ~0.90 MLP).
+  const learn::Policy mlp =
+      learn::train_mlp(split.train, cfg, tc, "mpc-imitate", 1);
+  EXPECT_GE(learn::evaluate_agreement(mlp, split.holdout), 0.87);
+}
+
+}  // namespace
+}  // namespace vbr

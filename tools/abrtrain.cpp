@@ -1,0 +1,250 @@
+// abrtrain — offline imitation trainer for the learned ABR schemes.
+//
+// Pipeline (DESIGN.md section 14): generate teacher rollouts (an MPC class
+// with oracle size knowledge) through the fleet driver into a durable
+// checksummed JSONL decision trace, replay the trace through the shared
+// feature/state layer, fit the tabular and MLP policies with seeded
+// counter-based determinism, and write both as VBRPOLICY files. The same
+// rollout file + --train-seed produces byte-identical policy files on every
+// run (CI's learn-smoke job retrains and cmp's).
+//
+//   abrtrain --rollouts rollouts.jsonl --out-tabular tab.vbrp
+//            --out-mlp mlp.vbrp --fleet-sessions 50     (one command line)
+//
+// Flags (defaults in parentheses):
+//   --rollouts FILE     teacher rollout JSONL; generated through run_fleet
+//                       when missing (or always with --generate)
+//   --generate          regenerate the rollout file even if it exists
+//   --teacher NAME      teacher scheme for rollouts (MPC)
+//   --traces KIND       lte|fcc synthetic trace corpus (lte)
+//   --count N           number of synthetic traces (50)
+//   --metric M          phone|tv quality metric for the teacher (phone)
+//   --out-tabular FILE  tabular policy output ("" = skip)
+//   --out-mlp FILE      MLP policy output ("" = skip)
+//   --id TOKEN          policy id stamped into files + telemetry (teacher
+//                       name lowercased + "-imitate")
+//   --policy-version N  policy version number (1)
+//   --train-seed N      trainer seed: weight init + epoch shuffles (1)
+//   --hidden N          MLP hidden width (16)
+//   --epochs N          MLP SGD epochs (40)
+//   --lr F              MLP initial learning rate (0.05)
+//   --holdout-k K       sessions with id % K == 0 are held out (5; 0 = none)
+//   --lookahead N       feature window: upcoming chunks per track (5)
+//   --buffer-bins N     tabular buffer-level bins (16)
+//   --bw-bins N         log-bandwidth bins: MLP feature resolution (12)
+//   --margin-bins N     tabular bandwidth-margin bins (4)
+//   --deficit-bins N    tabular deficit-absorption bins (6)
+//   --min-agreement F   exit 4 unless held-out tabular teacher agreement
+//                       >= F (0 = report only)
+//
+// Fleet workload flags (--fleet-sessions, --fleet-titles, --fleet-rate,
+// --fleet-arrival, ... — see tools/cli_args.h) shape the rollout run; pass
+// the same values when regenerating to reproduce a corpus bit-exactly.
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cli_args.h"
+#include "common.h"
+#include "fleet/catalog.h"
+#include "fleet/fleet.h"
+#include "learn/policy.h"
+#include "learn/trainer.h"
+#include "obs/jsonl_io.h"
+
+namespace {
+
+using namespace vbr;
+
+/// Runs the teacher fleet and writes the durable rollout trace.
+void generate_rollouts(const tools::CliArgs& args, const std::string& path,
+                       const std::vector<net::Trace>& traces,
+                       video::QualityMetric metric) {
+  fleet::FleetSpec spec = tools::fleet_spec_from_args(args);
+  spec.metric = metric;
+  fleet::FleetClientClass teacher;
+  teacher.label = args.get("teacher", "MPC");
+  teacher.make_scheme = bench::scheme_factory(teacher.label, metric);
+  spec.classes.push_back(teacher);
+  spec.traces = traces;
+  obs::DurableJsonlTraceSink sink(path);
+  spec.trace = &sink;
+  const fleet::FleetResult r = fleet::run_fleet(spec);
+  sink.flush();
+  std::printf("rollouts: %zu sessions -> %llu decisions in %s\n",
+              r.sessions.size(),
+              static_cast<unsigned long long>(sink.lines_written()),
+              path.c_str());
+}
+
+/// Reads a rollout trace: checksummed durable lines (preferred) or plain
+/// JSONL. Throws with the line number on damage.
+std::vector<obs::DecisionEvent> read_rollouts(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("abrtrain: cannot open rollouts '" + path + "'");
+  }
+  std::vector<obs::DecisionEvent> events;
+  std::string line;
+  std::uint64_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) {
+      continue;
+    }
+    std::string_view payload;
+    if (!obs::verify_checksummed_line(line, payload)) {
+      payload = line;  // Plain (non-durable) JSONL line.
+    }
+    try {
+      events.push_back(obs::parse_jsonl(payload));
+    } catch (const std::exception& e) {
+      throw std::runtime_error("abrtrain: " + path + ":" +
+                               std::to_string(line_no) + ": " + e.what());
+    }
+  }
+  return events;
+}
+
+void report(const char* label, const learn::Policy& policy,
+            const learn::DatasetSplit& split) {
+  std::printf("%s: train agreement %.4f (%zu examples)", label,
+              learn::evaluate_agreement(policy, split.train),
+              split.train.examples.size());
+  if (!split.holdout.examples.empty()) {
+    std::printf(" | held-out agreement %.4f (%zu examples)",
+                learn::evaluate_agreement(policy, split.holdout),
+                split.holdout.examples.size());
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    std::set<std::string> known = {
+        "rollouts", "generate",       "teacher",   "traces",
+        "count",    "metric",         "out-tabular", "out-mlp",
+        "id",       "policy-version", "train-seed", "hidden",
+        "epochs",   "lr",             "holdout-k", "lookahead",
+        "buffer-bins", "bw-bins",     "margin-bins", "deficit-bins",
+        "min-agreement", "help"};
+    known.insert(tools::fleet_flag_names().begin(),
+                 tools::fleet_flag_names().end());
+    const tools::CliArgs args(argc, argv, known);
+    if (args.has("help")) {
+      std::printf("see the header of tools/abrtrain.cpp for flag docs\n");
+      return 0;
+    }
+
+    const std::string rollouts = args.get("rollouts", "rollouts.jsonl");
+    const std::string kind = args.get("traces", "lte");
+    std::vector<net::Trace> traces;
+    if (kind == "lte") {
+      traces = bench::lte_traces(args.get_size("count", 50));
+    } else if (kind == "fcc") {
+      traces = bench::fcc_traces(args.get_size("count", 50));
+    } else {
+      std::fprintf(stderr, "abrtrain: unknown trace kind %s\n", kind.c_str());
+      return 1;
+    }
+    const video::QualityMetric metric =
+        args.get("metric", "phone") == "tv" ? video::QualityMetric::kVmafTv
+                                            : video::QualityMetric::kVmafPhone;
+
+    if (args.has("generate") || !std::filesystem::exists(rollouts)) {
+      generate_rollouts(args, rollouts, traces, metric);
+    }
+    const std::vector<obs::DecisionEvent> events = read_rollouts(rollouts);
+    if (events.empty()) {
+      std::fprintf(stderr, "abrtrain: rollout file has no events\n");
+      return 1;
+    }
+
+    // The catalog the rollouts were recorded against: rebuilt from the same
+    // fleet flags, so event.edge->title resolves to the exact manifest.
+    const fleet::FleetSpec spec = tools::fleet_spec_from_args(args);
+    const fleet::Catalog catalog(spec.catalog);
+
+    learn::FeatureConfig cfg;
+    cfg.num_tracks = catalog.title(0).num_tracks();
+    cfg.lookahead = args.get_size("lookahead", cfg.lookahead);
+    cfg.buffer_bins = args.get_size("buffer-bins", cfg.buffer_bins);
+    cfg.bandwidth_bins = args.get_size("bw-bins", cfg.bandwidth_bins);
+    cfg.margin_bins = args.get_size("margin-bins", cfg.margin_bins);
+    cfg.deficit_bins = args.get_size("deficit-bins", cfg.deficit_bins);
+    cfg.validate();
+
+    const learn::VideoLookup lookup =
+        [&catalog](const obs::DecisionEvent& ev) -> const video::Video* {
+      if (!ev.edge.has_value() || ev.edge->title >= catalog.num_titles()) {
+        return nullptr;
+      }
+      return &catalog.title(static_cast<std::size_t>(ev.edge->title));
+    };
+    const learn::Dataset dataset =
+        learn::build_dataset(events, cfg, lookup);
+    std::printf("dataset: %zu examples, %zu events dropped\n",
+                dataset.examples.size(), dataset.dropped_events);
+    if (dataset.examples.empty()) {
+      std::fprintf(stderr, "abrtrain: no trainable examples\n");
+      return 1;
+    }
+    const learn::DatasetSplit split =
+        learn::split_dataset(dataset, args.get_size("holdout-k", 5));
+
+    learn::TrainerConfig tc;
+    tc.seed = args.get_size("train-seed", 1);
+    tc.hidden = args.get_size("hidden", tc.hidden);
+    tc.epochs = args.get_size("epochs", tc.epochs);
+    tc.learning_rate = args.get_double("lr", tc.learning_rate);
+    std::string teacher = args.get("teacher", "MPC");
+    for (char& c : teacher) {
+      c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+    const std::string id = args.get("id", teacher + "-imitate");
+    const auto version =
+        static_cast<std::uint32_t>(args.get_size("policy-version", 1));
+
+    double tabular_holdout_agreement = -1.0;
+    const std::string out_tabular = args.get("out-tabular", "");
+    if (!out_tabular.empty()) {
+      const learn::Policy tab =
+          learn::train_tabular(split.train, cfg, tc, id, version);
+      learn::save_policy_file(out_tabular, tab);
+      std::printf("wrote %s (%zu states)\n", out_tabular.c_str(),
+                  tab.tabular.table.size());
+      report("tabular", tab, split);
+      tabular_holdout_agreement = learn::evaluate_agreement(
+          tab, split.holdout.examples.empty() ? split.train : split.holdout);
+    }
+    const std::string out_mlp = args.get("out-mlp", "");
+    if (!out_mlp.empty()) {
+      const learn::Policy mlp =
+          learn::train_mlp(split.train, cfg, tc, id, version);
+      learn::save_policy_file(out_mlp, mlp);
+      std::printf("wrote %s (%zux%zux%zu)\n", out_mlp.c_str(), mlp.mlp.in,
+                  mlp.mlp.hidden, mlp.mlp.out);
+      report("mlp", mlp, split);
+    }
+
+    const double min_agreement = args.get_double("min-agreement", 0.0);
+    if (min_agreement > 0.0 && tabular_holdout_agreement >= 0.0 &&
+        tabular_holdout_agreement < min_agreement) {
+      std::fprintf(stderr,
+                   "abrtrain: held-out tabular agreement %.4f below the "
+                   "--min-agreement %.4f gate\n",
+                   tabular_holdout_agreement, min_agreement);
+      return 4;
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "abrtrain: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,6 +1,10 @@
 #include "cli_args.h"
 
+#include <memory>
 #include <stdexcept>
+
+#include "learn/learned_scheme.h"
+#include "learn/policy.h"
 
 namespace vbr::tools {
 
@@ -234,6 +238,22 @@ exp::AbAnalysisConfig ab_analysis_config_from_args(const CliArgs& args) {
   }
   cfg.validate();
   return cfg;
+}
+
+const std::set<std::string>& learned_flag_names() {
+  static const std::set<std::string> names = {"policy"};
+  return names;
+}
+
+sim::SchemeFactory learned_scheme_factory_from_args(const CliArgs& args) {
+  const std::string path = args.get("policy", "");
+  if (path.empty()) {
+    throw std::invalid_argument(
+        "scheme 'learned' needs --policy <file> (train one with abrtrain)");
+  }
+  const auto policy =
+      std::make_shared<const learn::Policy>(learn::load_policy_file(path));
+  return [policy] { return std::make_unique<learn::LearnedScheme>(policy); };
 }
 
 }  // namespace vbr::tools

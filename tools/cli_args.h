@@ -12,6 +12,7 @@
 #include "exp/ab.h"
 #include "fleet/fleet.h"
 #include "net/fault_model.h"
+#include "sim/experiment.h"
 #include "sim/retry.h"
 #include "video/size_provider.h"
 
@@ -167,6 +168,18 @@ class CliArgs {
 /// Builds the analysis config from the A/B flag group. Validates before
 /// returning (throws std::invalid_argument with the flag named).
 [[nodiscard]] exp::AbAnalysisConfig ab_analysis_config_from_args(
+    const CliArgs& args);
+
+/// The learned-ABR flag group (src/learn):
+///   --policy FILE   serialized VBRPOLICY file backing the "learned" scheme
+///                   name in --scheme / --ab-arms (train one with abrtrain)
+[[nodiscard]] const std::set<std::string>& learned_flag_names();
+
+/// Loads --policy once and returns a factory whose LearnedSchemes all share
+/// the immutable policy (safe across fleet worker threads). Throws
+/// std::invalid_argument when --policy is missing and learn::PolicyError
+/// (field-named) when the file is malformed.
+[[nodiscard]] sim::SchemeFactory learned_scheme_factory_from_args(
     const CliArgs& args);
 
 }  // namespace vbr::tools

@@ -93,6 +93,13 @@
 // --ab-ci percentile|bca, --ab-report FILE (ab_report.json). The report is
 // byte-identical at any --fleet-threads value.
 //
+// Learned ABR (src/learn; DESIGN.md section 14): --scheme learned (or a
+// "learned" entry in --ab-arms) serves a policy trained offline by
+// abrtrain. --policy FILE names the serialized VBRPOLICY file; it is loaded
+// and validated once (field-named PolicyError on damage) and shared,
+// immutable, across all worker threads, so fleet output stays
+// byte-identical at any --fleet-threads value.
+//
 // Crash safety (fleet mode; DESIGN.md section 11): --checkpoint FILE,
 // --checkpoint-every N, --resume (resume from FILE when it exists),
 // --fleet-kill-after N (cooperative chaos kill: final checkpoint + exit
@@ -128,6 +135,29 @@ const std::vector<std::string> kSchemes = {
     "MPC",           "RobustMPC",        "PANDA/CQ max-sum",
     "PANDA/CQ max-min", "BBA-1",         "RBA",
     "BOLA-E (peak)", "BOLA-E (avg)",     "BOLA-E (seg)",
+    "learned",
+};
+
+/// Scheme factory resolver that also understands "learned" (backed by the
+/// --policy file, loaded once and shared across every factory invocation).
+class SchemeResolver {
+ public:
+  explicit SchemeResolver(const tools::CliArgs& args) : args_(args) {}
+
+  sim::SchemeFactory operator()(const std::string& name,
+                                video::QualityMetric metric) {
+    if (name != "learned") {
+      return bench::scheme_factory(name, metric);
+    }
+    if (!learned_) {
+      learned_ = tools::learned_scheme_factory_from_args(args_);
+    }
+    return learned_;
+  }
+
+ private:
+  const tools::CliArgs& args_;
+  sim::SchemeFactory learned_;
 };
 
 std::vector<std::string> split_csv(const std::string& s) {
@@ -166,10 +196,11 @@ int run_fleet_mode(const tools::CliArgs& args,
   spec.metric = metric;
   spec.session.request_rtt_s = args.get_double("rtt", 0.0);
   const bool ab_mode = args.has("ab-arms");
+  SchemeResolver resolve(args);
   auto make_class = [&](const std::string& name) {
     fleet::FleetClientClass cls;
     cls.label = name;
-    cls.make_scheme = bench::scheme_factory(name, metric);
+    cls.make_scheme = resolve(name, metric);
     cls.fault = fault;
     cls.retry = retry;
     if (degraded_sizes) {
@@ -355,6 +386,8 @@ int main(int argc, char** argv) {
                  tools::fleet_flag_names().end());
     known.insert(tools::ab_flag_names().begin(),
                  tools::ab_flag_names().end());
+    known.insert(tools::learned_flag_names().begin(),
+                 tools::learned_flag_names().end());
     const tools::CliArgs args(argc, argv, known);
 
     if (args.has("help")) {
@@ -522,13 +555,14 @@ int main(int argc, char** argv) {
     if (metrics_out.is_open()) {
       metrics_out << "{";
     }
+    SchemeResolver resolve(args);
     for (const std::string& name :
          split_csv(args.get("scheme", "CAVA"))) {
       obs::MetricsRegistry registry;
       sim::ExperimentSpec spec;
       spec.video = &v;
       spec.traces = traces;
-      spec.make_scheme = bench::scheme_factory(name, metric);
+      spec.make_scheme = resolve(name, metric);
       spec.metric = metric;
       spec.session.request_rtt_s = args.get_double("rtt", 0.0);
       spec.session.enable_abandonment = args.has("abandon");
