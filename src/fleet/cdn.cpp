@@ -213,6 +213,15 @@ sim::FetchPlan CdnPath::on_chunk_request(const video::Video& video,
                                          std::size_t track, std::size_t index,
                                          double size_bits, double now_s) {
   (void)video;
+  // Session-boundary audit (shared by both fleet engines): everything
+  // time-dependent below — fetch-window membership, fault schedules,
+  // brownouts, offered load — is evaluated in GLOBAL fleet time
+  // (arrival_s_ + session clock), never in the session-local clock. A
+  // window opened by one session therefore coalesces a later session's
+  // request exactly when their global times overlap, independent of which
+  // engine ran them or where the session boundary fell; the event engine's
+  // chained titles preserve the same serial request order, so these counters
+  // fold identically.
   const double now = arrival_s_ + now_s;  // global fleet time
   const CdnConfig& cfg = model_->config();
   CdnStats& st = state_->stats;

@@ -626,7 +626,7 @@ void FleetCheckpoint::save(const std::string& path) const {
   s.reserve(1 << 16);
   s += kMagic;
   sp(s);
-  put_u64(s, kVersion);
+  put_u64(s, version);
   s += '\n';
   s += "meta ";
   put_u64(s, spec_fingerprint);
@@ -641,6 +641,12 @@ void FleetCheckpoint::save(const std::string& path) const {
   sp(s);
   put_u64(s, experiment_fingerprint);
   s += '\n';
+  // v4 (event engine) adds exactly one line; everything else is shared.
+  if (version >= kEventVersion) {
+    s += "engine ";
+    put_u64(s, events_done);
+    s += '\n';
+  }
 
   s += "titles ";
   put_u64(s, titles.size());
@@ -947,6 +953,7 @@ FleetCheckpoint FleetCheckpoint::load(const std::string& path) {
   }
 
   Reader r(std::string_view(data.data(), trailer_at));
+  FleetCheckpoint ck;
   {
     Tokens t(r.next_line(), r);
     const std::string_view magic = t.word();
@@ -956,14 +963,15 @@ FleetCheckpoint FleetCheckpoint::load(const std::string& path) {
     }
     const std::uint64_t version = t.u64();
     t.done();
-    if (version != kVersion) {
+    if (version != kVersion && version != kEventVersion) {
       throw CheckpointError("checkpoint: unsupported version " +
                             std::to_string(version) + " (expected " +
-                            std::to_string(kVersion) + ")");
+                            std::to_string(kVersion) + " or " +
+                            std::to_string(kEventVersion) + ")");
     }
+    ck.version = static_cast<std::uint32_t>(version);
   }
 
-  FleetCheckpoint ck;
   {
     Tokens t(r.next_line(), r);
     t.expect("meta");
@@ -973,6 +981,15 @@ FleetCheckpoint FleetCheckpoint::load(const std::string& path) {
     ck.max_tracks = t.u64();
     ck.sessions_done = t.u64();
     ck.experiment_fingerprint = t.u64();
+    t.done();
+  }
+
+  // v4 carries the event-engine progress line; a v3 file must not have it
+  // (Tokens::expect on "titles" below rejects a stray "engine" line).
+  if (ck.version >= kEventVersion) {
+    Tokens t(r.next_line(), r);
+    t.expect("engine");
+    ck.events_done = t.u64();
     t.done();
   }
 

@@ -101,7 +101,24 @@ class FleetKilled : public std::runtime_error {
 /// Versioned snapshot of run_fleet progress. See the header comment for
 /// the determinism argument and the on-disk format.
 struct FleetCheckpoint {
+  /// Format written by the per-session stepper ("VBRFLEETCKPT 3").
   static constexpr std::uint32_t kVersion = 3;
+  /// Format written by the event engine ("VBRFLEETCKPT 4"): identical to
+  /// version 3 plus one "engine <events_done>" line after the meta line.
+  /// Engines cannot resume each other's files — a v3 snapshot locates the
+  /// resume point as a per-title done-prefix, while a v4 snapshot from an
+  /// uncoupled event run records an arbitrary completed-session set —
+  /// run_fleet rejects the cross-mode combinations with a CheckpointError
+  /// naming FleetSpec.engine. The spec fingerprint is engine-invariant
+  /// (the engine is an execution knob), so the version carries the mode.
+  static constexpr std::uint32_t kEventVersion = 4;
+
+  /// Which format this snapshot uses (and save() writes).
+  std::uint32_t version = kVersion;
+  /// Event engine only (version >= 4): events processed when the snapshot
+  /// was taken. Resume re-anchors the event-count checkpoint barrier here
+  /// so periodic snapshots stay on the same cadence.
+  std::uint64_t events_done = 0;
 
   std::uint64_t spec_fingerprint = 0;
   /// fleet_experiment_fingerprint(spec) at capture time; checked first on

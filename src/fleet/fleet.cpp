@@ -18,9 +18,10 @@
 
 #include "core/complexity_classifier.h"
 #include "fleet/checkpoint.h"
+#include "fleet/engine.h"
+#include "fleet/fleet_internal.h"
 #include "fleet/rng.h"
 #include "metrics/qoe_model.h"
-#include "metrics/stats.h"
 #include "obs/json_util.h"
 
 namespace vbr::fleet {
@@ -35,15 +36,8 @@ constexpr std::uint64_t kSaltWatchFull = 0xf1ee73;
 constexpr std::uint64_t kSaltWatchTail = 0xf1ee74;
 constexpr std::uint64_t kSaltArmPerm = 0xf1ee75;
 
-/// Everything an arriving session is, decided up front as pure functions of
-/// (spec.seed, session index) so workers never race on a draw.
-struct SessionDraw {
-  std::size_t title = 0;
-  std::size_t cls = 0;   ///< Class index — the arm index in an experiment.
-  std::size_t trace = 0;
-  std::uint32_t stratum = 0;  ///< Experiment stratum; 0 otherwise.
-  double watch_s = 0.0;  ///< 0 = watches to the end.
-};
+// SessionDraw lives in fleet_internal.h now — both engines consume it.
+using detail::SessionDraw;
 
 /// Bandwidth-rank bucket per trace: traces sorted by mean sample bandwidth
 /// (ties by index), rank mapped onto `strata` equal buckets. Pure function
@@ -224,6 +218,154 @@ class CheckpointCoordinator {
 
 }  // namespace
 
+namespace detail {
+
+FleetSessionRecord build_session_record(
+    const FleetSpec& spec, const SessionDraw& d, std::size_t sid,
+    double arrival_s, std::size_t title, const sim::SessionResult& sr,
+    const std::vector<std::size_t>& classes, const metrics::QoeConfig& qoe,
+    const metrics::QoeModelSuite& qoe_suite, bool experiment_on,
+    std::vector<std::uint64_t>& title_track_hits,
+    std::vector<std::uint64_t>& title_track_total) {
+  FleetSessionRecord rec;
+  rec.session_id = sid;
+  rec.arrival_s = arrival_s;
+  rec.title = title;
+  rec.class_index = d.cls;
+  rec.trace_index = d.trace;
+  rec.watch_duration_s = d.watch_s;
+  rec.faults = sr.fault_summary();
+  rec.chunks = sr.chunks.size();
+  rec.watchdog_aborted = sr.watchdog_aborted;
+  for (const sim::ChunkRecord& c : sr.chunks) {
+    if (c.skipped) {
+      continue;
+    }
+    ++title_track_total[c.track];
+    if (c.edge_hit) {
+      ++title_track_hits[c.track];
+      ++rec.edge_hits;
+      rec.edge_hit_bits += c.size_bits;
+    } else if (c.coalesced) {
+      // Joined a shared upstream fetch: no new origin egress, so the
+      // hit-ratio views count it like an edge hit.
+      ++title_track_hits[c.track];
+      ++rec.coalesced_chunks;
+      rec.edge_hit_bits += c.size_bits;
+    } else if (c.delivery_tier == 1) {
+      ++title_track_hits[c.track];
+      ++rec.regional_hits;
+      rec.regional_bits += c.size_bits;
+    } else {
+      rec.origin_bits += c.size_bits;
+    }
+    if (c.shed) {
+      ++rec.shed_chunks;
+    }
+  }
+  const std::vector<metrics::PlayedChunk> played =
+      sr.to_played_chunks(spec.metric, classes);
+  if (played.empty()) {
+    // Nothing watchable (total outage): timing metrics only.
+    metrics::QoeSummary s;
+    s.rebuffer_s = sr.total_rebuffer_s;
+    s.startup_delay_s = sr.startup_delay_s;
+    s.low_quality_pct = 100.0;
+    rec.qoe = std::move(s);
+  } else {
+    rec.qoe = metrics::compute_qoe(played, sr.total_rebuffer_s,
+                                   sr.startup_delay_s, qoe);
+  }
+  if (experiment_on) {
+    rec.stratum = d.stratum;
+    rec.qoe_scores.reserve(qoe_suite.size());
+    for (std::size_t m = 0; m < qoe_suite.size(); ++m) {
+      const metrics::QoeModelSpec& ms = qoe_suite.at(m);
+      rec.qoe_scores.push_back(ms.model->score(sim::qoe_session_view(
+          sr, ms.metric, spec.catalog.chunk_duration_s)));
+    }
+  }
+  return rec;
+}
+
+void SessionFold::add(FleetResult& result, const FleetSessionRecord& rec) {
+  result.edge_hit_bits += rec.edge_hit_bits;
+  result.origin_bits += rec.origin_bits;
+  if (rec.watchdog_aborted) {
+    ++result.watchdog_aborted_sessions;
+  }
+  ++count;
+  quality_sum += rec.qoe.all_quality_mean;
+  quality_sum_sq += rec.qoe.all_quality_mean * rec.qoe.all_quality_mean;
+  bits_sum += rec.qoe.data_usage_mb;
+  bits_sum_sq += rec.qoe.data_usage_mb * rec.qoe.data_usage_mb;
+  FleetSchemeReport& cr = result.per_class[rec.class_index];
+  ++cr.sessions;
+  cr.mean_all_quality += rec.qoe.all_quality_mean;
+  cr.mean_q4_quality += rec.qoe.q4_quality_mean;
+  cr.mean_low_quality_pct += rec.qoe.low_quality_pct;
+  cr.mean_rebuffer_s += rec.qoe.rebuffer_s;
+  cr.mean_startup_delay_s += rec.qoe.startup_delay_s;
+  cr.mean_data_usage_mb += rec.qoe.data_usage_mb;
+  for (std::size_t m = 0; m < rec.qoe_scores.size(); ++m) {
+    cr.mean_qoe_scores[m] += rec.qoe_scores[m];
+  }
+}
+
+double SessionFold::jain(std::uint64_t n, double sum, double sum_sq) {
+  // Mirrors stats::jain_index over the materialized vector, operation for
+  // operation (same accumulation order, same guard), so the streaming and
+  // materializing paths produce the same bits.
+  if (sum_sq == 0.0) {
+    return 1.0;
+  }
+  return (sum * sum) / (static_cast<double>(n) * sum_sq);
+}
+
+void TelemetryFold::add(const obs::MemoryTraceSink* sink,
+                        const obs::MetricsRegistry* registry) {
+  if (trace != nullptr && sink != nullptr) {
+    for (const obs::DecisionEvent& ev : sink->events()) {
+      obs::DecisionEvent merged = ev;
+      merged.seq = global_seq++;
+      trace->on_decision(merged);
+    }
+  }
+  if (metrics != nullptr && registry != nullptr) {
+    metrics->merge(*registry);
+  }
+}
+
+void TelemetryFold::finish() {
+  if (trace != nullptr) {
+    trace->flush();
+  }
+}
+
+void collect_checkpoint_sessions(
+    const FleetSpec& spec, const FleetResult& result,
+    const std::vector<std::unique_ptr<obs::MemoryTraceSink>>& sinks,
+    const std::vector<std::unique_ptr<obs::MetricsRegistry>>& registries,
+    const std::vector<std::size_t>& done_sids, FleetCheckpoint& ck) {
+  ck.sessions.reserve(done_sids.size());
+  for (const std::size_t sid : done_sids) {
+    FleetCheckpoint::SessionState ss;
+    ss.record = result.sessions[sid];
+    if (spec.trace != nullptr && sinks[sid]) {
+      ss.has_events = true;
+      ss.events.assign(sinks[sid]->events().begin(),
+                       sinks[sid]->events().end());
+    }
+    if (spec.metrics != nullptr && registries[sid]) {
+      ss.has_metrics = true;
+      ss.metrics = *registries[sid];
+    }
+    ck.sessions.push_back(std::move(ss));
+  }
+}
+
+}  // namespace detail
+
 void WatchConfig::validate() const {
   if (full_watch_prob < 0.0 || full_watch_prob > 1.0) {
     throw std::invalid_argument(
@@ -375,6 +517,19 @@ void FleetSpec::validate() const {
     throw std::invalid_argument(
         "FleetSpec.resume: set checkpoint_path to resume from");
   }
+  if (stream_aggregation) {
+    if (engine != FleetEngine::kEvent) {
+      throw std::invalid_argument(
+          "FleetSpec.stream_aggregation: requires the event engine "
+          "(FleetSpec.engine = FleetEngine::kEvent)");
+    }
+    if (!checkpoint_path.empty() || kill.after_sessions > 0 || resume) {
+      throw std::invalid_argument(
+          "FleetSpec.stream_aggregation: incompatible with checkpoint / "
+          "kill / resume — checkpoints persist the per-session records "
+          "that streaming aggregation discards");
+    }
+  }
 }
 
 FleetResult run_fleet(const FleetSpec& spec) {
@@ -466,7 +621,12 @@ FleetResult run_fleet(const FleetSpec& spec) {
   }
 
   FleetResult result;
-  result.sessions.resize(n);
+  result.total_sessions = n;
+  if (!spec.stream_aggregation) {
+    // Streaming aggregation never materializes the per-session table; every
+    // other mode fills it in arrival order.
+    result.sessions.resize(n);
+  }
   result.cache_enabled = spec.use_cache;
   result.experiment_enabled = experiment_on;
 
@@ -477,6 +637,16 @@ FleetResult run_fleet(const FleetSpec& spec) {
           ? metrics::QoeModelSuite::standard()
           : metrics::QoeModelSuite();
   result.qoe_model_names = qoe_suite.names();
+
+  // Per-class report rows, sized and labeled up front: the streaming drain
+  // folds into them while the engine is still running.
+  result.per_class.resize(fleet_classes.size());
+  for (std::size_t c = 0; c < fleet_classes.size(); ++c) {
+    result.per_class[c].label = fleet_classes[c].label.empty()
+                                    ? fleet_classes[c].make_scheme()->name()
+                                    : fleet_classes[c].label;
+    result.per_class[c].mean_qoe_scores.assign(qoe_suite.size(), 0.0);
+  }
 
   std::size_t max_tracks = 0;
   for (std::size_t k = 0; k < num_titles; ++k) {
@@ -524,6 +694,9 @@ FleetResult run_fleet(const FleetSpec& spec) {
   // left. An absent file is a fresh run (so one flag drives every
   // iteration of a kill/resume loop); a stale or damaged file is an error.
   std::uint64_t initial_done = 0;
+  std::uint64_t initial_events = 0;
+  std::vector<std::uint8_t> resumed_completed;
+  const bool event_engine = spec.engine == FleetEngine::kEvent;
   if (spec.resume && file_exists(spec.checkpoint_path)) {
     const FleetCheckpoint ck = FleetCheckpoint::load(spec.checkpoint_path);
     // The experiment block is checked before the whole-spec fingerprint so
@@ -542,11 +715,31 @@ FleetResult run_fleet(const FleetSpec& spec) {
           "checkpoint: spec fingerprint mismatch — this checkpoint belongs "
           "to a different workload (stale checkpoint)");
     }
+    // Engines cannot resume each other's snapshots: a v3 file locates the
+    // resume point as per-title done-prefixes, a v4 file records the event
+    // engine's completed-session set (arbitrary under uncoupled
+    // interleaving). Checked after the fingerprints so a stale workload is
+    // still reported as such first.
+    if (event_engine && ck.version < FleetCheckpoint::kEventVersion) {
+      throw CheckpointError(
+          "checkpoint: written by the per-session stepper (format v" +
+          std::to_string(ck.version) +
+          ") — FleetSpec.engine: the event engine cannot resume it (finish "
+          "under the stepper or remove the stale file)");
+    }
+    if (!event_engine && ck.version >= FleetCheckpoint::kEventVersion) {
+      throw CheckpointError(
+          "checkpoint: written by the event engine (format v" +
+          std::to_string(ck.version) +
+          ") — FleetSpec.engine: the per-session stepper cannot resume it "
+          "(finish under the event engine or remove the stale file)");
+    }
     if (ck.num_sessions != n || ck.num_titles != num_titles ||
         ck.max_tracks != max_tracks) {
       throw CheckpointError(
           "checkpoint: geometry mismatch (sessions/titles/tracks)");
     }
+    initial_events = ck.events_done;
     for (const FleetCheckpoint::TitleState& ts : ck.titles) {
       const std::size_t k = static_cast<std::size_t>(ts.index);
       if (ts.total != by_title[k].size()) {
@@ -607,8 +800,16 @@ FleetResult run_fleet(const FleetSpec& spec) {
           "checkpoint: session count inconsistent with per-title "
           "progress");
     }
+    if (event_engine) {
+      // The event engine skips exactly the restored sessions; with
+      // uncoupled sessions they need not form per-title prefixes.
+      resumed_completed.assign(n, 0);
+    }
     for (const FleetCheckpoint::SessionState& ss : ck.sessions) {
       const std::size_t sid = static_cast<std::size_t>(ss.record.session_id);
+      if (event_engine) {
+        resumed_completed[sid] = 1;
+      }
       if (spec.trace != nullptr) {
         if (!ss.has_events) {
           throw CheckpointError(
@@ -639,314 +840,296 @@ FleetResult run_fleet(const FleetSpec& spec) {
                        : std::max(1u, std::thread::hardware_concurrency());
   const std::size_t title_batch = spec.title_batch;
 
-  // Snapshot closure: runs only at the coordinator barrier, when every
-  // worker is parked at a session boundary.
-  auto save_checkpoint = [&](std::uint64_t sessions_done_now) {
-    FleetCheckpoint ck;
-    ck.spec_fingerprint = fp;
-    ck.experiment_fingerprint = exp_fp;
-    ck.num_sessions = n;
-    ck.num_titles = num_titles;
-    ck.max_tracks = max_tracks;
-    ck.sessions_done = sessions_done_now;
-    std::vector<std::size_t> done_sids;
-    done_sids.reserve(sessions_done_now);
-    for (std::size_t k = 0; k < num_titles; ++k) {
-      const std::size_t dk = done_in_title[k];
-      if (dk == 0) {
-        continue;
-      }
-      FleetCheckpoint::TitleState ts;
-      ts.index = k;
-      ts.done = dk;
-      ts.total = by_title[k].size();
-      ts.track_hits = track_hits[k];
-      ts.track_total = track_total[k];
-      if (shards[k]) {
-        ts.stats = shards[k]->stats();
-        if (dk < by_title[k].size()) {
-          ts.has_shard = true;
-          ts.shard_entries = shards[k]->snapshot();
+  // Session-order fold accumulators, shared by both engines: the stepper
+  // path feeds them after the workers join; the streaming event engine
+  // feeds them while it runs (through the session-id reorder drain).
+  detail::SessionFold fold;
+  detail::TelemetryFold telemetry_fold{spec.trace, spec.metrics};
+
+  if (spec.engine == FleetEngine::kEvent) {
+    // Shared-virtual-time event engine (engine.cpp): same setup, same
+    // finalize, different execution. It leaves done_in_title / shards /
+    // track rows / records exactly where the worker pool would have.
+    detail::EngineContext ectx{spec,
+                               catalog,
+                               arrivals,
+                               fleet_classes,
+                               draws,
+                               by_title,
+                               qoe_suite,
+                               shard_cfg,
+                               cdn_on ? &*cdn_model : nullptr,
+                               default_estimator,
+                               experiment_on,
+                               telemetry_on,
+                               cdn_on,
+                               crash_safety_on,
+                               max_tracks,
+                               threads,
+                               fp,
+                               exp_fp,
+                               initial_done,
+                               initial_events,
+                               resumed_completed.empty() ? nullptr
+                                                         : &resumed_completed,
+                               done_in_title,
+                               shards,
+                               shard_stats,
+                               cdn_states,
+                               track_hits,
+                               track_total,
+                               sinks,
+                               registries,
+                               result,
+                               fold,
+                               telemetry_fold};
+    detail::run_fleet_event(ectx);
+  } else {
+    // Snapshot closure: runs only at the coordinator barrier, when every
+    // worker is parked at a session boundary.
+    auto save_checkpoint = [&](std::uint64_t sessions_done_now) {
+      FleetCheckpoint ck;
+      ck.spec_fingerprint = fp;
+      ck.experiment_fingerprint = exp_fp;
+      ck.num_sessions = n;
+      ck.num_titles = num_titles;
+      ck.max_tracks = max_tracks;
+      ck.sessions_done = sessions_done_now;
+      std::vector<std::size_t> done_sids;
+      done_sids.reserve(sessions_done_now);
+      for (std::size_t k = 0; k < num_titles; ++k) {
+        const std::size_t dk = done_in_title[k];
+        if (dk == 0) {
+          continue;
         }
-      } else {
-        ts.stats = shard_stats[k];
-      }
-      if (cdn_on) {
-        const TitleCdnState& cst = cdn_states[k];
-        ts.cdn_requests = cst.requests;
-        ts.cdn_consecutive_sheds = cst.consecutive_sheds;
-        ts.cdn_stats = cst.stats;
-        if (cst.regional) {
-          ts.regional_stats = cst.regional->stats();
+        FleetCheckpoint::TitleState ts;
+        ts.index = k;
+        ts.done = dk;
+        ts.total = by_title[k].size();
+        ts.track_hits = track_hits[k];
+        ts.track_total = track_total[k];
+        if (shards[k]) {
+          ts.stats = shards[k]->stats();
           if (dk < by_title[k].size()) {
-            ts.has_regional = true;
-            ts.regional_entries = cst.regional->snapshot();
-            ts.inflight.assign(cst.inflight.begin(), cst.inflight.end());
+            ts.has_shard = true;
+            ts.shard_entries = shards[k]->snapshot();
           }
         } else {
-          ts.regional_stats = cst.regional_stats;
+          ts.stats = shard_stats[k];
+        }
+        if (cdn_on) {
+          const TitleCdnState& cst = cdn_states[k];
+          ts.cdn_requests = cst.requests;
+          ts.cdn_consecutive_sheds = cst.consecutive_sheds;
+          ts.cdn_stats = cst.stats;
+          if (cst.regional) {
+            ts.regional_stats = cst.regional->stats();
+            if (dk < by_title[k].size()) {
+              ts.has_regional = true;
+              ts.regional_entries = cst.regional->snapshot();
+              ts.inflight.assign(cst.inflight.begin(), cst.inflight.end());
+            }
+          } else {
+            ts.regional_stats = cst.regional_stats;
+          }
+        }
+        ck.titles.push_back(std::move(ts));
+        for (std::size_t idx = 0; idx < dk; ++idx) {
+          done_sids.push_back(by_title[k][idx]);
         }
       }
-      ck.titles.push_back(std::move(ts));
-      for (std::size_t idx = 0; idx < dk; ++idx) {
-        done_sids.push_back(by_title[k][idx]);
-      }
-    }
-    std::sort(done_sids.begin(), done_sids.end());
-    ck.sessions.reserve(done_sids.size());
-    for (const std::size_t sid : done_sids) {
-      FleetCheckpoint::SessionState ss;
-      ss.record = result.sessions[sid];
-      if (spec.trace != nullptr && sinks[sid]) {
-        ss.has_events = true;
-        ss.events.assign(sinks[sid]->events().begin(),
-                         sinks[sid]->events().end());
-      }
-      if (spec.metrics != nullptr && registries[sid]) {
-        ss.has_metrics = true;
-        ss.metrics = *registries[sid];
-      }
-      ck.sessions.push_back(std::move(ss));
-    }
-    ck.save(spec.checkpoint_path);
-  };
+      std::sort(done_sids.begin(), done_sids.end());
+      detail::collect_checkpoint_sessions(spec, result, sinks, registries,
+                                          done_sids, ck);
+      ck.save(spec.checkpoint_path);
+    };
 
-  CheckpointCoordinator coord(threads, !spec.checkpoint_path.empty(),
-                              spec.checkpoint_every,
-                              spec.kill.after_sessions, initial_done,
-                              save_checkpoint);
+    CheckpointCoordinator coord(threads, !spec.checkpoint_path.empty(),
+                                spec.checkpoint_every,
+                                spec.kill.after_sessions, initial_done,
+                                save_checkpoint);
 
-  std::atomic<std::size_t> next{0};
-  std::atomic<bool> failed{false};
-  std::mutex err_mu;
-  std::exception_ptr first_error;
-  const auto record_error = [&](std::exception_ptr e) {
-    std::lock_guard<std::mutex> g(err_mu);
-    if (!first_error) {
-      first_error = e;
-    }
-    failed.store(true);
-  };
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::mutex err_mu;
+    std::exception_ptr first_error;
+    const auto record_error = [&](std::exception_ptr e) {
+      std::lock_guard<std::mutex> g(err_mu);
+      if (!first_error) {
+        first_error = e;
+      }
+      failed.store(true);
+    };
 
-  std::vector<std::thread> workers;
-  workers.reserve(threads);
-  for (unsigned w = 0; w < threads; ++w) {
-    workers.emplace_back([&] {
-      try {
-        // Worker-owned reusable actors, one per client class, built lazily
-        // and reset by run_session before each use. Reuse is bit-exact
-        // (reset() restores construction state; the differential and
-        // batched-vs-unbatched fleet tests pin it) and removes the
-        // per-session scheme/provider allocations from the hot loop.
-        std::vector<std::unique_ptr<abr::AbrScheme>> class_schemes(
-            fleet_classes.size());
-        std::vector<std::unique_ptr<video::ChunkSizeProvider>>
-            class_providers(fleet_classes.size());
-        while (true) {
-          // Batched claim: one fetch_add hands this worker a contiguous run
-          // of titles. Folds are in title/session order, so the batch size
-          // cannot influence any result byte.
-          const std::size_t base = next.fetch_add(title_batch);
-          if (base >= num_titles || failed.load() || coord.stopping()) {
-            break;
-          }
-          const std::size_t limit = std::min(num_titles, base + title_batch);
-          for (std::size_t k = base; k < limit; ++k) {
-            if (failed.load() || coord.stopping()) {
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (unsigned w = 0; w < threads; ++w) {
+      workers.emplace_back([&] {
+        try {
+          // Worker-owned reusable actors, one per client class, built
+          // lazily and reset by run_session before each use. Reuse is
+          // bit-exact (reset() restores construction state; the
+          // differential and batched-vs-unbatched fleet tests pin it) and
+          // removes the per-session scheme/provider allocations from the
+          // hot loop.
+          std::vector<std::unique_ptr<abr::AbrScheme>> class_schemes(
+              fleet_classes.size());
+          std::vector<std::unique_ptr<video::ChunkSizeProvider>>
+              class_providers(fleet_classes.size());
+          while (true) {
+            // Batched claim: one fetch_add hands this worker a contiguous
+            // run of titles. Folds are in title/session order, so the
+            // batch size cannot influence any result byte.
+            const std::size_t base = next.fetch_add(title_batch);
+            if (base >= num_titles || failed.load() || coord.stopping()) {
               break;
             }
-            const std::vector<std::size_t>& ids = by_title[k];
-            // Resumed-complete titles (and unplayed ones) need no work.
-            if (ids.empty() || done_in_title[k] >= ids.size()) {
-              continue;
-            }
-            const video::Video& title_video = catalog.title(k);
-            const core::ComplexityClassifier classifier(title_video);
-            const std::vector<std::size_t>& classes = classifier.classes();
-            metrics::QoeConfig qoe = spec.qoe;
-            qoe.top_class = classifier.num_classes() - 1;
-
-            // One cache shard per title; its sessions run serially in
-            // arrival order, so shard state is schedule-independent. A
-            // resumed in-progress title arrives here with its shard
-            // already restored from the checkpoint.
-            std::unique_ptr<EdgeCachePath> path;
-            std::unique_ptr<CdnPath> cdn_path;
-            if (spec.use_cache) {
-              if (!shards[k]) {
-                shards[k] = std::make_unique<EdgeCache>(shard_cfg);
-              }
-              if (cdn_on) {
-                // The CDN path routes through the hierarchy; it needs each
-                // session's arrival time (begin_session below) to evaluate
-                // fetch windows and fault schedules in global fleet time.
-                cdn_path = std::make_unique<CdnPath>(
-                    *cdn_model, *shards[k], cdn_states[k],
-                    static_cast<std::uint32_t>(k));
-              } else {
-                // The path adapter is stateless per session (cache + title
-                // id), so one instance serves every session of the title.
-                path = std::make_unique<EdgeCachePath>(
-                    *shards[k], static_cast<std::uint32_t>(k));
-              }
-            }
-
-            for (std::size_t idx = done_in_title[k]; idx < ids.size();
-                 ++idx) {
-              const std::size_t sid = ids[idx];
-              const SessionDraw& d = draws[sid];
-              const FleetClientClass& cls = fleet_classes[d.cls];
-              if (!class_schemes[d.cls]) {
-                class_schemes[d.cls] = cls.make_scheme();
-              }
-              abr::AbrScheme& scheme = *class_schemes[d.cls];
-              const std::unique_ptr<net::BandwidthEstimator> estimator =
-                  (cls.make_estimator ? cls.make_estimator
-                                      : default_estimator)(
-                      spec.traces[d.trace]);
-              if (cls.make_size_provider && !class_providers[d.cls]) {
-                class_providers[d.cls] = cls.make_size_provider();
-              }
-              video::ChunkSizeProvider* sizes =
-                  cls.make_size_provider ? class_providers[d.cls].get()
-                                         : nullptr;
-
-              sim::SessionConfig sc = spec.session;
-              sc.fault = cls.fault;
-              sc.retry = cls.retry;
-              sc.watch_duration_s = d.watch_s;
-              sc.session_id = sid;
-              sc.fleet_session = true;
-              sc.fleet_arrival_s = arrivals[sid];
-              sc.fleet_title = k;
-              if (experiment_on) {
-                sc.fleet_arm = static_cast<std::int64_t>(d.cls);
-              }
-              if (sizes != nullptr) {
-                sc.size_provider = sizes;
-              }
-              if (cdn_path) {
-                cdn_path->begin_session(arrivals[sid]);
-                sc.download_hook = cdn_path.get();
-              } else if (path) {
-                sc.download_hook = path.get();
-              }
-              if (telemetry_on) {
-                if (spec.trace != nullptr) {
-                  sinks[sid] = std::make_unique<obs::MemoryTraceSink>();
-                  sc.trace = sinks[sid].get();
-                }
-                if (spec.metrics != nullptr) {
-                  registries[sid] = std::make_unique<obs::MetricsRegistry>();
-                  sc.metrics = registries[sid].get();
-                }
-              }
-
-              const sim::SessionResult sr = sim::run_session(
-                  title_video, spec.traces[d.trace], scheme, *estimator, sc);
-
-              FleetSessionRecord rec;
-              rec.session_id = sid;
-              rec.arrival_s = arrivals[sid];
-              rec.title = k;
-              rec.class_index = d.cls;
-              rec.trace_index = d.trace;
-              rec.watch_duration_s = d.watch_s;
-              rec.faults = sr.fault_summary();
-              rec.chunks = sr.chunks.size();
-              rec.watchdog_aborted = sr.watchdog_aborted;
-              for (const sim::ChunkRecord& c : sr.chunks) {
-                if (c.skipped) {
-                  continue;
-                }
-                ++track_total[k][c.track];
-                if (c.edge_hit) {
-                  ++track_hits[k][c.track];
-                  ++rec.edge_hits;
-                  rec.edge_hit_bits += c.size_bits;
-                } else if (c.coalesced) {
-                  // Joined a shared upstream fetch: no new origin egress,
-                  // so the hit-ratio views count it like an edge hit.
-                  ++track_hits[k][c.track];
-                  ++rec.coalesced_chunks;
-                  rec.edge_hit_bits += c.size_bits;
-                } else if (c.delivery_tier == 1) {
-                  ++track_hits[k][c.track];
-                  ++rec.regional_hits;
-                  rec.regional_bits += c.size_bits;
-                } else {
-                  rec.origin_bits += c.size_bits;
-                }
-                if (c.shed) {
-                  ++rec.shed_chunks;
-                }
-              }
-              const std::vector<metrics::PlayedChunk> played =
-                  sr.to_played_chunks(spec.metric, classes);
-              if (played.empty()) {
-                // Nothing watchable (total outage): timing metrics only.
-                metrics::QoeSummary s;
-                s.rebuffer_s = sr.total_rebuffer_s;
-                s.startup_delay_s = sr.startup_delay_s;
-                s.low_quality_pct = 100.0;
-                rec.qoe = std::move(s);
-              } else {
-                rec.qoe = metrics::compute_qoe(played, sr.total_rebuffer_s,
-                                               sr.startup_delay_s, qoe);
-              }
-              if (experiment_on) {
-                rec.stratum = d.stratum;
-                rec.qoe_scores.reserve(qoe_suite.size());
-                for (std::size_t m = 0; m < qoe_suite.size(); ++m) {
-                  const metrics::QoeModelSpec& ms = qoe_suite.at(m);
-                  rec.qoe_scores.push_back(ms.model->score(
-                      sim::qoe_session_view(sr, ms.metric,
-                                            spec.catalog.chunk_duration_s)));
-                }
-              }
-              result.sessions[sid] = std::move(rec);
-              done_in_title[k] = idx + 1;
-
-              if (spec.throttle_us > 0) {
-                // Chaos aid only: stretches wall time so an external
-                // SIGKILL can land mid-run. Nothing downstream reads the
-                // wall clock, so this cannot change any output byte.
-                std::this_thread::sleep_for(
-                    std::chrono::microseconds(spec.throttle_us));
-              }
-              coord.on_session_complete();
+            const std::size_t limit =
+                std::min(num_titles, base + title_batch);
+            for (std::size_t k = base; k < limit; ++k) {
               if (failed.load() || coord.stopping()) {
                 break;
               }
-            }
-            if (done_in_title[k] == ids.size() && shards[k]) {
-              shard_stats[k] = shards[k]->stats();
-              shards[k].reset();  // bound memory: the shard is folded
-              if (cdn_on) {
-                TitleCdnState& cst = cdn_states[k];
-                if (cst.regional) {
-                  cst.regional_stats = cst.regional->stats();
-                  cst.regional.reset();
+              const std::vector<std::size_t>& ids = by_title[k];
+              // Resumed-complete titles (and unplayed ones) need no work.
+              if (ids.empty() || done_in_title[k] >= ids.size()) {
+                continue;
+              }
+              const video::Video& title_video = catalog.title(k);
+              const core::ComplexityClassifier classifier(title_video);
+              const std::vector<std::size_t>& classes = classifier.classes();
+              metrics::QoeConfig qoe = spec.qoe;
+              qoe.top_class = classifier.num_classes() - 1;
+
+              // One cache shard per title; its sessions run serially in
+              // arrival order, so shard state is schedule-independent. A
+              // resumed in-progress title arrives here with its shard
+              // already restored from the checkpoint.
+              std::unique_ptr<EdgeCachePath> path;
+              std::unique_ptr<CdnPath> cdn_path;
+              if (spec.use_cache) {
+                if (!shards[k]) {
+                  shards[k] = std::make_unique<EdgeCache>(shard_cfg);
                 }
-                cst.inflight.clear();  // fetch windows die with the title
+                if (cdn_on) {
+                  // The CDN path routes through the hierarchy; it needs
+                  // each session's arrival time (begin_session below) to
+                  // evaluate fetch windows and fault schedules in global
+                  // fleet time.
+                  cdn_path = std::make_unique<CdnPath>(
+                      *cdn_model, *shards[k], cdn_states[k],
+                      static_cast<std::uint32_t>(k));
+                } else {
+                  // The path adapter is stateless per session (cache +
+                  // title id), so one instance serves every session of the
+                  // title.
+                  path = std::make_unique<EdgeCachePath>(
+                      *shards[k], static_cast<std::uint32_t>(k));
+                }
+              }
+
+              for (std::size_t idx = done_in_title[k]; idx < ids.size();
+                   ++idx) {
+                const std::size_t sid = ids[idx];
+                const SessionDraw& d = draws[sid];
+                const FleetClientClass& cls = fleet_classes[d.cls];
+                if (!class_schemes[d.cls]) {
+                  class_schemes[d.cls] = cls.make_scheme();
+                }
+                abr::AbrScheme& scheme = *class_schemes[d.cls];
+                const std::unique_ptr<net::BandwidthEstimator> estimator =
+                    (cls.make_estimator ? cls.make_estimator
+                                        : default_estimator)(
+                        spec.traces[d.trace]);
+                if (cls.make_size_provider && !class_providers[d.cls]) {
+                  class_providers[d.cls] = cls.make_size_provider();
+                }
+                video::ChunkSizeProvider* sizes =
+                    cls.make_size_provider ? class_providers[d.cls].get()
+                                           : nullptr;
+
+                sim::SessionConfig sc = spec.session;
+                sc.fault = cls.fault;
+                sc.retry = cls.retry;
+                sc.watch_duration_s = d.watch_s;
+                sc.session_id = sid;
+                sc.fleet_session = true;
+                sc.fleet_arrival_s = arrivals[sid];
+                sc.fleet_title = k;
+                if (experiment_on) {
+                  sc.fleet_arm = static_cast<std::int64_t>(d.cls);
+                }
+                if (sizes != nullptr) {
+                  sc.size_provider = sizes;
+                }
+                if (cdn_path) {
+                  cdn_path->begin_session(arrivals[sid]);
+                  sc.download_hook = cdn_path.get();
+                } else if (path) {
+                  sc.download_hook = path.get();
+                }
+                if (telemetry_on) {
+                  if (spec.trace != nullptr) {
+                    sinks[sid] = std::make_unique<obs::MemoryTraceSink>();
+                    sc.trace = sinks[sid].get();
+                  }
+                  if (spec.metrics != nullptr) {
+                    registries[sid] =
+                        std::make_unique<obs::MetricsRegistry>();
+                    sc.metrics = registries[sid].get();
+                  }
+                }
+
+                const sim::SessionResult sr = sim::run_session(
+                    title_video, spec.traces[d.trace], scheme, *estimator,
+                    sc);
+
+                result.sessions[sid] = detail::build_session_record(
+                    spec, d, sid, arrivals[sid], k, sr, classes, qoe,
+                    qoe_suite, experiment_on, track_hits[k], track_total[k]);
+                done_in_title[k] = idx + 1;
+
+                if (spec.throttle_us > 0) {
+                  // Chaos aid only: stretches wall time so an external
+                  // SIGKILL can land mid-run. Nothing downstream reads the
+                  // wall clock, so this cannot change any output byte.
+                  std::this_thread::sleep_for(
+                      std::chrono::microseconds(spec.throttle_us));
+                }
+                coord.on_session_complete();
+                if (failed.load() || coord.stopping()) {
+                  break;
+                }
+              }
+              if (done_in_title[k] == ids.size() && shards[k]) {
+                shard_stats[k] = shards[k]->stats();
+                shards[k].reset();  // bound memory: the shard is folded
+                if (cdn_on) {
+                  TitleCdnState& cst = cdn_states[k];
+                  if (cst.regional) {
+                    cst.regional_stats = cst.regional->stats();
+                    cst.regional.reset();
+                  }
+                  cst.inflight.clear();  // fetch windows die with the title
+                }
               }
             }
           }
+        } catch (...) {
+          record_error(std::current_exception());
         }
-      } catch (...) {
-        record_error(std::current_exception());
-      }
-      coord.worker_exit();
-    });
-  }
-  for (std::thread& w : workers) {
-    w.join();
-  }
-  if (first_error) {
-    std::rethrow_exception(first_error);
-  }
-  if (coord.killed()) {
-    throw FleetKilled(coord.sessions_done(), spec.checkpoint_path);
+        coord.worker_exit();
+      });
+    }
+    for (std::thread& w : workers) {
+      w.join();
+    }
+    if (first_error) {
+      std::rethrow_exception(first_error);
+    }
+    if (coord.killed()) {
+      throw FleetKilled(coord.sessions_done(), spec.checkpoint_path);
+    }
   }
 
   // Deterministic folds: title order for shard aggregates, session order
@@ -1000,35 +1183,12 @@ FleetResult run_fleet(const FleetSpec& spec) {
     }
   }
 
-  std::vector<double> session_quality;
-  std::vector<double> session_bits;
-  session_quality.reserve(n);
-  session_bits.reserve(n);
-  result.per_class.resize(fleet_classes.size());
-  for (std::size_t c = 0; c < fleet_classes.size(); ++c) {
-    result.per_class[c].label = fleet_classes[c].label.empty()
-                                    ? fleet_classes[c].make_scheme()->name()
-                                    : fleet_classes[c].label;
-    result.per_class[c].mean_qoe_scores.assign(qoe_suite.size(), 0.0);
-  }
-  for (const FleetSessionRecord& rec : result.sessions) {
-    result.edge_hit_bits += rec.edge_hit_bits;
-    result.origin_bits += rec.origin_bits;
-    if (rec.watchdog_aborted) {
-      ++result.watchdog_aborted_sessions;
-    }
-    session_quality.push_back(rec.qoe.all_quality_mean);
-    session_bits.push_back(rec.qoe.data_usage_mb);
-    FleetSchemeReport& cr = result.per_class[rec.class_index];
-    ++cr.sessions;
-    cr.mean_all_quality += rec.qoe.all_quality_mean;
-    cr.mean_q4_quality += rec.qoe.q4_quality_mean;
-    cr.mean_low_quality_pct += rec.qoe.low_quality_pct;
-    cr.mean_rebuffer_s += rec.qoe.rebuffer_s;
-    cr.mean_startup_delay_s += rec.qoe.startup_delay_s;
-    cr.mean_data_usage_mb += rec.qoe.data_usage_mb;
-    for (std::size_t m = 0; m < rec.qoe_scores.size(); ++m) {
-      cr.mean_qoe_scores[m] += rec.qoe_scores[m];
+  // Session-order fold (session id == arrival order). The streaming event
+  // engine already fed the fold through its reorder drain in the same
+  // order; every other mode folds the materialized records here.
+  if (!spec.stream_aggregation) {
+    for (const FleetSessionRecord& rec : result.sessions) {
+      fold.add(result, rec);
     }
   }
   for (FleetSchemeReport& cr : result.per_class) {
@@ -1045,31 +1205,24 @@ FleetResult run_fleet(const FleetSpec& spec) {
       }
     }
   }
-  result.jain_quality = stats::jain_index(session_quality);
-  result.jain_bits = stats::jain_index(session_bits);
+  // fold.count >= 1 (a zero-session arrival process throws above), so the
+  // empty-input guard of stats::jain_index cannot be hit.
+  result.jain_quality =
+      detail::SessionFold::jain(fold.count, fold.quality_sum,
+                                fold.quality_sum_sq);
+  result.jain_bits =
+      detail::SessionFold::jain(fold.count, fold.bits_sum, fold.bits_sum_sq);
 
   // Telemetry fold: session-id order with one monotone global sequence —
-  // the same merged-stream discipline as run_experiment.
-  if (spec.trace != nullptr) {
-    std::uint64_t global_seq = 0;
-    for (const std::unique_ptr<obs::MemoryTraceSink>& sink : sinks) {
-      if (!sink) {
-        continue;
-      }
-      for (const obs::DecisionEvent& ev : sink->events()) {
-        obs::DecisionEvent merged = ev;
-        merged.seq = global_seq++;
-        spec.trace->on_decision(merged);
-      }
+  // the same merged-stream discipline as run_experiment. Streaming runs
+  // already folded per session as the drain released it.
+  if (!spec.stream_aggregation && telemetry_on) {
+    for (std::size_t sid = 0; sid < n; ++sid) {
+      telemetry_fold.add(sinks[sid].get(), registries[sid].get());
     }
-    spec.trace->flush();
   }
+  telemetry_fold.finish();
   if (spec.metrics != nullptr) {
-    for (const std::unique_ptr<obs::MetricsRegistry>& reg : registries) {
-      if (reg) {
-        spec.metrics->merge(*reg);
-      }
-    }
     if (cdn_on) {
       // Fold-time tier counters: deterministic (title-order merge above),
       // so they ride in the registry like any other workload metric.
@@ -1102,7 +1255,7 @@ void FleetResult::write_json(std::ostream& out) const {
   std::string s;
   s.reserve(1024);
   s += "{\"sessions\":";
-  append_uint(s, sessions.size());
+  append_uint(s, total_sessions != 0 ? total_sessions : sessions.size());
   s += ",\"watchdog_aborted\":";
   append_uint(s, watchdog_aborted_sessions);
   s += ",\"cache\":{\"enabled\":";

@@ -117,6 +117,36 @@ struct FleetExperimentConfig {
   [[nodiscard]] bool enabled() const { return !arms.empty(); }
 };
 
+/// Which execution engine run_fleet dispatches to. Both engines produce
+/// byte-identical FleetResult JSON and merged telemetry for the same spec
+/// (the differential suite pins it); they differ in how sessions are
+/// scheduled and what scale they reach.
+enum class FleetEngine {
+  /// Per-session stepper: workers claim titles in batches and run each
+  /// session to completion. The original engine; the default.
+  kStepped,
+  /// Shared-virtual-time event engine (fleet/engine.h): every session's
+  /// next chunk decision is an event on one global timeline keyed by
+  /// (virtual_time, session_id), so uncoupled sessions genuinely
+  /// interleave — 100k+ concurrently in flight — while titles with shared
+  /// delivery state (use_cache) are chained in arrival order to preserve
+  /// the stepper's per-title state sequence byte for byte.
+  kEvent,
+};
+
+/// Execution counters of the event engine (all zero under kStepped).
+/// Deliberately NOT serialized by FleetResult::write_json: the report's
+/// bytes must not depend on which engine produced it.
+struct FleetEngineStats {
+  std::uint64_t events_processed = 0;  ///< Chunk-decision events handled.
+  std::uint64_t peak_in_flight = 0;    ///< Concurrent open sessions (HWM).
+  std::uint64_t max_heap_size = 0;     ///< Event-queue high-water mark.
+  /// Streaming-aggregation reorder buffer high-water mark: completed
+  /// records waiting for a lower session id — the evidence that streaming
+  /// never materializes all per-session records.
+  std::uint64_t peak_resident_records = 0;
+};
+
 /// Declarative description of a whole fleet run.
 struct FleetSpec {
   CatalogConfig catalog;
@@ -164,6 +194,19 @@ struct FleetSpec {
   /// arrivals.seed (timing).
   std::uint64_t seed = 7;
 
+  /// Execution engine (see FleetEngine). Pure execution knob: it is
+  /// excluded from the checkpoint spec fingerprint, and every output byte
+  /// is identical across engines for the same spec.
+  FleetEngine engine = FleetEngine::kStepped;
+  /// Event engine only: fold each completed session straight into the
+  /// aggregate report through a session-id-ordered reorder drain
+  /// (obs/fold.h) and discard its record, so FleetResult::sessions stays
+  /// empty and resident memory is O(sessions in flight), not O(sessions).
+  /// Aggregates (report JSON, merged telemetry, metrics) are byte-identical
+  /// to the materializing path. Incompatible with checkpoint / kill /
+  /// resume, which persist the very records streaming discards (validated).
+  bool stream_aggregation = false;
+
   /// Merged telemetry destinations (optional, not owned); same fold
   /// discipline as ExperimentSpec.
   obs::TraceSink* trace = nullptr;
@@ -173,8 +216,11 @@ struct FleetSpec {
   /// Checkpoint file; empty = checkpointing off. Written atomically
   /// (temp + rename) at the periodic barrier and when a kill fires.
   std::string checkpoint_path;
-  /// Completed sessions between periodic checkpoints. 0 = no periodic
-  /// checkpoints (a kill still writes a final one when a path is set).
+  /// Periodic-checkpoint cadence: completed sessions between snapshots
+  /// under the per-session stepper, processed EVENTS (chunk decisions)
+  /// under the event engine, whose barriers land between fixed-size event
+  /// batches. 0 = no periodic checkpoints (a kill still writes a final one
+  /// when a path is set).
   std::uint64_t checkpoint_every = 64;
   /// Resume from `checkpoint_path` when that file exists (absent file =
   /// fresh run, so one flag serves every iteration of a kill/resume loop).
@@ -243,6 +289,10 @@ struct FleetSchemeReport {
 
 /// Complete fleet outcome + report.
 struct FleetResult {
+  /// Sessions executed. Always set by run_fleet; under streaming
+  /// aggregation it is the only record of the count (`sessions` stays
+  /// empty). write_json prefers it over sessions.size() when non-zero.
+  std::uint64_t total_sessions = 0;
   std::vector<FleetSessionRecord> sessions;  ///< Arrival order.
   /// Ordered like spec.classes — or like spec.experiment.arms when the
   /// experiment is enabled (one row per arm).
@@ -282,6 +332,10 @@ struct FleetResult {
   /// Sessions aborted by the per-session watchdog (counted, not hidden:
   /// a pathological session is a result, not a hang).
   std::uint64_t watchdog_aborted_sessions = 0;
+
+  /// Event-engine execution counters (zeros under kStepped). Not written
+  /// by write_json — report bytes are engine-invariant.
+  FleetEngineStats engine_stats;
 
   /// Serializes the fleet report (cache + fairness + per-class QoE) as one
   /// JSON object, byte-deterministic (obs json_util writers).

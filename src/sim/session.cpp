@@ -4,8 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
-#include "sim/buffer.h"
-#include "sim/telemetry.h"
+#include "sim/stepper.h"
 
 namespace vbr::sim {
 
@@ -110,310 +109,13 @@ SessionResult run_session(const video::Video& video, const net::Trace& trace,
                           abr::AbrScheme& scheme,
                           net::BandwidthEstimator& estimator,
                           const SessionConfig& config) {
-  validate_session_config(config, "run_session");
-  const net::FaultModel fault_model(config.fault);
-
-  // Reuse contract: run_experiment and run_fleet hand the same scheme /
-  // estimator / provider instances to many sessions back-to-back. These
-  // resets are the only barrier between sessions — any cross-chunk state a
-  // scheme keeps (error windows, controllers, search scratch) must either
-  // be cleared by reset() or be overwritten before it is read. The
-  // back-to-back regression tests pin that a reused instance reproduces a
-  // fresh instance byte-for-byte.
-  scheme.reset();
-  estimator.reset();
-  if (config.size_provider != nullptr) {
-    config.size_provider->reset();
+  // The per-chunk loop lives in SessionStepper (sim/stepper.h) so the fleet
+  // engine can interleave sessions; stepping to completion here is the same
+  // code path, byte for byte.
+  SessionStepper stepper(video, trace, scheme, estimator, config);
+  while (stepper.step()) {
   }
-  detail::SessionTelemetry telemetry;
-  telemetry.bind(config.trace, config.metrics, config.session_id, scheme,
-                 config.size_provider,
-                 /*edge_path_session=*/config.download_hook != nullptr,
-                 config.fleet_session, config.fleet_arrival_s,
-                 config.fleet_title, config.fleet_arm);
-
-  PlayoutBuffer buffer(config.max_buffer_s);
-  SessionResult result;
-  // Watch-duration truncation: a viewer who leaves early only ever fetches
-  // the chunks covering what they watch.
-  const std::size_t total_chunks =
-      effective_chunk_count(video, config.watch_duration_s);
-  result.chunks.reserve(total_chunks);
-
-  double t = 0.0;
-  int prev_track = -1;
-  const double chunk_s = video.chunk_duration_s();
-
-  for (std::size_t i = 0; i < total_chunks; ++i) {
-    // Watchdog: both budgets are pure functions of simulation state, so an
-    // over-budget session aborts at the same chunk on every replay.
-    if ((config.watchdog_max_decisions > 0 &&
-         static_cast<std::uint64_t>(i) >= config.watchdog_max_decisions) ||
-        (config.watchdog_max_sim_s > 0.0 && t >= config.watchdog_max_sim_s)) {
-      result.watchdog_aborted = true;
-      break;
-    }
-    abr::StreamContext ctx;
-    ctx.video = &video;
-    ctx.next_chunk = i;
-    ctx.buffer_s = buffer.level_s();
-    ctx.est_bandwidth_bps = estimator.estimate_bps(t);
-    ctx.prev_track = prev_track;
-    ctx.now_s = t;
-    ctx.max_buffer_s = config.max_buffer_s;
-    ctx.startup_latency_s = config.startup_latency_s;
-    ctx.in_startup = !buffer.playing();
-    ctx.sizes = config.size_provider;
-
-    const abr::Decision decision = detail::timed_decide(telemetry, scheme,
-                                                        ctx);
-    if (decision.track >= video.num_tracks()) {
-      throw std::logic_error("run_session: scheme chose an invalid track");
-    }
-    if (decision.wait_s < 0.0) {
-      throw std::logic_error("run_session: scheme requested negative wait");
-    }
-
-    ChunkRecord rec;
-    rec.index = i;
-    rec.track = decision.track;
-
-    // Scheme-requested idle (e.g. BOLA above its buffer target).
-    if (decision.wait_s > 0.0) {
-      result.total_rebuffer_s += buffer.elapse(decision.wait_s);
-      t += decision.wait_s;
-      rec.wait_s = decision.wait_s;
-    }
-    // Gate: never start a download the buffer has no room for.
-    const double room_wait = buffer.time_until_room_for(chunk_s);
-    if (room_wait > 0.0) {
-      result.total_rebuffer_s += buffer.elapse(room_wait);
-      t += room_wait;
-      rec.wait_s += room_wait;
-    }
-
-    rec.download_start_s = t;
-    rec.size_bits = video.chunk_size_bits(decision.track, i);
-    double final_bits = rec.size_bits;  ///< Bits of the delivering attempt.
-
-    // Delivery-path plan. The identity default (no hook) adds 0 latency and
-    // divides bits by 1.0, both exact, so the hook-free arithmetic is
-    // byte-for-byte what it was before the hook existed. Re-drawn whenever
-    // abandonment or downgrade switches the fetch to a different track —
-    // a different object as far as the edge cache is concerned.
-    FetchPlan plan;
-    const auto draw_plan = [&]() {
-      if (config.download_hook != nullptr) {
-        plan = config.download_hook->on_chunk_request(video, rec.track, i,
-                                                      rec.size_bits, t);
-        if (!(plan.rate_scale > 0.0) || plan.rate_scale > 1.0 ||
-            plan.added_latency_s < 0.0 || plan.tier > 2) {
-          throw std::logic_error(
-              "run_session: download hook returned an invalid fetch plan");
-        }
-        rec.edge_hit = plan.edge_hit;
-        rec.edge_latency_s = plan.added_latency_s;
-        rec.delivery_tier = plan.tier;
-        rec.coalesced = plan.coalesced;
-        rec.shed = plan.shed;
-      }
-    };
-    draw_plan();
-    // First-byte lead time of every attempt that reaches the wire.
-    double lead = config.request_rtt_s + plan.added_latency_s;
-
-    if (!fault_model.enabled()) {
-      // Fault-free path: identical arithmetic to the pre-fault simulator.
-      rec.download_s =
-          lead +
-          trace.download_duration_s(t + lead, rec.size_bits / plan.rate_scale);
-
-      // Segment abandonment: part-way through a too-slow fetch of a
-      // non-bottom track, abort it and refetch the lowest track (dash.js
-      // AbandonRequestsRule behaviour).
-      if (config.enable_abandonment && decision.track > 0) {
-        const double check_at = config.abandon_check_fraction * rec.download_s;
-        const double remaining = rec.download_s - check_at;
-        if (remaining > buffer.level_s() + chunk_s) {
-          // Time + bytes burned on the aborted request.
-          rec.wasted_bits =
-              trace.average_bandwidth_bps(t, std::max(check_at, 1e-9)) *
-              check_at * plan.rate_scale;
-          result.total_rebuffer_s += buffer.elapse(check_at);
-          t += check_at;
-          rec.abandoned_higher = true;
-          rec.track = 0;
-          rec.size_bits = video.chunk_size_bits(0, i);
-          draw_plan();
-          lead = config.request_rtt_s + plan.added_latency_s;
-          rec.download_s =
-              lead + trace.download_duration_s(
-                         t + lead, rec.size_bits / plan.rate_scale);
-          result.total_bits += rec.wasted_bits;
-          final_bits = rec.size_bits;
-        }
-      }
-
-      rec.stall_s = buffer.elapse(rec.download_s);
-      result.total_rebuffer_s += rec.stall_s;
-      t += rec.download_s;
-    } else {
-      // Resilient fetch: retry with backoff until the chunk lands, the
-      // track is downgraded, or the attempt budget is exhausted (skip).
-      double remaining_bits = rec.size_bits;
-      std::size_t failures = 0;
-      bool delivered = false;
-      while (true) {
-        const net::FaultOutcome outcome = fault_model.outcome(i, failures);
-        if (outcome.kind == net::FaultKind::kNone) {
-          double dl = lead + trace.download_duration_s(
-                                 t + lead, remaining_bits / plan.rate_scale);
-          // Abandonment applies to clean full-chunk attempts only; resumed
-          // or downgraded fetches are already the recovery path.
-          if (config.enable_abandonment && rec.track > 0 &&
-              !rec.downgraded && remaining_bits == rec.size_bits) {
-            const double check_at = config.abandon_check_fraction * dl;
-            if (dl - check_at > buffer.level_s() + chunk_s) {
-              const double waste =
-                  trace.average_bandwidth_bps(t, std::max(check_at, 1e-9)) *
-                  check_at * plan.rate_scale;
-              rec.wasted_bits += waste;
-              result.total_bits += waste;
-              result.total_rebuffer_s += buffer.elapse(check_at);
-              t += check_at;
-              rec.abandoned_higher = true;
-              rec.track = 0;
-              rec.size_bits = video.chunk_size_bits(0, i);
-              remaining_bits = rec.size_bits;
-              draw_plan();
-              lead = config.request_rtt_s + plan.added_latency_s;
-              dl = lead + trace.download_duration_s(
-                              t + lead, remaining_bits / plan.rate_scale);
-            }
-          }
-          rec.download_s = dl;
-          const double stalled = buffer.elapse(dl);
-          rec.stall_s += stalled;
-          result.total_rebuffer_s += stalled;
-          t += dl;
-          final_bits = remaining_bits;
-          delivered = true;
-          break;
-        }
-
-        // Failed attempt: its time drains the buffer in real time; its
-        // bytes are wasted unless byte-range resume salvages them.
-        switch (outcome.kind) {
-          case net::FaultKind::kConnectFail:
-            ++rec.connect_failures;
-            break;
-          case net::FaultKind::kMidDrop:
-            ++rec.mid_drops;
-            break;
-          case net::FaultKind::kTimeout:
-            ++rec.timeouts;
-            break;
-          case net::FaultKind::kNone:
-            break;
-        }
-        const FailedAttempt fa =
-            charge_failed_attempt(trace, outcome, config.fault, config.retry,
-                                  t, lead, remaining_bits, plan.rate_scale);
-        const double stalled = buffer.elapse(fa.elapsed_s);
-        rec.stall_s += stalled;
-        result.total_rebuffer_s += stalled;
-        t += fa.elapsed_s;
-        if (fa.delivered_bits > 0.0) {
-          if (config.retry.resume_partial) {
-            rec.resumed_bits += fa.delivered_bits;
-            remaining_bits =
-                std::max(remaining_bits - fa.delivered_bits, 1.0);
-          } else {
-            rec.wasted_bits += fa.delivered_bits;
-            result.total_bits += fa.delivered_bits;
-          }
-        }
-
-        ++failures;
-        if (failures >= config.retry.max_attempts) {
-          rec.skipped = true;
-          break;
-        }
-        // Repeated failure of a higher track: fall back to the lowest
-        // track, discarding any partial higher-track bytes.
-        if (config.retry.downgrade_on_failure && rec.track > 0 &&
-            failures >= config.retry.downgrade_after) {
-          rec.track = 0;
-          rec.downgraded = true;
-          rec.size_bits = video.chunk_size_bits(0, i);
-          if (rec.resumed_bits > 0.0) {
-            rec.wasted_bits += rec.resumed_bits;
-            result.total_bits += rec.resumed_bits;
-            rec.resumed_bits = 0.0;
-          }
-          remaining_bits = rec.size_bits;
-          draw_plan();
-          lead = config.request_rtt_s + plan.added_latency_s;
-        }
-        const double backoff =
-            backoff_delay_s(config.retry, fault_model, i, failures - 1);
-        if (backoff > 0.0) {
-          rec.backoff_wait_s += backoff;
-          result.total_rebuffer_s += buffer.elapse(backoff);
-          t += backoff;
-        }
-      }
-      rec.attempts = failures + (delivered ? 1 : 0);
-      if (rec.skipped) {
-        // Bytes already burned stay in wasted_bits; the chunk itself never
-        // arrives and contributes no playable content or data usage.
-        rec.download_s = 0.0;
-        rec.size_bits = 0.0;
-      }
-    }
-
-    if (!rec.skipped) {
-      buffer.add_chunk(chunk_s);
-      rec.buffer_after_s = buffer.level_s();
-      rec.quality = video.track(rec.track).chunk(i).quality;
-
-      estimator.on_chunk_downloaded(final_bits, rec.download_s, t);
-      scheme.on_chunk_downloaded(ctx, rec.track, rec.download_s);
-      if (config.download_hook != nullptr) {
-        config.download_hook->on_chunk_delivered(video, rec.track, i,
-                                                 rec.size_bits, t);
-      }
-      if (config.size_provider != nullptr) {
-        // The wire delivered the true size; correcting providers learn from
-        // it even when their estimate was wrong.
-        config.size_provider->on_actual_size(
-            video, rec.track, i, video.chunk_size_bits(rec.track, i));
-      }
-    } else {
-      rec.buffer_after_s = buffer.level_s();
-    }
-
-    // Playback begins once the startup latency worth of video is buffered
-    // (or the video has been fully downloaded first).
-    if (!buffer.playing() &&
-        (buffer.level_s() >= config.startup_latency_s ||
-         i + 1 == total_chunks)) {
-      buffer.start_playback();
-      result.startup_delay_s = t;
-    }
-
-    result.total_bits += rec.size_bits;
-    result.chunks.push_back(rec);
-    telemetry.on_chunk(rec, ctx, scheme, result.total_rebuffer_s, t);
-    if (!rec.skipped) {
-      prev_track = static_cast<int>(rec.track);
-    }
-  }
-  result.end_time_s = t;
-  if (config.trace != nullptr) {
-    config.trace->flush();
-  }
-  return result;
+  return stepper.finish();
 }
 
 }  // namespace vbr::sim

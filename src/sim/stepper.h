@@ -1,0 +1,76 @@
+// Resumable per-chunk session stepper.
+//
+// Extracted from run_session() so the shared-virtual-time fleet engine
+// (src/fleet/engine.h) can interleave many sessions on one timeline: each
+// step() resolves exactly one chunk decision (scheme decide, waits, fetch /
+// retry ladder, delivery bookkeeping, telemetry) and leaves the session
+// paused right before the next decision. run_session() is a thin wrapper
+// that steps to completion, so the stepped and whole-session paths run the
+// same code and stay byte-identical by construction.
+#pragma once
+
+#include <cstddef>
+
+#include "abr/scheme.h"
+#include "net/bandwidth_estimator.h"
+#include "net/fault_model.h"
+#include "net/trace.h"
+#include "sim/buffer.h"
+#include "sim/session.h"
+#include "sim/telemetry.h"
+#include "video/video.h"
+
+namespace vbr::sim {
+
+class SessionStepper {
+ public:
+  /// Validates `config` (same "run_session: ..." messages as the wrapper)
+  /// and binds the session. The scheme / estimator / size provider are
+  /// reset() here, exactly as run_session did, so pooled instances stay
+  /// reusable under the documented reuse contract. All referenced objects
+  /// (video, trace, scheme, estimator, and everything `config` points at)
+  /// must outlive the stepper; the config itself is copied.
+  SessionStepper(const video::Video& video, const net::Trace& trace,
+                 abr::AbrScheme& scheme, net::BandwidthEstimator& estimator,
+                 const SessionConfig& config);
+
+  /// Resolves the next chunk decision (or the watchdog abort). Returns
+  /// true while the session still has work left after this call; false
+  /// once the session is complete and finish() may be called. Calling
+  /// step() on a completed session is a no-op returning false.
+  bool step();
+
+  /// True once the session has no more chunks to fetch.
+  [[nodiscard]] bool done() const { return done_; }
+
+  /// Session-local clock: seconds since this session started.
+  [[nodiscard]] double now_s() const { return t_; }
+
+  /// Index of the next chunk decision (== chunks resolved so far).
+  [[nodiscard]] std::size_t next_chunk() const { return i_; }
+
+  [[nodiscard]] std::size_t total_chunks() const { return total_chunks_; }
+
+  /// Finalizes (end-of-session clock + trace flush) and moves the result
+  /// out. Call exactly once, after step() has returned false.
+  [[nodiscard]] SessionResult finish();
+
+ private:
+  const video::Video* video_;
+  const net::Trace* trace_;
+  abr::AbrScheme* scheme_;
+  net::BandwidthEstimator* estimator_;
+  SessionConfig config_;  ///< Copied: fleet callers build it per session.
+  net::FaultModel fault_model_;
+  detail::SessionTelemetry telemetry_;
+  PlayoutBuffer buffer_;
+  SessionResult result_;
+  std::size_t total_chunks_;
+  double chunk_s_;
+  double t_ = 0.0;
+  int prev_track_ = -1;
+  std::size_t i_ = 0;
+  bool done_ = false;
+};
+
+}  // namespace vbr::sim

@@ -75,7 +75,8 @@ std::string read_file(const std::string& path) {
 /// kill/resume loop (and keeps the spec fingerprint identical across legs,
 /// --resume being part of the retry policy).
 std::vector<std::string> fleet_args(const std::string& dir,
-                                    std::uint64_t throttle_us) {
+                                    std::uint64_t throttle_us,
+                                    const std::string& engine = "") {
   std::vector<std::string> args = {
       "--fleet",          "--fleet-sessions", "40",
       "--fleet-titles",   "6",                "--count",
@@ -89,6 +90,10 @@ std::vector<std::string> fleet_args(const std::string& dir,
   if (throttle_us > 0) {
     args.push_back("--fleet-throttle-us");
     args.push_back(std::to_string(throttle_us));
+  }
+  if (!engine.empty()) {
+    args.push_back("--fleet-engine");
+    args.push_back(engine);
   }
   return args;
 }
@@ -164,6 +169,73 @@ TEST(ChaosKill, CooperativeKillExitsThreeAndResumesToGolden) {
   EXPECT_GT(read_file(dir + "ck.ckpt").size(), 100u);
 
   EXPECT_EQ(run_vbrsim(fleet_args(dir, 0)).exit_code, 0);
+  EXPECT_EQ(read_file(dir + "report.json"), golden_report);
+}
+
+TEST(ChaosKill, EventEngineSigkillResumeLoopConvergesToStepperGolden) {
+  // Same hard-death soak, but the chaos legs run the shared-virtual-time
+  // event engine (--fleet-engine event, "VBRFLEETCKPT 4" checkpoints with
+  // event-count cadence) while the golden stays on the default stepper —
+  // so convergence proves SIGKILL-resume AND cross-engine byte equality
+  // in one loop.
+  const std::string gold_dir = testing::TempDir() + "chaos_ev_gold_";
+  std::remove((gold_dir + "ck.ckpt").c_str());
+  const RunOutcome gold = run_vbrsim(fleet_args(gold_dir, 0));
+  ASSERT_FALSE(gold.signaled);
+  ASSERT_EQ(gold.exit_code, 0);
+  const std::string golden_report = read_file(gold_dir + "report.json");
+  const std::string golden_trace = read_file(gold_dir + "trace.jsonl");
+  ASSERT_GT(golden_report.size(), 100u);
+  ASSERT_GT(golden_trace.size(), 1000u);
+
+  const std::string dir = testing::TempDir() + "chaos_ev_kill_";
+  std::remove((dir + "ck.ckpt").c_str());
+  int kills = 0;
+  bool completed = false;
+  for (int attempt = 0; attempt < 12 && !completed; ++attempt) {
+    const int deadline_ms = 40 + 35 * attempt;
+    const RunOutcome out =
+        run_vbrsim(fleet_args(dir, 4000, "event"), deadline_ms);
+    if (out.signaled) {
+      ++kills;
+      std::ifstream probe(dir + "trace.jsonl");
+      if (probe.good()) {
+        const obs::JsonlScanReport rep =
+            obs::recover_checksummed_jsonl(dir + "trace.jsonl");
+        EXPECT_TRUE(rep.corrupt_interior_lines.empty());
+      }
+    } else {
+      ASSERT_EQ(out.exit_code, 0) << "resume leg failed";
+      completed = true;
+    }
+  }
+  if (!completed) {
+    const RunOutcome out = run_vbrsim(fleet_args(dir, 0, "event"));
+    ASSERT_FALSE(out.signaled);
+    ASSERT_EQ(out.exit_code, 0);
+  }
+  EXPECT_GE(kills, 1) << "no attempt was actually SIGKILLed mid-run";
+
+  EXPECT_EQ(read_file(dir + "report.json"), golden_report);
+  EXPECT_EQ(read_file(dir + "trace.jsonl"), golden_trace);
+}
+
+TEST(ChaosKill, EventEngineCooperativeKillExitsThreeAndResumes) {
+  const std::string gold_dir = testing::TempDir() + "coop_ev_gold_";
+  std::remove((gold_dir + "ck.ckpt").c_str());
+  ASSERT_EQ(run_vbrsim(fleet_args(gold_dir, 0)).exit_code, 0);
+  const std::string golden_report = read_file(gold_dir + "report.json");
+
+  const std::string dir = testing::TempDir() + "coop_ev_kill_";
+  std::remove((dir + "ck.ckpt").c_str());
+  std::vector<std::string> killed = fleet_args(dir, 0, "event");
+  killed.push_back("--fleet-kill-after");
+  killed.push_back("13");
+  EXPECT_EQ(run_vbrsim(killed).exit_code, 3);
+  const std::string ck = read_file(dir + "ck.ckpt");
+  EXPECT_EQ(ck.rfind("VBRFLEETCKPT 4\n", 0), 0u);  // the v4 format
+
+  EXPECT_EQ(run_vbrsim(fleet_args(dir, 0, "event")).exit_code, 0);
   EXPECT_EQ(read_file(dir + "report.json"), golden_report);
 }
 

@@ -542,5 +542,201 @@ TEST(Checkpoint, FleetSpecValidateNamesTheField) {
   }
 }
 
+// -----------------------------------------------------------------------
+// Event-engine crash safety: the shared-virtual-time engine writes
+// "VBRFLEETCKPT 4" (one extra "engine <events_done>" line), resumes to
+// byte-identical output, and neither engine can resume the other's files.
+// -----------------------------------------------------------------------
+
+/// ck_spec running under the event engine, checkpointing every 8 EVENTS
+/// (the engine's checkpoint_every unit is processed chunk decisions).
+fleet::FleetSpec event_ck_spec(const std::vector<net::Trace>& traces,
+                               const std::string& checkpoint_path) {
+  fleet::FleetSpec spec = ck_spec(traces, checkpoint_path);
+  spec.engine = fleet::FleetEngine::kEvent;
+  return spec;
+}
+
+TEST(Checkpoint, EventEngineKillAndResumeIsByteIdentical) {
+  const std::vector<net::Trace> traces = two_traces();
+  // The reference is the uninterrupted STEPPER run: a killed-and-resumed
+  // event-engine run must land on the cross-engine golden, not merely on
+  // its own replay.
+  const std::string golden = run_and_serialize(ck_spec(traces, ""), 1);
+  ASSERT_GT(golden.size(), 1000u);
+
+  int case_id = 0;
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    for (const std::uint64_t kill_after : {std::uint64_t{1},
+                                           std::uint64_t{9},
+                                           std::uint64_t{25}}) {
+      const std::string path = testing::TempDir() + "ck_event_" +
+                               std::to_string(case_id++) + ".ckpt";
+      std::remove(path.c_str());
+      run_until_killed(event_ck_spec(traces, path), threads, kill_after);
+      fleet::FleetSpec resume = event_ck_spec(traces, path);
+      resume.resume = true;
+      EXPECT_EQ(run_and_serialize(resume, threads), golden)
+          << "threads=" << threads << " kill_after=" << kill_after;
+      std::remove(path.c_str());
+    }
+  }
+}
+
+TEST(Checkpoint, EventEngineRepeatedKillsChainToTheSameGolden) {
+  const std::vector<net::Trace> traces = two_traces();
+  const std::string golden = run_and_serialize(ck_spec(traces, ""), 2);
+  const std::string path = testing::TempDir() + "ck_event_chain.ckpt";
+  std::remove(path.c_str());
+
+  run_until_killed(event_ck_spec(traces, path), 2, 4);
+  fleet::FleetSpec mid = event_ck_spec(traces, path);
+  mid.resume = true;
+  run_until_killed(mid, 8, 17);
+  fleet::FleetSpec last = event_ck_spec(traces, path);
+  last.resume = true;
+  run_until_killed(last, 1, 29);
+
+  fleet::FleetSpec fin = event_ck_spec(traces, path);
+  fin.resume = true;
+  EXPECT_EQ(run_and_serialize(fin, 2), golden);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, EventEngineWritesV4AndRoundTripsByteExact) {
+  const std::vector<net::Trace> traces = two_traces();
+  const std::string path = testing::TempDir() + "ck_event_v4.ckpt";
+  std::remove(path.c_str());
+  run_until_killed(event_ck_spec(traces, path), 2, 13);
+
+  const std::string bytes = read_file(path);
+  EXPECT_EQ(bytes.rfind("VBRFLEETCKPT 4\n", 0), 0u) << "v4 header";
+  EXPECT_NE(bytes.find("\nengine "), std::string::npos)
+      << "event-progress line";
+
+  const fleet::FleetCheckpoint ck = fleet::FleetCheckpoint::load(path);
+  EXPECT_EQ(ck.version, fleet::FleetCheckpoint::kEventVersion);
+  EXPECT_GT(ck.events_done, 0u);
+  EXPECT_GE(ck.sessions_done, 13u);
+  EXPECT_EQ(ck.sessions.size(), ck.sessions_done);
+
+  const std::string copy = path + ".copy";
+  ck.save(copy);
+  EXPECT_EQ(read_file(copy), read_file(path));
+  std::remove(path.c_str());
+  std::remove(copy.c_str());
+}
+
+TEST(Checkpoint, CrossEngineResumeRejectedBothWays) {
+  const std::vector<net::Trace> traces = two_traces();
+  const auto resume_error = [&](fleet::FleetSpec spec) {
+    spec.resume = true;
+    // Telemetry collection is fingerprint-defining; match the killed runs
+    // (which collected both streams) so the CROSS-MODE rejection is what
+    // fires, not a workload mismatch.
+    obs::MemoryTraceSink sink;
+    obs::MetricsRegistry registry;
+    spec.trace = &sink;
+    spec.metrics = &registry;
+    try {
+      (void)fleet::run_fleet(spec);
+      return std::string("(no error)");
+    } catch (const fleet::CheckpointError& e) {
+      return std::string(e.what());
+    }
+  };
+
+  // A stepper (v3) file under the event engine...
+  const std::string v3_path = testing::TempDir() + "ck_cross_v3.ckpt";
+  std::remove(v3_path.c_str());
+  run_until_killed(ck_spec(traces, v3_path), 2, 10);
+  const std::string ev_msg = resume_error(event_ck_spec(traces, v3_path));
+  EXPECT_NE(ev_msg.find("event engine cannot resume"), std::string::npos)
+      << ev_msg;
+  EXPECT_NE(ev_msg.find("FleetSpec.engine"), std::string::npos) << ev_msg;
+
+  // ...and an event-engine (v4) file under the stepper: both named.
+  const std::string v4_path = testing::TempDir() + "ck_cross_v4.ckpt";
+  std::remove(v4_path.c_str());
+  run_until_killed(event_ck_spec(traces, v4_path), 2, 10);
+  const std::string st_msg = resume_error(ck_spec(traces, v4_path));
+  EXPECT_NE(st_msg.find("stepper cannot resume"), std::string::npos)
+      << st_msg;
+  EXPECT_NE(st_msg.find("FleetSpec.engine"), std::string::npos) << st_msg;
+
+  // The fingerprint stays engine-invariant: a v3 file still resumes under
+  // the stepper even when the event engine exists (no format coupling).
+  fleet::FleetSpec same = ck_spec(traces, v3_path);
+  same.resume = true;
+  obs::MemoryTraceSink sink;
+  obs::MetricsRegistry registry;
+  same.trace = &sink;
+  same.metrics = &registry;
+  EXPECT_NO_THROW((void)fleet::run_fleet(same));
+  std::remove(v3_path.c_str());
+  std::remove(v4_path.c_str());
+}
+
+TEST(Checkpoint, EventCheckpointMutationMatrixRejected) {
+  const std::vector<net::Trace> traces = two_traces();
+  const std::string path = testing::TempDir() + "ck_event_mut.ckpt";
+  std::remove(path.c_str());
+  run_until_killed(event_ck_spec(traces, path), 2, 10);
+  const std::string good = read_file(path);
+  ASSERT_GT(good.size(), 200u);
+
+  // Strip the "end <8hex>\n" trailer so mutations re-seal with a VALID
+  // checksum: these rejections must come from the parser, not the CRC.
+  const std::size_t trailer = good.rfind("end ");
+  ASSERT_NE(trailer, std::string::npos);
+  const std::string body = good.substr(0, trailer);
+
+  const auto expect_rejected = [&](const std::string& mutated,
+                                   const char* what) {
+    write_file(path, with_trailer(mutated));
+    EXPECT_THROW((void)fleet::FleetCheckpoint::load(path),
+                 fleet::CheckpointError)
+        << what;
+  };
+
+  {
+    // Version says 3 but the engine line is still present: a v3 parser
+    // reads "engine ..." where "titles ..." must be.
+    std::string m = body;
+    m.replace(0, std::string("VBRFLEETCKPT 4").size(), "VBRFLEETCKPT 3");
+    expect_rejected(m, "v3 header with an engine line");
+  }
+  {
+    // Version says 4 but the engine line was cut out.
+    std::string m = body;
+    const std::size_t at = m.find("\nengine ");
+    ASSERT_NE(at, std::string::npos);
+    const std::size_t eol = m.find('\n', at + 1);
+    m.erase(at, eol - at);
+    expect_rejected(m, "v4 header without an engine line");
+  }
+  {
+    // Garbage event count.
+    std::string m = body;
+    const std::size_t at = m.find("\nengine ");
+    ASSERT_NE(at, std::string::npos);
+    const std::size_t eol = m.find('\n', at + 1);
+    m.replace(at, eol - at, "\nengine not-a-number");
+    expect_rejected(m, "malformed engine line");
+  }
+
+  // The version gate's error names the accepted range.
+  write_file(path, with_trailer("VBRFLEETCKPT 99\nmeta 0 0 0 0 0\n"));
+  try {
+    (void)fleet::FleetCheckpoint::load(path);
+    FAIL() << "expected CheckpointError";
+  } catch (const fleet::CheckpointError& e) {
+    EXPECT_NE(std::string(e.what()).find("expected 3 or 4"),
+              std::string::npos)
+        << e.what();
+  }
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace vbr

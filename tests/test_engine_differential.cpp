@@ -1,0 +1,257 @@
+// Differential gate between run_fleet's two execution engines: the
+// shared-virtual-time event engine must produce BYTE-identical output to
+// the per-session stepper — merged JSONL telemetry, metrics fingerprint,
+// report JSON, and the per-session outcome table — across a matrix of
+// workload variants (scheme mixes, faults + retries, the full CDN
+// hierarchy, in-situ A/B experiments, watchdogs, uncoupled fleets) and at
+// 1 / 2 / 8 worker threads each. Streaming aggregation must match the
+// materializing path's aggregates exactly.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "abr/bba.h"
+#include "abr/mpc.h"
+#include "abr/rba.h"
+#include "abr/scheme.h"
+#include "fleet/fleet.h"
+#include "obs/metrics.h"
+#include "obs/trace_sink.h"
+#include "test_util.h"
+
+namespace vbr {
+namespace {
+
+std::vector<net::Trace> diff_traces() {
+  std::vector<net::Trace> traces;
+  traces.push_back(testutil::flat_trace(5e6, 600.0));
+  traces.push_back(testutil::flat_trace(2.5e6, 600.0));
+  traces.push_back(testutil::flat_trace(1.2e6, 600.0));
+  return traces;
+}
+
+/// Base fleet shared by every variant: ~50 sessions over 6 short titles,
+/// a cache sized to force eviction, partial watches.
+fleet::FleetSpec base_spec(const std::vector<net::Trace>& traces) {
+  fleet::FleetSpec spec;
+  spec.catalog.num_titles = 6;
+  spec.catalog.title_duration_s = 40.0;
+  spec.catalog.chunk_duration_s = 2.0;
+  spec.catalog.zipf_alpha = 0.9;
+  spec.arrivals.rate_per_s = 0.4;
+  spec.arrivals.horizon_s = 200.0;
+  spec.arrivals.max_sessions = 50;
+  spec.classes.resize(2);
+  spec.classes[0].label = "bba";
+  spec.classes[0].make_scheme = [] { return std::make_unique<abr::Bba>(); };
+  spec.classes[1].label = "rba";
+  spec.classes[1].make_scheme = [] { return std::make_unique<abr::Rba>(); };
+  spec.traces = traces;
+  spec.cache.capacity_bits = 1.2e9;
+  spec.watch.full_watch_prob = 0.5;
+  spec.watch.mean_partial_s = 20.0;
+  spec.watch.min_watch_s = 4.0;
+  spec.session.startup_latency_s = 4.0;
+  return spec;
+}
+
+/// One workload variant per index; each perturbs the seed so the variants
+/// draw genuinely different arrivals / titles / watch times.
+fleet::FleetSpec variant_spec(int v, const std::vector<net::Trace>& traces) {
+  fleet::FleetSpec spec = base_spec(traces);
+  spec.seed = 101 + 97 * static_cast<std::uint64_t>(v);
+  switch (v) {
+    case 0:
+      // Plain cached fleet, mixed BBA / RBA classes.
+      break;
+    case 1:
+      // Uncoupled fleet (no shared delivery state): the engine interleaves
+      // all sessions on one timeline instead of chaining titles.
+      spec.use_cache = false;
+      spec.classes[1].label = "mpc";
+      spec.classes[1].make_scheme = [] {
+        return std::make_unique<abr::Mpc>();
+      };
+      break;
+    case 2:
+      // Faults + retry on one class; the other rides clean.
+      spec.classes[0].fault.connect_failure_prob = 0.05;
+      spec.classes[0].fault.mid_drop_prob = 0.04;
+      spec.classes[0].fault.timeout_prob = 0.03;
+      spec.classes[0].retry.max_attempts = 3;
+      spec.classes[0].retry.backoff_base_s = 0.25;
+      break;
+    case 3:
+      // Full CDN hierarchy: slow backhaul (real coalescing windows),
+      // outages, a brownout, and load shedding.
+      spec.cdn.enabled = true;
+      spec.cdn.backhaul_bps = 1e6;
+      spec.cdn.regional.nodes = 2;
+      spec.cdn.regional.capacity_bits = 4e9;
+      spec.cdn.regional.outages_per_node = 2;
+      spec.cdn.regional.outage_duration_s = 25.0;
+      spec.cdn.brownout.start_s = 40.0;
+      spec.cdn.brownout.duration_s = 40.0;
+      spec.cdn.brownout.rate_scale = 0.5;
+      spec.cdn.brownout.extra_latency_s = 0.2;
+      spec.cdn.brownout.capacity_scale = 0.5;
+      spec.cdn.shed.capacity_sessions = 6.0;
+      spec.cdn.shed.active_session_s = 30.0;
+      spec.cdn.shed.threshold = 0.5;
+      spec.cdn.shed.max_shed_prob = 0.8;
+      break;
+    case 4: {
+      // In-situ A/B experiment: three arms, stratified assignment.
+      spec.classes.clear();
+      spec.experiment.trace_strata = 3;
+      spec.experiment.seed = 4242;
+      fleet::FleetClientClass bba;
+      bba.label = "bba";
+      bba.make_scheme = [] { return std::make_unique<abr::Bba>(); };
+      fleet::FleetClientClass lo;
+      lo.label = "fixed-lo";
+      lo.make_scheme = [] {
+        return std::make_unique<abr::FixedTrackScheme>(0);
+      };
+      fleet::FleetClientClass rba;
+      rba.label = "rba";
+      rba.make_scheme = [] { return std::make_unique<abr::Rba>(); };
+      spec.experiment.arms.push_back(std::move(bba));
+      spec.experiment.arms.push_back(std::move(lo));
+      spec.experiment.arms.push_back(std::move(rba));
+      break;
+    }
+    case 5:
+      // CDN + faults + a tight decision watchdog, all at once.
+      spec.cdn.enabled = true;
+      spec.cdn.backhaul_bps = 2e6;
+      spec.cdn.shed.capacity_sessions = 5.0;
+      spec.cdn.shed.threshold = 0.4;
+      spec.cdn.shed.max_shed_prob = 0.7;
+      spec.classes[1].fault.mid_drop_prob = 0.06;
+      spec.classes[1].retry.max_attempts = 2;
+      spec.session.watchdog_max_decisions = 12;
+      break;
+    default:
+      ADD_FAILURE() << "unknown variant " << v;
+      break;
+  }
+  return spec;
+}
+
+/// Full serialized observation of one run, mirroring test_fleet.cpp:
+/// merged JSONL events, metrics fingerprint, report JSON, per-session
+/// outcome table.
+std::string run_and_serialize(fleet::FleetSpec spec, unsigned threads,
+                              fleet::FleetEngine engine) {
+  obs::MemoryTraceSink sink;
+  obs::MetricsRegistry registry;
+  spec.trace = &sink;
+  spec.metrics = &registry;
+  spec.threads = threads;
+  spec.engine = engine;
+  const fleet::FleetResult result = fleet::run_fleet(spec);
+
+  std::ostringstream out;
+  for (const obs::DecisionEvent& ev : sink.events()) {
+    out << obs::to_jsonl(ev) << '\n';
+  }
+  out << registry.deterministic_fingerprint() << '\n';
+  result.write_json(out);
+  out << '\n';
+  for (const fleet::FleetSessionRecord& r : result.sessions) {
+    out << r.session_id << ' ' << r.arrival_s << ' ' << r.title << ' '
+        << r.class_index << ' ' << r.trace_index << ' ' << r.chunks << ' '
+        << r.edge_hits << ' ' << r.qoe.rebuffer_s << ' '
+        << r.qoe.data_usage_mb << ' ' << r.watchdog_aborted << '\n';
+  }
+  return out.str();
+}
+
+class EngineDifferentialTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EngineDifferentialTest, EventEngineMatchesStepperByteForByte) {
+  const std::vector<net::Trace> traces = diff_traces();
+  const int v = GetParam();
+  const std::string golden =
+      run_and_serialize(variant_spec(v, traces), 1, fleet::FleetEngine::kStepped);
+  ASSERT_GT(golden.size(), 1000u);  // the run actually produced telemetry
+  // The stepper is already pinned thread-invariant by test_fleet.cpp; here
+  // it is the reference the event engine must reproduce at every
+  // parallelism, including its own.
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    EXPECT_EQ(golden, run_and_serialize(variant_spec(v, traces), threads,
+                                        fleet::FleetEngine::kEvent));
+  }
+  EXPECT_EQ(golden, run_and_serialize(variant_spec(v, traces), 8,
+                                      fleet::FleetEngine::kStepped));
+}
+
+INSTANTIATE_TEST_SUITE_P(Variants, EngineDifferentialTest,
+                         ::testing::Range(0, 6));
+
+TEST(EngineDifferential, StreamingAggregatesMatchMaterialized) {
+  const std::vector<net::Trace> traces = diff_traces();
+  // Uncoupled workload — the streaming mode's home turf.
+  fleet::FleetSpec materialized = variant_spec(1, traces);
+  materialized.engine = fleet::FleetEngine::kEvent;
+
+  fleet::FleetSpec streaming = variant_spec(1, traces);
+  streaming.engine = fleet::FleetEngine::kEvent;
+  streaming.stream_aggregation = true;
+
+  const auto serialize = [&](fleet::FleetSpec spec) {
+    obs::MemoryTraceSink sink;
+    obs::MetricsRegistry registry;
+    spec.trace = &sink;
+    spec.metrics = &registry;
+    spec.threads = 4;
+    const fleet::FleetResult result = fleet::run_fleet(spec);
+    std::ostringstream out;
+    for (const obs::DecisionEvent& ev : sink.events()) {
+      out << obs::to_jsonl(ev) << '\n';
+    }
+    out << registry.deterministic_fingerprint() << '\n';
+    result.write_json(out);
+    return std::make_pair(out.str(), result.sessions.size());
+  };
+
+  const auto [mat_bytes, mat_n] = serialize(materialized);
+  const auto [stream_bytes, stream_n] = serialize(streaming);
+  EXPECT_GT(mat_n, 0u);          // materialized keeps the records...
+  EXPECT_EQ(stream_n, 0u);       // ...streaming drops them...
+  EXPECT_EQ(mat_bytes, stream_bytes);  // ...and every aggregate byte agrees.
+}
+
+TEST(EngineDifferential, StreamingRequiresEventEngine) {
+  const std::vector<net::Trace> traces = diff_traces();
+  fleet::FleetSpec spec = variant_spec(1, traces);
+  spec.stream_aggregation = true;
+  spec.engine = fleet::FleetEngine::kStepped;
+  EXPECT_THROW(
+      {
+        try {
+          fleet::run_fleet(spec);
+        } catch (const std::invalid_argument& e) {
+          EXPECT_NE(std::string(e.what()).find(
+                        "FleetSpec.stream_aggregation"),
+                    std::string::npos)
+              << e.what();
+          throw;
+        }
+      },
+      std::invalid_argument);
+
+  fleet::FleetSpec ck = variant_spec(1, traces);
+  ck.engine = fleet::FleetEngine::kEvent;
+  ck.stream_aggregation = true;
+  ck.checkpoint_path = "unused.ckpt";
+  EXPECT_THROW(fleet::run_fleet(ck), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vbr

@@ -224,6 +224,50 @@ TEST(FleetCdn, CoalescingReducesOriginFetches) {
   EXPECT_LT(with.upstream_fetch_ratio, without.upstream_fetch_ratio);
 }
 
+TEST(FleetCdn, CoalescingJoinsAcrossSessionBoundariesUnderBothEngines) {
+  // Regression gate on the fetch windows' time base: a fault-free serial
+  // player never re-requests an object within one session, so EVERY
+  // coalesced hit in this fleet is a session crossing a window some
+  // EARLIER session of the title opened. That only works because windows
+  // live in global fleet time (cdn.cpp keys them as arrival_s + session
+  // clock); keying them session-locally would zero these joins — and the
+  // event engine's chained execution must reproduce the stepper's counts
+  // exactly.
+  const std::vector<net::Trace> traces = {testutil::flat_trace(4e6, 600.0)};
+  fleet::FleetSpec spec = cdn_spec(traces);
+  // One title, one class, one trace: every session replays the identical
+  // (track, index) request sequence, offset only by the ~3 s inter-arrival
+  // gap — far inside the tens-of-seconds fetch windows the slow backhaul
+  // opens, so later sessions MUST join earlier sessions' windows.
+  spec.catalog.num_titles = 1;
+  spec.classes.resize(1);
+  spec.arrivals.max_sessions = 8;
+  spec.cdn.backhaul_bps = 5e4;  // ~5-20 s windows vs 1-10 s arrival gaps
+  // Collapsing to one title hands cdn_spec's whole edge budget to a single
+  // shard — big enough to hold the entire title, which would turn every
+  // re-request into an edge hit and starve the coalescer. Shrink it back to
+  // roughly one chunk so later sessions fall through to the window check.
+  spec.cache.capacity_bits = 4e6;
+
+  spec.engine = fleet::FleetEngine::kStepped;
+  const fleet::FleetResult stepped = fleet::run_fleet(spec);
+  spec.engine = fleet::FleetEngine::kEvent;
+  spec.threads = 4;
+  const fleet::FleetResult event = fleet::run_fleet(spec);
+
+  // K sessions racing the same cold object produce 1 upstream fetch and
+  // K-1 window joins, so joins must show up at fleet scale...
+  ASSERT_GT(stepped.cdn.coalesced, 0u);
+  // ...and the two engines must agree on every counter of the hierarchy.
+  EXPECT_EQ(event.cdn.coalesced, stepped.cdn.coalesced);
+  EXPECT_EQ(event.cdn.origin_fetches, stepped.cdn.origin_fetches);
+  EXPECT_EQ(event.cdn.regional_hits, stepped.cdn.regional_hits);
+  EXPECT_EQ(event.cdn.edge_hits, stepped.cdn.edge_hits);
+  EXPECT_EQ(event.cdn.client_requests, stepped.cdn.client_requests);
+  EXPECT_EQ(event.cdn.shed, stepped.cdn.shed);
+  EXPECT_EQ(event.cdn.failovers, stepped.cdn.failovers);
+}
+
 TEST(FleetCdn, ReportJsonCarriesTheCdnBlock) {
   const std::vector<net::Trace> traces = two_traces();
   const fleet::FleetResult r = fleet::run_fleet(cdn_spec(traces));

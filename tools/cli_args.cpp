@@ -131,6 +131,7 @@ const std::set<std::string>& fleet_flag_names() {
       "fleet-threads",   "fleet-seed",           "fleet-full-watch",
       "fleet-report",    "checkpoint",           "checkpoint-every",
       "fleet-kill-after", "fleet-throttle-us",
+      "fleet-engine",    "fleet-stream-agg",
       "fleet-watchdog-decisions", "fleet-watchdog-sim-s",
       "fleet-cdn",       "fleet-cdn-nodes",      "fleet-cdn-regional-mb",
       "fleet-cdn-backhaul-mbps", "fleet-cdn-no-coalesce", "fleet-cdn-seed",
@@ -169,6 +170,16 @@ fleet::FleetSpec fleet_spec_from_args(const CliArgs& args) {
   }
   spec.threads = static_cast<unsigned>(args.get_size("fleet-threads", 0));
   spec.seed = args.get_size("fleet-seed", 7);
+  // Execution engine. Both produce byte-identical output; "event" runs
+  // every session on one shared-virtual-time timeline (the 100k-session
+  // mode) and unlocks --fleet-stream-agg's constant-memory aggregation.
+  const std::string engine = args.get("fleet-engine", "stepped");
+  if (engine == "event") {
+    spec.engine = fleet::FleetEngine::kEvent;
+  } else if (engine != "stepped") {
+    throw std::invalid_argument("flag --fleet-engine expects event|stepped");
+  }
+  spec.stream_aggregation = args.has("fleet-stream-agg");
   spec.watch.full_watch_prob = args.get_double("fleet-full-watch", 0.6);
   // Crash safety. In fleet mode --resume keeps its per-request meaning
   // (byte-range resume of partial downloads) AND, when --checkpoint is

@@ -108,6 +108,16 @@
 // (per-session runaway budgets, counted in the report). A killed or
 // SIGKILLed run resumed with the same flags produces a report and
 // telemetry byte-identical to an uninterrupted run.
+//
+// Execution engine (DESIGN.md section 15): --fleet-engine event|stepped
+// picks how run_fleet executes sessions. "stepped" (default) runs each
+// session to completion on a worker; "event" schedules every session's
+// next chunk decision on one shared-virtual-time timeline — 100k+
+// sessions in flight, byte-identical output, v4 checkpoints whose
+// --checkpoint-every counts EVENTS instead of sessions. --fleet-stream-agg
+// (event engine only, no checkpointing) folds each completed session into
+// the aggregates immediately and drops the per-session record, keeping
+// memory constant in fleet size.
 #include <cerrno>
 #include <cstdio>
 #include <filesystem>
